@@ -1,0 +1,511 @@
+//! Attribute certificates, use conditions, and the Akenti decision engine.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use gridauthz_clock::{SimClock, SimDuration, SimTime};
+use gridauthz_core::Action;
+use gridauthz_credential::rsa::{KeyPair, PublicKey, Signature};
+use gridauthz_credential::sha256::sha256_prefix_u64;
+use gridauthz_credential::{CredentialError, DistinguishedName};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Errors from Akenti evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AkentiError {
+    /// No stakeholder published any use condition for the resource —
+    /// Akenti fails closed on unknown resources.
+    NoUseConditions(String),
+    /// A stakeholder's conditions were all unsatisfied.
+    StakeholderUnsatisfied {
+        /// The stakeholder whose conditions failed.
+        stakeholder: DistinguishedName,
+        /// The resource being accessed.
+        resource: String,
+    },
+}
+
+impl fmt::Display for AkentiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AkentiError::NoUseConditions(resource) => {
+                write!(f, "no use conditions published for resource {resource:?}")
+            }
+            AkentiError::StakeholderUnsatisfied { stakeholder, resource } => write!(
+                f,
+                "stakeholder {stakeholder} has no satisfied use condition for {resource:?}"
+            ),
+        }
+    }
+}
+
+impl Error for AkentiError {}
+
+/// A signed binding of `attribute=value` to a subject identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeCertificate {
+    subject: DistinguishedName,
+    attribute: String,
+    value: String,
+    issuer: DistinguishedName,
+    not_after: SimTime,
+    signature: Signature,
+}
+
+impl AttributeCertificate {
+    fn signing_bytes(
+        subject: &DistinguishedName,
+        attribute: &str,
+        value: &str,
+        issuer: &DistinguishedName,
+        not_after: SimTime,
+    ) -> Vec<u8> {
+        format!("{subject}\x00{attribute}\x00{value}\x00{issuer}\x00{}", not_after.as_micros())
+            .into_bytes()
+    }
+
+    /// The attested subject.
+    pub fn subject(&self) -> &DistinguishedName {
+        &self.subject
+    }
+
+    /// The attribute name (e.g. `group`, `role`).
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The attribute value (e.g. `fusion`).
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// The issuing attribute authority.
+    pub fn issuer(&self) -> &DistinguishedName {
+        &self.issuer
+    }
+
+    /// Expiry instant.
+    pub fn not_after(&self) -> SimTime {
+        self.not_after
+    }
+
+    /// Verifies the authority's signature.
+    pub fn verify(&self, authority_key: PublicKey) -> bool {
+        authority_key.verify(
+            &Self::signing_bytes(
+                &self.subject,
+                &self.attribute,
+                &self.value,
+                &self.issuer,
+                self.not_after,
+            ),
+            self.signature,
+        )
+    }
+}
+
+/// An authority trusted to attest user attributes.
+#[derive(Debug)]
+pub struct AttributeAuthority {
+    identity: DistinguishedName,
+    keys: KeyPair,
+    clock: SimClock,
+}
+
+impl AttributeAuthority {
+    /// Creates an authority named `dn`, with keys seeded from the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidDn`] when `dn` fails to parse.
+    pub fn new(dn: &str, clock: &SimClock) -> Result<AttributeAuthority, CredentialError> {
+        let identity = DistinguishedName::parse(dn)?;
+        let mut rng = StdRng::seed_from_u64(sha256_prefix_u64(format!("aa:{dn}").as_bytes()));
+        Ok(AttributeAuthority { identity, keys: KeyPair::generate(&mut rng), clock: clock.clone() })
+    }
+
+    /// The authority's identity.
+    pub fn identity(&self) -> &DistinguishedName {
+        &self.identity
+    }
+
+    /// The authority's verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public()
+    }
+
+    /// Issues an attribute certificate valid for `lifetime` from now.
+    pub fn issue(
+        &self,
+        subject: &DistinguishedName,
+        attribute: &str,
+        value: &str,
+        lifetime: SimDuration,
+    ) -> AttributeCertificate {
+        let not_after = self.clock.now().saturating_add(lifetime);
+        let signature = self.keys.private().sign(&AttributeCertificate::signing_bytes(
+            subject,
+            attribute,
+            value,
+            &self.identity,
+            not_after,
+        ));
+        AttributeCertificate {
+            subject: subject.clone(),
+            attribute: attribute.to_string(),
+            value: value.to_string(),
+            issuer: self.identity.clone(),
+            not_after,
+            signature,
+        }
+    }
+}
+
+/// A stakeholder's condition on using a resource: satisfied when any of
+/// the `alternatives` (conjunctions of `attribute=value` requirements) is
+/// fully attested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseCondition {
+    stakeholder: DistinguishedName,
+    resource: String,
+    actions: Vec<Action>,
+    alternatives: Vec<Vec<(String, String)>>,
+}
+
+impl UseCondition {
+    /// Builds a use condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alternatives` is empty or contains an empty
+    /// conjunction — a vacuous condition would silently allow everyone.
+    pub fn new(
+        stakeholder: DistinguishedName,
+        resource: impl Into<String>,
+        actions: impl IntoIterator<Item = Action>,
+        alternatives: Vec<Vec<(String, String)>>,
+    ) -> UseCondition {
+        assert!(
+            !alternatives.is_empty() && alternatives.iter().all(|c| !c.is_empty()),
+            "use conditions must name at least one non-empty attribute conjunction"
+        );
+        UseCondition {
+            stakeholder,
+            resource: resource.into(),
+            actions: actions.into_iter().collect(),
+            alternatives,
+        }
+    }
+
+    /// The publishing stakeholder.
+    pub fn stakeholder(&self) -> &DistinguishedName {
+        &self.stakeholder
+    }
+
+    /// The protected resource name.
+    pub fn resource(&self) -> &str {
+        &self.resource
+    }
+
+    /// True when this condition covers `(resource, action)`.
+    pub fn covers(&self, resource: &str, action: Action) -> bool {
+        self.resource == resource && self.actions.contains(&action)
+    }
+
+    /// True when the attested `attributes` satisfy any alternative.
+    pub fn satisfied_by(&self, attributes: &[(String, String)]) -> bool {
+        self.alternatives.iter().any(|conjunction| {
+            conjunction.iter().all(|req| attributes.contains(req))
+        })
+    }
+}
+
+/// The Akenti policy engine: trusted attribute authorities, a certificate
+/// repository, and stakeholder use conditions.
+#[derive(Debug, Default)]
+pub struct AkentiEngine {
+    /// attribute name → authorities trusted to attest it.
+    trusted: HashMap<String, Vec<(DistinguishedName, PublicKey)>>,
+    /// subject DN string → deposited attribute certificates.
+    repository: HashMap<String, Vec<AttributeCertificate>>,
+    use_conditions: Vec<UseCondition>,
+}
+
+impl AkentiEngine {
+    /// Creates an empty engine (denies everything).
+    pub fn new() -> AkentiEngine {
+        AkentiEngine::default()
+    }
+
+    /// Trusts `authority` to attest `attribute`.
+    pub fn trust_authority(&mut self, attribute: &str, authority: &AttributeAuthority) {
+        self.trusted
+            .entry(attribute.to_string())
+            .or_default()
+            .push((authority.identity().clone(), authority.public_key()));
+    }
+
+    /// Publishes a stakeholder use condition.
+    pub fn add_use_condition(&mut self, condition: UseCondition) {
+        self.use_conditions.push(condition);
+    }
+
+    /// Deposits an attribute certificate into the repository (Akenti
+    /// gathers certificates from network repositories; deposit simulates
+    /// publication).
+    pub fn deposit(&mut self, certificate: AttributeCertificate) {
+        self.repository
+            .entry(certificate.subject().to_string())
+            .or_default()
+            .push(certificate);
+    }
+
+    /// The subject's *valid* attested attributes at `now`: unexpired,
+    /// signature-verified, and issued by an authority trusted for that
+    /// attribute.
+    pub fn attested_attributes(
+        &self,
+        subject: &DistinguishedName,
+        now: SimTime,
+    ) -> Vec<(String, String)> {
+        let Some(certs) = self.repository.get(&subject.to_string()) else {
+            return Vec::new();
+        };
+        certs
+            .iter()
+            .filter(|c| c.not_after() >= now)
+            .filter(|c| {
+                self.trusted.get(c.attribute()).is_some_and(|auths| {
+                    auths
+                        .iter()
+                        .any(|(dn, key)| dn == c.issuer() && c.verify(*key))
+                })
+            })
+            .map(|c| (c.attribute().to_string(), c.value().to_string()))
+            .collect()
+    }
+
+    /// The Akenti access decision.
+    ///
+    /// # Errors
+    ///
+    /// [`AkentiError::NoUseConditions`] when no stakeholder covers the
+    /// resource+action; [`AkentiError::StakeholderUnsatisfied`] when some
+    /// stakeholder's conditions all fail.
+    pub fn check_access(
+        &self,
+        subject: &DistinguishedName,
+        resource: &str,
+        action: Action,
+        now: SimTime,
+    ) -> Result<(), AkentiError> {
+        let covering: Vec<&UseCondition> = self
+            .use_conditions
+            .iter()
+            .filter(|uc| uc.covers(resource, action))
+            .collect();
+        if covering.is_empty() {
+            return Err(AkentiError::NoUseConditions(resource.to_string()));
+        }
+        let attributes = self.attested_attributes(subject, now);
+        // Every stakeholder with conditions on this resource+action must
+        // have at least one satisfied condition.
+        let mut stakeholders: Vec<&DistinguishedName> =
+            covering.iter().map(|uc| uc.stakeholder()).collect();
+        stakeholders.sort();
+        stakeholders.dedup();
+        for stakeholder in stakeholders {
+            let satisfied = covering
+                .iter()
+                .filter(|uc| uc.stakeholder() == stakeholder)
+                .any(|uc| uc.satisfied_by(&attributes));
+            if !satisfied {
+                return Err(AkentiError::StakeholderUnsatisfied {
+                    stakeholder: stakeholder.clone(),
+                    resource: resource.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    struct Fixture {
+        clock: SimClock,
+        authority: AttributeAuthority,
+        engine: AkentiEngine,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = SimClock::new();
+        let authority = AttributeAuthority::new("/O=Grid/CN=Fusion AA", &clock).unwrap();
+        let mut engine = AkentiEngine::new();
+        engine.trust_authority("group", &authority);
+        engine.trust_authority("role", &authority);
+        // Two stakeholders: LBL requires group=fusion; ANL requires
+        // role=analyst OR role=admin.
+        engine.add_use_condition(UseCondition::new(
+            dn("/O=LBL/CN=Stakeholder"),
+            "transp-service",
+            [Action::Start, Action::Cancel],
+            vec![vec![("group".into(), "fusion".into())]],
+        ));
+        engine.add_use_condition(UseCondition::new(
+            dn("/O=ANL/CN=Stakeholder"),
+            "transp-service",
+            [Action::Start, Action::Cancel],
+            vec![
+                vec![("role".into(), "analyst".into())],
+                vec![("role".into(), "admin".into())],
+            ],
+        ));
+        Fixture { clock, authority, engine }
+    }
+
+    #[test]
+    fn access_requires_every_stakeholder_satisfied() {
+        let mut f = fixture();
+        let kate = dn("/O=G/CN=Kate");
+        let hour = SimDuration::from_hours(1);
+        // Only the group certificate: ANL's condition unsatisfied.
+        f.engine.deposit(f.authority.issue(&kate, "group", "fusion", hour));
+        let err = f
+            .engine
+            .check_access(&kate, "transp-service", Action::Start, f.clock.now())
+            .unwrap_err();
+        assert!(matches!(err, AkentiError::StakeholderUnsatisfied { ref stakeholder, .. }
+            if stakeholder == &dn("/O=ANL/CN=Stakeholder")));
+        // Adding the role certificate satisfies both.
+        f.engine.deposit(f.authority.issue(&kate, "role", "analyst", hour));
+        assert!(f
+            .engine
+            .check_access(&kate, "transp-service", Action::Start, f.clock.now())
+            .is_ok());
+    }
+
+    #[test]
+    fn disjunctive_alternatives_accept_either_role() {
+        let mut f = fixture();
+        let boss = dn("/O=G/CN=Boss");
+        let hour = SimDuration::from_hours(1);
+        f.engine.deposit(f.authority.issue(&boss, "group", "fusion", hour));
+        f.engine.deposit(f.authority.issue(&boss, "role", "admin", hour));
+        assert!(f
+            .engine
+            .check_access(&boss, "transp-service", Action::Cancel, f.clock.now())
+            .is_ok());
+    }
+
+    #[test]
+    fn unknown_resource_fails_closed() {
+        let f = fixture();
+        let err = f
+            .engine
+            .check_access(&dn("/O=G/CN=Kate"), "mystery", Action::Start, f.clock.now())
+            .unwrap_err();
+        assert_eq!(err, AkentiError::NoUseConditions("mystery".into()));
+    }
+
+    #[test]
+    fn uncovered_action_fails_closed() {
+        let f = fixture();
+        let err = f
+            .engine
+            .check_access(
+                &dn("/O=G/CN=Kate"),
+                "transp-service",
+                Action::Signal,
+                f.clock.now(),
+            )
+            .unwrap_err();
+        assert_eq!(err, AkentiError::NoUseConditions("transp-service".into()));
+    }
+
+    #[test]
+    fn expired_attribute_certs_are_ignored() {
+        let mut f = fixture();
+        let kate = dn("/O=G/CN=Kate");
+        f.engine
+            .deposit(f.authority.issue(&kate, "group", "fusion", SimDuration::from_secs(10)));
+        f.engine
+            .deposit(f.authority.issue(&kate, "role", "analyst", SimDuration::from_hours(1)));
+        f.clock.advance(SimDuration::from_secs(60));
+        let err = f
+            .engine
+            .check_access(&kate, "transp-service", Action::Start, f.clock.now())
+            .unwrap_err();
+        assert!(matches!(err, AkentiError::StakeholderUnsatisfied { ref stakeholder, .. }
+            if stakeholder == &dn("/O=LBL/CN=Stakeholder")));
+    }
+
+    #[test]
+    fn untrusted_issuer_certs_are_ignored() {
+        let f = fixture();
+        let clock = SimClock::new();
+        let rogue = AttributeAuthority::new("/O=Rogue/CN=AA", &clock).unwrap();
+        let kate = dn("/O=G/CN=Kate");
+        let mut engine = f.engine;
+        engine.deposit(rogue.issue(&kate, "group", "fusion", SimDuration::from_hours(1)));
+        engine.deposit(rogue.issue(&kate, "role", "analyst", SimDuration::from_hours(1)));
+        assert!(engine
+            .check_access(&kate, "transp-service", Action::Start, clock.now())
+            .is_err());
+        assert!(engine.attested_attributes(&kate, clock.now()).is_empty());
+    }
+
+    #[test]
+    fn forged_certificate_fails_verification() {
+        let f = fixture();
+        let kate = dn("/O=G/CN=Kate");
+        let real = f.authority.issue(&kate, "group", "fusion", SimDuration::from_hours(1));
+        // Tamper with the value while keeping the signature.
+        let forged = AttributeCertificate { value: "admin-club".into(), ..real };
+        assert!(!forged.verify(f.authority.public_key()));
+    }
+
+    #[test]
+    fn stakeholders_scope_conditions_per_action() {
+        let mut f = fixture();
+        // LBL additionally allows `information` for auditors only.
+        f.engine.add_use_condition(UseCondition::new(
+            dn("/O=LBL/CN=Stakeholder"),
+            "transp-service",
+            [Action::Information],
+            vec![vec![("role".into(), "auditor".into())]],
+        ));
+        f.engine.add_use_condition(UseCondition::new(
+            dn("/O=ANL/CN=Stakeholder"),
+            "transp-service",
+            [Action::Information],
+            vec![vec![("role".into(), "auditor".into())]],
+        ));
+        let auditor = dn("/O=G/CN=Auditor");
+        let hour = SimDuration::from_hours(1);
+        f.engine.deposit(f.authority.issue(&auditor, "role", "auditor", hour));
+        assert!(f
+            .engine
+            .check_access(&auditor, "transp-service", Action::Information, f.clock.now())
+            .is_ok());
+        // The auditor role grants no start rights.
+        assert!(f
+            .engine
+            .check_access(&auditor, "transp-service", Action::Start, f.clock.now())
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty attribute conjunction")]
+    fn vacuous_use_conditions_are_rejected() {
+        UseCondition::new(dn("/O=X/CN=S"), "r", [Action::Start], vec![vec![]]);
+    }
+}

@@ -1,0 +1,52 @@
+//! A simulated **Akenti** authorization system (Thompson et al., *USENIX
+//! Security* 1999), one of the two third-party systems the paper
+//! integrates through its callout API ("This work has recently been
+//! tested with the Akenti system representing the same policies").
+//!
+//! The Akenti model, reproduced here:
+//!
+//! * **Stakeholders** (resource co-owners) each publish signed
+//!   **use-condition certificates** for a resource: boolean conditions
+//!   over user attributes, scoped to actions.
+//! * Trusted **attribute authorities** issue signed **attribute
+//!   certificates** binding `attribute=value` pairs to user identities.
+//! * Access is granted iff *every* stakeholder has at least one
+//!   use-condition for the resource+action whose requirements are met by
+//!   the user's valid attribute certificates.
+//!
+//! [`AkentiCallout`] adapts the engine to the paper's GRAM callout API so
+//! it can be configured as the Job Manager PEP.
+//!
+//! # Example
+//!
+//! ```
+//! use gridauthz_akenti::{AkentiEngine, AttributeAuthority, UseCondition};
+//! use gridauthz_clock::{SimClock, SimDuration};
+//! use gridauthz_core::Action;
+//!
+//! let clock = SimClock::new();
+//! let authority = AttributeAuthority::new("/O=Grid/CN=Fusion AA", &clock)?;
+//! let mut engine = AkentiEngine::new();
+//! engine.trust_authority("group", &authority);
+//! engine.add_use_condition(UseCondition::new(
+//!     "/O=LBL/CN=Stakeholder".parse()?,
+//!     "transp-service",
+//!     [Action::Start],
+//!     vec![vec![("group".into(), "fusion".into())]],
+//! ));
+//!
+//! let kate: gridauthz_credential::DistinguishedName = "/O=Grid/CN=Kate".parse()?;
+//! engine.deposit(authority.issue(&kate, "group", "fusion", SimDuration::from_hours(8)));
+//! assert!(engine
+//!     .check_access(&kate, "transp-service", Action::Start, clock.now())
+//!     .is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod callout;
+mod engine;
+
+pub use callout::{AkentiCallout, ResourceNaming};
+pub use engine::{
+    AkentiEngine, AkentiError, AttributeAuthority, AttributeCertificate, UseCondition,
+};

@@ -1,0 +1,64 @@
+//! T1: the cost the paper's extensions add to the job-handling path.
+//!
+//! Two views:
+//! * the isolated authorization step per configuration — empty chain
+//!   (GT2's Job Manager), RSL PDP, RSL+Akenti, RSL+CAS;
+//! * the full submission path (authenticate → gridmap → authorize →
+//!   schedule) in GT2 vs extended mode.
+//!
+//! Expected shape: fine-grain authorization costs more than the empty
+//! chain but remains a small fraction of full job handling; the
+//! third-party adapters cost more than the in-process PDP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridauthz_bench::{extended_testbed, gt2_testbed, t1_callout_chains, t1_request};
+use gridauthz_clock::SimDuration;
+
+fn bench_authorization_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_authorization_step");
+    for (label, chain) in t1_callout_chains() {
+        let request = t1_request(label.contains("cas"));
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(chain.authorize(&request).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_submission_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_submission_path");
+    group.sample_size(50);
+    const RSL: &str = "&(executable = TRANSP)(jobtag = NFC)(count = 1)";
+    let work = SimDuration::from_mins(1);
+
+    let gt2 = gt2_testbed(4);
+    let client = gt2.member_client(0);
+    group.bench_function("submit_gt2", |b| {
+        b.iter(|| {
+            let contact = client.submit(&gt2.server, RSL, work).expect("gt2 submit");
+            // Cancel immediately to keep cluster occupancy flat.
+            client.cancel(&gt2.server, &contact).expect("gt2 cancel");
+        })
+    });
+
+    let ext = extended_testbed(4);
+    let client = ext.member_client(0);
+    group.bench_function("submit_extended", |b| {
+        b.iter(|| {
+            let contact = client.submit(&ext.server, RSL, work).expect("extended submit");
+            client.cancel(&ext.server, &contact).expect("extended cancel");
+        })
+    });
+
+    // The denial path: policy evaluation runs in full, no scheduler work.
+    group.bench_function("submit_extended_denied", |b| {
+        b.iter(|| {
+            let err = client.submit(&ext.server, "&(executable = rogue)(count = 1)", work);
+            std::hint::black_box(err.is_err())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_authorization_step, bench_submission_path);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! T3 + A3: the cost of combining policies from multiple sources
+//! (requirement 1 of §2) and the combiner-choice ablation.
+//!
+//! Expected shape: deny-overrides cost grows linearly in the number of
+//! sources (every source must be consulted); permit-overrides
+//! short-circuits on the first permit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridauthz_bench::{combined_pdp_with_n_sources, sanctioned_request};
+use gridauthz_core::{paper, Combiner, CombinedPdp, PolicyOrigin, PolicySource};
+
+fn bench_source_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_source_scaling");
+    let request = sanctioned_request(0);
+    for n in [1usize, 2, 4, 8] {
+        let pdp = combined_pdp_with_n_sources(n);
+        group.bench_with_input(BenchmarkId::new("deny_overrides", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(pdp.decide(&request).is_permit()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combiner_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_combiner");
+    let request = sanctioned_request(0);
+    let make_sources = || {
+        (0..4)
+            .map(|i| {
+                let text = format!(
+                    "{fig3}\n{member}: &(action = start)(executable = TRANSP)(jobtag = NFC)(count < 16)\n",
+                    fig3 = paper::FIGURE3_TEXT,
+                    member = gridauthz_bench::member_dn(0)
+                );
+                PolicySource::new(
+                    format!("source-{i}"),
+                    PolicyOrigin::VirtualOrganization(format!("vo-{i}")),
+                    text.parse().expect("generated policy parses"),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    for combiner in [Combiner::DenyOverrides, Combiner::PermitOverrides, Combiner::FirstApplicable]
+    {
+        let pdp = CombinedPdp::new(make_sources(), combiner);
+        group.bench_function(format!("{combiner:?}"), |b| {
+            b.iter(|| std::hint::black_box(pdp.decide(&request).is_permit()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_source_scaling, bench_combiner_ablation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! T7: dynamic policy (§2's deadline/demo scenario) — the cost of
+//! materializing the active policy as overlays toggle, and of the
+//! decision made against it.
+//!
+//! Expected shape: materialization is linear in active statements;
+//! decision cost is unchanged from the static case (the dynamic layer
+//! composes policies, it does not slow the PDP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridauthz_bench::{policy_with_n_statements, sanctioned_request};
+use gridauthz_clock::SimTime;
+use gridauthz_core::Pdp;
+use gridauthz_vo::{DynamicVoPolicy, PolicyWindow, UtilizationOverlay};
+
+fn dynamic_fixture(base_statements: usize) -> DynamicVoPolicy {
+    let mut dynamic = DynamicVoPolicy::new(policy_with_n_statements(base_statements));
+    dynamic.add_window(PolicyWindow {
+        from: SimTime::from_secs(3_600),
+        until: SimTime::from_secs(7_200),
+        overlay: "&*: (action = start)(count < 5)".parse().expect("overlay parses"),
+        label: "demo window".into(),
+    });
+    dynamic.add_utilization_overlay(UtilizationOverlay {
+        min_utilization: 0.9,
+        overlay: "&*: (action = start)(count < 9)".parse().expect("overlay parses"),
+        label: "load clamp".into(),
+    });
+    dynamic
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_materialize_active_policy");
+    for n in [10usize, 100, 1_000] {
+        let dynamic = dynamic_fixture(n);
+        group.bench_with_input(BenchmarkId::new("quiet", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(dynamic.active_policy(SimTime::EPOCH, 0.1)))
+        });
+        group.bench_with_input(BenchmarkId::new("demo+load", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(dynamic.active_policy(SimTime::from_secs(5_000), 0.95))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_flip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_decision_after_flip");
+    let dynamic = dynamic_fixture(100);
+    let request = sanctioned_request(50);
+
+    // Full re-materialize + decide cycle — the cost of reacting to a
+    // policy flip (what a deadline change costs end to end).
+    group.bench_function("rebuild_and_decide", |b| {
+        b.iter(|| {
+            let pdp = Pdp::new(dynamic.active_policy(SimTime::from_secs(5_000), 0.95));
+            std::hint::black_box(pdp.decide(&request).is_permit())
+        })
+    });
+    // Steady-state: decide against a cached materialized policy.
+    let cached = Pdp::new(dynamic.active_policy(SimTime::from_secs(5_000), 0.95));
+    group.bench_function("cached_decide", |b| {
+        b.iter(|| std::hint::black_box(cached.decide(&request).is_permit()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialization, bench_decision_flip);
+criterion_main!(benches);

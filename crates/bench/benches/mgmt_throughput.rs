@@ -1,0 +1,62 @@
+//! T5: management-request authorization throughput under concurrency
+//! (§6.2's trust-model discussion: the PEP sits on the shared service
+//! path, so its scalability matters).
+//!
+//! Measures wall time for a fixed batch of `status` requests split over
+//! 1..8 threads against one shared `GramServer`. Expected shape:
+//! authentication + policy evaluation parallelize; only the short
+//! scheduler lock serializes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridauthz_bench::extended_testbed;
+use gridauthz_clock::SimDuration;
+
+const REQUESTS: usize = 512;
+
+fn bench_mgmt_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_mgmt_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+
+    let tb = extended_testbed(8);
+    let tb = Arc::new(tb);
+    // Each member starts one long job it will repeatedly query.
+    let contacts: Vec<_> = (0..8)
+        .map(|i| {
+            tb.member_client(i)
+                .submit(
+                    &tb.server,
+                    "&(executable = TRANSP)(jobtag = NFC)(count = 2)",
+                    SimDuration::from_hours(10),
+                )
+                .expect("bench job admits")
+        })
+        .collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                crossbeam::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let tb = Arc::clone(&tb);
+                        let contact = contacts[t % contacts.len()].clone();
+                        scope.spawn(move |_| {
+                            let client = tb.member_client(t % tb.members.len());
+                            for _ in 0..REQUESTS / threads {
+                                let report = client.status(&tb.server, &contact);
+                                std::hint::black_box(report.expect("own-job status permits"));
+                            }
+                        });
+                    }
+                })
+                .expect("bench threads join");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mgmt_throughput);
+criterion_main!(benches);

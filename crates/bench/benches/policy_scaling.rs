@@ -1,0 +1,50 @@
+//! T2 + A2: PDP decision latency vs policy size, indexed vs linear
+//! subject lookup.
+//!
+//! Paper anchor: §5.1's language must hold up at VO scale (one grant
+//! statement per member). Expected shape: the subject index keeps
+//! decisions near-constant while the linear evaluator grows with the
+//! statement count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridauthz_bench::{policy_with_n_statements, sanctioned_request};
+use gridauthz_core::Pdp;
+
+fn bench_policy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_policy_scaling");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let policy = policy_with_n_statements(n);
+        let indexed = Pdp::new(policy.clone());
+        let linear = Pdp::without_index(policy);
+        // The requester sits mid-policy so linear scans pay half the list.
+        let request = sanctioned_request(n / 2);
+
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(indexed.decide(&request)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(linear.decide(&request)))
+        });
+    }
+    group.finish();
+}
+
+/// Policy load path: parse the text + build the subject index. Matters
+/// for the dynamic-policy case (T7), where flips re-materialize.
+fn bench_policy_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_policy_load");
+    group.sample_size(30);
+    for n in [10usize, 100, 1_000] {
+        let text = policy_with_n_statements(n).to_string();
+        group.bench_with_input(BenchmarkId::new("parse_and_index", n), &n, |b, _| {
+            b.iter(|| {
+                let policy: gridauthz_core::Policy = text.parse().expect("reparse");
+                std::hint::black_box(Pdp::new(policy))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_scaling, bench_policy_load);
+criterion_main!(benches);

@@ -1,0 +1,414 @@
+//! The experiment harness: regenerates every table/figure listed in
+//! DESIGN.md §5 (F1–F3, T1–T7, A1, A3) and prints them in one run.
+//!
+//! ```sh
+//! cargo run -p gridauthz-bench --bin harness --release
+//! ```
+//!
+//! Criterion benches (`cargo bench`) measure the same configurations with
+//! statistical rigor; this binary favours one-glance completeness and is
+//! what EXPERIMENTS.md quotes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gridauthz_bench::{
+    a1_cases, a1_policy, combined_pdp_with_n_sources, extended_testbed, gt2_testbed, member_dn,
+    policy_with_n_statements, sanctioned_request, strip_requirements, t1_callout_chains,
+    t1_request,
+};
+use gridauthz_clock::{SimClock, SimDuration, SimTime};
+use gridauthz_core::{paper, Action, AuthzRequest, CombinedPdp, Combiner, Pdp, PolicyOrigin, PolicySource};
+use gridauthz_credential::DistinguishedName;
+use gridauthz_enforcement::{
+    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox,
+    SandboxProfile,
+};
+use gridauthz_scheduler::{Cluster, JobSpec, LocalScheduler};
+use gridauthz_sim::scenario;
+use gridauthz_vo::{DynamicVoPolicy, PolicyWindow, UtilizationOverlay};
+
+/// Median wall time of `iters` runs of `f`.
+fn time_median(iters: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "permit"
+    } else {
+        "deny"
+    }
+}
+
+fn f1_f2() {
+    heading("F1/F2 — GT2 GRAM (Figure 1) vs extended GRAM (Figure 2)");
+    println!("{:<42} {:>8} {:>10}", "operation", "GT2", "extended");
+    let rows = scenario::figure1_vs_figure2();
+    let expected = scenario::figure1_vs_figure2_expected();
+    for (row, exp) in rows.iter().zip(&expected) {
+        assert_eq!(row, exp, "F1/F2 behaviour drifted from the paper");
+        println!("{:<42} {:>8} {:>10}", row.case, yesno(row.gt2), yesno(row.extended));
+    }
+}
+
+fn f3() {
+    heading("F3 — Figure 3 decision matrix");
+    println!("{:<50} {:>9} {:>9}", "case", "expected", "actual");
+    let mut mismatches = 0;
+    for row in scenario::figure3_matrix() {
+        if row.expected_permit != row.actual_permit {
+            mismatches += 1;
+        }
+        println!(
+            "{:<50} {:>9} {:>9}",
+            row.case,
+            yesno(row.expected_permit),
+            yesno(row.actual_permit)
+        );
+    }
+    println!("mismatches: {mismatches}");
+}
+
+fn t1() {
+    heading("T1 — authorization-step cost per callout configuration (§5.2)");
+    println!("{:<18} {:>14}", "configuration", "median/op");
+    for (label, chain) in t1_callout_chains() {
+        let request = t1_request(label.contains("cas"));
+        let median = time_median(2_000, || {
+            assert!(chain.authorize(&request).is_ok());
+        });
+        println!("{label:<18} {median:>14.2?}");
+    }
+
+    println!("\nfull submission path (authenticate + gridmap + authorize + schedule):");
+    const RSL: &str = "&(executable = TRANSP)(jobtag = NFC)(count = 1)";
+    let work = SimDuration::from_mins(1);
+    let gt2 = gt2_testbed(4);
+    let gt2_client = gt2.member_client(0);
+    let gt2_median = time_median(300, || {
+        let contact = gt2_client.submit(&gt2.server, RSL, work).expect("gt2 submit");
+        gt2_client.cancel(&gt2.server, &contact).expect("gt2 cancel");
+    });
+    let ext = extended_testbed(4);
+    let ext_client = ext.member_client(0);
+    let ext_median = time_median(300, || {
+        let contact = ext_client.submit(&ext.server, RSL, work).expect("ext submit");
+        ext_client.cancel(&ext.server, &contact).expect("ext cancel");
+    });
+    println!("{:<18} {:>14.2?}", "submit_gt2", gt2_median);
+    println!("{:<18} {:>14.2?}", "submit_extended", ext_median);
+    println!(
+        "fine-grain overhead on the submit+cancel path: {:.1}%",
+        (ext_median.as_nanos() as f64 / gt2_median.as_nanos() as f64 - 1.0) * 100.0
+    );
+}
+
+fn t2() {
+    heading("T2/A2 — PDP decision latency vs policy size (indexed vs linear)");
+    println!("{:<12} {:>14} {:>14}", "#statements", "indexed", "linear");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let policy = policy_with_n_statements(n);
+        let indexed = Pdp::new(policy.clone());
+        let linear = Pdp::without_index(policy);
+        let request = sanctioned_request(n / 2);
+        let iters = if n >= 10_000 { 200 } else { 2_000 };
+        let ti = time_median(iters, || {
+            assert!(indexed.decide(&request).is_permit());
+        });
+        let tl = time_median(iters, || {
+            assert!(linear.decide(&request).is_permit());
+        });
+        println!("{n:<12} {ti:>14.2?} {tl:>14.2?}");
+    }
+}
+
+fn t3() {
+    heading("T3 — combining cost vs number of policy sources (deny-overrides)");
+    println!("{:<10} {:>14}", "#sources", "median/op");
+    let request = sanctioned_request(0);
+    for n in [1usize, 2, 4, 8] {
+        let pdp = combined_pdp_with_n_sources(n);
+        let median = time_median(2_000, || {
+            assert!(pdp.decide(&request).is_permit());
+        });
+        println!("{n:<10} {median:>14.2?}");
+    }
+}
+
+fn t4() {
+    heading("T4 — VO-wide tag query among N live jobs (indexed vs scan)");
+    println!("{:<10} {:>14} {:>14}", "#jobs", "indexed", "scan");
+    for n in [100usize, 1_000, 10_000] {
+        let clock = SimClock::new();
+        let mut sched = LocalScheduler::new(Cluster::uniform(64, 64, 65_536), &clock);
+        for i in 0..n {
+            let tag = if i % 10 == 0 { "NFC".to_string() } else { format!("TAG{}", i % 97) };
+            sched
+                .submit(
+                    JobSpec::new(format!("j{i}"), "acct", 1, SimDuration::from_hours(10))
+                        .with_tag(tag),
+                )
+                .expect("bench job admits");
+        }
+        let iters = if n >= 10_000 { 100 } else { 1_000 };
+        let ti = time_median(iters, || {
+            assert_eq!(sched.jobs_with_tag("NFC").len(), n / 10);
+        });
+        let ts = time_median(iters, || {
+            assert_eq!(sched.jobs_with_tag_scan("NFC").len(), n / 10);
+        });
+        println!("{n:<10} {ti:>14.2?} {ts:>14.2?}");
+    }
+}
+
+fn t5() {
+    heading("T5 — management authorization throughput vs threads");
+    const REQUESTS: usize = 2_000;
+    let tb = Arc::new(extended_testbed(8));
+    let contacts: Vec<_> = (0..8)
+        .map(|i| {
+            tb.member_client(i)
+                .submit(
+                    &tb.server,
+                    "&(executable = TRANSP)(jobtag = NFC)(count = 2)",
+                    SimDuration::from_hours(10),
+                )
+                .expect("bench job admits")
+        })
+        .collect();
+    println!("{:<10} {:>14} {:>14}", "threads", "wall time", "requests/s");
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads {
+                let tb = Arc::clone(&tb);
+                let contact = contacts[t % contacts.len()].clone();
+                scope.spawn(move |_| {
+                    let client = tb.member_client(t % tb.members.len());
+                    for _ in 0..REQUESTS / threads {
+                        client.status(&tb.server, &contact).expect("own-job status permits");
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        let elapsed = start.elapsed();
+        println!(
+            "{threads:<10} {elapsed:>14.2?} {:>14.0}",
+            REQUESTS as f64 / elapsed.as_secs_f64()
+        );
+    }
+}
+
+fn t6() {
+    heading("T6 — enforcement ladder (§6.1): coverage and cost");
+
+    // Coverage: four adversarial attempts, one violation each.
+    let mut fs = FileSystem::new();
+    fs.register("/sandbox/test", 0, "fusion", FileMode(0o775));
+    fs.register("/home/other", 1001, "users", FileMode(0o700));
+    fs.register("/home/shared", 0, "users", FileMode(0o777));
+    let mut registry = AccountRegistry::new();
+    let account = registry.create_static("bliu").with_group("fusion");
+    let profile = SandboxProfile::new()
+        .allow_executable("TRANSP")
+        .allow_path("/sandbox/test", AccessKind::ReadWrite)
+        .with_memory_limit_mb(2048);
+
+    struct Attempt {
+        desc: &'static str,
+        exec: &'static str,
+        read: &'static str,
+        write: &'static str,
+        memory: u32,
+    }
+    let attempts = [
+        Attempt { desc: "unsanctioned executable", exec: "/home/shared/miner", read: "/sandbox/test/in", write: "/sandbox/test/out", memory: 1024 },
+        Attempt { desc: "read other user's home", exec: "TRANSP", read: "/home/other/secrets", write: "/sandbox/test/out", memory: 1024 },
+        Attempt { desc: "write outside sandbox", exec: "TRANSP", read: "/sandbox/test/in", write: "/home/shared/drop", memory: 1024 },
+        Attempt { desc: "memory over-allocation", exec: "TRANSP", read: "/sandbox/test/in", write: "/sandbox/test/out", memory: 8192 },
+    ];
+    println!("{:<28} {:>16} {:>10}", "violation", "static account", "sandbox");
+    let mut account_caught = 0;
+    let mut sandbox_caught = 0;
+    for a in &attempts {
+        let by_account = !fs.can_access(&account, a.read, AccessKind::Read)
+            || !fs.can_access(&account, a.write, AccessKind::ReadWrite);
+        let mut sandbox = Sandbox::new(profile.clone());
+        let by_sandbox = sandbox.check_exec(a.exec).is_err()
+            || sandbox.check_path(a.read, false).is_err()
+            || sandbox.check_path(a.write, true).is_err()
+            || sandbox.check_memory(a.memory).is_err();
+        account_caught += u32::from(by_account);
+        sandbox_caught += u32::from(by_sandbox);
+        println!(
+            "{:<28} {:>16} {:>10}",
+            a.desc,
+            if by_account { "caught" } else { "missed" },
+            if by_sandbox { "caught" } else { "missed" }
+        );
+    }
+    println!(
+        "catch rate: static accounts {account_caught}/4, sandbox {sandbox_caught}/4"
+    );
+
+    // Cost.
+    let clock = SimClock::new();
+    let subject: DistinguishedName = "/O=Grid/CN=Visitor".parse().expect("DN parses");
+    let mut cold = DynamicAccountPool::new("grid", 64, 50_000, SimDuration::from_mins(30));
+    let cold_t = time_median(2_000, || {
+        cold.lease(&subject, vec!["fusion".into()], clock.now()).expect("capacity");
+        cold.release(&subject);
+    });
+    let mut warm = DynamicAccountPool::new("grid", 64, 50_000, SimDuration::from_mins(30));
+    warm.lease(&subject, vec!["fusion".into()], clock.now()).expect("capacity");
+    let warm_t = time_median(2_000, || {
+        warm.lease(&subject, vec!["fusion".into()], clock.now()).expect("renewal");
+    });
+    let static_t = time_median(2_000, || {
+        std::hint::black_box(registry.get("bliu").expect("account exists"));
+    });
+    let sandbox_t = time_median(2_000, || {
+        let mut sandbox = Sandbox::new(profile.clone());
+        assert!(sandbox.check_exec("TRANSP").is_ok());
+        assert!(sandbox.check_path("/sandbox/test/out", true).is_ok());
+    });
+    println!("\n{:<26} {:>14}", "mechanism", "median/op");
+    println!("{:<26} {:>14.2?}", "static account lookup", static_t);
+    println!("{:<26} {:>14.2?}", "dynamic lease (cold)", cold_t);
+    println!("{:<26} {:>14.2?}", "dynamic lease (warm)", warm_t);
+    println!("{:<26} {:>14.2?}", "sandbox setup+checks", sandbox_t);
+}
+
+fn t7() {
+    heading("T7 — dynamic policy: the same request across time and load");
+    let mut dynamic = DynamicVoPolicy::new(policy_with_n_statements(100));
+    dynamic.add_window(PolicyWindow {
+        from: SimTime::from_secs(3_600),
+        until: SimTime::from_secs(7_200),
+        overlay: "&*: (action = start)(count < 5)".parse().expect("overlay parses"),
+        label: "demo window".into(),
+    });
+    dynamic.add_utilization_overlay(UtilizationOverlay {
+        min_utilization: 0.9,
+        overlay: "&*: (action = start)(count < 9)".parse().expect("overlay parses"),
+        label: "load clamp".into(),
+    });
+    // Member 50 requests 4 cpus... fits every overlay; request 12 cpus to
+    // see the flips.
+    let request = AuthzRequest::start(
+        member_dn(50),
+        gridauthz_bench::parse_conj("&(executable = TRANSP)(jobtag = NFC)(count = 12)"),
+    );
+    println!("{:<8} {:>6} {:<28} {:>8}", "time", "load", "active overlays", "12-cpu");
+    for (secs, load) in [(0u64, 0.1f64), (1_800, 0.95), (5_000, 0.1), (5_000, 0.95), (9_000, 0.1)] {
+        let now = SimTime::from_secs(secs);
+        let labels = dynamic.active_labels(now, load).join(", ");
+        let pdp = Pdp::new(dynamic.active_policy(now, load));
+        println!(
+            "{:<8} {:>5.0}% {:<28} {:>8}",
+            format!("{}m", secs / 60),
+            load * 100.0,
+            if labels.is_empty() { "-".into() } else { labels },
+            yesno(pdp.decide(&request).is_permit())
+        );
+    }
+    let rebuild = time_median(500, || {
+        let pdp = Pdp::new(dynamic.active_policy(SimTime::from_secs(5_000), 0.95));
+        std::hint::black_box(pdp.decide(&request).is_permit());
+    });
+    println!("rebuild+decide after a flip: {rebuild:.2?}");
+}
+
+fn a1() {
+    heading("A1 — ablation: grants-only semantics (requirements removed)");
+    let full = Pdp::new(a1_policy());
+    let ablated = Pdp::new(strip_requirements(&a1_policy()));
+    println!("{:<46} {:>10} {:>12}", "case", "full", "grants-only");
+    let mut wrongly_permitted = 0;
+    for (desc, request, expected) in a1_cases() {
+        let f = full.decide(&request).is_permit();
+        let g = ablated.decide(&request).is_permit();
+        assert_eq!(f, expected);
+        if g && !expected {
+            wrongly_permitted += 1;
+        }
+        println!("{desc:<46} {:>10} {:>12}", yesno(f), yesno(g));
+    }
+    println!("wrongly permitted without the requirement form: {wrongly_permitted}/4");
+}
+
+fn a3() {
+    heading("A3 — ablation: combining algorithm over the F3 matrix");
+    // Sources: a permissive local policy and Figure 3. Deny-overrides is
+    // the paper's model; the alternatives shift the permit set.
+    let local: gridauthz_core::Policy = gridauthz_sim::LOCAL_POLICY.parse().expect("local parses");
+    let make = |combiner| {
+        CombinedPdp::new(
+            vec![
+                PolicySource::new("local", PolicyOrigin::ResourceOwner, local.clone()),
+                PolicySource::new(
+                    "fig3",
+                    PolicyOrigin::VirtualOrganization("fusion".into()),
+                    paper::figure3_policy(),
+                ),
+            ],
+            combiner,
+        )
+    };
+    let cancel_case = AuthzRequest::manage(
+        paper::bo_liu(),
+        Action::Cancel,
+        paper::bo_liu(),
+        Some("ADS".into()),
+    );
+    println!("{:<18} {:>22} {:>26}", "combiner", "F3-matrix permits", "Bo cancels own ADS job");
+    for combiner in [Combiner::DenyOverrides, Combiner::PermitOverrides, Combiner::FirstApplicable]
+    {
+        let pdp = make(combiner);
+        // Re-evaluate the F3 matrix through the combined PDP.
+        let mut permitted = 0;
+        let matrix = gridauthz_bench::a3_matrix_requests();
+        let total = matrix.len();
+        for request in matrix {
+            if pdp.decide(&request).is_permit() {
+                permitted += 1;
+            }
+        }
+        println!(
+            "{:<18} {:>18}/{total} {:>26}",
+            format!("{combiner:?}"),
+            permitted,
+            yesno(pdp.decide(&cancel_case).is_permit())
+        );
+    }
+}
+
+fn main() {
+    println!("gridauthz experiment harness — reproducing Keahey et al., Middleware 2003");
+    f1_f2();
+    f3();
+    t1();
+    t2();
+    t3();
+    t4();
+    t5();
+    t6();
+    t7();
+    a1();
+    a3();
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,281 @@
+//! Shared fixtures for the gridauthz benchmark suite.
+//!
+//! Every experiment in DESIGN.md §5 (T1–T7, A1–A3) builds its inputs
+//! through this module so the criterion benches and the `harness` binary
+//! measure exactly the same configurations.
+
+use std::sync::Arc;
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_core::{
+    paper, Action, AuthzRequest, CalloutChain, CombinedPdp, Combiner, PdpCallout, Policy,
+    PolicyOrigin, PolicySource,
+};
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::Conjunction;
+use gridauthz_sim::{Testbed, TestbedBuilder};
+
+/// Deterministic member DN for index `i` (matches the testbed's scheme).
+pub fn member_dn(i: usize) -> DistinguishedName {
+    format!("{}/CN=Member {i:04}", paper::MCS_PREFIX)
+        .parse()
+        .expect("generated DN parses")
+}
+
+/// A policy with one group requirement and `n` exact-subject grant
+/// statements (the T2 scaling axis).
+pub fn policy_with_n_statements(n: usize) -> Policy {
+    let mut text = String::from("&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)\n");
+    for i in 0..n {
+        text.push_str(&format!(
+            "{}: &(action = start)(executable = TRANSP)(jobtag = NFC)(count < 16) &(action = cancel)(jobowner = self)\n",
+            member_dn(i)
+        ));
+    }
+    text.parse().expect("generated policy parses")
+}
+
+/// The sanctioned request of member `i` against the generated policy.
+pub fn sanctioned_request(i: usize) -> AuthzRequest {
+    AuthzRequest::start(member_dn(i), sanctioned_job())
+}
+
+/// The standard sanctioned job description.
+pub fn sanctioned_job() -> Conjunction {
+    parse_conj("&(executable = TRANSP)(jobtag = NFC)(count = 4)")
+}
+
+/// Parses a conjunction fixture.
+///
+/// # Panics
+///
+/// Panics on unparsable fixture text (benchmark misconfiguration).
+pub fn parse_conj(text: &str) -> Conjunction {
+    gridauthz_rsl::parse(text)
+        .expect("fixture RSL parses")
+        .as_conjunction()
+        .expect("fixture is a conjunction")
+        .clone()
+}
+
+/// A combined PDP with `n` deny-overrides sources, each the Figure 3
+/// policy plus a grant for member 0 (so the sanctioned request permits
+/// through every source) — the T3 scaling axis.
+pub fn combined_pdp_with_n_sources(n: usize) -> CombinedPdp {
+    let text = format!(
+        "{fig3}\n{member}: &(action = start)(executable = TRANSP)(jobtag = NFC)(count < 16)\n",
+        fig3 = paper::FIGURE3_TEXT,
+        member = member_dn(0)
+    );
+    let sources = (0..n)
+        .map(|i| {
+            PolicySource::new(
+                format!("source-{i}"),
+                PolicyOrigin::VirtualOrganization(format!("vo-{i}")),
+                text.parse().expect("generated policy parses"),
+            )
+        })
+        .collect();
+    CombinedPdp::new(sources, Combiner::DenyOverrides)
+}
+
+/// The callout chain configurations compared by T1, labelled.
+pub fn t1_callout_chains() -> Vec<(&'static str, CalloutChain)> {
+    let clock = SimClock::new();
+
+    // (a) empty chain = GT2's Job Manager (no policy evaluation).
+    let gt2 = CalloutChain::new();
+
+    // (b) the RSL PDP (local + VO policy, deny-overrides).
+    let mut rsl = CalloutChain::new();
+    rsl.push(Arc::new(PdpCallout::new("rsl-pdp", combined_pdp_with_n_sources(2))));
+
+    // (c) RSL PDP + Akenti.
+    let authority = gridauthz_akenti::AttributeAuthority::new("/O=Grid/CN=AA", &clock)
+        .expect("fixture DN parses");
+    let mut engine = gridauthz_akenti::AkentiEngine::new();
+    engine.trust_authority("group", &authority);
+    engine.add_use_condition(gridauthz_akenti::UseCondition::new(
+        "/O=LBL/CN=Stakeholder".parse().expect("fixture DN parses"),
+        "TRANSP",
+        [Action::Start, Action::Cancel],
+        vec![vec![("group".into(), "fusion".into())]],
+    ));
+    engine.deposit(authority.issue(&member_dn(0), "group", "fusion", SimDuration::from_hours(8)));
+    let mut akenti = CalloutChain::new();
+    akenti.push(Arc::new(PdpCallout::new("rsl-pdp", combined_pdp_with_n_sources(2))));
+    akenti.push(Arc::new(gridauthz_akenti::AkentiCallout::new(
+        "akenti",
+        Arc::new(engine),
+        clock,
+        gridauthz_akenti::ResourceNaming::Executable,
+    )));
+
+    // (d) RSL PDP + CAS restriction enforcement.
+    let mut cas = CalloutChain::new();
+    cas.push(Arc::new(PdpCallout::new("rsl-pdp", combined_pdp_with_n_sources(2))));
+    cas.push(Arc::new(gridauthz_cas::RestrictionCallout::new("cas-enforce")));
+
+    vec![("gt2-empty", gt2), ("pep-rsl", rsl), ("pep-rsl+akenti", akenti), ("pep-rsl+cas", cas)]
+}
+
+/// The request matching [`t1_callout_chains`]' member-0 fixtures; the CAS
+/// variant needs the capability payload attached.
+pub fn t1_request(with_cas_restriction: bool) -> AuthzRequest {
+    let request = sanctioned_request(0);
+    if with_cas_restriction {
+        request.with_restrictions(vec![
+            "*: &(action = start)(executable = TRANSP)(jobtag = NFC)(count < 16)".to_string(),
+        ])
+    } else {
+        request
+    }
+}
+
+/// A ready extended-mode testbed for submission-path measurements.
+pub fn extended_testbed(members: usize) -> Testbed {
+    TestbedBuilder::new().members(members).cluster(64, 16).build()
+}
+
+/// A GT2-mode testbed of the same shape.
+pub fn gt2_testbed(members: usize) -> Testbed {
+    TestbedBuilder::new()
+        .members(members)
+        .cluster(64, 16)
+        .mode(gridauthz_gram::GramMode::Gt2)
+        .build()
+}
+
+/// Strips requirement statements, leaving grants only — the A1 ablation
+/// ("what if the language had no requirement form?").
+pub fn strip_requirements(policy: &Policy) -> Policy {
+    Policy::from_statements(
+        policy
+            .statements()
+            .iter()
+            .filter(|s| s.role() == gridauthz_core::StatementRole::Grant)
+            .cloned()
+            .collect(),
+    )
+}
+
+/// The A1 policy: a VO requirement (mandatory jobtag, reserved queue off
+/// limits) over a grant that does *not* repeat those constraints —
+/// exactly the separation-of-concerns the requirement form exists for.
+pub fn a1_policy() -> Policy {
+    format!(
+        "&{prefix}: (action = start)(jobtag != NULL)(queue != reserved)\n\
+         {member}: &(action = start)(executable = TRANSP)(count < 16)\n",
+        prefix = paper::MCS_PREFIX,
+        member = member_dn(0)
+    )
+    .parse()
+    .expect("A1 policy parses")
+}
+
+/// The A1 decision cases: `(description, request, full-policy verdict)`.
+/// Cases where the grants-only ablation diverges are the wrongly-permitted
+/// requests DESIGN.md's A1 row counts.
+pub fn a1_cases() -> Vec<(&'static str, AuthzRequest, bool)> {
+    let member = member_dn(0);
+    vec![
+        (
+            "tagged job on an ordinary queue",
+            AuthzRequest::start(
+                member.clone(),
+                parse_conj("&(executable = TRANSP)(jobtag = NFC)(count = 4)(queue = batch)"),
+            ),
+            true,
+        ),
+        (
+            "untagged job (requirement: jobtag != NULL)",
+            AuthzRequest::start(
+                member.clone(),
+                parse_conj("&(executable = TRANSP)(count = 4)(queue = batch)"),
+            ),
+            false,
+        ),
+        (
+            "tagged job on the reserved queue",
+            AuthzRequest::start(
+                member.clone(),
+                parse_conj("&(executable = TRANSP)(jobtag = NFC)(count = 4)(queue = reserved)"),
+            ),
+            false,
+        ),
+        (
+            "unsanctioned executable",
+            AuthzRequest::start(
+                member,
+                parse_conj("&(executable = rogue)(jobtag = NFC)(count = 1)"),
+            ),
+            false,
+        ),
+    ]
+}
+
+/// The F3 matrix requests re-usable against *combined* PDPs (the A3
+/// ablation evaluates them under each combining algorithm).
+pub fn a3_matrix_requests() -> Vec<AuthzRequest> {
+    let bo = paper::bo_liu();
+    let kate = paper::kate_keahey();
+    let eve = paper::outsider();
+    vec![
+        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)")),
+        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)")),
+        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test1)(directory = /sandbox/test)(count = 2)")),
+        AuthzRequest::start(kate.clone(), parse_conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)")),
+        AuthzRequest::manage(kate.clone(), Action::Cancel, bo.clone(), Some("NFC".into())),
+        AuthzRequest::manage(kate.clone(), Action::Cancel, bo.clone(), Some("ADS".into())),
+        AuthzRequest::manage(bo.clone(), Action::Cancel, kate, Some("NFC".into())),
+        AuthzRequest::start(eve, parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+        AuthzRequest::manage(bo.clone(), Action::Cancel, bo, Some("ADS".into())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_core::Pdp;
+
+    #[test]
+    fn generated_policy_scales_and_decides() {
+        let policy = policy_with_n_statements(50);
+        assert_eq!(policy.len(), 51);
+        let pdp = Pdp::new(policy);
+        assert!(pdp.decide(&sanctioned_request(25)).is_permit());
+        assert!(!pdp.decide(&sanctioned_request(51)).is_permit());
+    }
+
+    #[test]
+    fn combined_sources_all_permit_member0() {
+        for n in [1, 4, 8] {
+            let pdp = combined_pdp_with_n_sources(n);
+            assert!(pdp.decide(&sanctioned_request(0)).is_permit(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn every_t1_chain_permits_its_request() {
+        for (label, chain) in t1_callout_chains() {
+            let request = t1_request(label.contains("cas"));
+            assert!(chain.authorize(&request).is_ok(), "chain {label}");
+        }
+    }
+
+    #[test]
+    fn a1_ablation_wrongly_permits_requirement_blocked_cases() {
+        let full = Pdp::new(a1_policy());
+        let ablated = Pdp::new(strip_requirements(&a1_policy()));
+        let mut wrongly_permitted = 0;
+        for (desc, request, expected) in a1_cases() {
+            assert_eq!(full.decide(&request).is_permit(), expected, "full policy: {desc}");
+            if ablated.decide(&request).is_permit() && !expected {
+                wrongly_permitted += 1;
+            }
+        }
+        // Exactly the two requirement-blocked cases flip.
+        assert_eq!(wrongly_permitted, 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! A simulated **Community Authorization Service (CAS)** (Pearlman et
+//! al.), the second third-party system the paper integrates through its
+//! callout API ("we are also experimenting with the Community
+//! Authorization Service").
+//!
+//! The CAS model, reproduced here:
+//!
+//! * The VO runs a CAS server holding its *own* Grid credential. Resource
+//!   providers grant rights to the **community** as a whole (the CAS
+//!   identity appears in local policy / the grid-mapfile).
+//! * A member authenticates to the CAS and receives a **restricted proxy
+//!   of the CAS credential** whose embedded policy states exactly what
+//!   that member may do — the member's capabilities.
+//! * The resource validates the proxy chain (it leads to the CAS
+//!   identity), applies local policy to the community identity, and then
+//!   enforces the **embedded policy** on the request: effective rights are
+//!   the *intersection* of community rights and member capabilities.
+//!
+//! The embedded policy is written in the paper's own policy language with
+//! holder-relative (`*`) subjects, demonstrating the generality the paper
+//! claims for its RSL-based scheme.
+//!
+//! # Example
+//!
+//! ```
+//! use gridauthz_cas::CasServer;
+//! use gridauthz_clock::{SimClock, SimDuration};
+//! use gridauthz_credential::CertificateAuthority;
+//! use gridauthz_vo::{Role, RoleProfile, VirtualOrganization};
+//!
+//! let clock = SimClock::new();
+//! let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock)?;
+//! let cas_cred = ca.issue_identity("/O=Grid/CN=Fusion CAS", SimDuration::from_hours(100))?;
+//!
+//! let mut vo = VirtualOrganization::new("fusion");
+//! vo.define_role(RoleProfile::parse_rules(
+//!     Role::new("analyst"),
+//!     &["&(action = start)(executable = TRANSP)(jobtag = NFC)"],
+//! )?);
+//! vo.add_member("/O=Grid/CN=Kate".parse()?, [Role::new("analyst")])?;
+//!
+//! let cas = CasServer::new(cas_cred, vo, &clock);
+//! let proxy = cas.issue_proxy(&"/O=Grid/CN=Kate".parse()?, SimDuration::from_hours(2))?;
+//! assert_eq!(proxy.identity().to_string(), "/O=Grid/CN=Fusion CAS");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod callout;
+mod server;
+
+pub use callout::RestrictionCallout;
+pub use server::{CasError, CasServer};

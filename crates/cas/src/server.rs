@@ -1,0 +1,244 @@
+//! The CAS server: issues capability-bearing restricted proxies.
+
+use std::error::Error;
+use std::fmt;
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_core::{Policy, PolicyStatement, StatementRole, SubjectMatcher};
+use gridauthz_credential::{Credential, CredentialError, DistinguishedName};
+use gridauthz_vo::VirtualOrganization;
+
+/// Errors from CAS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasError {
+    /// The requesting identity is not a member of the community.
+    NotAMember(String),
+    /// The member holds no roles, so there are no capabilities to embed.
+    NoCapabilities(String),
+    /// Proxy creation failed.
+    Credential(CredentialError),
+}
+
+impl fmt::Display for CasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CasError::NotAMember(dn) => write!(f, "{dn} is not a community member"),
+            CasError::NoCapabilities(dn) => write!(f, "{dn} holds no community capabilities"),
+            CasError::Credential(e) => write!(f, "credential operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CasError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CasError::Credential(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CredentialError> for CasError {
+    fn from(e: CredentialError) -> Self {
+        CasError::Credential(e)
+    }
+}
+
+/// The community authorization server.
+#[derive(Debug)]
+pub struct CasServer {
+    credential: Credential,
+    vo: VirtualOrganization,
+    clock: SimClock,
+}
+
+impl CasServer {
+    /// Creates a CAS server for community `vo`, speaking as `credential`.
+    pub fn new(credential: Credential, vo: VirtualOrganization, clock: &SimClock) -> CasServer {
+        CasServer { credential, vo, clock: clock.clone() }
+    }
+
+    /// The CAS's own Grid identity — what resource providers authorize.
+    pub fn identity(&self) -> DistinguishedName {
+        self.credential.identity()
+    }
+
+    /// The community this server speaks for.
+    pub fn community(&self) -> &VirtualOrganization {
+        &self.vo
+    }
+
+    /// Mutable access to the community (administration).
+    pub fn community_mut(&mut self) -> &mut VirtualOrganization {
+        &mut self.vo
+    }
+
+    /// The capability policy CAS would embed for `member`: the VO's
+    /// requirements plus the member's role grants, rewritten to
+    /// holder-relative (`*`) subjects.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::NotAMember`] / [`CasError::NoCapabilities`].
+    pub fn capabilities_for(&self, member: &DistinguishedName) -> Result<Policy, CasError> {
+        if !self.vo.is_member(member) {
+            return Err(CasError::NotAMember(member.to_string()));
+        }
+        let full = self.vo.generate_policy();
+        let mut statements = Vec::new();
+        for statement in full.statements() {
+            match statement.role() {
+                StatementRole::Requirement => statements.push(statement.clone()),
+                StatementRole::Grant => {
+                    if statement.applies_to(member) {
+                        statements.push(PolicyStatement::new(
+                            SubjectMatcher::Any,
+                            StatementRole::Grant,
+                            statement.rules().to_vec(),
+                        ));
+                    }
+                }
+            }
+        }
+        if !statements.iter().any(|s| s.role() == StatementRole::Grant) {
+            return Err(CasError::NoCapabilities(member.to_string()));
+        }
+        Ok(Policy::from_statements(statements))
+    }
+
+    /// Authenticates `member` and issues a restricted proxy of the CAS
+    /// credential embedding their capability policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError`] when the member is unknown, has no capabilities, or
+    /// proxy creation fails.
+    pub fn issue_proxy(
+        &self,
+        member: &DistinguishedName,
+        lifetime: SimDuration,
+    ) -> Result<Credential, CasError> {
+        let capabilities = self.capabilities_for(member)?;
+        let proxy = self.credential.delegate_restricted_proxy(
+            self.clock.now(),
+            lifetime,
+            capabilities.to_string(),
+        )?;
+        Ok(proxy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_credential::{verify_chain, CertificateAuthority, TrustStore};
+    use gridauthz_vo::{Role, RoleProfile};
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn fixture() -> (SimClock, CertificateAuthority, CasServer) {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+        let cred = ca
+            .issue_identity("/O=Grid/CN=Fusion CAS", SimDuration::from_hours(1000))
+            .unwrap();
+        let mut vo = VirtualOrganization::new("fusion");
+        vo.define_role(
+            RoleProfile::parse_rules(
+                Role::new("analyst"),
+                &["&(action = start)(executable = TRANSP)(jobtag = NFC)(count < 32)"],
+            )
+            .unwrap(),
+        );
+        vo.define_role(
+            RoleProfile::parse_rules(Role::new("admin"), &["&(action = cancel)(jobtag = NFC)"])
+                .unwrap(),
+        );
+        vo.require("&(action = start)(jobtag != NULL)").unwrap();
+        vo.add_member(dn("/O=Grid/CN=Kate"), [Role::new("analyst")]).unwrap();
+        vo.add_member(dn("/O=Grid/CN=Boss"), [Role::new("admin")]).unwrap();
+        vo.add_member(dn("/O=Grid/CN=Idle"), []).unwrap();
+        let cas = CasServer::new(cred, vo, &clock);
+        (clock, ca, cas)
+    }
+
+    #[test]
+    fn capabilities_are_holder_relative() {
+        let (_, _, cas) = fixture();
+        let caps = cas.capabilities_for(&dn("/O=Grid/CN=Kate")).unwrap();
+        // 1 requirement + 1 grant, grant rewritten to `*`.
+        assert_eq!(caps.len(), 2);
+        assert!(caps
+            .statements()
+            .iter()
+            .filter(|s| s.role() == StatementRole::Grant)
+            .all(|s| s.subject() == &SubjectMatcher::Any));
+    }
+
+    #[test]
+    fn capabilities_differ_per_member() {
+        let (_, _, cas) = fixture();
+        let kate = cas.capabilities_for(&dn("/O=Grid/CN=Kate")).unwrap();
+        let boss = cas.capabilities_for(&dn("/O=Grid/CN=Boss")).unwrap();
+        assert_ne!(kate, boss);
+    }
+
+    #[test]
+    fn nonmembers_and_idle_members_are_refused() {
+        let (_, _, cas) = fixture();
+        assert_eq!(
+            cas.capabilities_for(&dn("/O=Grid/CN=Eve")),
+            Err(CasError::NotAMember("/O=Grid/CN=Eve".into()))
+        );
+        assert_eq!(
+            cas.capabilities_for(&dn("/O=Grid/CN=Idle")),
+            Err(CasError::NoCapabilities("/O=Grid/CN=Idle".into()))
+        );
+    }
+
+    #[test]
+    fn issued_proxy_chains_to_cas_identity_and_carries_policy() {
+        let (clock, ca, cas) = fixture();
+        let proxy = cas
+            .issue_proxy(&dn("/O=Grid/CN=Kate"), SimDuration::from_hours(2))
+            .unwrap();
+
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let verified = verify_chain(proxy.chain(), &trust, clock.now()).unwrap();
+        assert_eq!(verified.subject(), &cas.identity());
+        assert_eq!(verified.restrictions().len(), 1);
+        let embedded: Policy = verified.restrictions()[0].value.parse().unwrap();
+        assert_eq!(embedded, cas.capabilities_for(&dn("/O=Grid/CN=Kate")).unwrap());
+    }
+
+    #[test]
+    fn membership_changes_apply_to_future_proxies() {
+        let (_, _, mut cas) = fixture();
+        let kate = dn("/O=Grid/CN=Kate");
+        // Granting Kate the admin role widens her next capability set.
+        let before = cas.capabilities_for(&kate).unwrap();
+        cas.community_mut().grant_role(&kate, gridauthz_vo::Role::new("admin")).unwrap();
+        let after = cas.capabilities_for(&kate).unwrap();
+        assert!(after.len() > before.len());
+        // Removing her ends proxy issuance entirely.
+        cas.community_mut().remove_member(&kate).unwrap();
+        assert!(matches!(
+            cas.issue_proxy(&kate, SimDuration::from_hours(1)),
+            Err(CasError::NotAMember(_))
+        ));
+    }
+
+    #[test]
+    fn proxy_lifetime_is_requested_lifetime() {
+        let (clock, _, cas) = fixture();
+        clock.advance(SimDuration::from_secs(100));
+        let proxy = cas
+            .issue_proxy(&dn("/O=Grid/CN=Kate"), SimDuration::from_secs(600))
+            .unwrap();
+        assert_eq!(proxy.certificate().validity().not_before.as_secs(), 100);
+        assert_eq!(proxy.certificate().validity().not_after.as_secs(), 700);
+    }
+}

@@ -1,0 +1,338 @@
+//! Simulated time for the gridauthz testbed.
+//!
+//! Everything in this workspace that needs a notion of "now" — certificate
+//! validity windows, dynamic-account leases, scheduler events, time-varying
+//! VO policy — reads a [`SimClock`] instead of the wall clock. This keeps
+//! every test and benchmark deterministic and lets scenarios fast-forward
+//! through hours of simulated operation in microseconds of real time.
+//!
+//! # Example
+//!
+//! ```
+//! use gridauthz_clock::{SimClock, SimDuration};
+//!
+//! let clock = SimClock::new();
+//! let t0 = clock.now();
+//! clock.advance(SimDuration::from_secs(30));
+//! assert_eq!(clock.now() - t0, SimDuration::from_secs(30));
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An instant of simulated time, measured in microseconds since the start
+/// of the simulation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const EPOCH: SimTime = SimTime(0);
+    /// The largest representable instant; useful as a "never expires" marker.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from microseconds since the simulation epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Builds an instant from whole seconds since the simulation epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since the simulation epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the simulation epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}.{:06}s", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Builds a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000_000)
+    }
+
+    /// Builds a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000_000)
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in this duration (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// True when this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the duration by a scalar, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A shared, thread-safe simulated clock.
+///
+/// Cloning a `SimClock` yields another handle to the *same* clock: advancing
+/// one handle is visible through all of them.
+///
+/// # Example
+///
+/// ```
+/// use gridauthz_clock::{SimClock, SimDuration, SimTime};
+///
+/// let clock = SimClock::new();
+/// let view = clock.clone();
+/// clock.advance(SimDuration::from_mins(5));
+/// assert_eq!(view.now(), SimTime::from_secs(300));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock positioned at [`SimTime::EPOCH`].
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Creates a clock positioned at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        SimClock {
+            micros: Arc::new(AtomicU64::new(start.as_micros())),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.micros.load(Ordering::SeqCst))
+    }
+
+    /// Moves the clock forward by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        SimTime(self.micros.fetch_add(d.as_micros(), Ordering::SeqCst) + d.as_micros())
+    }
+
+    /// Moves the clock forward *to* `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current instant — simulated time
+    /// never flows backwards.
+    pub fn advance_to(&self, t: SimTime) {
+        let prev = self.micros.swap(t.as_micros(), Ordering::SeqCst);
+        assert!(
+            prev <= t.as_micros(),
+            "SimClock::advance_to would move time backwards ({} -> {})",
+            SimTime(prev),
+            t
+        );
+    }
+
+    /// True when both handles observe the same underlying clock.
+    pub fn same_clock(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.micros, &other.micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(SimTime::EPOCH.as_micros(), 0);
+        assert_eq!(SimClock::new().now(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn constructors_convert_units() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_mins(2).as_secs(), 120);
+        assert_eq!(SimDuration::from_hours(1).as_secs(), 3600);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(4);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t + d, SimTime::from_secs(14));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let clock = SimClock::new();
+        let view = clock.clone();
+        clock.advance(SimDuration::from_secs(7));
+        assert_eq!(view.now(), SimTime::from_secs(7));
+        assert!(clock.same_clock(&view));
+        assert!(!clock.same_clock(&SimClock::new()));
+    }
+
+    #[test]
+    fn advance_returns_new_now() {
+        let clock = SimClock::new();
+        let t = clock.advance(SimDuration::from_secs(3));
+        assert_eq!(t, clock.now());
+        assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn advance_to_moves_forward() {
+        let clock = SimClock::new();
+        clock.advance_to(SimTime::from_secs(9));
+        assert_eq!(clock.now(), SimTime::from_secs(9));
+        // advancing to the same instant is allowed
+        clock.advance_to(SimTime::from_secs(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "move time backwards")]
+    fn advance_to_rejects_backwards() {
+        let clock = SimClock::starting_at(SimTime::from_secs(10));
+        clock.advance_to(SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_micros(1_500_000).to_string(), "t+1.500000s");
+        assert_eq!(SimDuration::from_micros(42).to_string(), "0.000042s");
+    }
+
+    #[test]
+    fn duration_scalar_mul() {
+        assert_eq!(
+            SimDuration::from_secs(2).saturating_mul(3),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn clock_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
+    }
+}

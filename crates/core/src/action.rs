@@ -1,0 +1,97 @@
+//! The `action` attribute values introduced by the paper (§5.1): what the
+//! requester wants to do with a job.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::PolicyParseError;
+
+/// A GRAM job operation, as carried in the `action` policy attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Action {
+    /// Initiate a job.
+    Start,
+    /// Cancel a running or pending job.
+    Cancel,
+    /// Query job status ("provide status" / "request information").
+    Information,
+    /// Deliver a management signal (suspend, resume, change priority, ...).
+    Signal,
+}
+
+impl Action {
+    /// All actions, in paper order.
+    pub const ALL: [Action; 4] = [Action::Start, Action::Cancel, Action::Information, Action::Signal];
+
+    /// The lowercase policy-attribute form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Action::Start => "start",
+            Action::Cancel => "cancel",
+            Action::Information => "information",
+            Action::Signal => "signal",
+        }
+    }
+
+    /// True for actions that manage an *existing* job (everything except
+    /// `start`) — these are authorized against the job's recorded owner
+    /// and jobtag.
+    pub fn is_management(self) -> bool {
+        !matches!(self, Action::Start)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Action {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "start" => Ok(Action::Start),
+            "cancel" => Ok(Action::Cancel),
+            "information" | "status" | "query" => Ok(Action::Information),
+            "signal" => Ok(Action::Signal),
+            other => Err(PolicyParseError::new(
+                0,
+                format!("unknown action {other:?} (expected start/cancel/information/signal)"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_strings() {
+        for action in Action::ALL {
+            assert_eq!(action.as_str().parse::<Action>().unwrap(), action);
+        }
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive_and_accepts_aliases() {
+        assert_eq!("START".parse::<Action>().unwrap(), Action::Start);
+        assert_eq!("status".parse::<Action>().unwrap(), Action::Information);
+        assert_eq!("query".parse::<Action>().unwrap(), Action::Information);
+    }
+
+    #[test]
+    fn rejects_unknown_action() {
+        assert!("reboot".parse::<Action>().is_err());
+    }
+
+    #[test]
+    fn management_classification() {
+        assert!(!Action::Start.is_management());
+        assert!(Action::Cancel.is_management());
+        assert!(Action::Information.is_management());
+        assert!(Action::Signal.is_management());
+    }
+}

@@ -1,0 +1,296 @@
+//! Static policy analysis and what-if queries.
+//!
+//! §6.3 of the paper reports that "expressing policies in these terms is
+//! not natural to this community" and that the RSL syntax "is not
+//! supported by standard policy tools". This module is the tooling the
+//! prototype lacked: it finds rules that can never match (so typos fail
+//! loudly at deploy time instead of silently denying), lists dormant
+//! subjects, and answers "who may do X?" questions by evaluation.
+
+use std::collections::BTreeSet;
+
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::{attributes, Conjunction, RelOp, Relation, Value};
+
+use crate::eval::Pdp;
+use crate::policy::Policy;
+use crate::request::AuthzRequest;
+use crate::statement::StatementRole;
+
+/// A defect found in a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyFinding {
+    /// Index of the offending statement.
+    pub statement: usize,
+    /// Index of the offending rule within the statement, when applicable.
+    pub rule: Option<usize>,
+    /// What is wrong.
+    pub kind: FindingKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// The kinds of defects the analyzer reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A rule contains relations no request can satisfy simultaneously;
+    /// the rule is dead (and, in a grant, silently useless).
+    UnsatisfiableRule,
+    /// An ordering relation compares against a non-numeric value; it can
+    /// never hold (and denies whole requirements).
+    MalformedComparison,
+    /// Two statements are byte-identical (likely a copy/paste slip).
+    DuplicateStatement,
+}
+
+/// Analyzes policies without evaluating live requests.
+#[derive(Debug, Clone)]
+pub struct PolicyAnalyzer<'a> {
+    policy: &'a Policy,
+}
+
+impl<'a> PolicyAnalyzer<'a> {
+    /// Wraps `policy` for analysis.
+    pub fn new(policy: &'a Policy) -> Self {
+        PolicyAnalyzer { policy }
+    }
+
+    /// Runs every check and returns the findings, in statement order.
+    pub fn findings(&self) -> Vec<PolicyFinding> {
+        let mut findings = Vec::new();
+        for (si, statement) in self.policy.statements().iter().enumerate() {
+            for (ri, rule) in statement.rules().iter().enumerate() {
+                if let Some(detail) = unsatisfiable_reason(rule) {
+                    findings.push(PolicyFinding {
+                        statement: si,
+                        rule: Some(ri),
+                        kind: FindingKind::UnsatisfiableRule,
+                        detail,
+                    });
+                }
+                for relation in rule.relations() {
+                    if relation.op().is_ordering()
+                        && relation.values().first().and_then(Value::as_int).is_none()
+                    {
+                        findings.push(PolicyFinding {
+                            statement: si,
+                            rule: Some(ri),
+                            kind: FindingKind::MalformedComparison,
+                            detail: format!("ordering against non-numeric value: {relation}"),
+                        });
+                    }
+                }
+            }
+            for (sj, other) in self.policy.statements().iter().enumerate().skip(si + 1) {
+                if statement == other {
+                    findings.push(PolicyFinding {
+                        statement: sj,
+                        rule: None,
+                        kind: FindingKind::DuplicateStatement,
+                        detail: format!("duplicates statement {si}"),
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// Exact-DN subjects that appear only in requirements — members the
+    /// VO constrains but grants nothing to (often a sign of a mistyped
+    /// grant subject).
+    pub fn subjects_without_grants(&self, subjects: &[DistinguishedName]) -> Vec<DistinguishedName> {
+        subjects
+            .iter()
+            .filter(|dn| {
+                !self
+                    .policy
+                    .statements()
+                    .iter()
+                    .any(|s| s.role() == StatementRole::Grant && s.applies_to(dn))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// What-if query: which of `subjects` would be permitted to make
+    /// `request`? Evaluates the real PDP per subject, so the answer is
+    /// exact by construction.
+    pub fn who_may(
+        &self,
+        subjects: &[DistinguishedName],
+        request: &AuthzRequest,
+    ) -> Vec<DistinguishedName> {
+        let pdp = Pdp::new(self.policy.clone());
+        subjects
+            .iter()
+            .filter(|dn| pdp.decide(&request.clone().with_subject((*dn).clone())).is_permit())
+            .cloned()
+            .collect()
+    }
+}
+
+/// Why `rule` can never be satisfied, if it cannot.
+fn unsatisfiable_reason(rule: &Conjunction) -> Option<String> {
+    let attribute_names: BTreeSet<&str> =
+        rule.relations().map(|r| r.attribute().as_str()).collect();
+
+    for attr in attribute_names {
+        let relations: Vec<&Relation> = rule.relations_for(attr).collect();
+
+        // `= NULL` (must be absent) combined with any presence-requiring
+        // relation.
+        let requires_absence = relations
+            .iter()
+            .any(|r| r.op() == RelOp::Eq && is_null(r));
+        let requires_presence = relations.iter().any(|r| {
+            (r.op() == RelOp::Ne && is_null(r))
+                || (r.op() == RelOp::Eq && !is_null(r))
+                || r.op().is_ordering()
+        });
+        if requires_absence && requires_presence {
+            return Some(format!("{attr}: required both absent (= NULL) and present"));
+        }
+
+        // Two Eq relations with disjoint allowed sets.
+        let eq_sets: Vec<&[Value]> = relations
+            .iter()
+            .filter(|r| r.op() == RelOp::Eq && !is_null(r))
+            .map(|r| r.values())
+            .collect();
+        if eq_sets.len() >= 2 {
+            let first = eq_sets[0];
+            for other in &eq_sets[1..] {
+                if !first.iter().any(|v| other.contains(v)) {
+                    return Some(format!("{attr}: '=' relations with disjoint value sets"));
+                }
+            }
+        }
+
+        // Contradictory integer bounds: the allowed interval is empty.
+        let mut lower = i64::MIN; // value must be > lower-ish
+        let mut upper = i64::MAX;
+        for r in &relations {
+            let Some(bound) = r.values().first().and_then(Value::as_int) else {
+                continue;
+            };
+            match r.op() {
+                RelOp::Lt => upper = upper.min(bound.saturating_sub(1)),
+                RelOp::Le => upper = upper.min(bound),
+                RelOp::Gt => lower = lower.max(bound.saturating_add(1)),
+                RelOp::Ge => lower = lower.max(bound),
+                RelOp::Eq => {
+                    lower = lower.max(bound);
+                    upper = upper.min(bound);
+                }
+                RelOp::Ne => {}
+            }
+        }
+        if lower > upper {
+            return Some(format!("{attr}: numeric bounds admit no value"));
+        }
+    }
+
+    None
+}
+
+fn is_null(r: &Relation) -> bool {
+    r.values().len() == 1 && r.values()[0].as_str() == Some(attributes::NULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::paper;
+    use gridauthz_rsl::parse;
+
+    fn analyze(text: &str) -> Vec<PolicyFinding> {
+        let policy: Policy = text.parse().unwrap();
+        PolicyAnalyzer::new(&policy).findings()
+    }
+
+    #[test]
+    fn figure3_is_clean() {
+        let policy = paper::figure3_policy();
+        assert!(PolicyAnalyzer::new(&policy).findings().is_empty());
+    }
+
+    #[test]
+    fn detects_absence_presence_contradiction() {
+        let findings = analyze("/O=G/CN=A: &(action = start)(jobtag = NULL)(jobtag != NULL)");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::UnsatisfiableRule);
+        assert!(findings[0].detail.contains("jobtag"));
+    }
+
+    #[test]
+    fn detects_disjoint_eq_sets() {
+        let findings =
+            analyze("/O=G/CN=A: &(action = start)(executable = a b)(executable = c)");
+        assert!(findings.iter().any(|f| f.kind == FindingKind::UnsatisfiableRule));
+        // Overlapping sets are fine.
+        assert!(analyze("/O=G/CN=A: &(action = start)(executable = a b)(executable = b c)")
+            .is_empty());
+    }
+
+    #[test]
+    fn detects_empty_numeric_interval() {
+        let findings = analyze("/O=G/CN=A: &(action = start)(count < 2)(count > 5)");
+        assert!(findings.iter().any(|f| f.kind == FindingKind::UnsatisfiableRule));
+        assert!(analyze("/O=G/CN=A: &(action = start)(count > 2)(count < 5)").is_empty());
+        // Eq inside bounds is fine; outside is dead.
+        assert!(analyze("/O=G/CN=A: &(action = start)(count = 3)(count < 5)").is_empty());
+        let dead = analyze("/O=G/CN=A: &(action = start)(count = 7)(count < 5)");
+        assert!(dead.iter().any(|f| f.kind == FindingKind::UnsatisfiableRule));
+    }
+
+    #[test]
+    fn detects_malformed_comparison() {
+        let findings = analyze("/O=G/CN=A: &(action = start)(count < lots)");
+        assert!(findings.iter().any(|f| f.kind == FindingKind::MalformedComparison));
+    }
+
+    #[test]
+    fn detects_duplicate_statements() {
+        let findings = analyze(
+            "/O=G/CN=A: &(action = start)(executable = x)\n/O=G/CN=A: &(action = start)(executable = x)",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::DuplicateStatement);
+        assert_eq!(findings[0].statement, 1);
+    }
+
+    #[test]
+    fn subjects_without_grants_lists_dormant_members() {
+        let policy: Policy = paper::FIGURE3_TEXT.parse().unwrap();
+        let analyzer = PolicyAnalyzer::new(&policy);
+        let ghost: DistinguishedName =
+            format!("{}/CN=Ghost Member", paper::MCS_PREFIX).parse().unwrap();
+        let subjects = vec![paper::bo_liu(), paper::kate_keahey(), ghost.clone()];
+        assert_eq!(analyzer.subjects_without_grants(&subjects), vec![ghost]);
+    }
+
+    #[test]
+    fn who_may_answers_management_questions() {
+        let policy = paper::figure3_policy();
+        let analyzer = PolicyAnalyzer::new(&policy);
+        let subjects = vec![paper::bo_liu(), paper::kate_keahey(), paper::outsider()];
+        // Who may cancel an NFC job started by Bo?
+        let request = AuthzRequest::manage(
+            paper::bo_liu(), // placeholder subject, replaced per candidate
+            Action::Cancel,
+            paper::bo_liu(),
+            Some("NFC".into()),
+        );
+        assert_eq!(analyzer.who_may(&subjects, &request), vec![paper::kate_keahey()]);
+
+        // Who may start test1 from the sandbox with tag ADS, 2 cpus?
+        let job = parse("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")
+            .unwrap()
+            .as_conjunction()
+            .unwrap()
+            .clone();
+        let request = AuthzRequest::start(paper::outsider(), job);
+        assert_eq!(analyzer.who_may(&subjects, &request), vec![paper::bo_liu()]);
+    }
+}

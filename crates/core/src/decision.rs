@@ -1,0 +1,154 @@
+//! Authorization decisions and typed denial reasons.
+//!
+//! The paper extended the GRAM protocol "to return authorization errors
+//! describing reasons for authorization denial" (§5.2); [`DenyReason`] is
+//! that vocabulary.
+
+use std::fmt;
+
+/// The outcome of evaluating one policy against one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The request is authorized. Carries the index of the grant statement
+    /// (within its policy) that matched, for audit trails.
+    Permit {
+        /// Index of the matching grant statement in the policy.
+        statement: usize,
+    },
+    /// The request is not authorized.
+    Deny(DenyReason),
+}
+
+impl Decision {
+    /// Convenience constructor for a permit.
+    pub fn permit(statement: usize) -> Decision {
+        Decision::Permit { statement }
+    }
+
+    /// True when the decision is a permit.
+    pub fn is_permit(&self) -> bool {
+        matches!(self, Decision::Permit { .. })
+    }
+
+    /// The denial reason, when denied.
+    pub fn deny_reason(&self) -> Option<&DenyReason> {
+        match self {
+            Decision::Deny(reason) => Some(reason),
+            Decision::Permit { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Permit { statement } => write!(f, "permit (statement {statement})"),
+            Decision::Deny(reason) => write!(f, "deny: {reason}"),
+        }
+    }
+}
+
+/// Why a request was denied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DenyReason {
+    /// No grant statement applicable to the subject matched the request —
+    /// the default-deny outcome.
+    NoApplicableGrant,
+    /// A requirement statement applied and one of its relations was not
+    /// satisfied (e.g. the mandatory `jobtag != NULL`).
+    RequirementViolated {
+        /// Index of the violated requirement statement in the policy.
+        statement: usize,
+        /// Canonical text of the violated relation.
+        relation: String,
+    },
+    /// The request used an attribute/operator combination the evaluator
+    /// cannot satisfy (e.g. an ordering comparison on a non-numeric value).
+    MalformedComparison {
+        /// Canonical text of the offending relation.
+        relation: String,
+    },
+    /// A restricted proxy's embedded policy (the CAS model) did not permit
+    /// the request, even though the site policy did.
+    RestrictionViolated {
+        /// Which restriction payload denied.
+        detail: String,
+    },
+    /// The requester authenticated with a limited proxy, which GT2 refuses
+    /// for job startup.
+    LimitedProxy,
+    /// The requester is not in the grid-mapfile (GT2 baseline denial).
+    NotInGridMap,
+    /// GT2's static management rule: only the user who initiated a job
+    /// may manage it (§4.2). The fine-grain system replaces this with
+    /// policy.
+    NotJobOwner,
+    /// Denied by an upstream combined source.
+    SourceDenied {
+        /// The denying policy source's name.
+        source: String,
+        /// That source's own reason.
+        reason: Box<DenyReason>,
+    },
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenyReason::NoApplicableGrant => {
+                write!(f, "no applicable grant (policies are default-deny)")
+            }
+            DenyReason::RequirementViolated { statement, relation } => {
+                write!(f, "requirement statement {statement} violated: {relation}")
+            }
+            DenyReason::MalformedComparison { relation } => {
+                write!(f, "malformed comparison: {relation}")
+            }
+            DenyReason::RestrictionViolated { detail } => {
+                write!(f, "credential restriction violated: {detail}")
+            }
+            DenyReason::LimitedProxy => write!(f, "limited proxy cannot start jobs"),
+            DenyReason::NotInGridMap => write!(f, "subject not present in grid-mapfile"),
+            DenyReason::NotJobOwner => {
+                write!(f, "only the job initiator may manage a job (GT2 static policy)")
+            }
+            DenyReason::SourceDenied { source, reason } => {
+                write!(f, "policy source {source:?} denied: {reason}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permit_accessors() {
+        let d = Decision::permit(3);
+        assert!(d.is_permit());
+        assert_eq!(d.deny_reason(), None);
+        assert!(d.to_string().contains("statement 3"));
+    }
+
+    #[test]
+    fn deny_accessors() {
+        let d = Decision::Deny(DenyReason::NoApplicableGrant);
+        assert!(!d.is_permit());
+        assert!(d.deny_reason().is_some());
+    }
+
+    #[test]
+    fn nested_source_denial_displays_chain() {
+        let d = DenyReason::SourceDenied {
+            source: "vo".into(),
+            reason: Box::new(DenyReason::RequirementViolated {
+                statement: 0,
+                relation: "(jobtag != NULL)".into(),
+            }),
+        };
+        let text = d.to_string();
+        assert!(text.contains("vo"));
+        assert!(text.contains("jobtag"));
+    }
+}

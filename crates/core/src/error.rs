@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::decision::DenyReason;
+
+/// A policy-file (or callout-config) parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    line: usize,
+    message: String,
+}
+
+impl PolicyParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        PolicyParseError { line, message: message.into() }
+    }
+
+    /// 1-based line number (0 when not line-specific).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "policy parse error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "policy parse error: {}", self.message)
+        }
+    }
+}
+
+impl Error for PolicyParseError {}
+
+/// The failure channel of the authorization callout API (§5.2): the paper
+/// extended the GRAM protocol to distinguish *authorization denial* (with a
+/// reason) from *authorization-system failure*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthzFailure {
+    /// The request was evaluated and denied.
+    Denied(DenyReason),
+    /// The authorization system itself failed (misconfigured callout,
+    /// unreachable policy source, ...). Resources fail *closed* on this.
+    SystemError(String),
+}
+
+impl AuthzFailure {
+    /// True for policy denials (as opposed to system faults).
+    pub fn is_denial(&self) -> bool {
+        matches!(self, AuthzFailure::Denied(_))
+    }
+}
+
+impl fmt::Display for AuthzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthzFailure::Denied(reason) => write!(f, "authorization denied: {reason}"),
+            AuthzFailure::SystemError(msg) => write!(f, "authorization system failure: {msg}"),
+        }
+    }
+}
+
+impl Error for AuthzFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display() {
+        let e = PolicyParseError::new(3, "bad subject");
+        assert!(e.to_string().contains("line 3"));
+        let e0 = PolicyParseError::new(0, "empty policy");
+        assert!(!e0.to_string().contains("line"));
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert!(AuthzFailure::Denied(DenyReason::NoApplicableGrant).is_denial());
+        assert!(!AuthzFailure::SystemError("x".into()).is_denial());
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PolicyParseError>();
+        assert_err::<AuthzFailure>();
+    }
+}

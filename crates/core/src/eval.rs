@@ -1,0 +1,423 @@
+//! The policy decision point (PDP): evaluates one [`Policy`] against one
+//! [`AuthzRequest`] under the paper's semantics (§5.1).
+//!
+//! * **Default-deny**: "unless a specific stipulation has been made, an
+//!   action will not be allowed."
+//! * **Grants**: a request is permitted only if at least one grant
+//!   conjunction matches in full.
+//! * **Requirements**: every requirement conjunction applicable to the
+//!   subject *and* to the request's action must be satisfied ("the job
+//!   request is required to contain a particular attribute ...").
+//! * **Special values**: `NULL` (with `!=`: must be present; with `=`:
+//!   must be absent) and `self` (resolves to the requester's identity).
+
+use gridauthz_rsl::{attributes, Relation, Value};
+
+use crate::decision::{Decision, DenyReason};
+use crate::index::SubjectIndex;
+use crate::policy::Policy;
+use crate::request::AuthzRequest;
+use crate::statement::StatementRole;
+
+/// How a single relation fared against a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RelationOutcome {
+    Holds,
+    Fails,
+    /// The relation cannot be evaluated meaningfully (e.g. ordering
+    /// comparison against a non-numeric policy value).
+    Malformed,
+}
+
+/// Evaluates `relation` against `request`.
+///
+/// Semantics per operator (with `V` = request values for the attribute,
+/// `R` = policy values, `self` resolved to the requester):
+///
+/// * `= NULL`   — holds iff `V` is empty (attribute absent);
+/// * `!= NULL`  — holds iff `V` is non-empty (attribute present);
+/// * `=`        — holds iff `V` non-empty and every `v ∈ V` is in `R`;
+/// * `!=`       — holds iff no `v ∈ V` is in `R` (absence is fine);
+/// * `< <= > >=` — holds iff `V` non-empty and every `v ∈ V` is numeric
+///   and satisfies the comparison against the (single, numeric) `R` value.
+pub(crate) fn relation_outcome(relation: &Relation, request: &AuthzRequest) -> RelationOutcome {
+    let attr = relation.attribute().as_str();
+    let request_values = request.values_for(attr);
+
+    // NULL tests: the special value must be the sole right-hand side.
+    let is_null_test = relation.values().len() == 1
+        && relation.values()[0].as_str() == Some(attributes::NULL);
+    if is_null_test {
+        return match relation.op() {
+            gridauthz_rsl::RelOp::Ne => bool_outcome(!request_values.is_empty()),
+            gridauthz_rsl::RelOp::Eq => bool_outcome(request_values.is_empty()),
+            _ => RelationOutcome::Malformed,
+        };
+    }
+
+    // Resolve `self` to the requester's identity.
+    let policy_values: Vec<Value> = relation
+        .values()
+        .iter()
+        .map(|v| {
+            if v.as_str() == Some(attributes::SELF) {
+                Value::literal(request.subject().to_string())
+            } else {
+                v.clone()
+            }
+        })
+        .collect();
+
+    match relation.op() {
+        gridauthz_rsl::RelOp::Eq => bool_outcome(
+            !request_values.is_empty()
+                && request_values.iter().all(|v| policy_values.contains(v)),
+        ),
+        gridauthz_rsl::RelOp::Ne => {
+            bool_outcome(!request_values.iter().any(|v| policy_values.contains(v)))
+        }
+        op => {
+            let Some(bound) = policy_values.first().and_then(Value::as_int) else {
+                return RelationOutcome::Malformed;
+            };
+            if policy_values.len() != 1 {
+                return RelationOutcome::Malformed;
+            }
+            if request_values.is_empty() {
+                return RelationOutcome::Fails;
+            }
+            for v in &request_values {
+                match v.as_int() {
+                    Some(n) if op.holds_for_ints(n, bound) => {}
+                    _ => return RelationOutcome::Fails,
+                }
+            }
+            RelationOutcome::Holds
+        }
+    }
+}
+
+fn bool_outcome(b: bool) -> RelationOutcome {
+    if b {
+        RelationOutcome::Holds
+    } else {
+        RelationOutcome::Fails
+    }
+}
+
+/// The policy decision point.
+///
+/// Construct with [`Pdp::new`] (subject-indexed statement lookup) or
+/// [`Pdp::without_index`] (linear scan — the A2 ablation baseline).
+#[derive(Debug, Clone)]
+pub struct Pdp {
+    policy: Policy,
+    index: Option<SubjectIndex>,
+}
+
+impl Pdp {
+    /// Builds an indexed PDP over `policy`.
+    pub fn new(policy: Policy) -> Pdp {
+        let index = SubjectIndex::build(&policy);
+        Pdp { policy, index: Some(index) }
+    }
+
+    /// Builds a PDP that scans all statements linearly (ablation A2).
+    pub fn without_index(policy: Policy) -> Pdp {
+        Pdp { policy, index: None }
+    }
+
+    /// The underlying policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Statement indices to consider for `subject` (indexed or full).
+    pub(crate) fn candidate_statements(
+        &self,
+        subject: &gridauthz_credential::DistinguishedName,
+    ) -> Vec<usize> {
+        match &self.index {
+            Some(index) => index.applicable(subject),
+            None => (0..self.policy.len()).collect(),
+        }
+    }
+
+    /// Evaluates `request` to a [`Decision`].
+    pub fn decide(&self, request: &AuthzRequest) -> Decision {
+        let candidate_indices = self.candidate_statements(request.subject());
+
+        // Pass 1 — requirements: every applicable conjunction must hold.
+        for &i in &candidate_indices {
+            let statement = &self.policy.statements()[i];
+            if statement.role() != StatementRole::Requirement
+                || !statement.applies_to(request.subject())
+            {
+                continue;
+            }
+            for rule in statement.rules() {
+                // A requirement conjunction applies when its action
+                // relations accept this request's action.
+                let action_applies = rule
+                    .relations_for(attributes::ACTION)
+                    .all(|r| relation_outcome(r, request) == RelationOutcome::Holds);
+                if !action_applies {
+                    continue;
+                }
+                for relation in rule.relations() {
+                    if relation.attribute() == attributes::ACTION {
+                        continue;
+                    }
+                    match relation_outcome(relation, request) {
+                        RelationOutcome::Holds => {}
+                        RelationOutcome::Fails => {
+                            return Decision::Deny(DenyReason::RequirementViolated {
+                                statement: i,
+                                relation: relation.to_string(),
+                            });
+                        }
+                        RelationOutcome::Malformed => {
+                            return Decision::Deny(DenyReason::MalformedComparison {
+                                relation: relation.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2 — grants: first fully-matching conjunction permits.
+        for &i in &candidate_indices {
+            let statement = &self.policy.statements()[i];
+            if statement.role() != StatementRole::Grant
+                || !statement.applies_to(request.subject())
+            {
+                continue;
+            }
+            for rule in statement.rules() {
+                let matches = rule.relations().all(|relation| {
+                    relation_outcome(relation, request) == RelationOutcome::Holds
+                });
+                if matches {
+                    return Decision::permit(i);
+                }
+            }
+        }
+
+        Decision::Deny(DenyReason::NoApplicableGrant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use gridauthz_credential::DistinguishedName;
+    use gridauthz_rsl::{parse, Conjunction};
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn conj(s: &str) -> Conjunction {
+        parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    fn pdp(policy_text: &str) -> Pdp {
+        Pdp::new(policy_text.parse().unwrap())
+    }
+
+    fn start(subject: &str, job: &str) -> AuthzRequest {
+        AuthzRequest::start(dn(subject), conj(job))
+    }
+
+    #[test]
+    fn empty_policy_denies_everything() {
+        let p = Pdp::new(Policy::new());
+        let d = p.decide(&start("/O=G/CN=Bo", "&(executable = x)"));
+        assert_eq!(d, Decision::Deny(DenyReason::NoApplicableGrant));
+    }
+
+    #[test]
+    fn grant_matches_exact_request() {
+        let p = pdp("/O=G/CN=Bo: &(action = start)(executable = test1)");
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(executable = test1)")).is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(executable = test2)")).is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Eve", "&(executable = test1)")).is_permit());
+    }
+
+    #[test]
+    fn grant_with_absent_attribute_fails_eq() {
+        // (executable = test1) requires the attribute to be present.
+        let p = pdp("/O=G/CN=Bo: &(action = start)(executable = test1)");
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(count = 1)")).is_permit());
+    }
+
+    #[test]
+    fn eq_with_value_set_allows_any_member() {
+        let p = pdp("/O=G/CN=Bo: &(action = start)(executable = test1 test2)");
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(executable = test1)")).is_permit());
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(executable = test2)")).is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(executable = test3)")).is_permit());
+    }
+
+    #[test]
+    fn ne_forbids_specific_value_but_allows_absence() {
+        let p = pdp("/O=G/CN=Bo: &(action = start)(queue != reserved)");
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(queue = batch)")).is_permit());
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(executable = x)")).is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(queue = reserved)")).is_permit());
+    }
+
+    #[test]
+    fn null_tests() {
+        // != NULL: must be present; = NULL: must be absent.
+        let p = pdp("/O=G/CN=Bo: &(action = start)(jobtag != NULL)(project = NULL)");
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(jobtag = ADS)")).is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(executable = x)")).is_permit());
+        assert!(!p
+            .decide(&start("/O=G/CN=Bo", "&(jobtag = ADS)(project = gold)"))
+            .is_permit());
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        let p = pdp("/O=G/CN=Bo: &(action = start)(count < 4)");
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(count = 3)")).is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(count = 4)")).is_permit());
+        // Absent count fails the ordering relation (callers normalize
+        // defaults before evaluation).
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(executable = x)")).is_permit());
+        // Non-numeric request value fails.
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(count = many)")).is_permit());
+    }
+
+    #[test]
+    fn self_resolves_to_requester() {
+        let p = pdp("*: &(action = cancel)(jobowner = self)");
+        let own = AuthzRequest::manage(dn("/O=G/CN=Bo"), Action::Cancel, dn("/O=G/CN=Bo"), None);
+        assert!(p.decide(&own).is_permit());
+        let other = AuthzRequest::manage(dn("/O=G/CN=Eve"), Action::Cancel, dn("/O=G/CN=Bo"), None);
+        assert!(!p.decide(&other).is_permit());
+    }
+
+    #[test]
+    fn requirement_blocks_untagged_start() {
+        let policy = "\
+&/O=G: (action = start)(jobtag != NULL)
+/O=G/CN=Bo: &(action = start)(executable = test1)";
+        let p = pdp(policy);
+        let tagged = start("/O=G/CN=Bo", "&(executable = test1)(jobtag = ADS)");
+        assert!(p.decide(&tagged).is_permit());
+        let untagged = start("/O=G/CN=Bo", "&(executable = test1)");
+        match p.decide(&untagged) {
+            Decision::Deny(DenyReason::RequirementViolated { statement, relation }) => {
+                assert_eq!(statement, 0);
+                assert!(relation.contains("jobtag"));
+            }
+            other => panic!("expected requirement violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requirement_only_applies_to_matching_action() {
+        let policy = "\
+&/O=G: (action = start)(jobtag != NULL)
+*: &(action = cancel)(jobowner = self)";
+        let p = pdp(policy);
+        // Cancelling needs no jobtag: the requirement is start-scoped.
+        let own = AuthzRequest::manage(dn("/O=G/CN=Bo"), Action::Cancel, dn("/O=G/CN=Bo"), None);
+        assert!(p.decide(&own).is_permit());
+    }
+
+    #[test]
+    fn requirement_does_not_grant() {
+        let p = pdp("&/O=G: (action = start)(jobtag != NULL)");
+        let tagged = start("/O=G/CN=Bo", "&(executable = x)(jobtag = ADS)");
+        assert_eq!(p.decide(&tagged), Decision::Deny(DenyReason::NoApplicableGrant));
+    }
+
+    #[test]
+    fn requirement_outside_prefix_is_ignored() {
+        let policy = "\
+&/O=G: (action = start)(jobtag != NULL)
+/O=H/CN=Out: &(action = start)(executable = x)";
+        let p = pdp(policy);
+        // The /O=H user is outside the /O=G group: no jobtag needed.
+        assert!(p.decide(&start("/O=H/CN=Out", "&(executable = x)")).is_permit());
+    }
+
+    #[test]
+    fn malformed_ordering_in_requirement_denies() {
+        let p = pdp("&/O=G: (action = start)(count < lots)\n/O=G/CN=Bo: &(action = start)");
+        let d = p.decide(&start("/O=G/CN=Bo", "&(count = 1)"));
+        assert!(matches!(
+            d,
+            Decision::Deny(DenyReason::MalformedComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_ordering_in_grant_just_fails_that_rule() {
+        let policy =
+            "/O=G/CN=Bo: &(action = start)(count < lots) &(action = start)(executable = ok)";
+        let p = pdp(policy);
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(executable = ok)(count = 1)")).is_permit());
+    }
+
+    #[test]
+    fn multiple_statements_for_same_subject_accumulate() {
+        let policy = "\
+/O=G/CN=Bo: &(action = start)(executable = a)
+/O=G/CN=Bo: &(action = start)(executable = b)";
+        let p = pdp(policy);
+        assert!(p.decide(&start("/O=G/CN=Bo", "&(executable = a)")).is_permit());
+        match p.decide(&start("/O=G/CN=Bo", "&(executable = b)")) {
+            Decision::Permit { statement } => assert_eq!(statement, 1),
+            other => panic!("expected permit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_and_linear_agree() {
+        let policy: Policy = "\
+&/O=G: (action = start)(jobtag != NULL)
+/O=G/CN=Bo: &(action = start)(executable = test1)(count < 4)
+/O=G/CN=Kate: &(action = cancel)(jobtag = NFC)
+*: &(action = information)(jobowner = self)"
+            .parse()
+            .unwrap();
+        let indexed = Pdp::new(policy.clone());
+        let linear = Pdp::without_index(policy);
+
+        let requests = vec![
+            start("/O=G/CN=Bo", "&(executable = test1)(jobtag = ADS)(count = 2)"),
+            start("/O=G/CN=Bo", "&(executable = test1)(count = 2)"),
+            start("/O=G/CN=Eve", "&(executable = test1)(jobtag = ADS)(count = 2)"),
+            AuthzRequest::manage(dn("/O=G/CN=Kate"), Action::Cancel, dn("/O=G/CN=Bo"), Some("NFC".into())),
+            AuthzRequest::manage(dn("/O=X/CN=Who"), Action::Information, dn("/O=X/CN=Who"), None),
+        ];
+        for r in &requests {
+            assert_eq!(indexed.decide(r), linear.decide(r), "request {r:?}");
+        }
+    }
+
+    #[test]
+    fn grant_without_action_relation_covers_all_actions() {
+        let p = pdp("/O=G/CN=Admin: &(jobtag = NFC)");
+        let cancel = AuthzRequest::manage(
+            dn("/O=G/CN=Admin"),
+            Action::Cancel,
+            dn("/O=G/CN=Bo"),
+            Some("NFC".into()),
+        );
+        assert!(p.decide(&cancel).is_permit());
+        let signal = AuthzRequest::manage(
+            dn("/O=G/CN=Admin"),
+            Action::Signal,
+            dn("/O=G/CN=Bo"),
+            Some("NFC".into()),
+        );
+        assert!(p.decide(&signal).is_permit());
+    }
+}

@@ -1,0 +1,272 @@
+//! Decision explanations: the full evaluation trace behind a
+//! [`Decision`].
+//!
+//! §5.2 made GRAM return *reasons* for denial; operators debugging a
+//! policy need more — which statements were considered, which rule came
+//! closest, and exactly which relation failed. [`Pdp::explain`] produces
+//! that trace; it is guaranteed to agree with [`Pdp::decide`].
+
+use gridauthz_rsl::attributes;
+
+use crate::decision::{Decision, DenyReason};
+use crate::eval::{relation_outcome, Pdp, RelationOutcome};
+use crate::request::AuthzRequest;
+use crate::statement::StatementRole;
+
+/// How one requirement conjunction fared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequirementCheck {
+    /// The requirement statement's index.
+    pub statement: usize,
+    /// The rule's index within the statement.
+    pub rule: usize,
+    /// Whether the rule's `action` relations matched this request (an
+    /// inapplicable rule imposes nothing).
+    pub applicable: bool,
+    /// The first failing relation, if the applicable rule was violated.
+    pub failed_relation: Option<String>,
+}
+
+/// How one grant conjunction fared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantAttempt {
+    /// The grant statement's index.
+    pub statement: usize,
+    /// The rule's index within the statement.
+    pub rule: usize,
+    /// The first relation that stopped the match (`None` = full match).
+    pub failed_relation: Option<String>,
+}
+
+/// The complete evaluation trace for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// The decision (identical to [`Pdp::decide`]'s).
+    pub decision: Decision,
+    /// Every requirement rule applicable to the subject, in order.
+    pub requirements: Vec<RequirementCheck>,
+    /// Every grant rule tried, in order, up to and including the first
+    /// full match.
+    pub grants: Vec<GrantAttempt>,
+}
+
+impl Explanation {
+    /// The grant attempt that matched, when permitted.
+    pub fn matched_grant(&self) -> Option<&GrantAttempt> {
+        self.grants.iter().find(|g| g.failed_relation.is_none())
+    }
+
+    /// A human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("decision: {}\n", self.decision);
+        for check in &self.requirements {
+            out.push_str(&format!(
+                "  requirement s{}r{}: {}\n",
+                check.statement,
+                check.rule,
+                match (&check.applicable, &check.failed_relation) {
+                    (false, _) => "not applicable to this action".to_string(),
+                    (true, None) => "satisfied".to_string(),
+                    (true, Some(rel)) => format!("VIOLATED at {rel}"),
+                }
+            ));
+        }
+        for attempt in &self.grants {
+            out.push_str(&format!(
+                "  grant s{}r{}: {}\n",
+                attempt.statement,
+                attempt.rule,
+                match &attempt.failed_relation {
+                    None => "matched".to_string(),
+                    Some(rel) => format!("failed at {rel}"),
+                }
+            ));
+        }
+        out
+    }
+}
+
+impl Pdp {
+    /// Evaluates `request` while recording the full trace.
+    ///
+    /// The returned [`Explanation::decision`] always equals
+    /// [`Pdp::decide`] on the same request (property-tested).
+    pub fn explain(&self, request: &AuthzRequest) -> Explanation {
+        let mut requirements = Vec::new();
+        let mut grants = Vec::new();
+        let mut decision: Option<Decision> = None;
+
+        let candidates = self.candidate_statements(request.subject());
+
+        // Requirements, exhaustively (even past the first violation, for
+        // a complete picture — but the decision fixes on the first).
+        for &i in &candidates {
+            let statement = &self.policy().statements()[i];
+            if statement.role() != StatementRole::Requirement
+                || !statement.applies_to(request.subject())
+            {
+                continue;
+            }
+            for (ri, rule) in statement.rules().iter().enumerate() {
+                let applicable = rule
+                    .relations_for(attributes::ACTION)
+                    .all(|r| relation_outcome(r, request) == RelationOutcome::Holds);
+                let mut failed_relation = None;
+                if applicable {
+                    for relation in rule.relations() {
+                        if relation.attribute() == attributes::ACTION {
+                            continue;
+                        }
+                        match relation_outcome(relation, request) {
+                            RelationOutcome::Holds => {}
+                            RelationOutcome::Fails => {
+                                failed_relation = Some(relation.to_string());
+                                decision.get_or_insert(Decision::Deny(
+                                    DenyReason::RequirementViolated {
+                                        statement: i,
+                                        relation: relation.to_string(),
+                                    },
+                                ));
+                                break;
+                            }
+                            RelationOutcome::Malformed => {
+                                failed_relation = Some(relation.to_string());
+                                decision.get_or_insert(Decision::Deny(
+                                    DenyReason::MalformedComparison {
+                                        relation: relation.to_string(),
+                                    },
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+                requirements.push(RequirementCheck {
+                    statement: i,
+                    rule: ri,
+                    applicable,
+                    failed_relation,
+                });
+            }
+        }
+
+        // Grants, stopping at the first full match (as decide does).
+        if decision.is_none() {
+            'outer: for &i in &candidates {
+                let statement = &self.policy().statements()[i];
+                if statement.role() != StatementRole::Grant
+                    || !statement.applies_to(request.subject())
+                {
+                    continue;
+                }
+                for (ri, rule) in statement.rules().iter().enumerate() {
+                    let failed = rule
+                        .relations()
+                        .find(|r| relation_outcome(r, request) != RelationOutcome::Holds)
+                        .map(|r| r.to_string());
+                    let matched = failed.is_none();
+                    grants.push(GrantAttempt { statement: i, rule: ri, failed_relation: failed });
+                    if matched {
+                        decision = Some(Decision::permit(i));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        Explanation {
+            decision: decision.unwrap_or(Decision::Deny(DenyReason::NoApplicableGrant)),
+            requirements,
+            grants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use gridauthz_rsl::parse;
+
+    fn request(subject: gridauthz_credential::DistinguishedName, job: &str) -> AuthzRequest {
+        AuthzRequest::start(subject, parse(job).unwrap().as_conjunction().unwrap().clone())
+    }
+
+    #[test]
+    fn explanation_agrees_with_decide_on_figure3_matrix() {
+        let pdp = Pdp::new(paper::figure3_policy());
+        let cases = [
+            request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+            request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(count = 2)"),
+            request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)"),
+            request(paper::kate_keahey(), "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)"),
+            request(paper::outsider(), "&(executable = test1)(jobtag = ADS)"),
+        ];
+        for r in cases {
+            assert_eq!(pdp.explain(&r).decision, pdp.decide(&r), "request {r:?}");
+        }
+    }
+
+    #[test]
+    fn permit_trace_names_the_matching_grant() {
+        let pdp = Pdp::new(paper::figure3_policy());
+        let r = request(
+            paper::bo_liu(),
+            "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+        );
+        let explanation = pdp.explain(&r);
+        assert!(explanation.decision.is_permit());
+        let matched = explanation.matched_grant().unwrap();
+        assert_eq!(matched.statement, 1);
+        assert_eq!(matched.rule, 1, "test2 is Bo's second rule");
+        // Rule 0 (test1) was tried and failed on the executable.
+        assert_eq!(explanation.grants[0].rule, 0);
+        assert!(explanation.grants[0].failed_relation.as_deref().unwrap().contains("executable"));
+    }
+
+    #[test]
+    fn denial_trace_pinpoints_the_failing_relation() {
+        let pdp = Pdp::new(paper::figure3_policy());
+        let r = request(
+            paper::bo_liu(),
+            "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 7)",
+        );
+        let explanation = pdp.explain(&r);
+        assert!(!explanation.decision.is_permit());
+        assert!(explanation
+            .grants
+            .iter()
+            .any(|g| g.failed_relation.as_deref() == Some("(count < 4)")));
+        let rendered = explanation.render();
+        assert!(rendered.contains("failed at (count < 4)"));
+        assert!(rendered.contains("deny"));
+    }
+
+    #[test]
+    fn requirement_violation_trace() {
+        let pdp = Pdp::new(paper::figure3_policy());
+        let r = request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(count = 2)");
+        let explanation = pdp.explain(&r);
+        let violated = &explanation.requirements[0];
+        assert!(violated.applicable);
+        assert!(violated.failed_relation.as_deref().unwrap().contains("jobtag"));
+        // No grant was even attempted (requirements deny first).
+        assert!(explanation.grants.is_empty());
+        assert!(explanation.render().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn inapplicable_requirements_are_reported_as_such() {
+        let pdp = Pdp::new(paper::figure3_policy());
+        // A cancel request: the start-scoped requirement is inapplicable.
+        let r = AuthzRequest::manage(
+            paper::kate_keahey(),
+            crate::action::Action::Cancel,
+            paper::bo_liu(),
+            Some("NFC".into()),
+        );
+        let explanation = pdp.explain(&r);
+        assert!(explanation.decision.is_permit());
+        assert!(explanation.requirements.iter().all(|c| !c.applicable));
+    }
+}

@@ -1,0 +1,109 @@
+//! Subject-based statement lookup.
+//!
+//! Policies at VO scale carry one grant statement per member; evaluating a
+//! request must not scan thousands of unrelated statements. The index maps
+//! exact-DN subjects through a hash table and keeps the (typically few)
+//! prefix/wildcard statements in a scan list. Ablation A2 in DESIGN.md
+//! compares this against the linear evaluator.
+
+use std::collections::HashMap;
+
+use gridauthz_credential::DistinguishedName;
+
+use crate::policy::Policy;
+use crate::statement::SubjectMatcher;
+
+/// Index over a policy's statements by subject.
+#[derive(Debug, Clone, Default)]
+pub struct SubjectIndex {
+    /// Exact-DN statements: DN string → statement indices.
+    exact: HashMap<String, Vec<usize>>,
+    /// Prefix and wildcard statements, always candidate-checked.
+    scan: Vec<usize>,
+}
+
+impl SubjectIndex {
+    /// Builds the index for `policy`.
+    pub fn build(policy: &Policy) -> SubjectIndex {
+        let mut index = SubjectIndex::default();
+        for (i, statement) in policy.statements().iter().enumerate() {
+            match statement.subject() {
+                SubjectMatcher::Exact(dn) => {
+                    index.exact.entry(dn.to_string()).or_default().push(i);
+                }
+                SubjectMatcher::Prefix(_) | SubjectMatcher::Any => index.scan.push(i),
+            }
+        }
+        index
+    }
+
+    /// Statement indices possibly applicable to `subject`, in policy order.
+    ///
+    /// Candidates from the scan list still need an `applies_to` check;
+    /// exact matches are definitive. Callers re-check both (the evaluator
+    /// does), so this only needs to be a superset that excludes the bulk
+    /// of unrelated exact statements.
+    pub fn applicable(&self, subject: &DistinguishedName) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .exact
+            .get(&subject.to_string()).cloned()
+            .unwrap_or_default();
+        out.extend_from_slice(&self.scan);
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of exact-subject buckets.
+    pub fn exact_buckets(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Number of statements that must always be candidate-checked.
+    pub fn scan_list_len(&self) -> usize {
+        self.scan.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(text: &str) -> Policy {
+        text.parse().unwrap()
+    }
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn exact_statements_are_bucketed() {
+        let p = policy(
+            "/O=G/CN=A: &(action = start)\n/O=G/CN=B: &(action = start)\n/O=G/CN=A: &(action = cancel)",
+        );
+        let idx = SubjectIndex::build(&p);
+        assert_eq!(idx.exact_buckets(), 2);
+        assert_eq!(idx.scan_list_len(), 0);
+        assert_eq!(idx.applicable(&dn("/O=G/CN=A")), vec![0, 2]);
+        assert_eq!(idx.applicable(&dn("/O=G/CN=B")), vec![1]);
+        assert!(idx.applicable(&dn("/O=G/CN=C")).is_empty());
+    }
+
+    #[test]
+    fn prefix_and_any_go_to_scan_list() {
+        let p = policy("&/O=G: (action = start)(jobtag != NULL)\n*: &(action = information)");
+        let idx = SubjectIndex::build(&p);
+        assert_eq!(idx.scan_list_len(), 2);
+        assert_eq!(idx.applicable(&dn("/O=Whatever/CN=X")), vec![0, 1]);
+    }
+
+    #[test]
+    fn mixed_candidates_preserve_policy_order() {
+        let p = policy(
+            "&/O=G: (action = start)(jobtag != NULL)\n/O=G/CN=A: &(action = start)\n*: &(action = information)",
+        );
+        let idx = SubjectIndex::build(&p);
+        assert_eq!(idx.applicable(&dn("/O=G/CN=A")), vec![0, 1, 2]);
+        assert_eq!(idx.applicable(&dn("/O=H/CN=Z")), vec![0, 2]);
+    }
+}

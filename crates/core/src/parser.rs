@@ -1,0 +1,366 @@
+//! Parser for the paper's policy-file format (Figure 3).
+//!
+//! ```text
+//! # comment
+//! &<subject-prefix>: <rule> [<rule> ...]          # requirement statement
+//! <subject-dn>: <rule> [<rule> ...]               # grant statement
+//! ```
+//!
+//! Rules are RSL conjunctions (`&(attr op value)...`); the figure's group
+//! statement writes its single rule without the leading `&`, which is also
+//! accepted. Rules may continue on following lines. Extensions over the
+//! paper (documented in DESIGN.md): a grant subject of `*` matches every
+//! identity, and a grant subject ending in `*` matches by string prefix.
+
+use std::str::FromStr;
+
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::{attributes, Clause, Conjunction, Relation, Value};
+
+use crate::action::Action;
+use crate::error::PolicyParseError;
+use crate::policy::Policy;
+use crate::statement::{PolicyStatement, StatementRole, SubjectMatcher};
+
+/// Parses the textual policy format.
+///
+/// # Errors
+///
+/// Returns [`PolicyParseError`] with the 1-based line number of the first
+/// problem: malformed subjects, non-conjunction rules, unparsable RSL, or
+/// unknown `action` values.
+pub fn parse_policy(text: &str) -> Result<Policy, PolicyParseError> {
+    let mut statements = Vec::new();
+    // (line_no, subject_text, rule_text) per statement.
+    let mut current: Option<(usize, String, String)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if is_subject_header(line) {
+            let (subject, rest) = line.split_once(':').ok_or_else(|| {
+                PolicyParseError::new(line_no, "subject header is missing ':'")
+            })?;
+            if let Some(stmt) = current.take() {
+                statements.push(finish_statement(stmt)?);
+            }
+            current = Some((line_no, subject.trim().to_string(), rest.trim().to_string()));
+        } else {
+            match &mut current {
+                Some((_, _, rules)) => {
+                    rules.push(' ');
+                    rules.push_str(line);
+                }
+                None => {
+                    return Err(PolicyParseError::new(
+                        line_no,
+                        "rule text before any subject header",
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(stmt) = current.take() {
+        statements.push(finish_statement(stmt)?);
+    }
+    Ok(Policy::from_statements(statements))
+}
+
+/// A header line names a subject: `/DN:`, `&/prefix:`, `*:` or `&*:`.
+fn is_subject_header(line: &str) -> bool {
+    let body = line.strip_prefix('&').unwrap_or(line);
+    (body.starts_with('/') || body.starts_with('*')) && line.contains(':')
+}
+
+fn finish_statement(
+    (line_no, subject_text, rule_text): (usize, String, String),
+) -> Result<PolicyStatement, PolicyParseError> {
+    let (role, body) = match subject_text.strip_prefix('&') {
+        Some(rest) => (StatementRole::Requirement, rest.trim()),
+        None => (StatementRole::Grant, subject_text.as_str()),
+    };
+
+    let subject = if body == "*" {
+        SubjectMatcher::Any
+    } else if let Some(prefix) = body.strip_suffix('*') {
+        SubjectMatcher::Prefix(prefix.to_string())
+    } else if role == StatementRole::Requirement {
+        // Paper semantics: requirement subjects match by string prefix.
+        if !body.starts_with('/') {
+            return Err(PolicyParseError::new(
+                line_no,
+                format!("requirement subject must start with '/': {body:?}"),
+            ));
+        }
+        SubjectMatcher::Prefix(body.to_string())
+    } else {
+        let dn = DistinguishedName::parse(body)
+            .map_err(|e| PolicyParseError::new(line_no, format!("bad grant subject: {e}")))?;
+        SubjectMatcher::Exact(dn)
+    };
+
+    let rules = parse_rules(line_no, &rule_text)?;
+    if rules.is_empty() {
+        return Err(PolicyParseError::new(line_no, "statement has no rules"));
+    }
+    Ok(PolicyStatement::new(subject, role, rules))
+}
+
+/// Splits concatenated rule text into `&`-conjunctions and parses each.
+fn parse_rules(line_no: usize, text: &str) -> Result<Vec<Conjunction>, PolicyParseError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Accept the figure's "(action = start)(jobtag != NULL)" form by
+    // prepending the implicit '&'.
+    let normalized = if trimmed.starts_with('(') {
+        format!("&{trimmed}")
+    } else {
+        trimmed.to_string()
+    };
+
+    let mut rules = Vec::new();
+    for piece in split_top_level_conjunctions(&normalized, line_no)? {
+        let spec = gridauthz_rsl::parse(&piece)
+            .map_err(|e| PolicyParseError::new(line_no, format!("bad rule RSL: {e}")))?;
+        let conj = spec.as_conjunction().ok_or_else(|| {
+            PolicyParseError::new(line_no, "policy rules must be '&' conjunctions")
+        })?;
+        validate_rule(line_no, conj)?;
+        rules.push(normalize_rule(conj));
+    }
+    Ok(rules)
+}
+
+/// Splits `&(..)(..) &(..)` at top-level `&` markers (depth 0, outside
+/// quotes).
+fn split_top_level_conjunctions(
+    text: &str,
+    line_no: usize,
+) -> Result<Vec<String>, PolicyParseError> {
+    let mut pieces = Vec::new();
+    let mut depth = 0usize;
+    let mut in_quote: Option<char> = None;
+    let mut start: Option<usize> = None;
+
+    for (i, c) in text.char_indices() {
+        if let Some(q) = in_quote {
+            if c == q {
+                in_quote = None;
+            }
+            continue;
+        }
+        match c {
+            '"' | '\'' => in_quote = Some(c),
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.checked_sub(1).ok_or_else(|| {
+                    PolicyParseError::new(line_no, "unbalanced ')' in rule text")
+                })?;
+            }
+            '&' if depth == 0 => {
+                if let Some(s) = start.take() {
+                    pieces.push(text[s..i].trim().to_string());
+                }
+                start = Some(i);
+            }
+            c if !c.is_whitespace() && depth == 0 && start.is_none() => {
+                return Err(PolicyParseError::new(
+                    line_no,
+                    format!("unexpected {c:?} before '&' in rule text"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        pieces.push(text[s..].trim().to_string());
+    }
+    Ok(pieces)
+}
+
+/// Validates rule contents: known `action` values, no nested specs.
+fn validate_rule(line_no: usize, rule: &Conjunction) -> Result<(), PolicyParseError> {
+    for clause in rule.clauses() {
+        match clause {
+            Clause::Relation(r) => {
+                if r.attribute() == attributes::ACTION {
+                    for v in r.values() {
+                        let Some(s) = v.as_str() else {
+                            return Err(PolicyParseError::new(
+                                line_no,
+                                "action values must be plain literals",
+                            ));
+                        };
+                        Action::from_str(s).map_err(|e| {
+                            PolicyParseError::new(line_no, e.message().to_string())
+                        })?;
+                    }
+                }
+            }
+            Clause::Nested(_) => {
+                return Err(PolicyParseError::new(
+                    line_no,
+                    "policy rules may not contain nested specifications",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Normalizes `action` values to their canonical lowercase form so
+/// evaluation can compare literally.
+fn normalize_rule(rule: &Conjunction) -> Conjunction {
+    rule.clauses()
+        .iter()
+        .map(|clause| match clause {
+            Clause::Relation(r) if r.attribute() == attributes::ACTION => {
+                let values = r
+                    .values()
+                    .iter()
+                    .map(|v| match v.as_str().and_then(|s| Action::from_str(s).ok()) {
+                        Some(action) => Value::literal(action.as_str()),
+                        None => v.clone(),
+                    })
+                    .collect();
+                Clause::Relation(Relation::new(r.attribute().clone(), r.op(), values))
+            }
+            other => other.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::SubjectMatcher;
+
+    const FIGURE3_STYLE: &str = r#"
+# VO-wide policy for job management (paper Figure 3)
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+  &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+  &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+  &(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+  &(action=cancel)(jobtag=NFC)
+"#;
+
+    #[test]
+    fn parses_figure3_policy() {
+        let p = parse_policy(FIGURE3_STYLE).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.statements()[0].role(), StatementRole::Requirement);
+        assert_eq!(p.statements()[0].rules().len(), 1);
+        assert_eq!(p.statements()[1].role(), StatementRole::Grant);
+        assert_eq!(p.statements()[1].rules().len(), 2);
+        assert_eq!(p.statements()[2].rules().len(), 2);
+    }
+
+    #[test]
+    fn requirement_subject_is_prefix() {
+        let p = parse_policy(FIGURE3_STYLE).unwrap();
+        match p.statements()[0].subject() {
+            SubjectMatcher::Prefix(prefix) => {
+                assert_eq!(prefix, "/O=Grid/O=Globus/OU=mcs.anl.gov");
+            }
+            other => panic!("expected prefix subject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rules_on_header_line_are_supported() {
+        let p = parse_policy("/O=G/CN=Bo: &(action = start)(executable = a) &(action = cancel)(jobowner = self)").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.statements()[0].rules().len(), 2);
+    }
+
+    #[test]
+    fn star_subjects() {
+        let p = parse_policy("*: &(action = information)(jobowner = self)").unwrap();
+        assert_eq!(p.statements()[0].subject(), &SubjectMatcher::Any);
+        let p2 = parse_policy("/O=G*: &(action = start)").unwrap();
+        assert_eq!(
+            p2.statements()[0].subject(),
+            &SubjectMatcher::Prefix("/O=G".into())
+        );
+        let p3 = parse_policy("&*: &(action = start)(jobtag != NULL)").unwrap();
+        assert_eq!(p3.statements()[0].subject(), &SubjectMatcher::Any);
+        assert_eq!(p3.statements()[0].role(), StatementRole::Requirement);
+    }
+
+    #[test]
+    fn action_values_are_normalized() {
+        let p = parse_policy("/O=G/CN=Bo: &(action = START)").unwrap();
+        let rule = &p.statements()[0].rules()[0];
+        let rel = rule.relations_for("action").next().unwrap();
+        assert_eq!(rel.value().as_str(), Some("start"));
+    }
+
+    #[test]
+    fn rejects_unknown_action() {
+        let err = parse_policy("/O=G/CN=Bo: &(action = reboot)").unwrap_err();
+        assert!(err.to_string().contains("unknown action"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn rejects_rule_before_subject() {
+        let err = parse_policy("&(action = start)(jobtag = x)").unwrap_err();
+        // '&(...' is not a subject header (second char is '('), so this is
+        // rule text with no subject.
+        assert!(err.to_string().contains("before any subject"));
+    }
+
+    #[test]
+    fn rejects_statement_without_rules() {
+        let err = parse_policy("/O=G/CN=Bo:\n").unwrap_err();
+        assert!(err.to_string().contains("no rules"));
+    }
+
+    #[test]
+    fn rejects_bad_grant_subject() {
+        let err = parse_policy("/not a dn: &(action = start)").unwrap_err();
+        assert!(err.to_string().contains("bad grant subject"));
+    }
+
+    #[test]
+    fn rejects_disjunction_rule() {
+        let err = parse_policy("/O=G/CN=Bo: |(action = start)(action = cancel)").unwrap_err();
+        assert!(err.to_string().contains("unexpected '|'") || err.to_string().contains("conjunction"));
+    }
+
+    #[test]
+    fn rejects_nested_specification_in_rule() {
+        let err =
+            parse_policy("/O=G/CN=Bo: &(action = start)(|(queue = a)(queue = b))").unwrap_err();
+        assert!(err.to_string().contains("nested"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        let err = parse_policy("/O=G/CN=Bo: &(action = start))").unwrap_err();
+        assert!(err.to_string().contains("unbalanced"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let p = parse_policy("# nothing\n\n   \n/O=G/CN=Bo: &(action = start)\n# tail\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn multiline_rules_accumulate() {
+        let text = "/O=G/CN=Bo:\n  &(action = start)\n   (executable = a)\n  &(action = cancel)(jobowner = self)";
+        let p = parse_policy(text).unwrap();
+        assert_eq!(p.statements()[0].rules().len(), 2);
+        assert!(p.statements()[0].rules()[0].mentions("executable"));
+    }
+}

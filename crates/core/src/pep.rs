@@ -1,0 +1,378 @@
+//! The authorization callout API (§5.2).
+//!
+//! The paper's prototype inserted runtime-configurable callout points into
+//! the GRAM Job Manager: each callout has an abstract name, is loaded from
+//! a named library/symbol, receives the requester's credential, the job
+//! initiator's credential, the action, the job id and the RSL job
+//! description, and answers success or a typed authorization error.
+//!
+//! This module models that with trait objects instead of `dlopen`:
+//! [`AuthorizationCallout`] is the callout signature, [`CalloutRegistry`]
+//! maps "library/symbol" names to factories, [`CalloutConfig`] parses the
+//! same style of configuration file, and [`CalloutChain`] is the ordered
+//! set of callouts a PEP invokes before every action.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::combine::CombinedPdp;
+use crate::error::{AuthzFailure, PolicyParseError};
+use crate::request::AuthzRequest;
+
+/// A pluggable authorization module, invoked before every job action.
+pub trait AuthorizationCallout: Send + Sync {
+    /// The callout's configured name (for audit and error messages).
+    fn name(&self) -> &str;
+
+    /// Authorizes `request`, returning `Ok(())` on permit.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzFailure::Denied`] when policy denies the request;
+    /// [`AuthzFailure::SystemError`] when the authorization system itself
+    /// fails (callers must fail closed).
+    fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure>;
+}
+
+/// The built-in callout: evaluate against a [`CombinedPdp`] (local + VO
+/// policy, deny-overrides by default).
+pub struct PdpCallout {
+    name: String,
+    pdp: CombinedPdp,
+}
+
+impl PdpCallout {
+    /// Wraps `pdp` as a callout named `name`.
+    pub fn new(name: impl Into<String>, pdp: CombinedPdp) -> PdpCallout {
+        PdpCallout { name: name.into(), pdp }
+    }
+
+    /// The wrapped combined PDP.
+    pub fn pdp(&self) -> &CombinedPdp {
+        &self.pdp
+    }
+}
+
+impl fmt::Debug for PdpCallout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PdpCallout").field("name", &self.name).finish()
+    }
+}
+
+impl AuthorizationCallout for PdpCallout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
+        let combined = self.pdp.decide(request);
+        match combined.decision().deny_reason() {
+            None => Ok(()),
+            Some(reason) => Err(AuthzFailure::Denied(reason.clone())),
+        }
+    }
+}
+
+/// An ordered chain of callouts. All must permit; evaluation stops at the
+/// first failure. An **empty chain permits** — that is exactly the GT2
+/// baseline, where the Job Manager performs no authorization of its own.
+#[derive(Clone, Default)]
+pub struct CalloutChain {
+    callouts: Vec<Arc<dyn AuthorizationCallout>>,
+}
+
+impl CalloutChain {
+    /// Creates an empty (always-permitting) chain.
+    pub fn new() -> CalloutChain {
+        CalloutChain::default()
+    }
+
+    /// Appends a callout.
+    pub fn push(&mut self, callout: Arc<dyn AuthorizationCallout>) {
+        self.callouts.push(callout);
+    }
+
+    /// Number of callouts in the chain.
+    pub fn len(&self) -> usize {
+        self.callouts.len()
+    }
+
+    /// True when the chain is empty (GT2 mode).
+    pub fn is_empty(&self) -> bool {
+        self.callouts.is_empty()
+    }
+
+    /// The configured callout names, in invocation order.
+    pub fn names(&self) -> Vec<&str> {
+        self.callouts.iter().map(|c| c.name()).collect()
+    }
+
+    /// Runs every callout; the first failure aborts the chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failing callout's [`AuthzFailure`].
+    pub fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
+        for callout in &self.callouts {
+            callout.authorize(request)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CalloutChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CalloutChain").field("callouts", &self.names()).finish()
+    }
+}
+
+/// One parsed line of callout configuration:
+/// `name library symbol [key=value ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalloutConfigEntry {
+    /// The abstract callout name (e.g. `gram-authorization`).
+    pub name: String,
+    /// The "dynamic library" to load — here, a factory name in the
+    /// [`CalloutRegistry`].
+    pub library: String,
+    /// The symbol within the library (factories may dispatch on it).
+    pub symbol: String,
+    /// Free-form `key=value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// A parsed callout configuration file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CalloutConfig {
+    entries: Vec<CalloutConfigEntry>,
+}
+
+impl CalloutConfig {
+    /// Parses the configuration format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyParseError`] for lines with fewer than three fields
+    /// or malformed options.
+    pub fn parse(text: &str) -> Result<CalloutConfig, PolicyParseError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let line_no = idx + 1;
+            let mut fields = line.split_whitespace();
+            let (Some(name), Some(library), Some(symbol)) =
+                (fields.next(), fields.next(), fields.next())
+            else {
+                return Err(PolicyParseError::new(
+                    line_no,
+                    "callout config lines need: name library symbol [key=value ...]",
+                ));
+            };
+            let mut options = HashMap::new();
+            for opt in fields {
+                let Some((k, v)) = opt.split_once('=') else {
+                    return Err(PolicyParseError::new(
+                        line_no,
+                        format!("malformed option {opt:?} (expected key=value)"),
+                    ));
+                };
+                options.insert(k.to_string(), v.to_string());
+            }
+            entries.push(CalloutConfigEntry {
+                name: name.to_string(),
+                library: library.to_string(),
+                symbol: symbol.to_string(),
+                options,
+            });
+        }
+        Ok(CalloutConfig { entries })
+    }
+
+    /// The parsed entries in file order.
+    pub fn entries(&self) -> &[CalloutConfigEntry] {
+        &self.entries
+    }
+}
+
+/// A factory building a callout from its configuration entry.
+pub type CalloutFactory =
+    Box<dyn Fn(&CalloutConfigEntry) -> Result<Arc<dyn AuthorizationCallout>, AuthzFailure> + Send + Sync>;
+
+/// Maps "library" names to callout factories — the memory-safe stand-in
+/// for the paper's `dlopen`-based runtime loading.
+#[derive(Default)]
+pub struct CalloutRegistry {
+    factories: HashMap<String, CalloutFactory>,
+}
+
+impl CalloutRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> CalloutRegistry {
+        CalloutRegistry::default()
+    }
+
+    /// Registers (or replaces) the factory for `library`.
+    pub fn register(&mut self, library: impl Into<String>, factory: CalloutFactory) {
+        self.factories.insert(library.into(), factory);
+    }
+
+    /// True when a factory for `library` exists.
+    pub fn contains(&self, library: &str) -> bool {
+        self.factories.contains_key(library)
+    }
+
+    /// Instantiates every entry of `config` into a [`CalloutChain`].
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzFailure::SystemError`] when an entry names an unregistered
+    /// library, or when a factory fails — mirroring the paper's
+    /// "authorization system failure" error class.
+    pub fn instantiate(&self, config: &CalloutConfig) -> Result<CalloutChain, AuthzFailure> {
+        let mut chain = CalloutChain::new();
+        for entry in config.entries() {
+            let factory = self.factories.get(&entry.library).ok_or_else(|| {
+                AuthzFailure::SystemError(format!(
+                    "no callout library {:?} registered (entry {:?})",
+                    entry.library, entry.name
+                ))
+            })?;
+            chain.push(factory(entry)?);
+        }
+        Ok(chain)
+    }
+}
+
+impl fmt::Debug for CalloutRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&String> = self.factories.keys().collect();
+        names.sort();
+        f.debug_struct("CalloutRegistry").field("libraries", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::{Combiner, PolicyOrigin, PolicySource};
+    use crate::decision::DenyReason;
+    use gridauthz_credential::DistinguishedName;
+    use gridauthz_rsl::parse;
+
+    fn request(subject: &str, job: &str) -> AuthzRequest {
+        AuthzRequest::start(
+            subject.parse::<DistinguishedName>().unwrap(),
+            parse(job).unwrap().as_conjunction().unwrap().clone(),
+        )
+    }
+
+    fn pdp_callout(policy: &str) -> PdpCallout {
+        let source = PolicySource::new("test", PolicyOrigin::ResourceOwner, policy.parse().unwrap());
+        PdpCallout::new("test-callout", CombinedPdp::new(vec![source], Combiner::DenyOverrides))
+    }
+
+    #[test]
+    fn pdp_callout_permits_and_denies() {
+        let callout = pdp_callout("/O=G/CN=Bo: &(action = start)(executable = a)");
+        assert!(callout.authorize(&request("/O=G/CN=Bo", "&(executable = a)")).is_ok());
+        let err = callout
+            .authorize(&request("/O=G/CN=Bo", "&(executable = b)"))
+            .unwrap_err();
+        assert!(err.is_denial());
+    }
+
+    #[test]
+    fn empty_chain_permits_gt2_style() {
+        let chain = CalloutChain::new();
+        assert!(chain.is_empty());
+        assert!(chain.authorize(&request("/O=G/CN=Anyone", "&(executable = x)")).is_ok());
+    }
+
+    #[test]
+    fn chain_stops_at_first_denial() {
+        struct CountingDeny(std::sync::atomic::AtomicUsize);
+        impl AuthorizationCallout for CountingDeny {
+            fn name(&self) -> &str {
+                "deny"
+            }
+            fn authorize(&self, _: &AuthzRequest) -> Result<(), AuthzFailure> {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Err(AuthzFailure::Denied(DenyReason::NoApplicableGrant))
+            }
+        }
+        let counter = Arc::new(CountingDeny(Default::default()));
+        let mut chain = CalloutChain::new();
+        chain.push(counter.clone());
+        chain.push(counter.clone());
+        assert!(chain.authorize(&request("/O=G/CN=Bo", "&(executable = x)")).is_err());
+        assert_eq!(counter.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(chain.names(), vec!["deny", "deny"]);
+    }
+
+    #[test]
+    fn config_parses_paper_style_lines() {
+        let text = "\
+# GRAM authorization callout configuration
+gram-authorization librsl_pdp.so rsl_pdp_authorize policy=/etc/grid/policy
+gram-audit libaudit.so audit_authorize";
+        let config = CalloutConfig::parse(text).unwrap();
+        assert_eq!(config.entries().len(), 2);
+        let first = &config.entries()[0];
+        assert_eq!(first.name, "gram-authorization");
+        assert_eq!(first.library, "librsl_pdp.so");
+        assert_eq!(first.symbol, "rsl_pdp_authorize");
+        assert_eq!(first.options.get("policy").map(String::as_str), Some("/etc/grid/policy"));
+    }
+
+    #[test]
+    fn config_rejects_short_and_malformed_lines() {
+        assert!(CalloutConfig::parse("just two").is_err());
+        assert!(CalloutConfig::parse("a b c broken-option").is_err());
+    }
+
+    #[test]
+    fn registry_instantiates_config() {
+        let mut registry = CalloutRegistry::new();
+        registry.register(
+            "librsl_pdp.so",
+            Box::new(|entry| {
+                let policy = entry.options.get("policy").cloned().unwrap_or_default();
+                let source = PolicySource::new(
+                    "configured",
+                    PolicyOrigin::ResourceOwner,
+                    policy.parse().map_err(|e| {
+                        AuthzFailure::SystemError(format!("bad policy: {e}"))
+                    })?,
+                );
+                Ok(Arc::new(PdpCallout::new(
+                    entry.name.clone(),
+                    CombinedPdp::new(vec![source], Combiner::DenyOverrides),
+                )))
+            }),
+        );
+        assert!(registry.contains("librsl_pdp.so"));
+
+        // Inline policies cannot contain spaces in this config format, so
+        // exercise with a single-token policy.
+        let config =
+            CalloutConfig::parse("authz librsl_pdp.so sym policy=*:&(action=information)")
+                .unwrap();
+        let chain = registry.instantiate(&config).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.names(), vec!["authz"]);
+    }
+
+    #[test]
+    fn registry_fails_on_unknown_library() {
+        let registry = CalloutRegistry::new();
+        let config = CalloutConfig::parse("authz libmissing.so sym").unwrap();
+        match registry.instantiate(&config) {
+            Err(AuthzFailure::SystemError(msg)) => assert!(msg.contains("libmissing.so")),
+            other => panic!("expected SystemError, got {other:?}"),
+        }
+    }
+}

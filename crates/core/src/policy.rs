@@ -1,0 +1,164 @@
+//! A policy: an ordered list of statements, default-deny.
+
+use std::fmt;
+use std::str::FromStr;
+
+use gridauthz_credential::DistinguishedName;
+
+use crate::error::PolicyParseError;
+use crate::parser::parse_policy;
+use crate::statement::{PolicyStatement, StatementRole};
+
+/// An ordered collection of [`PolicyStatement`]s.
+///
+/// The paper's evaluation model: the request is permitted iff at least one
+/// *grant* conjunction matches in full **and** every applicable
+/// *requirement* conjunction is satisfied; otherwise it is denied
+/// (default-deny, §5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Policy {
+    statements: Vec<PolicyStatement>,
+}
+
+impl Policy {
+    /// Creates an empty (deny-everything) policy.
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    /// Builds a policy from statements.
+    pub fn from_statements(statements: Vec<PolicyStatement>) -> Policy {
+        Policy { statements }
+    }
+
+    /// Appends a statement, returning its index.
+    pub fn push(&mut self, statement: PolicyStatement) -> usize {
+        self.statements.push(statement);
+        self.statements.len() - 1
+    }
+
+    /// All statements in order.
+    pub fn statements(&self) -> &[PolicyStatement] {
+        &self.statements
+    }
+
+    /// The statement at `index`.
+    pub fn statement(&self, index: usize) -> Option<&PolicyStatement> {
+        self.statements.get(index)
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// True when the policy has no statements (denies everything).
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Indexed grant statements applicable to `subject`.
+    pub fn grants_for<'a>(
+        &'a self,
+        subject: &'a DistinguishedName,
+    ) -> impl Iterator<Item = (usize, &'a PolicyStatement)> + 'a {
+        self.statements
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.role() == StatementRole::Grant && s.applies_to(subject))
+    }
+
+    /// Indexed requirement statements applicable to `subject`.
+    pub fn requirements_for<'a>(
+        &'a self,
+        subject: &'a DistinguishedName,
+    ) -> impl Iterator<Item = (usize, &'a PolicyStatement)> + 'a {
+        self.statements
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.role() == StatementRole::Requirement && s.applies_to(subject))
+    }
+}
+
+impl FromStr for Policy {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_policy(s)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, statement) in self.statements.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+                writeln!(f)?;
+            }
+            write!(f, "{statement}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<PolicyStatement> for Policy {
+    fn from_iter<T: IntoIterator<Item = PolicyStatement>>(iter: T) -> Self {
+        Policy { statements: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_rsl::parse;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn conj(s: &str) -> gridauthz_rsl::Conjunction {
+        parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    fn sample() -> Policy {
+        Policy::from_statements(vec![
+            PolicyStatement::requirement("/O=G", vec![conj("&(action = start)(jobtag != NULL)")]),
+            PolicyStatement::grant(dn("/O=G/CN=Bo"), vec![conj("&(action = start)")]),
+            PolicyStatement::grant(dn("/O=H/CN=Eve"), vec![conj("&(action = cancel)")]),
+        ])
+    }
+
+    #[test]
+    fn partitions_by_role_and_subject() {
+        let p = sample();
+        let bo = dn("/O=G/CN=Bo");
+        assert_eq!(p.grants_for(&bo).count(), 1);
+        assert_eq!(p.requirements_for(&bo).count(), 1);
+        let eve = dn("/O=H/CN=Eve");
+        assert_eq!(p.grants_for(&eve).count(), 1);
+        assert_eq!(p.requirements_for(&eve).count(), 0);
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        let p = sample();
+        let bo = dn("/O=G/CN=Bo");
+        let (idx, _) = p.grants_for(&bo).next().unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn empty_policy() {
+        let p = Policy::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.to_string(), "");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let p = sample();
+        let reparsed: Policy = p.to_string().parse().unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,252 @@
+//! The authorization request passed to the PEP/PDP — the information the
+//! paper's callout API hands to the authorization module (§5.2): requester
+//! credential, job initiator credential, action, job identifier, and the
+//! RSL job description.
+
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::{attributes, Conjunction, RelOp, Value};
+
+use crate::action::Action;
+
+/// Everything the policy evaluator may inspect about one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthzRequest {
+    subject: DistinguishedName,
+    action: Action,
+    job: Option<Conjunction>,
+    job_id: Option<String>,
+    job_owner: Option<DistinguishedName>,
+    jobtag: Option<String>,
+    limited_proxy: bool,
+    restrictions: Vec<String>,
+}
+
+impl AuthzRequest {
+    /// A job-startup request: `subject` asks to run `job`.
+    pub fn start(subject: DistinguishedName, job: Conjunction) -> AuthzRequest {
+        AuthzRequest {
+            subject,
+            action: Action::Start,
+            job: Some(job),
+            job_id: None,
+            job_owner: None,
+            jobtag: None,
+            limited_proxy: false,
+            restrictions: Vec::new(),
+        }
+    }
+
+    /// A job-management request: `subject` asks to perform `action` on an
+    /// existing job started by `job_owner` and tagged `jobtag`.
+    pub fn manage(
+        subject: DistinguishedName,
+        action: Action,
+        job_owner: DistinguishedName,
+        jobtag: Option<String>,
+    ) -> AuthzRequest {
+        AuthzRequest {
+            subject,
+            action,
+            job: None,
+            job_id: None,
+            job_owner: Some(job_owner),
+            jobtag,
+            limited_proxy: false,
+            restrictions: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the request as if `subject` had made it (what-if
+    /// analysis; see [`crate::analysis`]).
+    #[must_use]
+    pub fn with_subject(mut self, subject: DistinguishedName) -> Self {
+        self.subject = subject;
+        self
+    }
+
+    /// Attaches the unique job identifier (the callout API passes one).
+    #[must_use]
+    pub fn with_job_id(mut self, id: impl Into<String>) -> Self {
+        self.job_id = Some(id.into());
+        self
+    }
+
+    /// Attaches the job description (management requests may carry the
+    /// original description for evaluation).
+    #[must_use]
+    pub fn with_job(mut self, job: Conjunction) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Marks the request as made with a limited proxy.
+    #[must_use]
+    pub fn with_limited_proxy(mut self, limited: bool) -> Self {
+        self.limited_proxy = limited;
+        self
+    }
+
+    /// Attaches restricted-proxy policy payloads (outermost first).
+    #[must_use]
+    pub fn with_restrictions(mut self, restrictions: Vec<String>) -> Self {
+        self.restrictions = restrictions;
+        self
+    }
+
+    /// The requester's effective Grid identity.
+    pub fn subject(&self) -> &DistinguishedName {
+        &self.subject
+    }
+
+    /// The requested operation.
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// The RSL job description, when present.
+    pub fn job(&self) -> Option<&Conjunction> {
+        self.job.as_ref()
+    }
+
+    /// The unique job identifier, when present.
+    pub fn job_id(&self) -> Option<&str> {
+        self.job_id.as_deref()
+    }
+
+    /// The initiator of the target job. For `start` requests this is the
+    /// requester itself.
+    pub fn job_owner(&self) -> &DistinguishedName {
+        self.job_owner.as_ref().unwrap_or(&self.subject)
+    }
+
+    /// The target job's management tag, from the explicit field or the job
+    /// description's `jobtag` attribute.
+    pub fn jobtag(&self) -> Option<&str> {
+        if let Some(tag) = &self.jobtag {
+            return Some(tag);
+        }
+        self.job
+            .as_ref()
+            .and_then(|j| j.first_value(attributes::JOBTAG))
+            .and_then(Value::as_str)
+    }
+
+    /// True when the requester presented a limited proxy.
+    pub fn is_limited_proxy(&self) -> bool {
+        self.limited_proxy
+    }
+
+    /// Restricted-proxy policy payloads accompanying the credential.
+    pub fn restrictions(&self) -> &[String] {
+        &self.restrictions
+    }
+
+    /// The values the request presents for a policy attribute.
+    ///
+    /// `action`, `jobowner` and `jobtag` are synthesized from the request
+    /// itself; everything else comes from `=` relations in the job
+    /// description. An empty result means "attribute absent", which is what
+    /// the special `NULL` value tests.
+    pub fn values_for(&self, attribute: &str) -> Vec<Value> {
+        if attribute.eq_ignore_ascii_case(attributes::ACTION) {
+            return vec![Value::literal(self.action.as_str())];
+        }
+        if attribute.eq_ignore_ascii_case(attributes::JOBOWNER) {
+            return vec![Value::literal(self.job_owner().to_string())];
+        }
+        if attribute.eq_ignore_ascii_case(attributes::JOBTAG) {
+            return match self.jobtag() {
+                Some(tag) => vec![Value::literal(tag)],
+                None => Vec::new(),
+            };
+        }
+        match &self.job {
+            Some(job) => job
+                .relations_for(attribute)
+                .filter(|r| r.op() == RelOp::Eq)
+                .flat_map(|r| r.values().iter().cloned())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_rsl::parse;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn conj(s: &str) -> Conjunction {
+        parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    #[test]
+    fn start_request_owner_is_subject() {
+        let r = AuthzRequest::start(dn("/O=G/CN=Bo"), conj("&(executable = x)"));
+        assert_eq!(r.job_owner(), &dn("/O=G/CN=Bo"));
+        assert_eq!(r.action(), Action::Start);
+    }
+
+    #[test]
+    fn manage_request_carries_owner_and_tag() {
+        let r = AuthzRequest::manage(
+            dn("/O=G/CN=Kate"),
+            Action::Cancel,
+            dn("/O=G/CN=Bo"),
+            Some("NFC".into()),
+        );
+        assert_eq!(r.job_owner(), &dn("/O=G/CN=Bo"));
+        assert_eq!(r.jobtag(), Some("NFC"));
+        assert_eq!(r.values_for("jobowner"), vec![Value::literal("/O=G/CN=Bo")]);
+    }
+
+    #[test]
+    fn jobtag_falls_back_to_description() {
+        let r = AuthzRequest::start(dn("/O=G/CN=Bo"), conj("&(executable = x)(jobtag = ADS)"));
+        assert_eq!(r.jobtag(), Some("ADS"));
+        assert_eq!(r.values_for("jobtag"), vec![Value::literal("ADS")]);
+    }
+
+    #[test]
+    fn explicit_jobtag_overrides_description() {
+        let r = AuthzRequest::manage(
+            dn("/O=G/CN=Kate"),
+            Action::Signal,
+            dn("/O=G/CN=Bo"),
+            Some("NFC".into()),
+        )
+        .with_job(conj("&(jobtag = ADS)"));
+        assert_eq!(r.jobtag(), Some("NFC"));
+    }
+
+    #[test]
+    fn values_for_reads_eq_relations_only() {
+        let r = AuthzRequest::start(dn("/O=G/CN=Bo"), conj("&(count = 2)(maxtime < 60)"));
+        assert_eq!(r.values_for("count"), vec![Value::int(2)]);
+        // `<` in a *request* provides no concrete value.
+        assert!(r.values_for("maxtime").is_empty());
+        assert!(r.values_for("queue").is_empty());
+    }
+
+    #[test]
+    fn action_values_are_synthesized() {
+        let r = AuthzRequest::start(dn("/O=G/CN=Bo"), conj("&(executable = x)"));
+        assert_eq!(r.values_for("action"), vec![Value::literal("start")]);
+        assert_eq!(r.values_for("ACTION"), vec![Value::literal("start")]);
+    }
+
+    #[test]
+    fn builders_attach_metadata() {
+        let r = AuthzRequest::start(dn("/O=G/CN=Bo"), conj("&(executable = x)"))
+            .with_job_id("job-42")
+            .with_limited_proxy(true)
+            .with_restrictions(vec!["&(action = start)".into()]);
+        assert_eq!(r.job_id(), Some("job-42"));
+        assert!(r.is_limited_proxy());
+        assert_eq!(r.restrictions().len(), 1);
+    }
+}

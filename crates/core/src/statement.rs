@@ -1,0 +1,193 @@
+//! Policy statements: a subject matcher bound to RSL rule conjunctions.
+
+use std::fmt;
+
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::Conjunction;
+
+/// Who a policy statement applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubjectMatcher {
+    /// Exactly one Grid identity (the paper's per-user statements).
+    Exact(DistinguishedName),
+    /// Every identity whose string form starts with the prefix (the
+    /// paper's group statements: "users whose Grid identities start with
+    /// the string ...").
+    Prefix(String),
+    /// Every identity. An extension over the paper used to express
+    /// resource-owner defaults such as GT2's `(jobowner = self)` rule.
+    Any,
+}
+
+impl SubjectMatcher {
+    /// True when `subject` is covered by this matcher.
+    pub fn matches(&self, subject: &DistinguishedName) -> bool {
+        match self {
+            SubjectMatcher::Exact(dn) => dn == subject,
+            SubjectMatcher::Prefix(prefix) => subject.starts_with_str(prefix),
+            SubjectMatcher::Any => true,
+        }
+    }
+}
+
+impl fmt::Display for SubjectMatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubjectMatcher::Exact(dn) => write!(f, "{dn}"),
+            SubjectMatcher::Prefix(p) => write!(f, "{p}*"),
+            SubjectMatcher::Any => write!(f, "*"),
+        }
+    }
+}
+
+/// Whether a statement grants rights or imposes requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementRole {
+    /// At least one grant conjunction must match in full for a permit.
+    Grant,
+    /// Every applicable requirement conjunction must be satisfied;
+    /// requirements never grant by themselves. Written with a leading `&`
+    /// on the subject (the paper's Figure 3 group statement).
+    Requirement,
+}
+
+/// One policy statement: `subject: conjunction+`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyStatement {
+    subject: SubjectMatcher,
+    role: StatementRole,
+    rules: Vec<Conjunction>,
+}
+
+impl PolicyStatement {
+    /// Builds a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` is empty — a statement must assert something.
+    pub fn new(subject: SubjectMatcher, role: StatementRole, rules: Vec<Conjunction>) -> Self {
+        assert!(!rules.is_empty(), "a policy statement requires at least one rule");
+        PolicyStatement { subject, role, rules }
+    }
+
+    /// Convenience constructor for a grant bound to an exact identity.
+    pub fn grant(subject: DistinguishedName, rules: Vec<Conjunction>) -> Self {
+        PolicyStatement::new(SubjectMatcher::Exact(subject), StatementRole::Grant, rules)
+    }
+
+    /// Convenience constructor for a prefix-group requirement.
+    pub fn requirement(prefix: impl Into<String>, rules: Vec<Conjunction>) -> Self {
+        PolicyStatement::new(
+            SubjectMatcher::Prefix(prefix.into()),
+            StatementRole::Requirement,
+            rules,
+        )
+    }
+
+    /// The subject matcher.
+    pub fn subject(&self) -> &SubjectMatcher {
+        &self.subject
+    }
+
+    /// Grant or requirement.
+    pub fn role(&self) -> StatementRole {
+        self.role
+    }
+
+    /// The rule conjunctions.
+    pub fn rules(&self) -> &[Conjunction] {
+        &self.rules
+    }
+
+    /// True when this statement applies to `subject`.
+    pub fn applies_to(&self, subject: &DistinguishedName) -> bool {
+        self.subject.matches(subject)
+    }
+}
+
+impl fmt::Display for PolicyStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let marker = match self.role {
+            StatementRole::Requirement => "&",
+            StatementRole::Grant => "",
+        };
+        // `Prefix` subjects print without the trailing `*` when the role is
+        // Requirement, matching the paper's figure; `Display` for
+        // SubjectMatcher adds the `*` in grant position.
+        match (&self.subject, self.role) {
+            (SubjectMatcher::Prefix(p), StatementRole::Requirement) => write!(f, "&{p}:")?,
+            (s, _) => write!(f, "{marker}{s}:")?,
+        }
+        for rule in &self.rules {
+            write!(f, "\n  &")?;
+            for clause in rule.clauses() {
+                write!(f, "{clause}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_rsl::parse;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn conj(s: &str) -> Conjunction {
+        parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    #[test]
+    fn exact_matcher() {
+        let m = SubjectMatcher::Exact(dn("/O=G/CN=Bo"));
+        assert!(m.matches(&dn("/O=G/CN=Bo")));
+        assert!(!m.matches(&dn("/O=G/CN=Kate")));
+    }
+
+    #[test]
+    fn prefix_matcher_is_string_prefix() {
+        let m = SubjectMatcher::Prefix("/O=Grid/O=Globus/OU=mcs.anl.gov".into());
+        assert!(m.matches(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")));
+        assert!(!m.matches(&dn("/O=Grid/O=Globus/OU=cs.wisc.edu/CN=Eve")));
+    }
+
+    #[test]
+    fn any_matcher_matches_everything() {
+        assert!(SubjectMatcher::Any.matches(&dn("/O=X/CN=whoever")));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rule")]
+    fn statement_requires_rules() {
+        PolicyStatement::grant(dn("/O=G/CN=Bo"), vec![]);
+    }
+
+    #[test]
+    fn applies_to_delegates_to_matcher() {
+        let s = PolicyStatement::requirement("/O=G", vec![conj("&(action = start)")]);
+        assert!(s.applies_to(&dn("/O=G/CN=Bo")));
+        assert!(!s.applies_to(&dn("/O=H/CN=Bo")));
+        assert_eq!(s.role(), StatementRole::Requirement);
+    }
+
+    #[test]
+    fn display_uses_paper_syntax() {
+        let req = PolicyStatement::requirement(
+            "/O=Grid/O=Globus/OU=mcs.anl.gov",
+            vec![conj("&(action = start)(jobtag != NULL)")],
+        );
+        let text = req.to_string();
+        assert!(text.starts_with("&/O=Grid/O=Globus/OU=mcs.anl.gov:"));
+        assert!(text.contains("(jobtag != NULL)"));
+
+        let grant = PolicyStatement::grant(
+            dn("/O=G/CN=Bo"),
+            vec![conj("&(action = start)(executable = test1)")],
+        );
+        assert!(grant.to_string().starts_with("/O=G/CN=Bo:"));
+    }
+}

@@ -1,0 +1,417 @@
+//! An XACML-style XML profile for the policy language (§6.3).
+//!
+//! The paper concludes that RSL-based policy files "will not be supported
+//! by standard policy tools" and announces that "languages based on XML,
+//! such as XACML, ... are viable candidates". This module is that bridge:
+//! a lossless XML profile structured like XACML (policies of rules with
+//! subjects, conditions and effects) that round-trips the native policy
+//! model, so policies can be edited and audited by XML tooling while the
+//! evaluator keeps its RSL semantics.
+//!
+//! ```xml
+//! <Policy xmlns="urn:gridauthz:policy:1">
+//!   <Statement Role="requirement">
+//!     <Subject Match="prefix">/O=Grid/O=Globus/OU=mcs.anl.gov</Subject>
+//!     <Rule>
+//!       <Condition Attribute="action" Op="eq"><Value>start</Value></Condition>
+//!       <Condition Attribute="jobtag" Op="ne"><Value>NULL</Value></Condition>
+//!     </Rule>
+//!   </Statement>
+//! </Policy>
+//! ```
+//!
+//! The XML layer is implemented from scratch (no XML crate is on the
+//! approved dependency list) and covers exactly this profile: elements,
+//! attributes, character data and entity escaping.
+
+use std::fmt::Write as _;
+
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::{Attribute, Clause, Conjunction, RelOp, Relation, Value};
+
+use crate::error::PolicyParseError;
+use crate::policy::Policy;
+use crate::statement::{PolicyStatement, StatementRole, SubjectMatcher};
+
+/// Serializes `policy` to the XACML-style profile.
+pub fn to_xml(policy: &Policy) -> String {
+    let mut out = String::from("<Policy xmlns=\"urn:gridauthz:policy:1\">\n");
+    for statement in policy.statements() {
+        let role = match statement.role() {
+            StatementRole::Grant => "grant",
+            StatementRole::Requirement => "requirement",
+        };
+        let _ = writeln!(out, "  <Statement Role=\"{role}\">");
+        let (match_kind, subject_text) = match statement.subject() {
+            SubjectMatcher::Exact(dn) => ("exact", dn.to_string()),
+            SubjectMatcher::Prefix(p) => ("prefix", p.clone()),
+            SubjectMatcher::Any => ("any", String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "    <Subject Match=\"{match_kind}\">{}</Subject>",
+            escape(&subject_text)
+        );
+        for rule in statement.rules() {
+            out.push_str("    <Rule>\n");
+            for clause in rule.clauses() {
+                if let Clause::Relation(relation) = clause {
+                    let op = match relation.op() {
+                        RelOp::Eq => "eq",
+                        RelOp::Ne => "ne",
+                        RelOp::Lt => "lt",
+                        RelOp::Le => "le",
+                        RelOp::Gt => "gt",
+                        RelOp::Ge => "ge",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "      <Condition Attribute=\"{}\" Op=\"{op}\">",
+                        relation.attribute()
+                    );
+                    for value in relation.values() {
+                        write_value(&mut out, value, 8);
+                    }
+                    out.push_str("      </Condition>\n");
+                }
+            }
+            out.push_str("    </Rule>\n");
+        }
+        out.push_str("  </Statement>\n");
+    }
+    out.push_str("</Policy>\n");
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    let pad = " ".repeat(indent);
+    match value {
+        Value::Literal(s) => {
+            let _ = writeln!(out, "{pad}<Value>{}</Value>", escape(s));
+        }
+        Value::Variable(name) => {
+            let _ = writeln!(out, "{pad}<Value Kind=\"variable\">{}</Value>", escape(name));
+        }
+        Value::Sequence(items) => {
+            let _ = writeln!(out, "{pad}<Value Kind=\"sequence\">");
+            for item in items {
+                write_value(out, item, indent + 2);
+            }
+            let _ = writeln!(out, "{pad}</Value>");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+// --- A minimal XML reader for exactly this profile -----------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum XmlEvent {
+    Open { name: String, attributes: Vec<(String, String)> },
+    Close(String),
+    Text(String),
+}
+
+fn tokenize(xml: &str) -> Result<Vec<XmlEvent>, PolicyParseError> {
+    let err = |msg: &str| PolicyParseError::new(0, format!("XML: {msg}"));
+    let mut events = Vec::new();
+    let mut rest = xml;
+    while !rest.is_empty() {
+        if let Some(lt) = rest.find('<') {
+            let text = &rest[..lt];
+            if !text.trim().is_empty() {
+                events.push(XmlEvent::Text(unescape(text.trim())));
+            }
+            let gt = rest[lt..].find('>').ok_or_else(|| err("unterminated tag"))? + lt;
+            let tag = &rest[lt + 1..gt];
+            rest = &rest[gt + 1..];
+            if let Some(name) = tag.strip_prefix('/') {
+                events.push(XmlEvent::Close(name.trim().to_string()));
+            } else {
+                let self_closing = tag.ends_with('/');
+                let tag = tag.trim_end_matches('/').trim();
+                let mut parts = tag.splitn(2, char::is_whitespace);
+                let name = parts.next().ok_or_else(|| err("empty tag"))?.to_string();
+                let mut attributes = Vec::new();
+                if let Some(attr_text) = parts.next() {
+                    let mut attr_rest = attr_text.trim();
+                    while !attr_rest.is_empty() {
+                        let eq = attr_rest.find('=').ok_or_else(|| err("attribute without '='"))?;
+                        let key = attr_rest[..eq].trim().to_string();
+                        let after = attr_rest[eq + 1..].trim_start();
+                        let quoted = after
+                            .strip_prefix('"')
+                            .ok_or_else(|| err("attribute value must be quoted"))?;
+                        let end = quoted.find('"').ok_or_else(|| err("unterminated attribute"))?;
+                        attributes.push((key, unescape(&quoted[..end])));
+                        attr_rest = quoted[end + 1..].trim_start();
+                    }
+                }
+                events.push(XmlEvent::Open { name: name.clone(), attributes });
+                if self_closing {
+                    events.push(XmlEvent::Close(name));
+                }
+            }
+        } else {
+            if !rest.trim().is_empty() {
+                events.push(XmlEvent::Text(unescape(rest.trim())));
+            }
+            break;
+        }
+    }
+    Ok(events)
+}
+
+struct Reader {
+    events: Vec<XmlEvent>,
+    pos: usize,
+}
+
+impl Reader {
+    fn err(&self, msg: impl Into<String>) -> PolicyParseError {
+        PolicyParseError::new(0, format!("XML: {}", msg.into()))
+    }
+
+    fn peek(&self) -> Option<&XmlEvent> {
+        self.events.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<XmlEvent> {
+        let e = self.events.get(self.pos).cloned();
+        if e.is_some() {
+            self.pos += 1;
+        }
+        e
+    }
+
+    fn expect_open(&mut self, name: &str) -> Result<Vec<(String, String)>, PolicyParseError> {
+        match self.next() {
+            Some(XmlEvent::Open { name: n, attributes }) if n == name => Ok(attributes),
+            other => Err(self.err(format!("expected <{name}>, got {other:?}"))),
+        }
+    }
+
+    fn expect_close(&mut self, name: &str) -> Result<(), PolicyParseError> {
+        match self.next() {
+            Some(XmlEvent::Close(n)) if n == name => Ok(()),
+            other => Err(self.err(format!("expected </{name}>, got {other:?}"))),
+        }
+    }
+
+    fn take_text(&mut self) -> String {
+        match self.peek() {
+            Some(XmlEvent::Text(_)) => {
+                let Some(XmlEvent::Text(t)) = self.next() else { unreachable!() };
+                t
+            }
+            _ => String::new(),
+        }
+    }
+}
+
+fn attr<'a>(attributes: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Parses the XACML-style profile back into a [`Policy`].
+///
+/// # Errors
+///
+/// [`PolicyParseError`] for malformed XML or profile violations (unknown
+/// roles, operators, subject match kinds, invalid attribute names).
+pub fn from_xml(xml: &str) -> Result<Policy, PolicyParseError> {
+    let mut reader = Reader { events: tokenize(xml)?, pos: 0 };
+    reader.expect_open("Policy")?;
+    let mut statements = Vec::new();
+    loop {
+        match reader.peek() {
+            Some(XmlEvent::Open { name, .. }) if name == "Statement" => {
+                statements.push(read_statement(&mut reader)?);
+            }
+            _ => break,
+        }
+    }
+    reader.expect_close("Policy")?;
+    Ok(Policy::from_statements(statements))
+}
+
+fn read_statement(reader: &mut Reader) -> Result<PolicyStatement, PolicyParseError> {
+    let attributes = reader.expect_open("Statement")?;
+    let role = match attr(&attributes, "Role") {
+        Some("grant") => StatementRole::Grant,
+        Some("requirement") => StatementRole::Requirement,
+        other => return Err(reader.err(format!("unknown statement role {other:?}"))),
+    };
+
+    let subject_attrs = reader.expect_open("Subject")?;
+    let subject_text = reader.take_text();
+    reader.expect_close("Subject")?;
+    let subject = match attr(&subject_attrs, "Match") {
+        Some("exact") => SubjectMatcher::Exact(
+            DistinguishedName::parse(&subject_text)
+                .map_err(|e| reader.err(format!("bad exact subject: {e}")))?,
+        ),
+        Some("prefix") => SubjectMatcher::Prefix(subject_text),
+        Some("any") => SubjectMatcher::Any,
+        other => return Err(reader.err(format!("unknown subject match {other:?}"))),
+    };
+
+    let mut rules = Vec::new();
+    while matches!(reader.peek(), Some(XmlEvent::Open { name, .. }) if name == "Rule") {
+        rules.push(read_rule(reader)?);
+    }
+    reader.expect_close("Statement")?;
+    if rules.is_empty() {
+        return Err(reader.err("statement has no rules"));
+    }
+    Ok(PolicyStatement::new(subject, role, rules))
+}
+
+fn read_rule(reader: &mut Reader) -> Result<Conjunction, PolicyParseError> {
+    reader.expect_open("Rule")?;
+    let mut clauses = Vec::new();
+    while matches!(reader.peek(), Some(XmlEvent::Open { name, .. }) if name == "Condition") {
+        let attributes = reader.expect_open("Condition")?;
+        let attribute_name = attr(&attributes, "Attribute")
+            .ok_or_else(|| reader.err("Condition missing Attribute"))?;
+        let attribute = Attribute::new(attribute_name)
+            .map_err(|e| reader.err(format!("bad attribute name: {e}")))?;
+        let op = match attr(&attributes, "Op") {
+            Some("eq") => RelOp::Eq,
+            Some("ne") => RelOp::Ne,
+            Some("lt") => RelOp::Lt,
+            Some("le") => RelOp::Le,
+            Some("gt") => RelOp::Gt,
+            Some("ge") => RelOp::Ge,
+            other => return Err(reader.err(format!("unknown operator {other:?}"))),
+        };
+        let mut values = Vec::new();
+        while matches!(reader.peek(), Some(XmlEvent::Open { name, .. }) if name == "Value") {
+            values.push(read_value(reader)?);
+        }
+        reader.expect_close("Condition")?;
+        if values.is_empty() {
+            return Err(reader.err("Condition has no values"));
+        }
+        clauses.push(Clause::Relation(Relation::new(attribute, op, values)));
+    }
+    reader.expect_close("Rule")?;
+    Ok(Conjunction::new(clauses))
+}
+
+fn read_value(reader: &mut Reader) -> Result<Value, PolicyParseError> {
+    let attributes = reader.expect_open("Value")?;
+    let value = match attr(&attributes, "Kind") {
+        None | Some("literal") => Value::Literal(reader.take_text()),
+        Some("variable") => Value::Variable(reader.take_text()),
+        Some("sequence") => {
+            let mut items = Vec::new();
+            while matches!(reader.peek(), Some(XmlEvent::Open { name, .. }) if name == "Value") {
+                items.push(read_value(reader)?);
+            }
+            Value::Sequence(items)
+        }
+        other => return Err(reader.err(format!("unknown value kind {other:?}"))),
+    };
+    reader.expect_close("Value")?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn figure3_roundtrips_through_xml() {
+        let policy = paper::figure3_policy();
+        let xml = to_xml(&policy);
+        assert!(xml.contains("urn:gridauthz:policy:1"));
+        assert!(xml.contains("Role=\"requirement\""));
+        assert!(xml.contains("Attribute=\"jobtag\""));
+        let reparsed = from_xml(&xml).unwrap();
+        assert_eq!(policy, reparsed);
+    }
+
+    #[test]
+    fn subject_variants_roundtrip() {
+        let policy: Policy = "\
+*: &(action = information)
+/O=G*: &(action = start)
+&/O=G/OU=x: (action = start)(jobtag != NULL)
+/O=G/CN=Bo: &(action = cancel)(jobowner = self)"
+            .parse()
+            .unwrap();
+        assert_eq!(from_xml(&to_xml(&policy)).unwrap(), policy);
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let policy: Policy =
+            "/O=G/CN=Bo: &(action = start)(executable = \"a<b&c>d\")(count < 4)".parse().unwrap();
+        let xml = to_xml(&policy);
+        assert!(xml.contains("a&lt;b&amp;c&gt;d"));
+        assert_eq!(from_xml(&xml).unwrap(), policy);
+    }
+
+    #[test]
+    fn sequences_and_variables_roundtrip() {
+        let policy: Policy =
+            "/O=G/CN=Bo: &(action = start)(arguments = (-v (x y)))(directory = $(HOME))"
+                .parse()
+                .unwrap();
+        assert_eq!(from_xml(&to_xml(&policy)).unwrap(), policy);
+    }
+
+    #[test]
+    fn decisions_survive_the_xml_roundtrip() {
+        use crate::eval::Pdp;
+        use crate::request::AuthzRequest;
+        let policy = paper::figure3_policy();
+        let reparsed = from_xml(&to_xml(&policy)).unwrap();
+        let job = gridauthz_rsl::parse(
+            "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)",
+        )
+        .unwrap();
+        let request =
+            AuthzRequest::start(paper::bo_liu(), job.as_conjunction().unwrap().clone());
+        assert_eq!(
+            Pdp::new(policy).decide(&request),
+            Pdp::new(reparsed).decide(&request)
+        );
+    }
+
+    #[test]
+    fn malformed_xml_is_rejected() {
+        for bad in [
+            "",
+            "<Policy>",
+            "<Policy><Statement Role=\"grant\"></Statement></Policy>",
+            "<Policy><Statement Role=\"emperor\"><Subject Match=\"any\"></Subject></Statement></Policy>",
+            "<Policy><Statement Role=\"grant\"><Subject Match=\"exact\">not-a-dn</Subject><Rule></Rule></Statement></Policy>",
+            "<Policy><Statement Role=\"grant\"><Subject Match=\"any\"></Subject><Rule><Condition Attribute=\"action\" Op=\"sorta\"><Value>start</Value></Condition></Rule></Statement></Policy>",
+            "<Policy><Statement Role=\"grant\"><Subject Match=\"any\"></Subject><Rule><Condition Attribute=\"action\" Op=\"eq\"></Condition></Rule></Statement></Policy>",
+        ] {
+            assert!(from_xml(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_policy_roundtrips() {
+        let policy = Policy::new();
+        assert_eq!(from_xml(&to_xml(&policy)).unwrap(), policy);
+    }
+}

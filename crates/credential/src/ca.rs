@@ -1,0 +1,227 @@
+//! Simulated certificate authorities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gridauthz_clock::{SimClock, SimDuration};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cert::{Certificate, CertificateKind, Validity};
+use crate::credential::Credential;
+use crate::dn::DistinguishedName;
+use crate::error::CredentialError;
+use crate::rsa::KeyPair;
+use crate::sha256::sha256_prefix_u64;
+
+/// A certificate authority that can issue identity and subordinate-CA
+/// certificates.
+///
+/// The CA reads "now" from the shared [`SimClock`], so issued certificates
+/// become valid at the current simulated instant. Key generation is seeded
+/// from the CA's name, keeping whole testbeds reproducible.
+#[derive(Debug)]
+pub struct CertificateAuthority {
+    credential: Credential,
+    clock: SimClock,
+    next_serial: AtomicU64,
+    rng: Mutex<StdRng>,
+}
+
+impl CertificateAuthority {
+    /// Creates a self-signed root CA named `dn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidDn`] when `dn` fails to parse.
+    pub fn new_root(dn: &str, clock: &SimClock) -> Result<CertificateAuthority, CredentialError> {
+        CertificateAuthority::new_root_with_seed(dn, sha256_prefix_u64(dn.as_bytes()), clock)
+    }
+
+    /// Creates a self-signed root CA with an explicit key-generation seed.
+    ///
+    /// Two roots with the same name but different seeds hold different
+    /// keys — useful for testing that trust matching is key-based.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidDn`] when `dn` fails to parse.
+    pub fn new_root_with_seed(
+        dn: &str,
+        seed: u64,
+        clock: &SimClock,
+    ) -> Result<CertificateAuthority, CredentialError> {
+        let subject = DistinguishedName::parse(dn)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = KeyPair::generate(&mut rng);
+        let validity = Validity {
+            not_before: clock.now(),
+            not_after: clock.now().saturating_add(SimDuration::from_hours(24 * 365 * 10)),
+        };
+        let tbs = Certificate::tbs_bytes(
+            1, &subject, &subject, keys.public(), validity, &CertificateKind::Ca, &[],
+        );
+        let signature = keys.private().sign(&tbs);
+        let cert = Certificate::assemble(
+            1,
+            subject.clone(),
+            subject,
+            keys.public(),
+            validity,
+            CertificateKind::Ca,
+            Vec::new(),
+            signature,
+        );
+        Ok(CertificateAuthority {
+            credential: Credential::assemble(cert.clone(), keys.private().clone(), vec![cert]),
+            clock: clock.clone(),
+            next_serial: AtomicU64::new(2),
+            rng: Mutex::new(rng),
+        })
+    }
+
+    /// This CA's own certificate (the trust anchor to distribute).
+    pub fn certificate(&self) -> &Certificate {
+        self.credential.certificate()
+    }
+
+    /// Issues an end-entity identity certificate for `dn`, valid for
+    /// `lifetime` starting now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidDn`] when `dn` fails to parse.
+    pub fn issue_identity(
+        &self,
+        dn: &str,
+        lifetime: SimDuration,
+    ) -> Result<Credential, CredentialError> {
+        self.issue(dn, lifetime, CertificateKind::EndEntity)
+    }
+
+    /// Issues a subordinate CA, returning an authority that can itself
+    /// issue certificates chaining up to this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidDn`] when `dn` fails to parse.
+    pub fn issue_subordinate_ca(
+        &self,
+        dn: &str,
+        lifetime: SimDuration,
+    ) -> Result<CertificateAuthority, CredentialError> {
+        let credential = self.issue(dn, lifetime, CertificateKind::Ca)?;
+        let seed = sha256_prefix_u64(format!("sub:{dn}").as_bytes());
+        Ok(CertificateAuthority {
+            credential,
+            clock: self.clock.clone(),
+            next_serial: AtomicU64::new(1),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    fn issue(
+        &self,
+        dn: &str,
+        lifetime: SimDuration,
+        kind: CertificateKind,
+    ) -> Result<Credential, CredentialError> {
+        let subject = DistinguishedName::parse(dn)?;
+        let keys = {
+            let mut rng = self.rng.lock().expect("CA rng mutex poisoned");
+            KeyPair::generate(&mut *rng)
+        };
+        let serial = self.next_serial.fetch_add(1, Ordering::SeqCst);
+        let now = self.clock.now();
+        let validity = Validity { not_before: now, not_after: now.saturating_add(lifetime) };
+        let issuer = self.credential.certificate().subject().clone();
+        let tbs = Certificate::tbs_bytes(
+            serial, &subject, &issuer, keys.public(), validity, &kind, &[],
+        );
+        let signature = self.credential.private_key().sign(&tbs);
+        let cert = Certificate::assemble(
+            serial,
+            subject,
+            issuer,
+            keys.public(),
+            validity,
+            kind,
+            Vec::new(),
+            signature,
+        );
+        let mut chain = vec![cert.clone()];
+        chain.extend(self.credential.chain().iter().cloned());
+        Ok(Credential::assemble(cert, keys.private().clone(), chain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_clock::SimClock;
+
+    #[test]
+    fn root_ca_is_self_signed() {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        assert!(ca.certificate().is_self_signed());
+        assert_eq!(ca.certificate().kind(), &CertificateKind::Ca);
+    }
+
+    #[test]
+    fn issued_identity_is_signed_by_ca() {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let user = ca
+            .issue_identity("/O=Grid/CN=Bo Liu", SimDuration::from_hours(1))
+            .unwrap();
+        assert!(user.certificate().verify_signature(ca.certificate().public_key()));
+        assert_eq!(user.certificate().kind(), &CertificateKind::EndEntity);
+        assert_eq!(user.chain().len(), 2);
+        assert_eq!(user.chain()[1].subject(), ca.certificate().subject());
+    }
+
+    #[test]
+    fn validity_starts_at_issue_time() {
+        let clock = SimClock::new();
+        clock.advance(SimDuration::from_secs(500));
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        clock.advance(SimDuration::from_secs(100));
+        let user = ca
+            .issue_identity("/O=Grid/CN=U", SimDuration::from_secs(60))
+            .unwrap();
+        assert_eq!(user.certificate().validity().not_before.as_secs(), 600);
+        assert_eq!(user.certificate().validity().not_after.as_secs(), 660);
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let a = ca.issue_identity("/O=Grid/CN=A", SimDuration::from_secs(10)).unwrap();
+        let b = ca.issue_identity("/O=Grid/CN=B", SimDuration::from_secs(10)).unwrap();
+        assert_ne!(a.certificate().serial(), b.certificate().serial());
+    }
+
+    #[test]
+    fn subordinate_ca_chains_to_root() {
+        let clock = SimClock::new();
+        let root = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let sub = root
+            .issue_subordinate_ca("/O=Grid/OU=Site/CN=Site CA", SimDuration::from_hours(10))
+            .unwrap();
+        let user = sub
+            .issue_identity("/O=Grid/OU=Site/CN=U", SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(user.chain().len(), 3);
+        assert!(user.certificate().verify_signature(sub.certificate().public_key()));
+    }
+
+    #[test]
+    fn rejects_bad_dn() {
+        let clock = SimClock::new();
+        assert!(CertificateAuthority::new_root("bogus", &clock).is_err());
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        assert!(ca.issue_identity("also bogus", SimDuration::from_secs(1)).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Simulated X.509 certificates.
+
+use std::fmt;
+
+use gridauthz_clock::SimTime;
+
+use crate::dn::DistinguishedName;
+use crate::rsa::{PublicKey, Signature};
+
+/// The role a certificate plays in a chain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CertificateKind {
+    /// A certificate authority (may sign other certificates).
+    Ca,
+    /// An end-entity identity certificate (a user or a service).
+    EndEntity,
+    /// A proxy certificate derived from an end-entity certificate.
+    Proxy(ProxyKind),
+}
+
+/// The delegation semantics of a proxy certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProxyKind {
+    /// Full impersonation: the proxy carries all rights of the identity.
+    Impersonation,
+    /// Limited proxy: job submission is refused (GT2 semantics).
+    Limited,
+    /// Restricted proxy embedding a policy payload (the CAS model): the
+    /// holder's rights are the *intersection* of the identity's rights and
+    /// the embedded policy.
+    Restricted,
+}
+
+/// A certificate validity window (inclusive bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Validity {
+    /// First instant at which the certificate is valid.
+    pub not_before: SimTime,
+    /// Last instant at which the certificate is valid.
+    pub not_after: SimTime,
+}
+
+impl Validity {
+    /// True when `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.not_before <= t && t <= self.not_after
+    }
+}
+
+/// A named extension carried by a certificate (e.g. the CAS policy payload
+/// in a restricted proxy, or a VO attribute assertion).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Extension {
+    /// Extension name, e.g. `"cas-policy"`.
+    pub name: String,
+    /// Raw extension payload.
+    pub value: String,
+}
+
+/// A simulated X.509 certificate.
+///
+/// The `to-be-signed` content is canonically encoded by
+/// [`Certificate::tbs_bytes`]; the signature covers exactly those bytes, so
+/// any mutation of subject, issuer, key, validity, kind or extensions
+/// invalidates the signature — the property chain validation relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Certificate {
+    serial: u64,
+    subject: DistinguishedName,
+    issuer: DistinguishedName,
+    public_key: PublicKey,
+    validity: Validity,
+    kind: CertificateKind,
+    extensions: Vec<Extension>,
+    signature: Signature,
+}
+
+impl Certificate {
+    /// Assembles a certificate from parts. Only certificate authorities
+    /// ([`crate::CertificateAuthority`]) and proxy delegation
+    /// ([`crate::Credential::delegate_proxy`]) should need this.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        serial: u64,
+        subject: DistinguishedName,
+        issuer: DistinguishedName,
+        public_key: PublicKey,
+        validity: Validity,
+        kind: CertificateKind,
+        extensions: Vec<Extension>,
+        signature: Signature,
+    ) -> Certificate {
+        Certificate { serial, subject, issuer, public_key, validity, kind, extensions, signature }
+    }
+
+    /// Canonical encoding of the to-be-signed content.
+    pub fn tbs_bytes(
+        serial: u64,
+        subject: &DistinguishedName,
+        issuer: &DistinguishedName,
+        public_key: PublicKey,
+        validity: Validity,
+        kind: &CertificateKind,
+        extensions: &[Extension],
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&serial.to_be_bytes());
+        out.extend_from_slice(subject.to_string().as_bytes());
+        out.push(0);
+        out.extend_from_slice(issuer.to_string().as_bytes());
+        out.push(0);
+        out.extend_from_slice(&public_key.modulus().to_be_bytes());
+        out.extend_from_slice(&public_key.fingerprint().to_be_bytes());
+        out.extend_from_slice(&validity.not_before.as_micros().to_be_bytes());
+        out.extend_from_slice(&validity.not_after.as_micros().to_be_bytes());
+        out.extend_from_slice(format!("{kind:?}").as_bytes());
+        out.push(0);
+        for ext in extensions {
+            out.extend_from_slice(ext.name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(ext.value.as_bytes());
+            out.push(0);
+        }
+        out
+    }
+
+    /// The to-be-signed bytes of *this* certificate.
+    pub fn own_tbs_bytes(&self) -> Vec<u8> {
+        Certificate::tbs_bytes(
+            self.serial,
+            &self.subject,
+            &self.issuer,
+            self.public_key,
+            self.validity,
+            &self.kind,
+            &self.extensions,
+        )
+    }
+
+    /// Serial number (unique per issuer).
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// The certified subject name.
+    pub fn subject(&self) -> &DistinguishedName {
+        &self.subject
+    }
+
+    /// The issuing authority (or delegating identity, for proxies).
+    pub fn issuer(&self) -> &DistinguishedName {
+        &self.issuer
+    }
+
+    /// The certified public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.public_key
+    }
+
+    /// The validity window.
+    pub fn validity(&self) -> Validity {
+        self.validity
+    }
+
+    /// The certificate's role.
+    pub fn kind(&self) -> &CertificateKind {
+        &self.kind
+    }
+
+    /// All extensions.
+    pub fn extensions(&self) -> &[Extension] {
+        &self.extensions
+    }
+
+    /// Looks up an extension payload by name.
+    pub fn extension(&self, name: &str) -> Option<&str> {
+        self.extensions
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value.as_str())
+    }
+
+    /// The issuer's signature over [`Certificate::own_tbs_bytes`].
+    pub fn signature(&self) -> Signature {
+        self.signature
+    }
+
+    /// True when `signer` (the issuer's public key) signed this certificate.
+    pub fn verify_signature(&self, signer: PublicKey) -> bool {
+        signer.verify(&self.own_tbs_bytes(), self.signature)
+    }
+
+    /// True for self-signed (root CA) certificates.
+    pub fn is_self_signed(&self) -> bool {
+        self.subject == self.issuer && self.verify_signature(self.public_key)
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Certificate[{:?} subject={} issuer={} serial={}]",
+            self.kind, self.subject, self.issuer, self.serial
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_clock::SimTime;
+
+    #[test]
+    fn validity_window_bounds_are_inclusive() {
+        let v = Validity { not_before: SimTime::from_secs(10), not_after: SimTime::from_secs(20) };
+        assert!(!v.contains(SimTime::from_secs(9)));
+        assert!(v.contains(SimTime::from_secs(10)));
+        assert!(v.contains(SimTime::from_secs(15)));
+        assert!(v.contains(SimTime::from_secs(20)));
+        assert!(!v.contains(SimTime::from_secs(21)));
+    }
+
+    #[test]
+    fn tbs_bytes_distinguish_every_field() {
+        use crate::rsa::KeyPair;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let kp = KeyPair::generate(&mut StdRng::seed_from_u64(1));
+        let kp2 = KeyPair::generate(&mut StdRng::seed_from_u64(2));
+        let subject = DistinguishedName::parse("/O=Grid/CN=A").unwrap();
+        let issuer = DistinguishedName::parse("/O=Grid/CN=CA").unwrap();
+        let validity = Validity { not_before: SimTime::EPOCH, not_after: SimTime::from_secs(100) };
+        let base = Certificate::tbs_bytes(
+            1, &subject, &issuer, kp.public(), validity, &CertificateKind::EndEntity, &[],
+        );
+
+        let other_serial = Certificate::tbs_bytes(
+            2, &subject, &issuer, kp.public(), validity, &CertificateKind::EndEntity, &[],
+        );
+        assert_ne!(base, other_serial);
+
+        let other_key = Certificate::tbs_bytes(
+            1, &subject, &issuer, kp2.public(), validity, &CertificateKind::EndEntity, &[],
+        );
+        assert_ne!(base, other_key);
+
+        let other_kind = Certificate::tbs_bytes(
+            1, &subject, &issuer, kp.public(), validity,
+            &CertificateKind::Proxy(ProxyKind::Impersonation), &[],
+        );
+        assert_ne!(base, other_kind);
+
+        let with_ext = Certificate::tbs_bytes(
+            1, &subject, &issuer, kp.public(), validity, &CertificateKind::EndEntity,
+            &[Extension { name: "cas-policy".into(), value: "x".into() }],
+        );
+        assert_ne!(base, with_ext);
+    }
+}

@@ -1,0 +1,494 @@
+//! Certificate-path validation — the authentication step the GRAM
+//! Gatekeeper performs before any authorization decision.
+
+use std::collections::{HashMap, HashSet};
+
+use gridauthz_clock::SimTime;
+
+use crate::cert::{Certificate, CertificateKind, Extension, ProxyKind};
+use crate::credential::RESTRICTION_EXTENSION;
+use crate::dn::DistinguishedName;
+use crate::error::CredentialError;
+use crate::rsa::PublicKey;
+
+/// The set of root certificates a resource trusts.
+#[derive(Debug, Clone, Default)]
+pub struct TrustStore {
+    anchors: HashMap<String, Vec<PublicKey>>,
+    /// Revocations, keyed by `(issuer DN, serial)` — the CRL the site has
+    /// loaded.
+    revoked: HashSet<(String, u64)>,
+}
+
+impl TrustStore {
+    /// Creates an empty trust store.
+    pub fn new() -> TrustStore {
+        TrustStore::default()
+    }
+
+    /// Adds a trust anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cert` is not a self-signed CA certificate — installing a
+    /// non-root anchor is always an operator error.
+    pub fn add_anchor(&mut self, cert: Certificate) {
+        assert!(
+            cert.kind() == &CertificateKind::Ca && cert.is_self_signed(),
+            "trust anchors must be self-signed CA certificates"
+        );
+        self.anchors
+            .entry(cert.subject().to_string())
+            .or_default()
+            .push(cert.public_key());
+    }
+
+    /// True when `cert` matches an installed anchor (same subject *and*
+    /// same public key).
+    pub fn is_anchor(&self, cert: &Certificate) -> bool {
+        self.anchors
+            .get(&cert.subject().to_string())
+            .is_some_and(|keys| keys.contains(&cert.public_key()))
+    }
+
+    /// Revokes the certificate with `serial` issued by `issuer` (loading
+    /// one CRL entry). Takes effect on the next chain validation.
+    pub fn revoke(&mut self, issuer: &DistinguishedName, serial: u64) {
+        self.revoked.insert((issuer.to_string(), serial));
+    }
+
+    /// True when `cert` appears on the loaded CRL.
+    pub fn is_revoked(&self, cert: &Certificate) -> bool {
+        self.revoked.contains(&(cert.issuer().to_string(), cert.serial()))
+    }
+
+    /// Number of installed anchors.
+    pub fn len(&self) -> usize {
+        self.anchors.values().map(Vec::len).sum()
+    }
+
+    /// True when no anchors are installed.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+}
+
+/// The outcome of successful chain validation: who the caller *is*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedIdentity {
+    subject: DistinguishedName,
+    leaf_subject: DistinguishedName,
+    limited: bool,
+    restrictions: Vec<Extension>,
+}
+
+impl VerifiedIdentity {
+    /// The effective Grid identity (proxy components stripped).
+    pub fn subject(&self) -> &DistinguishedName {
+        &self.subject
+    }
+
+    /// The literal subject of the leaf certificate presented.
+    pub fn leaf_subject(&self) -> &DistinguishedName {
+        &self.leaf_subject
+    }
+
+    /// True when the chain contains a *limited* proxy — GT2 refuses job
+    /// startup for these.
+    pub fn is_limited(&self) -> bool {
+        self.limited
+    }
+
+    /// Restriction payloads collected from restricted proxies in the chain
+    /// (outermost first). CAS policies arrive here.
+    pub fn restrictions(&self) -> &[Extension] {
+        &self.restrictions
+    }
+}
+
+/// Validates `chain` (leaf first, root last) against `trust` at instant
+/// `now`, returning the caller's verified identity.
+///
+/// Checks performed, mirroring GSI path validation:
+///
+/// 1. the chain is non-empty and its last element is a self-signed CA
+///    present in the trust store;
+/// 2. every certificate is inside its validity window at `now`;
+/// 3. every certificate's signature verifies against its issuer's key, and
+///    `issuer` names match the parent's `subject`;
+/// 4. kinds are well-formed: zero or more proxies, then exactly one
+///    end-entity, then one or more CAs; proxies never issue CAs or
+///    end-entities;
+/// 5. each proxy's subject is its issuer's subject plus one `CN=proxy` /
+///    `CN=limited proxy` component;
+/// 6. no certificate appears on the trust store's revocation list.
+///
+/// # Errors
+///
+/// Returns the specific [`CredentialError`] for the first failed check.
+pub fn verify_chain(
+    chain: &[Certificate],
+    trust: &TrustStore,
+    now: SimTime,
+) -> Result<VerifiedIdentity, CredentialError> {
+    let root = chain.last().ok_or(CredentialError::EmptyChain)?;
+    if !root.is_self_signed() {
+        return Err(CredentialError::MalformedChain(format!(
+            "chain root {} is not self-signed",
+            root.subject()
+        )));
+    }
+    if !trust.is_anchor(root) {
+        return Err(CredentialError::UntrustedRoot(root.subject().clone()));
+    }
+
+    for cert in chain {
+        if !cert.validity().contains(now) {
+            return Err(CredentialError::OutsideValidity {
+                subject: cert.subject().clone(),
+                at: now,
+            });
+        }
+        if trust.is_revoked(cert) {
+            return Err(CredentialError::Revoked {
+                subject: cert.subject().clone(),
+                serial: cert.serial(),
+            });
+        }
+    }
+
+    // Signature + issuer linkage, leaf-to-root.
+    for window in chain.windows(2) {
+        let (cert, parent) = (&window[0], &window[1]);
+        if cert.issuer() != parent.subject() {
+            return Err(CredentialError::MalformedChain(format!(
+                "certificate {} names issuer {} but is chained to {}",
+                cert.subject(),
+                cert.issuer(),
+                parent.subject()
+            )));
+        }
+        if !cert.verify_signature(parent.public_key()) {
+            return Err(CredentialError::BadSignature(cert.subject().clone()));
+        }
+    }
+
+    // Kind structure: proxies* end-entity ca+.
+    let ee_index = chain
+        .iter()
+        .position(|c| c.kind() == &CertificateKind::EndEntity)
+        .ok_or_else(|| {
+            CredentialError::MalformedChain("chain contains no end-entity certificate".into())
+        })?;
+    for (i, cert) in chain.iter().enumerate() {
+        let expected_proxy = i < ee_index;
+        let expected_ca = i > ee_index;
+        match cert.kind() {
+            CertificateKind::Proxy(_) if expected_proxy => {}
+            CertificateKind::EndEntity if i == ee_index => {}
+            CertificateKind::Ca if expected_ca => {}
+            other => {
+                return Err(CredentialError::MalformedChain(format!(
+                    "certificate {} has kind {:?} at chain position {}",
+                    cert.subject(),
+                    other,
+                    i
+                )))
+            }
+        }
+    }
+
+    // Proxy naming discipline and restriction collection.
+    let mut limited = false;
+    let mut restrictions = Vec::new();
+    for cert in &chain[..ee_index] {
+        let CertificateKind::Proxy(kind) = cert.kind() else {
+            unreachable!("positions before the end-entity are proxies");
+        };
+        let expected_cn = match kind {
+            ProxyKind::Limited => "limited proxy",
+            ProxyKind::Impersonation | ProxyKind::Restricted => "proxy",
+        };
+        let expected_subject = cert
+            .issuer()
+            .child("CN", expected_cn)
+            .map_err(|e| CredentialError::MalformedChain(e.to_string()))?;
+        if cert.subject() != &expected_subject {
+            return Err(CredentialError::MalformedChain(format!(
+                "proxy subject {} does not extend issuer {}",
+                cert.subject(),
+                cert.issuer()
+            )));
+        }
+        if matches!(kind, ProxyKind::Limited) {
+            limited = true;
+        }
+        if matches!(kind, ProxyKind::Restricted) {
+            if let Some(policy) = cert.extension(RESTRICTION_EXTENSION) {
+                restrictions.push(Extension {
+                    name: RESTRICTION_EXTENSION.to_string(),
+                    value: policy.to_string(),
+                });
+            }
+        }
+    }
+
+    let leaf = &chain[0];
+    Ok(VerifiedIdentity {
+        subject: chain[ee_index].subject().clone(),
+        leaf_subject: leaf.subject().clone(),
+        limited,
+        restrictions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::credential::Credential;
+    use gridauthz_clock::{SimClock, SimDuration};
+
+    struct Fixture {
+        clock: SimClock,
+        ca: CertificateAuthority,
+        trust: TrustStore,
+        user: Credential,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let user = ca
+            .issue_identity("/O=Grid/O=Globus/CN=Bo Liu", SimDuration::from_hours(10))
+            .unwrap();
+        Fixture { clock, ca, trust, user }
+    }
+
+    #[test]
+    fn validates_direct_identity() {
+        let f = fixture();
+        let id = verify_chain(f.user.chain(), &f.trust, f.clock.now()).unwrap();
+        assert_eq!(id.subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu");
+        assert!(!id.is_limited());
+        assert!(id.restrictions().is_empty());
+    }
+
+    #[test]
+    fn validates_proxy_chain() {
+        let f = fixture();
+        let proxy = f.user.delegate_proxy(SimDuration::from_hours(1)).unwrap();
+        let id = verify_chain(proxy.chain(), &f.trust, f.clock.now()).unwrap();
+        assert_eq!(id.subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu");
+        assert_eq!(
+            id.leaf_subject().to_string(),
+            "/O=Grid/O=Globus/CN=Bo Liu/CN=proxy"
+        );
+    }
+
+    #[test]
+    fn validates_subordinate_ca_chain() {
+        let f = fixture();
+        let sub = f
+            .ca
+            .issue_subordinate_ca("/O=Grid/OU=Site/CN=Site CA", SimDuration::from_hours(20))
+            .unwrap();
+        let user = sub
+            .issue_identity("/O=Grid/OU=Site/CN=Kate", SimDuration::from_hours(1))
+            .unwrap();
+        let id = verify_chain(user.chain(), &f.trust, f.clock.now()).unwrap();
+        assert_eq!(id.subject().to_string(), "/O=Grid/OU=Site/CN=Kate");
+    }
+
+    #[test]
+    fn rejects_empty_chain() {
+        let f = fixture();
+        assert_eq!(
+            verify_chain(&[], &f.trust, f.clock.now()),
+            Err(CredentialError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn rejects_untrusted_root() {
+        let f = fixture();
+        let rogue_clock = SimClock::new();
+        let rogue = CertificateAuthority::new_root("/O=Rogue/CN=Root", &rogue_clock).unwrap();
+        let user = rogue
+            .issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1))
+            .unwrap();
+        assert!(matches!(
+            verify_chain(user.chain(), &f.trust, f.clock.now()),
+            Err(CredentialError::UntrustedRoot(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_same_name_different_key_root() {
+        // An attacker minting a CA with the *same DN* as the trusted root
+        // must still be rejected: anchors match on key, not name.
+        let f = fixture();
+        let fake =
+            CertificateAuthority::new_root_with_seed("/O=Grid/CN=Root", 0xbad5eed, &f.clock)
+                .unwrap();
+        let user = fake
+            .issue_identity("/O=Grid/CN=Eve", SimDuration::from_hours(1))
+            .unwrap();
+        assert!(matches!(
+            verify_chain(user.chain(), &f.trust, f.clock.now()),
+            Err(CredentialError::UntrustedRoot(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_expired_certificate() {
+        let f = fixture();
+        let short = f
+            .ca
+            .issue_identity("/O=Grid/CN=Flash", SimDuration::from_secs(60))
+            .unwrap();
+        f.clock.advance(SimDuration::from_secs(120));
+        assert!(matches!(
+            verify_chain(short.chain(), &f.trust, f.clock.now()),
+            Err(CredentialError::OutsideValidity { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_expired_proxy_of_valid_identity() {
+        let f = fixture();
+        let proxy = f
+            .user
+            .delegate_proxy_at(f.clock.now(), SimDuration::from_secs(30))
+            .unwrap();
+        f.clock.advance(SimDuration::from_secs(60));
+        let err = verify_chain(proxy.chain(), &f.trust, f.clock.now()).unwrap_err();
+        match err {
+            CredentialError::OutsideValidity { subject, .. } => {
+                assert!(subject.to_string().ends_with("/CN=proxy"));
+            }
+            other => panic!("expected OutsideValidity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_certificate() {
+        let f = fixture();
+        // Re-assemble the user's certificate with a different subject but
+        // the original signature.
+        let cert = f.user.certificate();
+        let forged = Certificate::assemble(
+            cert.serial(),
+            DistinguishedName::parse("/O=Grid/O=Globus/CN=Mallory").unwrap(),
+            cert.issuer().clone(),
+            cert.public_key(),
+            cert.validity(),
+            cert.kind().clone(),
+            cert.extensions().to_vec(),
+            cert.signature(),
+        );
+        let chain = vec![forged, f.user.chain()[1].clone()];
+        assert!(matches!(
+            verify_chain(&chain, &f.trust, f.clock.now()),
+            Err(CredentialError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_reordered_chain() {
+        let f = fixture();
+        let proxy = f.user.delegate_proxy(SimDuration::from_hours(1)).unwrap();
+        let mut chain = proxy.chain().to_vec();
+        chain.swap(0, 1);
+        assert!(verify_chain(&chain, &f.trust, f.clock.now()).is_err());
+    }
+
+    #[test]
+    fn rejects_chain_without_end_entity() {
+        let f = fixture();
+        let chain = vec![f.ca.certificate().clone()];
+        assert!(matches!(
+            verify_chain(&chain, &f.trust, f.clock.now()),
+            Err(CredentialError::MalformedChain(_))
+        ));
+    }
+
+    #[test]
+    fn collects_limited_flag() {
+        let f = fixture();
+        let p = f
+            .user
+            .delegate_limited_proxy(f.clock.now(), SimDuration::from_hours(1))
+            .unwrap();
+        let id = verify_chain(p.chain(), &f.trust, f.clock.now()).unwrap();
+        assert!(id.is_limited());
+        assert_eq!(id.subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu");
+    }
+
+    #[test]
+    fn collects_restrictions_outermost_first() {
+        let f = fixture();
+        let now = f.clock.now();
+        let p1 = f
+            .user
+            .delegate_restricted_proxy(now, SimDuration::from_hours(2), "outer".into())
+            .unwrap();
+        let p2 = p1
+            .delegate_restricted_proxy(now, SimDuration::from_hours(1), "inner".into())
+            .unwrap();
+        let id = verify_chain(p2.chain(), &f.trust, f.clock.now()).unwrap();
+        let values: Vec<&str> = id.restrictions().iter().map(|e| e.value.as_str()).collect();
+        assert_eq!(values, vec!["inner", "outer"]);
+    }
+
+    #[test]
+    fn revoked_identity_is_rejected_and_others_unaffected() {
+        let mut f = fixture();
+        let other = f
+            .ca
+            .issue_identity("/O=Grid/CN=Other", SimDuration::from_hours(1))
+            .unwrap();
+        f.trust
+            .revoke(f.ca.certificate().subject(), f.user.certificate().serial());
+        match verify_chain(f.user.chain(), &f.trust, f.clock.now()) {
+            Err(CredentialError::Revoked { serial, .. }) => {
+                assert_eq!(serial, f.user.certificate().serial());
+            }
+            other => panic!("expected Revoked, got {other:?}"),
+        }
+        // Revocation hits proxies of the revoked identity too.
+        let proxy = f.user.delegate_proxy(SimDuration::from_mins(5)).unwrap();
+        assert!(verify_chain(proxy.chain(), &f.trust, f.clock.now()).is_err());
+        // Unrelated identities still verify.
+        assert!(verify_chain(other.chain(), &f.trust, f.clock.now()).is_ok());
+    }
+
+    #[test]
+    fn revoking_a_proxy_serial_leaves_the_identity_usable() {
+        let mut f = fixture();
+        let proxy = f.user.delegate_proxy(SimDuration::from_hours(1)).unwrap();
+        f.trust
+            .revoke(f.user.certificate().subject(), proxy.certificate().serial());
+        assert!(verify_chain(proxy.chain(), &f.trust, f.clock.now()).is_err());
+        assert!(verify_chain(f.user.chain(), &f.trust, f.clock.now()).is_ok());
+    }
+
+    #[test]
+    fn trust_store_accessors() {
+        let f = fixture();
+        assert_eq!(f.trust.len(), 1);
+        assert!(!f.trust.is_empty());
+        assert!(TrustStore::new().is_empty());
+        assert!(f.trust.is_anchor(f.ca.certificate()));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-signed CA")]
+    fn trust_store_rejects_non_root_anchor() {
+        let f = fixture();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(f.user.certificate().clone());
+    }
+}

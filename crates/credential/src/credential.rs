@@ -1,0 +1,232 @@
+//! A credential: a certificate plus its private key plus the chain back to
+//! a root, with proxy delegation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gridauthz_clock::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cert::{Certificate, CertificateKind, Extension, ProxyKind, Validity};
+use crate::dn::DistinguishedName;
+use crate::error::CredentialError;
+use crate::rsa::{KeyPair, PrivateKey};
+use crate::sha256::sha256_prefix_u64;
+
+/// Name of the extension carrying a restricted proxy's embedded policy.
+pub const RESTRICTION_EXTENSION: &str = "proxy-restriction";
+
+static PROXY_SERIAL: AtomicU64 = AtomicU64::new(1_000_000);
+
+/// A certificate, the matching private key, and the full chain back to a
+/// self-signed root (leaf first).
+#[derive(Debug, Clone)]
+pub struct Credential {
+    certificate: Certificate,
+    private_key: PrivateKey,
+    chain: Vec<Certificate>,
+}
+
+impl Credential {
+    pub(crate) fn assemble(
+        certificate: Certificate,
+        private_key: PrivateKey,
+        chain: Vec<Certificate>,
+    ) -> Credential {
+        debug_assert_eq!(chain.first(), Some(&certificate), "chain must be leaf-first");
+        Credential { certificate, private_key, chain }
+    }
+
+    /// The leaf certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// The private key matching the leaf certificate.
+    pub fn private_key(&self) -> &PrivateKey {
+        &self.private_key
+    }
+
+    /// The full chain, leaf first, ending at a self-signed root.
+    pub fn chain(&self) -> &[Certificate] {
+        &self.chain
+    }
+
+    /// The Grid identity this credential speaks for (proxy components
+    /// stripped).
+    pub fn identity(&self) -> DistinguishedName {
+        self.certificate.subject().without_proxy_components()
+    }
+
+    /// Delegates a full-impersonation proxy starting at the parent
+    /// certificate's `not_before` instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CredentialError`] from proxy-subject construction.
+    pub fn delegate_proxy(&self, lifetime: SimDuration) -> Result<Credential, CredentialError> {
+        self.delegate_proxy_at(self.certificate.validity().not_before, lifetime)
+    }
+
+    /// Delegates a full-impersonation proxy valid from `now` for
+    /// `lifetime` (clipped to the parent's window).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CredentialError`] from proxy-subject construction.
+    pub fn delegate_proxy_at(
+        &self,
+        now: SimTime,
+        lifetime: SimDuration,
+    ) -> Result<Credential, CredentialError> {
+        self.delegate(now, lifetime, ProxyKind::Impersonation, Vec::new())
+    }
+
+    /// Delegates a *limited* proxy (GT2 semantics: cannot start jobs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CredentialError`] from proxy-subject construction.
+    pub fn delegate_limited_proxy(
+        &self,
+        now: SimTime,
+        lifetime: SimDuration,
+    ) -> Result<Credential, CredentialError> {
+        self.delegate(now, lifetime, ProxyKind::Limited, Vec::new())
+    }
+
+    /// Delegates a *restricted* proxy embedding `policy` — the CAS model:
+    /// the holder's rights become the intersection of the identity's rights
+    /// and the embedded policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CredentialError`] from proxy-subject construction.
+    pub fn delegate_restricted_proxy(
+        &self,
+        now: SimTime,
+        lifetime: SimDuration,
+        policy: String,
+    ) -> Result<Credential, CredentialError> {
+        self.delegate(
+            now,
+            lifetime,
+            ProxyKind::Restricted,
+            vec![Extension { name: RESTRICTION_EXTENSION.to_string(), value: policy }],
+        )
+    }
+
+    fn delegate(
+        &self,
+        now: SimTime,
+        lifetime: SimDuration,
+        kind: ProxyKind,
+        extensions: Vec<Extension>,
+    ) -> Result<Credential, CredentialError> {
+        let cn = match kind {
+            ProxyKind::Limited => "limited proxy",
+            ProxyKind::Impersonation | ProxyKind::Restricted => "proxy",
+        };
+        let subject = self.certificate.subject().child("CN", cn)?;
+        let issuer = self.certificate.subject().clone();
+        // Proxy lifetime never exceeds the delegating certificate's.
+        let not_after = now
+            .saturating_add(lifetime)
+            .min(self.certificate.validity().not_after);
+        let validity = Validity { not_before: now, not_after };
+        let seed = sha256_prefix_u64(format!("proxy:{subject}:{now}:{lifetime}").as_bytes());
+        let keys = KeyPair::generate(&mut StdRng::seed_from_u64(seed));
+        let serial = PROXY_SERIAL.fetch_add(1, Ordering::SeqCst);
+        let cert_kind = CertificateKind::Proxy(kind);
+        let tbs = Certificate::tbs_bytes(
+            serial, &subject, &issuer, keys.public(), validity, &cert_kind, &extensions,
+        );
+        let signature = self.private_key.sign(&tbs);
+        let cert = Certificate::assemble(
+            serial, subject, issuer, keys.public(), validity, cert_kind, extensions, signature,
+        );
+        let mut chain = vec![cert.clone()];
+        chain.extend(self.chain.iter().cloned());
+        Ok(Credential::assemble(cert, keys.private().clone(), chain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use gridauthz_clock::SimClock;
+
+    fn user() -> Credential {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        ca.issue_identity("/O=Grid/CN=Bo Liu", SimDuration::from_hours(10)).unwrap()
+    }
+
+    #[test]
+    fn proxy_subject_extends_parent() {
+        let u = user();
+        let p = u.delegate_proxy(SimDuration::from_hours(1)).unwrap();
+        assert_eq!(p.certificate().subject().to_string(), "/O=Grid/CN=Bo Liu/CN=proxy");
+        assert_eq!(p.identity().to_string(), "/O=Grid/CN=Bo Liu");
+        assert_eq!(p.chain().len(), 3);
+    }
+
+    #[test]
+    fn proxy_signed_by_parent_key() {
+        let u = user();
+        let p = u.delegate_proxy(SimDuration::from_hours(1)).unwrap();
+        assert!(p.certificate().verify_signature(u.certificate().public_key()));
+    }
+
+    #[test]
+    fn proxy_lifetime_clipped_to_parent() {
+        let u = user();
+        let p = u.delegate_proxy(SimDuration::from_hours(100)).unwrap();
+        assert_eq!(
+            p.certificate().validity().not_after,
+            u.certificate().validity().not_after
+        );
+    }
+
+    #[test]
+    fn limited_proxy_is_marked() {
+        let u = user();
+        let p = u
+            .delegate_limited_proxy(SimTime::EPOCH, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(p.certificate().kind(), &CertificateKind::Proxy(ProxyKind::Limited));
+        assert!(p.certificate().subject().to_string().ends_with("/CN=limited proxy"));
+        assert_eq!(p.identity().to_string(), "/O=Grid/CN=Bo Liu");
+    }
+
+    #[test]
+    fn restricted_proxy_carries_policy() {
+        let u = user();
+        let p = u
+            .delegate_restricted_proxy(
+                SimTime::EPOCH,
+                SimDuration::from_hours(1),
+                "&(action = start)(executable = TRANSP)".to_string(),
+            )
+            .unwrap();
+        assert_eq!(p.certificate().kind(), &CertificateKind::Proxy(ProxyKind::Restricted));
+        assert_eq!(
+            p.certificate().extension(RESTRICTION_EXTENSION),
+            Some("&(action = start)(executable = TRANSP)")
+        );
+    }
+
+    #[test]
+    fn double_delegation_extends_chain() {
+        let u = user();
+        let p1 = u.delegate_proxy(SimDuration::from_hours(2)).unwrap();
+        let p2 = p1.delegate_proxy(SimDuration::from_hours(1)).unwrap();
+        assert_eq!(
+            p2.certificate().subject().to_string(),
+            "/O=Grid/CN=Bo Liu/CN=proxy/CN=proxy"
+        );
+        assert_eq!(p2.identity().to_string(), "/O=Grid/CN=Bo Liu");
+        assert_eq!(p2.chain().len(), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! X.509-style distinguished names in the slash-separated OpenSSL one-line
+//! format used throughout Globus: `/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CredentialError;
+
+/// A parsed distinguished name: an ordered list of `KEY=value` components.
+///
+/// Comparison is exact (case-sensitive), matching GT2's byte-wise
+/// grid-mapfile lookups. Prefix matching — used by the policy language for
+/// group subjects like `/O=Grid/O=Globus/OU=mcs.anl.gov` — is component-wise
+/// via [`DistinguishedName::starts_with`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DistinguishedName {
+    components: Vec<(String, String)>,
+}
+
+impl DistinguishedName {
+    /// Parses a slash-separated DN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidDn`] when the string does not start
+    /// with `/`, a component lacks `=`, a key is empty or non-alphanumeric,
+    /// or a value is empty.
+    pub fn parse(s: &str) -> Result<Self, CredentialError> {
+        let invalid = || CredentialError::InvalidDn(s.to_string());
+        let rest = s.strip_prefix('/').ok_or_else(invalid)?;
+        if rest.is_empty() {
+            return Err(invalid());
+        }
+        let mut components = Vec::new();
+        for part in rest.split('/') {
+            let (key, value) = part.split_once('=').ok_or_else(invalid)?;
+            let key_ok = !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric());
+            if !key_ok || value.is_empty() {
+                return Err(invalid());
+            }
+            components.push((key.to_string(), value.to_string()));
+        }
+        Ok(DistinguishedName { components })
+    }
+
+    /// The ordered `(key, value)` components.
+    pub fn components(&self) -> &[(String, String)] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// A DN always has at least one component, so this is always `false`;
+    /// provided for clippy-idiomatic pairing with [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component-wise prefix test: `/O=Grid/CN=x` starts with `/O=Grid` but
+    /// not with `/O=Gr`.
+    pub fn starts_with(&self, prefix: &DistinguishedName) -> bool {
+        prefix.components.len() <= self.components.len()
+            && self.components[..prefix.components.len()] == prefix.components[..]
+    }
+
+    /// *String* prefix test used for policy subjects that are not themselves
+    /// complete DNs (the paper matches "identities that start with the
+    /// string ..."). `/O=Grid/O=Glob` string-prefixes `/O=Grid/O=Globus/...`.
+    pub fn starts_with_str(&self, prefix: &str) -> bool {
+        self.to_string().starts_with(prefix)
+    }
+
+    /// The value of the last `CN` component, if any — the human name.
+    pub fn common_name(&self) -> Option<&str> {
+        self.components
+            .iter()
+            .rev()
+            .find(|(k, _)| k == "CN")
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns a new DN with `key=value` appended — how proxy-certificate
+    /// subjects are derived from their issuer (`.../CN=Bo Liu/CN=proxy`).
+    pub fn child(&self, key: &str, value: &str) -> Result<DistinguishedName, CredentialError> {
+        let mut dn = self.clone();
+        let key_ok = !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric());
+        if !key_ok || value.is_empty() {
+            return Err(CredentialError::InvalidDn(format!("{self}/{key}={value}")));
+        }
+        dn.components.push((key.to_string(), value.to_string()));
+        Ok(dn)
+    }
+
+    /// Strips trailing `CN=proxy` / `CN=limited proxy` components, yielding
+    /// the *effective identity* behind a proxy-certificate subject.
+    pub fn without_proxy_components(&self) -> DistinguishedName {
+        let mut dn = self.clone();
+        while let Some((k, v)) = dn.components.last() {
+            let is_proxy_cn = k == "CN" && (v == "proxy" || v == "limited proxy");
+            if is_proxy_cn && dn.components.len() > 1 {
+                dn.components.pop();
+            } else {
+                break;
+            }
+        }
+        dn
+    }
+}
+
+impl FromStr for DistinguishedName {
+    type Err = CredentialError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DistinguishedName::parse(s)
+    }
+}
+
+impl fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.components {
+            write!(f, "/{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_dn() {
+        let d = dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.common_name(), Some("Bo Liu"));
+        assert_eq!(d.components()[0], ("O".to_string(), "Grid".to_string()));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu",
+            "/O=Grid/CN=Sim CA",
+            "/C=US/O=ANL/OU=MCS/CN=Kate Keahey/CN=proxy",
+        ] {
+            assert_eq!(dn(s).to_string(), s);
+            assert_eq!(dn(&dn(s).to_string()), dn(s));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "no-slash", "/", "/O=", "/=x", "/O", "/O=Grid/", "/O!x=y"] {
+            assert!(DistinguishedName::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn component_prefix_matching() {
+        let full = dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
+        assert!(full.starts_with(&dn("/O=Grid")));
+        assert!(full.starts_with(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov")));
+        assert!(full.starts_with(&full));
+        assert!(!full.starts_with(&dn("/O=Grid/O=Other")));
+        assert!(!dn("/O=Grid").starts_with(&full));
+    }
+
+    #[test]
+    fn string_prefix_matching_matches_paper_semantics() {
+        // The paper says "Grid identities [that] start with the string ...".
+        let full = dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
+        assert!(full.starts_with_str("/O=Grid/O=Globus/OU=mcs.anl.gov"));
+        assert!(full.starts_with_str("/O=Grid/O=Glob"));
+        assert!(!full.starts_with_str("/O=Grid/O=Globus/OU=cs.wisc.edu"));
+    }
+
+    #[test]
+    fn child_appends_component() {
+        let user = dn("/O=Grid/CN=Bo Liu");
+        let proxy = user.child("CN", "proxy").unwrap();
+        assert_eq!(proxy.to_string(), "/O=Grid/CN=Bo Liu/CN=proxy");
+        assert!(proxy.starts_with(&user));
+        assert!(user.child("", "x").is_err());
+        assert!(user.child("CN", "").is_err());
+    }
+
+    #[test]
+    fn proxy_components_are_stripped() {
+        let p = dn("/O=Grid/CN=Bo Liu/CN=proxy/CN=proxy");
+        assert_eq!(p.without_proxy_components(), dn("/O=Grid/CN=Bo Liu"));
+        let lp = dn("/O=Grid/CN=Bo Liu/CN=limited proxy");
+        assert_eq!(lp.without_proxy_components(), dn("/O=Grid/CN=Bo Liu"));
+        // A bare identity is untouched.
+        let plain = dn("/O=Grid/CN=Bo Liu");
+        assert_eq!(plain.without_proxy_components(), plain);
+    }
+
+    #[test]
+    fn degenerate_all_proxy_dn_keeps_first_component() {
+        let d = dn("/CN=proxy/CN=proxy");
+        assert_eq!(d.without_proxy_components(), dn("/CN=proxy"));
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = dn("/O=A/CN=x");
+        let b = dn("/O=B/CN=x");
+        assert!(a < b);
+    }
+}

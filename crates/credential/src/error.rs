@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use gridauthz_clock::SimTime;
+
+use crate::dn::DistinguishedName;
+
+/// Errors produced by credential parsing, issuance and chain validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredentialError {
+    /// A distinguished name failed to parse.
+    InvalidDn(String),
+    /// A grid-mapfile line failed to parse.
+    InvalidGridMap {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The chain presented for validation was empty.
+    EmptyChain,
+    /// No trust anchor matches the chain's root certificate.
+    UntrustedRoot(DistinguishedName),
+    /// A certificate's signature did not verify against its issuer's key.
+    BadSignature(DistinguishedName),
+    /// A certificate was outside its validity window.
+    OutsideValidity {
+        /// The offending certificate's subject.
+        subject: DistinguishedName,
+        /// The evaluation instant.
+        at: SimTime,
+    },
+    /// Certificates were ordered or typed inconsistently (e.g. a proxy
+    /// issuing a CA certificate, or issuer/subject mismatch).
+    MalformedChain(String),
+    /// A limited proxy was presented where job submission rights are
+    /// required (GT2 refuses job startup with limited proxies).
+    LimitedProxy(DistinguishedName),
+    /// A certificate in the chain has been revoked by its issuer.
+    Revoked {
+        /// The revoked certificate's subject.
+        subject: DistinguishedName,
+        /// Its serial number.
+        serial: u64,
+    },
+}
+
+impl fmt::Display for CredentialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CredentialError::InvalidDn(s) => write!(f, "invalid distinguished name {s:?}"),
+            CredentialError::InvalidGridMap { line, reason } => {
+                write!(f, "invalid grid-mapfile line {line}: {reason}")
+            }
+            CredentialError::EmptyChain => write!(f, "certificate chain is empty"),
+            CredentialError::UntrustedRoot(dn) => {
+                write!(f, "no trust anchor for chain root {dn}")
+            }
+            CredentialError::BadSignature(dn) => {
+                write!(f, "signature verification failed for certificate {dn}")
+            }
+            CredentialError::OutsideValidity { subject, at } => {
+                write!(f, "certificate {subject} is not valid at {at}")
+            }
+            CredentialError::MalformedChain(reason) => {
+                write!(f, "malformed certificate chain: {reason}")
+            }
+            CredentialError::LimitedProxy(dn) => {
+                write!(f, "limited proxy {dn} cannot be used for this operation")
+            }
+            CredentialError::Revoked { subject, serial } => {
+                write!(f, "certificate {subject} (serial {serial}) has been revoked")
+            }
+        }
+    }
+}
+
+impl Error for CredentialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let dn = DistinguishedName::parse("/O=Grid/CN=X").unwrap();
+        let e = CredentialError::UntrustedRoot(dn);
+        assert!(e.to_string().contains("/O=Grid/CN=X"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CredentialError>();
+    }
+}

@@ -1,0 +1,271 @@
+//! The GT2 *grid-mapfile*: the resource-local access control list that maps
+//! Grid identities to local accounts.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu" bliu
+//! "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey" keahey,fusion
+//! ```
+//!
+//! The first listed account is the default mapping; additional
+//! comma-separated accounts are alternates the user may request.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dn::DistinguishedName;
+use crate::error::CredentialError;
+
+/// One grid-mapfile entry: a Grid identity and its local accounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridMapEntry {
+    subject: DistinguishedName,
+    accounts: Vec<String>,
+}
+
+impl GridMapEntry {
+    /// Builds an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accounts` is empty — an entry without accounts is
+    /// meaningless.
+    pub fn new(subject: DistinguishedName, accounts: Vec<String>) -> GridMapEntry {
+        assert!(!accounts.is_empty(), "a grid-map entry needs at least one account");
+        GridMapEntry { subject, accounts }
+    }
+
+    /// The mapped Grid identity.
+    pub fn subject(&self) -> &DistinguishedName {
+        &self.subject
+    }
+
+    /// All permitted local accounts (first is the default).
+    pub fn accounts(&self) -> &[String] {
+        &self.accounts
+    }
+
+    /// The default local account.
+    pub fn default_account(&self) -> &str {
+        &self.accounts[0]
+    }
+
+    /// True when this entry permits mapping to `account`.
+    pub fn permits_account(&self, account: &str) -> bool {
+        self.accounts.iter().any(|a| a == account)
+    }
+}
+
+/// A parsed grid-mapfile.
+#[derive(Debug, Clone, Default)]
+pub struct GridMapFile {
+    entries: HashMap<String, GridMapEntry>,
+    order: Vec<String>,
+}
+
+impl GridMapFile {
+    /// Creates an empty map.
+    pub fn new() -> GridMapFile {
+        GridMapFile::default()
+    }
+
+    /// Parses the textual grid-mapfile format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CredentialError::InvalidGridMap`] with the 1-based line
+    /// number of the first malformed entry.
+    pub fn parse(text: &str) -> Result<GridMapFile, CredentialError> {
+        let mut map = GridMapFile::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let line_no = idx + 1;
+            let err = |reason: &str| CredentialError::InvalidGridMap {
+                line: line_no,
+                reason: reason.to_string(),
+            };
+            let rest = line.strip_prefix('"').ok_or_else(|| err("subject must be quoted"))?;
+            let (subject_str, after) =
+                rest.split_once('"').ok_or_else(|| err("unterminated subject quote"))?;
+            let subject = DistinguishedName::parse(subject_str)
+                .map_err(|e| err(&format!("bad subject: {e}")))?;
+            let accounts: Vec<String> = after
+                .trim()
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if accounts.is_empty() {
+                return Err(err("no local accounts listed"));
+            }
+            if accounts.iter().any(|a| !is_valid_account(a)) {
+                return Err(err("invalid account name"));
+            }
+            map.insert(GridMapEntry::new(subject, accounts));
+        }
+        Ok(map)
+    }
+
+    /// Adds or replaces the entry for its subject.
+    pub fn insert(&mut self, entry: GridMapEntry) {
+        let key = entry.subject.to_string();
+        if self.entries.insert(key.clone(), entry).is_none() {
+            self.order.push(key);
+        }
+    }
+
+    /// Removes the entry for `subject`, returning it if present.
+    pub fn remove(&mut self, subject: &DistinguishedName) -> Option<GridMapEntry> {
+        let key = subject.to_string();
+        self.order.retain(|k| k != &key);
+        self.entries.remove(&key)
+    }
+
+    /// Looks up the entry for an exact Grid identity.
+    pub fn lookup(&self, subject: &DistinguishedName) -> Option<&GridMapEntry> {
+        self.entries.get(&subject.to_string())
+    }
+
+    /// True when `subject` appears in the map — GT2's entire authorization
+    /// decision for job startup.
+    pub fn authorizes(&self, subject: &DistinguishedName) -> bool {
+        self.lookup(subject).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &GridMapEntry> {
+        self.order.iter().filter_map(move |k| self.entries.get(k))
+    }
+}
+
+impl fmt::Display for GridMapFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for entry in self.iter() {
+            writeln!(f, "\"{}\" {}", entry.subject(), entry.accounts().join(","))?;
+        }
+        Ok(())
+    }
+}
+
+fn is_valid_account(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    const SAMPLE: &str = r#"
+# fusion collaboratory users
+"/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu" bliu
+"/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey" keahey,fusion
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        assert_eq!(map.len(), 2);
+        let kate = map
+            .lookup(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"))
+            .unwrap();
+        assert_eq!(kate.default_account(), "keahey");
+        assert!(kate.permits_account("fusion"));
+        assert!(!kate.permits_account("root"));
+    }
+
+    #[test]
+    fn authorizes_only_listed_subjects() {
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        assert!(map.authorizes(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")));
+        assert!(!map.authorizes(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Eve")));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        let reparsed = GridMapFile::parse(&map.to_string()).unwrap();
+        assert_eq!(map.len(), reparsed.len());
+        for e in map.iter() {
+            assert_eq!(reparsed.lookup(e.subject()), Some(e));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (bad, reason_hint) in [
+            ("/O=Grid/CN=X bliu", "quoted"),
+            ("\"/O=Grid/CN=X bliu", "unterminated"),
+            ("\"/O=Grid/CN=X\"", "no local accounts"),
+            ("\"not-a-dn\" bliu", "bad subject"),
+            ("\"/O=Grid/CN=X\" Root", "invalid account"),
+        ] {
+            let err = GridMapFile::parse(bad).unwrap_err();
+            match err {
+                CredentialError::InvalidGridMap { reason, .. } => {
+                    assert!(
+                        reason.contains(reason_hint),
+                        "line {bad:?}: expected {reason_hint:?} in {reason:?}"
+                    );
+                }
+                other => panic!("expected InvalidGridMap, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "# comment\n\"/O=Grid/CN=Ok\" ok\nbroken line\n";
+        match GridMapFile::parse(text).unwrap_err() {
+            CredentialError::InvalidGridMap { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected InvalidGridMap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_replaces_existing_subject() {
+        let mut map = GridMapFile::new();
+        map.insert(GridMapEntry::new(dn("/O=Grid/CN=X"), vec!["a".into()]));
+        map.insert(GridMapEntry::new(dn("/O=Grid/CN=X"), vec!["b".into()]));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=X")).unwrap().default_account(), "b");
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut map = GridMapFile::parse(SAMPLE).unwrap();
+        let subject = dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
+        assert!(map.remove(&subject).is_some());
+        assert!(!map.authorizes(&subject));
+        assert!(map.remove(&subject).is_none());
+        assert_eq!(map.iter().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one account")]
+    fn entry_requires_accounts() {
+        GridMapEntry::new(dn("/O=Grid/CN=X"), vec![]);
+    }
+}

@@ -1,0 +1,60 @@
+//! A simulated **Grid Security Infrastructure (GSI)** substrate.
+//!
+//! The paper's authorization system rides on GT2's GSI: users hold X.509
+//! identity certificates issued by trusted CAs, delegate via (possibly
+//! *restricted*) proxy certificates, and resources map authenticated Grid
+//! identities to local accounts through the *grid-mapfile*. No approved
+//! crypto crate exists for this workspace, so this crate implements a
+//! simulation-grade equivalent from scratch:
+//!
+//! * [`DistinguishedName`] — parsed `/O=Grid/O=Globus/.../CN=Name` names
+//!   with the prefix matching the policy language's group subjects use,
+//! * [`sha256`](mod@sha256) — a real SHA-256 (validated against FIPS 180-4 vectors),
+//! * [`rsa`] — a toy RSA over 32-bit primes (Miller–Rabin, modular
+//!   exponentiation) — *not secure*, but a genuine asymmetric sign/verify
+//!   so chain validation exercises the same logic paths as OpenSSL's,
+//! * [`Certificate`] / [`CertificateAuthority`] — end-entity, CA and proxy
+//!   certificates with validity windows, extensions and signatures,
+//! * [`Credential`] and proxy delegation ([`Credential::delegate_proxy`],
+//!   restricted proxies carrying an embedded policy payload for CAS),
+//! * [`TrustStore`] + [`verify_chain`] — certificate-path validation
+//!   returning the *effective Grid identity* of the caller,
+//! * [`GridMapFile`] — the GT2 access-control-list + account-mapping file.
+//!
+//! # Example
+//!
+//! ```
+//! use gridauthz_clock::{SimClock, SimDuration};
+//! use gridauthz_credential::{CertificateAuthority, TrustStore, verify_chain};
+//!
+//! let clock = SimClock::new();
+//! let ca = CertificateAuthority::new_root("/O=Grid/CN=Sim CA", &clock)?;
+//! let user = ca.issue_identity("/O=Grid/O=Globus/CN=Bo Liu", SimDuration::from_hours(12))?;
+//! let proxy = user.delegate_proxy(SimDuration::from_hours(2))?;
+//!
+//! let mut trust = TrustStore::new();
+//! trust.add_anchor(ca.certificate().clone());
+//! let identity = verify_chain(proxy.chain(), &trust, clock.now())?;
+//! assert_eq!(identity.subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu");
+//! # Ok::<(), gridauthz_credential::CredentialError>(())
+//! ```
+
+mod ca;
+mod cert;
+mod chain;
+mod credential;
+mod dn;
+mod error;
+mod gridmap;
+pub mod pem;
+pub mod rsa;
+pub mod sha256;
+
+pub use ca::CertificateAuthority;
+pub use cert::{Certificate, CertificateKind, Extension, ProxyKind, Validity};
+pub use chain::{verify_chain, TrustStore, VerifiedIdentity};
+pub use credential::{Credential, RESTRICTION_EXTENSION};
+pub use dn::DistinguishedName;
+pub use error::CredentialError;
+pub use gridmap::{GridMapEntry, GridMapFile};
+pub use sha256::sha256;

@@ -1,0 +1,285 @@
+//! A PEM-style textual encoding for certificates and chains.
+//!
+//! GSI ships credentials around as PEM files; the simulation needs the
+//! same ability so the GRAM wire layer (and anything else that crosses a
+//! process boundary) can carry a full chain as text. The body is a
+//! line-oriented field list (hex for numeric material) wrapped in the
+//! familiar BEGIN/END armor:
+//!
+//! ```text
+//! -----BEGIN SIM CERTIFICATE-----
+//! serial: 2
+//! subject: /O=Grid/CN=Bo Liu
+//! ...
+//! -----END SIM CERTIFICATE-----
+//! ```
+//!
+//! Encoding is lossless: [`decode_chain`] ∘ [`encode_chain`] is the
+//! identity (property-tested in `tests/proptests.rs` consumers).
+
+use gridauthz_clock::SimTime;
+
+use crate::cert::{Certificate, CertificateKind, Extension, ProxyKind, Validity};
+use crate::dn::DistinguishedName;
+use crate::error::CredentialError;
+use crate::rsa::{PublicKey, Signature};
+
+const BEGIN: &str = "-----BEGIN SIM CERTIFICATE-----";
+const END: &str = "-----END SIM CERTIFICATE-----";
+
+fn kind_label(kind: &CertificateKind) -> &'static str {
+    match kind {
+        CertificateKind::Ca => "ca",
+        CertificateKind::EndEntity => "end-entity",
+        CertificateKind::Proxy(ProxyKind::Impersonation) => "proxy",
+        CertificateKind::Proxy(ProxyKind::Limited) => "limited-proxy",
+        CertificateKind::Proxy(ProxyKind::Restricted) => "restricted-proxy",
+    }
+}
+
+fn kind_from_label(label: &str) -> Option<CertificateKind> {
+    Some(match label {
+        "ca" => CertificateKind::Ca,
+        "end-entity" => CertificateKind::EndEntity,
+        "proxy" => CertificateKind::Proxy(ProxyKind::Impersonation),
+        "limited-proxy" => CertificateKind::Proxy(ProxyKind::Limited),
+        "restricted-proxy" => CertificateKind::Proxy(ProxyKind::Restricted),
+        _ => return None,
+    })
+}
+
+/// Percent-style escaping for extension payloads (which may contain
+/// newlines or arbitrary text).
+fn escape_payload(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_payload(s: &str) -> String {
+    s.replace("%0A", "\n").replace("%0D", "\r").replace("%25", "%")
+}
+
+/// Encodes one certificate.
+pub fn encode_certificate(cert: &Certificate) -> String {
+    let mut out = String::new();
+    out.push_str(BEGIN);
+    out.push('\n');
+    out.push_str(&format!("serial: {:016x}\n", cert.serial()));
+    out.push_str(&format!("subject: {}\n", cert.subject()));
+    out.push_str(&format!("issuer: {}\n", cert.issuer()));
+    out.push_str(&format!("public-key: {:016x}\n", cert.public_key().modulus()));
+    out.push_str(&format!("fingerprint: {:016x}\n", cert.public_key().fingerprint()));
+    out.push_str(&format!("not-before: {}\n", cert.validity().not_before.as_micros()));
+    out.push_str(&format!("not-after: {}\n", cert.validity().not_after.as_micros()));
+    out.push_str(&format!("kind: {}\n", kind_label(cert.kind())));
+    for extension in cert.extensions() {
+        out.push_str(&format!(
+            "extension: {} {}\n",
+            extension.name,
+            escape_payload(&extension.value)
+        ));
+    }
+    out.push_str(&format!("signature: {:016x}\n", cert.signature().0));
+    out.push_str(END);
+    out.push('\n');
+    out
+}
+
+/// Encodes a chain, leaf first, as concatenated armor blocks.
+pub fn encode_chain(chain: &[Certificate]) -> String {
+    chain.iter().map(encode_certificate).collect()
+}
+
+/// Decodes every armor block in `text` (leaf first).
+///
+/// # Errors
+///
+/// [`CredentialError::MalformedChain`] describing the first defect:
+/// missing armor, unknown fields, bad hex, missing required fields.
+pub fn decode_chain(text: &str) -> Result<Vec<Certificate>, CredentialError> {
+    let err = |msg: String| CredentialError::MalformedChain(format!("PEM: {msg}"));
+    let mut certificates = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(&line) = lines.peek() {
+        if line.trim().is_empty() {
+            lines.next();
+            continue;
+        }
+        if line.trim() != BEGIN {
+            return Err(err(format!("expected BEGIN armor, got {line:?}")));
+        }
+        lines.next();
+
+        let mut serial = None;
+        let mut subject = None;
+        let mut issuer = None;
+        let mut modulus = None;
+        let mut fingerprint = None;
+        let mut not_before = None;
+        let mut not_after = None;
+        let mut kind = None;
+        let mut extensions = Vec::new();
+        let mut signature = None;
+        loop {
+            let Some(line) = lines.next() else {
+                return Err(err("unterminated certificate block".into()));
+            };
+            if line.trim() == END {
+                break;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| err(format!("field without ':': {line:?}")))?;
+            let value = value.trim();
+            match key.trim() {
+                "serial" => {
+                    serial = Some(
+                        u64::from_str_radix(value, 16).map_err(|_| err("bad serial hex".into()))?,
+                    )
+                }
+                "subject" => subject = Some(DistinguishedName::parse(value)?),
+                "issuer" => issuer = Some(DistinguishedName::parse(value)?),
+                "public-key" => {
+                    modulus = Some(
+                        u64::from_str_radix(value, 16)
+                            .map_err(|_| err("bad public-key hex".into()))?,
+                    )
+                }
+                "fingerprint" => {
+                    fingerprint = Some(
+                        u64::from_str_radix(value, 16)
+                            .map_err(|_| err("bad fingerprint hex".into()))?,
+                    )
+                }
+                "not-before" => {
+                    not_before = Some(
+                        value.parse::<u64>().map_err(|_| err("bad not-before".into()))?,
+                    )
+                }
+                "not-after" => {
+                    not_after =
+                        Some(value.parse::<u64>().map_err(|_| err("bad not-after".into()))?)
+                }
+                "kind" => {
+                    kind = Some(
+                        kind_from_label(value)
+                            .ok_or_else(|| err(format!("unknown kind {value:?}")))?,
+                    )
+                }
+                "extension" => {
+                    let (name, payload) = value
+                        .split_once(' ')
+                        .ok_or_else(|| err("extension needs a name and payload".into()))?;
+                    extensions.push(Extension {
+                        name: name.to_string(),
+                        value: unescape_payload(payload),
+                    });
+                }
+                "signature" => {
+                    signature = Some(
+                        u64::from_str_radix(value, 16)
+                            .map_err(|_| err("bad signature hex".into()))?,
+                    )
+                }
+                other => return Err(err(format!("unknown field {other:?}"))),
+            }
+        }
+
+        let missing = |field: &str| err(format!("missing field {field:?}"));
+        let modulus = modulus.ok_or_else(|| missing("public-key"))?;
+        let fingerprint = fingerprint.ok_or_else(|| missing("fingerprint"))?;
+        let public_key = PublicKey::from_parts(modulus, fingerprint)
+            .ok_or_else(|| err("inconsistent public key material".into()))?;
+        certificates.push(Certificate::assemble(
+            serial.ok_or_else(|| missing("serial"))?,
+            subject.ok_or_else(|| missing("subject"))?,
+            issuer.ok_or_else(|| missing("issuer"))?,
+            public_key,
+            Validity {
+                not_before: SimTime::from_micros(not_before.ok_or_else(|| missing("not-before"))?),
+                not_after: SimTime::from_micros(not_after.ok_or_else(|| missing("not-after"))?),
+            },
+            kind.ok_or_else(|| missing("kind"))?,
+            extensions,
+            Signature(signature.ok_or_else(|| missing("signature"))?),
+        ));
+    }
+    if certificates.is_empty() {
+        return Err(err("no certificate blocks found".into()));
+    }
+    Ok(certificates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::chain::{verify_chain, TrustStore};
+    use gridauthz_clock::{SimClock, SimDuration};
+
+    fn fixture() -> (SimClock, CertificateAuthority, TrustStore) {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        (clock, ca, trust)
+    }
+
+    #[test]
+    fn identity_chain_roundtrips_and_still_verifies() {
+        let (clock, ca, trust) = fixture();
+        let user = ca.issue_identity("/O=Grid/CN=Bo Liu", SimDuration::from_hours(2)).unwrap();
+        let text = encode_chain(user.chain());
+        assert!(text.starts_with(BEGIN));
+        let decoded = decode_chain(&text).unwrap();
+        assert_eq!(decoded, user.chain());
+        let verified = verify_chain(&decoded, &trust, clock.now()).unwrap();
+        assert_eq!(verified.subject().to_string(), "/O=Grid/CN=Bo Liu");
+    }
+
+    #[test]
+    fn restricted_proxy_payload_survives_including_newlines() {
+        let (clock, ca, trust) = fixture();
+        let user = ca.issue_identity("/O=Grid/CN=Kate", SimDuration::from_hours(2)).unwrap();
+        let payload = "*: &(action = start)(executable = TRANSP)\n*: &(action = cancel)\n100%";
+        let proxy = user
+            .delegate_restricted_proxy(clock.now(), SimDuration::from_hours(1), payload.into())
+            .unwrap();
+        let decoded = decode_chain(&encode_chain(proxy.chain())).unwrap();
+        assert_eq!(decoded, proxy.chain());
+        let verified = verify_chain(&decoded, &trust, clock.now()).unwrap();
+        assert_eq!(verified.restrictions()[0].value, payload);
+    }
+
+    #[test]
+    fn tampered_text_fails_signature_after_decode() {
+        let (clock, ca, trust) = fixture();
+        let user = ca.issue_identity("/O=Grid/CN=Bo", SimDuration::from_hours(2)).unwrap();
+        let text = encode_chain(user.chain()).replace("/O=Grid/CN=Bo", "/O=Grid/CN=Eve");
+        let decoded = decode_chain(&text).unwrap();
+        assert!(verify_chain(&decoded, &trust, clock.now()).is_err());
+    }
+
+    #[test]
+    fn malformed_blocks_are_rejected() {
+        for bad in [
+            "",
+            "garbage",
+            BEGIN, // unterminated
+            &format!("{BEGIN}\nnocolonhere\n{END}"),
+            &format!("{BEGIN}\nserial: xyz\n{END}"),
+            &format!("{BEGIN}\nwhat: ever\n{END}"),
+            &format!("{BEGIN}\nserial: 01\n{END}"), // missing fields
+        ] {
+            assert!(decode_chain(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

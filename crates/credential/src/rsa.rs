@@ -1,0 +1,301 @@
+//! Toy RSA over 32-bit primes.
+//!
+//! This gives the workspace a *genuine* asymmetric sign/verify operation —
+//! chain validation really checks `sig^e mod n == H(m) mod n` against the
+//! issuer's public key — while staying dependency-free. Key sizes (~62-bit
+//! moduli) are simulation-grade: trivially factorable, never to be used for
+//! real security. The point is that the authorization logic downstream is
+//! exercised by real signature success/failure paths.
+
+use rand::Rng;
+
+use crate::sha256::sha256_prefix_u64;
+
+/// A toy-RSA public key `(n, e)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    n: u64,
+    e: u64,
+}
+
+impl PublicKey {
+    /// The modulus.
+    pub fn modulus(&self) -> u64 {
+        self.n
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: Signature) -> bool {
+        let m = sha256_prefix_u64(message) % self.n;
+        mod_pow(signature.0, self.e, self.n) == m
+    }
+
+    /// A compact fingerprint for display/indexing.
+    pub fn fingerprint(&self) -> u64 {
+        self.n ^ self.e.rotate_left(32)
+    }
+
+    /// Reconstructs a key from its serialized `(modulus, fingerprint)`
+    /// pair (the PEM codec's wire form). Returns `None` when the pair is
+    /// inconsistent or degenerate.
+    pub fn from_parts(modulus: u64, fingerprint: u64) -> Option<PublicKey> {
+        let e = (fingerprint ^ modulus).rotate_right(32);
+        let key = PublicKey { n: modulus, e };
+        (modulus > 1 && e > 1 && key.fingerprint() == fingerprint).then_some(key)
+    }
+}
+
+/// A toy-RSA private key `(n, d)`.
+///
+/// The `Debug` impl redacts the private exponent so keys can appear in
+/// logs without leaking (even toy) secrets.
+#[derive(Clone)]
+pub struct PrivateKey {
+    n: u64,
+    d: u64,
+}
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateKey")
+            .field("n", &self.n)
+            .field("d", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PrivateKey {
+    /// Signs `message` (its SHA-256 prefix, reduced mod `n`).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let m = sha256_prefix_u64(message) % self.n;
+        Signature(mod_pow(m, self.d, self.n))
+    }
+}
+
+/// A toy-RSA signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub u64);
+
+/// A freshly generated keypair.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    public: PublicKey,
+    private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Generates a keypair from two random 32-bit primes.
+    pub fn generate(rng: &mut impl Rng) -> KeyPair {
+        loop {
+            let p = random_prime(rng);
+            let q = random_prime(rng);
+            if p == q {
+                continue;
+            }
+            let n = p as u64 * q as u64;
+            let phi = (p as u64 - 1) * (q as u64 - 1);
+            let e = 65_537u64;
+            if gcd(e, phi) != 1 {
+                continue;
+            }
+            let d = mod_inverse(e, phi).expect("e is invertible when gcd(e, phi) == 1");
+            return KeyPair {
+                public: PublicKey { n, e },
+                private: PrivateKey { n, d },
+            };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// The private half.
+    pub fn private(&self) -> &PrivateKey {
+        &self.private
+    }
+}
+
+/// `base^exp mod modulus` via square-and-multiply over `u128`.
+fn mod_pow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 1, "modulus must exceed 1");
+    let m = modulus as u128;
+    let mut result: u128 = 1;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    base = result as u64;
+    base
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular inverse via the extended Euclidean algorithm.
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i128) as u64)
+}
+
+/// Deterministic Miller–Rabin for `u64`-sized candidates.
+///
+/// The base set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is proven
+/// complete below 3.3 × 10^24, far beyond `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mod_pow(x, 2, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Picks a random prime in `[2^31, 2^32)`.
+fn random_prime(rng: &mut impl Rng) -> u32 {
+    loop {
+        let candidate: u32 = rng.gen_range((1u32 << 31)..u32::MAX) | 1;
+        if is_prime(candidate as u64) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair(1);
+        let sig = kp.private().sign(b"hello grid");
+        assert!(kp.public().verify(b"hello grid", sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let kp = keypair(2);
+        let sig = kp.private().sign(b"original");
+        assert!(!kp.public().verify(b"tampered", sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let kp1 = keypair(3);
+        let kp2 = keypair(4);
+        let sig = kp1.private().sign(b"msg");
+        assert!(!kp2.public().verify(b"msg", sig));
+    }
+
+    #[test]
+    fn verify_rejects_forged_signature() {
+        let kp = keypair(5);
+        assert!(!kp.public().verify(b"msg", Signature(12345)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(keypair(7).public(), keypair(7).public());
+        assert_ne!(keypair(7).public(), keypair(8).public());
+    }
+
+    #[test]
+    fn mod_pow_basics() {
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        assert_eq!(mod_pow(3, 0, 7), 1);
+        assert_eq!(mod_pow(0, 5, 7), 0);
+        assert_eq!(mod_pow(u64::MAX - 1, 2, u64::MAX), 1);
+    }
+
+    #[test]
+    fn mod_inverse_basics() {
+        assert_eq!(mod_inverse(3, 11), Some(4)); // 3*4 = 12 ≡ 1 (mod 11)
+        assert_eq!(mod_inverse(2, 4), None); // not coprime
+        let inv = mod_inverse(65_537, 4_294_967_290).unwrap();
+        assert_eq!((65_537u128 * inv as u128) % 4_294_967_290, 1);
+    }
+
+    #[test]
+    fn primality_known_values() {
+        for p in [2u64, 3, 5, 7, 2_147_483_647, 4_294_967_291, 18_446_744_073_709_551_557] {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 561, 2_147_483_649, 4_294_967_295] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_rejects_garbage() {
+        let kp = keypair(11);
+        let pk = kp.public();
+        let rebuilt = PublicKey::from_parts(pk.modulus(), pk.fingerprint()).unwrap();
+        assert_eq!(rebuilt, pk);
+        let sig = kp.private().sign(b"msg");
+        assert!(rebuilt.verify(b"msg", sig));
+        assert!(PublicKey::from_parts(0, 0).is_none());
+        assert!(PublicKey::from_parts(1, 99).is_none());
+    }
+
+    #[test]
+    fn private_key_debug_redacts_exponent() {
+        let kp = keypair(9);
+        let dbg = format!("{:?}", kp.private());
+        assert!(dbg.contains("redacted"));
+    }
+
+    #[test]
+    fn signatures_depend_on_message() {
+        let kp = keypair(10);
+        assert_ne!(kp.private().sign(b"a"), kp.private().sign(b"b"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the credential substrate: DN round-trips,
+//! chain validation soundness (only CA-issued chains verify; any single
+//! field mutation breaks the signature), and grid-mapfile round-trips.
+
+use proptest::prelude::*;
+
+use gridauthz_clock::{SimClock, SimDuration, SimTime};
+use gridauthz_credential::{
+    verify_chain, Certificate, CertificateAuthority, DistinguishedName, GridMapEntry,
+    GridMapFile, TrustStore,
+};
+
+fn arb_dn_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec!["O", "OU", "CN", "C", "DC"]),
+            "[A-Za-z][A-Za-z0-9 .-]{0,11}[A-Za-z0-9]",
+        ),
+        1..5,
+    )
+    .prop_map(|components| {
+        components
+            .into_iter()
+            .map(|(k, v)| format!("/{k}={v}"))
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    /// DN parse → print is the identity on well-formed inputs.
+    #[test]
+    fn dn_roundtrips(s in arb_dn_string()) {
+        let dn = DistinguishedName::parse(&s).expect("generated DN parses");
+        prop_assert_eq!(dn.to_string(), s);
+        let reparsed = DistinguishedName::parse(&dn.to_string()).unwrap();
+        prop_assert_eq!(dn, reparsed);
+    }
+
+    /// DN parsing never panics on arbitrary input.
+    #[test]
+    fn dn_parse_total(s in "[ -~]{0,48}") {
+        let _ = DistinguishedName::parse(&s);
+    }
+
+    /// Any identity issued by a trusted CA verifies; the same identity
+    /// from an *untrusted* CA (same name, different key) never does.
+    #[test]
+    fn chain_validation_is_key_grounded(subject in arb_dn_string(), seed in any::<u64>()) {
+        let clock = SimClock::new();
+        let trusted = CertificateAuthority::new_root_with_seed("/O=Grid/CN=Root", seed, &clock)
+            .unwrap();
+        let untrusted =
+            CertificateAuthority::new_root_with_seed("/O=Grid/CN=Root", seed ^ 1, &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(trusted.certificate().clone());
+
+        let good = trusted.issue_identity(&subject, SimDuration::from_hours(1)).unwrap();
+        let verified = verify_chain(good.chain(), &trust, clock.now()).unwrap();
+        prop_assert_eq!(verified.subject().to_string(), subject.clone());
+
+        let bad = untrusted.issue_identity(&subject, SimDuration::from_hours(1)).unwrap();
+        prop_assert!(verify_chain(bad.chain(), &trust, clock.now()).is_err());
+    }
+
+    /// Mutating any certificate field invalidates the chain.
+    #[test]
+    fn any_field_mutation_breaks_the_chain(which in 0usize..4) {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let user = ca.issue_identity("/O=Grid/CN=User", SimDuration::from_hours(1)).unwrap();
+        let cert = user.certificate();
+
+        let forged = Certificate::assemble(
+            if which == 0 { cert.serial() + 1 } else { cert.serial() },
+            if which == 1 {
+                "/O=Grid/CN=Mallory".parse().unwrap()
+            } else {
+                cert.subject().clone()
+            },
+            cert.issuer().clone(),
+            cert.public_key(),
+            if which == 2 {
+                gridauthz_credential::Validity {
+                    not_before: cert.validity().not_before,
+                    not_after: SimTime::MAX,
+                }
+            } else {
+                cert.validity()
+            },
+            if which == 3 {
+                gridauthz_credential::CertificateKind::Ca
+            } else {
+                cert.kind().clone()
+            },
+            cert.extensions().to_vec(),
+            cert.signature(),
+        );
+        let chain = vec![forged, user.chain()[1].clone()];
+        prop_assert!(verify_chain(&chain, &trust, clock.now()).is_err());
+    }
+
+    /// Proxies always verify to the same effective identity as the
+    /// underlying credential, for any delegation depth.
+    #[test]
+    fn proxy_depth_preserves_identity(depth in 1usize..5) {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let mut credential = ca
+            .issue_identity("/O=Grid/CN=User", SimDuration::from_hours(100))
+            .unwrap();
+        for _ in 0..depth {
+            credential = credential
+                .delegate_proxy_at(clock.now(), SimDuration::from_hours(10))
+                .unwrap();
+        }
+        let verified = verify_chain(credential.chain(), &trust, clock.now()).unwrap();
+        prop_assert_eq!(verified.subject().to_string(), "/O=Grid/CN=User");
+        prop_assert_eq!(credential.chain().len(), depth + 2);
+    }
+
+    /// Grid-mapfile display → parse round-trips arbitrary entries.
+    #[test]
+    fn gridmap_roundtrips(
+        entries in prop::collection::vec(
+            (arb_dn_string(), prop::collection::vec("[a-z][a-z0-9_-]{0,7}", 1..4)),
+            0..6,
+        )
+    ) {
+        let mut map = GridMapFile::new();
+        for (dn, accounts) in &entries {
+            map.insert(GridMapEntry::new(
+                DistinguishedName::parse(dn).unwrap(),
+                accounts.clone(),
+            ));
+        }
+        let reparsed = GridMapFile::parse(&map.to_string()).unwrap();
+        prop_assert_eq!(reparsed.len(), map.len());
+        for entry in map.iter() {
+            prop_assert_eq!(reparsed.lookup(entry.subject()), Some(entry));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulated local Unix accounts — the "local credentials" GRAM maps Grid
+//! identities onto.
+
+use std::collections::HashMap;
+
+/// Whether an account is statically administered or pool-managed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountKind {
+    /// Pre-created by a system administrator.
+    Static,
+    /// Belongs to a [`DynamicAccountPool`](crate::DynamicAccountPool).
+    Dynamic,
+}
+
+/// A local account: the enforcement identity a job runs under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAccount {
+    name: String,
+    uid: u32,
+    gid: u32,
+    groups: Vec<String>,
+    kind: AccountKind,
+}
+
+impl LocalAccount {
+    /// Builds an account.
+    pub fn new(name: impl Into<String>, uid: u32, gid: u32, kind: AccountKind) -> LocalAccount {
+        LocalAccount { name: name.into(), uid, gid, groups: Vec::new(), kind }
+    }
+
+    /// Adds a supplementary group (dynamic-account configuration uses this
+    /// to widen or narrow file-system rights per request).
+    #[must_use]
+    pub fn with_group(mut self, group: impl Into<String>) -> Self {
+        self.groups.push(group.into());
+        self
+    }
+
+    /// The account name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Numeric user id.
+    pub fn uid(&self) -> u32 {
+        self.uid
+    }
+
+    /// Primary group id.
+    pub fn gid(&self) -> u32 {
+        self.gid
+    }
+
+    /// Supplementary group names.
+    pub fn groups(&self) -> &[String] {
+        &self.groups
+    }
+
+    /// True when the account belongs to `group`.
+    pub fn in_group(&self, group: &str) -> bool {
+        self.groups.iter().any(|g| g == group)
+    }
+
+    /// Static or dynamic.
+    pub fn kind(&self) -> AccountKind {
+        self.kind
+    }
+
+    pub(crate) fn set_groups(&mut self, groups: Vec<String>) {
+        self.groups = groups;
+    }
+}
+
+/// The resource's account database.
+#[derive(Debug, Clone, Default)]
+pub struct AccountRegistry {
+    accounts: HashMap<String, LocalAccount>,
+    next_uid: u32,
+}
+
+impl AccountRegistry {
+    /// Creates an empty registry; uids start at 1000.
+    pub fn new() -> AccountRegistry {
+        AccountRegistry { accounts: HashMap::new(), next_uid: 1000 }
+    }
+
+    /// Creates a static account, allocating the next uid. Returns a clone
+    /// of the created record. Re-creating an existing name returns the
+    /// existing record unchanged.
+    pub fn create_static(&mut self, name: &str) -> LocalAccount {
+        if let Some(existing) = self.accounts.get(name) {
+            return existing.clone();
+        }
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let account = LocalAccount::new(name, uid, uid, AccountKind::Static);
+        self.accounts.insert(name.to_string(), account.clone());
+        account
+    }
+
+    /// Registers an externally built account (the dynamic pool uses this).
+    pub fn insert(&mut self, account: LocalAccount) {
+        self.accounts.insert(account.name().to_string(), account);
+    }
+
+    /// Looks up an account by name.
+    pub fn get(&self, name: &str) -> Option<&LocalAccount> {
+        self.accounts.get(name)
+    }
+
+    /// True when `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.accounts.contains_key(name)
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True when no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_static_allocates_sequential_uids() {
+        let mut reg = AccountRegistry::new();
+        let a = reg.create_static("bliu");
+        let b = reg.create_static("keahey");
+        assert_eq!(a.uid(), 1000);
+        assert_eq!(b.uid(), 1001);
+        assert_eq!(a.kind(), AccountKind::Static);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn create_static_is_idempotent() {
+        let mut reg = AccountRegistry::new();
+        let a = reg.create_static("bliu");
+        let again = reg.create_static("bliu");
+        assert_eq!(a, again);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn groups_and_lookup() {
+        let mut reg = AccountRegistry::new();
+        reg.insert(
+            LocalAccount::new("fusion01", 5000, 5000, AccountKind::Dynamic)
+                .with_group("fusion")
+                .with_group("transp-users"),
+        );
+        let acct = reg.get("fusion01").unwrap();
+        assert!(acct.in_group("fusion"));
+        assert!(!acct.in_group("admin"));
+        assert_eq!(acct.groups().len(), 2);
+        assert!(reg.contains("fusion01"));
+        assert!(!reg.contains("ghost"));
+    }
+}

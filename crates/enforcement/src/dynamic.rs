@@ -1,0 +1,289 @@
+//! Dynamic accounts (§6.1): "accounts created and configured on the fly
+//! by a resource management facility ... enables the resource management
+//! system to run jobs for users that do not have an account on that
+//! system, and account configuration relevant to policies for a
+//! particular resource management request."
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use gridauthz_clock::{SimDuration, SimTime};
+use gridauthz_credential::DistinguishedName;
+
+use crate::accounts::{AccountKind, LocalAccount};
+
+/// Errors from the dynamic-account pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Every pool account is leased.
+    Exhausted,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "dynamic account pool exhausted"),
+        }
+    }
+}
+
+impl Error for PoolError {}
+
+/// An active binding of a Grid identity to a pool account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The leased account (configured for this lease).
+    pub account: LocalAccount,
+    /// The Grid identity holding the lease.
+    pub subject: DistinguishedName,
+    /// When the lease lapses unless renewed.
+    pub expires: SimTime,
+}
+
+/// Pool metrics for the T6 bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh account configurations performed (the expensive path).
+    pub leases_created: u64,
+    /// Requests satisfied by an existing live lease (the cheap path).
+    pub lease_hits: u64,
+    /// Leases reclaimed after expiry.
+    pub leases_reclaimed: u64,
+    /// Requests refused because the pool was empty.
+    pub exhaustions: u64,
+}
+
+/// A pool of pre-created accounts leased to Grid identities on demand.
+#[derive(Debug)]
+pub struct DynamicAccountPool {
+    free: Vec<LocalAccount>,
+    by_subject: HashMap<String, Lease>,
+    lease_duration: SimDuration,
+    stats: PoolStats,
+}
+
+impl DynamicAccountPool {
+    /// Creates a pool of `size` accounts named `prefixNNNN`, uids from
+    /// `base_uid`, each lease lasting `lease_duration`.
+    pub fn new(prefix: &str, size: u32, base_uid: u32, lease_duration: SimDuration) -> Self {
+        let free = (0..size)
+            .rev() // pop() hands out low-numbered accounts first
+            .map(|i| {
+                LocalAccount::new(
+                    format!("{prefix}{i:04}"),
+                    base_uid + i,
+                    base_uid + i,
+                    AccountKind::Dynamic,
+                )
+            })
+            .collect();
+        DynamicAccountPool {
+            free,
+            by_subject: HashMap::new(),
+            lease_duration,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Accounts currently available.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Live leases.
+    pub fn active_count(&self) -> usize {
+        self.by_subject.len()
+    }
+
+    /// Pool metrics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Leases an account for `subject` at `now`, configured with `groups`
+    /// (the per-request configuration §6.1 describes). A live lease for
+    /// the same subject is renewed and returned instead (its groups are
+    /// reconfigured for the new request).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Exhausted`] when no account is free.
+    pub fn lease(
+        &mut self,
+        subject: &DistinguishedName,
+        groups: Vec<String>,
+        now: SimTime,
+    ) -> Result<Lease, PoolError> {
+        self.reclaim_expired(now);
+        let key = subject.to_string();
+        if let Some(lease) = self.by_subject.get_mut(&key) {
+            lease.expires = now.saturating_add(self.lease_duration);
+            lease.account.set_groups(groups);
+            self.stats.lease_hits += 1;
+            return Ok(lease.clone());
+        }
+        let Some(mut account) = self.free.pop() else {
+            self.stats.exhaustions += 1;
+            return Err(PoolError::Exhausted);
+        };
+        account.set_groups(groups);
+        let lease = Lease {
+            account,
+            subject: subject.clone(),
+            expires: now.saturating_add(self.lease_duration),
+        };
+        self.by_subject.insert(key, lease.clone());
+        self.stats.leases_created += 1;
+        Ok(lease)
+    }
+
+    /// The live lease for `subject`, if any (expired leases are purged
+    /// lazily by [`DynamicAccountPool::lease`] / explicit reclaim).
+    pub fn lease_for(&self, subject: &DistinguishedName) -> Option<&Lease> {
+        self.by_subject.get(&subject.to_string())
+    }
+
+    /// Releases `subject`'s lease immediately, returning the account to
+    /// the pool. Returns `false` when no lease existed.
+    pub fn release(&mut self, subject: &DistinguishedName) -> bool {
+        match self.by_subject.remove(&subject.to_string()) {
+            Some(lease) => {
+                let mut account = lease.account;
+                account.set_groups(Vec::new());
+                self.free.push(account);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reclaims every lease expired at `now`; returns how many.
+    pub fn reclaim_expired(&mut self, now: SimTime) -> usize {
+        let expired: Vec<String> = self
+            .by_subject
+            .iter()
+            .filter(|(_, lease)| lease.expires < now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let count = expired.len();
+        for key in expired {
+            let lease = self.by_subject.remove(&key).expect("key just listed");
+            let mut account = lease.account;
+            account.set_groups(Vec::new());
+            self.free.push(account);
+        }
+        self.stats.leases_reclaimed += count as u64;
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn pool() -> DynamicAccountPool {
+        DynamicAccountPool::new("grid", 3, 50_000, SimDuration::from_mins(30))
+    }
+
+    #[test]
+    fn lease_hands_out_configured_accounts() {
+        let mut p = pool();
+        let lease = p
+            .lease(&dn("/O=G/CN=Bo"), vec!["fusion".into()], SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(lease.account.name(), "grid0000");
+        assert!(lease.account.in_group("fusion"));
+        assert_eq!(lease.account.kind(), AccountKind::Dynamic);
+        assert_eq!(p.free_count(), 2);
+        assert_eq!(p.active_count(), 1);
+        assert_eq!(p.stats().leases_created, 1);
+    }
+
+    #[test]
+    fn same_subject_reuses_lease() {
+        let mut p = pool();
+        let first = p.lease(&dn("/O=G/CN=Bo"), vec![], SimTime::EPOCH).unwrap();
+        let second = p
+            .lease(&dn("/O=G/CN=Bo"), vec!["transp".into()], SimTime::from_secs(60))
+            .unwrap();
+        assert_eq!(first.account.name(), second.account.name());
+        // Renewed expiry and reconfigured groups.
+        assert_eq!(second.expires, SimTime::from_secs(60 + 1800));
+        assert!(second.account.in_group("transp"));
+        assert_eq!(p.stats().lease_hits, 1);
+        assert_eq!(p.free_count(), 2);
+    }
+
+    #[test]
+    fn distinct_subjects_get_distinct_accounts() {
+        let mut p = pool();
+        let a = p.lease(&dn("/O=G/CN=A"), vec![], SimTime::EPOCH).unwrap();
+        let b = p.lease(&dn("/O=G/CN=B"), vec![], SimTime::EPOCH).unwrap();
+        assert_ne!(a.account.name(), b.account.name());
+        assert_ne!(a.account.uid(), b.account.uid());
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut p = pool();
+        for i in 0..3 {
+            p.lease(&dn(&format!("/O=G/CN=U{i}")), vec![], SimTime::EPOCH).unwrap();
+        }
+        assert_eq!(
+            p.lease(&dn("/O=G/CN=Late"), vec![], SimTime::EPOCH),
+            Err(PoolError::Exhausted)
+        );
+        assert_eq!(p.stats().exhaustions, 1);
+    }
+
+    #[test]
+    fn expiry_reclaims_accounts() {
+        let mut p = pool();
+        p.lease(&dn("/O=G/CN=Bo"), vec!["g".into()], SimTime::EPOCH).unwrap();
+        assert_eq!(p.reclaim_expired(SimTime::from_mins_for_test(29)), 0);
+        assert_eq!(p.reclaim_expired(SimTime::from_mins_for_test(31)), 1);
+        assert_eq!(p.free_count(), 3);
+        assert!(p.lease_for(&dn("/O=G/CN=Bo")).is_none());
+        // A later lease for a new subject gets the cleaned account.
+        let fresh = p.lease(&dn("/O=G/CN=New"), vec![], SimTime::from_mins_for_test(32)).unwrap();
+        assert!(fresh.account.groups().is_empty() );
+        assert_eq!(p.stats().leases_reclaimed, 1);
+    }
+
+    #[test]
+    fn expired_lease_is_replaced_on_next_lease_call() {
+        let mut p = pool();
+        let first = p.lease(&dn("/O=G/CN=Bo"), vec![], SimTime::EPOCH).unwrap();
+        // Past expiry, the same subject leases again: a *new* lease is
+        // created (possibly the same physical account, freshly configured).
+        let later = SimTime::from_mins_for_test(60);
+        let second = p.lease(&dn("/O=G/CN=Bo"), vec![], later).unwrap();
+        assert_eq!(p.stats().leases_created, 2);
+        assert_eq!(p.stats().lease_hits, 0);
+        assert!(second.expires > first.expires);
+    }
+
+    #[test]
+    fn release_returns_account() {
+        let mut p = pool();
+        p.lease(&dn("/O=G/CN=Bo"), vec!["x".into()], SimTime::EPOCH).unwrap();
+        assert!(p.release(&dn("/O=G/CN=Bo")));
+        assert!(!p.release(&dn("/O=G/CN=Bo")));
+        assert_eq!(p.free_count(), 3);
+    }
+
+    /// Test-only convenience since `SimTime` has no minutes constructor.
+    trait MinuteTime {
+        fn from_mins_for_test(mins: u64) -> SimTime;
+    }
+    impl MinuteTime for SimTime {
+        fn from_mins_for_test(mins: u64) -> SimTime {
+            SimTime::from_secs(mins * 60)
+        }
+    }
+}

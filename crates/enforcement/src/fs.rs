@@ -1,0 +1,196 @@
+//! A simulated Unix file system permission model — what account-based
+//! enforcement actually enforces (§6.1: "local policy enforcement depends
+//! on the privileges tied to the account that the user maps to").
+
+use std::collections::BTreeMap;
+
+use crate::accounts::LocalAccount;
+
+/// Requested access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read only.
+    Read,
+    /// Read and write.
+    ReadWrite,
+    /// Execute.
+    Execute,
+}
+
+/// Permission bits for one entry: `(owner rwx, group rwx, other rwx)`
+/// packed in the usual octal form, e.g. `0o750`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileMode(pub u16);
+
+impl FileMode {
+    fn class_bits(self, class: u8) -> u16 {
+        // class: 0 = owner, 1 = group, 2 = other.
+        (self.0 >> ((2 - class) * 3)) & 0o7
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    owner_uid: u32,
+    group: String,
+    mode: FileMode,
+}
+
+/// A path-keyed permission table. Paths inherit from their closest
+/// registered ancestor (directory) entry, so registering `/home/bliu`
+/// governs everything beneath it.
+#[derive(Debug, Clone, Default)]
+pub struct FileSystem {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl FileSystem {
+    /// Creates an empty file system (nothing is accessible).
+    pub fn new() -> FileSystem {
+        FileSystem::default()
+    }
+
+    /// Registers `path` with an owner uid, group name and mode.
+    pub fn register(&mut self, path: &str, owner_uid: u32, group: &str, mode: FileMode) {
+        self.entries.insert(
+            normalize(path),
+            Entry { owner_uid, group: group.to_string(), mode },
+        );
+    }
+
+    /// The governing entry for `path`: itself or its closest ancestor.
+    fn governing(&self, path: &str) -> Option<(&String, &Entry)> {
+        let path = normalize(path);
+        let mut probe = path.as_str();
+        loop {
+            if let Some((k, e)) = self.entries.get_key_value(probe) {
+                return Some((k, e));
+            }
+            match probe.rfind('/') {
+                Some(0) if probe != "/" => probe = "/",
+                Some(idx) => probe = &probe[..idx],
+                None => return None,
+            }
+        }
+    }
+
+    /// Unix-style access check for `account` on `path`. Unregistered
+    /// paths (no governing ancestor) are inaccessible.
+    pub fn can_access(&self, account: &LocalAccount, path: &str, access: AccessKind) -> bool {
+        let Some((_, entry)) = self.governing(path) else {
+            return false;
+        };
+        let class = if entry.owner_uid == account.uid() {
+            0
+        } else if account.in_group(&entry.group) {
+            1
+        } else {
+            2
+        };
+        let bits = entry.mode.class_bits(class);
+        match access {
+            AccessKind::Read => bits & 0o4 != 0,
+            AccessKind::ReadWrite => bits & 0o4 != 0 && bits & 0o2 != 0,
+            AccessKind::Execute => bits & 0o1 != 0,
+        }
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        "/".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounts::AccountKind;
+
+    fn fs() -> FileSystem {
+        let mut fs = FileSystem::new();
+        fs.register("/home/bliu", 1000, "users", FileMode(0o700));
+        fs.register("/sandbox/test", 0, "fusion", FileMode(0o775));
+        fs.register("/usr/bin", 0, "root", FileMode(0o755));
+        fs
+    }
+
+    fn account(uid: u32, groups: &[&str]) -> LocalAccount {
+        let mut a = LocalAccount::new(format!("u{uid}"), uid, uid, AccountKind::Static);
+        for g in groups {
+            a = a.with_group(*g);
+        }
+        a
+    }
+
+    #[test]
+    fn owner_has_full_access() {
+        let fs = fs();
+        let bliu = account(1000, &[]);
+        assert!(fs.can_access(&bliu, "/home/bliu", AccessKind::ReadWrite));
+        assert!(fs.can_access(&bliu, "/home/bliu/data/run1.out", AccessKind::ReadWrite));
+        assert!(fs.can_access(&bliu, "/home/bliu", AccessKind::Execute));
+    }
+
+    #[test]
+    fn strangers_are_shut_out_of_0700() {
+        let fs = fs();
+        let other = account(1001, &[]);
+        assert!(!fs.can_access(&other, "/home/bliu", AccessKind::Read));
+        assert!(!fs.can_access(&other, "/home/bliu/secret", AccessKind::Read));
+    }
+
+    #[test]
+    fn group_membership_grants_group_bits() {
+        let fs = fs();
+        let member = account(2000, &["fusion"]);
+        let outsider = account(2001, &[]);
+        assert!(fs.can_access(&member, "/sandbox/test/out", AccessKind::ReadWrite));
+        // 0o775: other can read/execute but not write.
+        assert!(fs.can_access(&outsider, "/sandbox/test/out", AccessKind::Read));
+        assert!(!fs.can_access(&outsider, "/sandbox/test/out", AccessKind::ReadWrite));
+    }
+
+    #[test]
+    fn execute_bit_is_distinct() {
+        let fs = fs();
+        let anyone = account(3000, &[]);
+        assert!(fs.can_access(&anyone, "/usr/bin/transp", AccessKind::Execute));
+        assert!(!fs.can_access(&anyone, "/home/bliu/tool", AccessKind::Execute));
+    }
+
+    #[test]
+    fn unregistered_paths_are_inaccessible() {
+        let fs = fs();
+        let root_like = account(0, &["root", "fusion", "users"]);
+        assert!(!fs.can_access(&root_like, "/etc/passwd", AccessKind::Read));
+    }
+
+    #[test]
+    fn trailing_slashes_are_normalized() {
+        let fs = fs();
+        let bliu = account(1000, &[]);
+        assert!(fs.can_access(&bliu, "/home/bliu/", AccessKind::Read));
+    }
+
+    #[test]
+    fn closest_ancestor_wins() {
+        let mut fs = fs();
+        // A public drop-box inside the locked home directory.
+        fs.register("/home/bliu/public", 1000, "users", FileMode(0o755));
+        let other = account(1001, &[]);
+        assert!(fs.can_access(&other, "/home/bliu/public/readme", AccessKind::Read));
+        assert!(!fs.can_access(&other, "/home/bliu/private/readme", AccessKind::Read));
+    }
+
+    #[test]
+    fn mode_bit_extraction() {
+        let m = FileMode(0o754);
+        assert_eq!(m.class_bits(0), 0o7);
+        assert_eq!(m.class_bits(1), 0o5);
+        assert_eq!(m.class_bits(2), 0o4);
+    }
+}

@@ -1,0 +1,44 @@
+//! Local **policy enforcement** substrates (§6.1 of the paper).
+//!
+//! The paper's gateway (GRAM) authorizes a request once; *continuous*
+//! enforcement then falls to local mechanisms. §6.1 analyses three rungs
+//! of an enforcement ladder, all modelled here so their coverage can be
+//! measured (experiment T6):
+//!
+//! 1. **Static accounts** ([`AccountRegistry`], [`FileSystem`]) — rights
+//!    are whatever the pre-configured Unix account can do: uid/gid file
+//!    permissions, nothing finer. "The enforcement vehicle is largely
+//!    accidental."
+//! 2. **Dynamic accounts** ([`DynamicAccountPool`]) — accounts "created
+//!    and configured on the fly by a resource management facility", leased
+//!    per Grid identity, reclaimed on expiry; configuration (group
+//!    membership) can reflect the *request's* rights instead of a static
+//!    user profile.
+//! 3. **Sandboxes** ([`Sandbox`], [`SandboxProfile`]) — "an environment
+//!    that imposes restrictions on resource usage": executable whitelists,
+//!    path rules, CPU/memory/process limits. Strong but (per the paper)
+//!    costly; the T6 bench quantifies both sides.
+//!
+//! # Example
+//!
+//! ```
+//! use gridauthz_enforcement::{AccessKind, Sandbox, SandboxProfile};
+//!
+//! let profile = SandboxProfile::new()
+//!     .allow_executable("TRANSP")
+//!     .allow_path("/sandbox/test", AccessKind::ReadWrite)
+//!     .with_memory_limit_mb(2048);
+//! let mut sandbox = Sandbox::new(profile);
+//! assert!(sandbox.check_exec("TRANSP").is_ok());
+//! assert!(sandbox.check_exec("/bin/sh").is_err());
+//! ```
+
+mod accounts;
+mod dynamic;
+mod fs;
+mod sandbox;
+
+pub use accounts::{AccountKind, AccountRegistry, LocalAccount};
+pub use dynamic::{DynamicAccountPool, Lease, PoolError, PoolStats};
+pub use fs::{AccessKind, FileMode, FileSystem};
+pub use sandbox::{Sandbox, SandboxProfile, SandboxViolation};

@@ -1,0 +1,345 @@
+//! Sandboxing (§6.1): "an environment that imposes restrictions on
+//! resource usage ... a strong enforcement solution", complementary to
+//! the gateway. The sandbox checks every operation against a per-job
+//! profile derived from the authorized request — enforcement finally
+//! tracks *the rights presented with the request* instead of whatever the
+//! local account happens to allow.
+
+use std::error::Error;
+use std::fmt;
+
+use gridauthz_clock::SimDuration;
+
+use crate::fs::AccessKind;
+
+/// A violation detected by the sandbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SandboxViolation {
+    /// Executable not on the profile's whitelist.
+    ExecutableNotAllowed(String),
+    /// Path access outside the allowed rules.
+    PathNotAllowed {
+        /// The offending path.
+        path: String,
+        /// The requested access.
+        write: bool,
+    },
+    /// Memory request above the profile limit.
+    MemoryLimit {
+        /// Requested MB.
+        requested_mb: u32,
+        /// Limit MB.
+        limit_mb: u32,
+    },
+    /// CPU-time consumption above the profile limit.
+    CpuLimit {
+        /// Consumed so far.
+        consumed: SimDuration,
+        /// The limit.
+        limit: SimDuration,
+    },
+    /// Process count above the profile limit.
+    ProcessLimit {
+        /// Requested process count.
+        requested: u32,
+        /// Limit.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SandboxViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SandboxViolation::ExecutableNotAllowed(e) => {
+                write!(f, "executable {e:?} is not sanctioned by the sandbox profile")
+            }
+            SandboxViolation::PathNotAllowed { path, write } => {
+                let mode = if *write { "write" } else { "read" };
+                write!(f, "{mode} access to {path:?} is outside the sandbox")
+            }
+            SandboxViolation::MemoryLimit { requested_mb, limit_mb } => {
+                write!(f, "memory {requested_mb} MB exceeds sandbox limit {limit_mb} MB")
+            }
+            SandboxViolation::CpuLimit { consumed, limit } => {
+                write!(f, "cpu time {consumed} exceeds sandbox limit {limit}")
+            }
+            SandboxViolation::ProcessLimit { requested, limit } => {
+                write!(f, "{requested} processes exceed sandbox limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SandboxViolation {}
+
+/// What a sandboxed job may do. Empty whitelists mean "nothing" — the
+/// profile is built *from the authorized request*, so an authorization
+/// that named no executable sanctions none (default-deny throughout).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SandboxProfile {
+    allowed_executables: Vec<String>,
+    path_rules: Vec<(String, AccessKind)>,
+    memory_limit_mb: Option<u32>,
+    cpu_limit: Option<SimDuration>,
+    process_limit: Option<u32>,
+}
+
+impl SandboxProfile {
+    /// An empty (deny-everything) profile.
+    pub fn new() -> SandboxProfile {
+        SandboxProfile::default()
+    }
+
+    /// Whitelists an executable.
+    #[must_use]
+    pub fn allow_executable(mut self, executable: impl Into<String>) -> Self {
+        self.allowed_executables.push(executable.into());
+        self
+    }
+
+    /// Allows access under a path prefix.
+    #[must_use]
+    pub fn allow_path(mut self, prefix: impl Into<String>, access: AccessKind) -> Self {
+        self.path_rules.push((normalize_prefix(prefix.into()), access));
+        self
+    }
+
+    /// Caps memory.
+    #[must_use]
+    pub fn with_memory_limit_mb(mut self, limit: u32) -> Self {
+        self.memory_limit_mb = Some(limit);
+        self
+    }
+
+    /// Caps total CPU time.
+    #[must_use]
+    pub fn with_cpu_limit(mut self, limit: SimDuration) -> Self {
+        self.cpu_limit = Some(limit);
+        self
+    }
+
+    /// Caps concurrent processes.
+    #[must_use]
+    pub fn with_process_limit(mut self, limit: u32) -> Self {
+        self.process_limit = Some(limit);
+        self
+    }
+}
+
+fn normalize_prefix(p: String) -> String {
+    let t = p.trim_end_matches('/');
+    if t.is_empty() {
+        "/".to_string()
+    } else {
+        t.to_string()
+    }
+}
+
+/// A live sandbox enforcing a [`SandboxProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sandbox {
+    profile: SandboxProfile,
+    cpu_consumed: SimDuration,
+    violations: Vec<SandboxViolation>,
+}
+
+impl Sandbox {
+    /// Instantiates a sandbox over `profile`.
+    pub fn new(profile: SandboxProfile) -> Sandbox {
+        Sandbox { profile, cpu_consumed: SimDuration::ZERO, violations: Vec::new() }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &SandboxProfile {
+        &self.profile
+    }
+
+    /// Every violation this sandbox has caught (for audit/metrics).
+    pub fn violations(&self) -> &[SandboxViolation] {
+        &self.violations
+    }
+
+    /// Checks an exec attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxViolation::ExecutableNotAllowed`].
+    pub fn check_exec(&mut self, executable: &str) -> Result<(), SandboxViolation> {
+        if self.profile.allowed_executables.iter().any(|e| e == executable) {
+            Ok(())
+        } else {
+            let v = SandboxViolation::ExecutableNotAllowed(executable.to_string());
+            self.violations.push(v.clone());
+            Err(v)
+        }
+    }
+
+    /// Checks a file access.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxViolation::PathNotAllowed`].
+    pub fn check_path(&mut self, path: &str, write: bool) -> Result<(), SandboxViolation> {
+        let allowed = self.profile.path_rules.iter().any(|(prefix, access)| {
+            let covers = path == prefix || path.starts_with(&format!("{prefix}/"));
+            let mode_ok = match access {
+                AccessKind::ReadWrite => true,
+                AccessKind::Read | AccessKind::Execute => !write,
+            };
+            covers && mode_ok
+        });
+        if allowed {
+            Ok(())
+        } else {
+            let v = SandboxViolation::PathNotAllowed { path: path.to_string(), write };
+            self.violations.push(v.clone());
+            Err(v)
+        }
+    }
+
+    /// Checks a memory reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxViolation::MemoryLimit`].
+    pub fn check_memory(&mut self, requested_mb: u32) -> Result<(), SandboxViolation> {
+        match self.profile.memory_limit_mb {
+            Some(limit_mb) if requested_mb > limit_mb => {
+                let v = SandboxViolation::MemoryLimit { requested_mb, limit_mb };
+                self.violations.push(v.clone());
+                Err(v)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Checks a process-spawn request.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxViolation::ProcessLimit`].
+    pub fn check_processes(&mut self, requested: u32) -> Result<(), SandboxViolation> {
+        match self.profile.process_limit {
+            Some(limit) if requested > limit => {
+                let v = SandboxViolation::ProcessLimit { requested, limit };
+                self.violations.push(v.clone());
+                Err(v)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Records consumed CPU time; errs once the limit is crossed (the
+    /// enforcement action would be a kill).
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxViolation::CpuLimit`].
+    pub fn consume_cpu(&mut self, amount: SimDuration) -> Result<(), SandboxViolation> {
+        self.cpu_consumed += amount;
+        match self.profile.cpu_limit {
+            Some(limit) if self.cpu_consumed > limit => {
+                let v = SandboxViolation::CpuLimit { consumed: self.cpu_consumed, limit };
+                self.violations.push(v.clone());
+                Err(v)
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sandbox() -> Sandbox {
+        Sandbox::new(
+            SandboxProfile::new()
+                .allow_executable("TRANSP")
+                .allow_executable("test1")
+                .allow_path("/sandbox/test", AccessKind::ReadWrite)
+                .allow_path("/data/shots", AccessKind::Read)
+                .with_memory_limit_mb(2048)
+                .with_cpu_limit(SimDuration::from_mins(60))
+                .with_process_limit(8),
+        )
+    }
+
+    #[test]
+    fn exec_whitelist() {
+        let mut s = sandbox();
+        assert!(s.check_exec("TRANSP").is_ok());
+        assert!(s.check_exec("test1").is_ok());
+        assert_eq!(
+            s.check_exec("/bin/sh"),
+            Err(SandboxViolation::ExecutableNotAllowed("/bin/sh".into()))
+        );
+        assert_eq!(s.violations().len(), 1);
+    }
+
+    #[test]
+    fn empty_profile_denies_all_exec() {
+        let mut s = Sandbox::new(SandboxProfile::new());
+        assert!(s.check_exec("anything").is_err());
+    }
+
+    #[test]
+    fn path_rules_respect_mode() {
+        let mut s = sandbox();
+        assert!(s.check_path("/sandbox/test/run.out", true).is_ok());
+        assert!(s.check_path("/data/shots/98765", false).is_ok());
+        assert!(s.check_path("/data/shots/98765", true).is_err());
+        assert!(s.check_path("/home/other/secret", false).is_err());
+    }
+
+    #[test]
+    fn path_prefix_match_is_component_wise() {
+        let mut s = sandbox();
+        // "/sandbox/testing" must NOT match the "/sandbox/test" rule.
+        assert!(s.check_path("/sandbox/testing/x", false).is_err());
+        assert!(s.check_path("/sandbox/test", true).is_ok());
+    }
+
+    #[test]
+    fn memory_and_process_limits() {
+        let mut s = sandbox();
+        assert!(s.check_memory(2048).is_ok());
+        assert!(s.check_memory(4096).is_err());
+        assert!(s.check_processes(8).is_ok());
+        assert!(s.check_processes(9).is_err());
+    }
+
+    #[test]
+    fn unlimited_profile_fields_pass() {
+        let mut s = Sandbox::new(SandboxProfile::new().allow_executable("x"));
+        assert!(s.check_memory(1_000_000).is_ok());
+        assert!(s.check_processes(10_000).is_ok());
+        assert!(s.consume_cpu(SimDuration::from_hours(100)).is_ok());
+    }
+
+    #[test]
+    fn cpu_limit_triggers_on_accumulation() {
+        let mut s = sandbox();
+        assert!(s.consume_cpu(SimDuration::from_mins(30)).is_ok());
+        assert!(s.consume_cpu(SimDuration::from_mins(30)).is_ok());
+        let err = s.consume_cpu(SimDuration::from_mins(1)).unwrap_err();
+        assert!(matches!(err, SandboxViolation::CpuLimit { .. }));
+    }
+
+    #[test]
+    fn violations_accumulate_for_audit() {
+        let mut s = sandbox();
+        let _ = s.check_exec("evil");
+        let _ = s.check_path("/etc/shadow", false);
+        let _ = s.check_memory(10_000);
+        assert_eq!(s.violations().len(), 3);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = SandboxViolation::PathNotAllowed { path: "/etc/shadow".into(), write: false };
+        assert!(v.to_string().contains("/etc/shadow"));
+        let v = SandboxViolation::MemoryLimit { requested_mb: 4096, limit_mb: 2048 };
+        assert!(v.to_string().contains("4096"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Authorization audit trail.
+//!
+//! §4.3/§6 of the paper flag the audit problems of shared and dynamic
+//! accounts: once a job runs under a community account, the *local*
+//! logs no longer say who asked for what. The gateway is the one place
+//! that still knows the Grid identity, the action, and the decision —
+//! so it records them.
+
+use std::collections::VecDeque;
+
+use gridauthz_clock::SimTime;
+use gridauthz_core::Action;
+use gridauthz_credential::DistinguishedName;
+
+/// One authorization decision, as recorded at the PEP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// The requesting Grid identity (effective identity, proxies
+    /// stripped).
+    pub subject: DistinguishedName,
+    /// The requested operation.
+    pub action: Action,
+    /// The target job contact, when the request addressed one.
+    pub job: Option<String>,
+    /// The local account involved, when known.
+    pub account: Option<String>,
+    /// Permit or the denial/failure message.
+    pub outcome: AuditOutcome,
+}
+
+/// The recorded outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The request was permitted.
+    Permitted,
+    /// The request was refused, with the protocol error's text.
+    Refused(String),
+}
+
+impl AuditOutcome {
+    /// True for permits.
+    pub fn is_permitted(&self) -> bool {
+        matches!(self, AuditOutcome::Permitted)
+    }
+}
+
+/// A bounded in-memory audit log (oldest records are dropped first).
+#[derive(Debug)]
+pub struct AuditLog {
+    records: VecDeque<AuditRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl AuditLog {
+    /// Creates a log retaining up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> AuditLog {
+        assert!(capacity > 0, "audit log capacity must be positive");
+        AuditLog { records: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn record(&mut self, record: AuditRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records have been evicted.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records concerning `subject`, oldest first.
+    pub fn for_subject<'a>(
+        &'a self,
+        subject: &'a DistinguishedName,
+    ) -> impl Iterator<Item = &'a AuditRecord> + 'a {
+        self.records.iter().filter(move |r| &r.subject == subject)
+    }
+
+    /// Refusals retained in the log, oldest first.
+    pub fn refusals(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.records.iter().filter(|r| !r.outcome.is_permitted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn record(secs: u64, subject: &str, permitted: bool) -> AuditRecord {
+        AuditRecord {
+            at: SimTime::from_secs(secs),
+            subject: dn(subject),
+            action: Action::Start,
+            job: None,
+            account: None,
+            outcome: if permitted {
+                AuditOutcome::Permitted
+            } else {
+                AuditOutcome::Refused("denied".into())
+            },
+        }
+    }
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut log = AuditLog::new(10);
+        log.record(record(1, "/O=G/CN=A", true));
+        log.record(record(2, "/O=G/CN=B", false));
+        assert_eq!(log.len(), 2);
+        let times: Vec<u64> = log.records().map(|r| r.at.as_secs()).collect();
+        assert_eq!(times, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = AuditLog::new(2);
+        for i in 0..5 {
+            log.record(record(i, "/O=G/CN=A", true));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let times: Vec<u64> = log.records().map(|r| r.at.as_secs()).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn filters_by_subject_and_outcome() {
+        let mut log = AuditLog::new(10);
+        log.record(record(1, "/O=G/CN=A", true));
+        log.record(record(2, "/O=G/CN=A", false));
+        log.record(record(3, "/O=G/CN=B", false));
+        assert_eq!(log.for_subject(&dn("/O=G/CN=A")).count(), 2);
+        assert_eq!(log.refusals().count(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        AuditLog::new(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The user-side GRAM client.
+//!
+//! §5.2: "this also required extensions to the GRAM client allowing the
+//! client to process other identities than that of the client
+//! (specifically, allowing it to recognize the identity of the job
+//! originator)" — [`GramClient::cancel`]/[`GramClient::signal`] take any
+//! job contact, not just the client's own, and [`JobReport`] carries the
+//! originator's identity back to the caller.
+
+use gridauthz_clock::SimDuration;
+use gridauthz_credential::Credential;
+
+use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
+use crate::server::GramServer;
+
+/// A client bound to one user's credential.
+#[derive(Debug, Clone)]
+pub struct GramClient {
+    credential: Credential,
+}
+
+impl GramClient {
+    /// Creates a client speaking as `credential`.
+    pub fn new(credential: Credential) -> GramClient {
+        GramClient { credential }
+    }
+
+    /// The client's credential.
+    pub fn credential(&self) -> &Credential {
+        &self.credential
+    }
+
+    /// Submits a job described by `rsl` with true computation time `work`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's [`GramError`].
+    pub fn submit(
+        &self,
+        server: &GramServer,
+        rsl: &str,
+        work: SimDuration,
+    ) -> Result<JobContact, GramError> {
+        server.submit(self.credential.chain(), rsl, None, work)
+    }
+
+    /// Submits requesting a specific grid-mapfile account.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's [`GramError`].
+    pub fn submit_as(
+        &self,
+        server: &GramServer,
+        rsl: &str,
+        account: &str,
+        work: SimDuration,
+    ) -> Result<JobContact, GramError> {
+        server.submit(self.credential.chain(), rsl, Some(account), work)
+    }
+
+    /// Cancels any job the active policy lets this client cancel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's [`GramError`].
+    pub fn cancel(&self, server: &GramServer, contact: &JobContact) -> Result<(), GramError> {
+        server.cancel(self.credential.chain(), contact)
+    }
+
+    /// Queries a job's status.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's [`GramError`].
+    pub fn status(
+        &self,
+        server: &GramServer,
+        contact: &JobContact,
+    ) -> Result<JobReport, GramError> {
+        server.status(self.credential.chain(), contact)
+    }
+
+    /// Sends a management signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's [`GramError`].
+    pub fn signal(
+        &self,
+        server: &GramServer,
+        contact: &JobContact,
+        signal: GramSignal,
+    ) -> Result<(), GramError> {
+        server.signal(self.credential.chain(), contact, signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{GramMode, GramServerBuilder};
+    use gridauthz_clock::SimClock;
+    use gridauthz_credential::{CertificateAuthority, GridMapEntry, GridMapFile, TrustStore};
+
+    #[test]
+    fn client_roundtrip() {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let bo = ca
+            .issue_identity("/O=Grid/CN=Bo", SimDuration::from_hours(8))
+            .unwrap();
+        let mut gridmap = GridMapFile::new();
+        gridmap.insert(GridMapEntry::new(
+            "/O=Grid/CN=Bo".parse().unwrap(),
+            vec!["bliu".into(), "fusion".into()],
+        ));
+        let server = GramServerBuilder::new("site", &clock)
+            .trust(trust)
+            .gridmap(gridmap)
+            .mode(GramMode::Gt2)
+            .build();
+
+        let client = GramClient::new(bo);
+        let contact = client
+            .submit(&server, "&(executable = test1)(count = 1)", SimDuration::from_mins(5))
+            .unwrap();
+        let report = client.status(&server, &contact).unwrap();
+        assert_eq!(report.owner.to_string(), "/O=Grid/CN=Bo");
+        assert_eq!(report.account, "bliu");
+        client.signal(&server, &contact, GramSignal::Suspend).unwrap();
+        client.signal(&server, &contact, GramSignal::Resume).unwrap();
+        client.cancel(&server, &contact).unwrap();
+
+        // submit_as selects the alternate account.
+        let contact = client
+            .submit_as(&server, "&(executable = test1)", "fusion", SimDuration::from_mins(5))
+            .unwrap();
+        assert_eq!(client.status(&server, &contact).unwrap().account, "fusion");
+        assert!(client.credential().identity().to_string().contains("Bo"));
+    }
+}

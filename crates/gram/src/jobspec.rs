@@ -1,0 +1,148 @@
+//! Translating an RSL job description into a local scheduler job — the
+//! Job Manager's "parse the user's request ... and interface with the
+//! resource's job control system" duty (§4.2).
+
+use gridauthz_clock::SimDuration;
+use gridauthz_rsl::{attributes, Conjunction, Value};
+use gridauthz_scheduler::JobSpec;
+
+use crate::protocol::GramError;
+
+/// Normalizes a job description before authorization: GRAM's scheduler
+/// defaults become explicit so policy relations like `(count < 4)` see
+/// the value that will actually be enforced. Currently: `count` defaults
+/// to 1.
+pub fn normalize_job(job: &Conjunction) -> Conjunction {
+    if job.first_value(attributes::COUNT).is_some() {
+        return job.clone();
+    }
+    let mut clauses = job.clauses().to_vec();
+    clauses.push(gridauthz_rsl::Clause::Relation(gridauthz_rsl::Relation::new(
+        attributes::COUNT.parse().expect("well-known attribute"),
+        gridauthz_rsl::RelOp::Eq,
+        vec![Value::int(1)],
+    )));
+    Conjunction::new(clauses)
+}
+
+fn int_attr(job: &Conjunction, name: &str) -> Result<Option<i64>, GramError> {
+    match job.first_value(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_int()
+            .map(Some)
+            .ok_or_else(|| GramError::BadRequest(format!("attribute {name} must be numeric"))),
+    }
+}
+
+/// Builds a [`JobSpec`] from a validated RSL conjunction.
+///
+/// `executable` is required; `count` defaults to 1, `maxmemory` (MB) to
+/// 256, `queue` to `"default"`; `maxtime` (minutes) becomes the enforced
+/// wall limit. `work` is the job's true computation time — a simulation
+/// input the real system learns only by running the job.
+///
+/// # Errors
+///
+/// [`GramError::BadRequest`] for missing executables or non-numeric /
+/// out-of-range numeric attributes.
+pub fn job_spec_from_rsl(
+    job: &Conjunction,
+    account: &str,
+    work: SimDuration,
+) -> Result<JobSpec, GramError> {
+    let executable = job
+        .first_value(attributes::EXECUTABLE)
+        .and_then(Value::as_str)
+        .ok_or_else(|| GramError::BadRequest("job request must name an executable".into()))?;
+
+    let cpus = match int_attr(job, attributes::COUNT)? {
+        None => 1,
+        Some(n) if (1..=65_536).contains(&n) => n as u32,
+        Some(n) => return Err(GramError::BadRequest(format!("count {n} out of range"))),
+    };
+    let memory_mb = match int_attr(job, attributes::MAX_MEMORY)? {
+        None => 256,
+        Some(n) if n > 0 => n as u32,
+        Some(n) => return Err(GramError::BadRequest(format!("maxmemory {n} out of range"))),
+    };
+    let priority = int_attr(job, attributes::PRIORITY)?.unwrap_or(0);
+
+    let mut spec = JobSpec::new(executable, account, cpus, work)
+        .with_memory(memory_mb)
+        .with_priority(priority);
+    if let Some(minutes) = int_attr(job, attributes::MAX_TIME)? {
+        if minutes <= 0 {
+            return Err(GramError::BadRequest(format!("maxtime {minutes} out of range")));
+        }
+        spec = spec.with_wall_limit(SimDuration::from_mins(minutes as u64));
+    }
+    if let Some(queue) = job.first_value(attributes::QUEUE).and_then(Value::as_str) {
+        spec = spec.with_queue(queue);
+    }
+    if let Some(tag) = job.first_value(attributes::JOBTAG).and_then(Value::as_str) {
+        spec = spec.with_tag(tag);
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_rsl::parse;
+
+    fn conj(s: &str) -> Conjunction {
+        parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    #[test]
+    fn full_translation() {
+        let job = conj(
+            "&(executable = TRANSP)(count = 8)(maxmemory = 2048)(maxtime = 30)(queue = batch)(jobtag = NFC)(priority = 5)",
+        );
+        let spec = job_spec_from_rsl(&job, "bliu", SimDuration::from_mins(25)).unwrap();
+        assert_eq!(spec.executable, "TRANSP");
+        assert_eq!(spec.account, "bliu");
+        assert_eq!(spec.cpus, 8);
+        assert_eq!(spec.memory_mb, 2048);
+        assert_eq!(spec.wall_limit, Some(SimDuration::from_mins(30)));
+        assert_eq!(spec.queue, "batch");
+        assert_eq!(spec.tag.as_deref(), Some("NFC"));
+        assert_eq!(spec.priority, 5);
+        assert_eq!(spec.work, SimDuration::from_mins(25));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let spec = job_spec_from_rsl(&conj("&(executable = a)"), "u", SimDuration::from_mins(1))
+            .unwrap();
+        assert_eq!(spec.cpus, 1);
+        assert_eq!(spec.memory_mb, 256);
+        assert_eq!(spec.queue, "default");
+        assert_eq!(spec.wall_limit, None);
+        assert_eq!(spec.tag, None);
+        assert_eq!(spec.priority, 0);
+    }
+
+    #[test]
+    fn missing_executable_is_rejected() {
+        let err = job_spec_from_rsl(&conj("&(count = 1)"), "u", SimDuration::from_mins(1))
+            .unwrap_err();
+        assert!(matches!(err, GramError::BadRequest(_)));
+    }
+
+    #[test]
+    fn non_numeric_and_out_of_range_values_are_rejected() {
+        for bad in [
+            "&(executable = a)(count = lots)",
+            "&(executable = a)(count = 0)",
+            "&(executable = a)(count = -3)",
+            "&(executable = a)(maxmemory = -1)",
+            "&(executable = a)(maxtime = 0)",
+            "&(executable = a)(maxtime = abc)",
+        ] {
+            let err = job_spec_from_rsl(&conj(bad), "u", SimDuration::from_mins(1)).unwrap_err();
+            assert!(matches!(err, GramError::BadRequest(_)), "input {bad}");
+        }
+    }
+}

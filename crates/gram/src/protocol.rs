@@ -1,0 +1,203 @@
+//! GRAM protocol types: job contacts, management signals, status reports,
+//! and the extended error vocabulary (§5.2: "We further extended the GRAM
+//! protocol to return authorization errors describing reasons for
+//! authorization denial as well as authorization system failures").
+
+use std::error::Error;
+use std::fmt;
+
+use gridauthz_clock::{SimDuration, SimTime};
+use gridauthz_core::DenyReason;
+use gridauthz_credential::{CredentialError, DistinguishedName};
+use gridauthz_scheduler::{JobState, SchedulerError};
+
+/// The job contact string identifying a job at a resource (GT2 returns a
+/// `https://host:port/...` URL; this simulation uses `gram://...`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobContact(String);
+
+impl JobContact {
+    pub(crate) fn new(resource: &str, index: u64) -> JobContact {
+        JobContact(format!("gram://{resource}/jobs/{index}"))
+    }
+
+    /// The contact URL.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Reconstructs a contact received over the wire. No validation is
+    /// performed: an unknown or malformed contact simply fails job lookup
+    /// with [`GramError::UnknownJob`].
+    pub fn from_wire(contact: &str) -> JobContact {
+        JobContact(contact.to_string())
+    }
+}
+
+impl fmt::Display for JobContact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A management signal, mapped onto the local job control system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GramSignal {
+    /// Suspend execution, freeing processors.
+    Suspend,
+    /// Resume a suspended job.
+    Resume,
+    /// Change scheduling priority.
+    Priority(i64),
+}
+
+impl fmt::Display for GramSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GramSignal::Suspend => write!(f, "suspend"),
+            GramSignal::Resume => write!(f, "resume"),
+            GramSignal::Priority(p) => write!(f, "priority({p})"),
+        }
+    }
+}
+
+/// A job status report (the `information` action's response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// The job contact.
+    pub contact: JobContact,
+    /// The Grid identity that initiated the job.
+    pub owner: DistinguishedName,
+    /// VO management tag, if any.
+    pub jobtag: Option<String>,
+    /// Local account the job runs under.
+    pub account: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Work completed so far.
+    pub executed: SimDuration,
+    /// Submission instant.
+    pub submitted: SimTime,
+}
+
+/// The extended GRAM protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GramError {
+    /// GSI authentication failed (bad chain, expired certificate, ...).
+    AuthenticationFailed(CredentialError),
+    /// The Gatekeeper's grid-mapfile does not authorize the identity.
+    GridMapDenied(DistinguishedName),
+    /// The identity asked for a local account the grid-mapfile does not
+    /// permit.
+    AccountNotPermitted {
+        /// The requesting identity.
+        subject: DistinguishedName,
+        /// The refused account.
+        account: String,
+    },
+    /// Authorization was evaluated and denied, with the reason (the
+    /// paper's headline protocol extension).
+    NotAuthorized(DenyReason),
+    /// The authorization system itself failed; the resource fails closed.
+    AuthorizationSystemFailure(String),
+    /// The job request's RSL was malformed or incomplete.
+    BadRequest(String),
+    /// No job with this contact exists.
+    UnknownJob(JobContact),
+    /// The local job control system refused the operation.
+    Scheduler(SchedulerError),
+    /// No local account could be provided for the identity (unmapped and
+    /// the dynamic-account pool, if any, could not serve the request).
+    ProvisioningFailed(String),
+    /// A runtime operation violated the job's sandbox profile (§6.1
+    /// continuous enforcement).
+    SandboxViolation(String),
+}
+
+impl fmt::Display for GramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GramError::AuthenticationFailed(e) => write!(f, "authentication failed: {e}"),
+            GramError::GridMapDenied(dn) => {
+                write!(f, "gatekeeper: {dn} is not in the grid-mapfile")
+            }
+            GramError::AccountNotPermitted { subject, account } => {
+                write!(f, "gatekeeper: {subject} may not map to account {account:?}")
+            }
+            GramError::NotAuthorized(reason) => write!(f, "authorization denied: {reason}"),
+            GramError::AuthorizationSystemFailure(msg) => {
+                write!(f, "authorization system failure: {msg}")
+            }
+            GramError::BadRequest(msg) => write!(f, "bad job request: {msg}"),
+            GramError::UnknownJob(contact) => write!(f, "unknown job {contact}"),
+            GramError::Scheduler(e) => write!(f, "job control system: {e}"),
+            GramError::ProvisioningFailed(msg) => {
+                write!(f, "local account provisioning failed: {msg}")
+            }
+            GramError::SandboxViolation(msg) => write!(f, "sandbox violation: {msg}"),
+        }
+    }
+}
+
+impl Error for GramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GramError::AuthenticationFailed(e) => Some(e),
+            GramError::Scheduler(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedulerError> for GramError {
+    fn from(e: SchedulerError) -> Self {
+        GramError::Scheduler(e)
+    }
+}
+
+impl From<CredentialError> for GramError {
+    fn from(e: CredentialError) -> Self {
+        GramError::AuthenticationFailed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contact_format() {
+        let c = JobContact::new("anl-cluster", 7);
+        assert_eq!(c.as_str(), "gram://anl-cluster/jobs/7");
+        assert_eq!(c.to_string(), c.as_str());
+    }
+
+    #[test]
+    fn signal_display() {
+        assert_eq!(GramSignal::Suspend.to_string(), "suspend");
+        assert_eq!(GramSignal::Priority(9).to_string(), "priority(9)");
+    }
+
+    #[test]
+    fn error_display_distinguishes_denial_from_failure() {
+        let denial = GramError::NotAuthorized(DenyReason::NoApplicableGrant);
+        assert!(denial.to_string().contains("denied"));
+        let failure = GramError::AuthorizationSystemFailure("callout missing".into());
+        assert!(failure.to_string().contains("failure"));
+    }
+
+    #[test]
+    fn errors_convert_from_substrates() {
+        let e: GramError = SchedulerError::UnknownJob(gridauthz_scheduler::JobId(1)).into();
+        assert!(matches!(e, GramError::Scheduler(_)));
+        let e: GramError = CredentialError::EmptyChain.into();
+        assert!(matches!(e, GramError::AuthenticationFailed(_)));
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let e = GramError::Scheduler(SchedulerError::UnknownJob(gridauthz_scheduler::JobId(1)));
+        assert!(e.source().is_some());
+        assert!(GramError::GridMapDenied("/O=G/CN=X".parse().unwrap()).source().is_none());
+    }
+}

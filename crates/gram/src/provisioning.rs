@@ -1,0 +1,156 @@
+//! GT3-style per-request provisioning (§7 of the paper).
+//!
+//! The paper's future-work section observes that in GT3 "the job
+//! description is available to a trusted service as part of job creation,
+//! which allows it to configure the local account, and creates potential
+//! for better integration with dynamic accounts". This module implements
+//! that step beyond the GT2 prototype:
+//!
+//! * [`AccountStrategy::DynamicPool`] — when the Grid identity has no
+//!   grid-mapfile entry, the trusted service leases a
+//!   [`DynamicAccountPool`] account *configured from the authorized
+//!   request* (group membership derived from the job's `jobtag` and
+//!   `project`), removing §4.3's shortcoming (5): "a local account must
+//!   exist for a user".
+//! * [`sandbox_profile_for`] — derives a [`SandboxProfile`] from the
+//!   authorized job description, so continuous enforcement finally tracks
+//!   "the rights presented by the user with a specific request" instead
+//!   of static account privileges (§4.3 shortcoming 4 / §6.1).
+//! * [`JobOperation`] — the runtime operations a sandboxed job attempts,
+//!   checked via [`GramServer::check_job_operation`].
+//!
+//! [`GramServer::check_job_operation`]: crate::GramServer::check_job_operation
+
+use gridauthz_clock::SimDuration;
+use gridauthz_enforcement::{AccessKind, DynamicAccountPool, SandboxProfile};
+use gridauthz_rsl::{attributes, Conjunction, Value};
+
+/// How the resource resolves an authorized Grid identity to a local
+/// account.
+#[derive(Debug, Default)]
+pub enum AccountStrategy {
+    /// GT2: the grid-mapfile is the only source; unmapped identities are
+    /// refused.
+    #[default]
+    GridMapOnly,
+    /// GT3-style: grid-mapfile entries win, but unmapped identities are
+    /// provisioned from a dynamic-account pool, configured per request.
+    DynamicPool(DynamicAccountPool),
+}
+
+/// A runtime operation attempted by a running job, checked against the
+/// job's sandbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOperation {
+    /// Execute a binary.
+    Exec(String),
+    /// Read a file path.
+    FileRead(String),
+    /// Write a file path.
+    FileWrite(String),
+    /// Reserve memory (MB).
+    AllocateMemory(u32),
+    /// Spawn up to this many concurrent processes.
+    SpawnProcesses(u32),
+    /// Consume CPU time.
+    ConsumeCpu(SimDuration),
+}
+
+/// The supplementary groups a per-request dynamic account receives:
+/// one per `jobtag` (management-group scoped file sharing) and one per
+/// `project` (allocation-scoped data access).
+pub fn request_groups(job: &Conjunction) -> Vec<String> {
+    let mut groups = Vec::new();
+    if let Some(tag) = job.first_value(attributes::JOBTAG).and_then(Value::as_str) {
+        groups.push(format!("tag-{tag}"));
+    }
+    if let Some(project) = job.first_value(attributes::PROJECT).and_then(Value::as_str) {
+        groups.push(format!("project-{project}"));
+    }
+    groups
+}
+
+/// Builds the sandbox profile implied by an *authorized* job description:
+/// exactly the executable it named, read/write under its working
+/// directory (plus read-only stdin and writable stdout/stderr paths),
+/// and memory / CPU-time / process limits from its resource attributes.
+pub fn sandbox_profile_for(job: &Conjunction) -> SandboxProfile {
+    let mut profile = SandboxProfile::new();
+    if let Some(executable) = job.first_value(attributes::EXECUTABLE).and_then(Value::as_str) {
+        profile = profile.allow_executable(executable);
+    }
+    if let Some(dir) = job.first_value(attributes::DIRECTORY).and_then(Value::as_str) {
+        profile = profile.allow_path(dir, AccessKind::ReadWrite);
+    }
+    if let Some(path) = job.first_value(attributes::STDIN).and_then(Value::as_str) {
+        profile = profile.allow_path(path, AccessKind::Read);
+    }
+    for attr in [attributes::STDOUT, attributes::STDERR] {
+        if let Some(path) = job.first_value(attr).and_then(Value::as_str) {
+            profile = profile.allow_path(path, AccessKind::ReadWrite);
+        }
+    }
+    if let Some(mb) = job.first_value(attributes::MAX_MEMORY).and_then(Value::as_int) {
+        if mb > 0 {
+            profile = profile.with_memory_limit_mb(mb as u32);
+        }
+    }
+    if let Some(minutes) = job.first_value(attributes::MAX_TIME).and_then(Value::as_int) {
+        if minutes > 0 {
+            profile = profile.with_cpu_limit(SimDuration::from_mins(minutes as u64));
+        }
+    }
+    if let Some(count) = job.first_value(attributes::COUNT).and_then(Value::as_int) {
+        if count > 0 {
+            // One process per requested processor.
+            profile = profile.with_process_limit(count as u32);
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_enforcement::Sandbox;
+
+    fn conj(s: &str) -> Conjunction {
+        gridauthz_rsl::parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    #[test]
+    fn groups_derive_from_tag_and_project() {
+        let job = conj("&(executable = a)(jobtag = NFC)(project = fusion)");
+        assert_eq!(request_groups(&job), vec!["tag-NFC", "project-fusion"]);
+        assert!(request_groups(&conj("&(executable = a)")).is_empty());
+    }
+
+    #[test]
+    fn profile_covers_authorized_request_exactly() {
+        let job = conj(
+            "&(executable = TRANSP)(directory = /sandbox/test)(stdin = /data/shots/98765)(stdout = /sandbox/test/out.log)(maxmemory = 2048)(maxtime = 60)(count = 4)",
+        );
+        let mut sandbox = Sandbox::new(sandbox_profile_for(&job));
+        assert!(sandbox.check_exec("TRANSP").is_ok());
+        assert!(sandbox.check_exec("/bin/sh").is_err());
+        assert!(sandbox.check_path("/sandbox/test/scratch", true).is_ok());
+        assert!(sandbox.check_path("/data/shots/98765", false).is_ok());
+        assert!(sandbox.check_path("/data/shots/98765", true).is_err());
+        assert!(sandbox.check_path("/sandbox/test/out.log", true).is_ok());
+        assert!(sandbox.check_path("/home/other", false).is_err());
+        assert!(sandbox.check_memory(2048).is_ok());
+        assert!(sandbox.check_memory(4096).is_err());
+        assert!(sandbox.check_processes(4).is_ok());
+        assert!(sandbox.check_processes(5).is_err());
+        assert!(sandbox.consume_cpu(SimDuration::from_mins(61)).is_err());
+    }
+
+    #[test]
+    fn minimal_job_yields_deny_everything_profile() {
+        let mut sandbox = Sandbox::new(sandbox_profile_for(&conj("&(count = 1)")));
+        assert!(sandbox.check_exec("anything").is_err());
+        assert!(sandbox.check_path("/anywhere", false).is_err());
+        // Unlimited where the request declared nothing.
+        assert!(sandbox.check_memory(1_000_000).is_ok());
+    }
+}

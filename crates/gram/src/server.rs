@@ -1,0 +1,1103 @@
+//! The GRAM resource service: Gatekeeper + per-job Job Manager Instances
+//! over the local job control system.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use gridauthz_clock::{SimClock, SimDuration, SimTime};
+use gridauthz_core::{Action, AuthzRequest, AuthzFailure, CalloutChain, DenyReason};
+use gridauthz_credential::{
+    Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
+};
+use gridauthz_rsl::Conjunction;
+use gridauthz_scheduler::{Cluster, JobId, LocalScheduler, SchedulerQueue};
+
+use gridauthz_enforcement::{DynamicAccountPool, Sandbox};
+
+use crate::audit::{AuditLog, AuditOutcome, AuditRecord};
+use crate::gatekeeper::Gatekeeper;
+use crate::jobspec::job_spec_from_rsl;
+use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
+use crate::provisioning::{request_groups, sandbox_profile_for, AccountStrategy, JobOperation};
+
+/// Which GRAM the server behaves as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GramMode {
+    /// Figure 1: grid-mapfile authorization only; the Job Manager does no
+    /// policy evaluation; only the initiator manages a job.
+    Gt2,
+    /// Figure 2: the authorization callout chain is invoked "before
+    /// creating a job manager request, and before calls to cancel, query,
+    /// and signal a running job".
+    Extended,
+}
+
+/// One Job Manager Instance's record: who started the job, its tag, its
+/// description, and the local job it drives.
+#[derive(Debug, Clone)]
+struct JmiRecord {
+    contact: JobContact,
+    owner: DistinguishedName,
+    jobtag: Option<String>,
+    rsl: Conjunction,
+    local: JobId,
+    account: String,
+    sandbox: Option<Sandbox>,
+}
+
+/// Builder for [`GramServer`].
+pub struct GramServerBuilder {
+    resource_name: String,
+    trust: TrustStore,
+    gridmap: GridMapFile,
+    callouts: CalloutChain,
+    mode: GramMode,
+    cluster: Cluster,
+    queues: Vec<SchedulerQueue>,
+    accounts: AccountStrategy,
+    sandboxing: bool,
+    clock: SimClock,
+}
+
+impl GramServerBuilder {
+    /// Starts a builder for a resource named `resource_name`.
+    pub fn new(resource_name: impl Into<String>, clock: &SimClock) -> GramServerBuilder {
+        GramServerBuilder {
+            resource_name: resource_name.into(),
+            trust: TrustStore::new(),
+            gridmap: GridMapFile::new(),
+            callouts: CalloutChain::new(),
+            mode: GramMode::Gt2,
+            cluster: Cluster::uniform(4, 8, 16_384),
+            queues: Vec::new(),
+            accounts: AccountStrategy::GridMapOnly,
+            sandboxing: false,
+            clock: clock.clone(),
+        }
+    }
+
+    /// Installs the trust anchors.
+    #[must_use]
+    pub fn trust(mut self, trust: TrustStore) -> Self {
+        self.trust = trust;
+        self
+    }
+
+    /// Installs the grid-mapfile.
+    #[must_use]
+    pub fn gridmap(mut self, gridmap: GridMapFile) -> Self {
+        self.gridmap = gridmap;
+        self
+    }
+
+    /// Installs the authorization callout chain and switches to
+    /// [`GramMode::Extended`].
+    #[must_use]
+    pub fn callouts(mut self, callouts: CalloutChain) -> Self {
+        self.callouts = callouts;
+        self.mode = GramMode::Extended;
+        self
+    }
+
+    /// Forces an explicit mode (e.g. `Extended` with an empty chain).
+    #[must_use]
+    pub fn mode(mut self, mode: GramMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the compute cluster.
+    #[must_use]
+    pub fn cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Adds a scheduler queue.
+    #[must_use]
+    pub fn queue(mut self, queue: SchedulerQueue) -> Self {
+        self.queues.push(queue);
+        self
+    }
+
+    /// Enables GT3-style dynamic accounts (§7): identities without a
+    /// grid-mapfile entry are provisioned from `pool`, configured per
+    /// request.
+    #[must_use]
+    pub fn dynamic_accounts(mut self, pool: DynamicAccountPool) -> Self {
+        self.accounts = AccountStrategy::DynamicPool(pool);
+        self
+    }
+
+    /// Enables per-job sandboxes derived from the authorized job
+    /// description (§6.1 continuous enforcement).
+    #[must_use]
+    pub fn sandboxing(mut self, enabled: bool) -> Self {
+        self.sandboxing = enabled;
+        self
+    }
+
+    /// Builds the server.
+    pub fn build(self) -> GramServer {
+        let mut scheduler = LocalScheduler::new(self.cluster, &self.clock);
+        for queue in self.queues {
+            scheduler.add_queue(queue);
+        }
+        GramServer {
+            resource_name: self.resource_name,
+            gatekeeper: RwLock::new(Gatekeeper::new(self.trust, self.gridmap, &self.clock)),
+            callouts: self.callouts,
+            mode: self.mode,
+            jobs: RwLock::new(HashMap::new()),
+            locals: RwLock::new(HashMap::new()),
+            scheduler: RwLock::new(scheduler),
+            accounts: RwLock::new(self.accounts),
+            sandboxing: self.sandboxing,
+            audit: Mutex::new(AuditLog::new(4096)),
+            clock: self.clock,
+            next_job: AtomicU64::new(1),
+        }
+    }
+}
+
+/// A GRAM resource: thread-safe, shared via `Arc` in concurrent
+/// benchmarks (experiment T5).
+pub struct GramServer {
+    resource_name: String,
+    gatekeeper: RwLock<Gatekeeper>,
+    callouts: CalloutChain,
+    mode: GramMode,
+    jobs: RwLock<HashMap<String, JmiRecord>>,
+    locals: RwLock<HashMap<JobId, String>>,
+    scheduler: RwLock<LocalScheduler>,
+    accounts: RwLock<AccountStrategy>,
+    sandboxing: bool,
+    audit: Mutex<AuditLog>,
+    clock: SimClock,
+    next_job: AtomicU64,
+}
+
+impl std::fmt::Debug for GramServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GramServer")
+            .field("resource", &self.resource_name)
+            .field("mode", &self.mode)
+            .field("jobs", &self.jobs.read().len())
+            .finish()
+    }
+}
+
+impl GramServer {
+    /// The resource's name (appears in job contacts).
+    pub fn resource_name(&self) -> &str {
+        &self.resource_name
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> GramMode {
+        self.mode
+    }
+
+    /// Administrative access to the gatekeeper's grid-mapfile.
+    pub fn set_gridmap(&self, gridmap: GridMapFile) {
+        self.gatekeeper.write().set_gridmap(gridmap);
+    }
+
+    /// Loads one CRL entry: credentials whose chain includes the
+    /// certificate with `serial` issued by `issuer` stop authenticating
+    /// immediately.
+    pub fn revoke_credential(
+        &self,
+        issuer: &DistinguishedName,
+        serial: u64,
+    ) {
+        self.gatekeeper.write().trust_mut().revoke(issuer, serial);
+    }
+
+    /// Submits a job (`action = start`).
+    ///
+    /// `work` is the job's true computation time (simulation input);
+    /// `requested_account` optionally selects an alternate grid-mapfile
+    /// account.
+    ///
+    /// # Errors
+    ///
+    /// Every [`GramError`] variant is possible: authentication, mapping,
+    /// authorization (including the VO requirement violations of §5.1),
+    /// bad RSL, and scheduler admission failures.
+    pub fn submit(
+        &self,
+        chain: &[Certificate],
+        rsl_text: &str,
+        requested_account: Option<&str>,
+        work: SimDuration,
+    ) -> Result<JobContact, GramError> {
+        let identity = self.gatekeeper.read().authenticate(chain)?;
+        let subject = identity.subject().clone();
+        let result = self.submit_authenticated(&identity, rsl_text, requested_account, work);
+        self.record_audit(&subject, Action::Start, result.as_ref().ok().map(|c| c.as_str()), &result);
+        result
+    }
+
+    fn submit_authenticated(
+        &self,
+        identity: &VerifiedIdentity,
+        rsl_text: &str,
+        requested_account: Option<&str>,
+        work: SimDuration,
+    ) -> Result<JobContact, GramError> {
+        // GSI refuses job startup with limited proxies in both modes.
+        if identity.is_limited() {
+            return Err(GramError::NotAuthorized(DenyReason::LimitedProxy));
+        }
+        let subject = identity.subject().clone();
+
+        // Figure 1 ordering: the Gatekeeper's grid-mapfile authorization
+        // precedes everything the Job Manager does. With a dynamic pool,
+        // unmapped identities legitimately pass the gate (§7) and are
+        // provisioned after policy authorization succeeds.
+        let premapped = match &*self.accounts.read() {
+            AccountStrategy::GridMapOnly => Some(
+                self.gatekeeper.read().authorize_and_map(&subject, requested_account)?,
+            ),
+            AccountStrategy::DynamicPool(_) => None,
+        };
+
+        let spec = gridauthz_rsl::parse(rsl_text)
+            .map_err(|e| GramError::BadRequest(format!("RSL parse error: {e}")))?;
+        let conj = spec
+            .as_conjunction()
+            .ok_or_else(|| GramError::BadRequest("job request must be a conjunction".into()))?;
+        // Resolve the request's own $(VAR) definitions before anything
+        // (including policy) sees the description.
+        let resolved = spec.substitute(&conj.substitution_bindings());
+        if resolved.has_variables() {
+            return Err(GramError::BadRequest(
+                "job request contains unresolved $(VAR) references".into(),
+            ));
+        }
+        let job = crate::jobspec::normalize_job(
+            resolved.as_conjunction().expect("substitution preserves shape"),
+        );
+
+        if self.mode == GramMode::Extended {
+            let request = AuthzRequest::start(subject.clone(), job.clone())
+                .with_restrictions(restriction_values(identity));
+            self.authorize(&request)?;
+        }
+
+        // Dynamic-account resolution happens only after authorization so
+        // a denied request never consumes a lease.
+        let account = match premapped {
+            Some(account) => account,
+            None => self.resolve_account(&subject, requested_account, &job)?,
+        };
+
+        let jobtag = job
+            .first_value(gridauthz_rsl::attributes::JOBTAG)
+            .and_then(gridauthz_rsl::Value::as_str)
+            .map(str::to_string);
+        let job_spec = job_spec_from_rsl(&job, &account, work)?;
+        let local = self.scheduler.write().submit(job_spec)?;
+        let index = self.next_job.fetch_add(1, Ordering::SeqCst);
+        let contact = JobContact::new(&self.resource_name, index);
+        let sandbox = self
+            .sandboxing
+            .then(|| Sandbox::new(sandbox_profile_for(&job)));
+        let record = JmiRecord {
+            contact: contact.clone(),
+            owner: subject,
+            jobtag,
+            rsl: job,
+            local,
+            account,
+            sandbox,
+        };
+        self.jobs.write().insert(contact.as_str().to_string(), record);
+        self.locals.write().insert(local, contact.as_str().to_string());
+        Ok(contact)
+    }
+
+    /// Submits an RSL *multi-request* (`+(&(...))(&(...))`) — GT2's
+    /// DUROC-style co-allocation — atomically: every sub-request must
+    /// authenticate, authorize and schedule, or none runs. `works[i]` is
+    /// the i-th sub-job's true computation time.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GramError`] from any sub-request; on failure, sub-jobs
+    /// already admitted are cancelled before the error returns.
+    /// `BadRequest` when the RSL is not a multi-request or `works` has
+    /// the wrong length.
+    pub fn submit_multi(
+        &self,
+        chain: &[Certificate],
+        rsl_text: &str,
+        works: &[SimDuration],
+    ) -> Result<Vec<JobContact>, GramError> {
+        let spec = gridauthz_rsl::parse(rsl_text)
+            .map_err(|e| GramError::BadRequest(format!("RSL parse error: {e}")))?;
+        let gridauthz_rsl::Rsl::Multi(parts) = spec else {
+            return Err(GramError::BadRequest("expected a '+' multi-request".into()));
+        };
+        if parts.len() != works.len() {
+            return Err(GramError::BadRequest(format!(
+                "multi-request has {} parts but {} work durations were supplied",
+                parts.len(),
+                works.len()
+            )));
+        }
+        let mut contacts = Vec::with_capacity(parts.len());
+        for (part, &work) in parts.iter().zip(works) {
+            match self.submit(chain, &part.to_string(), None, work) {
+                Ok(contact) => contacts.push(contact),
+                Err(e) => {
+                    // All-or-nothing: roll back what already started.
+                    for contact in &contacts {
+                        if let Some(record) = self.jobs.read().get(contact.as_str()) {
+                            let _ = self.scheduler.write().cancel(record.local);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(contacts)
+    }
+
+    /// Cancels a job (`action = cancel`).
+    ///
+    /// # Errors
+    ///
+    /// [`GramError`] on authentication, authorization or scheduler
+    /// failure.
+    pub fn cancel(&self, chain: &[Certificate], contact: &JobContact) -> Result<(), GramError> {
+        let (identity, record) = self.authenticate_and_find(chain, contact)?;
+        let result = self
+            .authorize_management(&identity, &record, Action::Cancel)
+            .and_then(|()| Ok(self.scheduler.write().cancel(record.local)?));
+        self.record_audit(identity.subject(), Action::Cancel, Some(contact.as_str()), &result);
+        result
+    }
+
+    /// Queries job status (`action = information`).
+    ///
+    /// # Errors
+    ///
+    /// [`GramError`] on authentication, authorization or unknown job.
+    pub fn status(
+        &self,
+        chain: &[Certificate],
+        contact: &JobContact,
+    ) -> Result<JobReport, GramError> {
+        let (identity, record) = self.authenticate_and_find(chain, contact)?;
+        let authz = self.authorize_management(&identity, &record, Action::Information);
+        self.record_audit(identity.subject(), Action::Information, Some(contact.as_str()), &authz);
+        authz?;
+        let status = self.scheduler.read().status(record.local)?;
+        Ok(JobReport {
+            contact: record.contact.clone(),
+            owner: record.owner.clone(),
+            jobtag: record.jobtag.clone(),
+            account: record.account.clone(),
+            state: status.state,
+            executed: status.executed,
+            submitted: status.submitted,
+        })
+    }
+
+    /// Delivers a management signal (`action = signal`): suspend, resume
+    /// or priority change.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError`] on authentication, authorization or scheduler
+    /// failure.
+    pub fn signal(
+        &self,
+        chain: &[Certificate],
+        contact: &JobContact,
+        signal: GramSignal,
+    ) -> Result<(), GramError> {
+        let (identity, record) = self.authenticate_and_find(chain, contact)?;
+        let result = self.authorize_management(&identity, &record, Action::Signal).and_then(|()| {
+            let mut scheduler = self.scheduler.write();
+            match signal {
+                GramSignal::Suspend => scheduler.suspend(record.local)?,
+                GramSignal::Resume => scheduler.resume(record.local)?,
+                GramSignal::Priority(p) => scheduler.set_priority(record.local, p)?,
+            }
+            Ok(())
+        });
+        self.record_audit(identity.subject(), Action::Signal, Some(contact.as_str()), &result);
+        result
+    }
+
+    fn authenticate_and_find(
+        &self,
+        chain: &[Certificate],
+        contact: &JobContact,
+    ) -> Result<(VerifiedIdentity, JmiRecord), GramError> {
+        let identity = self.gatekeeper.read().authenticate(chain)?;
+        let record = self
+            .jobs
+            .read()
+            .get(contact.as_str())
+            .cloned()
+            .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
+        Ok((identity, record))
+    }
+
+    fn authorize_management(
+        &self,
+        identity: &VerifiedIdentity,
+        record: &JmiRecord,
+        action: Action,
+    ) -> Result<(), GramError> {
+        match self.mode {
+            GramMode::Gt2 => {
+                // §4.2: "the Grid identity of the user making the request
+                // must match the Grid identity of the user who initiated
+                // the job."
+                if identity.subject() == &record.owner {
+                    Ok(())
+                } else {
+                    Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+                }
+            }
+            GramMode::Extended => {
+                let request = AuthzRequest::manage(
+                    identity.subject().clone(),
+                    action,
+                    record.owner.clone(),
+                    record.jobtag.clone(),
+                )
+                .with_job(record.rsl.clone())
+                .with_job_id(record.contact.as_str())
+                .with_restrictions(restriction_values(identity));
+                self.authorize(&request)
+            }
+        }
+    }
+
+    fn authorize(&self, request: &AuthzRequest) -> Result<(), GramError> {
+        self.callouts.authorize(request).map_err(|failure| match failure {
+            AuthzFailure::Denied(reason) => GramError::NotAuthorized(reason),
+            AuthzFailure::SystemError(msg) => GramError::AuthorizationSystemFailure(msg),
+        })
+    }
+
+    /// Contacts of non-terminal jobs carrying `tag` — the VO-wide
+    /// management working set (requirement 3 of §2).
+    pub fn jobs_with_tag(&self, tag: &str) -> Vec<JobContact> {
+        let locals = self.locals.read();
+        let jobs = self.jobs.read();
+        self.scheduler
+            .read()
+            .jobs_with_tag(tag)
+            .into_iter()
+            .filter_map(|local| locals.get(&local))
+            .filter_map(|contact| jobs.get(contact))
+            .map(|record| record.contact.clone())
+            .collect()
+    }
+
+    fn record_audit<T>(
+        &self,
+        subject: &DistinguishedName,
+        action: Action,
+        job: Option<&str>,
+        result: &Result<T, GramError>,
+    ) {
+        let account = job.and_then(|contact| {
+            self.jobs.read().get(contact).map(|r| r.account.clone())
+        });
+        self.audit.lock().record(AuditRecord {
+            at: self.clock.now(),
+            subject: subject.clone(),
+            action,
+            job: job.map(str::to_string),
+            account,
+            outcome: match result {
+                Ok(_) => AuditOutcome::Permitted,
+                Err(e) => AuditOutcome::Refused(e.to_string()),
+            },
+        });
+    }
+
+    /// A snapshot of the audit log, oldest first.
+    pub fn audit_snapshot(&self) -> Vec<AuditRecord> {
+        self.audit.lock().records().cloned().collect()
+    }
+
+    /// Number of refusals currently retained in the audit log.
+    pub fn audit_refusal_count(&self) -> usize {
+        self.audit.lock().refusals().count()
+    }
+
+    /// Resolves the local account per the configured
+    /// [`AccountStrategy`]: grid-mapfile entries always win; the dynamic
+    /// pool (when configured) serves unmapped identities with a lease
+    /// configured from the request (§7's trusted-service provisioning).
+    fn resolve_account(
+        &self,
+        subject: &DistinguishedName,
+        requested_account: Option<&str>,
+        job: &Conjunction,
+    ) -> Result<String, GramError> {
+        let mapped = self.gatekeeper.read().authorize_and_map(subject, requested_account);
+        match (mapped, &mut *self.accounts.write()) {
+            (Ok(account), _) => Ok(account),
+            (Err(e @ GramError::AccountNotPermitted { .. }), _) => Err(e),
+            (Err(e), AccountStrategy::GridMapOnly) => Err(e),
+            (Err(_), AccountStrategy::DynamicPool(pool)) => {
+                if let Some(account) = requested_account {
+                    return Err(GramError::AccountNotPermitted {
+                        subject: subject.clone(),
+                        account: account.to_string(),
+                    });
+                }
+                let lease = pool
+                    .lease(subject, request_groups(job), self.clock.now())
+                    .map_err(|e| GramError::ProvisioningFailed(e.to_string()))?;
+                Ok(lease.account.name().to_string())
+            }
+        }
+    }
+
+    /// Checks a runtime operation of a running job against its sandbox
+    /// (no-op when sandboxing is disabled). The local operating system
+    /// would perform these checks in a deployed system; the simulation
+    /// surfaces them so enforcement coverage is testable.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::UnknownJob`] or [`GramError::SandboxViolation`].
+    pub fn check_job_operation(
+        &self,
+        contact: &JobContact,
+        operation: JobOperation,
+    ) -> Result<(), GramError> {
+        let mut jobs = self.jobs.write();
+        let record = jobs
+            .get_mut(contact.as_str())
+            .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
+        let Some(sandbox) = record.sandbox.as_mut() else {
+            return Ok(());
+        };
+        let result = match operation {
+            JobOperation::Exec(executable) => sandbox.check_exec(&executable),
+            JobOperation::FileRead(path) => sandbox.check_path(&path, false),
+            JobOperation::FileWrite(path) => sandbox.check_path(&path, true),
+            JobOperation::AllocateMemory(mb) => sandbox.check_memory(mb),
+            JobOperation::SpawnProcesses(n) => sandbox.check_processes(n),
+            JobOperation::ConsumeCpu(d) => sandbox.consume_cpu(d),
+        };
+        result.map_err(|v| GramError::SandboxViolation(v.to_string()))
+    }
+
+    /// Violations recorded by a job's sandbox so far (audit).
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::UnknownJob`].
+    pub fn sandbox_violation_count(&self, contact: &JobContact) -> Result<usize, GramError> {
+        let jobs = self.jobs.read();
+        let record = jobs
+            .get(contact.as_str())
+            .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
+        Ok(record.sandbox.as_ref().map_or(0, |s| s.violations().len()))
+    }
+
+    /// Current cluster utilization (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        self.scheduler.read().utilization()
+    }
+
+    /// Processes scheduler events up to the shared clock's current
+    /// instant (multi-component simulations drive the clock externally).
+    pub fn pump(&self) {
+        self.scheduler.write().catch_up();
+    }
+
+    /// Drains job lifecycle transitions since the last poll, mapped to
+    /// contacts — the JMI's progress-monitoring duty (§4.2), which GT2
+    /// forwarded to client callbacks.
+    pub fn poll_events(&self) -> Vec<(JobContact, gridauthz_scheduler::JobEvent)> {
+        let events = self.scheduler.write().drain_events();
+        let locals = self.locals.read();
+        events
+            .into_iter()
+            .filter_map(|event| {
+                locals
+                    .get(&event.job)
+                    .map(|contact| (JobContact::from_wire(contact), event))
+            })
+            .collect()
+    }
+
+    /// Advances the shared clock to `t`, processing scheduler events in
+    /// order.
+    pub fn run_until(&self, t: SimTime) {
+        self.scheduler.write().run_until(t);
+    }
+
+    /// Runs the scheduler dry (all submitted jobs reach terminal states).
+    pub fn drain(&self) -> SimTime {
+        self.scheduler.write().drain()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Serves a fully self-contained wire message: PEM-armored credential
+    /// chain (see [`gridauthz_credential::pem`]) followed by the
+    /// wire-encoded request. This is the complete network surface — the
+    /// caller ships text, nothing else crosses the boundary.
+    pub fn handle_wire_pem(&self, message: &str) -> String {
+        use crate::wire::WireResponse;
+        let Some(split) = message.find("GRAM/1 ") else {
+            return WireResponse::from_error(&GramError::BadRequest(
+                "message has no GRAM/1 request".into(),
+            ))
+            .encode();
+        };
+        let (pem, body) = message.split_at(split);
+        match gridauthz_credential::pem::decode_chain(pem) {
+            Ok(chain) => self.handle_wire(&chain, body),
+            Err(e) => WireResponse::from_error(&GramError::AuthenticationFailed(e)).encode(),
+        }
+    }
+
+    /// Serves one wire-encoded request (see [`crate::wire`]) and returns
+    /// the wire-encoded response. Malformed messages come back as
+    /// `BAD_REQUEST` errors rather than panics — the network is untrusted.
+    pub fn handle_wire(&self, chain: &[Certificate], message: &str) -> String {
+        use crate::wire::{WireRequest, WireResponse};
+        let request = match WireRequest::decode(message) {
+            Ok(request) => request,
+            Err(e) => {
+                return WireResponse::from_error(&GramError::BadRequest(e.to_string())).encode()
+            }
+        };
+        let response = match request {
+            WireRequest::Submit { rsl, account, work } => self
+                .submit(chain, &rsl, account.as_deref(), work)
+                .map(|contact| WireResponse::Submitted { contact: contact.as_str().to_string() }),
+            WireRequest::Cancel { contact } => self
+                .cancel(chain, &crate::wire::contact_from_wire(&contact))
+                .map(|()| WireResponse::Done),
+            WireRequest::Status { contact } => self
+                .status(chain, &crate::wire::contact_from_wire(&contact))
+                .map(|report| WireResponse::from_report(&report)),
+            WireRequest::Signal { contact, signal } => self
+                .signal(chain, &crate::wire::contact_from_wire(&contact), signal)
+                .map(|()| WireResponse::Done),
+        };
+        response.unwrap_or_else(|e| WireResponse::from_error(&e)).encode()
+    }
+}
+
+fn restriction_values(identity: &VerifiedIdentity) -> Vec<String> {
+    identity.restrictions().iter().map(|e| e.value.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_core::{paper, CombinedPdp, Combiner, PdpCallout, PolicyOrigin, PolicySource};
+    use gridauthz_credential::{CertificateAuthority, Credential, GridMapEntry};
+    use gridauthz_scheduler::JobState;
+    use std::sync::Arc;
+
+    struct Fixture {
+        clock: SimClock,
+        bo: Credential,
+        kate: Credential,
+        outsider: Credential,
+        server: GramServer,
+    }
+
+    fn fixture(mode: GramMode) -> Fixture {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let day = SimDuration::from_hours(24);
+        let bo = ca.issue_identity(paper::BO_LIU_DN, day).unwrap();
+        let kate = ca.issue_identity(paper::KATE_KEAHEY_DN, day).unwrap();
+        let outsider = ca.issue_identity(paper::OUTSIDER_DN, day).unwrap();
+
+        let mut gridmap = GridMapFile::new();
+        gridmap.insert(GridMapEntry::new(paper::bo_liu(), vec!["bliu".into()]));
+        gridmap.insert(GridMapEntry::new(paper::kate_keahey(), vec!["keahey".into()]));
+        gridmap.insert(GridMapEntry::new(paper::outsider(), vec!["eve".into()]));
+
+        let mut builder = GramServerBuilder::new("anl-cluster", &clock)
+            .trust(trust)
+            .gridmap(gridmap)
+            .cluster(Cluster::uniform(4, 8, 16_384));
+        if mode == GramMode::Extended {
+            let vo_source = PolicySource::new(
+                "fusion-vo",
+                PolicyOrigin::VirtualOrganization("fusion".into()),
+                paper::figure3_policy(),
+            );
+            let pdp = CombinedPdp::new(vec![vo_source], Combiner::DenyOverrides);
+            let mut chain = CalloutChain::new();
+            chain.push(Arc::new(PdpCallout::new("fig3", pdp)));
+            builder = builder.callouts(chain);
+        }
+        Fixture { clock, bo, kate, outsider, server: builder.build() }
+    }
+
+    const BO_TEST1: &str =
+        "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)";
+    const KATE_TRANSP: &str =
+        "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 4)";
+
+    fn mins(m: u64) -> SimDuration {
+        SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn gt2_submit_needs_only_gridmap() {
+        let f = fixture(GramMode::Gt2);
+        // Any RSL goes through for mapped users, even untagged arbitrary
+        // executables — the coarse-grained shortcoming (§4.3 item 1).
+        let contact = f
+            .server
+            .submit(f.bo.chain(), "&(executable = anything)(count = 1)", None, mins(5))
+            .unwrap();
+        let report = f.server.status(f.bo.chain(), &contact).unwrap();
+        assert!(matches!(report.state, JobState::Running { .. }));
+        assert_eq!(report.account, "bliu");
+    }
+
+    #[test]
+    fn gt2_management_is_initiator_only() {
+        let f = fixture(GramMode::Gt2);
+        let contact = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
+        // Kate cannot even query Bo's job in GT2.
+        assert!(matches!(
+            f.server.status(f.kate.chain(), &contact),
+            Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+        ));
+        assert!(matches!(
+            f.server.cancel(f.kate.chain(), &contact),
+            Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+        ));
+        // Bo manages his own job.
+        f.server.cancel(f.bo.chain(), &contact).unwrap();
+    }
+
+    #[test]
+    fn extended_enforces_fine_grain_startup_policy() {
+        let f = fixture(GramMode::Extended);
+        // Sanctioned request passes.
+        f.server.submit(f.bo.chain(), BO_TEST1, None, mins(5)).unwrap();
+        // Wrong executable denied even though Bo is in the gridmap.
+        // The combiner wraps the per-source reason in `SourceDenied`
+        // naming the denying source.
+        fn unwrap_source(err: GramError) -> DenyReason {
+            match err {
+                GramError::NotAuthorized(DenyReason::SourceDenied { source, reason }) => {
+                    assert_eq!(source, "fusion-vo");
+                    *reason
+                }
+                other => panic!("expected SourceDenied, got {other:?}"),
+            }
+        }
+        let err = f
+            .server
+            .submit(f.bo.chain(), "&(executable = rogue)(directory = /sandbox/test)(jobtag = ADS)(count = 1)", None, mins(5))
+            .unwrap_err();
+        assert_eq!(unwrap_source(err), DenyReason::NoApplicableGrant);
+        // Untagged request violates the VO requirement.
+        let err = f
+            .server
+            .submit(f.bo.chain(), "&(executable = test1)(directory = /sandbox/test)(count = 1)", None, mins(5))
+            .unwrap_err();
+        assert!(matches!(
+            unwrap_source(err),
+            DenyReason::RequirementViolated { .. }
+        ));
+        // Outsider has no grant at all.
+        let err = f.server.submit(f.outsider.chain(), BO_TEST1, None, mins(5)).unwrap_err();
+        assert_eq!(unwrap_source(err), DenyReason::NoApplicableGrant);
+    }
+
+    #[test]
+    fn extended_vo_wide_management() {
+        let f = fixture(GramMode::Extended);
+        // Bo starts an NFC job (test2 is his NFC-tagged grant).
+        let contact = f
+            .server
+            .submit(
+                f.bo.chain(),
+                "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+                None,
+                mins(30),
+            )
+            .unwrap();
+        // Kate cancels Bo's NFC job — the paper's headline capability.
+        f.server.cancel(f.kate.chain(), &contact).unwrap();
+        let report = f.server.status(f.kate.chain(), &contact).err();
+        // Kate's information grant doesn't exist in Figure 3 → denied.
+        assert!(report.is_some());
+    }
+
+    #[test]
+    fn extended_denies_what_policy_does_not_grant() {
+        let f = fixture(GramMode::Extended);
+        let contact = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
+        // ADS-tagged job: Kate's cancel grant covers only NFC.
+        let err = f.server.cancel(f.kate.chain(), &contact).unwrap_err();
+        assert!(matches!(err, GramError::NotAuthorized(_)));
+        // Figure 3 gives Bo no cancel grant either (no self rule!).
+        let err = f.server.cancel(f.bo.chain(), &contact).unwrap_err();
+        assert!(matches!(err, GramError::NotAuthorized(_)));
+    }
+
+    #[test]
+    fn limited_proxy_cannot_start_jobs() {
+        let f = fixture(GramMode::Gt2);
+        let limited = f
+            .bo
+            .delegate_limited_proxy(f.clock.now(), SimDuration::from_hours(1))
+            .unwrap();
+        let err = f.server.submit(limited.chain(), BO_TEST1, None, mins(5)).unwrap_err();
+        assert!(matches!(err, GramError::NotAuthorized(DenyReason::LimitedProxy)));
+    }
+
+    #[test]
+    fn unauthenticated_chains_are_rejected() {
+        let f = fixture(GramMode::Gt2);
+        let rogue_clock = SimClock::new();
+        let rogue_ca = CertificateAuthority::new_root("/O=Rogue/CN=CA", &rogue_clock).unwrap();
+        let rogue = rogue_ca
+            .issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1))
+            .unwrap();
+        assert!(matches!(
+            f.server.submit(rogue.chain(), BO_TEST1, None, mins(5)),
+            Err(GramError::AuthenticationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn unmapped_identity_is_denied_by_gatekeeper() {
+        let f = fixture(GramMode::Gt2);
+        f.server.set_gridmap(GridMapFile::new());
+        assert!(matches!(
+            f.server.submit(f.bo.chain(), BO_TEST1, None, mins(5)),
+            Err(GramError::GridMapDenied(_))
+        ));
+    }
+
+    #[test]
+    fn signals_map_to_scheduler_operations() {
+        let f = fixture(GramMode::Gt2);
+        let contact = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
+        f.server.signal(f.bo.chain(), &contact, GramSignal::Suspend).unwrap();
+        let report = f.server.status(f.bo.chain(), &contact).unwrap();
+        assert!(matches!(report.state, JobState::Suspended { .. }));
+        f.server.signal(f.bo.chain(), &contact, GramSignal::Resume).unwrap();
+        f.server.signal(f.bo.chain(), &contact, GramSignal::Priority(9)).unwrap();
+        let report = f.server.status(f.bo.chain(), &contact).unwrap();
+        assert!(matches!(report.state, JobState::Running { .. }));
+    }
+
+    #[test]
+    fn unknown_contacts_error() {
+        let f = fixture(GramMode::Gt2);
+        let ghost = JobContact::new("anl-cluster", 999);
+        assert!(matches!(
+            f.server.status(f.bo.chain(), &ghost),
+            Err(GramError::UnknownJob(_))
+        ));
+    }
+
+    #[test]
+    fn bad_rsl_is_rejected() {
+        let f = fixture(GramMode::Gt2);
+        assert!(matches!(
+            f.server.submit(f.bo.chain(), "this is not rsl", None, mins(5)),
+            Err(GramError::BadRequest(_))
+        ));
+        assert!(matches!(
+            f.server.submit(f.bo.chain(), "&(count = 1)", None, mins(5)),
+            Err(GramError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn jobs_with_tag_lists_live_jobs() {
+        let f = fixture(GramMode::Extended);
+        let c1 = f
+            .server
+            .submit(f.kate.chain(), KATE_TRANSP, None, mins(30))
+            .unwrap();
+        let _c2 = f
+            .server
+            .submit(
+                f.bo.chain(),
+                "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+                None,
+                mins(30),
+            )
+            .unwrap();
+        assert_eq!(f.server.jobs_with_tag("NFC").len(), 2);
+        f.server.cancel(f.kate.chain(), &c1).unwrap();
+        assert_eq!(f.server.jobs_with_tag("NFC").len(), 1);
+        assert!(f.server.jobs_with_tag("ADS").is_empty());
+    }
+
+    #[test]
+    fn jobs_complete_over_simulated_time() {
+        let f = fixture(GramMode::Gt2);
+        let contact = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(10)).unwrap();
+        f.server.run_until(f.clock.now() + mins(11));
+        let report = f.server.status(f.bo.chain(), &contact).unwrap();
+        assert!(matches!(report.state, JobState::Completed { .. }));
+        assert_eq!(report.executed, mins(10));
+    }
+
+    /// A server with dynamic accounts + sandboxing and an empty
+    /// grid-mapfile entry set for visitors.
+    fn provisioned_fixture() -> Fixture {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let day = SimDuration::from_hours(24);
+        let bo = ca.issue_identity(paper::BO_LIU_DN, day).unwrap();
+        let kate = ca.issue_identity(paper::KATE_KEAHEY_DN, day).unwrap();
+        let outsider = ca.issue_identity(paper::OUTSIDER_DN, day).unwrap();
+        // Only Bo has a static mapping; Kate and the outsider are served
+        // by the pool.
+        let mut gridmap = GridMapFile::new();
+        gridmap.insert(GridMapEntry::new(paper::bo_liu(), vec!["bliu".into()]));
+        let pool = gridauthz_enforcement::DynamicAccountPool::new(
+            "grid",
+            2,
+            70_000,
+            SimDuration::from_mins(30),
+        );
+        let server = GramServerBuilder::new("anl-cluster", &clock)
+            .trust(trust)
+            .gridmap(gridmap)
+            .cluster(Cluster::uniform(4, 8, 16_384))
+            .dynamic_accounts(pool)
+            .sandboxing(true)
+            .mode(GramMode::Gt2)
+            .build();
+        Fixture { clock, bo, kate, outsider, server }
+    }
+
+    #[test]
+    fn dynamic_accounts_serve_unmapped_identities() {
+        let f = provisioned_fixture();
+        // Bo keeps the static mapping.
+        let c1 = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(5)).unwrap();
+        assert_eq!(f.server.status(f.bo.chain(), &c1).unwrap().account, "bliu");
+        // Kate gets a pool account.
+        let c2 = f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(5)).unwrap();
+        let account = f.server.status(f.kate.chain(), &c2).unwrap().account;
+        assert!(account.starts_with("grid"), "pool account, got {account}");
+        // The same identity reuses its lease.
+        let c3 = f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(5)).unwrap();
+        assert_eq!(f.server.status(f.kate.chain(), &c3).unwrap().account, account);
+        // A different identity gets a different account.
+        let c4 = f.server.submit(f.outsider.chain(), BO_TEST1, None, mins(5)).unwrap();
+        assert_ne!(f.server.status(f.outsider.chain(), &c4).unwrap().account, account);
+    }
+
+    #[test]
+    fn dynamic_pool_exhaustion_is_a_provisioning_failure() {
+        let f = provisioned_fixture();
+        // Two pool accounts: Kate and the outsider take them.
+        f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(5)).unwrap();
+        f.server.submit(f.outsider.chain(), BO_TEST1, None, mins(5)).unwrap();
+        // A third unmapped identity hits the exhausted pool. Recreating
+        // the root CA reproduces the same (name-seeded) key, so the new
+        // identity chains to the already-installed trust anchor.
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &f.clock).unwrap();
+        let third = ca
+            .issue_identity(
+                "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Third User",
+                SimDuration::from_hours(1),
+            )
+            .unwrap();
+        let err = f.server.submit(third.chain(), BO_TEST1, None, mins(5)).unwrap_err();
+        assert!(matches!(err, GramError::ProvisioningFailed(_)));
+    }
+
+    #[test]
+    fn unmapped_identity_cannot_request_specific_account() {
+        let f = provisioned_fixture();
+        let err = f
+            .server
+            .submit(f.kate.chain(), KATE_TRANSP, Some("keahey"), mins(5))
+            .unwrap_err();
+        assert!(matches!(err, GramError::AccountNotPermitted { .. }));
+    }
+
+    #[test]
+    fn sandbox_tracks_the_authorized_request() {
+        use crate::provisioning::JobOperation;
+        let f = provisioned_fixture();
+        let contact = f
+            .server
+            .submit(
+                f.bo.chain(),
+                "&(executable = test1)(directory = /sandbox/test)(maxmemory = 512)(count = 2)(jobtag = ADS)",
+                None,
+                mins(30),
+            )
+            .unwrap();
+        // Operations inside the authorized envelope pass.
+        f.server
+            .check_job_operation(&contact, JobOperation::Exec("test1".into()))
+            .unwrap();
+        f.server
+            .check_job_operation(&contact, JobOperation::FileWrite("/sandbox/test/out".into()))
+            .unwrap();
+        f.server
+            .check_job_operation(&contact, JobOperation::AllocateMemory(256))
+            .unwrap();
+        // Escapes are violations.
+        let err = f
+            .server
+            .check_job_operation(&contact, JobOperation::Exec("/bin/sh".into()))
+            .unwrap_err();
+        assert!(matches!(err, GramError::SandboxViolation(_)));
+        let err = f
+            .server
+            .check_job_operation(&contact, JobOperation::FileRead("/home/other/x".into()))
+            .unwrap_err();
+        assert!(matches!(err, GramError::SandboxViolation(_)));
+        let err = f
+            .server
+            .check_job_operation(&contact, JobOperation::AllocateMemory(4096))
+            .unwrap_err();
+        assert!(matches!(err, GramError::SandboxViolation(_)));
+        assert_eq!(f.server.sandbox_violation_count(&contact).unwrap(), 3);
+    }
+
+    #[test]
+    fn sandboxing_disabled_means_no_checks() {
+        let f = fixture(GramMode::Gt2);
+        let contact = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(10)).unwrap();
+        f.server
+            .check_job_operation(
+                &contact,
+                crate::provisioning::JobOperation::Exec("/bin/sh".into()),
+            )
+            .unwrap();
+        assert_eq!(f.server.sandbox_violation_count(&contact).unwrap(), 0);
+    }
+}

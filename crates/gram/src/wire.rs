@@ -1,0 +1,390 @@
+//! A textual wire encoding of the GRAM protocol.
+//!
+//! GT2's GRAM spoke an HTTP-framed message protocol between client and
+//! Gatekeeper/Job Manager. This module provides the equivalent seam for
+//! the simulation: requests and responses serialize to a line-oriented
+//! format, and [`GramServer::handle_wire`](crate::GramServer::handle_wire)
+//! dispatches a decoded request exactly as the typed API would. Having a
+//! real encode/decode boundary keeps client and server honestly
+//! decoupled (nothing can sneak across except what the protocol carries)
+//! and gives failure injection a place to corrupt messages.
+//!
+//! Format: first line `GRAM/1 <VERB>`, then `key: value` headers, ending
+//! with a blank line or end of input. String values are used verbatim
+//! (RSL never contains newlines).
+
+use std::fmt;
+use std::str::FromStr;
+
+use gridauthz_clock::SimDuration;
+
+use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
+
+/// A decoded GRAM wire request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Start a job.
+    Submit {
+        /// The RSL job description.
+        rsl: String,
+        /// Requested grid-mapfile account, if any.
+        account: Option<String>,
+        /// Simulated true computation time.
+        work: SimDuration,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// The target job.
+        contact: String,
+    },
+    /// Query job status.
+    Status {
+        /// The target job.
+        contact: String,
+    },
+    /// Deliver a management signal.
+    Signal {
+        /// The target job.
+        contact: String,
+        /// The signal.
+        signal: GramSignal,
+    },
+}
+
+/// A GRAM wire response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// A job was started.
+    Submitted {
+        /// Its contact URL.
+        contact: String,
+    },
+    /// A status report.
+    Report {
+        /// Contact URL.
+        contact: String,
+        /// Initiator identity.
+        owner: String,
+        /// Job tag, if any.
+        jobtag: Option<String>,
+        /// Local account.
+        account: String,
+        /// Lifecycle state label.
+        state: String,
+        /// Executed microseconds.
+        executed_micros: u64,
+    },
+    /// A cancel/signal succeeded.
+    Done,
+    /// The request failed.
+    Error {
+        /// Stable error code (see [`error_code`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// The stable protocol code for a [`GramError`] — the paper's extension
+/// of GRAM's error vocabulary, §5.2.
+pub fn error_code(error: &GramError) -> &'static str {
+    match error {
+        GramError::AuthenticationFailed(_) => "AUTHENTICATION_FAILED",
+        GramError::GridMapDenied(_) => "GRIDMAP_DENIED",
+        GramError::AccountNotPermitted { .. } => "ACCOUNT_NOT_PERMITTED",
+        GramError::NotAuthorized(_) => "AUTHORIZATION_DENIED",
+        GramError::AuthorizationSystemFailure(_) => "AUTHORIZATION_SYSTEM_FAILURE",
+        GramError::BadRequest(_) => "BAD_REQUEST",
+        GramError::UnknownJob(_) => "UNKNOWN_JOB",
+        GramError::Scheduler(_) => "JOB_CONTROL_FAILURE",
+        GramError::ProvisioningFailed(_) => "PROVISIONING_FAILED",
+        GramError::SandboxViolation(_) => "SANDBOX_VIOLATION",
+    }
+}
+
+/// A wire-format decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireParseError(String);
+
+impl fmt::Display for WireParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed GRAM message: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireParseError {}
+
+fn err(msg: impl Into<String>) -> WireParseError {
+    WireParseError(msg.into())
+}
+
+struct Headers<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Headers<'a> {
+    fn parse(lines: impl Iterator<Item = &'a str>) -> Result<Headers<'a>, WireParseError> {
+        let mut pairs = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                break;
+            }
+            let (key, value) =
+                line.split_once(':').ok_or_else(|| err(format!("header without ':': {line}")))?;
+            pairs.push((key.trim(), value.trim()));
+        }
+        Ok(Headers { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| *v)
+    }
+
+    fn require(&self, key: &str) -> Result<&'a str, WireParseError> {
+        self.get(key).ok_or_else(|| err(format!("missing header {key:?}")))
+    }
+}
+
+impl WireRequest {
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> String {
+        match self {
+            WireRequest::Submit { rsl, account, work } => {
+                let mut out = format!("GRAM/1 SUBMIT\nrsl: {rsl}\nwork-micros: {}\n", work.as_micros());
+                if let Some(account) = account {
+                    out.push_str(&format!("account: {account}\n"));
+                }
+                out
+            }
+            WireRequest::Cancel { contact } => format!("GRAM/1 CANCEL\njob: {contact}\n"),
+            WireRequest::Status { contact } => format!("GRAM/1 STATUS\njob: {contact}\n"),
+            WireRequest::Signal { contact, signal } => {
+                let signal = match signal {
+                    GramSignal::Suspend => "suspend".to_string(),
+                    GramSignal::Resume => "resume".to_string(),
+                    GramSignal::Priority(p) => format!("priority {p}"),
+                };
+                format!("GRAM/1 SIGNAL\njob: {contact}\nsignal: {signal}\n")
+            }
+        }
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`WireParseError`] for bad framing, unknown verbs, or missing /
+    /// malformed headers.
+    pub fn decode(text: &str) -> Result<WireRequest, WireParseError> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or_else(|| err("empty message"))?;
+        let verb = first
+            .strip_prefix("GRAM/1 ")
+            .ok_or_else(|| err(format!("bad preamble: {first}")))?
+            .trim();
+        let headers = Headers::parse(lines)?;
+        match verb {
+            "SUBMIT" => {
+                let rsl = headers.require("rsl")?.to_string();
+                let work_micros: u64 = headers
+                    .require("work-micros")?
+                    .parse()
+                    .map_err(|_| err("work-micros must be an integer"))?;
+                Ok(WireRequest::Submit {
+                    rsl,
+                    account: headers.get("account").map(str::to_string),
+                    work: SimDuration::from_micros(work_micros),
+                })
+            }
+            "CANCEL" => Ok(WireRequest::Cancel { contact: headers.require("job")?.to_string() }),
+            "STATUS" => Ok(WireRequest::Status { contact: headers.require("job")?.to_string() }),
+            "SIGNAL" => {
+                let contact = headers.require("job")?.to_string();
+                let signal_text = headers.require("signal")?;
+                let signal = match signal_text.split_whitespace().collect::<Vec<_>>()[..] {
+                    ["suspend"] => GramSignal::Suspend,
+                    ["resume"] => GramSignal::Resume,
+                    ["priority", p] => GramSignal::Priority(
+                        i64::from_str(p).map_err(|_| err("priority must be an integer"))?,
+                    ),
+                    _ => return Err(err(format!("unknown signal {signal_text:?}"))),
+                };
+                Ok(WireRequest::Signal { contact, signal })
+            }
+            other => Err(err(format!("unknown verb {other:?}"))),
+        }
+    }
+}
+
+impl WireResponse {
+    /// Builds the response for a completed server call.
+    pub fn from_report(report: &JobReport) -> WireResponse {
+        WireResponse::Report {
+            contact: report.contact.as_str().to_string(),
+            owner: report.owner.to_string(),
+            jobtag: report.jobtag.clone(),
+            account: report.account.clone(),
+            state: report.state.label().to_string(),
+            executed_micros: report.executed.as_micros(),
+        }
+    }
+
+    /// Builds the error response for a failed server call.
+    pub fn from_error(error: &GramError) -> WireResponse {
+        WireResponse::Error { code: error_code(error).to_string(), message: error.to_string() }
+    }
+
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> String {
+        match self {
+            WireResponse::Submitted { contact } => format!("GRAM/1 SUBMITTED\njob: {contact}\n"),
+            WireResponse::Report { contact, owner, jobtag, account, state, executed_micros } => {
+                let mut out = format!(
+                    "GRAM/1 REPORT\njob: {contact}\nowner: {owner}\naccount: {account}\nstate: {state}\nexecuted-micros: {executed_micros}\n"
+                );
+                if let Some(tag) = jobtag {
+                    out.push_str(&format!("jobtag: {tag}\n"));
+                }
+                out
+            }
+            WireResponse::Done => "GRAM/1 DONE\n".to_string(),
+            WireResponse::Error { code, message } => {
+                format!("GRAM/1 ERROR\ncode: {code}\nmessage: {message}\n")
+            }
+        }
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`WireParseError`] for bad framing or missing headers.
+    pub fn decode(text: &str) -> Result<WireResponse, WireParseError> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or_else(|| err("empty message"))?;
+        let verb = first
+            .strip_prefix("GRAM/1 ")
+            .ok_or_else(|| err(format!("bad preamble: {first}")))?
+            .trim();
+        let headers = Headers::parse(lines)?;
+        match verb {
+            "SUBMITTED" => Ok(WireResponse::Submitted { contact: headers.require("job")?.to_string() }),
+            "REPORT" => Ok(WireResponse::Report {
+                contact: headers.require("job")?.to_string(),
+                owner: headers.require("owner")?.to_string(),
+                jobtag: headers.get("jobtag").map(str::to_string),
+                account: headers.require("account")?.to_string(),
+                state: headers.require("state")?.to_string(),
+                executed_micros: headers
+                    .require("executed-micros")?
+                    .parse()
+                    .map_err(|_| err("executed-micros must be an integer"))?,
+            }),
+            "DONE" => Ok(WireResponse::Done),
+            "ERROR" => Ok(WireResponse::Error {
+                code: headers.require("code")?.to_string(),
+                message: headers.require("message")?.to_string(),
+            }),
+            other => Err(err(format!("unknown verb {other:?}"))),
+        }
+    }
+}
+
+/// Re-export for contact parsing at the wire boundary.
+pub(crate) fn contact_from_wire(contact: &str) -> JobContact {
+    JobContact::from_wire(contact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrip() {
+        let req = WireRequest::Submit {
+            rsl: "&(executable = TRANSP)(jobtag = NFC)(count = 2)".into(),
+            account: Some("fusion".into()),
+            work: SimDuration::from_mins(30),
+        };
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn all_request_variants_roundtrip() {
+        let requests = [
+            WireRequest::Submit {
+                rsl: "&(executable = a)".into(),
+                account: None,
+                work: SimDuration::from_secs(1),
+            },
+            WireRequest::Cancel { contact: "gram://site/jobs/1".into() },
+            WireRequest::Status { contact: "gram://site/jobs/2".into() },
+            WireRequest::Signal { contact: "gram://site/jobs/3".into(), signal: GramSignal::Suspend },
+            WireRequest::Signal { contact: "gram://site/jobs/3".into(), signal: GramSignal::Resume },
+            WireRequest::Signal {
+                contact: "gram://site/jobs/3".into(),
+                signal: GramSignal::Priority(-7),
+            },
+        ];
+        for req in requests {
+            assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn all_response_variants_roundtrip() {
+        let responses = [
+            WireResponse::Submitted { contact: "gram://site/jobs/9".into() },
+            WireResponse::Report {
+                contact: "gram://site/jobs/9".into(),
+                owner: "/O=Grid/CN=Bo Liu".into(),
+                jobtag: Some("NFC".into()),
+                account: "bliu".into(),
+                state: "running".into(),
+                executed_micros: 123_456,
+            },
+            WireResponse::Report {
+                contact: "gram://site/jobs/9".into(),
+                owner: "/O=Grid/CN=Bo Liu".into(),
+                jobtag: None,
+                account: "bliu".into(),
+                state: "pending".into(),
+                executed_micros: 0,
+            },
+            WireResponse::Done,
+            WireResponse::Error { code: "AUTHORIZATION_DENIED".into(), message: "no grant".into() },
+        ];
+        for resp in responses {
+            assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_messages() {
+        for bad in [
+            "",
+            "HTTP/1.1 GET /",
+            "GRAM/1 NOPE\n",
+            "GRAM/1 SUBMIT\n", // missing rsl
+            "GRAM/1 SUBMIT\nrsl: &(a = 1)\nwork-micros: soon\n",
+            "GRAM/1 SIGNAL\njob: x\nsignal: reboot\n",
+            "GRAM/1 CANCEL\nno-colon-here\n",
+        ] {
+            assert!(WireRequest::decode(bad).is_err(), "should reject {bad:?}");
+        }
+        assert!(WireResponse::decode("GRAM/1 REPORT\n").is_err());
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_distinct() {
+        use gridauthz_core::DenyReason;
+        let denial = GramError::NotAuthorized(DenyReason::NoApplicableGrant);
+        let failure = GramError::AuthorizationSystemFailure("x".into());
+        assert_eq!(error_code(&denial), "AUTHORIZATION_DENIED");
+        assert_eq!(error_code(&failure), "AUTHORIZATION_SYSTEM_FAILURE");
+        assert_ne!(error_code(&denial), error_code(&failure));
+    }
+}

@@ -1,0 +1,87 @@
+//! Well-known GRAM RSL attribute names, including the three attributes the
+//! paper adds for fine-grain policy (`action`, `jobowner`, `jobtag`) and the
+//! two special values (`NULL`, `self`).
+//!
+//! Attribute names are stored lowercase because RSL attribute matching is
+//! case-insensitive.
+
+/// Path of the executable to run.
+pub const EXECUTABLE: &str = "executable";
+/// Working directory for the job.
+pub const DIRECTORY: &str = "directory";
+/// Command-line arguments (a sequence value).
+pub const ARGUMENTS: &str = "arguments";
+/// Number of processors requested.
+pub const COUNT: &str = "count";
+/// Maximum memory, in megabytes.
+pub const MAX_MEMORY: &str = "maxmemory";
+/// Minimum memory, in megabytes.
+pub const MIN_MEMORY: &str = "minmemory";
+/// Maximum wall-clock run time, in minutes.
+pub const MAX_TIME: &str = "maxtime";
+/// Maximum CPU time, in minutes.
+pub const MAX_CPU_TIME: &str = "maxcputime";
+/// Name of the local scheduler queue.
+pub const QUEUE: &str = "queue";
+/// Scheduler project/allocation to charge.
+pub const PROJECT: &str = "project";
+/// File to attach to the job's standard input.
+pub const STDIN: &str = "stdin";
+/// File receiving the job's standard output.
+pub const STDOUT: &str = "stdout";
+/// File receiving the job's standard error.
+pub const STDERR: &str = "stderr";
+/// Environment bindings (a sequence of `(NAME value)` pairs).
+pub const ENVIRONMENT: &str = "environment";
+/// Job type (`single`, `multiple`, `mpi`, ...).
+pub const JOB_TYPE: &str = "jobtype";
+/// Scheduler priority hint.
+pub const PRIORITY: &str = "priority";
+
+// --- Attributes introduced by Keahey et al. (Middleware 2003), §5.1 ---
+
+/// The requested operation: `start`, `cancel`, `information`, or `signal`.
+pub const ACTION: &str = "action";
+/// The Grid identity (distinguished name) of the job initiator; used to
+/// express VO-wide management policy.
+pub const JOBOWNER: &str = "jobowner";
+/// Membership of the job in a named management group, enabling VO-wide
+/// job-management policies.
+pub const JOBTAG: &str = "jobtag";
+
+// --- Special values introduced by the paper, §5.1 ---
+
+/// With `!=`: "the attribute must be present with some (non-empty) value".
+/// With `=`: "the attribute must be absent".
+pub const NULL: &str = "NULL";
+/// Stands for the identity of the requester; `(jobowner = self)` expresses
+/// GT2's "only the initiator may manage a job" rule as policy.
+pub const SELF: &str = "self";
+
+/// The job-description attributes a GRAM job request may carry (everything
+/// except the policy-only `action`/`jobowner` attributes).
+pub const JOB_DESCRIPTION_ATTRIBUTES: &[&str] = &[
+    EXECUTABLE, DIRECTORY, ARGUMENTS, COUNT, MAX_MEMORY, MIN_MEMORY, MAX_TIME, MAX_CPU_TIME,
+    QUEUE, PROJECT, STDIN, STDOUT, STDERR, ENVIRONMENT, JOB_TYPE, PRIORITY, JOBTAG,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attribute;
+
+    #[test]
+    fn all_well_known_names_are_valid_attributes() {
+        for name in JOB_DESCRIPTION_ATTRIBUTES.iter().chain([&ACTION, &JOBOWNER]) {
+            let a = Attribute::new(name).unwrap();
+            assert_eq!(a.as_str(), *name, "constants must already be lowercase");
+        }
+    }
+
+    #[test]
+    fn jobtag_is_a_job_description_attribute() {
+        assert!(JOB_DESCRIPTION_ATTRIBUTES.contains(&JOBTAG));
+        assert!(!JOB_DESCRIPTION_ATTRIBUTES.contains(&ACTION));
+        assert!(!JOB_DESCRIPTION_ATTRIBUTES.contains(&JOBOWNER));
+    }
+}

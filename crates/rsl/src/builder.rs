@@ -1,0 +1,176 @@
+//! Ergonomic construction of RSL job descriptions.
+
+use crate::ast::{Attribute, Clause, Conjunction, RelOp, Relation, Rsl, Value};
+use crate::attributes;
+use crate::error::RslError;
+
+/// A non-consuming builder for RSL conjunctions (the shape of every GRAM
+/// job description).
+///
+/// # Example
+///
+/// ```
+/// use gridauthz_rsl::RslBuilder;
+///
+/// let job = RslBuilder::new()
+///     .executable("TRANSP")
+///     .directory("/sandbox/test")
+///     .jobtag("NFC")
+///     .count(4)
+///     .build();
+/// assert_eq!(
+///     job.to_string(),
+///     "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 4)"
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RslBuilder {
+    clauses: Vec<Clause>,
+}
+
+impl RslBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> RslBuilder {
+        RslBuilder::default()
+    }
+
+    /// Adds an arbitrary relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RslError`] if `attribute` is not a valid attribute name.
+    pub fn relation(
+        &mut self,
+        attribute: &str,
+        op: RelOp,
+        value: impl Into<Value>,
+    ) -> Result<&mut Self, RslError> {
+        self.clauses.push(Clause::Relation(Relation::new(
+            Attribute::new(attribute)?,
+            op,
+            vec![value.into()],
+        )));
+        Ok(self)
+    }
+
+    fn eq_known(&mut self, attribute: &'static str, value: impl Into<Value>) -> &mut Self {
+        // Attribute constants are validated by the `attributes` module tests.
+        self.clauses.push(Clause::Relation(Relation::new(
+            Attribute::new(attribute).expect("well-known attribute"),
+            RelOp::Eq,
+            vec![value.into()],
+        )));
+        self
+    }
+
+    /// Sets the executable path.
+    pub fn executable(&mut self, path: &str) -> &mut Self {
+        self.eq_known(attributes::EXECUTABLE, path)
+    }
+
+    /// Sets the working directory.
+    pub fn directory(&mut self, dir: &str) -> &mut Self {
+        self.eq_known(attributes::DIRECTORY, dir)
+    }
+
+    /// Sets the command-line arguments as a sequence value.
+    pub fn arguments<I, S>(&mut self, args: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let seq = Value::Sequence(args.into_iter().map(|s| Value::Literal(s.into())).collect());
+        self.eq_known(attributes::ARGUMENTS, seq)
+    }
+
+    /// Sets the processor count.
+    pub fn count(&mut self, n: u32) -> &mut Self {
+        self.eq_known(attributes::COUNT, i64::from(n))
+    }
+
+    /// Sets the maximum memory in megabytes.
+    pub fn max_memory(&mut self, mb: u32) -> &mut Self {
+        self.eq_known(attributes::MAX_MEMORY, i64::from(mb))
+    }
+
+    /// Sets the maximum wall-clock time in minutes.
+    pub fn max_time(&mut self, minutes: u32) -> &mut Self {
+        self.eq_known(attributes::MAX_TIME, i64::from(minutes))
+    }
+
+    /// Sets the target queue.
+    pub fn queue(&mut self, name: &str) -> &mut Self {
+        self.eq_known(attributes::QUEUE, name)
+    }
+
+    /// Sets the project/allocation to charge.
+    pub fn project(&mut self, name: &str) -> &mut Self {
+        self.eq_known(attributes::PROJECT, name)
+    }
+
+    /// Sets the scheduler priority hint.
+    pub fn priority(&mut self, p: i64) -> &mut Self {
+        self.eq_known(attributes::PRIORITY, p)
+    }
+
+    /// Tags the job with a VO job-management group (the paper's `jobtag`).
+    pub fn jobtag(&mut self, tag: &str) -> &mut Self {
+        self.eq_known(attributes::JOBTAG, tag)
+    }
+
+    /// Builds the conjunction.
+    pub fn build(&self) -> Rsl {
+        Rsl::Conjunction(Conjunction::new(self.clauses.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn builder_output_parses() {
+        let job = RslBuilder::new()
+            .executable("test1")
+            .directory("/sandbox/test")
+            .arguments(["-v", "--fast"])
+            .count(2)
+            .max_memory(512)
+            .max_time(30)
+            .queue("batch")
+            .jobtag("ADS")
+            .build();
+        let reparsed = parse(&job.to_string()).unwrap();
+        assert_eq!(job, reparsed);
+    }
+
+    #[test]
+    fn builder_supports_arbitrary_relations() {
+        let mut b = RslBuilder::new();
+        b.relation("count", RelOp::Lt, 4i64).unwrap();
+        let spec = b.build();
+        assert_eq!(spec.to_string(), "&(count < 4)");
+    }
+
+    #[test]
+    fn builder_rejects_bad_attribute() {
+        let mut b = RslBuilder::new();
+        assert!(b.relation("not an attr", RelOp::Eq, "x").is_err());
+    }
+
+    #[test]
+    fn builder_quotes_values_with_spaces() {
+        let job = RslBuilder::new().executable("/opt/my app/bin").build();
+        assert_eq!(job.to_string(), r#"&(executable = "/opt/my app/bin")"#);
+        assert_eq!(parse(&job.to_string()).unwrap(), job);
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_conjunction_ast() {
+        // An empty conjunction cannot be *parsed* (RSL forbids it) but the
+        // AST form is useful as a neutral element when composing requests.
+        let job = RslBuilder::new().build();
+        assert_eq!(job.as_conjunction().unwrap().clauses().len(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while lexing or parsing an RSL specification.
+///
+/// Carries the byte offset at which the problem was detected so callers can
+/// point at the offending part of a policy file or job request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RslError {
+    offset: usize,
+    kind: RslErrorKind,
+}
+
+/// The specific parse failure behind an [`RslError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RslErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEnd,
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// A token that is valid RSL but illegal in this position.
+    UnexpectedToken(String),
+    /// A quoted string was never closed.
+    UnterminatedString,
+    /// A `$(VAR)` reference was malformed.
+    MalformedVariable,
+    /// An attribute name was empty or not a valid identifier.
+    InvalidAttribute(String),
+    /// A relation was missing its operator.
+    MissingOperator,
+    /// A relation had no value.
+    MissingValue,
+    /// Trailing input remained after a complete specification.
+    TrailingInput,
+    /// A `&`/`|`/`+` specification contained no clauses.
+    EmptySpecification,
+}
+
+impl RslError {
+    pub(crate) fn new(offset: usize, kind: RslErrorKind) -> Self {
+        RslError { offset, kind }
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The kind of failure.
+    pub fn kind(&self) -> &RslErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for RslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RslErrorKind::UnexpectedEnd => {
+                write!(f, "unexpected end of RSL input at offset {}", self.offset)
+            }
+            RslErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?} at offset {}", self.offset)
+            }
+            RslErrorKind::UnexpectedToken(t) => {
+                write!(f, "unexpected token {t:?} at offset {}", self.offset)
+            }
+            RslErrorKind::UnterminatedString => {
+                write!(f, "unterminated quoted string starting at offset {}", self.offset)
+            }
+            RslErrorKind::MalformedVariable => {
+                write!(f, "malformed $(VAR) reference at offset {}", self.offset)
+            }
+            RslErrorKind::InvalidAttribute(a) => {
+                write!(f, "invalid attribute name {a:?} at offset {}", self.offset)
+            }
+            RslErrorKind::MissingOperator => {
+                write!(f, "relation is missing an operator at offset {}", self.offset)
+            }
+            RslErrorKind::MissingValue => {
+                write!(f, "relation is missing a value at offset {}", self.offset)
+            }
+            RslErrorKind::TrailingInput => {
+                write!(f, "trailing input after specification at offset {}", self.offset)
+            }
+            RslErrorKind::EmptySpecification => {
+                write!(f, "specification has no clauses at offset {}", self.offset)
+            }
+        }
+    }
+}
+
+impl Error for RslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset() {
+        let e = RslError::new(7, RslErrorKind::UnexpectedChar('%'));
+        assert!(e.to_string().contains("offset 7"));
+        assert_eq!(e.offset(), 7);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RslError>();
+    }
+}

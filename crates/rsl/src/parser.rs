@@ -1,0 +1,351 @@
+//! Recursive-descent parser for RSL specifications.
+
+use crate::ast::{Attribute, Clause, Conjunction, Relation, Rsl, Value};
+use crate::error::{RslError, RslErrorKind};
+use crate::token::{lex, Token, TokenKind};
+
+/// Parses a complete RSL specification.
+///
+/// The input must be a single `&`, `|` or `+` specification; trailing input
+/// is an error.
+///
+/// # Errors
+///
+/// Returns [`RslError`] with the byte offset of the first problem.
+///
+/// # Example
+///
+/// ```
+/// use gridauthz_rsl::parse;
+/// let spec = parse("&(executable = test1)(count < 4)")?;
+/// assert!(spec.as_conjunction().is_some());
+/// # Ok::<(), gridauthz_rsl::RslError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Rsl, RslError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let spec = p.spec()?;
+    if p.pos != p.tokens.len() {
+        return Err(RslError::new(p.peek_offset(), RslErrorKind::TrailingInput));
+    }
+    Ok(spec)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input_len, |t| t.offset)
+    }
+
+    fn bump(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), RslError> {
+        let offset = self.peek_offset();
+        match self.bump() {
+            Some(t) if t == kind => Ok(()),
+            Some(t) => Err(RslError::new(offset, RslErrorKind::UnexpectedToken(format!("{t:?}")))),
+            None => Err(RslError::new(offset, RslErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    fn spec(&mut self) -> Result<Rsl, RslError> {
+        let offset = self.peek_offset();
+        match self.bump() {
+            Some(TokenKind::Ampersand) => {
+                let clauses = self.clause_list(offset)?;
+                Ok(Rsl::Conjunction(Conjunction::new(clauses)))
+            }
+            Some(TokenKind::Pipe) => {
+                let clauses = self.clause_list(offset)?;
+                Ok(Rsl::Disjunction(clauses))
+            }
+            Some(TokenKind::Plus) => {
+                let mut specs = Vec::new();
+                while let Some(TokenKind::LParen) = self.peek() {
+                    self.bump();
+                    specs.push(self.spec()?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                if specs.is_empty() {
+                    return Err(RslError::new(offset, RslErrorKind::EmptySpecification));
+                }
+                Ok(Rsl::Multi(specs))
+            }
+            Some(t) => {
+                Err(RslError::new(offset, RslErrorKind::UnexpectedToken(format!("{t:?}"))))
+            }
+            None => Err(RslError::new(offset, RslErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    fn clause_list(&mut self, spec_offset: usize) -> Result<Vec<Clause>, RslError> {
+        let mut clauses = Vec::new();
+        while let Some(TokenKind::LParen) = self.peek() {
+            self.bump();
+            let clause = match self.peek() {
+                Some(TokenKind::Ampersand | TokenKind::Pipe | TokenKind::Plus) => {
+                    Clause::Nested(self.spec()?)
+                }
+                _ => Clause::Relation(self.relation()?),
+            };
+            self.expect(&TokenKind::RParen)?;
+            clauses.push(clause);
+        }
+        if clauses.is_empty() {
+            return Err(RslError::new(spec_offset, RslErrorKind::EmptySpecification));
+        }
+        Ok(clauses)
+    }
+
+    fn relation(&mut self) -> Result<Relation, RslError> {
+        let offset = self.peek_offset();
+        let name = match self.bump() {
+            Some(TokenKind::Literal(s)) => s.clone(),
+            Some(t) => {
+                return Err(RslError::new(offset, RslErrorKind::UnexpectedToken(format!("{t:?}"))))
+            }
+            None => return Err(RslError::new(offset, RslErrorKind::UnexpectedEnd)),
+        };
+        let attribute = Attribute::new(&name)
+            .map_err(|_| RslError::new(offset, RslErrorKind::InvalidAttribute(name)))?;
+
+        let op_offset = self.peek_offset();
+        let op = match self.bump() {
+            Some(TokenKind::Op(op)) => *op,
+            _ => return Err(RslError::new(op_offset, RslErrorKind::MissingOperator)),
+        };
+
+        let mut values = Vec::new();
+        while matches!(
+            self.peek(),
+            Some(TokenKind::Literal(_) | TokenKind::Variable(_) | TokenKind::LParen)
+        ) {
+            values.push(self.value()?);
+        }
+        if values.is_empty() {
+            return Err(RslError::new(self.peek_offset(), RslErrorKind::MissingValue));
+        }
+        Ok(Relation::new(attribute, op, values))
+    }
+
+    fn value(&mut self) -> Result<Value, RslError> {
+        let offset = self.peek_offset();
+        match self.bump() {
+            Some(TokenKind::Literal(s)) => Ok(Value::Literal(s.clone())),
+            Some(TokenKind::Variable(name)) => Ok(Value::Variable(name.clone())),
+            Some(TokenKind::LParen) => {
+                let mut items = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(TokenKind::RParen) => {
+                            self.bump();
+                            return Ok(Value::Sequence(items));
+                        }
+                        Some(
+                            TokenKind::Literal(_) | TokenKind::Variable(_) | TokenKind::LParen,
+                        ) => items.push(self.value()?),
+                        Some(t) => {
+                            return Err(RslError::new(
+                                self.peek_offset(),
+                                RslErrorKind::UnexpectedToken(format!("{t:?}")),
+                            ))
+                        }
+                        None => {
+                            return Err(RslError::new(self.peek_offset(), RslErrorKind::UnexpectedEnd))
+                        }
+                    }
+                }
+            }
+            Some(t) => Err(RslError::new(offset, RslErrorKind::UnexpectedToken(format!("{t:?}")))),
+            None => Err(RslError::new(offset, RslErrorKind::UnexpectedEnd)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RelOp;
+
+    #[test]
+    fn parses_paper_job_description() {
+        let spec = parse(
+            "&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)",
+        )
+        .unwrap();
+        let conj = spec.as_conjunction().unwrap();
+        assert_eq!(conj.first_value("action"), Some(&Value::literal("start")));
+        assert_eq!(conj.first_value("executable"), Some(&Value::literal("test1")));
+        assert_eq!(conj.first_value("directory"), Some(&Value::literal("/sandbox/test")));
+        assert_eq!(conj.first_value("jobtag"), Some(&Value::literal("ADS")));
+        let count = conj.relations_for("count").next().unwrap();
+        assert_eq!(count.op(), RelOp::Lt);
+        assert_eq!(count.value().as_int(), Some(4));
+    }
+
+    #[test]
+    fn parses_not_null_requirement() {
+        let spec = parse("&(action = start)(jobtag != NULL)").unwrap();
+        let conj = spec.as_conjunction().unwrap();
+        let r = conj.relations_for("jobtag").next().unwrap();
+        assert_eq!(r.op(), RelOp::Ne);
+        assert_eq!(r.value().as_str(), Some("NULL"));
+    }
+
+    #[test]
+    fn parses_disjunction() {
+        let spec = parse("|(queue = fast)(queue = slow)").unwrap();
+        match spec {
+            Rsl::Disjunction(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected disjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_request() {
+        let spec = parse("+(&(executable = a))(&(executable = b))").unwrap();
+        match spec {
+            Rsl::Multi(specs) => assert_eq!(specs.len(), 2),
+            other => panic!("expected multi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_specification() {
+        let spec = parse("&(executable = a)(|(queue = fast)(queue = slow))").unwrap();
+        let conj = spec.as_conjunction().unwrap();
+        assert_eq!(conj.clauses().len(), 2);
+        assert!(matches!(conj.clauses()[1], Clause::Nested(Rsl::Disjunction(_))));
+    }
+
+    #[test]
+    fn parses_sequence_value() {
+        let spec = parse("&(arguments = (-v --trace level2))").unwrap();
+        let conj = spec.as_conjunction().unwrap();
+        match conj.first_value("arguments") {
+            Some(Value::Sequence(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_sequences() {
+        let spec = parse("&(environment = ((HOME /home/bo) (LANG C)))").unwrap();
+        let conj = spec.as_conjunction().unwrap();
+        match conj.first_value("environment") {
+            Some(Value::Sequence(items)) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[0], Value::Sequence(_)));
+            }
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quoted_values() {
+        let spec = parse(r#"&(executable = "/bin/my app")"#).unwrap();
+        assert_eq!(
+            spec.as_conjunction().unwrap().first_value("executable"),
+            Some(&Value::literal("/bin/my app"))
+        );
+    }
+
+    #[test]
+    fn parses_variable_values() {
+        let spec = parse("&(directory = $(GLOBUS_USER_HOME))").unwrap();
+        assert!(spec.has_variables());
+    }
+
+    #[test]
+    fn parses_multiple_values_in_relation() {
+        let spec = parse("&(queue = fast slow batch)").unwrap();
+        let conj = spec.as_conjunction().unwrap();
+        let r = conj.relations_for("queue").next().unwrap();
+        assert_eq!(r.values().len(), 3);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let compact = parse("&(count<4)(jobtag=NFC)").unwrap();
+        let spaced = parse("  &  ( count < 4 )\n\t( jobtag = NFC )  ").unwrap();
+        assert_eq!(compact, spaced);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_specification() {
+        assert_eq!(parse("&").unwrap_err().kind(), &RslErrorKind::EmptySpecification);
+        assert_eq!(parse("+").unwrap_err().kind(), &RslErrorKind::EmptySpecification);
+    }
+
+    #[test]
+    fn rejects_bare_relation_without_spec_marker() {
+        assert!(parse("(count = 4)").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let err = parse("&(a = 1) extra").unwrap_err();
+        assert_eq!(err.kind(), &RslErrorKind::TrailingInput);
+    }
+
+    #[test]
+    fn rejects_missing_operator() {
+        let err = parse("&(count 4)").unwrap_err();
+        assert_eq!(err.kind(), &RslErrorKind::MissingOperator);
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse("&(count =)").unwrap_err();
+        assert_eq!(err.kind(), &RslErrorKind::MissingValue);
+    }
+
+    #[test]
+    fn rejects_unclosed_clause() {
+        assert!(parse("&(count = 4").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_attribute_name() {
+        let err = parse("&(9lives = 1)").unwrap_err();
+        assert!(matches!(err.kind(), RslErrorKind::InvalidAttribute(_)));
+    }
+
+    #[test]
+    fn roundtrips_canonical_form() {
+        let inputs = [
+            "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count < 4)",
+            "|(queue = fast)(queue = slow)",
+            "+(&(a = 1))(&(b = 2))",
+            "&(arguments = (-v (x y)))",
+            "&(directory = $(HOME))",
+        ];
+        for input in inputs {
+            let spec = parse(input).unwrap();
+            let printed = spec.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(spec, reparsed, "roundtrip failed for {input}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests: every AST prints to a form that re-parses to the
+//! same AST (canonical-form round-trip), and the lexer never panics.
+
+use proptest::prelude::*;
+
+use crate::ast::{Attribute, Clause, Conjunction, RelOp, Relation, Rsl, Value};
+use crate::parse;
+
+fn arb_attribute() -> impl Strategy<Value = Attribute> {
+    "[a-z][a-z0-9_]{0,11}".prop_map(|s| Attribute::new(&s).unwrap())
+}
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop::sample::select(RelOp::ALL.to_vec())
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        // Arbitrary printable strings, including ones needing quoting.
+        "[ -~]{0,16}".prop_map(Value::Literal),
+        any::<i64>().prop_map(Value::int),
+        "[A-Z][A-Z0-9_]{0,7}".prop_map(Value::Variable),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::Sequence)
+    })
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (arb_attribute(), arb_relop(), prop::collection::vec(arb_value(), 1..4))
+        .prop_map(|(a, op, vs)| Relation::new(a, op, vs))
+}
+
+fn arb_rel_clause() -> impl Strategy<Value = Clause> {
+    arb_relation().prop_map(Clause::Relation)
+}
+
+fn arb_rsl() -> impl Strategy<Value = Rsl> {
+    let leaf = prop_oneof![
+        prop::collection::vec(arb_rel_clause(), 1..5)
+            .prop_map(|cs| Rsl::Conjunction(Conjunction::new(cs))),
+        prop::collection::vec(arb_rel_clause(), 1..5).prop_map(Rsl::Disjunction),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let nested_clause = prop_oneof![
+            arb_relation().prop_map(Clause::Relation),
+            inner.clone().prop_map(Clause::Nested),
+        ];
+        prop_oneof![
+            prop::collection::vec(nested_clause.clone(), 1..5)
+                .prop_map(|cs| Rsl::Conjunction(Conjunction::new(cs))),
+            prop::collection::vec(nested_clause, 1..5).prop_map(Rsl::Disjunction),
+            prop::collection::vec(inner, 1..4).prop_map(Rsl::Multi),
+        ]
+    })
+}
+
+proptest! {
+    /// print → parse is the identity on ASTs.
+    #[test]
+    fn print_parse_roundtrip(spec in arb_rsl()) {
+        let printed = spec.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(spec, reparsed);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(input in "[ -~]{0,64}") {
+        let _ = parse(&input);
+    }
+
+    /// Parsing a printed spec and printing again is a fixed point
+    /// (canonical form is stable).
+    #[test]
+    fn printing_is_stable(spec in arb_rsl()) {
+        let once = spec.to_string();
+        let twice = parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Substitution with no bindings is the identity.
+    #[test]
+    fn empty_substitution_is_identity(spec in arb_rsl()) {
+        let env = std::collections::HashMap::new();
+        prop_assert_eq!(spec.substitute(&env), spec);
+    }
+}

@@ -1,0 +1,289 @@
+//! The RSL lexer.
+//!
+//! Tokenization follows the GT2 RSL rules: `&`, `|`, `+`, parentheses and
+//! the relational operators are structural; everything else is a literal.
+//! Literals may be unquoted (any run of characters excluding whitespace and
+//! the structural characters), single- or double-quoted (with doubled quote
+//! characters as the escape, e.g. `"a""b"` is `a"b`), or a `$(VAR)`
+//! substitution reference.
+
+use crate::ast::RelOp;
+use crate::error::{RslError, RslErrorKind};
+
+/// A single lexical token, tagged with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub offset: usize,
+    pub kind: TokenKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    Ampersand,
+    Pipe,
+    Plus,
+    LParen,
+    RParen,
+    Op(RelOp),
+    /// An unquoted or quoted literal. The bool records whether it was quoted
+    /// (quoted literals never re-lex as operators, so the printer must quote
+    /// strings that would otherwise be structural).
+    Literal(String),
+    /// A `$(NAME)` substitution reference.
+    Variable(String),
+}
+
+/// Characters that terminate an unquoted literal.
+fn is_structural(c: char) -> bool {
+    matches!(c, '&' | '|' | '+' | '(' | ')' | '=' | '<' | '>' | '!' | '"' | '\'' | '$')
+}
+
+/// Splits `input` into RSL tokens.
+pub(crate) fn lex(input: &str) -> Result<Vec<Token>, RslError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+
+    while let Some(&(offset, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '&' => {
+                chars.next();
+                tokens.push(Token { offset, kind: TokenKind::Ampersand });
+            }
+            '|' => {
+                chars.next();
+                tokens.push(Token { offset, kind: TokenKind::Pipe });
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token { offset, kind: TokenKind::Plus });
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token { offset, kind: TokenKind::LParen });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token { offset, kind: TokenKind::RParen });
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token { offset, kind: TokenKind::Op(RelOp::Eq) });
+            }
+            '!' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        tokens.push(Token { offset, kind: TokenKind::Op(RelOp::Ne) });
+                    }
+                    Some(&(_, other)) => {
+                        return Err(RslError::new(offset, RslErrorKind::UnexpectedChar(other)))
+                    }
+                    None => return Err(RslError::new(offset, RslErrorKind::UnexpectedEnd)),
+                }
+            }
+            '<' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token { offset, kind: TokenKind::Op(RelOp::Le) });
+                } else {
+                    tokens.push(Token { offset, kind: TokenKind::Op(RelOp::Lt) });
+                }
+            }
+            '>' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token { offset, kind: TokenKind::Op(RelOp::Ge) });
+                } else {
+                    tokens.push(Token { offset, kind: TokenKind::Op(RelOp::Gt) });
+                }
+            }
+            quote @ ('"' | '\'') => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, c)) if c == quote => {
+                            // A doubled quote is an escaped quote character.
+                            if let Some(&(_, c2)) = chars.peek() {
+                                if c2 == quote {
+                                    chars.next();
+                                    s.push(quote);
+                                    continue;
+                                }
+                            }
+                            break;
+                        }
+                        Some((_, c)) => s.push(c),
+                        None => {
+                            return Err(RslError::new(offset, RslErrorKind::UnterminatedString))
+                        }
+                    }
+                }
+                tokens.push(Token { offset, kind: TokenKind::Literal(s) });
+            }
+            '$' => {
+                chars.next();
+                match chars.next() {
+                    Some((_, '(')) => {}
+                    _ => return Err(RslError::new(offset, RslErrorKind::MalformedVariable)),
+                }
+                let mut name = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, ')')) => break,
+                        Some((_, c)) if c.is_alphanumeric() || c == '_' => name.push(c),
+                        _ => return Err(RslError::new(offset, RslErrorKind::MalformedVariable)),
+                    }
+                }
+                if name.is_empty() {
+                    return Err(RslError::new(offset, RslErrorKind::MalformedVariable));
+                }
+                tokens.push(Token { offset, kind: TokenKind::Variable(name) });
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_whitespace() || is_structural(c) {
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                tokens.push(Token { offset, kind: TokenKind::Literal(s) });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// True when `s` can be printed unquoted and re-lex as a single literal.
+pub(crate) fn literal_needs_quoting(s: &str) -> bool {
+    s.is_empty() || s.chars().any(|c| c.is_whitespace() || is_structural(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_structural_tokens() {
+        assert_eq!(
+            kinds("&|+()"),
+            vec![
+                TokenKind::Ampersand,
+                TokenKind::Pipe,
+                TokenKind::Plus,
+                TokenKind::LParen,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        assert_eq!(
+            kinds("= != < <= > >="),
+            vec![
+                TokenKind::Op(RelOp::Eq),
+                TokenKind::Op(RelOp::Ne),
+                TokenKind::Op(RelOp::Lt),
+                TokenKind::Op(RelOp::Le),
+                TokenKind::Op(RelOp::Gt),
+                TokenKind::Op(RelOp::Ge),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_unquoted_literal_with_slashes() {
+        assert_eq!(
+            kinds("/sandbox/test"),
+            vec![TokenKind::Literal("/sandbox/test".into())]
+        );
+    }
+
+    #[test]
+    fn unquoted_literal_stops_at_structural() {
+        assert_eq!(
+            kinds("abc)def"),
+            vec![
+                TokenKind::Literal("abc".into()),
+                TokenKind::RParen,
+                TokenKind::Literal("def".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_double_quoted_string_with_escape() {
+        assert_eq!(
+            kinds(r#""a""b c""#),
+            vec![TokenKind::Literal(r#"a"b c"#.into())]
+        );
+    }
+
+    #[test]
+    fn lexes_single_quoted_string() {
+        assert_eq!(kinds("'hello world'"), vec![TokenKind::Literal("hello world".into())]);
+    }
+
+    #[test]
+    fn empty_quoted_string_is_a_literal() {
+        assert_eq!(kinds(r#""""#), vec![TokenKind::Literal(String::new())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex(r#""abc"#).unwrap_err();
+        assert_eq!(err.kind(), &RslErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn lexes_variable_reference() {
+        assert_eq!(
+            kinds("$(GLOBUS_HOME)"),
+            vec![TokenKind::Variable("GLOBUS_HOME".into())]
+        );
+    }
+
+    #[test]
+    fn malformed_variables_are_errors() {
+        for bad in ["$", "$HOME", "$()", "$(a b)", "$(a"] {
+            let err = lex(bad).unwrap_err();
+            assert_eq!(err.kind(), &RslErrorKind::MalformedVariable, "input: {bad}");
+        }
+    }
+
+    #[test]
+    fn bang_without_eq_is_error() {
+        assert!(lex("(a ! b)").is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = lex("  &(x=1)").unwrap();
+        assert_eq!(toks[0].offset, 2); // '&'
+        assert_eq!(toks[1].offset, 3); // '('
+    }
+
+    #[test]
+    fn quoting_predicate() {
+        assert!(!literal_needs_quoting("TRANSP"));
+        assert!(!literal_needs_quoting("/sandbox/test"));
+        assert!(literal_needs_quoting(""));
+        assert!(literal_needs_quoting("a b"));
+        assert!(literal_needs_quoting("a=b"));
+        assert!(literal_needs_quoting("a(b"));
+        assert!(literal_needs_quoting("$x"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The machine model: nodes with CPU and memory capacity.
+
+use std::collections::HashMap;
+
+use crate::job::JobId;
+
+/// One compute node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Total processors.
+    pub cpus: u32,
+    /// Total memory, MB.
+    pub memory_mb: u32,
+}
+
+/// A placement of a job onto nodes: `(node index, cpus taken)` pairs,
+/// with the job's full memory reserved on each participating node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    pieces: Vec<(usize, u32)>,
+    memory_mb: u32,
+}
+
+impl Allocation {
+    /// The node placements.
+    pub fn pieces(&self) -> &[(usize, u32)] {
+        &self.pieces
+    }
+
+    /// Total CPUs held.
+    pub fn cpus(&self) -> u32 {
+        self.pieces.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// A cluster with per-node free-resource tracking.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    free_cpus: Vec<u32>,
+    free_memory: Vec<u32>,
+    held: HashMap<JobId, Allocation>,
+}
+
+impl Cluster {
+    /// Builds a cluster from explicit nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty.
+    pub fn new(nodes: Vec<Node>) -> Cluster {
+        assert!(!nodes.is_empty(), "a cluster requires at least one node");
+        let free_cpus = nodes.iter().map(|n| n.cpus).collect();
+        let free_memory = nodes.iter().map(|n| n.memory_mb).collect();
+        Cluster { nodes, free_cpus, free_memory, held: HashMap::new() }
+    }
+
+    /// `count` identical nodes of `cpus` × `memory_mb`.
+    pub fn uniform(count: usize, cpus: u32, memory_mb: u32) -> Cluster {
+        Cluster::new(vec![Node { cpus, memory_mb }; count])
+    }
+
+    /// The node inventory.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Total processors across all nodes.
+    pub fn total_cpus(&self) -> u32 {
+        self.nodes.iter().map(|n| n.cpus).sum()
+    }
+
+    /// Currently free processors.
+    pub fn free_cpus(&self) -> u32 {
+        self.free_cpus.iter().sum()
+    }
+
+    /// Fraction of processors in use (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_cpus();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - f64::from(self.free_cpus()) / f64::from(total)
+    }
+
+    /// True when a job of this shape could fit on the *empty* cluster —
+    /// admission check for impossible requests.
+    pub fn can_ever_fit(&self, cpus: u32, memory_mb: u32) -> bool {
+        // Memory must fit on every participating node; CPUs may span nodes
+        // with enough memory.
+        let available: u32 = self
+            .nodes
+            .iter()
+            .filter(|n| n.memory_mb >= memory_mb)
+            .map(|n| n.cpus)
+            .sum();
+        cpus > 0 && available >= cpus
+    }
+
+    /// Tries to allocate `cpus` processors (+ `memory_mb` per node) for
+    /// `job`, first-fit across nodes. Returns `None` when it doesn't fit
+    /// right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` already holds an allocation.
+    pub fn allocate(&mut self, job: JobId, cpus: u32, memory_mb: u32) -> Option<Allocation> {
+        assert!(!self.held.contains_key(&job), "{job} already holds an allocation");
+        let mut pieces = Vec::new();
+        let mut needed = cpus;
+        for (i, _) in self.nodes.iter().enumerate() {
+            if needed == 0 {
+                break;
+            }
+            if self.free_memory[i] < memory_mb || self.free_cpus[i] == 0 {
+                continue;
+            }
+            let take = needed.min(self.free_cpus[i]);
+            pieces.push((i, take));
+            needed -= take;
+        }
+        if needed > 0 {
+            return None;
+        }
+        for &(i, take) in &pieces {
+            self.free_cpus[i] -= take;
+            self.free_memory[i] -= memory_mb;
+        }
+        let allocation = Allocation { pieces, memory_mb };
+        self.held.insert(job, allocation.clone());
+        Some(allocation)
+    }
+
+    /// Releases `job`'s allocation, if it holds one.
+    pub fn release(&mut self, job: JobId) -> bool {
+        let Some(allocation) = self.held.remove(&job) else {
+            return false;
+        };
+        for &(i, take) in allocation.pieces() {
+            self.free_cpus[i] += take;
+            self.free_memory[i] += allocation.memory_mb;
+            debug_assert!(self.free_cpus[i] <= self.nodes[i].cpus, "cpu over-release");
+            debug_assert!(self.free_memory[i] <= self.nodes[i].memory_mb, "memory over-release");
+        }
+        true
+    }
+
+    /// The allocation `job` currently holds.
+    pub fn allocation_of(&self, job: JobId) -> Option<&Allocation> {
+        self.held.get(&job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_inventory() {
+        let c = Cluster::uniform(3, 8, 16_384);
+        assert_eq!(c.nodes().len(), 3);
+        assert_eq!(c.total_cpus(), 24);
+        assert_eq!(c.free_cpus(), 24);
+        assert_eq!(c.utilization(), 0.0);
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut c = Cluster::uniform(2, 4, 4096);
+        let a = c.allocate(JobId(1), 3, 1024).unwrap();
+        assert_eq!(a.cpus(), 3);
+        assert_eq!(c.free_cpus(), 5);
+        assert!(c.allocation_of(JobId(1)).is_some());
+        assert!(c.release(JobId(1)));
+        assert_eq!(c.free_cpus(), 8);
+        assert!(!c.release(JobId(1)), "double release reports false");
+    }
+
+    #[test]
+    fn allocation_spans_nodes() {
+        let mut c = Cluster::uniform(2, 4, 4096);
+        let a = c.allocate(JobId(1), 6, 512).unwrap();
+        assert_eq!(a.pieces().len(), 2);
+        assert_eq!(c.free_cpus(), 2);
+    }
+
+    #[test]
+    fn allocation_respects_memory() {
+        let mut c = Cluster::uniform(2, 4, 1024);
+        // 2 GB per node impossible.
+        assert!(c.allocate(JobId(1), 1, 2048).is_none());
+        // Fill node memory with one job; CPU remains but memory blocks.
+        assert!(c.allocate(JobId(2), 1, 1024).is_some());
+        assert!(c.allocate(JobId(3), 1, 1024).is_some());
+        assert!(c.allocate(JobId(4), 1, 1024).is_none());
+    }
+
+    #[test]
+    fn oversubscription_is_impossible() {
+        let mut c = Cluster::uniform(1, 4, 4096);
+        assert!(c.allocate(JobId(1), 4, 100).is_some());
+        assert!(c.allocate(JobId(2), 1, 100).is_none());
+        assert_eq!(c.utilization(), 1.0);
+    }
+
+    #[test]
+    fn can_ever_fit_checks_shape() {
+        let c = Cluster::uniform(2, 4, 1024);
+        assert!(c.can_ever_fit(8, 512));
+        assert!(!c.can_ever_fit(9, 512));
+        assert!(!c.can_ever_fit(1, 2048));
+        assert!(!c.can_ever_fit(0, 512));
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_allocation_panics() {
+        let mut c = Cluster::uniform(1, 4, 4096);
+        c.allocate(JobId(1), 1, 100);
+        c.allocate(JobId(1), 1, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        Cluster::new(vec![]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Job specifications, identities and lifecycle states.
+
+use std::fmt;
+
+use gridauthz_clock::{SimDuration, SimTime};
+
+/// A locally unique job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What a job needs and how long it actually runs.
+///
+/// `work` is the job's true computation time (known to the simulation, not
+/// to the scheduler's admission logic); `wall_limit` is the declared
+/// maximum the scheduler enforces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Executable name (for accounting and enforcement).
+    pub executable: String,
+    /// Local account the job runs under.
+    pub account: String,
+    /// Processors required.
+    pub cpus: u32,
+    /// Memory required, MB.
+    pub memory_mb: u32,
+    /// True computation time.
+    pub work: SimDuration,
+    /// Declared wall-clock limit, if any; exceeded → job killed.
+    pub wall_limit: Option<SimDuration>,
+    /// Target queue.
+    pub queue: String,
+    /// Scheduling priority (higher runs first).
+    pub priority: i64,
+    /// VO job-management tag carried through from the Grid layer.
+    pub tag: Option<String>,
+}
+
+impl JobSpec {
+    /// A minimal spec: `executable` under `account`, `cpus` processors,
+    /// `work` long, default queue, 256 MB, priority 0.
+    pub fn new(
+        executable: impl Into<String>,
+        account: impl Into<String>,
+        cpus: u32,
+        work: SimDuration,
+    ) -> JobSpec {
+        JobSpec {
+            executable: executable.into(),
+            account: account.into(),
+            cpus,
+            memory_mb: 256,
+            work,
+            wall_limit: None,
+            queue: "default".to_string(),
+            priority: 0,
+            tag: None,
+        }
+    }
+
+    /// Sets the memory requirement.
+    #[must_use]
+    pub fn with_memory(mut self, memory_mb: u32) -> Self {
+        self.memory_mb = memory_mb;
+        self
+    }
+
+    /// Sets the wall-clock limit.
+    #[must_use]
+    pub fn with_wall_limit(mut self, limit: SimDuration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Sets the queue.
+    #[must_use]
+    pub fn with_queue(mut self, queue: impl Into<String>) -> Self {
+        self.queue = queue.into();
+        self
+    }
+
+    /// Sets the priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the VO jobtag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for resources.
+    Pending,
+    /// Executing since `since`.
+    Running {
+        /// When this execution stint began.
+        since: SimTime,
+    },
+    /// Suspended with `executed` work already done.
+    Suspended {
+        /// Work completed before suspension.
+        executed: SimDuration,
+    },
+    /// Finished successfully.
+    Completed {
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// Cancelled by a management request.
+    Cancelled {
+        /// Cancellation instant.
+        at: SimTime,
+    },
+    /// Killed for exceeding its wall-clock limit.
+    TimedOut {
+        /// Kill instant.
+        at: SimTime,
+    },
+}
+
+impl JobState {
+    /// True for states that consume no further resources.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed { .. } | JobState::Cancelled { .. } | JobState::TimedOut { .. }
+        )
+    }
+
+    /// Short label for displays.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running { .. } => "running",
+            JobState::Suspended { .. } => "suspended",
+            JobState::Completed { .. } => "completed",
+            JobState::Cancelled { .. } => "cancelled",
+            JobState::TimedOut { .. } => "timed-out",
+        }
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chains() {
+        let spec = JobSpec::new("TRANSP", "bliu", 4, SimDuration::from_mins(5))
+            .with_memory(2048)
+            .with_wall_limit(SimDuration::from_mins(30))
+            .with_queue("batch")
+            .with_priority(7)
+            .with_tag("NFC");
+        assert_eq!(spec.cpus, 4);
+        assert_eq!(spec.memory_mb, 2048);
+        assert_eq!(spec.queue, "batch");
+        assert_eq!(spec.priority, 7);
+        assert_eq!(spec.tag.as_deref(), Some("NFC"));
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!JobState::Pending.is_terminal());
+        assert!(!JobState::Running { since: SimTime::EPOCH }.is_terminal());
+        assert!(!JobState::Suspended { executed: SimDuration::ZERO }.is_terminal());
+        assert!(JobState::Completed { at: SimTime::EPOCH }.is_terminal());
+        assert!(JobState::Cancelled { at: SimTime::EPOCH }.is_terminal());
+        assert!(JobState::TimedOut { at: SimTime::EPOCH }.is_terminal());
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(JobState::Pending.to_string(), "pending");
+        assert_eq!(JobId(7).to_string(), "job-7");
+    }
+}

@@ -1,0 +1,128 @@
+//! Named scheduler queues with per-job limits — the policy surface the
+//! paper's example `(queue != reserved)` assertions talk about.
+
+use gridauthz_clock::SimDuration;
+
+use crate::error::SchedulerError;
+use crate::job::JobSpec;
+
+/// A queue's admission limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerQueue {
+    name: String,
+    max_cpus_per_job: Option<u32>,
+    max_wall_time: Option<SimDuration>,
+    priority_boost: i64,
+}
+
+impl SchedulerQueue {
+    /// A queue with no limits and no boost.
+    pub fn new(name: impl Into<String>) -> SchedulerQueue {
+        SchedulerQueue {
+            name: name.into(),
+            max_cpus_per_job: None,
+            max_wall_time: None,
+            priority_boost: 0,
+        }
+    }
+
+    /// Caps CPUs per job.
+    #[must_use]
+    pub fn with_max_cpus(mut self, cpus: u32) -> Self {
+        self.max_cpus_per_job = Some(cpus);
+        self
+    }
+
+    /// Caps declared wall time per job.
+    #[must_use]
+    pub fn with_max_wall_time(mut self, limit: SimDuration) -> Self {
+        self.max_wall_time = Some(limit);
+        self
+    }
+
+    /// Adds a scheduling priority boost for jobs in this queue.
+    #[must_use]
+    pub fn with_priority_boost(mut self, boost: i64) -> Self {
+        self.priority_boost = boost;
+        self
+    }
+
+    /// The queue name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The priority boost applied to member jobs.
+    pub fn priority_boost(&self) -> i64 {
+        self.priority_boost
+    }
+
+    /// Validates `spec` against this queue's limits.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::QueueLimitExceeded`] naming the violated limit.
+    pub fn admit(&self, spec: &JobSpec) -> Result<(), SchedulerError> {
+        if let Some(max) = self.max_cpus_per_job {
+            if spec.cpus > max {
+                return Err(SchedulerError::QueueLimitExceeded {
+                    queue: self.name.clone(),
+                    limit: format!("cpus {} > {max}", spec.cpus),
+                });
+            }
+        }
+        if let Some(max) = self.max_wall_time {
+            let declared = spec.wall_limit.unwrap_or(spec.work);
+            if declared > max {
+                return Err(SchedulerError::QueueLimitExceeded {
+                    queue: self.name.clone(),
+                    limit: format!("wall time {declared} > {max}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(cpus: u32, mins: u64) -> JobSpec {
+        JobSpec::new("x", "acct", cpus, SimDuration::from_mins(mins))
+    }
+
+    #[test]
+    fn unlimited_queue_admits_everything() {
+        let q = SchedulerQueue::new("default");
+        assert!(q.admit(&spec(128, 100_000)).is_ok());
+        assert_eq!(q.name(), "default");
+        assert_eq!(q.priority_boost(), 0);
+    }
+
+    #[test]
+    fn cpu_limit() {
+        let q = SchedulerQueue::new("small").with_max_cpus(4);
+        assert!(q.admit(&spec(4, 10)).is_ok());
+        let err = q.admit(&spec(5, 10)).unwrap_err();
+        assert!(matches!(err, SchedulerError::QueueLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn wall_time_limit_uses_declared_or_work() {
+        let q = SchedulerQueue::new("fast").with_max_wall_time(SimDuration::from_mins(30));
+        assert!(q.admit(&spec(1, 10)).is_ok());
+        assert!(q.admit(&spec(1, 60)).is_err());
+        // An explicit declared limit under the cap admits even if work is
+        // longer (the job will be killed at its wall limit).
+        let declared =
+            spec(1, 60).with_wall_limit(SimDuration::from_mins(20));
+        assert!(q.admit(&declared).is_ok());
+    }
+
+    #[test]
+    fn priority_boost_is_carried() {
+        let q = SchedulerQueue::new("urgent").with_priority_boost(100);
+        assert_eq!(q.priority_boost(), 100);
+    }
+}

@@ -1,0 +1,154 @@
+//! Outcome accounting for simulated workloads.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gridauthz_clock::SimTime;
+use gridauthz_gram::GramError;
+
+/// Tally of authorization outcomes, keyed by a short reason label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionTally {
+    /// Permitted requests.
+    pub permits: u64,
+    /// Denials by reason label.
+    pub denials: BTreeMap<String, u64>,
+}
+
+impl DecisionTally {
+    /// Records a permit.
+    pub fn permit(&mut self) {
+        self.permits += 1;
+    }
+
+    /// Records a denial under `label`.
+    pub fn deny(&mut self, label: &str) {
+        *self.denials.entry(label.to_string()).or_default() += 1;
+    }
+
+    /// Total denials.
+    pub fn denied(&self) -> u64 {
+        self.denials.values().sum()
+    }
+}
+
+/// A short, stable label for a [`GramError`] (metric keys).
+pub(crate) fn error_label(error: &GramError) -> &'static str {
+    match error {
+        GramError::AuthenticationFailed(_) => "authentication",
+        GramError::GridMapDenied(_) => "gridmap",
+        GramError::AccountNotPermitted { .. } => "account-mapping",
+        GramError::NotAuthorized(_) => "policy-denied",
+        GramError::AuthorizationSystemFailure(_) => "authz-system",
+        GramError::BadRequest(_) => "bad-request",
+        GramError::UnknownJob(_) => "unknown-job",
+        GramError::Scheduler(_) => "scheduler",
+        GramError::ProvisioningFailed(_) => "provisioning",
+        GramError::SandboxViolation(_) => "sandbox",
+    }
+}
+
+/// Aggregate metrics for one workload run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    /// Requests accepted (job started).
+    pub submitted_ok: u64,
+    /// Requests refused at any stage.
+    pub denied: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs cancelled by management actions.
+    pub cancelled: u64,
+    /// Jobs killed at their wall limit.
+    pub timed_out: u64,
+    /// Authorization decision breakdown.
+    pub decisions: DecisionTally,
+    /// Cluster utilization sampled at each submission instant.
+    pub timeline: Vec<(SimTime, f64)>,
+}
+
+impl SimMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> SimMetrics {
+        SimMetrics::default()
+    }
+
+    /// Peak sampled utilization over the run.
+    pub fn peak_utilization(&self) -> f64 {
+        self.timeline.iter().map(|(_, u)| *u).fold(0.0, f64::max)
+    }
+
+    /// Fraction of requests denied.
+    pub fn denial_rate(&self) -> f64 {
+        let total = self.submitted_ok + self.denied;
+        if total == 0 {
+            0.0
+        } else {
+            self.denied as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "submitted={} denied={} ({:.1}%) completed={} cancelled={} timed_out={}",
+            self.submitted_ok,
+            self.denied,
+            self.denial_rate() * 100.0,
+            self.completed,
+            self.cancelled,
+            self.timed_out
+        )?;
+        for (reason, count) in &self.decisions.denials {
+            writeln!(f, "  denied[{reason}] = {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_core::DenyReason;
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = DecisionTally::default();
+        t.permit();
+        t.deny("policy-denied");
+        t.deny("policy-denied");
+        t.deny("gridmap");
+        assert_eq!(t.permits, 1);
+        assert_eq!(t.denied(), 3);
+        assert_eq!(t.denials["policy-denied"], 2);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            error_label(&GramError::NotAuthorized(DenyReason::NoApplicableGrant)),
+            "policy-denied"
+        );
+        assert_eq!(
+            error_label(&GramError::BadRequest("x".into())),
+            "bad-request"
+        );
+    }
+
+    #[test]
+    fn denial_rate_handles_zero() {
+        assert_eq!(SimMetrics::new().denial_rate(), 0.0);
+        let m = SimMetrics { submitted_ok: 3, denied: 1, ..SimMetrics::new() };
+        assert!((m.denial_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_breakdown() {
+        let mut m = SimMetrics::new();
+        m.denied = 1;
+        m.decisions.deny("gridmap");
+        assert!(m.to_string().contains("denied[gridmap] = 1"));
+    }
+}

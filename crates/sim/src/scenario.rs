@@ -1,0 +1,202 @@
+//! The figure scenarios as runnable comparisons (experiments F1–F3).
+//!
+//! Each function returns printable rows so tests assert them and the
+//! bench harness prints them — one source of truth for the paper's
+//! behavioural claims.
+
+use gridauthz_clock::SimDuration;
+use gridauthz_core::{paper, Action, AuthzRequest, Pdp};
+use gridauthz_gram::{GramClient, GramMode, GramSignal};
+use gridauthz_rsl::Conjunction;
+
+use crate::testbed::TestbedBuilder;
+
+/// One behavioural comparison row: the same operation attempted against
+/// GT2 (Figure 1) and extended (Figure 2) GRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonRow {
+    /// What was attempted.
+    pub case: &'static str,
+    /// Did GT2 permit it?
+    pub gt2: bool,
+    /// Did extended GRAM permit it?
+    pub extended: bool,
+}
+
+/// One F3 decision-matrix row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixRow {
+    /// Case description.
+    pub case: String,
+    /// Expected decision per the paper.
+    pub expected_permit: bool,
+    /// Decision produced by this implementation.
+    pub actual_permit: bool,
+}
+
+const SANCTIONED: &str = "&(executable = TRANSP)(jobtag = NFC)(count = 2)";
+const ARBITRARY: &str = "&(executable = rogue-binary)(count = 1)";
+const UNTAGGED: &str = "&(executable = TRANSP)(count = 2)";
+
+fn mins(m: u64) -> SimDuration {
+    SimDuration::from_mins(m)
+}
+
+/// Runs the F1/F2 comparison: six operations that distinguish coarse
+/// grid-mapfile authorization from fine-grain callout authorization.
+pub fn figure1_vs_figure2() -> Vec<ComparisonRow> {
+    let run = |mode: GramMode| -> Vec<bool> {
+        let tb = TestbedBuilder::new().members(2).mode(mode).build();
+        let member = tb.member_client(0);
+        let admin = GramClient::new(tb.admin.clone());
+        let outsider = GramClient::new(tb.outsider.clone());
+        let mut outcomes = Vec::new();
+
+        // 1. Mapped member starts a sanctioned, tagged job.
+        let sanctioned = member.submit(&tb.server, SANCTIONED, mins(30));
+        outcomes.push(sanctioned.is_ok());
+        // 2. Mapped member starts an arbitrary executable.
+        outcomes.push(member.submit(&tb.server, ARBITRARY, mins(5)).is_ok());
+        // 3. Mapped member starts an untagged job.
+        outcomes.push(member.submit(&tb.server, UNTAGGED, mins(5)).is_ok());
+        // 4. Unmapped outsider starts a sanctioned job.
+        outcomes.push(outsider.submit(&tb.server, SANCTIONED, mins(5)).is_ok());
+        // 5. The VO admin (not the initiator) suspends the member's job.
+        let contact = sanctioned.expect("case 1 must be admitted in both modes");
+        outcomes.push(admin.signal(&tb.server, &contact, GramSignal::Suspend).is_ok());
+        // 6. The initiating member cancels their own job.
+        outcomes.push(member.cancel(&tb.server, &contact).is_ok());
+        outcomes
+    };
+
+    let gt2 = run(GramMode::Gt2);
+    let extended = run(GramMode::Extended);
+    let cases = [
+        "member starts sanctioned tagged job",
+        "member starts arbitrary executable",
+        "member starts untagged job",
+        "unmapped outsider starts job",
+        "VO admin suspends member's NFC job",
+        "initiator cancels own job",
+    ];
+    cases
+        .iter()
+        .zip(gt2.iter().zip(extended.iter()))
+        .map(|(case, (&gt2, &extended))| ComparisonRow { case, gt2, extended })
+        .collect()
+}
+
+/// The expected F1/F2 outcomes (asserted in tests, printed by the
+/// harness): extended GRAM closes §4.3's shortcomings 1 and 2 while
+/// adding VO-wide management.
+pub fn figure1_vs_figure2_expected() -> Vec<ComparisonRow> {
+    vec![
+        ComparisonRow { case: "member starts sanctioned tagged job", gt2: true, extended: true },
+        ComparisonRow { case: "member starts arbitrary executable", gt2: true, extended: false },
+        ComparisonRow { case: "member starts untagged job", gt2: true, extended: false },
+        ComparisonRow { case: "unmapped outsider starts job", gt2: false, extended: false },
+        ComparisonRow { case: "VO admin suspends member's NFC job", gt2: false, extended: true },
+        ComparisonRow { case: "initiator cancels own job", gt2: true, extended: true },
+    ]
+}
+
+/// Runs the F3 matrix: the exact Figure 3 policy evaluated over the
+/// paper's worked cases (a superset of the text's examples).
+pub fn figure3_matrix() -> Vec<MatrixRow> {
+    let pdp = Pdp::new(paper::figure3_policy());
+    let conj = |s: &str| -> Conjunction {
+        gridauthz_rsl::parse(s)
+            .expect("fixture RSL parses")
+            .as_conjunction()
+            .expect("fixture RSL is a conjunction")
+            .clone()
+    };
+    let bo = paper::bo_liu();
+    let kate = paper::kate_keahey();
+    let eve = paper::outsider();
+
+    let cases: Vec<(String, AuthzRequest, bool)> = vec![
+        (
+            "Bo starts test1 (ADS, 2 cpus, /sandbox/test)".into(),
+            AuthzRequest::start(bo.clone(), conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+            true,
+        ),
+        (
+            "Bo starts test2 (NFC, 3 cpus)".into(),
+            AuthzRequest::start(bo.clone(), conj("&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)")),
+            true,
+        ),
+        (
+            "Bo starts test1 with 4 cpus (count < 4)".into(),
+            AuthzRequest::start(bo.clone(), conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)")),
+            false,
+        ),
+        (
+            "Bo starts test1 untagged (group requirement)".into(),
+            AuthzRequest::start(bo.clone(), conj("&(executable = test1)(directory = /sandbox/test)(count = 2)")),
+            false,
+        ),
+        (
+            "Bo starts TRANSP (not sanctioned for Bo)".into(),
+            AuthzRequest::start(bo.clone(), conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)")),
+            false,
+        ),
+        (
+            "Kate starts TRANSP (NFC)".into(),
+            AuthzRequest::start(kate.clone(), conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)")),
+            true,
+        ),
+        (
+            "Kate cancels Bo's NFC job".into(),
+            AuthzRequest::manage(kate.clone(), Action::Cancel, bo.clone(), Some("NFC".into())),
+            true,
+        ),
+        (
+            "Kate cancels Bo's ADS job".into(),
+            AuthzRequest::manage(kate.clone(), Action::Cancel, bo.clone(), Some("ADS".into())),
+            false,
+        ),
+        (
+            "Bo cancels Kate's NFC job".into(),
+            AuthzRequest::manage(bo.clone(), Action::Cancel, kate.clone(), Some("NFC".into())),
+            false,
+        ),
+        (
+            "outsider starts test1 (tagged)".into(),
+            AuthzRequest::start(eve, conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+            false,
+        ),
+    ];
+
+    cases
+        .into_iter()
+        .map(|(case, request, expected_permit)| MatrixRow {
+            case,
+            expected_permit,
+            actual_permit: pdp.decide(&request).is_permit(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_f2_comparison_matches_expected() {
+        assert_eq!(figure1_vs_figure2(), figure1_vs_figure2_expected());
+    }
+
+    #[test]
+    fn f3_matrix_has_no_mismatches() {
+        let rows = figure3_matrix();
+        assert_eq!(rows.len(), 10);
+        for row in rows {
+            assert_eq!(
+                row.actual_permit, row.expected_permit,
+                "mismatch on {:?}",
+                row.case
+            );
+        }
+    }
+}

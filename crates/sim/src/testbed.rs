@@ -1,0 +1,294 @@
+//! Reproducible testbeds: a full simulated Grid site in a few lines.
+
+use std::sync::Arc;
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_core::{
+    paper, CalloutChain, CombinedPdp, Combiner, PdpCallout, Policy, PolicyOrigin, PolicySource,
+};
+use gridauthz_credential::{
+    CertificateAuthority, Credential, DistinguishedName, GridMapEntry, GridMapFile, TrustStore,
+};
+use gridauthz_gram::{GramClient, GramMode, GramServer, GramServerBuilder};
+use gridauthz_scheduler::Cluster;
+use gridauthz_vo::{Role, RoleProfile, VirtualOrganization};
+
+/// The resource-owner policy installed by default: coarse limits that the
+/// VO policy refines (deny-overrides conjunction).
+pub const LOCAL_POLICY: &str = "\
+*: &(action = start)(count < 33)
+*: &(action = cancel)
+*: &(action = information)
+*: &(action = signal)
+";
+
+/// A complete simulated Grid site.
+pub struct Testbed {
+    /// The shared simulated clock.
+    pub clock: SimClock,
+    /// The site CA (trust anchor installed at the server).
+    pub ca: CertificateAuthority,
+    /// The GRAM resource.
+    pub server: GramServer,
+    /// Bo Liu's credential (paper identity).
+    pub bo: Credential,
+    /// Kate Keahey's credential (paper identity).
+    pub kate: Credential,
+    /// The VO administrator credential (role `admin`).
+    pub admin: Credential,
+    /// An identity with *no* grid-mapfile entry.
+    pub outsider: Credential,
+    /// Generated VO members (role `analyst`).
+    pub members: Vec<Credential>,
+    /// The VO the site serves.
+    pub vo: VirtualOrganization,
+}
+
+impl Testbed {
+    /// A client for the `i`-th generated member.
+    pub fn member_client(&self, i: usize) -> GramClient {
+        GramClient::new(self.members[i].clone())
+    }
+
+    /// The member DNs, in order.
+    pub fn member_dns(&self) -> Vec<DistinguishedName> {
+        self.members.iter().map(Credential::identity).collect()
+    }
+}
+
+/// Configures and builds a [`Testbed`].
+pub struct TestbedBuilder {
+    members: usize,
+    mode: GramMode,
+    nodes: usize,
+    cpus_per_node: u32,
+    combiner: Combiner,
+    extra_sources: Vec<PolicySource>,
+}
+
+impl Default for TestbedBuilder {
+    fn default() -> Self {
+        TestbedBuilder {
+            members: 4,
+            mode: GramMode::Extended,
+            nodes: 8,
+            cpus_per_node: 8,
+            combiner: Combiner::DenyOverrides,
+            extra_sources: Vec::new(),
+        }
+    }
+}
+
+impl TestbedBuilder {
+    /// Starts a builder with defaults (4 members, extended mode, 8×8-cpu
+    /// nodes, deny-overrides).
+    pub fn new() -> TestbedBuilder {
+        TestbedBuilder::default()
+    }
+
+    /// Number of generated analyst members.
+    #[must_use]
+    pub fn members(mut self, n: usize) -> Self {
+        self.members = n;
+        self
+    }
+
+    /// GRAM operating mode.
+    #[must_use]
+    pub fn mode(mut self, mode: GramMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Cluster shape.
+    #[must_use]
+    pub fn cluster(mut self, nodes: usize, cpus_per_node: u32) -> Self {
+        self.nodes = nodes;
+        self.cpus_per_node = cpus_per_node;
+        self
+    }
+
+    /// Combining algorithm for the callout PDP.
+    #[must_use]
+    pub fn combiner(mut self, combiner: Combiner) -> Self {
+        self.combiner = combiner;
+        self
+    }
+
+    /// Adds an additional policy source to the combined PDP (T3 sweeps).
+    #[must_use]
+    pub fn extra_source(mut self, source: PolicySource) -> Self {
+        self.extra_sources.push(source);
+        self
+    }
+
+    /// Builds the testbed: CA, credentials for the paper identities plus
+    /// `members` analysts, a grid-mapfile covering everyone but the
+    /// outsider, the paper's VO (analyst/admin roles, mandatory jobtag),
+    /// and a GRAM server whose extended mode combines [`LOCAL_POLICY`]
+    /// with Figure 3 + the generated VO policy.
+    pub fn build(self) -> Testbed {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Testbed CA", &clock)
+            .expect("fixture CA DN parses");
+        let mut trust = TrustStore::new();
+        trust.add_anchor(ca.certificate().clone());
+        let lifetime = SimDuration::from_hours(1000);
+
+        let issue = |dn: &str| ca.issue_identity(dn, lifetime).expect("fixture DN parses");
+        let bo = issue(paper::BO_LIU_DN);
+        let kate = issue(paper::KATE_KEAHEY_DN);
+        let admin_dn = format!("{}/CN=VO Admin", paper::MCS_PREFIX);
+        let admin = issue(&admin_dn);
+        let outsider = issue(paper::OUTSIDER_DN);
+        let members: Vec<Credential> = (0..self.members)
+            .map(|i| issue(&format!("{}/CN=Member {i:04}", paper::MCS_PREFIX)))
+            .collect();
+
+        let mut gridmap = GridMapFile::new();
+        gridmap.insert(GridMapEntry::new(bo.identity(), vec!["bliu".into()]));
+        gridmap.insert(GridMapEntry::new(kate.identity(), vec!["keahey".into()]));
+        gridmap.insert(GridMapEntry::new(admin.identity(), vec!["voadmin".into()]));
+        for (i, member) in members.iter().enumerate() {
+            gridmap.insert(GridMapEntry::new(member.identity(), vec![format!("member{i:04}")]));
+        }
+
+        let mut vo = VirtualOrganization::new("fusion");
+        vo.define_role(
+            RoleProfile::parse_rules(
+                Role::new("analyst"),
+                &[
+                    "&(action = start)(executable = TRANSP)(jobtag = NFC)(count < 16)",
+                    "&(action = cancel)(jobowner = self)",
+                    "&(action = information)(jobowner = self)",
+                    "&(action = signal)(jobowner = self)",
+                ],
+            )
+            .expect("fixture rules parse"),
+        );
+        vo.define_role(
+            RoleProfile::parse_rules(
+                Role::new("admin"),
+                &[
+                    "&(action = cancel)(jobtag = NFC)",
+                    "&(action = signal)(jobtag = NFC)",
+                    "&(action = information)(jobtag = NFC)",
+                ],
+            )
+            .expect("fixture rules parse"),
+        );
+        vo.add_member(admin.identity(), [Role::new("admin")]).expect("fresh member");
+        for member in &members {
+            vo.add_member(member.identity(), [Role::new("analyst")]).expect("fresh member");
+        }
+
+        // VO source = Figure 3 statements + generated member grants.
+        let mut vo_statements = paper::figure3_policy().statements().to_vec();
+        vo_statements.extend(vo.generate_policy().statements().iter().cloned());
+        let vo_policy = Policy::from_statements(vo_statements);
+
+        let local_policy: Policy = LOCAL_POLICY.parse().expect("fixture policy parses");
+        let mut sources = vec![
+            PolicySource::new("local", PolicyOrigin::ResourceOwner, local_policy),
+            PolicySource::new(
+                "fusion-vo",
+                PolicyOrigin::VirtualOrganization("fusion".into()),
+                vo_policy,
+            ),
+        ];
+        sources.extend(self.extra_sources);
+
+        let mut builder = GramServerBuilder::new("anl-cluster", &clock)
+            .trust(trust)
+            .gridmap(gridmap)
+            .cluster(Cluster::uniform(self.nodes, self.cpus_per_node, 16_384));
+        builder = match self.mode {
+            GramMode::Gt2 => builder.mode(GramMode::Gt2),
+            GramMode::Extended => {
+                let pdp = CombinedPdp::new(sources, self.combiner);
+                let mut chain = CalloutChain::new();
+                chain.push(Arc::new(PdpCallout::new("gram-authorization", pdp)));
+                builder.callouts(chain)
+            }
+        };
+        let server = builder.build();
+
+        Testbed { clock, ca, server, bo, kate, admin, outsider, members, vo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_scheduler::JobState;
+
+    #[test]
+    fn default_testbed_supports_member_jobs() {
+        let tb = TestbedBuilder::new().members(2).build();
+        let client = tb.member_client(0);
+        let contact = client
+            .submit(
+                &tb.server,
+                "&(executable = TRANSP)(jobtag = NFC)(count = 4)",
+                SimDuration::from_mins(10),
+            )
+            .unwrap();
+        let report = client.status(&tb.server, &contact).unwrap();
+        assert!(matches!(report.state, JobState::Running { .. }));
+    }
+
+    #[test]
+    fn admin_manages_member_jobs() {
+        let tb = TestbedBuilder::new().members(1).build();
+        let member = tb.member_client(0);
+        let contact = member
+            .submit(
+                &tb.server,
+                "&(executable = TRANSP)(jobtag = NFC)(count = 2)",
+                SimDuration::from_mins(30),
+            )
+            .unwrap();
+        let admin = GramClient::new(tb.admin.clone());
+        admin.cancel(&tb.server, &contact).unwrap();
+    }
+
+    #[test]
+    fn outsider_is_unmapped() {
+        let tb = TestbedBuilder::new().members(0).build();
+        let outsider = GramClient::new(tb.outsider.clone());
+        let err = outsider
+            .submit(
+                &tb.server,
+                "&(executable = TRANSP)(jobtag = NFC)",
+                SimDuration::from_mins(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, gridauthz_gram::GramError::GridMapDenied(_)));
+    }
+
+    #[test]
+    fn local_policy_caps_even_vo_grants() {
+        // Kate's TRANSP grant has no count limit, but the resource owner
+        // caps at 32 — deny-overrides enforces both.
+        let tb = TestbedBuilder::new().members(0).build();
+        let kate = GramClient::new(tb.kate.clone());
+        let err = kate
+            .submit(
+                &tb.server,
+                "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 40)",
+                SimDuration::from_mins(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, gridauthz_gram::GramError::NotAuthorized(_)));
+    }
+
+    #[test]
+    fn gt2_testbed_skips_policy() {
+        let tb = TestbedBuilder::new().members(1).mode(GramMode::Gt2).build();
+        let client = tb.member_client(0);
+        // Arbitrary executable passes in GT2.
+        client
+            .submit(&tb.server, "&(executable = rogue)", SimDuration::from_mins(1))
+            .unwrap();
+    }
+}

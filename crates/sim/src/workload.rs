@@ -1,0 +1,186 @@
+//! Seeded random workload generation and execution.
+
+use gridauthz_clock::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{error_label, SimMetrics};
+use crate::testbed::Testbed;
+
+/// What a workload item tries to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadItem {
+    /// Index of the submitting member (into [`Testbed::members`]).
+    pub member: usize,
+    /// The RSL job request.
+    pub rsl: String,
+    /// True computation time.
+    pub work: SimDuration,
+    /// Gap before this submission (inter-arrival time).
+    pub think_time: SimDuration,
+    /// Whether this request was generated as a policy violation.
+    pub is_violation: bool,
+}
+
+/// Generates reproducible job mixes against a [`Testbed`]'s default
+/// policies: sanctioned requests are `TRANSP`/`NFC`-tagged with small CPU
+/// counts; violations pick a rogue executable, drop the jobtag, or
+/// oversize the CPU request.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    seed: u64,
+    jobs: usize,
+    violation_rate: f64,
+    max_work_mins: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with `seed` (20 jobs, 20% violations, ≤30 min
+    /// jobs).
+    pub fn new(seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator { seed, jobs: 20, violation_rate: 0.2, max_work_mins: 30 }
+    }
+
+    /// Sets the number of jobs.
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
+    }
+
+    /// Sets the fraction of deliberately violating requests.
+    #[must_use]
+    pub fn violation_rate(mut self, rate: f64) -> Self {
+        self.violation_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the maximum job computation time in minutes.
+    #[must_use]
+    pub fn max_work_mins(mut self, mins: u64) -> Self {
+        self.max_work_mins = mins.max(1);
+        self
+    }
+
+    /// Generates the workload (requires a testbed with ≥1 member).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the testbed has no members.
+    pub fn generate(&self, testbed: &Testbed) -> Vec<WorkloadItem> {
+        assert!(!testbed.members.is_empty(), "workloads need at least one member");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.jobs)
+            .map(|_| {
+                let member = rng.gen_range(0..testbed.members.len());
+                let is_violation = rng.gen_bool(self.violation_rate);
+                let count = rng.gen_range(1..=8);
+                let rsl = if is_violation {
+                    match rng.gen_range(0..3) {
+                        0 => format!("&(executable = rogue-binary)(jobtag = NFC)(count = {count})"),
+                        1 => format!("&(executable = TRANSP)(count = {count})"), // untagged
+                        _ => "&(executable = TRANSP)(jobtag = NFC)(count = 20)".to_string(),
+                    }
+                } else {
+                    format!("&(executable = TRANSP)(jobtag = NFC)(count = {count})")
+                };
+                WorkloadItem {
+                    member,
+                    rsl,
+                    work: SimDuration::from_mins(rng.gen_range(1..=self.max_work_mins)),
+                    think_time: SimDuration::from_secs(rng.gen_range(0..120)),
+                    is_violation,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Replays `workload` against the testbed's server, advancing simulated
+/// time by each item's think time, then drains the scheduler and returns
+/// the aggregated metrics.
+pub fn run_workload(testbed: &Testbed, workload: &[WorkloadItem]) -> SimMetrics {
+    let mut metrics = SimMetrics::new();
+    for item in workload {
+        testbed.clock.advance(item.think_time);
+        testbed.server.pump();
+        metrics
+            .timeline
+            .push((testbed.clock.now(), testbed.server.utilization()));
+        let client = testbed.member_client(item.member);
+        match client.submit(&testbed.server, &item.rsl, item.work) {
+            Ok(_) => {
+                metrics.submitted_ok += 1;
+                metrics.decisions.permit();
+            }
+            Err(e) => {
+                metrics.denied += 1;
+                metrics.decisions.deny(error_label(&e));
+            }
+        }
+    }
+    testbed.server.drain();
+    // Without wall limits or cancellations, every admitted job drains to
+    // completion; scenario code that cancels/suspends adjusts separately.
+    metrics.completed = metrics.submitted_ok;
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedBuilder;
+    use gridauthz_gram::GramMode;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let tb = TestbedBuilder::new().members(3).build();
+        let a = WorkloadGenerator::new(7).jobs(10).generate(&tb);
+        let b = WorkloadGenerator::new(7).jobs(10).generate(&tb);
+        assert_eq!(a, b);
+        let c = WorkloadGenerator::new(8).jobs(10).generate(&tb);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn violation_rate_bounds() {
+        let tb = TestbedBuilder::new().members(2).build();
+        let none = WorkloadGenerator::new(1).jobs(30).violation_rate(0.0).generate(&tb);
+        assert!(none.iter().all(|i| !i.is_violation));
+        let all = WorkloadGenerator::new(1).jobs(30).violation_rate(1.0).generate(&tb);
+        assert!(all.iter().all(|i| i.is_violation));
+    }
+
+    #[test]
+    fn extended_mode_rejects_exactly_the_violations() {
+        let tb = TestbedBuilder::new().members(3).cluster(16, 8).build();
+        let workload = WorkloadGenerator::new(42).jobs(30).violation_rate(0.4).generate(&tb);
+        let violations = workload.iter().filter(|i| i.is_violation).count() as u64;
+        let metrics = run_workload(&tb, &workload);
+        assert_eq!(metrics.denied, violations);
+        assert_eq!(metrics.submitted_ok, 30 - violations);
+        assert_eq!(metrics.decisions.denials.get("policy-denied"), Some(&violations));
+    }
+
+    #[test]
+    fn timeline_samples_every_submission() {
+        let tb = TestbedBuilder::new().members(2).cluster(2, 4).build();
+        let workload = WorkloadGenerator::new(5).jobs(12).violation_rate(0.0).generate(&tb);
+        let metrics = run_workload(&tb, &workload);
+        assert_eq!(metrics.timeline.len(), 12);
+        assert!(metrics.peak_utilization() > 0.0, "a small cluster saturates");
+        assert!(metrics.peak_utilization() <= 1.0);
+        // Samples are time-ordered.
+        assert!(metrics.timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn gt2_mode_admits_everything_from_mapped_users() {
+        let tb = TestbedBuilder::new().members(3).mode(GramMode::Gt2).cluster(16, 8).build();
+        let workload = WorkloadGenerator::new(42).jobs(30).violation_rate(0.4).generate(&tb);
+        let metrics = run_workload(&tb, &workload);
+        // The coarse-grained baseline cannot tell violations apart.
+        assert_eq!(metrics.denied, 0);
+        assert_eq!(metrics.submitted_ok, 30);
+    }
+}

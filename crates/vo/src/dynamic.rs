@@ -1,0 +1,234 @@
+//! Dynamic VO policy (§1–2): "This policy may also be dynamic, adapting
+//! over time depending on factors such as current resource utilization, a
+//! member's role in the VO, an active demo for a funding agency that
+//! should have priority, etc."
+//!
+//! [`DynamicVoPolicy`] composes a base policy with time-windowed overlays
+//! (a demo window during which extra grants or requirements apply) and
+//! utilization-conditioned overlays (e.g. above 90% utilization, large
+//! jobs are forbidden). `active_policy(now, utilization)` materializes the
+//! policy in force, ready for a [`Pdp`](gridauthz_core::Pdp).
+
+use gridauthz_clock::SimTime;
+use gridauthz_core::Policy;
+
+/// A policy overlay active during `[from, until)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyWindow {
+    /// First instant the overlay applies.
+    pub from: SimTime,
+    /// First instant the overlay no longer applies.
+    pub until: SimTime,
+    /// Statements appended while active.
+    pub overlay: Policy,
+    /// Label for audit output (e.g. `"funding-agency demo"`).
+    pub label: String,
+}
+
+impl PolicyWindow {
+    /// True when the window covers `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// A policy overlay conditioned on resource utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationOverlay {
+    /// The overlay activates when utilization (0.0–1.0) is at or above
+    /// this threshold.
+    pub min_utilization: f64,
+    /// Statements appended while active.
+    pub overlay: Policy,
+    /// Label for audit output.
+    pub label: String,
+}
+
+/// A VO policy that varies with time and load.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicVoPolicy {
+    base: Policy,
+    windows: Vec<PolicyWindow>,
+    utilization_overlays: Vec<UtilizationOverlay>,
+}
+
+impl DynamicVoPolicy {
+    /// Wraps `base` with no overlays.
+    pub fn new(base: Policy) -> DynamicVoPolicy {
+        DynamicVoPolicy { base, windows: Vec::new(), utilization_overlays: Vec::new() }
+    }
+
+    /// The always-active base policy.
+    pub fn base(&self) -> &Policy {
+        &self.base
+    }
+
+    /// Adds a time window.
+    pub fn add_window(&mut self, window: PolicyWindow) {
+        self.windows.push(window);
+    }
+
+    /// Adds a utilization-conditioned overlay.
+    pub fn add_utilization_overlay(&mut self, overlay: UtilizationOverlay) {
+        self.utilization_overlays.push(overlay);
+    }
+
+    /// The configured time windows.
+    pub fn windows(&self) -> &[PolicyWindow] {
+        &self.windows
+    }
+
+    /// Labels of overlays active at `(now, utilization)` — for audit
+    /// trails and the T7 bench output.
+    pub fn active_labels(&self, now: SimTime, utilization: f64) -> Vec<&str> {
+        let mut labels: Vec<&str> = self
+            .windows
+            .iter()
+            .filter(|w| w.active_at(now))
+            .map(|w| w.label.as_str())
+            .collect();
+        labels.extend(
+            self.utilization_overlays
+                .iter()
+                .filter(|o| utilization >= o.min_utilization)
+                .map(|o| o.label.as_str()),
+        );
+        labels
+    }
+
+    /// Materializes the policy in force at `now` with the given
+    /// utilization: base statements followed by every active overlay's
+    /// statements, in configuration order.
+    pub fn active_policy(&self, now: SimTime, utilization: f64) -> Policy {
+        let mut statements: Vec<_> = self.base.statements().to_vec();
+        for window in &self.windows {
+            if window.active_at(now) {
+                statements.extend(window.overlay.statements().iter().cloned());
+            }
+        }
+        for overlay in &self.utilization_overlays {
+            if utilization >= overlay.min_utilization {
+                statements.extend(overlay.overlay.statements().iter().cloned());
+            }
+        }
+        Policy::from_statements(statements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_core::{Action, AuthzRequest, Pdp};
+    use gridauthz_credential::DistinguishedName;
+    use gridauthz_rsl::parse;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn policy(text: &str) -> Policy {
+        text.parse().unwrap()
+    }
+
+    fn start(subject: &str, job: &str) -> AuthzRequest {
+        AuthzRequest::start(
+            dn(subject),
+            parse(job).unwrap().as_conjunction().unwrap().clone(),
+        )
+    }
+
+    /// Base: Ana may start TRANSP. Demo window: the demo operator gains a
+    /// cancel-anything-NFC grant; a requirement forbids the `batch` queue.
+    fn demo_policy() -> DynamicVoPolicy {
+        let mut dynamic = DynamicVoPolicy::new(policy(
+            "/O=G/CN=Ana: &(action = start)(executable = TRANSP)(jobtag = NFC)",
+        ));
+        dynamic.add_window(PolicyWindow {
+            from: SimTime::from_secs(100),
+            until: SimTime::from_secs(200),
+            overlay: policy(
+                "/O=G/CN=Demo: &(action = cancel)(jobtag = NFC)\n&*: (action = start)(queue != batch)",
+            ),
+            label: "funding-agency demo".into(),
+        });
+        dynamic.add_utilization_overlay(UtilizationOverlay {
+            min_utilization: 0.9,
+            overlay: policy("&*: (action = start)(count < 8)"),
+            label: "high-load clamp".into(),
+        });
+        dynamic
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let w = PolicyWindow {
+            from: SimTime::from_secs(100),
+            until: SimTime::from_secs(200),
+            overlay: Policy::new(),
+            label: "w".into(),
+        };
+        assert!(!w.active_at(SimTime::from_secs(99)));
+        assert!(w.active_at(SimTime::from_secs(100)));
+        assert!(w.active_at(SimTime::from_secs(199)));
+        assert!(!w.active_at(SimTime::from_secs(200)));
+    }
+
+    #[test]
+    fn demo_grant_exists_only_inside_window() {
+        let dynamic = demo_policy();
+        let cancel = AuthzRequest::manage(
+            dn("/O=G/CN=Demo"),
+            Action::Cancel,
+            dn("/O=G/CN=Ana"),
+            Some("NFC".into()),
+        );
+        let before = Pdp::new(dynamic.active_policy(SimTime::from_secs(50), 0.1));
+        assert!(!before.decide(&cancel).is_permit());
+        let during = Pdp::new(dynamic.active_policy(SimTime::from_secs(150), 0.1));
+        assert!(during.decide(&cancel).is_permit());
+        let after = Pdp::new(dynamic.active_policy(SimTime::from_secs(250), 0.1));
+        assert!(!after.decide(&cancel).is_permit());
+    }
+
+    #[test]
+    fn window_requirement_tightens_policy() {
+        let dynamic = demo_policy();
+        let batch_job = start("/O=G/CN=Ana", "&(executable = TRANSP)(jobtag = NFC)(queue = batch)");
+        let before = Pdp::new(dynamic.active_policy(SimTime::from_secs(50), 0.1));
+        assert!(before.decide(&batch_job).is_permit());
+        let during = Pdp::new(dynamic.active_policy(SimTime::from_secs(150), 0.1));
+        assert!(!during.decide(&batch_job).is_permit());
+    }
+
+    #[test]
+    fn utilization_overlay_clamps_large_jobs() {
+        let dynamic = demo_policy();
+        let big = start("/O=G/CN=Ana", "&(executable = TRANSP)(jobtag = NFC)(count = 32)");
+        let idle = Pdp::new(dynamic.active_policy(SimTime::from_secs(50), 0.2));
+        assert!(idle.decide(&big).is_permit());
+        let busy = Pdp::new(dynamic.active_policy(SimTime::from_secs(50), 0.95));
+        assert!(!busy.decide(&big).is_permit());
+        // Small jobs still pass under load.
+        let small = start("/O=G/CN=Ana", "&(executable = TRANSP)(jobtag = NFC)(count = 2)");
+        assert!(busy.decide(&small).is_permit());
+    }
+
+    #[test]
+    fn active_labels_reflect_state() {
+        let dynamic = demo_policy();
+        assert!(dynamic.active_labels(SimTime::from_secs(50), 0.0).is_empty());
+        assert_eq!(
+            dynamic.active_labels(SimTime::from_secs(150), 0.95),
+            vec!["funding-agency demo", "high-load clamp"]
+        );
+    }
+
+    #[test]
+    fn base_policy_is_returned_verbatim_with_no_overlays() {
+        let base = policy("/O=G/CN=Ana: &(action = start)");
+        let dynamic = DynamicVoPolicy::new(base.clone());
+        assert_eq!(dynamic.active_policy(SimTime::EPOCH, 0.0), base);
+        assert_eq!(dynamic.base(), &base);
+        assert!(dynamic.windows().is_empty());
+    }
+}

@@ -1,0 +1,440 @@
+//! VO membership, roles, and policy generation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gridauthz_core::{Policy, PolicyStatement, StatementRole, SubjectMatcher};
+use gridauthz_credential::DistinguishedName;
+use gridauthz_rsl::Conjunction;
+
+use crate::error::VoError;
+
+/// A named VO role (e.g. `developer`, `analyst`, `admin`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Role(String);
+
+impl Role {
+    /// Creates a role name.
+    pub fn new(name: impl Into<String>) -> Role {
+        Role(name.into())
+    }
+
+    /// The role name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Role {
+    fn from(s: &str) -> Role {
+        Role::new(s)
+    }
+}
+
+/// The grant rules members of a role receive.
+///
+/// Rule templates are RSL conjunctions in the paper's policy language; a
+/// member holding the role gets a grant statement with exactly these rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleProfile {
+    role: Role,
+    rules: Vec<Conjunction>,
+}
+
+impl RoleProfile {
+    /// Builds a profile from already-parsed rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` is empty.
+    pub fn new(role: Role, rules: Vec<Conjunction>) -> RoleProfile {
+        assert!(!rules.is_empty(), "a role profile requires at least one rule");
+        RoleProfile { role, rules }
+    }
+
+    /// Parses rule texts (each a `&(...)` conjunction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VoError::BadRuleTemplate`] when a rule fails to parse or
+    /// is not a conjunction.
+    pub fn parse_rules(role: Role, rule_texts: &[&str]) -> Result<RoleProfile, VoError> {
+        let mut rules = Vec::with_capacity(rule_texts.len());
+        for text in rule_texts {
+            let spec = gridauthz_rsl::parse(text)
+                .map_err(|e| VoError::BadRuleTemplate(format!("{text}: {e}")))?;
+            let conj = spec
+                .as_conjunction()
+                .ok_or_else(|| VoError::BadRuleTemplate(format!("{text}: not a conjunction")))?;
+            rules.push(conj.clone());
+        }
+        if rules.is_empty() {
+            return Err(VoError::BadRuleTemplate("no rules given".into()));
+        }
+        Ok(RoleProfile { role, rules })
+    }
+
+    /// The role this profile defines.
+    pub fn role(&self) -> &Role {
+        &self.role
+    }
+
+    /// The grant rules.
+    pub fn rules(&self) -> &[Conjunction] {
+        &self.rules
+    }
+}
+
+/// One VO member and their roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoMember {
+    dn: DistinguishedName,
+    roles: Vec<Role>,
+}
+
+impl VoMember {
+    /// The member's Grid identity.
+    pub fn dn(&self) -> &DistinguishedName {
+        &self.dn
+    }
+
+    /// The member's roles, in assignment order.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// True when the member holds `role`.
+    pub fn has_role(&self, role: &Role) -> bool {
+        self.roles.contains(role)
+    }
+}
+
+/// A Virtual Organization: role definitions, membership, and VO-wide
+/// requirements, from which the VO's policy document is generated.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualOrganization {
+    name: String,
+    profiles: BTreeMap<Role, RoleProfile>,
+    members: BTreeMap<String, VoMember>,
+    requirements: Vec<Conjunction>,
+}
+
+impl VirtualOrganization {
+    /// Creates an empty VO named `name`.
+    pub fn new(name: impl Into<String>) -> VirtualOrganization {
+        VirtualOrganization { name: name.into(), ..Default::default() }
+    }
+
+    /// The VO's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Defines (or redefines) a role.
+    pub fn define_role(&mut self, profile: RoleProfile) {
+        self.profiles.insert(profile.role().clone(), profile);
+    }
+
+    /// The defined roles, sorted.
+    pub fn roles(&self) -> impl Iterator<Item = &Role> {
+        self.profiles.keys()
+    }
+
+    /// Adds a member holding `roles`.
+    ///
+    /// # Errors
+    ///
+    /// [`VoError::DuplicateMember`] when already a member;
+    /// [`VoError::UnknownRole`] when any role is undefined.
+    pub fn add_member(
+        &mut self,
+        dn: DistinguishedName,
+        roles: impl IntoIterator<Item = Role>,
+    ) -> Result<(), VoError> {
+        let key = dn.to_string();
+        if self.members.contains_key(&key) {
+            return Err(VoError::DuplicateMember(key));
+        }
+        let roles: Vec<Role> = roles.into_iter().collect();
+        for role in &roles {
+            if !self.profiles.contains_key(role) {
+                return Err(VoError::UnknownRole(role.as_str().to_string()));
+            }
+        }
+        self.members.insert(key, VoMember { dn, roles });
+        Ok(())
+    }
+
+    /// Grants an additional role to an existing member.
+    ///
+    /// # Errors
+    ///
+    /// [`VoError::NotAMember`] / [`VoError::UnknownRole`] accordingly.
+    pub fn grant_role(&mut self, dn: &DistinguishedName, role: Role) -> Result<(), VoError> {
+        if !self.profiles.contains_key(&role) {
+            return Err(VoError::UnknownRole(role.as_str().to_string()));
+        }
+        let member = self
+            .members
+            .get_mut(&dn.to_string())
+            .ok_or_else(|| VoError::NotAMember(dn.to_string()))?;
+        if !member.roles.contains(&role) {
+            member.roles.push(role);
+        }
+        Ok(())
+    }
+
+    /// Removes a member, returning their record.
+    pub fn remove_member(&mut self, dn: &DistinguishedName) -> Option<VoMember> {
+        self.members.remove(&dn.to_string())
+    }
+
+    /// Looks up a member.
+    pub fn member(&self, dn: &DistinguishedName) -> Option<&VoMember> {
+        self.members.get(&dn.to_string())
+    }
+
+    /// True when `dn` is a member.
+    pub fn is_member(&self, dn: &DistinguishedName) -> bool {
+        self.members.contains_key(&dn.to_string())
+    }
+
+    /// All members, sorted by DN.
+    pub fn members(&self) -> impl Iterator<Item = &VoMember> {
+        self.members.values()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the VO has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Adds a VO-wide requirement conjunction (e.g. mandatory job
+    /// tagging: `&(action = start)(jobtag != NULL)`).
+    ///
+    /// # Errors
+    ///
+    /// [`VoError::BadRuleTemplate`] when the text is not a conjunction.
+    pub fn require(&mut self, rule_text: &str) -> Result<(), VoError> {
+        let spec = gridauthz_rsl::parse(rule_text)
+            .map_err(|e| VoError::BadRuleTemplate(format!("{rule_text}: {e}")))?;
+        let conj = spec
+            .as_conjunction()
+            .ok_or_else(|| VoError::BadRuleTemplate(format!("{rule_text}: not a conjunction")))?;
+        self.requirements.push(conj.clone());
+        Ok(())
+    }
+
+    /// Generates the VO's policy document: one requirement statement (if
+    /// any requirements are defined) followed by one grant statement per
+    /// member per held role, in deterministic (DN-sorted) order.
+    pub fn generate_policy(&self) -> Policy {
+        let mut statements = Vec::new();
+        if !self.requirements.is_empty() {
+            statements.push(PolicyStatement::new(
+                SubjectMatcher::Any,
+                StatementRole::Requirement,
+                self.requirements.clone(),
+            ));
+        }
+        for member in self.members.values() {
+            for role in &member.roles {
+                if let Some(profile) = self.profiles.get(role) {
+                    statements.push(PolicyStatement::grant(
+                        member.dn.clone(),
+                        profile.rules().to_vec(),
+                    ));
+                }
+            }
+        }
+        Policy::from_statements(statements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridauthz_core::{Action, AuthzRequest, Pdp};
+    use gridauthz_rsl::parse;
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn paper_vo() -> VirtualOrganization {
+        // The §2 use case: developers run many executables with small
+        // resource limits; analysts run sanctioned application services
+        // with large limits; admins manage all VO-tagged jobs.
+        let mut vo = VirtualOrganization::new("fusion");
+        vo.define_role(
+            RoleProfile::parse_rules(
+                Role::new("developer"),
+                &[
+                    "&(action = start)(directory = /sandbox/dev)(count < 2)(jobtag != NULL)",
+                    "&(action = cancel)(jobowner = self)",
+                ],
+            )
+            .unwrap(),
+        );
+        vo.define_role(
+            RoleProfile::parse_rules(
+                Role::new("analyst"),
+                &[
+                    "&(action = start)(executable = TRANSP)(jobtag = NFC)(count < 64)",
+                    "&(action = cancel)(jobowner = self)",
+                ],
+            )
+            .unwrap(),
+        );
+        vo.define_role(
+            RoleProfile::parse_rules(
+                Role::new("admin"),
+                &["&(action = cancel)(jobtag = NFC)", "&(action = signal)(jobtag = NFC)"],
+            )
+            .unwrap(),
+        );
+        vo.require("&(action = start)(jobtag != NULL)").unwrap();
+        vo.add_member(dn("/O=G/CN=Dev"), [Role::new("developer")]).unwrap();
+        vo.add_member(dn("/O=G/CN=Ana"), [Role::new("analyst")]).unwrap();
+        vo.add_member(dn("/O=G/CN=Boss"), [Role::new("analyst"), Role::new("admin")])
+            .unwrap();
+        vo
+    }
+
+    #[test]
+    fn membership_bookkeeping() {
+        let mut vo = paper_vo();
+        assert_eq!(vo.len(), 3);
+        assert!(vo.is_member(&dn("/O=G/CN=Dev")));
+        assert!(!vo.is_member(&dn("/O=G/CN=Eve")));
+        assert!(vo.member(&dn("/O=G/CN=Boss")).unwrap().has_role(&Role::new("admin")));
+        assert_eq!(vo.roles().count(), 3);
+
+        assert_eq!(
+            vo.add_member(dn("/O=G/CN=Dev"), [Role::new("developer")]),
+            Err(VoError::DuplicateMember("/O=G/CN=Dev".into()))
+        );
+        assert_eq!(
+            vo.add_member(dn("/O=G/CN=New"), [Role::new("astronaut")]),
+            Err(VoError::UnknownRole("astronaut".into()))
+        );
+        assert!(vo.remove_member(&dn("/O=G/CN=Dev")).is_some());
+        assert!(!vo.is_member(&dn("/O=G/CN=Dev")));
+    }
+
+    #[test]
+    fn grant_role_extends_member() {
+        let mut vo = paper_vo();
+        vo.grant_role(&dn("/O=G/CN=Ana"), Role::new("admin")).unwrap();
+        assert!(vo.member(&dn("/O=G/CN=Ana")).unwrap().has_role(&Role::new("admin")));
+        // Idempotent.
+        vo.grant_role(&dn("/O=G/CN=Ana"), Role::new("admin")).unwrap();
+        assert_eq!(vo.member(&dn("/O=G/CN=Ana")).unwrap().roles().len(), 2);
+        assert_eq!(
+            vo.grant_role(&dn("/O=G/CN=Ghost"), Role::new("admin")),
+            Err(VoError::NotAMember("/O=G/CN=Ghost".into()))
+        );
+    }
+
+    #[test]
+    fn generated_policy_enforces_role_differences() {
+        let pdp = Pdp::new(paper_vo().generate_policy());
+        let job = |s: &str| parse(s).unwrap().as_conjunction().unwrap().clone();
+
+        // The analyst may run TRANSP big, the developer may not.
+        let ana_big = AuthzRequest::start(
+            dn("/O=G/CN=Ana"),
+            job("&(executable = TRANSP)(jobtag = NFC)(count = 32)"),
+        );
+        assert!(pdp.decide(&ana_big).is_permit());
+        let dev_big = AuthzRequest::start(
+            dn("/O=G/CN=Dev"),
+            job("&(executable = TRANSP)(jobtag = NFC)(count = 32)"),
+        );
+        assert!(!pdp.decide(&dev_big).is_permit());
+
+        // The developer may run anything small in the sandbox.
+        let dev_small = AuthzRequest::start(
+            dn("/O=G/CN=Dev"),
+            job("&(executable = gdb)(directory = /sandbox/dev)(count = 1)(jobtag = DEVWORK)"),
+        );
+        assert!(pdp.decide(&dev_small).is_permit());
+
+        // VO requirement: untagged starts are rejected even for analysts.
+        let untagged = AuthzRequest::start(
+            dn("/O=G/CN=Ana"),
+            job("&(executable = TRANSP)(count = 2)"),
+        );
+        assert!(!pdp.decide(&untagged).is_permit());
+    }
+
+    #[test]
+    fn admin_manages_other_members_jobs() {
+        let pdp = Pdp::new(paper_vo().generate_policy());
+        let boss_cancels = AuthzRequest::manage(
+            dn("/O=G/CN=Boss"),
+            Action::Cancel,
+            dn("/O=G/CN=Ana"),
+            Some("NFC".into()),
+        );
+        assert!(pdp.decide(&boss_cancels).is_permit());
+        let dev_cancels = AuthzRequest::manage(
+            dn("/O=G/CN=Dev"),
+            Action::Cancel,
+            dn("/O=G/CN=Ana"),
+            Some("NFC".into()),
+        );
+        assert!(!pdp.decide(&dev_cancels).is_permit());
+        // Self-management works through (jobowner = self).
+        let ana_own = AuthzRequest::manage(
+            dn("/O=G/CN=Ana"),
+            Action::Cancel,
+            dn("/O=G/CN=Ana"),
+            Some("NFC".into()),
+        );
+        assert!(pdp.decide(&ana_own).is_permit());
+    }
+
+    #[test]
+    fn nonmembers_get_nothing() {
+        let pdp = Pdp::new(paper_vo().generate_policy());
+        let eve = AuthzRequest::start(
+            dn("/O=G/CN=Eve"),
+            parse("&(executable = TRANSP)(jobtag = NFC)(count = 1)")
+                .unwrap()
+                .as_conjunction()
+                .unwrap()
+                .clone(),
+        );
+        assert!(!pdp.decide(&eve).is_permit());
+    }
+
+    #[test]
+    fn policy_generation_is_deterministic() {
+        let vo = paper_vo();
+        assert_eq!(vo.generate_policy(), vo.generate_policy());
+        // Boss holds two roles → two grant statements; 3 members with 4
+        // role-holdings total + 1 requirement statement.
+        assert_eq!(vo.generate_policy().len(), 5);
+    }
+
+    #[test]
+    fn bad_rule_templates_are_rejected() {
+        assert!(RoleProfile::parse_rules(Role::new("x"), &["not rsl"]).is_err());
+        assert!(RoleProfile::parse_rules(Role::new("x"), &["|(a = 1)(b = 2)"]).is_err());
+        assert!(RoleProfile::parse_rules(Role::new("x"), &[]).is_err());
+        let mut vo = VirtualOrganization::new("v");
+        assert!(vo.require("garbage").is_err());
+    }
+}

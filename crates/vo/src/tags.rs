@@ -1,0 +1,166 @@
+//! The `jobtag` namespace (§5.1): tags mark a job's membership in a named
+//! management group, so VO-wide policies can be written about the group.
+//! In the paper's prototype, "jobtags are statically defined by a policy
+//! administrator" — this registry is that administrative record.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::VoError;
+use crate::membership::Role;
+
+/// A registered job-management tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobTag {
+    name: String,
+    description: String,
+    manager_role: Option<Role>,
+}
+
+impl JobTag {
+    /// The tag value as written in `(jobtag = ...)` relations.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable purpose of the tag.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The VO role whose members manage jobs in this group, if designated.
+    pub fn manager_role(&self) -> Option<&Role> {
+        self.manager_role.as_ref()
+    }
+}
+
+impl fmt::Display for JobTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.description)
+    }
+}
+
+/// The VO's administratively defined tag namespace.
+#[derive(Debug, Clone, Default)]
+pub struct JobTagRegistry {
+    tags: BTreeMap<String, JobTag>,
+}
+
+impl JobTagRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> JobTagRegistry {
+        JobTagRegistry::default()
+    }
+
+    /// Registers a tag.
+    ///
+    /// # Errors
+    ///
+    /// [`VoError::InvalidJobTag`] when the name is empty, contains
+    /// whitespace or RSL-structural characters, or is already registered.
+    pub fn register(
+        &mut self,
+        name: &str,
+        description: &str,
+        manager_role: Option<Role>,
+    ) -> Result<(), VoError> {
+        if !Self::is_valid_name(name) || self.tags.contains_key(name) {
+            return Err(VoError::InvalidJobTag(name.to_string()));
+        }
+        self.tags.insert(
+            name.to_string(),
+            JobTag {
+                name: name.to_string(),
+                description: description.to_string(),
+                manager_role,
+            },
+        );
+        Ok(())
+    }
+
+    /// A tag name must survive unquoted in RSL and policy files.
+    pub fn is_valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }
+
+    /// Looks up a tag by name.
+    pub fn get(&self, name: &str) -> Option<&JobTag> {
+        self.tags.get(name)
+    }
+
+    /// True when `name` is registered — callers use this to validate the
+    /// `jobtag` attribute of incoming job descriptions.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tags.contains_key(name)
+    }
+
+    /// All tags, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = &JobTag> {
+        self.tags.values()
+    }
+
+    /// Number of registered tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when no tags are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Tags managed by `role`.
+    pub fn managed_by<'a>(&'a self, role: &'a Role) -> impl Iterator<Item = &'a JobTag> {
+        self.tags.values().filter(move |t| t.manager_role() == Some(role))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> JobTagRegistry {
+        let mut r = JobTagRegistry::new();
+        r.register("NFC", "National Fusion Collaboratory runs", Some(Role::new("admin")))
+            .unwrap();
+        r.register("ADS", "Application development and support", None).unwrap();
+        r
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let r = registry();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains("NFC"));
+        assert!(!r.contains("XYZ"));
+        assert_eq!(r.get("NFC").unwrap().manager_role(), Some(&Role::new("admin")));
+        assert_eq!(r.get("ADS").unwrap().manager_role(), None);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_invalid_names() {
+        let mut r = registry();
+        assert!(r.register("NFC", "dup", None).is_err());
+        for bad in ["", "has space", "par(en", "a&b", "a=b"] {
+            assert!(r.register(bad, "bad", None).is_err(), "should reject {bad:?}");
+        }
+        assert!(r.register("ok_tag-2", "fine", None).is_ok());
+    }
+
+    #[test]
+    fn managed_by_filters() {
+        let r = registry();
+        let admin = Role::new("admin");
+        let managed: Vec<&str> = r.managed_by(&admin).map(|t| t.name()).collect();
+        assert_eq!(managed, vec!["NFC"]);
+    }
+
+    #[test]
+    fn display_shows_description() {
+        let r = registry();
+        assert!(r.get("ADS").unwrap().to_string().contains("development"));
+    }
+}

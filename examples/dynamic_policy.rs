@@ -1,0 +1,89 @@
+//! Dynamic VO policy (§1–2): policy that "adapt[s] over time depending on
+//! factors such as current resource utilization ... an active demo for a
+//! funding agency that should have priority".
+//!
+//! Walks simulated time across a demo window and varying load, showing
+//! the same request flipping between permit and deny as overlays
+//! activate.
+//!
+//! ```sh
+//! cargo run --example dynamic_policy
+//! ```
+
+use gridauthz::clock::SimTime;
+use gridauthz::core::{Action, AuthzRequest, Pdp, Policy};
+use gridauthz::credential::DistinguishedName;
+use gridauthz::rsl::parse;
+use gridauthz::vo::{DynamicVoPolicy, PolicyWindow, UtilizationOverlay};
+
+fn policy(text: &str) -> Policy {
+    text.parse().expect("example policy parses")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ana: DistinguishedName = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Ana Lyst".parse()?;
+    let operator: DistinguishedName = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Demo Operator".parse()?;
+
+    // Base policy: Ana may run TRANSP with up to 32 cpus.
+    let mut dynamic = DynamicVoPolicy::new(policy(
+        "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Ana Lyst: &(action = start)(executable = TRANSP)(jobtag = NFC)(count < 33)",
+    ));
+    // Demo window (t = 1h .. 2h): the demo operator may cancel any NFC
+    // job, and ordinary starts are clamped to 4 cpus.
+    dynamic.add_window(PolicyWindow {
+        from: SimTime::from_secs(3600),
+        until: SimTime::from_secs(7200),
+        overlay: policy(
+            "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Demo Operator: &(action = cancel)(jobtag = NFC)\n&*: (action = start)(count < 5)",
+        ),
+        label: "funding-agency demo".into(),
+    });
+    // Load overlay: above 90% utilization, starts are clamped to 8 cpus.
+    dynamic.add_utilization_overlay(UtilizationOverlay {
+        min_utilization: 0.9,
+        overlay: policy("&*: (action = start)(count < 9)"),
+        label: "high-load clamp".into(),
+    });
+
+    let big = AuthzRequest::start(
+        ana.clone(),
+        parse("&(executable = TRANSP)(jobtag = NFC)(count = 16)")?
+            .as_conjunction()
+            .unwrap()
+            .clone(),
+    );
+    let cancel = AuthzRequest::manage(operator.clone(), Action::Cancel, ana, Some("NFC".into()));
+
+    println!(
+        "{:>6} {:>6} {:<32} {:>18} {:>22}",
+        "time", "load", "active overlays", "Ana: 16-cpu start", "operator: cancel NFC"
+    );
+    for (secs, load) in [
+        (0u64, 0.2f64),
+        (1800, 0.95),
+        (3600, 0.2),
+        (5400, 0.95),
+        (7200, 0.2),
+        (9000, 0.5),
+    ] {
+        let now = SimTime::from_secs(secs);
+        let active = Pdp::new(dynamic.active_policy(now, load));
+        let labels = dynamic.active_labels(now, load).join(", ");
+        let start_outcome = if active.decide(&big).is_permit() { "permit" } else { "deny" };
+        let cancel_outcome = if active.decide(&cancel).is_permit() { "permit" } else { "deny" };
+        println!(
+            "{:>5}m {:>5.0}% {:<32} {:>18} {:>22}",
+            secs / 60,
+            load * 100.0,
+            if labels.is_empty() { "-".to_string() } else { labels },
+            start_outcome,
+            cancel_outcome
+        );
+    }
+
+    // Sanity: the demo window and the load clamp both deny the 16-cpu run.
+    assert!(Pdp::new(dynamic.active_policy(SimTime::from_secs(0), 0.2)).decide(&big).is_permit());
+    assert!(!Pdp::new(dynamic.active_policy(SimTime::from_secs(1800), 0.95)).decide(&big).is_permit());
+    assert!(!Pdp::new(dynamic.active_policy(SimTime::from_secs(5400), 0.2)).decide(&big).is_permit());
+    Ok(())
+}

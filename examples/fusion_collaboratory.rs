@@ -1,0 +1,91 @@
+//! The National Fusion Collaboratory scenario (§2 of the paper),
+//! end-to-end: analysts run long TRANSP simulations; a short-notice
+//! high-priority run arrives (a demo for a funding agency); the VO admin
+//! suspends other members' jobs to free processors, the urgent run
+//! completes, and the suspended jobs resume — none of which the
+//! initiating users could have been asked to do themselves.
+//!
+//! ```sh
+//! cargo run --example fusion_collaboratory
+//! ```
+
+use gridauthz::clock::SimDuration;
+use gridauthz::gram::{GramClient, GramSignal, JobContact};
+use gridauthz::scheduler::JobState;
+use gridauthz::sim::TestbedBuilder;
+
+fn mins(m: u64) -> SimDuration {
+    SimDuration::from_mins(m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small cluster so the urgent job actually needs the suspensions.
+    let tb = TestbedBuilder::new().members(3).cluster(2, 8).build();
+    println!("cluster: 2 nodes x 8 cpus, VO: fusion (3 analysts + 1 admin)\n");
+
+    // Three analysts fill the machine with 8-cpu TRANSP runs.
+    let mut contacts: Vec<JobContact> = Vec::new();
+    for i in 0..2 {
+        let client = tb.member_client(i);
+        let contact = client.submit(
+            &tb.server,
+            "&(executable = TRANSP)(jobtag = NFC)(count = 8)",
+            mins(120),
+        )?;
+        println!("analyst {i} started 8-cpu TRANSP run: {contact}");
+        contacts.push(contact);
+    }
+    println!("utilization: {:.0}%", tb.server.utilization() * 100.0);
+
+    // 30 minutes in, the urgent demo run arrives and queues.
+    tb.clock.advance(mins(30));
+    tb.server.pump();
+    let demo_analyst = tb.member_client(2);
+    let urgent = demo_analyst.submit(
+        &tb.server,
+        "&(executable = TRANSP)(jobtag = NFC)(count = 15)(priority = 100)",
+        mins(20),
+    )?;
+    let state = demo_analyst.status(&tb.server, &urgent)?.state;
+    println!("\nt+30m: urgent 15-cpu demo run submitted -> {state} (machine is full)");
+
+    // The VO admin suspends every NFC job to make room. The admin did not
+    // start these jobs — GT2 could not express this at all.
+    let admin = GramClient::new(tb.admin.clone());
+    for contact in tb.server.jobs_with_tag("NFC") {
+        if contact != urgent {
+            let report = admin.status(&tb.server, &contact)?;
+            if matches!(report.state, JobState::Running { .. }) {
+                admin.signal(&tb.server, &contact, GramSignal::Suspend)?;
+                println!("admin suspended {contact} (owner {})", report.owner);
+            }
+        }
+    }
+    tb.server.pump();
+    let state = demo_analyst.status(&tb.server, &urgent)?.state;
+    println!("urgent run is now: {state}");
+
+    // The demo completes; the admin resumes everything.
+    tb.clock.advance(mins(20));
+    tb.server.pump();
+    println!(
+        "\nt+50m: urgent run: {}",
+        demo_analyst.status(&tb.server, &urgent)?.state
+    );
+    for contact in &contacts {
+        admin.signal(&tb.server, contact, GramSignal::Resume)?;
+    }
+    println!("admin resumed the suspended analyses");
+
+    let end = tb.server.drain();
+    println!("\nall jobs drained at {end}:");
+    for contact in contacts.iter().chain([&urgent]) {
+        let report = admin.status(&tb.server, contact)?;
+        println!(
+            "  {contact}: {} (owner {}, {} of work)",
+            report.state, report.owner, report.executed
+        );
+        assert!(matches!(report.state, JobState::Completed { .. }));
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Prints the paper's behavioural artifacts: the Figure 1 vs Figure 2
+//! comparison and the Figure 3 decision matrix.
+//!
+//! ```sh
+//! cargo run --example paper_policy
+//! ```
+
+use gridauthz::sim::scenario;
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "permit"
+    } else {
+        "deny  "
+    }
+}
+
+fn main() {
+    println!("== F1/F2: GT2 GRAM vs extended GRAM ==");
+    println!("{:<42} {:>8} {:>10}", "operation", "GT2", "extended");
+    for row in scenario::figure1_vs_figure2() {
+        println!("{:<42} {:>8} {:>10}", row.case, tick(row.gt2), tick(row.extended));
+    }
+
+    println!("\n== F3: Figure 3 decision matrix ==");
+    println!("{:<50} {:>9} {:>9} {:>6}", "case", "expected", "actual", "ok?");
+    let mut mismatches = 0;
+    for row in scenario::figure3_matrix() {
+        let ok = row.expected_permit == row.actual_permit;
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<50} {:>9} {:>9} {:>6}",
+            row.case,
+            tick(row.expected_permit).trim(),
+            tick(row.actual_permit).trim(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!("\nmismatches: {mismatches}");
+    assert_eq!(mismatches, 0, "the implementation must reproduce Figure 3 exactly");
+}

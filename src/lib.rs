@@ -1,0 +1,54 @@
+//! # gridauthz
+//!
+//! A from-scratch Rust reproduction of **"Fine-Grain Authorization
+//! Policies in the GRID: Design and Implementation"** (Keahey, Welch,
+//! Lang, Liu, Meder — Middleware 2003): an RSL-based fine-grain policy
+//! language, policy evaluation points with a pluggable authorization
+//! callout API inside a simulated GT2 GRAM, VO-wide job management via
+//! `jobtag`, and Akenti/CAS integrations — plus every substrate they
+//! need (GSI-style credentials, a cluster scheduler, local enforcement).
+//!
+//! This facade crate re-exports the workspace members as modules:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | policy language, PDP, combiners, callout API (the paper's contribution) |
+//! | [`rsl`] | the Resource Specification Language |
+//! | [`credential`] | DNs, certificates, proxies, grid-mapfile |
+//! | [`vo`] | Virtual Organization model, roles, jobtags, dynamic policy |
+//! | [`gram`] | Gatekeeper, Job Manager, protocol, client (GT2 + extended modes) |
+//! | [`scheduler`] | local resource manager (cluster, queues, suspend/resume) |
+//! | [`enforcement`] | accounts, dynamic accounts, sandboxing, file permissions |
+//! | [`akenti`] | Akenti-style use-condition authorization + callout adapter |
+//! | [`cas`] | Community Authorization Service + restricted-proxy enforcement |
+//! | [`sim`] | testbeds, workloads, figure scenarios |
+//! | [`clock`] | deterministic simulated time |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gridauthz::core::{paper, AuthzRequest, Pdp};
+//! use gridauthz::rsl::parse;
+//!
+//! // Evaluate the paper's Figure 3 policy.
+//! let pdp = Pdp::new(paper::figure3_policy());
+//! let job = parse("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")?;
+//! let request = AuthzRequest::start(paper::bo_liu(), job.as_conjunction().unwrap().clone());
+//! assert!(pdp.decide(&request).is_permit());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (full GRAM flows, the Fusion
+//! Collaboratory, VO-wide management, dynamic policy, Akenti vs CAS).
+
+pub use gridauthz_akenti as akenti;
+pub use gridauthz_cas as cas;
+pub use gridauthz_clock as clock;
+pub use gridauthz_core as core;
+pub use gridauthz_credential as credential;
+pub use gridauthz_enforcement as enforcement;
+pub use gridauthz_gram as gram;
+pub use gridauthz_rsl as rsl;
+pub use gridauthz_scheduler as scheduler;
+pub use gridauthz_sim as sim;
+pub use gridauthz_vo as vo;

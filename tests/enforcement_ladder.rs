@@ -1,0 +1,185 @@
+//! The §6.1 enforcement ladder, integrated: static accounts + Unix file
+//! permissions catch only what uids/gids can express; dynamic accounts
+//! add per-request configuration; sandboxes derived from the *authorized
+//! request* catch everything the policy said.
+
+use gridauthz::clock::{SimClock, SimDuration};
+use gridauthz::credential::DistinguishedName;
+use gridauthz::enforcement::{
+    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox,
+    SandboxProfile,
+};
+
+/// An adversarial job: what it *was authorized to do* vs what it tries.
+struct Attempt {
+    exec: &'static str,
+    read_path: &'static str,
+    write_path: &'static str,
+    memory_mb: u32,
+}
+
+const AUTHORIZED_EXEC: &str = "TRANSP";
+const AUTHORIZED_DIR: &str = "/sandbox/test";
+const AUTHORIZED_MEM: u32 = 2048;
+
+fn honest() -> Attempt {
+    Attempt {
+        exec: AUTHORIZED_EXEC,
+        read_path: "/sandbox/test/input",
+        write_path: "/sandbox/test/output",
+        memory_mb: 1024,
+    }
+}
+
+fn adversarial() -> Vec<(&'static str, Attempt)> {
+    vec![
+        (
+            "runs an unsanctioned executable",
+            Attempt { exec: "/home/shared/miner", ..honest() },
+        ),
+        (
+            "reads another user's home",
+            Attempt { read_path: "/home/other/secrets", ..honest() },
+        ),
+        (
+            "writes outside the sandbox directory",
+            Attempt { write_path: "/home/shared/dropzone", ..honest() },
+        ),
+        ("over-allocates memory", Attempt { memory_mb: 8192, ..honest() }),
+    ]
+}
+
+impl Attempt {
+    /// Account-level enforcement: Unix permissions only. The executable
+    /// and memory dimensions are invisible to it.
+    fn violations_caught_by_account(
+        &self,
+        fs: &FileSystem,
+        account: &gridauthz::enforcement::LocalAccount,
+    ) -> usize {
+        let mut caught = 0;
+        if !fs.can_access(account, self.read_path, AccessKind::Read) {
+            caught += 1;
+        }
+        if !fs.can_access(account, self.write_path, AccessKind::ReadWrite) {
+            caught += 1;
+        }
+        caught
+    }
+
+    /// Sandbox enforcement: the profile encodes the authorized request.
+    fn violations_caught_by_sandbox(&self, sandbox: &mut Sandbox) -> usize {
+        let mut caught = 0;
+        if sandbox.check_exec(self.exec).is_err() {
+            caught += 1;
+        }
+        if sandbox.check_path(self.read_path, false).is_err() {
+            caught += 1;
+        }
+        if sandbox.check_path(self.write_path, true).is_err() {
+            caught += 1;
+        }
+        if sandbox.check_memory(self.memory_mb).is_err() {
+            caught += 1;
+        }
+        caught
+    }
+}
+
+fn site_fs() -> FileSystem {
+    let mut fs = FileSystem::new();
+    fs.register("/sandbox/test", 0, "fusion", FileMode(0o775));
+    fs.register("/home/other", 1001, "users", FileMode(0o700));
+    // A world-writable shared area accounts cannot protect.
+    fs.register("/home/shared", 0, "users", FileMode(0o777));
+    fs
+}
+
+fn authorized_sandbox() -> Sandbox {
+    Sandbox::new(
+        SandboxProfile::new()
+            .allow_executable(AUTHORIZED_EXEC)
+            .allow_path(AUTHORIZED_DIR, AccessKind::ReadWrite)
+            .with_memory_limit_mb(AUTHORIZED_MEM),
+    )
+}
+
+#[test]
+fn honest_jobs_pass_both_rungs() {
+    let fs = site_fs();
+    let mut registry = AccountRegistry::new();
+    let account = registry.create_static("bliu").with_group("fusion");
+    let job = honest();
+    assert_eq!(job.violations_caught_by_account(&fs, &account), 0);
+    let mut sandbox = authorized_sandbox();
+    assert_eq!(job.violations_caught_by_sandbox(&mut sandbox), 0);
+    assert!(sandbox.violations().is_empty());
+}
+
+#[test]
+fn accounts_catch_some_sandbox_catches_all() {
+    let fs = site_fs();
+    let mut registry = AccountRegistry::new();
+    let account = registry.create_static("bliu").with_group("fusion");
+
+    let mut account_caught = 0usize;
+    let mut sandbox_caught = 0usize;
+    let mut total_violations = 0usize;
+    for (_desc, attempt) in adversarial() {
+        // Each adversarial attempt embeds exactly one violation.
+        total_violations += 1;
+        account_caught += attempt.violations_caught_by_account(&fs, &account).min(1);
+        let mut sandbox = authorized_sandbox();
+        sandbox_caught += attempt.violations_caught_by_sandbox(&mut sandbox).min(1);
+    }
+    assert_eq!(total_violations, 4);
+    assert_eq!(sandbox_caught, 4, "the sandbox catches every violation");
+    // Unix permissions catch only the cross-user read; the rogue
+    // executable, world-writable escape, and memory hog sail through.
+    assert_eq!(account_caught, 1, "accounts catch only uid-expressible violations");
+}
+
+#[test]
+fn dynamic_accounts_configure_rights_per_request() {
+    let clock = SimClock::new();
+    let mut pool = DynamicAccountPool::new("grid", 8, 60_000, SimDuration::from_mins(30));
+    let fs = {
+        let mut fs = FileSystem::new();
+        fs.register("/project/fusion", 0, "fusion", FileMode(0o770));
+        fs.register("/project/astro", 0, "astro", FileMode(0o770));
+        fs
+    };
+    let kate: DistinguishedName = "/O=Grid/CN=Kate".parse().unwrap();
+
+    // Request 1 authorized for the fusion project → lease configured with
+    // the fusion group.
+    let lease = pool.lease(&kate, vec!["fusion".into()], clock.now()).unwrap();
+    assert!(fs.can_access(&lease.account, "/project/fusion/data", AccessKind::ReadWrite));
+    assert!(!fs.can_access(&lease.account, "/project/astro/data", AccessKind::Read));
+
+    // A later request by the same user authorized for astro reconfigures
+    // the same lease — "account configuration relevant to policies for a
+    // particular resource management request".
+    let lease = pool.lease(&kate, vec!["astro".into()], clock.now()).unwrap();
+    assert!(fs.can_access(&lease.account, "/project/astro/data", AccessKind::ReadWrite));
+    assert!(!fs.can_access(&lease.account, "/project/fusion/data", AccessKind::Read));
+}
+
+#[test]
+fn dynamic_account_expiry_revokes_access_over_simulated_time() {
+    let clock = SimClock::new();
+    let mut pool = DynamicAccountPool::new("grid", 2, 60_000, SimDuration::from_mins(30));
+    let a: DistinguishedName = "/O=Grid/CN=A".parse().unwrap();
+    let b: DistinguishedName = "/O=Grid/CN=B".parse().unwrap();
+    let c: DistinguishedName = "/O=Grid/CN=C".parse().unwrap();
+
+    pool.lease(&a, vec![], clock.now()).unwrap();
+    pool.lease(&b, vec![], clock.now()).unwrap();
+    // Pool exhausted for a third user...
+    assert!(pool.lease(&c, vec![], clock.now()).is_err());
+    // ...until leases lapse.
+    clock.advance(SimDuration::from_mins(31));
+    assert!(pool.lease(&c, vec![], clock.now()).is_ok());
+    assert!(pool.lease_for(&a).is_none(), "expired leases are reclaimed");
+    assert_eq!(pool.stats().leases_reclaimed, 2);
+}

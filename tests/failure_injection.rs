@@ -1,0 +1,137 @@
+//! Failure injection: the authorization system must fail *closed* and
+//! report failures distinctly from denials (§5.2's error extension).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gridauthz::clock::{SimClock, SimDuration};
+use gridauthz::core::{
+    AuthorizationCallout, AuthzFailure, AuthzRequest, CalloutChain, CalloutConfig,
+    CalloutRegistry, DenyReason,
+};
+use gridauthz::credential::{CertificateAuthority, GridMapEntry, GridMapFile, TrustStore};
+use gridauthz::gram::{GramClient, GramError, GramServerBuilder};
+use gridauthz::scheduler::Cluster;
+
+/// A callout that can be flipped into a failing state at runtime —
+/// simulating an unreachable policy server.
+#[derive(Debug, Default)]
+struct FlakyCallout {
+    broken: AtomicBool,
+}
+
+impl AuthorizationCallout for FlakyCallout {
+    fn name(&self) -> &str {
+        "flaky-authz"
+    }
+
+    fn authorize(&self, _request: &AuthzRequest) -> Result<(), AuthzFailure> {
+        if self.broken.load(Ordering::SeqCst) {
+            Err(AuthzFailure::SystemError("policy server unreachable".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn mins(m: u64) -> SimDuration {
+    SimDuration::from_mins(m)
+}
+
+#[test]
+fn authorization_system_failure_fails_closed() {
+    let clock = SimClock::new();
+    let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone());
+    let user = ca.issue_identity("/O=Grid/CN=U", SimDuration::from_hours(8)).unwrap();
+    let mut gridmap = GridMapFile::new();
+    gridmap.insert(GridMapEntry::new(user.identity(), vec!["u".into()]));
+
+    let flaky = Arc::new(FlakyCallout::default());
+    let mut chain = CalloutChain::new();
+    chain.push(flaky.clone());
+    let server = GramServerBuilder::new("site", &clock)
+        .trust(trust)
+        .gridmap(gridmap)
+        .cluster(Cluster::uniform(1, 4, 4096))
+        .callouts(chain)
+        .build();
+    let client = GramClient::new(user);
+
+    // Healthy: the request passes.
+    let contact = client.submit(&server, "&(executable = a)", mins(30)).unwrap();
+
+    // Break the authorization system: *everything* is refused, including
+    // management of a job that is already running, and the error is a
+    // system failure, not a policy denial.
+    flaky.broken.store(true, Ordering::SeqCst);
+    match client.submit(&server, "&(executable = a)", mins(1)) {
+        Err(GramError::AuthorizationSystemFailure(msg)) => {
+            assert!(msg.contains("unreachable"));
+        }
+        other => panic!("expected fail-closed system failure, got {other:?}"),
+    }
+    assert!(matches!(
+        client.cancel(&server, &contact),
+        Err(GramError::AuthorizationSystemFailure(_))
+    ));
+
+    // Recovery restores service; the job was unaffected.
+    flaky.broken.store(false, Ordering::SeqCst);
+    client.cancel(&server, &contact).unwrap();
+}
+
+#[test]
+fn misconfigured_callout_is_a_system_error_at_instantiation() {
+    let registry = CalloutRegistry::new();
+    let config = CalloutConfig::parse("authz libnot_installed.so authorize").unwrap();
+    match registry.instantiate(&config) {
+        Err(AuthzFailure::SystemError(msg)) => assert!(msg.contains("libnot_installed.so")),
+        other => panic!("expected SystemError, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_restriction_payload_fails_closed_through_gram() {
+    use gridauthz::cas::RestrictionCallout;
+
+    let clock = SimClock::new();
+    let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone());
+    let user = ca.issue_identity("/O=Grid/CN=U", SimDuration::from_hours(8)).unwrap();
+    // A proxy carrying an unparsable policy payload (corrupted in
+    // transit, or from an incompatible CAS version).
+    let bad_proxy = user
+        .delegate_restricted_proxy(clock.now(), SimDuration::from_hours(1), "%%garbage%%".into())
+        .unwrap();
+    let mut gridmap = GridMapFile::new();
+    gridmap.insert(GridMapEntry::new(user.identity(), vec!["u".into()]));
+    let mut chain = CalloutChain::new();
+    chain.push(Arc::new(RestrictionCallout::new("cas-enforce")));
+    let server = GramServerBuilder::new("site", &clock)
+        .trust(trust)
+        .gridmap(gridmap)
+        .cluster(Cluster::uniform(1, 4, 4096))
+        .callouts(chain)
+        .build();
+
+    let err = server
+        .submit(bad_proxy.chain(), "&(executable = a)", None, mins(1))
+        .unwrap_err();
+    assert!(matches!(err, GramError::AuthorizationSystemFailure(_)));
+    // The plain credential (no restrictions) still works.
+    let ok = server.submit(user.chain(), "&(executable = a)", None, mins(1));
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn denials_and_failures_are_distinguishable() {
+    let denial = GramError::NotAuthorized(DenyReason::NoApplicableGrant);
+    let failure = GramError::AuthorizationSystemFailure("x".into());
+    assert_ne!(
+        std::mem::discriminant(&denial),
+        std::mem::discriminant(&failure)
+    );
+}

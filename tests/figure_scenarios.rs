@@ -1,0 +1,40 @@
+//! The paper's figures as integration assertions (experiments F1–F3).
+
+use gridauthz::sim::scenario;
+
+#[test]
+fn f1_f2_behavioural_comparison() {
+    let rows = scenario::figure1_vs_figure2();
+    assert_eq!(rows, scenario::figure1_vs_figure2_expected());
+
+    // The headline deltas: extended GRAM closes §4.3 shortcomings 1–2
+    // (coarse startup authorization) and adds VO-wide management.
+    let arbitrary = rows.iter().find(|r| r.case.contains("arbitrary")).unwrap();
+    assert!(arbitrary.gt2 && !arbitrary.extended);
+    let admin = rows.iter().find(|r| r.case.contains("admin")).unwrap();
+    assert!(!admin.gt2 && admin.extended);
+}
+
+#[test]
+fn f3_matrix_reproduces_figure3() {
+    let rows = scenario::figure3_matrix();
+    assert!(rows.len() >= 10);
+    for row in &rows {
+        assert_eq!(
+            row.actual_permit, row.expected_permit,
+            "Figure 3 mismatch on {:?}",
+            row.case
+        );
+    }
+    // Both decision polarities are exercised.
+    assert!(rows.iter().any(|r| r.expected_permit));
+    assert!(rows.iter().any(|r| !r.expected_permit));
+}
+
+#[test]
+fn figure3_policy_text_roundtrips_through_display() {
+    use gridauthz::core::{paper, Policy};
+    let policy = paper::figure3_policy();
+    let reparsed: Policy = policy.to_string().parse().unwrap();
+    assert_eq!(policy, reparsed);
+}

@@ -1,0 +1,178 @@
+//! Integration tests for the wire protocol boundary and the audit trail.
+
+use gridauthz::clock::SimDuration;
+use gridauthz::gram::wire::{WireRequest, WireResponse};
+use gridauthz::gram::{AuditOutcome, GramSignal};
+use gridauthz::sim::TestbedBuilder;
+
+fn mins(m: u64) -> SimDuration {
+    SimDuration::from_mins(m)
+}
+
+#[test]
+fn full_job_lifecycle_over_the_wire() {
+    let tb = TestbedBuilder::new().members(1).build();
+    let chain = tb.members[0].chain();
+
+    // Submit.
+    let submit = WireRequest::Submit {
+        rsl: "&(executable = TRANSP)(jobtag = NFC)(count = 2)".into(),
+        account: None,
+        work: mins(30),
+    };
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, &submit.encode())).unwrap();
+    let WireResponse::Submitted { contact } = response else {
+        panic!("expected Submitted, got {response:?}");
+    };
+
+    // Status.
+    let status = WireRequest::Status { contact: contact.clone() };
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, &status.encode())).unwrap();
+    let WireResponse::Report { state, jobtag, owner, .. } = response else {
+        panic!("expected Report, got {response:?}");
+    };
+    assert_eq!(state, "running");
+    assert_eq!(jobtag.as_deref(), Some("NFC"));
+    assert_eq!(owner, tb.members[0].identity().to_string());
+
+    // Suspend via signal, then cancel.
+    let signal = WireRequest::Signal { contact: contact.clone(), signal: GramSignal::Suspend };
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, &signal.encode())).unwrap();
+    assert_eq!(response, WireResponse::Done);
+    let cancel = WireRequest::Cancel { contact };
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, &cancel.encode())).unwrap();
+    assert_eq!(response, WireResponse::Done);
+}
+
+#[test]
+fn wire_denials_carry_protocol_error_codes() {
+    let tb = TestbedBuilder::new().members(1).build();
+    let chain = tb.members[0].chain();
+
+    let rogue = WireRequest::Submit {
+        rsl: "&(executable = rogue)(jobtag = NFC)(count = 1)".into(),
+        account: None,
+        work: mins(1),
+    };
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, &rogue.encode())).unwrap();
+    let WireResponse::Error { code, message } = response else {
+        panic!("expected Error, got {response:?}");
+    };
+    assert_eq!(code, "AUTHORIZATION_DENIED");
+    assert!(message.contains("fusion-vo"));
+
+    // Garbage framing comes back as BAD_REQUEST, never a panic.
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, "EHLO mail")).unwrap();
+    let WireResponse::Error { code, .. } = response else {
+        panic!("expected Error");
+    };
+    assert_eq!(code, "BAD_REQUEST");
+
+    // Unknown contacts are UNKNOWN_JOB.
+    let cancel = WireRequest::Cancel { contact: "gram://nowhere/jobs/99".into() };
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, &cancel.encode())).unwrap();
+    let WireResponse::Error { code, .. } = response else {
+        panic!("expected Error");
+    };
+    assert_eq!(code, "UNKNOWN_JOB");
+}
+
+#[test]
+fn audit_log_records_permits_and_refusals_with_identities() {
+    let tb = TestbedBuilder::new().members(2).build();
+    let alice = tb.member_client(0);
+    let bob = tb.member_client(1);
+
+    let contact = alice
+        .submit(&tb.server, "&(executable = TRANSP)(jobtag = NFC)(count = 2)", mins(30))
+        .unwrap();
+    // Bob tries to cancel Alice's job and is refused.
+    let _ = bob.cancel(&tb.server, &contact);
+    // Alice cancels her own job.
+    alice.cancel(&tb.server, &contact).unwrap();
+
+    let records = tb.server.audit_snapshot();
+    assert_eq!(records.len(), 3);
+
+    assert_eq!(records[0].subject, tb.members[0].identity());
+    assert!(records[0].outcome.is_permitted());
+    assert_eq!(records[0].action, gridauthz::core::Action::Start);
+
+    assert_eq!(records[1].subject, tb.members[1].identity());
+    let AuditOutcome::Refused(reason) = &records[1].outcome else {
+        panic!("Bob's cancel must be recorded as refused");
+    };
+    assert!(reason.contains("denied"));
+    // The audit record names the job and the account even for refusals.
+    assert_eq!(records[1].job.as_deref(), Some(contact.as_str()));
+    assert_eq!(records[1].account.as_deref(), Some("member0000"));
+
+    assert!(records[2].outcome.is_permitted());
+    assert_eq!(tb.server.audit_refusal_count(), 1);
+}
+
+#[test]
+fn audit_survives_shared_dynamic_accounts() {
+    // The motivating case: once jobs share pool accounts, only the audit
+    // log ties actions back to Grid identities.
+    use gridauthz::credential::{CertificateAuthority, GridMapFile, TrustStore};
+    use gridauthz::enforcement::DynamicAccountPool;
+    use gridauthz::gram::GramServerBuilder;
+    use gridauthz::scheduler::Cluster;
+
+    let clock = gridauthz::clock::SimClock::new();
+    let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone());
+    let a = ca.issue_identity("/O=Grid/CN=A", SimDuration::from_hours(8)).unwrap();
+    let b = ca.issue_identity("/O=Grid/CN=B", SimDuration::from_hours(8)).unwrap();
+
+    let server = GramServerBuilder::new("site", &clock)
+        .trust(trust)
+        .gridmap(GridMapFile::new())
+        .cluster(Cluster::uniform(2, 4, 4096))
+        .dynamic_accounts(DynamicAccountPool::new("grid", 4, 80_000, SimDuration::from_mins(30)))
+        .build();
+
+    server.submit(a.chain(), "&(executable = x)(count = 1)", None, mins(1)).unwrap();
+    server.submit(b.chain(), "&(executable = x)(count = 1)", None, mins(1)).unwrap();
+
+    let records = server.audit_snapshot();
+    assert_eq!(records.len(), 2);
+    let subjects: Vec<String> = records.iter().map(|r| r.subject.to_string()).collect();
+    assert_eq!(subjects, vec!["/O=Grid/CN=A", "/O=Grid/CN=B"]);
+}
+
+#[test]
+fn self_contained_pem_wire_messages_work_end_to_end() {
+    use gridauthz::credential::pem::encode_chain;
+
+    let tb = TestbedBuilder::new().members(1).build();
+    let request = WireRequest::Submit {
+        rsl: "&(executable = TRANSP)(jobtag = NFC)(count = 2)".into(),
+        account: None,
+        work: mins(10),
+    };
+    // One text blob: credential + request.
+    let message = format!("{}{}", encode_chain(tb.members[0].chain()), request.encode());
+    let response = WireResponse::decode(&tb.server.handle_wire_pem(&message)).unwrap();
+    assert!(matches!(response, WireResponse::Submitted { .. }));
+
+    // A corrupted credential fails authentication, not parsing.
+    let corrupted = message.replace("Member 0000", "Member 9999");
+    let response = WireResponse::decode(&tb.server.handle_wire_pem(&corrupted)).unwrap();
+    let WireResponse::Error { code, .. } = response else {
+        panic!("expected Error");
+    };
+    assert_eq!(code, "AUTHENTICATION_FAILED");
+
+    // A message without a request at all is a BAD_REQUEST.
+    let response = WireResponse::decode(
+        &tb.server.handle_wire_pem(&encode_chain(tb.members[0].chain())),
+    )
+    .unwrap();
+    let WireResponse::Error { code, .. } = response else {
+        panic!("expected Error");
+    };
+    assert_eq!(code, "BAD_REQUEST");
+}
