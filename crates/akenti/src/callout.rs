@@ -77,9 +77,11 @@ impl AuthorizationCallout for AkentiCallout {
         let resource = self.resource_for(request)?;
         self.engine
             .check_access(request.subject(), &resource, request.action(), self.clock.now())
-            .map_err(|e| AuthzFailure::Denied(DenyReason::RestrictionViolated {
-                detail: format!("akenti: {e}"),
-            }))
+            .map_err(|e| {
+                AuthzFailure::Denied(DenyReason::RestrictionViolated {
+                    detail: format!("akenti: {e}"),
+                })
+            })
     }
 }
 
@@ -130,18 +132,14 @@ mod tests {
     #[test]
     fn nonmember_is_denied() {
         let c = callout();
-        let err = c
-            .authorize(&request("/O=G/CN=Eve", "&(executable = TRANSP)"))
-            .unwrap_err();
+        let err = c.authorize(&request("/O=G/CN=Eve", "&(executable = TRANSP)")).unwrap_err();
         assert!(err.is_denial());
     }
 
     #[test]
     fn unsanctioned_executable_is_denied() {
         let c = callout();
-        let err = c
-            .authorize(&request("/O=G/CN=Kate", "&(executable = rogue)"))
-            .unwrap_err();
+        let err = c.authorize(&request("/O=G/CN=Kate", "&(executable = rogue)")).unwrap_err();
         assert!(err.is_denial());
     }
 

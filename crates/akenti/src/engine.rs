@@ -216,9 +216,9 @@ impl UseCondition {
 
     /// True when the attested `attributes` satisfy any alternative.
     pub fn satisfied_by(&self, attributes: &[(String, String)]) -> bool {
-        self.alternatives.iter().any(|conjunction| {
-            conjunction.iter().all(|req| attributes.contains(req))
-        })
+        self.alternatives
+            .iter()
+            .any(|conjunction| conjunction.iter().all(|req| attributes.contains(req)))
     }
 }
 
@@ -256,10 +256,7 @@ impl AkentiEngine {
     /// gathers certificates from network repositories; deposit simulates
     /// publication).
     pub fn deposit(&mut self, certificate: AttributeCertificate) {
-        self.repository
-            .entry(certificate.subject().to_string())
-            .or_default()
-            .push(certificate);
+        self.repository.entry(certificate.subject().to_string()).or_default().push(certificate);
     }
 
     /// The subject's *valid* attested attributes at `now`: unexpired,
@@ -278,9 +275,7 @@ impl AkentiEngine {
             .filter(|c| c.not_after() >= now)
             .filter(|c| {
                 self.trusted.get(c.attribute()).is_some_and(|auths| {
-                    auths
-                        .iter()
-                        .any(|(dn, key)| dn == c.issuer() && c.verify(*key))
+                    auths.iter().any(|(dn, key)| dn == c.issuer() && c.verify(*key))
                 })
             })
             .map(|c| (c.attribute().to_string(), c.value().to_string()))
@@ -301,11 +296,8 @@ impl AkentiEngine {
         action: Action,
         now: SimTime,
     ) -> Result<(), AkentiError> {
-        let covering: Vec<&UseCondition> = self
-            .use_conditions
-            .iter()
-            .filter(|uc| uc.covers(resource, action))
-            .collect();
+        let covering: Vec<&UseCondition> =
+            self.use_conditions.iter().filter(|uc| uc.covers(resource, action)).collect();
         if covering.is_empty() {
             return Err(AkentiError::NoUseConditions(resource.to_string()));
         }
@@ -364,10 +356,7 @@ mod tests {
             dn("/O=ANL/CN=Stakeholder"),
             "transp-service",
             [Action::Start, Action::Cancel],
-            vec![
-                vec![("role".into(), "analyst".into())],
-                vec![("role".into(), "admin".into())],
-            ],
+            vec![vec![("role".into(), "analyst".into())], vec![("role".into(), "admin".into())]],
         ));
         Fixture { clock, authority, engine }
     }
@@ -421,12 +410,7 @@ mod tests {
         let f = fixture();
         let err = f
             .engine
-            .check_access(
-                &dn("/O=G/CN=Kate"),
-                "transp-service",
-                Action::Signal,
-                f.clock.now(),
-            )
+            .check_access(&dn("/O=G/CN=Kate"), "transp-service", Action::Signal, f.clock.now())
             .unwrap_err();
         assert_eq!(err, AkentiError::NoUseConditions("transp-service".into()));
     }
@@ -435,10 +419,8 @@ mod tests {
     fn expired_attribute_certs_are_ignored() {
         let mut f = fixture();
         let kate = dn("/O=G/CN=Kate");
-        f.engine
-            .deposit(f.authority.issue(&kate, "group", "fusion", SimDuration::from_secs(10)));
-        f.engine
-            .deposit(f.authority.issue(&kate, "role", "analyst", SimDuration::from_hours(1)));
+        f.engine.deposit(f.authority.issue(&kate, "group", "fusion", SimDuration::from_secs(10)));
+        f.engine.deposit(f.authority.issue(&kate, "role", "analyst", SimDuration::from_hours(1)));
         f.clock.advance(SimDuration::from_secs(60));
         let err = f
             .engine
@@ -457,9 +439,7 @@ mod tests {
         let mut engine = f.engine;
         engine.deposit(rogue.issue(&kate, "group", "fusion", SimDuration::from_hours(1)));
         engine.deposit(rogue.issue(&kate, "role", "analyst", SimDuration::from_hours(1)));
-        assert!(engine
-            .check_access(&kate, "transp-service", Action::Start, clock.now())
-            .is_err());
+        assert!(engine.check_access(&kate, "transp-service", Action::Start, clock.now()).is_err());
         assert!(engine.attested_attributes(&kate, clock.now()).is_empty());
     }
 

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridauthz_bench::{combined_pdp_with_n_sources, sanctioned_request};
-use gridauthz_core::{paper, Combiner, CombinedPdp, PolicyOrigin, PolicySource};
+use gridauthz_core::{paper, CombinedPdp, Combiner, PolicyOrigin, PolicySource};
 
 fn bench_source_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("t3_source_scaling");

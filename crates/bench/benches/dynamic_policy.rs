@@ -36,9 +36,7 @@ fn bench_materialization(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(dynamic.active_policy(SimTime::EPOCH, 0.1)))
         });
         group.bench_with_input(BenchmarkId::new("demo+load", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(dynamic.active_policy(SimTime::from_secs(5_000), 0.95))
-            })
+            b.iter(|| std::hint::black_box(dynamic.active_policy(SimTime::from_secs(5_000), 0.95)))
         });
     }
     group.finish();

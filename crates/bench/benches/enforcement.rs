@@ -12,8 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gridauthz_clock::{SimClock, SimDuration};
 use gridauthz_credential::DistinguishedName;
 use gridauthz_enforcement::{
-    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox,
-    SandboxProfile,
+    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox, SandboxProfile,
 };
 
 fn bench_account_paths(c: &mut Criterion) {
@@ -44,9 +43,7 @@ fn bench_account_paths(c: &mut Criterion) {
 
     // Dynamic account, warm path: the same subject re-leases.
     let mut warm_pool = DynamicAccountPool::new("grid", 64, 50_000, SimDuration::from_mins(30));
-    warm_pool
-        .lease(&subject, vec!["fusion".into()], clock.now())
-        .expect("pool has capacity");
+    warm_pool.lease(&subject, vec!["fusion".into()], clock.now()).expect("pool has capacity");
     group.bench_function("dynamic_lease_warm", |b| {
         b.iter(|| {
             let lease = warm_pool
@@ -69,7 +66,11 @@ fn bench_per_operation_checks(c: &mut Criterion) {
     let account = registry.create_static("bliu").with_group("fusion");
     group.bench_function("unix_permission_check", |b| {
         b.iter(|| {
-            std::hint::black_box(fs.can_access(&account, "/sandbox/test/run.out", AccessKind::ReadWrite))
+            std::hint::black_box(fs.can_access(
+                &account,
+                "/sandbox/test/run.out",
+                AccessKind::ReadWrite,
+            ))
         })
     });
 

@@ -13,16 +13,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gridauthz_bench::{
-    a1_cases, a1_policy, combined_pdp_with_n_sources, extended_testbed, gt2_testbed, member_dn,
-    policy_with_n_statements, sanctioned_request, strip_requirements, t1_callout_chains,
-    t1_request,
+    a1_cases, a1_policy, combined_pdp_with_n_sources, extended_testbed, gt2_testbed,
+    management_request, member_dn, policy_with_n_statements, sanctioned_request,
+    strip_requirements, t1_callout_chains, t1_request,
 };
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
-use gridauthz_core::{paper, Action, AuthzRequest, CombinedPdp, Combiner, Pdp, PolicyOrigin, PolicySource};
+use gridauthz_core::{
+    paper, Action, AuthzRequest, CombinedPdp, Combiner, DecisionCache, Pdp, PolicyOrigin,
+    PolicySource,
+};
 use gridauthz_credential::DistinguishedName;
 use gridauthz_enforcement::{
-    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox,
-    SandboxProfile,
+    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox, SandboxProfile,
 };
 use gridauthz_scheduler::{Cluster, JobSpec, LocalScheduler};
 use gridauthz_sim::scenario;
@@ -236,10 +238,34 @@ fn t6() {
         memory: u32,
     }
     let attempts = [
-        Attempt { desc: "unsanctioned executable", exec: "/home/shared/miner", read: "/sandbox/test/in", write: "/sandbox/test/out", memory: 1024 },
-        Attempt { desc: "read other user's home", exec: "TRANSP", read: "/home/other/secrets", write: "/sandbox/test/out", memory: 1024 },
-        Attempt { desc: "write outside sandbox", exec: "TRANSP", read: "/sandbox/test/in", write: "/home/shared/drop", memory: 1024 },
-        Attempt { desc: "memory over-allocation", exec: "TRANSP", read: "/sandbox/test/in", write: "/sandbox/test/out", memory: 8192 },
+        Attempt {
+            desc: "unsanctioned executable",
+            exec: "/home/shared/miner",
+            read: "/sandbox/test/in",
+            write: "/sandbox/test/out",
+            memory: 1024,
+        },
+        Attempt {
+            desc: "read other user's home",
+            exec: "TRANSP",
+            read: "/home/other/secrets",
+            write: "/sandbox/test/out",
+            memory: 1024,
+        },
+        Attempt {
+            desc: "write outside sandbox",
+            exec: "TRANSP",
+            read: "/sandbox/test/in",
+            write: "/home/shared/drop",
+            memory: 1024,
+        },
+        Attempt {
+            desc: "memory over-allocation",
+            exec: "TRANSP",
+            read: "/sandbox/test/in",
+            write: "/sandbox/test/out",
+            memory: 8192,
+        },
     ];
     println!("{:<28} {:>16} {:>10}", "violation", "static account", "sandbox");
     let mut account_caught = 0;
@@ -261,9 +287,7 @@ fn t6() {
             if by_sandbox { "caught" } else { "missed" }
         );
     }
-    println!(
-        "catch rate: static accounts {account_caught}/4, sandbox {sandbox_caught}/4"
-    );
+    println!("catch rate: static accounts {account_caught}/4, sandbox {sandbox_caught}/4");
 
     // Cost.
     let clock = SimClock::new();
@@ -369,12 +393,8 @@ fn a3() {
             combiner,
         )
     };
-    let cancel_case = AuthzRequest::manage(
-        paper::bo_liu(),
-        Action::Cancel,
-        paper::bo_liu(),
-        Some("ADS".into()),
-    );
+    let cancel_case =
+        AuthzRequest::manage(paper::bo_liu(), Action::Cancel, paper::bo_liu(), Some("ADS".into()));
     println!("{:<18} {:>22} {:>26}", "combiner", "F3-matrix permits", "Bo cancels own ADS job");
     for combiner in [Combiner::DenyOverrides, Combiner::PermitOverrides, Combiner::FirstApplicable]
     {
@@ -397,6 +417,32 @@ fn a3() {
     }
 }
 
+fn t8() {
+    heading("T8 — decision cache on repeated identical management requests");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>9}",
+        "#sources", "uncached", "cached", "cached-cold", "speedup"
+    );
+    let request = management_request();
+    for n in [1usize, 2, 4, 8] {
+        let pdp = combined_pdp_with_n_sources(n);
+        let uncached = time_median(2_000, || {
+            assert!(pdp.decide(&request).is_permit());
+        });
+        let warm = DecisionCache::new();
+        let cached = time_median(2_000, || {
+            assert!(warm.decide(&pdp, &request).is_permit());
+        });
+        let cold = DecisionCache::new();
+        let cold_t = time_median(2_000, || {
+            cold.invalidate_all();
+            assert!(cold.decide(&pdp, &request).is_permit());
+        });
+        let speedup = uncached.as_nanos() as f64 / (cached.as_nanos().max(1)) as f64;
+        println!("{n:<10} {uncached:>14.2?} {cached:>14.2?} {cold_t:>14.2?} {speedup:>8.1}x");
+    }
+}
+
 fn main() {
     println!("gridauthz experiment harness — reproducing Keahey et al., Middleware 2003");
     f1_f2();
@@ -408,6 +454,7 @@ fn main() {
     t5();
     t6();
     t7();
+    t8();
     a1();
     a3();
     println!("\nall experiments completed");

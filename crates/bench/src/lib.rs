@@ -17,15 +17,14 @@ use gridauthz_sim::{Testbed, TestbedBuilder};
 
 /// Deterministic member DN for index `i` (matches the testbed's scheme).
 pub fn member_dn(i: usize) -> DistinguishedName {
-    format!("{}/CN=Member {i:04}", paper::MCS_PREFIX)
-        .parse()
-        .expect("generated DN parses")
+    format!("{}/CN=Member {i:04}", paper::MCS_PREFIX).parse().expect("generated DN parses")
 }
 
 /// A policy with one group requirement and `n` exact-subject grant
 /// statements (the T2 scaling axis).
 pub fn policy_with_n_statements(n: usize) -> Policy {
-    let mut text = String::from("&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)\n");
+    let mut text =
+        String::from("&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)\n");
     for i in 0..n {
         text.push_str(&format!(
             "{}: &(action = start)(executable = TRANSP)(jobtag = NFC)(count < 16) &(action = cancel)(jobowner = self)\n",
@@ -132,6 +131,15 @@ pub fn t1_request(with_cas_restriction: bool) -> AuthzRequest {
     }
 }
 
+/// A repeated identical management request — the decision-cache hot
+/// case (T8): a VO admin's `cancel` against an `NFC`-tagged job, which
+/// Figure 3 grants Kate and which every [`combined_pdp_with_n_sources`]
+/// source therefore permits.
+pub fn management_request() -> AuthzRequest {
+    AuthzRequest::manage(paper::kate_keahey(), Action::Cancel, paper::bo_liu(), Some("NFC".into()))
+        .with_job(sanctioned_job())
+}
+
 /// A ready extended-mode testbed for submission-path measurements.
 pub fn extended_testbed(members: usize) -> Testbed {
     TestbedBuilder::new().members(members).cluster(64, 16).build()
@@ -221,15 +229,35 @@ pub fn a3_matrix_requests() -> Vec<AuthzRequest> {
     let kate = paper::kate_keahey();
     let eve = paper::outsider();
     vec![
-        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
-        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)")),
-        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)")),
-        AuthzRequest::start(bo.clone(), parse_conj("&(executable = test1)(directory = /sandbox/test)(count = 2)")),
-        AuthzRequest::start(kate.clone(), parse_conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)")),
+        AuthzRequest::start(
+            bo.clone(),
+            parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+        ),
+        AuthzRequest::start(
+            bo.clone(),
+            parse_conj("&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)"),
+        ),
+        AuthzRequest::start(
+            bo.clone(),
+            parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)"),
+        ),
+        AuthzRequest::start(
+            bo.clone(),
+            parse_conj("&(executable = test1)(directory = /sandbox/test)(count = 2)"),
+        ),
+        AuthzRequest::start(
+            kate.clone(),
+            parse_conj(
+                "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+            ),
+        ),
         AuthzRequest::manage(kate.clone(), Action::Cancel, bo.clone(), Some("NFC".into())),
         AuthzRequest::manage(kate.clone(), Action::Cancel, bo.clone(), Some("ADS".into())),
         AuthzRequest::manage(bo.clone(), Action::Cancel, kate, Some("NFC".into())),
-        AuthzRequest::start(eve, parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+        AuthzRequest::start(
+            eve,
+            parse_conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+        ),
         AuthzRequest::manage(bo.clone(), Action::Cancel, bo, Some("ADS".into())),
     ]
 }

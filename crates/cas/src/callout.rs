@@ -1,8 +1,6 @@
 //! Resource-side enforcement of restricted-proxy capability policies.
 
-use gridauthz_core::{
-    AuthorizationCallout, AuthzFailure, AuthzRequest, DenyReason, Pdp, Policy,
-};
+use gridauthz_core::{AuthorizationCallout, AuthzFailure, AuthzRequest, DenyReason, Pdp, Policy};
 
 /// A callout enforcing every restriction payload attached to the request's
 /// credential: each embedded policy must independently permit the request
@@ -83,10 +81,7 @@ mod tests {
         let r = start("&(executable = TRANSP)(jobtag = NFC)(count = 64)")
             .with_restrictions(vec![CAPS.into()]);
         let err = c.authorize(&r).unwrap_err();
-        assert!(matches!(
-            err,
-            AuthzFailure::Denied(DenyReason::RestrictionViolated { .. })
-        ));
+        assert!(matches!(err, AuthzFailure::Denied(DenyReason::RestrictionViolated { .. })));
     }
 
     #[test]

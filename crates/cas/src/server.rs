@@ -141,9 +141,8 @@ mod tests {
     fn fixture() -> (SimClock, CertificateAuthority, CasServer) {
         let clock = SimClock::new();
         let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
-        let cred = ca
-            .issue_identity("/O=Grid/CN=Fusion CAS", SimDuration::from_hours(1000))
-            .unwrap();
+        let cred =
+            ca.issue_identity("/O=Grid/CN=Fusion CAS", SimDuration::from_hours(1000)).unwrap();
         let mut vo = VirtualOrganization::new("fusion");
         vo.define_role(
             RoleProfile::parse_rules(
@@ -201,9 +200,7 @@ mod tests {
     #[test]
     fn issued_proxy_chains_to_cas_identity_and_carries_policy() {
         let (clock, ca, cas) = fixture();
-        let proxy = cas
-            .issue_proxy(&dn("/O=Grid/CN=Kate"), SimDuration::from_hours(2))
-            .unwrap();
+        let proxy = cas.issue_proxy(&dn("/O=Grid/CN=Kate"), SimDuration::from_hours(2)).unwrap();
 
         let mut trust = TrustStore::new();
         trust.add_anchor(ca.certificate().clone());
@@ -235,9 +232,7 @@ mod tests {
     fn proxy_lifetime_is_requested_lifetime() {
         let (clock, _, cas) = fixture();
         clock.advance(SimDuration::from_secs(100));
-        let proxy = cas
-            .issue_proxy(&dn("/O=Grid/CN=Kate"), SimDuration::from_secs(600))
-            .unwrap();
+        let proxy = cas.issue_proxy(&dn("/O=Grid/CN=Kate"), SimDuration::from_secs(600)).unwrap();
         assert_eq!(proxy.certificate().validity().not_before.as_secs(), 100);
         assert_eq!(proxy.certificate().validity().not_after.as_secs(), 700);
     }

@@ -199,9 +199,7 @@ impl SimClock {
 
     /// Creates a clock positioned at `start`.
     pub fn starting_at(start: SimTime) -> Self {
-        SimClock {
-            micros: Arc::new(AtomicU64::new(start.as_micros())),
-        }
+        SimClock { micros: Arc::new(AtomicU64::new(start.as_micros())) }
     }
 
     /// The current simulated instant.
@@ -272,10 +270,7 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(
-            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
-            SimTime::MAX
-        );
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
     }
 
     #[test]
@@ -320,14 +315,8 @@ mod tests {
 
     #[test]
     fn duration_scalar_mul() {
-        assert_eq!(
-            SimDuration::from_secs(2).saturating_mul(3),
-            SimDuration::from_secs(6)
-        );
-        assert_eq!(
-            SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(),
-            u64::MAX
-        );
+        assert_eq!(SimDuration::from_secs(2).saturating_mul(3), SimDuration::from_secs(6));
+        assert_eq!(SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
     }
 
     #[test]

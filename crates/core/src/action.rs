@@ -21,7 +21,8 @@ pub enum Action {
 
 impl Action {
     /// All actions, in paper order.
-    pub const ALL: [Action; 4] = [Action::Start, Action::Cancel, Action::Information, Action::Signal];
+    pub const ALL: [Action; 4] =
+        [Action::Start, Action::Cancel, Action::Information, Action::Signal];
 
     /// The lowercase policy-attribute form.
     pub fn as_str(self) -> &'static str {

@@ -98,7 +98,10 @@ impl<'a> PolicyAnalyzer<'a> {
     /// Exact-DN subjects that appear only in requirements — members the
     /// VO constrains but grants nothing to (often a sign of a mistyped
     /// grant subject).
-    pub fn subjects_without_grants(&self, subjects: &[DistinguishedName]) -> Vec<DistinguishedName> {
+    pub fn subjects_without_grants(
+        &self,
+        subjects: &[DistinguishedName],
+    ) -> Vec<DistinguishedName> {
         subjects
             .iter()
             .filter(|dn| {
@@ -139,9 +142,7 @@ fn unsatisfiable_reason(rule: &Conjunction) -> Option<String> {
 
         // `= NULL` (must be absent) combined with any presence-requiring
         // relation.
-        let requires_absence = relations
-            .iter()
-            .any(|r| r.op() == RelOp::Eq && is_null(r));
+        let requires_absence = relations.iter().any(|r| r.op() == RelOp::Eq && is_null(r));
         let requires_presence = relations.iter().any(|r| {
             (r.op() == RelOp::Ne && is_null(r))
                 || (r.op() == RelOp::Eq && !is_null(r))
@@ -225,12 +226,12 @@ mod tests {
 
     #[test]
     fn detects_disjoint_eq_sets() {
-        let findings =
-            analyze("/O=G/CN=A: &(action = start)(executable = a b)(executable = c)");
+        let findings = analyze("/O=G/CN=A: &(action = start)(executable = a b)(executable = c)");
         assert!(findings.iter().any(|f| f.kind == FindingKind::UnsatisfiableRule));
         // Overlapping sets are fine.
-        assert!(analyze("/O=G/CN=A: &(action = start)(executable = a b)(executable = b c)")
-            .is_empty());
+        assert!(
+            analyze("/O=G/CN=A: &(action = start)(executable = a b)(executable = b c)").is_empty()
+        );
     }
 
     #[test]
@@ -285,11 +286,12 @@ mod tests {
         assert_eq!(analyzer.who_may(&subjects, &request), vec![paper::kate_keahey()]);
 
         // Who may start test1 from the sandbox with tag ADS, 2 cpus?
-        let job = parse("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")
-            .unwrap()
-            .as_conjunction()
-            .unwrap()
-            .clone();
+        let job =
+            parse("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")
+                .unwrap()
+                .as_conjunction()
+                .unwrap()
+                .clone();
         let request = AuthzRequest::start(paper::outsider(), job);
         assert_eq!(analyzer.who_may(&subjects, &request), vec![paper::bo_liu()]);
     }

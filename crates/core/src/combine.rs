@@ -4,6 +4,7 @@
 //! the VO."
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::decision::{Decision, DenyReason};
 use crate::eval::Pdp;
@@ -30,9 +31,12 @@ impl fmt::Display for PolicyOrigin {
 }
 
 /// One named policy source with its own PDP.
+///
+/// The name is reference-counted so per-decision audit breakdowns can
+/// carry it without allocating on the hot path.
 #[derive(Debug, Clone)]
 pub struct PolicySource {
-    name: String,
+    name: Arc<str>,
     origin: PolicyOrigin,
     pdp: Pdp,
 }
@@ -40,12 +44,17 @@ pub struct PolicySource {
 impl PolicySource {
     /// Wraps `policy` as a named source.
     pub fn new(name: impl Into<String>, origin: PolicyOrigin, policy: Policy) -> PolicySource {
-        PolicySource { name: name.into(), origin, pdp: Pdp::new(policy) }
+        PolicySource { name: Arc::from(name.into()), origin, pdp: Pdp::new(policy) }
     }
 
     /// The source's name (used in combined denial reasons).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The shared handle to the source's name.
+    pub(crate) fn name_handle(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The source's origin.
@@ -77,7 +86,7 @@ pub enum Combiner {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CombinedDecision {
     decision: Decision,
-    per_source: Vec<(String, Decision)>,
+    per_source: Vec<(Arc<str>, Decision)>,
 }
 
 impl CombinedDecision {
@@ -92,7 +101,7 @@ impl CombinedDecision {
     }
 
     /// Each source's individual decision, in source order.
-    pub fn per_source(&self) -> &[(String, Decision)] {
+    pub fn per_source(&self) -> &[(Arc<str>, Decision)] {
         &self.per_source
     }
 }
@@ -123,11 +132,8 @@ impl CombinedPdp {
 
     /// Evaluates `request` against every source and combines.
     pub fn decide(&self, request: &AuthzRequest) -> CombinedDecision {
-        let per_source: Vec<(String, Decision)> = self
-            .sources
-            .iter()
-            .map(|s| (s.name().to_string(), s.pdp().decide(request)))
-            .collect();
+        let per_source: Vec<(Arc<str>, Decision)> =
+            self.sources.iter().map(|s| (s.name_handle(), s.pdp().decide(request))).collect();
 
         let decision = match self.combiner {
             Combiner::DenyOverrides => {
@@ -136,7 +142,7 @@ impl CombinedPdp {
                 } else {
                     match per_source.iter().find(|(_, d)| !d.is_permit()) {
                         Some((name, denied)) => Decision::Deny(DenyReason::SourceDenied {
-                            source: name.clone(),
+                            source: name.to_string(),
                             reason: Box::new(
                                 denied.deny_reason().expect("non-permit has a reason").clone(),
                             ),
@@ -161,7 +167,7 @@ impl CombinedPdp {
                         Decision::Deny(DenyReason::NoApplicableGrant) => continue,
                         Decision::Deny(reason) => {
                             outcome = Decision::Deny(DenyReason::SourceDenied {
-                                source: name.clone(),
+                                source: name.to_string(),
                                 reason: Box::new(reason.clone()),
                             });
                             break;
@@ -187,10 +193,7 @@ mod tests {
     }
 
     fn start(subject: &str, job: &str) -> AuthzRequest {
-        AuthzRequest::start(
-            dn(subject),
-            parse(job).unwrap().as_conjunction().unwrap().clone(),
-        )
+        AuthzRequest::start(dn(subject), parse(job).unwrap().as_conjunction().unwrap().clone())
     }
 
     fn source(name: &str, origin: PolicyOrigin, text: &str) -> PolicySource {
@@ -254,8 +257,11 @@ mod tests {
     #[test]
     fn first_applicable_skips_inapplicable_sources() {
         let sources = vec![
-            source("vo", PolicyOrigin::VirtualOrganization("v".into()),
-                   "/O=G/CN=Kate: &(action = start)"),
+            source(
+                "vo",
+                PolicyOrigin::VirtualOrganization("v".into()),
+                "/O=G/CN=Kate: &(action = start)",
+            ),
             source("local", PolicyOrigin::ResourceOwner, "/O=G/CN=Bo: &(action = start)"),
         ];
         let pdp = CombinedPdp::new(sources, Combiner::FirstApplicable);
@@ -295,9 +301,6 @@ mod tests {
     #[test]
     fn origin_display() {
         assert_eq!(PolicyOrigin::ResourceOwner.to_string(), "resource-owner");
-        assert_eq!(
-            PolicyOrigin::VirtualOrganization("fusion".into()).to_string(),
-            "vo:fusion"
-        );
+        assert_eq!(PolicyOrigin::VirtualOrganization("fusion".into()).to_string(), "vo:fusion");
     }
 }

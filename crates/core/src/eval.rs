@@ -45,8 +45,8 @@ pub(crate) fn relation_outcome(relation: &Relation, request: &AuthzRequest) -> R
     let request_values = request.values_for(attr);
 
     // NULL tests: the special value must be the sole right-hand side.
-    let is_null_test = relation.values().len() == 1
-        && relation.values()[0].as_str() == Some(attributes::NULL);
+    let is_null_test =
+        relation.values().len() == 1 && relation.values()[0].as_str() == Some(attributes::NULL);
     if is_null_test {
         return match relation.op() {
             gridauthz_rsl::RelOp::Ne => bool_outcome(!request_values.is_empty()),
@@ -55,23 +55,30 @@ pub(crate) fn relation_outcome(relation: &Relation, request: &AuthzRequest) -> R
         };
     }
 
-    // Resolve `self` to the requester's identity.
-    let policy_values: Vec<Value> = relation
-        .values()
-        .iter()
-        .map(|v| {
-            if v.as_str() == Some(attributes::SELF) {
-                Value::literal(request.subject().to_string())
-            } else {
-                v.clone()
-            }
-        })
-        .collect();
+    // Resolve `self` to the requester's identity. Most relations carry no
+    // `self`, so the common case borrows the policy values in place.
+    let resolved: Vec<Value>;
+    let policy_values: &[Value] =
+        if relation.values().iter().any(|v| v.as_str() == Some(attributes::SELF)) {
+            resolved = relation
+                .values()
+                .iter()
+                .map(|v| {
+                    if v.as_str() == Some(attributes::SELF) {
+                        Value::literal(request.subject().to_string())
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            &resolved
+        } else {
+            relation.values()
+        };
 
     match relation.op() {
         gridauthz_rsl::RelOp::Eq => bool_outcome(
-            !request_values.is_empty()
-                && request_values.iter().all(|v| policy_values.contains(v)),
+            !request_values.is_empty() && request_values.iter().all(|v| policy_values.contains(v)),
         ),
         gridauthz_rsl::RelOp::Ne => {
             bool_outcome(!request_values.iter().any(|v| policy_values.contains(v)))
@@ -86,7 +93,7 @@ pub(crate) fn relation_outcome(relation: &Relation, request: &AuthzRequest) -> R
             if request_values.is_empty() {
                 return RelationOutcome::Fails;
             }
-            for v in &request_values {
+            for v in request_values {
                 match v.as_int() {
                     Some(n) if op.holds_for_ints(n, bound) => {}
                     _ => return RelationOutcome::Fails,
@@ -137,18 +144,44 @@ impl Pdp {
         &self,
         subject: &gridauthz_credential::DistinguishedName,
     ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.candidate_statements_into(subject, &mut out);
+        out
+    }
+
+    /// Fills `out` with the candidate indices, reusing its allocation.
+    fn candidate_statements_into(
+        &self,
+        subject: &gridauthz_credential::DistinguishedName,
+        out: &mut Vec<usize>,
+    ) {
         match &self.index {
-            Some(index) => index.applicable(subject),
-            None => (0..self.policy.len()).collect(),
+            Some(index) => index.applicable_into(subject, out),
+            None => {
+                out.clear();
+                out.extend(0..self.policy.len());
+            }
         }
     }
 
     /// Evaluates `request` to a [`Decision`].
     pub fn decide(&self, request: &AuthzRequest) -> Decision {
-        let candidate_indices = self.candidate_statements(request.subject());
+        // Candidate indices live in a per-thread scratch buffer: one
+        // warmed-up allocation serves every decision on the thread.
+        thread_local! {
+            static CANDIDATES: std::cell::RefCell<Vec<usize>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        CANDIDATES.with(|buf| {
+            let mut candidates = buf.borrow_mut();
+            self.candidate_statements_into(request.subject(), &mut candidates);
+            self.decide_over(&candidates, request)
+        })
+    }
 
+    fn decide_over(&self, candidate_indices: &[usize], request: &AuthzRequest) -> Decision {
         // Pass 1 — requirements: every applicable conjunction must hold.
-        for &i in &candidate_indices {
+        for &i in candidate_indices {
             let statement = &self.policy.statements()[i];
             if statement.role() != StatementRole::Requirement
                 || !statement.applies_to(request.subject())
@@ -187,17 +220,16 @@ impl Pdp {
         }
 
         // Pass 2 — grants: first fully-matching conjunction permits.
-        for &i in &candidate_indices {
+        for &i in candidate_indices {
             let statement = &self.policy.statements()[i];
-            if statement.role() != StatementRole::Grant
-                || !statement.applies_to(request.subject())
+            if statement.role() != StatementRole::Grant || !statement.applies_to(request.subject())
             {
                 continue;
             }
             for rule in statement.rules() {
-                let matches = rule.relations().all(|relation| {
-                    relation_outcome(relation, request) == RelationOutcome::Holds
-                });
+                let matches = rule
+                    .relations()
+                    .all(|relation| relation_outcome(relation, request) == RelationOutcome::Holds);
                 if matches {
                     return Decision::permit(i);
                 }
@@ -275,9 +307,7 @@ mod tests {
         let p = pdp("/O=G/CN=Bo: &(action = start)(jobtag != NULL)(project = NULL)");
         assert!(p.decide(&start("/O=G/CN=Bo", "&(jobtag = ADS)")).is_permit());
         assert!(!p.decide(&start("/O=G/CN=Bo", "&(executable = x)")).is_permit());
-        assert!(!p
-            .decide(&start("/O=G/CN=Bo", "&(jobtag = ADS)(project = gold)"))
-            .is_permit());
+        assert!(!p.decide(&start("/O=G/CN=Bo", "&(jobtag = ADS)(project = gold)")).is_permit());
     }
 
     #[test]
@@ -351,10 +381,7 @@ mod tests {
     fn malformed_ordering_in_requirement_denies() {
         let p = pdp("&/O=G: (action = start)(count < lots)\n/O=G/CN=Bo: &(action = start)");
         let d = p.decide(&start("/O=G/CN=Bo", "&(count = 1)"));
-        assert!(matches!(
-            d,
-            Decision::Deny(DenyReason::MalformedComparison { .. })
-        ));
+        assert!(matches!(d, Decision::Deny(DenyReason::MalformedComparison { .. })));
     }
 
     #[test]
@@ -394,7 +421,12 @@ mod tests {
             start("/O=G/CN=Bo", "&(executable = test1)(jobtag = ADS)(count = 2)"),
             start("/O=G/CN=Bo", "&(executable = test1)(count = 2)"),
             start("/O=G/CN=Eve", "&(executable = test1)(jobtag = ADS)(count = 2)"),
-            AuthzRequest::manage(dn("/O=G/CN=Kate"), Action::Cancel, dn("/O=G/CN=Bo"), Some("NFC".into())),
+            AuthzRequest::manage(
+                dn("/O=G/CN=Kate"),
+                Action::Cancel,
+                dn("/O=G/CN=Bo"),
+                Some("NFC".into()),
+            ),
             AuthzRequest::manage(dn("/O=X/CN=Who"), Action::Information, dn("/O=X/CN=Who"), None),
         ];
         for r in &requests {

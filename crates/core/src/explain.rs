@@ -196,10 +196,19 @@ mod tests {
     fn explanation_agrees_with_decide_on_figure3_matrix() {
         let pdp = Pdp::new(paper::figure3_policy());
         let cases = [
-            request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+            request(
+                paper::bo_liu(),
+                "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)",
+            ),
             request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(count = 2)"),
-            request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)"),
-            request(paper::kate_keahey(), "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)"),
+            request(
+                paper::bo_liu(),
+                "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)",
+            ),
+            request(
+                paper::kate_keahey(),
+                "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)",
+            ),
             request(paper::outsider(), "&(executable = test1)(jobtag = ADS)"),
         ];
         for r in cases {
@@ -245,7 +254,8 @@ mod tests {
     #[test]
     fn requirement_violation_trace() {
         let pdp = Pdp::new(paper::figure3_policy());
-        let r = request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(count = 2)");
+        let r =
+            request(paper::bo_liu(), "&(executable = test1)(directory = /sandbox/test)(count = 2)");
         let explanation = pdp.explain(&r);
         let violated = &explanation.requirements[0];
         assert!(violated.applicable);

@@ -16,8 +16,10 @@ use crate::statement::SubjectMatcher;
 /// Index over a policy's statements by subject.
 #[derive(Debug, Clone, Default)]
 pub struct SubjectIndex {
-    /// Exact-DN statements: DN string → statement indices.
-    exact: HashMap<String, Vec<usize>>,
+    /// Exact-DN statements: DN → statement indices. Keyed by the parsed
+    /// DN so lookups hash the components directly instead of rendering
+    /// the subject to a string first.
+    exact: HashMap<DistinguishedName, Vec<usize>>,
     /// Prefix and wildcard statements, always candidate-checked.
     scan: Vec<usize>,
 }
@@ -29,7 +31,7 @@ impl SubjectIndex {
         for (i, statement) in policy.statements().iter().enumerate() {
             match statement.subject() {
                 SubjectMatcher::Exact(dn) => {
-                    index.exact.entry(dn.to_string()).or_default().push(i);
+                    index.exact.entry(dn.clone()).or_default().push(i);
                 }
                 SubjectMatcher::Prefix(_) | SubjectMatcher::Any => index.scan.push(i),
             }
@@ -44,13 +46,20 @@ impl SubjectIndex {
     /// does), so this only needs to be a superset that excludes the bulk
     /// of unrelated exact statements.
     pub fn applicable(&self, subject: &DistinguishedName) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .exact
-            .get(&subject.to_string()).cloned()
-            .unwrap_or_default();
+        let mut out = Vec::new();
+        self.applicable_into(subject, &mut out);
+        out
+    }
+
+    /// [`SubjectIndex::applicable`], but reusing `out`'s allocation —
+    /// the evaluator calls this with a per-thread scratch buffer.
+    pub fn applicable_into(&self, subject: &DistinguishedName, out: &mut Vec<usize>) {
+        out.clear();
+        if let Some(indices) = self.exact.get(subject) {
+            out.extend_from_slice(indices);
+        }
         out.extend_from_slice(&self.scan);
         out.sort_unstable();
-        out
     }
 
     /// Number of exact-subject buckets.

@@ -57,6 +57,7 @@
 
 mod action;
 pub mod analysis;
+mod cache;
 mod combine;
 mod decision;
 mod error;
@@ -73,6 +74,7 @@ pub mod paper;
 pub mod xacml;
 
 pub use action::Action;
+pub use cache::{request_digest, CacheStats, DecisionCache, PolicyGeneration};
 pub use combine::{CombinedDecision, CombinedPdp, Combiner, PolicyOrigin, PolicySource};
 pub use decision::{Decision, DenyReason};
 pub use error::{AuthzFailure, PolicyParseError};

@@ -97,22 +97,34 @@ mod tests {
         vec![
             (
                 "Bo starts test1 with ADS tag and 2 cpus",
-                start(bo.clone(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+                start(
+                    bo.clone(),
+                    "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)",
+                ),
                 true,
             ),
             (
                 "Bo starts test2 with NFC tag and 3 cpus",
-                start(bo.clone(), "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)"),
+                start(
+                    bo.clone(),
+                    "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)",
+                ),
                 true,
             ),
             (
                 "Bo starts test1 with 4 cpus (count < 4 violated)",
-                start(bo.clone(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)"),
+                start(
+                    bo.clone(),
+                    "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)",
+                ),
                 false,
             ),
             (
                 "Bo starts test1 with wrong jobtag",
-                start(bo.clone(), "&(executable = test1)(directory = /sandbox/test)(jobtag = NFC)(count = 2)"),
+                start(
+                    bo.clone(),
+                    "&(executable = test1)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+                ),
                 false,
             ),
             (
@@ -122,27 +134,42 @@ mod tests {
             ),
             (
                 "Bo starts test1 from the wrong directory",
-                start(bo.clone(), "&(executable = test1)(directory = /tmp)(jobtag = ADS)(count = 2)"),
+                start(
+                    bo.clone(),
+                    "&(executable = test1)(directory = /tmp)(jobtag = ADS)(count = 2)",
+                ),
                 false,
             ),
             (
                 "Bo starts an unsanctioned executable",
-                start(bo.clone(), "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)"),
+                start(
+                    bo.clone(),
+                    "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+                ),
                 false,
             ),
             (
                 "Kate starts TRANSP with NFC tag",
-                start(kate.clone(), "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)"),
+                start(
+                    kate.clone(),
+                    "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)",
+                ),
                 true,
             ),
             (
                 "Kate starts TRANSP with large cpu count (no count limit for Kate)",
-                start(kate.clone(), "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 64)"),
+                start(
+                    kate.clone(),
+                    "&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 64)",
+                ),
                 true,
             ),
             (
                 "Kate starts test1 (not sanctioned for her)",
-                start(kate.clone(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+                start(
+                    kate.clone(),
+                    "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)",
+                ),
                 false,
             ),
             (
@@ -157,7 +184,12 @@ mod tests {
             ),
             (
                 "Kate cancels her own NFC job",
-                AuthzRequest::manage(kate.clone(), Action::Cancel, kate.clone(), Some("NFC".into())),
+                AuthzRequest::manage(
+                    kate.clone(),
+                    Action::Cancel,
+                    kate.clone(),
+                    Some("NFC".into()),
+                ),
                 true,
             ),
             (
@@ -187,7 +219,10 @@ mod tests {
             ),
             (
                 "outsider starts test1 with a tag",
-                start(eve.clone(), "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+                start(
+                    eve.clone(),
+                    "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)",
+                ),
                 false,
             ),
             (
@@ -208,11 +243,7 @@ mod tests {
         let pdp = pdp();
         for (desc, request, expected) in matrix() {
             let decision = pdp.decide(&request);
-            assert_eq!(
-                decision.is_permit(),
-                expected,
-                "case {desc:?}: got {decision}"
-            );
+            assert_eq!(decision.is_permit(), expected, "case {desc:?}: got {decision}");
         }
     }
 
@@ -223,10 +254,7 @@ mod tests {
             bo_liu(),
             "&(executable = test1)(directory = /sandbox/test)(count = 2)",
         ));
-        assert!(matches!(
-            d,
-            Decision::Deny(DenyReason::RequirementViolated { statement: 0, .. })
-        ));
+        assert!(matches!(d, Decision::Deny(DenyReason::RequirementViolated { statement: 0, .. })));
     }
 
     #[test]

@@ -41,9 +41,9 @@ pub fn parse_policy(text: &str) -> Result<Policy, PolicyParseError> {
             continue;
         }
         if is_subject_header(line) {
-            let (subject, rest) = line.split_once(':').ok_or_else(|| {
-                PolicyParseError::new(line_no, "subject header is missing ':'")
-            })?;
+            let (subject, rest) = line
+                .split_once(':')
+                .ok_or_else(|| PolicyParseError::new(line_no, "subject header is missing ':'"))?;
             if let Some(stmt) = current.take() {
                 statements.push(finish_statement(stmt)?);
             }
@@ -117,11 +117,8 @@ fn parse_rules(line_no: usize, text: &str) -> Result<Vec<Conjunction>, PolicyPar
     }
     // Accept the figure's "(action = start)(jobtag != NULL)" form by
     // prepending the implicit '&'.
-    let normalized = if trimmed.starts_with('(') {
-        format!("&{trimmed}")
-    } else {
-        trimmed.to_string()
-    };
+    let normalized =
+        if trimmed.starts_with('(') { format!("&{trimmed}") } else { trimmed.to_string() };
 
     let mut rules = Vec::new();
     for piece in split_top_level_conjunctions(&normalized, line_no)? {
@@ -158,9 +155,9 @@ fn split_top_level_conjunctions(
             '"' | '\'' => in_quote = Some(c),
             '(' => depth += 1,
             ')' => {
-                depth = depth.checked_sub(1).ok_or_else(|| {
-                    PolicyParseError::new(line_no, "unbalanced ')' in rule text")
-                })?;
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| PolicyParseError::new(line_no, "unbalanced ')' in rule text"))?;
             }
             '&' if depth == 0 => {
                 if let Some(s) = start.take() {
@@ -196,9 +193,8 @@ fn validate_rule(line_no: usize, rule: &Conjunction) -> Result<(), PolicyParseEr
                                 "action values must be plain literals",
                             ));
                         };
-                        Action::from_str(s).map_err(|e| {
-                            PolicyParseError::new(line_no, e.message().to_string())
-                        })?;
+                        Action::from_str(s)
+                            .map_err(|e| PolicyParseError::new(line_no, e.message().to_string()))?;
                     }
                 }
             }
@@ -277,7 +273,10 @@ mod tests {
 
     #[test]
     fn rules_on_header_line_are_supported() {
-        let p = parse_policy("/O=G/CN=Bo: &(action = start)(executable = a) &(action = cancel)(jobowner = self)").unwrap();
+        let p = parse_policy(
+            "/O=G/CN=Bo: &(action = start)(executable = a) &(action = cancel)(jobowner = self)",
+        )
+        .unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p.statements()[0].rules().len(), 2);
     }
@@ -287,10 +286,7 @@ mod tests {
         let p = parse_policy("*: &(action = information)(jobowner = self)").unwrap();
         assert_eq!(p.statements()[0].subject(), &SubjectMatcher::Any);
         let p2 = parse_policy("/O=G*: &(action = start)").unwrap();
-        assert_eq!(
-            p2.statements()[0].subject(),
-            &SubjectMatcher::Prefix("/O=G".into())
-        );
+        assert_eq!(p2.statements()[0].subject(), &SubjectMatcher::Prefix("/O=G".into()));
         let p3 = parse_policy("&*: &(action = start)(jobtag != NULL)").unwrap();
         assert_eq!(p3.statements()[0].subject(), &SubjectMatcher::Any);
         assert_eq!(p3.statements()[0].role(), StatementRole::Requirement);
@@ -334,7 +330,9 @@ mod tests {
     #[test]
     fn rejects_disjunction_rule() {
         let err = parse_policy("/O=G/CN=Bo: |(action = start)(action = cancel)").unwrap_err();
-        assert!(err.to_string().contains("unexpected '|'") || err.to_string().contains("conjunction"));
+        assert!(
+            err.to_string().contains("unexpected '|'") || err.to_string().contains("conjunction")
+        );
     }
 
     #[test]

@@ -14,8 +14,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
+use crate::cache::{CacheStats, DecisionCache};
 use crate::combine::CombinedPdp;
 use crate::error::{AuthzFailure, PolicyParseError};
 use crate::request::AuthzRequest;
@@ -33,30 +34,78 @@ pub trait AuthorizationCallout: Send + Sync {
     /// [`AuthzFailure::SystemError`] when the authorization system itself
     /// fails (callers must fail closed).
     fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure>;
+
+    /// Notifies the callout that the policy environment changed
+    /// (grid-mapfile swap, credential revocation, policy reload).
+    /// Callouts holding derived state — notably decision caches — must
+    /// drop it. The default is a no-op for stateless callouts.
+    fn policy_updated(&self) {}
 }
 
 /// The built-in callout: evaluate against a [`CombinedPdp`] (local + VO
-/// policy, deny-overrides by default).
+/// policy, deny-overrides by default), optionally through a
+/// generation-stamped [`DecisionCache`].
 pub struct PdpCallout {
     name: String,
-    pdp: CombinedPdp,
+    pdp: RwLock<CombinedPdp>,
+    cache: Option<DecisionCache>,
 }
 
 impl PdpCallout {
-    /// Wraps `pdp` as a callout named `name`.
+    /// Wraps `pdp` as an uncached callout named `name`.
     pub fn new(name: impl Into<String>, pdp: CombinedPdp) -> PdpCallout {
-        PdpCallout { name: name.into(), pdp }
+        PdpCallout { name: name.into(), pdp: RwLock::new(pdp), cache: None }
     }
 
-    /// The wrapped combined PDP.
-    pub fn pdp(&self) -> &CombinedPdp {
-        &self.pdp
+    /// Wraps `pdp` with a decision cache in front: repeated identical
+    /// requests skip evaluation until [`PdpCallout::policy_updated`] (or a
+    /// [`PdpCallout::reload`]) bumps the cache generation.
+    pub fn cached(name: impl Into<String>, pdp: CombinedPdp) -> PdpCallout {
+        PdpCallout { name: name.into(), pdp: RwLock::new(pdp), cache: Some(DecisionCache::new()) }
+    }
+
+    /// Wraps `pdp` with a cache stamped by `cache`'s (possibly shared)
+    /// generation counter.
+    pub fn with_cache(
+        name: impl Into<String>,
+        pdp: CombinedPdp,
+        cache: DecisionCache,
+    ) -> PdpCallout {
+        PdpCallout { name: name.into(), pdp: RwLock::new(pdp), cache: Some(cache) }
+    }
+
+    /// Read access to the wrapped combined PDP.
+    pub fn pdp(&self) -> RwLockReadGuard<'_, CombinedPdp> {
+        self.pdp.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Swaps in a new combined PDP — the runtime policy-reload path. The
+    /// cache generation is bumped *after* the swap, so no decision from
+    /// the old policy survives it.
+    pub fn reload(&self, pdp: CombinedPdp) {
+        *self.pdp.write().unwrap_or_else(|e| e.into_inner()) = pdp;
+        if let Some(cache) = &self.cache {
+            cache.invalidate_all();
+        }
+    }
+
+    /// The decision cache, when this callout was built with one.
+    pub fn cache(&self) -> Option<&DecisionCache> {
+        self.cache.as_ref()
+    }
+
+    /// Hit/miss counters, when this callout was built with a cache.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(DecisionCache::stats)
     }
 }
 
 impl fmt::Debug for PdpCallout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PdpCallout").field("name", &self.name).finish()
+        f.debug_struct("PdpCallout")
+            .field("name", &self.name)
+            .field("cached", &self.cache.is_some())
+            .finish()
     }
 }
 
@@ -66,10 +115,20 @@ impl AuthorizationCallout for PdpCallout {
     }
 
     fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
-        let combined = self.pdp.decide(request);
-        match combined.decision().deny_reason() {
+        let pdp = self.pdp.read().unwrap_or_else(|e| e.into_inner());
+        let denied = match &self.cache {
+            Some(cache) => cache.decide(&pdp, request).decision().deny_reason().cloned(),
+            None => pdp.decide(request).decision().deny_reason().cloned(),
+        };
+        match denied {
             None => Ok(()),
-            Some(reason) => Err(AuthzFailure::Denied(reason.clone())),
+            Some(reason) => Err(AuthzFailure::Denied(reason)),
+        }
+    }
+
+    fn policy_updated(&self) {
+        if let Some(cache) = &self.cache {
+            cache.invalidate_all();
         }
     }
 }
@@ -119,6 +178,14 @@ impl CalloutChain {
         }
         Ok(())
     }
+
+    /// Forwards a policy-environment change to every callout (see
+    /// [`AuthorizationCallout::policy_updated`]).
+    pub fn policy_updated(&self) {
+        for callout in &self.callouts {
+            callout.policy_updated();
+        }
+    }
 }
 
 impl fmt::Debug for CalloutChain {
@@ -153,10 +220,12 @@ impl CalloutConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`PolicyParseError`] for lines with fewer than three fields
-    /// or malformed options.
+    /// Returns [`PolicyParseError`] for lines with fewer than three
+    /// fields, malformed options, or a callout name already configured on
+    /// an earlier line — a duplicate would silently shadow one of the two
+    /// definitions when the chain is instantiated.
     pub fn parse(text: &str) -> Result<CalloutConfig, PolicyParseError> {
-        let mut entries = Vec::new();
+        let mut entries: Vec<CalloutConfigEntry> = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -172,6 +241,12 @@ impl CalloutConfig {
                     "callout config lines need: name library symbol [key=value ...]",
                 ));
             };
+            if entries.iter().any(|e| e.name == name) {
+                return Err(PolicyParseError::new(
+                    line_no,
+                    format!("duplicate callout name {name:?}"),
+                ));
+            }
             let mut options = HashMap::new();
             for opt in fields {
                 let Some((k, v)) = opt.split_once('=') else {
@@ -199,8 +274,11 @@ impl CalloutConfig {
 }
 
 /// A factory building a callout from its configuration entry.
-pub type CalloutFactory =
-    Box<dyn Fn(&CalloutConfigEntry) -> Result<Arc<dyn AuthorizationCallout>, AuthzFailure> + Send + Sync>;
+pub type CalloutFactory = Box<
+    dyn Fn(&CalloutConfigEntry) -> Result<Arc<dyn AuthorizationCallout>, AuthzFailure>
+        + Send
+        + Sync,
+>;
 
 /// Maps "library" names to callout factories — the memory-safe stand-in
 /// for the paper's `dlopen`-based runtime loading.
@@ -271,7 +349,8 @@ mod tests {
     }
 
     fn pdp_callout(policy: &str) -> PdpCallout {
-        let source = PolicySource::new("test", PolicyOrigin::ResourceOwner, policy.parse().unwrap());
+        let source =
+            PolicySource::new("test", PolicyOrigin::ResourceOwner, policy.parse().unwrap());
         PdpCallout::new("test-callout", CombinedPdp::new(vec![source], Combiner::DenyOverrides))
     }
 
@@ -279,9 +358,7 @@ mod tests {
     fn pdp_callout_permits_and_denies() {
         let callout = pdp_callout("/O=G/CN=Bo: &(action = start)(executable = a)");
         assert!(callout.authorize(&request("/O=G/CN=Bo", "&(executable = a)")).is_ok());
-        let err = callout
-            .authorize(&request("/O=G/CN=Bo", "&(executable = b)"))
-            .unwrap_err();
+        let err = callout.authorize(&request("/O=G/CN=Bo", "&(executable = b)")).unwrap_err();
         assert!(err.is_denial());
     }
 
@@ -335,6 +412,97 @@ gram-audit libaudit.so audit_authorize";
     }
 
     #[test]
+    fn config_rejects_duplicate_callout_names() {
+        let text = "\
+# comment line
+gram-authorization liba.so sym_a
+gram-audit libb.so sym_b
+gram-authorization libc.so sym_c";
+        let err = CalloutConfig::parse(text).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(err.to_string().contains("gram-authorization"), "{err}");
+        // Distinct names still parse.
+        assert!(CalloutConfig::parse("a lib.so s\nb lib.so s").is_ok());
+    }
+
+    #[test]
+    fn cached_callout_agrees_with_uncached() {
+        let build = |cached: bool| {
+            let source = PolicySource::new(
+                "test",
+                PolicyOrigin::ResourceOwner,
+                "/O=G/CN=Bo: &(action = start)(executable = a)".parse().unwrap(),
+            );
+            let pdp = CombinedPdp::new(vec![source], Combiner::DenyOverrides);
+            if cached {
+                PdpCallout::cached("c", pdp)
+            } else {
+                PdpCallout::new("c", pdp)
+            }
+        };
+        let cached = build(true);
+        let plain = build(false);
+        for job in ["&(executable = a)", "&(executable = b)"] {
+            for _ in 0..3 {
+                let r = request("/O=G/CN=Bo", job);
+                assert_eq!(cached.authorize(&r).is_ok(), plain.authorize(&r).is_ok(), "{job}");
+            }
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (4, 2));
+        assert!(plain.cache_stats().is_none());
+    }
+
+    #[test]
+    fn reload_drops_cached_permits() {
+        let source = PolicySource::new(
+            "test",
+            PolicyOrigin::ResourceOwner,
+            "/O=G/CN=Bo: &(action = start)(executable = a)".parse().unwrap(),
+        );
+        let callout =
+            PdpCallout::cached("c", CombinedPdp::new(vec![source], Combiner::DenyOverrides));
+        let r = request("/O=G/CN=Bo", "&(executable = a)");
+        assert!(callout.authorize(&r).is_ok());
+        assert!(callout.authorize(&r).is_ok()); // cached permit
+
+        // Reload with a policy that revokes Bo's grant: the cached permit
+        // must not survive.
+        let revoked = PolicySource::new(
+            "test",
+            PolicyOrigin::ResourceOwner,
+            "/O=G/CN=Kate: &(action = start)".parse().unwrap(),
+        );
+        callout.reload(CombinedPdp::new(vec![revoked], Combiner::DenyOverrides));
+        assert!(callout.authorize(&r).is_err());
+        assert_eq!(callout.pdp().sources().len(), 1);
+    }
+
+    #[test]
+    fn policy_updated_invalidates_chain_caches() {
+        let source = PolicySource::new(
+            "test",
+            PolicyOrigin::ResourceOwner,
+            "/O=G/CN=Bo: &(action = start)(executable = a)".parse().unwrap(),
+        );
+        let callout = Arc::new(PdpCallout::cached(
+            "c",
+            CombinedPdp::new(vec![source], Combiner::DenyOverrides),
+        ));
+        let mut chain = CalloutChain::new();
+        chain.push(callout.clone());
+        let r = request("/O=G/CN=Bo", "&(executable = a)");
+        chain.authorize(&r).unwrap();
+        chain.authorize(&r).unwrap();
+        assert_eq!(callout.cache_stats().unwrap().hits, 1);
+        chain.policy_updated();
+        chain.authorize(&r).unwrap();
+        // Post-invalidation the entry was stale: no new hit yet.
+        assert_eq!(callout.cache_stats().unwrap().hits, 1);
+        assert_eq!(callout.cache_stats().unwrap().misses, 2);
+    }
+
+    #[test]
     fn registry_instantiates_config() {
         let mut registry = CalloutRegistry::new();
         registry.register(
@@ -344,9 +512,9 @@ gram-audit libaudit.so audit_authorize";
                 let source = PolicySource::new(
                     "configured",
                     PolicyOrigin::ResourceOwner,
-                    policy.parse().map_err(|e| {
-                        AuthzFailure::SystemError(format!("bad policy: {e}"))
-                    })?,
+                    policy
+                        .parse()
+                        .map_err(|e| AuthzFailure::SystemError(format!("bad policy: {e}")))?,
                 );
                 Ok(Arc::new(PdpCallout::new(
                     entry.name.clone(),
@@ -359,8 +527,7 @@ gram-audit libaudit.so audit_authorize";
         // Inline policies cannot contain spaces in this config format, so
         // exercise with a single-token policy.
         let config =
-            CalloutConfig::parse("authz librsl_pdp.so sym policy=*:&(action=information)")
-                .unwrap();
+            CalloutConfig::parse("authz librsl_pdp.so sym policy=*:&(action=information)").unwrap();
         let chain = registry.instantiate(&config).unwrap();
         assert_eq!(chain.len(), 1);
         assert_eq!(chain.names(), vec!["authz"]);

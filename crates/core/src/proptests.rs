@@ -6,21 +6,19 @@ use gridauthz_credential::DistinguishedName;
 use gridauthz_rsl::{Attribute, Clause, Conjunction, RelOp, Relation, Value};
 
 use crate::action::Action;
+use crate::cache::DecisionCache;
 use crate::combine::{CombinedPdp, Combiner, PolicyOrigin, PolicySource};
 use crate::decision::{Decision, DenyReason};
 use crate::eval::Pdp;
+use crate::pep::{AuthorizationCallout, PdpCallout};
 use crate::policy::Policy;
 use crate::request::AuthzRequest;
 use crate::statement::{PolicyStatement, StatementRole, SubjectMatcher};
 
 const ATTRS: [&str; 5] = ["executable", "directory", "jobtag", "queue", "project"];
 const VALUES: [&str; 5] = ["a", "b", "c", "test1", "TRANSP"];
-const USERS: [&str; 4] = [
-    "/O=G/OU=mcs/CN=Bo",
-    "/O=G/OU=mcs/CN=Kate",
-    "/O=G/OU=wisc/CN=Sam",
-    "/O=H/CN=Eve",
-];
+const USERS: [&str; 4] =
+    ["/O=G/OU=mcs/CN=Bo", "/O=G/OU=mcs/CN=Kate", "/O=G/OU=wisc/CN=Sam", "/O=H/CN=Eve"];
 
 fn dn(s: &str) -> DistinguishedName {
     s.parse().unwrap()
@@ -38,9 +36,7 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
         (0i64..6).prop_map(Value::int),
     ];
     let op = prop_oneof![Just(RelOp::Eq), Just(RelOp::Ne), Just(RelOp::Lt), Just(RelOp::Ge)];
-    (attr, op, value).prop_map(|(a, op, v)| {
-        Relation::new(Attribute::new(a).unwrap(), op, vec![v])
-    })
+    (attr, op, value).prop_map(|(a, op, v)| Relation::new(Attribute::new(a).unwrap(), op, vec![v]))
 }
 
 fn arb_rule() -> impl Strategy<Value = Conjunction> {
@@ -101,13 +97,8 @@ fn arb_request() -> impl Strategy<Value = AuthzRequest> {
     )
         .prop_map(|(subject, action, job, owner, tag)| match action {
             Action::Start => AuthzRequest::start(dn(subject), job),
-            other => AuthzRequest::manage(
-                dn(subject),
-                other,
-                dn(owner),
-                tag.map(str::to_string),
-            )
-            .with_job(job),
+            other => AuthzRequest::manage(dn(subject), other, dn(owner), tag.map(str::to_string))
+                .with_job(job),
         })
 }
 
@@ -237,6 +228,57 @@ proptest! {
         let before = Pdp::new(base).decide(&request).is_permit();
         let after = Pdp::new(extended).decide(&request).is_permit();
         prop_assert!(!before || after, "adding a grant revoked a permit");
+    }
+
+    /// The decision cache is semantically transparent: cached and uncached
+    /// evaluation agree on every request, including repeats that hit the
+    /// cache, across randomized policies and requests.
+    #[test]
+    fn cache_is_transparent(
+        local in arb_policy(),
+        vo in arb_policy(),
+        requests in prop::collection::vec(arb_request(), 1..6),
+    ) {
+        let pdp = CombinedPdp::new(
+            vec![
+                PolicySource::new("local", PolicyOrigin::ResourceOwner, local),
+                PolicySource::new("vo", PolicyOrigin::VirtualOrganization("v".into()), vo),
+            ],
+            Combiner::DenyOverrides,
+        );
+        let cache = DecisionCache::new();
+        for request in &requests {
+            // Second iteration is served from the cache; both must agree
+            // with a fresh uncached evaluation.
+            for _ in 0..2 {
+                prop_assert_eq!(&*cache.decide(&pdp, request), &pdp.decide(request));
+            }
+        }
+    }
+
+    /// Generation invalidation is complete: after a policy reload, the
+    /// cached callout always agrees with a fresh uncached evaluation of
+    /// the *new* policy — no stale permit (or stale deny) survives.
+    #[test]
+    fn reload_never_serves_stale(
+        before in arb_policy(),
+        after in arb_policy(),
+        requests in prop::collection::vec(arb_request(), 1..6),
+    ) {
+        let make = |p: &Policy| CombinedPdp::new(
+            vec![PolicySource::new("s", PolicyOrigin::ResourceOwner, p.clone())],
+            Combiner::DenyOverrides,
+        );
+        let cached = PdpCallout::cached("s", make(&before));
+        // Warm the cache under the old policy.
+        for request in &requests {
+            let _ = cached.authorize(request);
+        }
+        cached.reload(make(&after));
+        let fresh = PdpCallout::new("s", make(&after));
+        for request in &requests {
+            prop_assert_eq!(cached.authorize(request), fresh.authorize(request));
+        }
     }
 
     /// Policy text round-trips: Display → parse → same decisions.

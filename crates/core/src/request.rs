@@ -8,6 +8,20 @@ use gridauthz_rsl::{attributes, Conjunction, RelOp, Value};
 
 use crate::action::Action;
 
+/// The synthesized/extracted attribute values of one request, built once
+/// at construction so [`AuthzRequest::values_for`] — called for every
+/// relation of every candidate statement — returns borrowed slices
+/// instead of allocating.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct AttrTable {
+    action: Vec<Value>,
+    job_owner: Vec<Value>,
+    jobtag: Vec<Value>,
+    /// `=`-relation values from the job description, grouped per
+    /// attribute name (first-seen spelling), in description order.
+    job_attrs: Vec<(String, Vec<Value>)>,
+}
+
 /// Everything the policy evaluator may inspect about one request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuthzRequest {
@@ -19,12 +33,13 @@ pub struct AuthzRequest {
     jobtag: Option<String>,
     limited_proxy: bool,
     restrictions: Vec<String>,
+    attrs: AttrTable,
 }
 
 impl AuthzRequest {
     /// A job-startup request: `subject` asks to run `job`.
     pub fn start(subject: DistinguishedName, job: Conjunction) -> AuthzRequest {
-        AuthzRequest {
+        let mut request = AuthzRequest {
             subject,
             action: Action::Start,
             job: Some(job),
@@ -33,7 +48,10 @@ impl AuthzRequest {
             jobtag: None,
             limited_proxy: false,
             restrictions: Vec::new(),
-        }
+            attrs: AttrTable::default(),
+        };
+        request.rebuild_attrs();
+        request
     }
 
     /// A job-management request: `subject` asks to perform `action` on an
@@ -44,7 +62,7 @@ impl AuthzRequest {
         job_owner: DistinguishedName,
         jobtag: Option<String>,
     ) -> AuthzRequest {
-        AuthzRequest {
+        let mut request = AuthzRequest {
             subject,
             action,
             job: None,
@@ -53,6 +71,39 @@ impl AuthzRequest {
             jobtag,
             limited_proxy: false,
             restrictions: Vec::new(),
+            attrs: AttrTable::default(),
+        };
+        request.rebuild_attrs();
+        request
+    }
+
+    /// Recomputes the attribute table; called whenever a field it derives
+    /// from changes.
+    fn rebuild_attrs(&mut self) {
+        self.attrs.action = vec![Value::literal(self.action.as_str())];
+        self.attrs.job_owner = vec![Value::literal(self.job_owner().to_string())];
+        self.attrs.jobtag = match self.jobtag() {
+            Some(tag) => vec![Value::literal(tag)],
+            None => Vec::new(),
+        };
+        self.attrs.job_attrs.clear();
+        if let Some(job) = &self.job {
+            for relation in job.relations().filter(|r| r.op() == RelOp::Eq) {
+                let name = relation.attribute().as_str();
+                let slot = match self
+                    .attrs
+                    .job_attrs
+                    .iter()
+                    .position(|(n, _)| n.eq_ignore_ascii_case(name))
+                {
+                    Some(i) => i,
+                    None => {
+                        self.attrs.job_attrs.push((name.to_string(), Vec::new()));
+                        self.attrs.job_attrs.len() - 1
+                    }
+                };
+                self.attrs.job_attrs[slot].1.extend(relation.values().iter().cloned());
+            }
         }
     }
 
@@ -61,6 +112,8 @@ impl AuthzRequest {
     #[must_use]
     pub fn with_subject(mut self, subject: DistinguishedName) -> Self {
         self.subject = subject;
+        // A start request's jobowner is the subject itself.
+        self.rebuild_attrs();
         self
     }
 
@@ -76,6 +129,7 @@ impl AuthzRequest {
     #[must_use]
     pub fn with_job(mut self, job: Conjunction) -> Self {
         self.job = Some(job);
+        self.rebuild_attrs();
         self
     }
 
@@ -125,10 +179,7 @@ impl AuthzRequest {
         if let Some(tag) = &self.jobtag {
             return Some(tag);
         }
-        self.job
-            .as_ref()
-            .and_then(|j| j.first_value(attributes::JOBTAG))
-            .and_then(Value::as_str)
+        self.job.as_ref().and_then(|j| j.first_value(attributes::JOBTAG)).and_then(Value::as_str)
     }
 
     /// True when the requester presented a limited proxy.
@@ -146,28 +197,24 @@ impl AuthzRequest {
     /// `action`, `jobowner` and `jobtag` are synthesized from the request
     /// itself; everything else comes from `=` relations in the job
     /// description. An empty result means "attribute absent", which is what
-    /// the special `NULL` value tests.
-    pub fn values_for(&self, attribute: &str) -> Vec<Value> {
+    /// the special `NULL` value tests. The slice is borrowed from a table
+    /// built at construction, so the evaluator's per-relation lookups do
+    /// not allocate.
+    pub fn values_for(&self, attribute: &str) -> &[Value] {
         if attribute.eq_ignore_ascii_case(attributes::ACTION) {
-            return vec![Value::literal(self.action.as_str())];
+            return &self.attrs.action;
         }
         if attribute.eq_ignore_ascii_case(attributes::JOBOWNER) {
-            return vec![Value::literal(self.job_owner().to_string())];
+            return &self.attrs.job_owner;
         }
         if attribute.eq_ignore_ascii_case(attributes::JOBTAG) {
-            return match self.jobtag() {
-                Some(tag) => vec![Value::literal(tag)],
-                None => Vec::new(),
-            };
+            return &self.attrs.jobtag;
         }
-        match &self.job {
-            Some(job) => job
-                .relations_for(attribute)
-                .filter(|r| r.op() == RelOp::Eq)
-                .flat_map(|r| r.values().iter().cloned())
-                .collect(),
-            None => Vec::new(),
-        }
+        self.attrs
+            .job_attrs
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(attribute))
+            .map_or(&[], |(_, values)| values)
     }
 }
 

@@ -103,17 +103,11 @@ fn write_value(out: &mut String, value: &Value, indent: usize) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-        .replace('"', "&quot;")
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&lt;", "<")
-        .replace("&gt;", ">")
-        .replace("&quot;", "\"")
-        .replace("&amp;", "&")
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&quot;", "\"").replace("&amp;", "&")
 }
 
 // --- A minimal XML reader for exactly this profile -----------------------
@@ -386,12 +380,8 @@ mod tests {
             "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)",
         )
         .unwrap();
-        let request =
-            AuthzRequest::start(paper::bo_liu(), job.as_conjunction().unwrap().clone());
-        assert_eq!(
-            Pdp::new(policy).decide(&request),
-            Pdp::new(reparsed).decide(&request)
-        );
+        let request = AuthzRequest::start(paper::bo_liu(), job.as_conjunction().unwrap().clone());
+        assert_eq!(Pdp::new(policy).decide(&request), Pdp::new(reparsed).decide(&request));
     }
 
     #[test]

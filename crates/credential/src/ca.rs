@@ -59,7 +59,13 @@ impl CertificateAuthority {
             not_after: clock.now().saturating_add(SimDuration::from_hours(24 * 365 * 10)),
         };
         let tbs = Certificate::tbs_bytes(
-            1, &subject, &subject, keys.public(), validity, &CertificateKind::Ca, &[],
+            1,
+            &subject,
+            &subject,
+            keys.public(),
+            validity,
+            &CertificateKind::Ca,
+            &[],
         );
         let signature = keys.private().sign(&tbs);
         let cert = Certificate::assemble(
@@ -135,9 +141,8 @@ impl CertificateAuthority {
         let now = self.clock.now();
         let validity = Validity { not_before: now, not_after: now.saturating_add(lifetime) };
         let issuer = self.credential.certificate().subject().clone();
-        let tbs = Certificate::tbs_bytes(
-            serial, &subject, &issuer, keys.public(), validity, &kind, &[],
-        );
+        let tbs =
+            Certificate::tbs_bytes(serial, &subject, &issuer, keys.public(), validity, &kind, &[]);
         let signature = self.credential.private_key().sign(&tbs);
         let cert = Certificate::assemble(
             serial,
@@ -172,9 +177,7 @@ mod tests {
     fn issued_identity_is_signed_by_ca() {
         let clock = SimClock::new();
         let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
-        let user = ca
-            .issue_identity("/O=Grid/CN=Bo Liu", SimDuration::from_hours(1))
-            .unwrap();
+        let user = ca.issue_identity("/O=Grid/CN=Bo Liu", SimDuration::from_hours(1)).unwrap();
         assert!(user.certificate().verify_signature(ca.certificate().public_key()));
         assert_eq!(user.certificate().kind(), &CertificateKind::EndEntity);
         assert_eq!(user.chain().len(), 2);
@@ -187,9 +190,7 @@ mod tests {
         clock.advance(SimDuration::from_secs(500));
         let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
         clock.advance(SimDuration::from_secs(100));
-        let user = ca
-            .issue_identity("/O=Grid/CN=U", SimDuration::from_secs(60))
-            .unwrap();
+        let user = ca.issue_identity("/O=Grid/CN=U", SimDuration::from_secs(60)).unwrap();
         assert_eq!(user.certificate().validity().not_before.as_secs(), 600);
         assert_eq!(user.certificate().validity().not_after.as_secs(), 660);
     }
@@ -210,9 +211,7 @@ mod tests {
         let sub = root
             .issue_subordinate_ca("/O=Grid/OU=Site/CN=Site CA", SimDuration::from_hours(10))
             .unwrap();
-        let user = sub
-            .issue_identity("/O=Grid/OU=Site/CN=U", SimDuration::from_hours(1))
-            .unwrap();
+        let user = sub.issue_identity("/O=Grid/OU=Site/CN=U", SimDuration::from_hours(1)).unwrap();
         assert_eq!(user.chain().len(), 3);
         assert!(user.certificate().verify_signature(sub.certificate().public_key()));
     }

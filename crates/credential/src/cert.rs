@@ -174,10 +174,7 @@ impl Certificate {
 
     /// Looks up an extension payload by name.
     pub fn extension(&self, name: &str) -> Option<&str> {
-        self.extensions
-            .iter()
-            .find(|e| e.name == name)
-            .map(|e| e.value.as_str())
+        self.extensions.iter().find(|e| e.name == name).map(|e| e.value.as_str())
     }
 
     /// The issuer's signature over [`Certificate::own_tbs_bytes`].
@@ -233,27 +230,55 @@ mod tests {
         let issuer = DistinguishedName::parse("/O=Grid/CN=CA").unwrap();
         let validity = Validity { not_before: SimTime::EPOCH, not_after: SimTime::from_secs(100) };
         let base = Certificate::tbs_bytes(
-            1, &subject, &issuer, kp.public(), validity, &CertificateKind::EndEntity, &[],
+            1,
+            &subject,
+            &issuer,
+            kp.public(),
+            validity,
+            &CertificateKind::EndEntity,
+            &[],
         );
 
         let other_serial = Certificate::tbs_bytes(
-            2, &subject, &issuer, kp.public(), validity, &CertificateKind::EndEntity, &[],
+            2,
+            &subject,
+            &issuer,
+            kp.public(),
+            validity,
+            &CertificateKind::EndEntity,
+            &[],
         );
         assert_ne!(base, other_serial);
 
         let other_key = Certificate::tbs_bytes(
-            1, &subject, &issuer, kp2.public(), validity, &CertificateKind::EndEntity, &[],
+            1,
+            &subject,
+            &issuer,
+            kp2.public(),
+            validity,
+            &CertificateKind::EndEntity,
+            &[],
         );
         assert_ne!(base, other_key);
 
         let other_kind = Certificate::tbs_bytes(
-            1, &subject, &issuer, kp.public(), validity,
-            &CertificateKind::Proxy(ProxyKind::Impersonation), &[],
+            1,
+            &subject,
+            &issuer,
+            kp.public(),
+            validity,
+            &CertificateKind::Proxy(ProxyKind::Impersonation),
+            &[],
         );
         assert_ne!(base, other_kind);
 
         let with_ext = Certificate::tbs_bytes(
-            1, &subject, &issuer, kp.public(), validity, &CertificateKind::EndEntity,
+            1,
+            &subject,
+            &issuer,
+            kp.public(),
+            validity,
+            &CertificateKind::EndEntity,
             &[Extension { name: "cas-policy".into(), value: "x".into() }],
         );
         assert_ne!(base, with_ext);

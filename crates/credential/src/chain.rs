@@ -37,10 +37,7 @@ impl TrustStore {
             cert.kind() == &CertificateKind::Ca && cert.is_self_signed(),
             "trust anchors must be self-signed CA certificates"
         );
-        self.anchors
-            .entry(cert.subject().to_string())
-            .or_default()
-            .push(cert.public_key());
+        self.anchors.entry(cert.subject().to_string()).or_default().push(cert.public_key());
     }
 
     /// True when `cert` matches an installed anchor (same subject *and*
@@ -174,10 +171,8 @@ pub fn verify_chain(
     }
 
     // Kind structure: proxies* end-entity ca+.
-    let ee_index = chain
-        .iter()
-        .position(|c| c.kind() == &CertificateKind::EndEntity)
-        .ok_or_else(|| {
+    let ee_index =
+        chain.iter().position(|c| c.kind() == &CertificateKind::EndEntity).ok_or_else(|| {
             CredentialError::MalformedChain("chain contains no end-entity certificate".into())
         })?;
     for (i, cert) in chain.iter().enumerate() {
@@ -261,9 +256,8 @@ mod tests {
         let ca = CertificateAuthority::new_root("/O=Grid/CN=Root", &clock).unwrap();
         let mut trust = TrustStore::new();
         trust.add_anchor(ca.certificate().clone());
-        let user = ca
-            .issue_identity("/O=Grid/O=Globus/CN=Bo Liu", SimDuration::from_hours(10))
-            .unwrap();
+        let user =
+            ca.issue_identity("/O=Grid/O=Globus/CN=Bo Liu", SimDuration::from_hours(10)).unwrap();
         Fixture { clock, ca, trust, user }
     }
 
@@ -282,22 +276,17 @@ mod tests {
         let proxy = f.user.delegate_proxy(SimDuration::from_hours(1)).unwrap();
         let id = verify_chain(proxy.chain(), &f.trust, f.clock.now()).unwrap();
         assert_eq!(id.subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu");
-        assert_eq!(
-            id.leaf_subject().to_string(),
-            "/O=Grid/O=Globus/CN=Bo Liu/CN=proxy"
-        );
+        assert_eq!(id.leaf_subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu/CN=proxy");
     }
 
     #[test]
     fn validates_subordinate_ca_chain() {
         let f = fixture();
-        let sub = f
-            .ca
-            .issue_subordinate_ca("/O=Grid/OU=Site/CN=Site CA", SimDuration::from_hours(20))
-            .unwrap();
-        let user = sub
-            .issue_identity("/O=Grid/OU=Site/CN=Kate", SimDuration::from_hours(1))
-            .unwrap();
+        let sub =
+            f.ca.issue_subordinate_ca("/O=Grid/OU=Site/CN=Site CA", SimDuration::from_hours(20))
+                .unwrap();
+        let user =
+            sub.issue_identity("/O=Grid/OU=Site/CN=Kate", SimDuration::from_hours(1)).unwrap();
         let id = verify_chain(user.chain(), &f.trust, f.clock.now()).unwrap();
         assert_eq!(id.subject().to_string(), "/O=Grid/OU=Site/CN=Kate");
     }
@@ -305,10 +294,7 @@ mod tests {
     #[test]
     fn rejects_empty_chain() {
         let f = fixture();
-        assert_eq!(
-            verify_chain(&[], &f.trust, f.clock.now()),
-            Err(CredentialError::EmptyChain)
-        );
+        assert_eq!(verify_chain(&[], &f.trust, f.clock.now()), Err(CredentialError::EmptyChain));
     }
 
     #[test]
@@ -316,9 +302,7 @@ mod tests {
         let f = fixture();
         let rogue_clock = SimClock::new();
         let rogue = CertificateAuthority::new_root("/O=Rogue/CN=Root", &rogue_clock).unwrap();
-        let user = rogue
-            .issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1))
-            .unwrap();
+        let user = rogue.issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1)).unwrap();
         assert!(matches!(
             verify_chain(user.chain(), &f.trust, f.clock.now()),
             Err(CredentialError::UntrustedRoot(_))
@@ -330,12 +314,9 @@ mod tests {
         // An attacker minting a CA with the *same DN* as the trusted root
         // must still be rejected: anchors match on key, not name.
         let f = fixture();
-        let fake =
-            CertificateAuthority::new_root_with_seed("/O=Grid/CN=Root", 0xbad5eed, &f.clock)
-                .unwrap();
-        let user = fake
-            .issue_identity("/O=Grid/CN=Eve", SimDuration::from_hours(1))
+        let fake = CertificateAuthority::new_root_with_seed("/O=Grid/CN=Root", 0xbad5eed, &f.clock)
             .unwrap();
+        let user = fake.issue_identity("/O=Grid/CN=Eve", SimDuration::from_hours(1)).unwrap();
         assert!(matches!(
             verify_chain(user.chain(), &f.trust, f.clock.now()),
             Err(CredentialError::UntrustedRoot(_))
@@ -345,10 +326,7 @@ mod tests {
     #[test]
     fn rejects_expired_certificate() {
         let f = fixture();
-        let short = f
-            .ca
-            .issue_identity("/O=Grid/CN=Flash", SimDuration::from_secs(60))
-            .unwrap();
+        let short = f.ca.issue_identity("/O=Grid/CN=Flash", SimDuration::from_secs(60)).unwrap();
         f.clock.advance(SimDuration::from_secs(120));
         assert!(matches!(
             verify_chain(short.chain(), &f.trust, f.clock.now()),
@@ -359,10 +337,7 @@ mod tests {
     #[test]
     fn rejects_expired_proxy_of_valid_identity() {
         let f = fixture();
-        let proxy = f
-            .user
-            .delegate_proxy_at(f.clock.now(), SimDuration::from_secs(30))
-            .unwrap();
+        let proxy = f.user.delegate_proxy_at(f.clock.now(), SimDuration::from_secs(30)).unwrap();
         f.clock.advance(SimDuration::from_secs(60));
         let err = verify_chain(proxy.chain(), &f.trust, f.clock.now()).unwrap_err();
         match err {
@@ -418,10 +393,7 @@ mod tests {
     #[test]
     fn collects_limited_flag() {
         let f = fixture();
-        let p = f
-            .user
-            .delegate_limited_proxy(f.clock.now(), SimDuration::from_hours(1))
-            .unwrap();
+        let p = f.user.delegate_limited_proxy(f.clock.now(), SimDuration::from_hours(1)).unwrap();
         let id = verify_chain(p.chain(), &f.trust, f.clock.now()).unwrap();
         assert!(id.is_limited());
         assert_eq!(id.subject().to_string(), "/O=Grid/O=Globus/CN=Bo Liu");
@@ -435,9 +407,8 @@ mod tests {
             .user
             .delegate_restricted_proxy(now, SimDuration::from_hours(2), "outer".into())
             .unwrap();
-        let p2 = p1
-            .delegate_restricted_proxy(now, SimDuration::from_hours(1), "inner".into())
-            .unwrap();
+        let p2 =
+            p1.delegate_restricted_proxy(now, SimDuration::from_hours(1), "inner".into()).unwrap();
         let id = verify_chain(p2.chain(), &f.trust, f.clock.now()).unwrap();
         let values: Vec<&str> = id.restrictions().iter().map(|e| e.value.as_str()).collect();
         assert_eq!(values, vec!["inner", "outer"]);
@@ -446,12 +417,8 @@ mod tests {
     #[test]
     fn revoked_identity_is_rejected_and_others_unaffected() {
         let mut f = fixture();
-        let other = f
-            .ca
-            .issue_identity("/O=Grid/CN=Other", SimDuration::from_hours(1))
-            .unwrap();
-        f.trust
-            .revoke(f.ca.certificate().subject(), f.user.certificate().serial());
+        let other = f.ca.issue_identity("/O=Grid/CN=Other", SimDuration::from_hours(1)).unwrap();
+        f.trust.revoke(f.ca.certificate().subject(), f.user.certificate().serial());
         match verify_chain(f.user.chain(), &f.trust, f.clock.now()) {
             Err(CredentialError::Revoked { serial, .. }) => {
                 assert_eq!(serial, f.user.certificate().serial());
@@ -469,8 +436,7 @@ mod tests {
     fn revoking_a_proxy_serial_leaves_the_identity_usable() {
         let mut f = fixture();
         let proxy = f.user.delegate_proxy(SimDuration::from_hours(1)).unwrap();
-        f.trust
-            .revoke(f.user.certificate().subject(), proxy.certificate().serial());
+        f.trust.revoke(f.user.certificate().subject(), proxy.certificate().serial());
         assert!(verify_chain(proxy.chain(), &f.trust, f.clock.now()).is_err());
         assert!(verify_chain(f.user.chain(), &f.trust, f.clock.now()).is_ok());
     }

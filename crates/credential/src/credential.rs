@@ -130,20 +130,31 @@ impl Credential {
         let subject = self.certificate.subject().child("CN", cn)?;
         let issuer = self.certificate.subject().clone();
         // Proxy lifetime never exceeds the delegating certificate's.
-        let not_after = now
-            .saturating_add(lifetime)
-            .min(self.certificate.validity().not_after);
+        let not_after = now.saturating_add(lifetime).min(self.certificate.validity().not_after);
         let validity = Validity { not_before: now, not_after };
         let seed = sha256_prefix_u64(format!("proxy:{subject}:{now}:{lifetime}").as_bytes());
         let keys = KeyPair::generate(&mut StdRng::seed_from_u64(seed));
         let serial = PROXY_SERIAL.fetch_add(1, Ordering::SeqCst);
         let cert_kind = CertificateKind::Proxy(kind);
         let tbs = Certificate::tbs_bytes(
-            serial, &subject, &issuer, keys.public(), validity, &cert_kind, &extensions,
+            serial,
+            &subject,
+            &issuer,
+            keys.public(),
+            validity,
+            &cert_kind,
+            &extensions,
         );
         let signature = self.private_key.sign(&tbs);
         let cert = Certificate::assemble(
-            serial, subject, issuer, keys.public(), validity, cert_kind, extensions, signature,
+            serial,
+            subject,
+            issuer,
+            keys.public(),
+            validity,
+            cert_kind,
+            extensions,
+            signature,
         );
         let mut chain = vec![cert.clone()];
         chain.extend(self.chain.iter().cloned());
@@ -183,18 +194,13 @@ mod tests {
     fn proxy_lifetime_clipped_to_parent() {
         let u = user();
         let p = u.delegate_proxy(SimDuration::from_hours(100)).unwrap();
-        assert_eq!(
-            p.certificate().validity().not_after,
-            u.certificate().validity().not_after
-        );
+        assert_eq!(p.certificate().validity().not_after, u.certificate().validity().not_after);
     }
 
     #[test]
     fn limited_proxy_is_marked() {
         let u = user();
-        let p = u
-            .delegate_limited_proxy(SimTime::EPOCH, SimDuration::from_hours(1))
-            .unwrap();
+        let p = u.delegate_limited_proxy(SimTime::EPOCH, SimDuration::from_hours(1)).unwrap();
         assert_eq!(p.certificate().kind(), &CertificateKind::Proxy(ProxyKind::Limited));
         assert!(p.certificate().subject().to_string().ends_with("/CN=limited proxy"));
         assert_eq!(p.identity().to_string(), "/O=Grid/CN=Bo Liu");
@@ -222,10 +228,7 @@ mod tests {
         let u = user();
         let p1 = u.delegate_proxy(SimDuration::from_hours(2)).unwrap();
         let p2 = p1.delegate_proxy(SimDuration::from_hours(1)).unwrap();
-        assert_eq!(
-            p2.certificate().subject().to_string(),
-            "/O=Grid/CN=Bo Liu/CN=proxy/CN=proxy"
-        );
+        assert_eq!(p2.certificate().subject().to_string(), "/O=Grid/CN=Bo Liu/CN=proxy/CN=proxy");
         assert_eq!(p2.identity().to_string(), "/O=Grid/CN=Bo Liu");
         assert_eq!(p2.chain().len(), 4);
     }

@@ -75,11 +75,7 @@ impl DistinguishedName {
 
     /// The value of the last `CN` component, if any — the human name.
     pub fn common_name(&self) -> Option<&str> {
-        self.components
-            .iter()
-            .rev()
-            .find(|(k, _)| k == "CN")
-            .map(|(_, v)| v.as_str())
+        self.components.iter().rev().find(|(k, _)| k == "CN").map(|(_, v)| v.as_str())
     }
 
     /// Returns a new DN with `key=value` appended — how proxy-certificate

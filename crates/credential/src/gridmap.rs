@@ -188,9 +188,7 @@ mod tests {
     fn parses_sample() {
         let map = GridMapFile::parse(SAMPLE).unwrap();
         assert_eq!(map.len(), 2);
-        let kate = map
-            .lookup(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"))
-            .unwrap();
+        let kate = map.lookup(&dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey")).unwrap();
         assert_eq!(kate.default_account(), "keahey");
         assert!(kate.permits_account("fusion"));
         assert!(!kate.permits_account("root"));

@@ -135,9 +135,8 @@ pub fn decode_chain(text: &str) -> Result<Vec<Certificate>, CredentialError> {
             if line.trim() == END {
                 break;
             }
-            let (key, value) = line
-                .split_once(':')
-                .ok_or_else(|| err(format!("field without ':': {line:?}")))?;
+            let (key, value) =
+                line.split_once(':').ok_or_else(|| err(format!("field without ':': {line:?}")))?;
             let value = value.trim();
             match key.trim() {
                 "serial" => {
@@ -160,13 +159,11 @@ pub fn decode_chain(text: &str) -> Result<Vec<Certificate>, CredentialError> {
                     )
                 }
                 "not-before" => {
-                    not_before = Some(
-                        value.parse::<u64>().map_err(|_| err("bad not-before".into()))?,
-                    )
+                    not_before =
+                        Some(value.parse::<u64>().map_err(|_| err("bad not-before".into()))?)
                 }
                 "not-after" => {
-                    not_after =
-                        Some(value.parse::<u64>().map_err(|_| err("bad not-after".into()))?)
+                    not_after = Some(value.parse::<u64>().map_err(|_| err("bad not-after".into()))?)
                 }
                 "kind" => {
                     kind = Some(

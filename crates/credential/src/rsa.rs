@@ -57,10 +57,7 @@ pub struct PrivateKey {
 
 impl std::fmt::Debug for PrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PrivateKey")
-            .field("n", &self.n)
-            .field("d", &"<redacted>")
-            .finish()
+        f.debug_struct("PrivateKey").field("n", &self.n).field("d", &"<redacted>").finish()
     }
 }
 
@@ -99,10 +96,7 @@ impl KeyPair {
                 continue;
             }
             let d = mod_inverse(e, phi).expect("e is invertible when gcd(e, phi) == 1");
-            return KeyPair {
-                public: PublicKey { n, e },
-                private: PrivateKey { n, d },
-            };
+            return KeyPair { public: PublicKey { n, e }, private: PrivateKey { n, d } };
         }
     }
 

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
 use gridauthz_credential::{
-    verify_chain, Certificate, CertificateAuthority, DistinguishedName, GridMapEntry,
-    GridMapFile, TrustStore,
+    verify_chain, Certificate, CertificateAuthority, DistinguishedName, GridMapEntry, GridMapFile,
+    TrustStore,
 };
 
 fn arb_dn_string() -> impl Strategy<Value = String> {
@@ -19,10 +19,7 @@ fn arb_dn_string() -> impl Strategy<Value = String> {
         1..5,
     )
     .prop_map(|components| {
-        components
-            .into_iter()
-            .map(|(k, v)| format!("/{k}={v}"))
-            .collect::<String>()
+        components.into_iter().map(|(k, v)| format!("/{k}={v}")).collect::<String>()
     })
 }
 

@@ -193,9 +193,7 @@ mod tests {
     #[test]
     fn lease_hands_out_configured_accounts() {
         let mut p = pool();
-        let lease = p
-            .lease(&dn("/O=G/CN=Bo"), vec!["fusion".into()], SimTime::EPOCH)
-            .unwrap();
+        let lease = p.lease(&dn("/O=G/CN=Bo"), vec!["fusion".into()], SimTime::EPOCH).unwrap();
         assert_eq!(lease.account.name(), "grid0000");
         assert!(lease.account.in_group("fusion"));
         assert_eq!(lease.account.kind(), AccountKind::Dynamic);
@@ -208,9 +206,8 @@ mod tests {
     fn same_subject_reuses_lease() {
         let mut p = pool();
         let first = p.lease(&dn("/O=G/CN=Bo"), vec![], SimTime::EPOCH).unwrap();
-        let second = p
-            .lease(&dn("/O=G/CN=Bo"), vec!["transp".into()], SimTime::from_secs(60))
-            .unwrap();
+        let second =
+            p.lease(&dn("/O=G/CN=Bo"), vec!["transp".into()], SimTime::from_secs(60)).unwrap();
         assert_eq!(first.account.name(), second.account.name());
         // Renewed expiry and reconfigured groups.
         assert_eq!(second.expires, SimTime::from_secs(60 + 1800));
@@ -234,10 +231,7 @@ mod tests {
         for i in 0..3 {
             p.lease(&dn(&format!("/O=G/CN=U{i}")), vec![], SimTime::EPOCH).unwrap();
         }
-        assert_eq!(
-            p.lease(&dn("/O=G/CN=Late"), vec![], SimTime::EPOCH),
-            Err(PoolError::Exhausted)
-        );
+        assert_eq!(p.lease(&dn("/O=G/CN=Late"), vec![], SimTime::EPOCH), Err(PoolError::Exhausted));
         assert_eq!(p.stats().exhaustions, 1);
     }
 
@@ -251,7 +245,7 @@ mod tests {
         assert!(p.lease_for(&dn("/O=G/CN=Bo")).is_none());
         // A later lease for a new subject gets the cleaned account.
         let fresh = p.lease(&dn("/O=G/CN=New"), vec![], SimTime::from_mins_for_test(32)).unwrap();
-        assert!(fresh.account.groups().is_empty() );
+        assert!(fresh.account.groups().is_empty());
         assert_eq!(p.stats().leases_reclaimed, 1);
     }
 

@@ -52,10 +52,7 @@ impl FileSystem {
 
     /// Registers `path` with an owner uid, group name and mode.
     pub fn register(&mut self, path: &str, owner_uid: u32, group: &str, mode: FileMode) {
-        self.entries.insert(
-            normalize(path),
-            Entry { owner_uid, group: group.to_string(), mode },
-        );
+        self.entries.insert(normalize(path), Entry { owner_uid, group: group.to_string(), mode });
     }
 
     /// The governing entry for `path`: itself or its closest ancestor.

@@ -109,9 +109,7 @@ mod tests {
         let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
         let mut trust = TrustStore::new();
         trust.add_anchor(ca.certificate().clone());
-        let bo = ca
-            .issue_identity("/O=Grid/CN=Bo", SimDuration::from_hours(8))
-            .unwrap();
+        let bo = ca.issue_identity("/O=Grid/CN=Bo", SimDuration::from_hours(8)).unwrap();
         let mut gridmap = GridMapFile::new();
         gridmap.insert(GridMapEntry::new(
             "/O=Grid/CN=Bo".parse().unwrap(),

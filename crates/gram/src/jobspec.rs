@@ -114,8 +114,8 @@ mod tests {
 
     #[test]
     fn defaults_apply() {
-        let spec = job_spec_from_rsl(&conj("&(executable = a)"), "u", SimDuration::from_mins(1))
-            .unwrap();
+        let spec =
+            job_spec_from_rsl(&conj("&(executable = a)"), "u", SimDuration::from_mins(1)).unwrap();
         assert_eq!(spec.cpus, 1);
         assert_eq!(spec.memory_mb, 256);
         assert_eq!(spec.queue, "default");
@@ -126,8 +126,8 @@ mod tests {
 
     #[test]
     fn missing_executable_is_rejected() {
-        let err = job_spec_from_rsl(&conj("&(count = 1)"), "u", SimDuration::from_mins(1))
-            .unwrap_err();
+        let err =
+            job_spec_from_rsl(&conj("&(count = 1)"), "u", SimDuration::from_mins(1)).unwrap_err();
         assert!(matches!(err, GramError::BadRequest(_)));
     }
 

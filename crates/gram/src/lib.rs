@@ -36,6 +36,7 @@ mod jobspec;
 mod protocol;
 pub mod provisioning;
 mod server;
+pub mod shard;
 pub mod wire;
 
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
@@ -45,3 +46,4 @@ pub use jobspec::{job_spec_from_rsl, normalize_job};
 pub use protocol::{GramError, GramSignal, JobContact, JobReport};
 pub use provisioning::{AccountStrategy, JobOperation};
 pub use server::{GramMode, GramServer, GramServerBuilder};
+pub use shard::ShardedMap;

@@ -1,13 +1,12 @@
 //! The GRAM resource service: Gatekeeper + per-job Job Manager Instances
 //! over the local job control system.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
-use gridauthz_core::{Action, AuthzRequest, AuthzFailure, CalloutChain, DenyReason};
+use gridauthz_core::{Action, AuthzFailure, AuthzRequest, CalloutChain, DenyReason};
 use gridauthz_credential::{
     Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
 };
@@ -21,6 +20,7 @@ use crate::gatekeeper::Gatekeeper;
 use crate::jobspec::job_spec_from_rsl;
 use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
 use crate::provisioning::{request_groups, sandbox_profile_for, AccountStrategy, JobOperation};
+use crate::shard::ShardedMap;
 
 /// Which GRAM the server behaves as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,22 +140,46 @@ impl GramServerBuilder {
     }
 
     /// Builds the server.
+    ///
+    /// Extended mode with an *empty* callout chain would authorize
+    /// nothing-but-gridmap while claiming fine-grained enforcement — a
+    /// misconfiguration. The server refuses to run that way: it falls
+    /// back to [`GramMode::Gt2`] (grid-mapfile plus initiator-only
+    /// management, strictly default-deny) and writes an audit record so
+    /// the operator can see the downgrade.
     pub fn build(self) -> GramServer {
         let mut scheduler = LocalScheduler::new(self.cluster, &self.clock);
         for queue in self.queues {
             scheduler.add_queue(queue);
         }
+        let mut mode = self.mode;
+        let mut audit = AuditLog::new(4096);
+        if mode == GramMode::Extended && self.callouts.is_empty() {
+            mode = GramMode::Gt2;
+            audit.record(AuditRecord {
+                at: self.clock.now(),
+                subject: "/CN=gram-configuration".parse().expect("static configuration DN parses"),
+                action: Action::Information,
+                job: None,
+                account: None,
+                outcome: AuditOutcome::Refused(
+                    "extended mode configured with an empty callout chain; \
+                     falling back to GT2 grid-mapfile authorization"
+                        .into(),
+                ),
+            });
+        }
         GramServer {
             resource_name: self.resource_name,
             gatekeeper: RwLock::new(Gatekeeper::new(self.trust, self.gridmap, &self.clock)),
             callouts: self.callouts,
-            mode: self.mode,
-            jobs: RwLock::new(HashMap::new()),
-            locals: RwLock::new(HashMap::new()),
+            mode,
+            jobs: ShardedMap::new(),
+            locals: ShardedMap::new(),
             scheduler: RwLock::new(scheduler),
             accounts: RwLock::new(self.accounts),
             sandboxing: self.sandboxing,
-            audit: Mutex::new(AuditLog::new(4096)),
+            audit: Mutex::new(audit),
             clock: self.clock,
             next_job: AtomicU64::new(1),
         }
@@ -169,8 +193,8 @@ pub struct GramServer {
     gatekeeper: RwLock<Gatekeeper>,
     callouts: CalloutChain,
     mode: GramMode,
-    jobs: RwLock<HashMap<String, JmiRecord>>,
-    locals: RwLock<HashMap<JobId, String>>,
+    jobs: ShardedMap<String, JmiRecord>,
+    locals: ShardedMap<JobId, String>,
     scheduler: RwLock<LocalScheduler>,
     accounts: RwLock<AccountStrategy>,
     sandboxing: bool,
@@ -184,7 +208,7 @@ impl std::fmt::Debug for GramServer {
         f.debug_struct("GramServer")
             .field("resource", &self.resource_name)
             .field("mode", &self.mode)
-            .field("jobs", &self.jobs.read().len())
+            .field("jobs", &self.jobs.len())
             .finish()
     }
 }
@@ -200,20 +224,28 @@ impl GramServer {
         self.mode
     }
 
-    /// Administrative access to the gatekeeper's grid-mapfile.
+    /// Administrative access to the gatekeeper's grid-mapfile. The
+    /// authorization basis changed, so cached decisions are invalidated
+    /// (generation bump through the callout chain).
     pub fn set_gridmap(&self, gridmap: GridMapFile) {
         self.gatekeeper.write().set_gridmap(gridmap);
+        self.callouts.policy_updated();
     }
 
     /// Loads one CRL entry: credentials whose chain includes the
     /// certificate with `serial` issued by `issuer` stop authenticating
-    /// immediately.
-    pub fn revoke_credential(
-        &self,
-        issuer: &DistinguishedName,
-        serial: u64,
-    ) {
+    /// immediately. Cached decisions are invalidated alongside.
+    pub fn revoke_credential(&self, issuer: &DistinguishedName, serial: u64) {
         self.gatekeeper.write().trust_mut().revoke(issuer, serial);
+        self.callouts.policy_updated();
+    }
+
+    /// Notifies the callout chain that policy changed outside the
+    /// server's own administrative entry points (e.g. a VO pushed a
+    /// dynamic policy update into a shared PDP). Cached decisions made
+    /// under the previous policy stop being served immediately.
+    pub fn policy_updated(&self) {
+        self.callouts.policy_updated();
     }
 
     /// Submits a job (`action = start`).
@@ -237,7 +269,12 @@ impl GramServer {
         let identity = self.gatekeeper.read().authenticate(chain)?;
         let subject = identity.subject().clone();
         let result = self.submit_authenticated(&identity, rsl_text, requested_account, work);
-        self.record_audit(&subject, Action::Start, result.as_ref().ok().map(|c| c.as_str()), &result);
+        self.record_audit(
+            &subject,
+            Action::Start,
+            result.as_ref().ok().map(|c| c.as_str()),
+            &result,
+        );
         result
     }
 
@@ -259,9 +296,9 @@ impl GramServer {
         // unmapped identities legitimately pass the gate (§7) and are
         // provisioned after policy authorization succeeds.
         let premapped = match &*self.accounts.read() {
-            AccountStrategy::GridMapOnly => Some(
-                self.gatekeeper.read().authorize_and_map(&subject, requested_account)?,
-            ),
+            AccountStrategy::GridMapOnly => {
+                Some(self.gatekeeper.read().authorize_and_map(&subject, requested_account)?)
+            }
             AccountStrategy::DynamicPool(_) => None,
         };
 
@@ -303,9 +340,7 @@ impl GramServer {
         let local = self.scheduler.write().submit(job_spec)?;
         let index = self.next_job.fetch_add(1, Ordering::SeqCst);
         let contact = JobContact::new(&self.resource_name, index);
-        let sandbox = self
-            .sandboxing
-            .then(|| Sandbox::new(sandbox_profile_for(&job)));
+        let sandbox = self.sandboxing.then(|| Sandbox::new(sandbox_profile_for(&job)));
         let record = JmiRecord {
             contact: contact.clone(),
             owner: subject,
@@ -315,8 +350,8 @@ impl GramServer {
             account,
             sandbox,
         };
-        self.jobs.write().insert(contact.as_str().to_string(), record);
-        self.locals.write().insert(local, contact.as_str().to_string());
+        self.jobs.insert(contact.as_str().to_string(), record);
+        self.locals.insert(local, contact.as_str().to_string());
         Ok(contact)
     }
 
@@ -356,8 +391,8 @@ impl GramServer {
                 Err(e) => {
                     // All-or-nothing: roll back what already started.
                     for contact in &contacts {
-                        if let Some(record) = self.jobs.read().get(contact.as_str()) {
-                            let _ = self.scheduler.write().cancel(record.local);
+                        if let Some(local) = self.jobs.with(contact.as_str(), |r| r.local) {
+                            let _ = self.scheduler.write().cancel(local);
                         }
                     }
                     return Err(e);
@@ -443,9 +478,7 @@ impl GramServer {
         let identity = self.gatekeeper.read().authenticate(chain)?;
         let record = self
             .jobs
-            .read()
-            .get(contact.as_str())
-            .cloned()
+            .get_cloned(contact.as_str())
             .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
         Ok((identity, record))
     }
@@ -492,15 +525,12 @@ impl GramServer {
     /// Contacts of non-terminal jobs carrying `tag` — the VO-wide
     /// management working set (requirement 3 of §2).
     pub fn jobs_with_tag(&self, tag: &str) -> Vec<JobContact> {
-        let locals = self.locals.read();
-        let jobs = self.jobs.read();
         self.scheduler
             .read()
             .jobs_with_tag(tag)
             .into_iter()
-            .filter_map(|local| locals.get(&local))
-            .filter_map(|contact| jobs.get(contact))
-            .map(|record| record.contact.clone())
+            .filter_map(|local| self.locals.get_cloned(&local))
+            .filter_map(|contact| self.jobs.with(&contact, |record| record.contact.clone()))
             .collect()
     }
 
@@ -511,9 +541,7 @@ impl GramServer {
         job: Option<&str>,
         result: &Result<T, GramError>,
     ) {
-        let account = job.and_then(|contact| {
-            self.jobs.read().get(contact).map(|r| r.account.clone())
-        });
+        let account = job.and_then(|contact| self.jobs.with(contact, |r| r.account.clone()));
         self.audit.lock().record(AuditRecord {
             at: self.clock.now(),
             subject: subject.clone(),
@@ -580,22 +608,22 @@ impl GramServer {
         contact: &JobContact,
         operation: JobOperation,
     ) -> Result<(), GramError> {
-        let mut jobs = self.jobs.write();
-        let record = jobs
-            .get_mut(contact.as_str())
-            .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
-        let Some(sandbox) = record.sandbox.as_mut() else {
-            return Ok(());
-        };
-        let result = match operation {
-            JobOperation::Exec(executable) => sandbox.check_exec(&executable),
-            JobOperation::FileRead(path) => sandbox.check_path(&path, false),
-            JobOperation::FileWrite(path) => sandbox.check_path(&path, true),
-            JobOperation::AllocateMemory(mb) => sandbox.check_memory(mb),
-            JobOperation::SpawnProcesses(n) => sandbox.check_processes(n),
-            JobOperation::ConsumeCpu(d) => sandbox.consume_cpu(d),
-        };
-        result.map_err(|v| GramError::SandboxViolation(v.to_string()))
+        self.jobs
+            .update(contact.as_str(), |record| {
+                let Some(sandbox) = record.sandbox.as_mut() else {
+                    return Ok(());
+                };
+                let result = match operation {
+                    JobOperation::Exec(executable) => sandbox.check_exec(&executable),
+                    JobOperation::FileRead(path) => sandbox.check_path(&path, false),
+                    JobOperation::FileWrite(path) => sandbox.check_path(&path, true),
+                    JobOperation::AllocateMemory(mb) => sandbox.check_memory(mb),
+                    JobOperation::SpawnProcesses(n) => sandbox.check_processes(n),
+                    JobOperation::ConsumeCpu(d) => sandbox.consume_cpu(d),
+                };
+                result.map_err(|v| GramError::SandboxViolation(v.to_string()))
+            })
+            .ok_or_else(|| GramError::UnknownJob(contact.clone()))?
     }
 
     /// Violations recorded by a job's sandbox so far (audit).
@@ -604,11 +632,11 @@ impl GramServer {
     ///
     /// [`GramError::UnknownJob`].
     pub fn sandbox_violation_count(&self, contact: &JobContact) -> Result<usize, GramError> {
-        let jobs = self.jobs.read();
-        let record = jobs
-            .get(contact.as_str())
-            .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
-        Ok(record.sandbox.as_ref().map_or(0, |s| s.violations().len()))
+        self.jobs
+            .with(contact.as_str(), |record| {
+                record.sandbox.as_ref().map_or(0, |s| s.violations().len())
+            })
+            .ok_or_else(|| GramError::UnknownJob(contact.clone()))
     }
 
     /// Current cluster utilization (0.0–1.0).
@@ -627,13 +655,12 @@ impl GramServer {
     /// forwarded to client callbacks.
     pub fn poll_events(&self) -> Vec<(JobContact, gridauthz_scheduler::JobEvent)> {
         let events = self.scheduler.write().drain_events();
-        let locals = self.locals.read();
         events
             .into_iter()
             .filter_map(|event| {
-                locals
-                    .get(&event.job)
-                    .map(|contact| (JobContact::from_wire(contact), event))
+                self.locals
+                    .get_cloned(&event.job)
+                    .map(|contact| (JobContact::from_wire(&contact), event))
             })
             .collect()
     }
@@ -722,7 +749,17 @@ mod tests {
         server: GramServer,
     }
 
-    fn fixture(mode: GramMode) -> Fixture {
+    /// Shared credential material: one CA, three identities, all mapped.
+    struct Identities {
+        clock: SimClock,
+        trust: TrustStore,
+        gridmap: GridMapFile,
+        bo: Credential,
+        kate: Credential,
+        outsider: Credential,
+    }
+
+    fn identities() -> Identities {
         let clock = SimClock::new();
         let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
         let mut trust = TrustStore::new();
@@ -736,6 +773,11 @@ mod tests {
         gridmap.insert(GridMapEntry::new(paper::bo_liu(), vec!["bliu".into()]));
         gridmap.insert(GridMapEntry::new(paper::kate_keahey(), vec!["keahey".into()]));
         gridmap.insert(GridMapEntry::new(paper::outsider(), vec!["eve".into()]));
+        Identities { clock, trust, gridmap, bo, kate, outsider }
+    }
+
+    fn fixture(mode: GramMode) -> Fixture {
+        let Identities { clock, trust, gridmap, bo, kate, outsider } = identities();
 
         let mut builder = GramServerBuilder::new("anl-cluster", &clock)
             .trust(trust)
@@ -814,18 +856,25 @@ mod tests {
         }
         let err = f
             .server
-            .submit(f.bo.chain(), "&(executable = rogue)(directory = /sandbox/test)(jobtag = ADS)(count = 1)", None, mins(5))
+            .submit(
+                f.bo.chain(),
+                "&(executable = rogue)(directory = /sandbox/test)(jobtag = ADS)(count = 1)",
+                None,
+                mins(5),
+            )
             .unwrap_err();
         assert_eq!(unwrap_source(err), DenyReason::NoApplicableGrant);
         // Untagged request violates the VO requirement.
         let err = f
             .server
-            .submit(f.bo.chain(), "&(executable = test1)(directory = /sandbox/test)(count = 1)", None, mins(5))
+            .submit(
+                f.bo.chain(),
+                "&(executable = test1)(directory = /sandbox/test)(count = 1)",
+                None,
+                mins(5),
+            )
             .unwrap_err();
-        assert!(matches!(
-            unwrap_source(err),
-            DenyReason::RequirementViolated { .. }
-        ));
+        assert!(matches!(unwrap_source(err), DenyReason::RequirementViolated { .. }));
         // Outsider has no grant at all.
         let err = f.server.submit(f.outsider.chain(), BO_TEST1, None, mins(5)).unwrap_err();
         assert_eq!(unwrap_source(err), DenyReason::NoApplicableGrant);
@@ -866,10 +915,8 @@ mod tests {
     #[test]
     fn limited_proxy_cannot_start_jobs() {
         let f = fixture(GramMode::Gt2);
-        let limited = f
-            .bo
-            .delegate_limited_proxy(f.clock.now(), SimDuration::from_hours(1))
-            .unwrap();
+        let limited =
+            f.bo.delegate_limited_proxy(f.clock.now(), SimDuration::from_hours(1)).unwrap();
         let err = f.server.submit(limited.chain(), BO_TEST1, None, mins(5)).unwrap_err();
         assert!(matches!(err, GramError::NotAuthorized(DenyReason::LimitedProxy)));
     }
@@ -879,9 +926,7 @@ mod tests {
         let f = fixture(GramMode::Gt2);
         let rogue_clock = SimClock::new();
         let rogue_ca = CertificateAuthority::new_root("/O=Rogue/CN=CA", &rogue_clock).unwrap();
-        let rogue = rogue_ca
-            .issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1))
-            .unwrap();
+        let rogue = rogue_ca.issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1)).unwrap();
         assert!(matches!(
             f.server.submit(rogue.chain(), BO_TEST1, None, mins(5)),
             Err(GramError::AuthenticationFailed(_))
@@ -915,10 +960,7 @@ mod tests {
     fn unknown_contacts_error() {
         let f = fixture(GramMode::Gt2);
         let ghost = JobContact::new("anl-cluster", 999);
-        assert!(matches!(
-            f.server.status(f.bo.chain(), &ghost),
-            Err(GramError::UnknownJob(_))
-        ));
+        assert!(matches!(f.server.status(f.bo.chain(), &ghost), Err(GramError::UnknownJob(_))));
     }
 
     #[test]
@@ -937,10 +979,7 @@ mod tests {
     #[test]
     fn jobs_with_tag_lists_live_jobs() {
         let f = fixture(GramMode::Extended);
-        let c1 = f
-            .server
-            .submit(f.kate.chain(), KATE_TRANSP, None, mins(30))
-            .unwrap();
+        let c1 = f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(30)).unwrap();
         let _c2 = f
             .server
             .submit(
@@ -1039,10 +1078,8 @@ mod tests {
     #[test]
     fn unmapped_identity_cannot_request_specific_account() {
         let f = provisioned_fixture();
-        let err = f
-            .server
-            .submit(f.kate.chain(), KATE_TRANSP, Some("keahey"), mins(5))
-            .unwrap_err();
+        let err =
+            f.server.submit(f.kate.chain(), KATE_TRANSP, Some("keahey"), mins(5)).unwrap_err();
         assert!(matches!(err, GramError::AccountNotPermitted { .. }));
     }
 
@@ -1060,15 +1097,11 @@ mod tests {
             )
             .unwrap();
         // Operations inside the authorized envelope pass.
-        f.server
-            .check_job_operation(&contact, JobOperation::Exec("test1".into()))
-            .unwrap();
+        f.server.check_job_operation(&contact, JobOperation::Exec("test1".into())).unwrap();
         f.server
             .check_job_operation(&contact, JobOperation::FileWrite("/sandbox/test/out".into()))
             .unwrap();
-        f.server
-            .check_job_operation(&contact, JobOperation::AllocateMemory(256))
-            .unwrap();
+        f.server.check_job_operation(&contact, JobOperation::AllocateMemory(256)).unwrap();
         // Escapes are violations.
         let err = f
             .server
@@ -1080,10 +1113,8 @@ mod tests {
             .check_job_operation(&contact, JobOperation::FileRead("/home/other/x".into()))
             .unwrap_err();
         assert!(matches!(err, GramError::SandboxViolation(_)));
-        let err = f
-            .server
-            .check_job_operation(&contact, JobOperation::AllocateMemory(4096))
-            .unwrap_err();
+        let err =
+            f.server.check_job_operation(&contact, JobOperation::AllocateMemory(4096)).unwrap_err();
         assert!(matches!(err, GramError::SandboxViolation(_)));
         assert_eq!(f.server.sandbox_violation_count(&contact).unwrap(), 3);
     }
@@ -1099,5 +1130,113 @@ mod tests {
             )
             .unwrap();
         assert_eq!(f.server.sandbox_violation_count(&contact).unwrap(), 0);
+    }
+
+    #[test]
+    fn extended_mode_with_empty_chain_falls_back_to_gt2() {
+        let ids = identities();
+        // `.mode(Extended)` without `.callouts(...)`: nothing would ever
+        // be evaluated. The build downgrades to GT2 and records why.
+        let server = GramServerBuilder::new("anl-cluster", &ids.clock)
+            .trust(ids.trust)
+            .gridmap(ids.gridmap)
+            .mode(GramMode::Extended)
+            .build();
+        assert_eq!(server.mode(), GramMode::Gt2);
+        let audit = server.audit_snapshot();
+        assert!(
+            audit.iter().any(|r| matches!(
+                &r.outcome,
+                AuditOutcome::Refused(msg) if msg.contains("empty callout chain")
+            )),
+            "expected a downgrade audit record, got {audit:?}"
+        );
+        // Default-deny is preserved: only the initiator manages a job.
+        let contact = server.submit(ids.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
+        assert!(matches!(
+            server.status(ids.kate.chain(), &contact),
+            Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+        ));
+    }
+
+    /// Satellite of the decision-cache work: N threads hammer the server
+    /// with submits and status queries through a *cached* callout while
+    /// the policy is reloaded (revoking Kate's grants) and the
+    /// grid-mapfile is re-set (generation bumps). Once a thread has
+    /// observed the revocation flag, every later decision it sees must
+    /// reflect the new policy — a stale cached permit is a failure.
+    #[test]
+    fn concurrent_requests_never_see_stale_cached_permits() {
+        use std::sync::atomic::AtomicBool;
+
+        let ids = identities();
+        let make_pdp = |text: &str| {
+            let policy: gridauthz_core::Policy = text.parse().unwrap();
+            CombinedPdp::new(
+                vec![PolicySource::new("local", PolicyOrigin::ResourceOwner, policy)],
+                Combiner::DenyOverrides,
+            )
+        };
+        let bo_grant = format!("{}: &(action = start)(executable = test1)", paper::BO_LIU_DN);
+        let before = format!(
+            "{bo_grant}\n{kate}: &(action = information)\n{kate}: &(action = cancel)",
+            kate = paper::KATE_KEAHEY_DN
+        );
+        let callout = Arc::new(PdpCallout::cached("local", make_pdp(&before)));
+        let mut chain = CalloutChain::new();
+        chain.push(callout.clone());
+        let server = GramServerBuilder::new("anl-cluster", &ids.clock)
+            .trust(ids.trust)
+            .gridmap(ids.gridmap.clone())
+            .cluster(Cluster::uniform(64, 8, 16_384))
+            .callouts(chain)
+            .build();
+
+        let job = "&(executable = test1)(directory = /sandbox/test)(jobtag = NFC)(count = 1)";
+        let contact = server.submit(ids.bo.chain(), job, None, mins(60)).unwrap();
+        // Warm the cache with a permit Kate must later lose.
+        server.status(ids.kate.chain(), &contact).unwrap();
+
+        let revoked = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for i in 0..200 {
+                        let saw_revocation = revoked.load(Ordering::SeqCst);
+                        let result = server.status(ids.kate.chain(), &contact);
+                        if saw_revocation {
+                            assert!(
+                                matches!(result, Err(GramError::NotAuthorized(_))),
+                                "stale cached permit after revocation: {result:?}"
+                            );
+                        }
+                        if i % 16 == 0 {
+                            // Churn the sharded job map from every thread.
+                            server.submit(ids.bo.chain(), job, None, mins(1)).unwrap();
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                // Generation bumps that change nothing semantically must
+                // not corrupt anything — they only drop cached entries.
+                for _ in 0..8 {
+                    server.set_gridmap(ids.gridmap.clone());
+                    std::thread::yield_now();
+                }
+                callout.reload(make_pdp(&bo_grant));
+                revoked.store(true, Ordering::SeqCst);
+            });
+        });
+
+        // Steady state under the new policy: Kate is denied, Bo still
+        // permitted, and the cache actually served repeat decisions.
+        assert!(matches!(
+            server.status(ids.kate.chain(), &contact),
+            Err(GramError::NotAuthorized(_))
+        ));
+        server.submit(ids.bo.chain(), job, None, mins(1)).unwrap();
+        let stats = callout.cache_stats().expect("cached callout reports stats");
+        assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
     }
 }

@@ -137,10 +137,7 @@ impl<'a> Headers<'a> {
     }
 
     fn get(&self, key: &str) -> Option<&'a str> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| k.eq_ignore_ascii_case(key))
-            .map(|(_, v)| *v)
+        self.pairs.iter().find(|(k, _)| k.eq_ignore_ascii_case(key)).map(|(_, v)| *v)
     }
 
     fn require(&self, key: &str) -> Result<&'a str, WireParseError> {
@@ -153,7 +150,8 @@ impl WireRequest {
     pub fn encode(&self) -> String {
         match self {
             WireRequest::Submit { rsl, account, work } => {
-                let mut out = format!("GRAM/1 SUBMIT\nrsl: {rsl}\nwork-micros: {}\n", work.as_micros());
+                let mut out =
+                    format!("GRAM/1 SUBMIT\nrsl: {rsl}\nwork-micros: {}\n", work.as_micros());
                 if let Some(account) = account {
                     out.push_str(&format!("account: {account}\n"));
                 }
@@ -271,7 +269,9 @@ impl WireResponse {
             .trim();
         let headers = Headers::parse(lines)?;
         match verb {
-            "SUBMITTED" => Ok(WireResponse::Submitted { contact: headers.require("job")?.to_string() }),
+            "SUBMITTED" => {
+                Ok(WireResponse::Submitted { contact: headers.require("job")?.to_string() })
+            }
             "REPORT" => Ok(WireResponse::Report {
                 contact: headers.require("job")?.to_string(),
                 owner: headers.require("owner")?.to_string(),
@@ -322,8 +322,14 @@ mod tests {
             },
             WireRequest::Cancel { contact: "gram://site/jobs/1".into() },
             WireRequest::Status { contact: "gram://site/jobs/2".into() },
-            WireRequest::Signal { contact: "gram://site/jobs/3".into(), signal: GramSignal::Suspend },
-            WireRequest::Signal { contact: "gram://site/jobs/3".into(), signal: GramSignal::Resume },
+            WireRequest::Signal {
+                contact: "gram://site/jobs/3".into(),
+                signal: GramSignal::Suspend,
+            },
+            WireRequest::Signal {
+                contact: "gram://site/jobs/3".into(),
+                signal: GramSignal::Resume,
+            },
             WireRequest::Signal {
                 contact: "gram://site/jobs/3".into(),
                 signal: GramSignal::Priority(-7),

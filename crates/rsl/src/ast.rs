@@ -240,7 +240,11 @@ impl Relation {
     /// # Errors
     ///
     /// Returns [`RslError`] if `attribute` is not a valid attribute name.
-    pub fn parse_parts(attribute: &str, op: RelOp, value: impl Into<Value>) -> Result<Relation, RslError> {
+    pub fn parse_parts(
+        attribute: &str,
+        op: RelOp,
+        value: impl Into<Value>,
+    ) -> Result<Relation, RslError> {
         Ok(Relation::new(Attribute::new(attribute)?, op, vec![value.into()]))
     }
 
@@ -335,9 +339,7 @@ impl Conjunction {
 
     /// The first value bound to `attribute` with `=`, if any.
     pub fn first_value(&self, attribute: &str) -> Option<&Value> {
-        self.relations_for(attribute)
-            .find(|r| r.op() == RelOp::Eq)
-            .map(Relation::value)
+        self.relations_for(attribute).find(|r| r.op() == RelOp::Eq).map(Relation::value)
     }
 
     /// True when any relation names `attribute`.
@@ -404,9 +406,7 @@ impl Rsl {
 
     /// Builds a conjunction from relations.
     pub fn conjunction_of(relations: Vec<Relation>) -> Rsl {
-        Rsl::Conjunction(Conjunction::new(
-            relations.into_iter().map(Clause::Relation).collect(),
-        ))
+        Rsl::Conjunction(Conjunction::new(relations.into_iter().map(Clause::Relation).collect()))
     }
 
     /// Resolves `$(VAR)` references against `bindings`, leaving unknown
@@ -419,7 +419,9 @@ impl Rsl {
                     Some(s) => Value::Literal(s.clone()),
                     None => v.clone(),
                 },
-                Value::Sequence(vs) => Value::Sequence(vs.iter().map(|v| subst_value(v, b)).collect()),
+                Value::Sequence(vs) => {
+                    Value::Sequence(vs.iter().map(|v| subst_value(v, b)).collect())
+                }
             }
         }
         fn subst_clause(c: &Clause, b: &HashMap<String, String>) -> Clause {

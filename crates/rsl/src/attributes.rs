@@ -61,8 +61,23 @@ pub const SELF: &str = "self";
 /// The job-description attributes a GRAM job request may carry (everything
 /// except the policy-only `action`/`jobowner` attributes).
 pub const JOB_DESCRIPTION_ATTRIBUTES: &[&str] = &[
-    EXECUTABLE, DIRECTORY, ARGUMENTS, COUNT, MAX_MEMORY, MIN_MEMORY, MAX_TIME, MAX_CPU_TIME,
-    QUEUE, PROJECT, STDIN, STDOUT, STDERR, ENVIRONMENT, JOB_TYPE, PRIORITY, JOBTAG,
+    EXECUTABLE,
+    DIRECTORY,
+    ARGUMENTS,
+    COUNT,
+    MAX_MEMORY,
+    MIN_MEMORY,
+    MAX_TIME,
+    MAX_CPU_TIME,
+    QUEUE,
+    PROJECT,
+    STDIN,
+    STDOUT,
+    STDERR,
+    ENVIRONMENT,
+    JOB_TYPE,
+    PRIORITY,
+    JOBTAG,
 ];
 
 #[cfg(test)]

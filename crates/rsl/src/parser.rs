@@ -86,9 +86,7 @@ impl Parser {
                 }
                 Ok(Rsl::Multi(specs))
             }
-            Some(t) => {
-                Err(RslError::new(offset, RslErrorKind::UnexpectedToken(format!("{t:?}"))))
-            }
+            Some(t) => Err(RslError::new(offset, RslErrorKind::UnexpectedToken(format!("{t:?}")))),
             None => Err(RslError::new(offset, RslErrorKind::UnexpectedEnd)),
         }
     }
@@ -166,7 +164,10 @@ impl Parser {
                             ))
                         }
                         None => {
-                            return Err(RslError::new(self.peek_offset(), RslErrorKind::UnexpectedEnd))
+                            return Err(RslError::new(
+                                self.peek_offset(),
+                                RslErrorKind::UnexpectedEnd,
+                            ))
                         }
                     }
                 }

@@ -206,10 +206,7 @@ mod tests {
 
     #[test]
     fn lexes_unquoted_literal_with_slashes() {
-        assert_eq!(
-            kinds("/sandbox/test"),
-            vec![TokenKind::Literal("/sandbox/test".into())]
-        );
+        assert_eq!(kinds("/sandbox/test"), vec![TokenKind::Literal("/sandbox/test".into())]);
     }
 
     #[test]
@@ -226,10 +223,7 @@ mod tests {
 
     #[test]
     fn lexes_double_quoted_string_with_escape() {
-        assert_eq!(
-            kinds(r#""a""b c""#),
-            vec![TokenKind::Literal(r#"a"b c"#.into())]
-        );
+        assert_eq!(kinds(r#""a""b c""#), vec![TokenKind::Literal(r#"a"b c"#.into())]);
     }
 
     #[test]
@@ -250,10 +244,7 @@ mod tests {
 
     #[test]
     fn lexes_variable_reference() {
-        assert_eq!(
-            kinds("$(GLOBUS_HOME)"),
-            vec![TokenKind::Variable("GLOBUS_HOME".into())]
-        );
+        assert_eq!(kinds("$(GLOBUS_HOME)"), vec![TokenKind::Variable("GLOBUS_HOME".into())]);
     }
 
     #[test]

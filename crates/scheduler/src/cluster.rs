@@ -89,12 +89,8 @@ impl Cluster {
     pub fn can_ever_fit(&self, cpus: u32, memory_mb: u32) -> bool {
         // Memory must fit on every participating node; CPUs may span nodes
         // with enough memory.
-        let available: u32 = self
-            .nodes
-            .iter()
-            .filter(|n| n.memory_mb >= memory_mb)
-            .map(|n| n.cpus)
-            .sum();
+        let available: u32 =
+            self.nodes.iter().filter(|n| n.memory_mb >= memory_mb).map(|n| n.cpus).sum();
         cpus > 0 && available >= cpus
     }
 

@@ -145,10 +145,7 @@ impl LocalScheduler {
 
     /// Jobs currently executing.
     pub fn running_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|r| matches!(r.state, JobState::Running { .. }))
-            .count()
+        self.jobs.values().filter(|r| matches!(r.state, JobState::Running { .. })).count()
     }
 
     /// Submits a job; it may start immediately if resources are free.
@@ -282,11 +279,7 @@ impl LocalScheduler {
         let timeout = record.finish_is_timeout;
         record.finish = None;
         record.finish_is_timeout = false;
-        record.state = if timeout {
-            JobState::TimedOut { at }
-        } else {
-            JobState::Completed { at }
-        };
+        record.state = if timeout { JobState::TimedOut { at } } else { JobState::Completed { at } };
         let state = record.state.clone();
         let cpus = record.spec.cpus;
         let account = record.spec.account.clone();
@@ -395,8 +388,7 @@ impl LocalScheduler {
         let cpus = record.spec.cpus;
         let account = record.spec.account.clone();
         self.cluster.release(id);
-        self.usage.entry(account).or_default().cpu_seconds +=
-            u64::from(cpus) * stint.as_secs();
+        self.usage.entry(account).or_default().cpu_seconds += u64::from(cpus) * stint.as_secs();
         self.record_event(now, id, JobState::Suspended { executed });
         self.schedule_pending(now);
         Ok(())
@@ -442,10 +434,7 @@ impl LocalScheduler {
                     state: record.state.label().to_string(),
                 });
             }
-            self.queues
-                .get(&record.spec.queue)
-                .map(SchedulerQueue::priority_boost)
-                .unwrap_or(0)
+            self.queues.get(&record.spec.queue).map(SchedulerQueue::priority_boost).unwrap_or(0)
         };
         let record = self.jobs.get_mut(&id).expect("checked above");
         record.spec.priority = priority;
@@ -494,10 +483,7 @@ impl LocalScheduler {
         self.tag_index
             .get(tag)
             .map(|ids| {
-                ids.iter()
-                    .filter(|id| !self.jobs[id].state.is_terminal())
-                    .copied()
-                    .collect()
+                ids.iter().filter(|id| !self.jobs[id].state.is_terminal()).copied().collect()
             })
             .unwrap_or_default()
     }
@@ -562,9 +548,7 @@ mod tests {
         let (_clock, mut sched) = setup(1, 4);
         let _running = sched.submit(JobSpec::new("hog", "u1", 4, mins(10))).unwrap();
         let low = sched.submit(JobSpec::new("low", "u2", 4, mins(1))).unwrap();
-        let high = sched
-            .submit(JobSpec::new("high", "u3", 4, mins(1)).with_priority(10))
-            .unwrap();
+        let high = sched.submit(JobSpec::new("high", "u3", 4, mins(1)).with_priority(10)).unwrap();
         sched.drain();
         let low_done = match sched.status(low).unwrap().state {
             JobState::Completed { at } => at,
@@ -582,9 +566,8 @@ mod tests {
         let (clock, mut sched) = setup(1, 4);
         let _running = sched.submit(JobSpec::new("hog", "u1", 3, mins(10))).unwrap();
         // Head of queue needs 4 cpus (blocked), a 1-cpu job is behind it.
-        let _blocked = sched
-            .submit(JobSpec::new("big", "u2", 4, mins(1)).with_priority(5))
-            .unwrap();
+        let _blocked =
+            sched.submit(JobSpec::new("big", "u2", 4, mins(1)).with_priority(5)).unwrap();
         let small = sched.submit(JobSpec::new("small", "u3", 1, mins(1))).unwrap();
         assert!(matches!(sched.status(small).unwrap().state, JobState::Running { .. }));
         let _ = clock;
@@ -599,9 +582,8 @@ mod tests {
             SchedulerConfig { backfill: false },
         );
         let _running = sched.submit(JobSpec::new("hog", "u1", 3, mins(10))).unwrap();
-        let _blocked = sched
-            .submit(JobSpec::new("big", "u2", 4, mins(1)).with_priority(5))
-            .unwrap();
+        let _blocked =
+            sched.submit(JobSpec::new("big", "u2", 4, mins(1)).with_priority(5)).unwrap();
         let small = sched.submit(JobSpec::new("small", "u3", 1, mins(1))).unwrap();
         assert!(matches!(sched.status(small).unwrap().state, JobState::Pending));
     }
@@ -617,10 +599,7 @@ mod tests {
         sched.cancel(running).unwrap();
         assert!(matches!(sched.status(running).unwrap().state, JobState::Cancelled { .. }));
         // Cancelling again is an invalid transition.
-        assert!(matches!(
-            sched.cancel(running),
-            Err(SchedulerError::InvalidTransition { .. })
-        ));
+        assert!(matches!(sched.cancel(running), Err(SchedulerError::InvalidTransition { .. })));
         // Resources were freed.
         assert_eq!(sched.utilization(), 0.0);
     }
@@ -635,9 +614,8 @@ mod tests {
         // short-notice high-priority scenario).
         sched.suspend(long).unwrap();
         assert_eq!(sched.utilization(), 0.0);
-        let urgent = sched
-            .submit(JobSpec::new("urgent", "u2", 4, mins(5)).with_priority(100))
-            .unwrap();
+        let urgent =
+            sched.submit(JobSpec::new("urgent", "u2", 4, mins(5)).with_priority(100)).unwrap();
         assert!(matches!(sched.status(urgent).unwrap().state, JobState::Running { .. }));
         sched.run_until(clock.now() + mins(5));
         assert!(matches!(sched.status(urgent).unwrap().state, JobState::Completed { .. }));
@@ -705,9 +683,8 @@ mod tests {
             sched.submit(JobSpec::new("x", "u1", 1, mins(1)).with_queue("nope")),
             Err(SchedulerError::UnknownQueue(_))
         ));
-        let boosted = sched
-            .submit(JobSpec::new("u", "u1", 1, mins(1)).with_queue("urgent"))
-            .unwrap();
+        let boosted =
+            sched.submit(JobSpec::new("u", "u1", 1, mins(1)).with_queue("urgent")).unwrap();
         assert_eq!(sched.status(boosted).unwrap().priority, 50);
     }
 
@@ -748,9 +725,7 @@ mod tests {
         let (_clock, mut sched) = setup(4, 8);
         for i in 0..6 {
             let tag = if i % 2 == 0 { "NFC" } else { "ADS" };
-            sched
-                .submit(JobSpec::new(format!("j{i}"), "u", 1, mins(10)).with_tag(tag))
-                .unwrap();
+            sched.submit(JobSpec::new(format!("j{i}"), "u", 1, mins(10)).with_tag(tag)).unwrap();
         }
         let mut indexed = sched.jobs_with_tag("NFC");
         let mut scanned = sched.jobs_with_tag_scan("NFC");

@@ -115,8 +115,7 @@ mod tests {
         assert!(q.admit(&spec(1, 60)).is_err());
         // An explicit declared limit under the cap admits even if work is
         // longer (the job will be killed at its wall limit).
-        let declared =
-            spec(1, 60).with_wall_limit(SimDuration::from_mins(20));
+        let declared = spec(1, 60).with_wall_limit(SimDuration::from_mins(20));
         assert!(q.admit(&declared).is_ok());
     }
 

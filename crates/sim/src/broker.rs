@@ -107,7 +107,7 @@ impl MultiSiteGrid {
                     ),
                 ];
                 let mut chain = CalloutChain::new();
-                chain.push(Arc::new(PdpCallout::new(
+                chain.push(Arc::new(PdpCallout::cached(
                     "gram-authorization",
                     CombinedPdp::new(sources, Combiner::DenyOverrides),
                 )));
@@ -199,8 +199,18 @@ mod tests {
     fn grid() -> MultiSiteGrid {
         MultiSiteGrid::build(
             &[
-                SiteSpec { name: "small-site".into(), max_cpus_per_job: 8, nodes: 2, cpus_per_node: 8 },
-                SiteSpec { name: "big-site".into(), max_cpus_per_job: 48, nodes: 8, cpus_per_node: 8 },
+                SiteSpec {
+                    name: "small-site".into(),
+                    max_cpus_per_job: 8,
+                    nodes: 2,
+                    cpus_per_node: 8,
+                },
+                SiteSpec {
+                    name: "big-site".into(),
+                    max_cpus_per_job: 48,
+                    nodes: 8,
+                    cpus_per_node: 8,
+                },
             ],
             2,
         )
@@ -262,7 +272,12 @@ mod tests {
         let g = grid();
         let member = &g.members[0];
         let contact = g.sites[0]
-            .submit(member.chain(), "&(executable = TRANSP)(jobtag = NFC)(count = 2)", None, mins(5))
+            .submit(
+                member.chain(),
+                "&(executable = TRANSP)(jobtag = NFC)(count = 2)",
+                None,
+                mins(5),
+            )
             .unwrap();
         g.clock.advance(mins(6));
         for site in &g.sites {

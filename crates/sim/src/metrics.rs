@@ -131,10 +131,7 @@ mod tests {
             error_label(&GramError::NotAuthorized(DenyReason::NoApplicableGrant)),
             "policy-denied"
         );
-        assert_eq!(
-            error_label(&GramError::BadRequest("x".into())),
-            "bad-request"
-        );
+        assert_eq!(error_label(&GramError::BadRequest("x".into())), "bad-request");
     }
 
     #[test]

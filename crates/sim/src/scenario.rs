@@ -118,32 +118,50 @@ pub fn figure3_matrix() -> Vec<MatrixRow> {
     let cases: Vec<(String, AuthzRequest, bool)> = vec![
         (
             "Bo starts test1 (ADS, 2 cpus, /sandbox/test)".into(),
-            AuthzRequest::start(bo.clone(), conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+            AuthzRequest::start(
+                bo.clone(),
+                conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+            ),
             true,
         ),
         (
             "Bo starts test2 (NFC, 3 cpus)".into(),
-            AuthzRequest::start(bo.clone(), conj("&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)")),
+            AuthzRequest::start(
+                bo.clone(),
+                conj("&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 3)"),
+            ),
             true,
         ),
         (
             "Bo starts test1 with 4 cpus (count < 4)".into(),
-            AuthzRequest::start(bo.clone(), conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)")),
+            AuthzRequest::start(
+                bo.clone(),
+                conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)"),
+            ),
             false,
         ),
         (
             "Bo starts test1 untagged (group requirement)".into(),
-            AuthzRequest::start(bo.clone(), conj("&(executable = test1)(directory = /sandbox/test)(count = 2)")),
+            AuthzRequest::start(
+                bo.clone(),
+                conj("&(executable = test1)(directory = /sandbox/test)(count = 2)"),
+            ),
             false,
         ),
         (
             "Bo starts TRANSP (not sanctioned for Bo)".into(),
-            AuthzRequest::start(bo.clone(), conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)")),
+            AuthzRequest::start(
+                bo.clone(),
+                conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)(count = 2)"),
+            ),
             false,
         ),
         (
             "Kate starts TRANSP (NFC)".into(),
-            AuthzRequest::start(kate.clone(), conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)")),
+            AuthzRequest::start(
+                kate.clone(),
+                conj("&(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)"),
+            ),
             true,
         ),
         (
@@ -163,7 +181,10 @@ pub fn figure3_matrix() -> Vec<MatrixRow> {
         ),
         (
             "outsider starts test1 (tagged)".into(),
-            AuthzRequest::start(eve, conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)")),
+            AuthzRequest::start(
+                eve,
+                conj("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 2)"),
+            ),
             false,
         ),
     ];
@@ -192,11 +213,7 @@ mod tests {
         let rows = figure3_matrix();
         assert_eq!(rows.len(), 10);
         for row in rows {
-            assert_eq!(
-                row.actual_permit, row.expected_permit,
-                "mismatch on {:?}",
-                row.case
-            );
+            assert_eq!(row.actual_permit, row.expected_permit, "mismatch on {:?}", row.case);
         }
     }
 }

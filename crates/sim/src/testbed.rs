@@ -207,7 +207,10 @@ impl TestbedBuilder {
             GramMode::Extended => {
                 let pdp = CombinedPdp::new(sources, self.combiner);
                 let mut chain = CalloutChain::new();
-                chain.push(Arc::new(PdpCallout::new("gram-authorization", pdp)));
+                // Cached: the server hot path reuses decisions for
+                // repeated identical requests; set_gridmap and policy
+                // reloads invalidate via the generation counter.
+                chain.push(Arc::new(PdpCallout::cached("gram-authorization", pdp)));
                 builder.callouts(chain)
             }
         };
@@ -257,11 +260,7 @@ mod tests {
         let tb = TestbedBuilder::new().members(0).build();
         let outsider = GramClient::new(tb.outsider.clone());
         let err = outsider
-            .submit(
-                &tb.server,
-                "&(executable = TRANSP)(jobtag = NFC)",
-                SimDuration::from_mins(1),
-            )
+            .submit(&tb.server, "&(executable = TRANSP)(jobtag = NFC)", SimDuration::from_mins(1))
             .unwrap_err();
         assert!(matches!(err, gridauthz_gram::GramError::GridMapDenied(_)));
     }
@@ -287,8 +286,6 @@ mod tests {
         let tb = TestbedBuilder::new().members(1).mode(GramMode::Gt2).build();
         let client = tb.member_client(0);
         // Arbitrary executable passes in GT2.
-        client
-            .submit(&tb.server, "&(executable = rogue)", SimDuration::from_mins(1))
-            .unwrap();
+        client.submit(&tb.server, "&(executable = rogue)", SimDuration::from_mins(1)).unwrap();
     }
 }

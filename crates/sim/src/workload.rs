@@ -104,9 +104,7 @@ pub fn run_workload(testbed: &Testbed, workload: &[WorkloadItem]) -> SimMetrics 
     for item in workload {
         testbed.clock.advance(item.think_time);
         testbed.server.pump();
-        metrics
-            .timeline
-            .push((testbed.clock.now(), testbed.server.utilization()));
+        metrics.timeline.push((testbed.clock.now(), testbed.server.utilization()));
         let client = testbed.member_client(item.member);
         match client.submit(&testbed.server, &item.rsl, item.work) {
             Ok(_) => {

@@ -1,0 +1,313 @@
+//! Offline, dependency-free subset of the `criterion` benchmark API.
+//!
+//! Implements enough surface for the workspace's `harness = false` bench
+//! targets: `Criterion`, `BenchmarkGroup` (with `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`), `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple calibrated wall-clock loop: warm up,
+//! pick an iteration count that fills a short measurement window, then
+//! report the mean per-iteration time (and element throughput when set).
+//!
+//! Honors `--quick`-ish time limits via env: `CRITERION_MEASURE_MS`
+//! (default 300) and `CRITERION_WARMUP_MS` (default 100).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// Benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a printable benchmark id (either a `&str` or a [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean per-iteration time of the measured window, filled by `iter`.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calibrates and measures `routine`, recording the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let target = self.measure.as_nanos();
+        let iters = (target / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.last_mean = Some(elapsed / u32::try_from(iters).unwrap_or(u32::MAX).max(1));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    warmup: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { warmup, measure, last_mean: None };
+    f(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => {
+            let mut line = format!("{full_id:<48} time: {:>12}/iter", format_duration(mean));
+            if let Some(Throughput::Elements(n)) = throughput {
+                let secs = mean.as_secs_f64();
+                if secs > 0.0 {
+                    let rate = n as f64 / secs;
+                    line.push_str(&format!("   thrpt: {rate:.0} elem/s"));
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("{full_id:<48} (no measurement recorded)"),
+    }
+}
+
+/// Benchmark driver. `Default`-constructible like the real crate.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes bench binaries with `--bench` plus an optional
+        // name filter; keep only a plausible filter string.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 100),
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.selected(id) {
+            run_one(id, self.warmup, self.measure, None, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing summary (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the vendored
+    /// runner uses a fixed measurement window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets measurement time for the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.selected(&full) {
+            run_one(&full, self.criterion.warmup, self.criterion.measure, self.throughput, &mut f);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.selected(&full) {
+            run_one(
+                &full,
+                self.criterion.warmup,
+                self.criterion.measure,
+                self.throughput,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut b = Bencher {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            last_mean: None,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "2");
+        let mut c = Criterion::default();
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(2), &2u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

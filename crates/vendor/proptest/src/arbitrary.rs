@@ -1,0 +1,66 @@
+//! `any::<T>()` and the [`Arbitrary`] trait (subset).
+
+use std::marker::PhantomData;
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // Bias toward boundary values now and then: proptest's
+                // shrinking would find them, this stub has to sample them.
+                if rng.gen_bool(0.10) {
+                    const SPECIALS: [$t; 4] = [0, 1, <$t>::MIN, <$t>::MAX];
+                    SPECIALS[rng.gen_range(0..SPECIALS.len())]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps downstream formatting assumptions honest.
+        rng.gen_range(0x20u32..0x7f) as u8 as char
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        if rng.gen_bool(0.10) {
+            const SPECIALS: [f64; 4] = [0.0, 1.0, -1.0, f64::MAX];
+            SPECIALS[rng.gen_range(0..SPECIALS.len())]
+        } else {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (unit - 0.5) * 2e9
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary_value(rng: &mut TestRng) -> String {
+        let len = rng.gen_range(0usize..16);
+        (0..len).map(|_| char::arbitrary_value(rng)).collect()
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest its test-suites use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_recursive`/`boxed`,
+//! [`prop_oneof!`] (weighted and unweighted), [`strategy::Just`],
+//! [`arbitrary::any`], [`collection::vec`], [`sample::select`], integer
+//! range strategies, regex-subset string strategies, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (via the normal `assert!` formatting) but is not
+//!   minimized.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are reproducible; set `PROPTEST_SEED` to
+//!   perturb all seeds, `PROPTEST_CASES` to change the case count.
+//! - **Regex strategies** support the subset used here: literals, `.`,
+//!   character classes (ranges, negation), groups, alternation, and the
+//!   `*`/`+`/`?`/`{n}`/`{m,n}` quantifiers (unbounded ones are capped).
+
+pub mod strategy;
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod string;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — everything the test-suites expect in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property; panics (fails the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Discards the current case when the assumption does not hold.
+///
+/// The vendored runner has no rejection bookkeeping; an unmet assumption
+/// simply skips the remainder of the case body via early `return` from the
+/// per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Builds a strategy choosing among alternatives, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions that run a body over generated inputs:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0u32..10, s in "[a-z]{1,4}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    // The case body runs in a closure returning `Result` so
+                    // `return Ok(())` and `prop_assume!` work as in real
+                    // proptest (which wraps bodies the same way).
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $pat =
+                                $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                            { $body };
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!("property {} failed: {}", stringify!($name), err);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,26 @@
+//! `Option` strategies (subset: `of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` or `Some(inner)` with equal probability.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}

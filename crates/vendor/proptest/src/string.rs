@@ -1,0 +1,270 @@
+//! Generation of strings matching a regex subset.
+//!
+//! Supports the constructs the workspace's strategies use: literal
+//! characters, `.` (printable ASCII), character classes with ranges and
+//! negation (`[a-z0-9_]`, `[^"\\]`), groups with alternation `(ab|cd)`,
+//! escapes (`\\`, `\d`, `\w`, `\s`, `\.` …), and the quantifiers `*`, `+`,
+//! `?`, `{n}`, `{m,n}`, `{m,}` (unbounded repetition capped at 8 extra).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Candidate characters of a (possibly negated, already materialized) class.
+    Class(Vec<char>),
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+const PRINTABLE: std::ops::RangeInclusive<u8> = b' '..=b'~';
+
+fn printable() -> Vec<char> {
+    PRINTABLE.map(char::from).collect()
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser { pattern, chars: pattern.chars().peekable() }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex {:?}: {what}", self.pattern)
+    }
+
+    /// Parses alternatives up to end-of-input or a closing parenthesis.
+    fn parse_alternatives(&mut self) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![Vec::new()];
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                ')' => break,
+                '|' => {
+                    self.chars.next();
+                    alternatives.push(Vec::new());
+                }
+                _ => {
+                    let node = self.parse_repeatable();
+                    let node = self.apply_quantifier(node);
+                    alternatives.last_mut().expect("non-empty").push(node);
+                }
+            }
+        }
+        alternatives
+    }
+
+    fn parse_repeatable(&mut self) -> Node {
+        match self.chars.next() {
+            Some('[') => self.parse_class(),
+            Some('(') => {
+                let alternatives = self.parse_alternatives();
+                match self.chars.next() {
+                    Some(')') => Node::Group(alternatives),
+                    _ => self.fail("unterminated group"),
+                }
+            }
+            Some('.') => Node::Class(printable()),
+            Some('\\') => Node::Class(self.parse_escape()),
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                self.fail(&format!("dangling quantifier {c:?}"))
+            }
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Vec<char> {
+        match self.chars.next() {
+            Some('d') => ('0'..='9').collect(),
+            Some('w') => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+            Some('s') => vec![' ', '\t', '\n'],
+            Some('n') => vec!['\n'],
+            Some('t') => vec!['\t'],
+            Some(c) => vec![c],
+            None => self.fail("trailing backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let negated = self.chars.peek() == Some(&'^');
+        if negated {
+            self.chars.next();
+        }
+        let mut members: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                Some(']') => {
+                    if let Some(p) = pending {
+                        members.push(p);
+                    }
+                    break;
+                }
+                Some('\\') => {
+                    if let Some(p) = pending.take() {
+                        members.push(p);
+                    }
+                    members.extend(self.parse_escape());
+                }
+                Some('-') => match (pending.take(), self.chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        self.chars.next();
+                        if lo > hi {
+                            self.fail("inverted class range");
+                        }
+                        members.extend(lo..=hi);
+                    }
+                    (lo, _) => {
+                        // '-' at the start/end of a class is a literal.
+                        if let Some(lo) = lo {
+                            members.push(lo);
+                        }
+                        members.push('-');
+                    }
+                },
+                Some(c) => {
+                    if let Some(p) = pending.replace(c) {
+                        members.push(p);
+                    }
+                }
+                None => self.fail("unterminated class"),
+            }
+        }
+        if negated {
+            members = printable().into_iter().filter(|c| !members.contains(c)).collect();
+        }
+        if members.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(members)
+    }
+
+    fn apply_quantifier(&mut self, node: Node) -> Node {
+        let (lo, hi) = match self.chars.peek() {
+            Some('*') => (0, 8),
+            Some('+') => (1, 9),
+            Some('?') => (0, 1),
+            Some('{') => {
+                self.chars.next();
+                return self.parse_counted(node);
+            }
+            _ => return node,
+        };
+        self.chars.next();
+        Node::Repeat(Box::new(node), lo, hi)
+    }
+
+    fn parse_counted(&mut self, node: Node) -> Node {
+        let mut lo_digits = String::new();
+        let mut hi_digits: Option<String> = None;
+        loop {
+            match self.chars.next() {
+                Some('}') => break,
+                Some(',') => hi_digits = Some(String::new()),
+                Some(c) if c.is_ascii_digit() => match &mut hi_digits {
+                    Some(hi) => hi.push(c),
+                    None => lo_digits.push(c),
+                },
+                _ => self.fail("malformed counted quantifier"),
+            }
+        }
+        let lo: usize = lo_digits.parse().unwrap_or(0);
+        let hi = match hi_digits {
+            None => lo,                                  // {n}
+            Some(d) if d.is_empty() => lo + 8,           // {m,} capped
+            Some(d) => d.parse().unwrap_or_else(|_| self.fail("bad upper bound")), // {m,n}
+        };
+        if hi < lo {
+            self.fail("inverted counted quantifier");
+        }
+        Node::Repeat(Box::new(node), lo, hi)
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(members) => out.push(members[rng.gen_range(0..members.len())]),
+        Node::Group(alternatives) => {
+            let alternative = &alternatives[rng.gen_range(0..alternatives.len())];
+            for child in alternative {
+                generate_node(child, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let count = rng.gen_range(*lo..=*hi);
+            for _ in 0..count {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let alternatives = parser.parse_alternatives();
+    if parser.chars.next().is_some() {
+        parser.fail("unbalanced parenthesis");
+    }
+    let mut out = String::new();
+    let alternative = &alternatives[rng.gen_range(0..alternatives.len())];
+    for node in alternative {
+        generate_node(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string_tests")
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,11}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_space() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[A-Za-z][A-Za-z0-9 .-]{0,11}[A-Za-z0-9]", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 13, "{s:?}");
+            let last = s.chars().last().unwrap();
+            assert!(last.is_ascii_alphanumeric(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_alternation_and_quantifiers() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("(ab|cd)+x?", &mut rng);
+            assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
+        }
+    }
+}

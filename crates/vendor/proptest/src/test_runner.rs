@@ -1,0 +1,89 @@
+//! Test-runner configuration and the deterministic RNG behind strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-`proptest!` block configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// RNG used to drive strategies. Seeded deterministically per test name so
+/// failures reproduce; `PROPTEST_SEED` perturbs every seed at once.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derives a deterministic RNG for the named test function.
+    pub fn for_test(test_name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        let perturbation = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng { inner: StdRng::seed_from_u64(hash ^ perturbation) }
+    }
+
+    /// Uniform sample from a half-open or inclusive integer range.
+    pub fn gen_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Bernoulli sample.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+/// Error type carried by a failing property case (subset: a message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(message: String) -> TestCaseError {
+        TestCaseError(message)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(message: &str) -> TestCaseError {
+        TestCaseError(message.to_string())
+    }
+}

@@ -1,0 +1,12 @@
+/root/repo/crates/vendor/proptest/target/debug/deps/proptest-b3f2ecbfada9aea2.d: src/lib.rs src/strategy.rs src/arbitrary.rs src/collection.rs src/option.rs src/sample.rs src/string.rs src/test_runner.rs
+
+/root/repo/crates/vendor/proptest/target/debug/deps/proptest-b3f2ecbfada9aea2: src/lib.rs src/strategy.rs src/arbitrary.rs src/collection.rs src/option.rs src/sample.rs src/string.rs src/test_runner.rs
+
+src/lib.rs:
+src/strategy.rs:
+src/arbitrary.rs:
+src/collection.rs:
+src/option.rs:
+src/sample.rs:
+src/string.rs:
+src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/vendor/proptest/target/debug/deps/rand-0fe25e2211789798.d: /root/repo/crates/vendor/rand/src/lib.rs
+
+/root/repo/crates/vendor/proptest/target/debug/deps/librand-0fe25e2211789798.rlib: /root/repo/crates/vendor/rand/src/lib.rs
+
+/root/repo/crates/vendor/proptest/target/debug/deps/librand-0fe25e2211789798.rmeta: /root/repo/crates/vendor/rand/src/lib.rs
+
+/root/repo/crates/vendor/rand/src/lib.rs:

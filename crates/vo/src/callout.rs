@@ -89,12 +89,8 @@ mod tests {
     fn management_actions_are_ignored() {
         let c = callout();
         let dn: DistinguishedName = "/O=G/CN=Kate".parse().unwrap();
-        let manage = AuthzRequest::manage(
-            dn.clone(),
-            Action::Cancel,
-            dn,
-            Some("UNREGISTERED".into()),
-        );
+        let manage =
+            AuthzRequest::manage(dn.clone(), Action::Cancel, dn, Some("UNREGISTERED".into()));
         assert!(c.authorize(&manage).is_ok());
     }
 }

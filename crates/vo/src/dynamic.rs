@@ -81,12 +81,8 @@ impl DynamicVoPolicy {
     /// Labels of overlays active at `(now, utilization)` — for audit
     /// trails and the T7 bench output.
     pub fn active_labels(&self, now: SimTime, utilization: f64) -> Vec<&str> {
-        let mut labels: Vec<&str> = self
-            .windows
-            .iter()
-            .filter(|w| w.active_at(now))
-            .map(|w| w.label.as_str())
-            .collect();
+        let mut labels: Vec<&str> =
+            self.windows.iter().filter(|w| w.active_at(now)).map(|w| w.label.as_str()).collect();
         labels.extend(
             self.utilization_overlays
                 .iter()
@@ -131,10 +127,7 @@ mod tests {
     }
 
     fn start(subject: &str, job: &str) -> AuthzRequest {
-        AuthzRequest::start(
-            dn(subject),
-            parse(job).unwrap().as_conjunction().unwrap().clone(),
-        )
+        AuthzRequest::start(dn(subject), parse(job).unwrap().as_conjunction().unwrap().clone())
     }
 
     /// Base: Ana may start TRANSP. Demo window: the demo operator gains a

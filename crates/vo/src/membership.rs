@@ -251,10 +251,8 @@ impl VirtualOrganization {
         for member in self.members.values() {
             for role in &member.roles {
                 if let Some(profile) = self.profiles.get(role) {
-                    statements.push(PolicyStatement::grant(
-                        member.dn.clone(),
-                        profile.rules().to_vec(),
-                    ));
+                    statements
+                        .push(PolicyStatement::grant(member.dn.clone(), profile.rules().to_vec()));
                 }
             }
         }
@@ -307,8 +305,7 @@ mod tests {
         vo.require("&(action = start)(jobtag != NULL)").unwrap();
         vo.add_member(dn("/O=G/CN=Dev"), [Role::new("developer")]).unwrap();
         vo.add_member(dn("/O=G/CN=Ana"), [Role::new("analyst")]).unwrap();
-        vo.add_member(dn("/O=G/CN=Boss"), [Role::new("analyst"), Role::new("admin")])
-            .unwrap();
+        vo.add_member(dn("/O=G/CN=Boss"), [Role::new("analyst"), Role::new("admin")]).unwrap();
         vo
     }
 
@@ -372,10 +369,8 @@ mod tests {
         assert!(pdp.decide(&dev_small).is_permit());
 
         // VO requirement: untagged starts are rejected even for analysts.
-        let untagged = AuthzRequest::start(
-            dn("/O=G/CN=Ana"),
-            job("&(executable = TRANSP)(count = 2)"),
-        );
+        let untagged =
+            AuthzRequest::start(dn("/O=G/CN=Ana"), job("&(executable = TRANSP)(count = 2)"));
         assert!(!pdp.decide(&untagged).is_permit());
     }
 

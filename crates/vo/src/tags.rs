@@ -69,21 +69,14 @@ impl JobTagRegistry {
         }
         self.tags.insert(
             name.to_string(),
-            JobTag {
-                name: name.to_string(),
-                description: description.to_string(),
-                manager_role,
-            },
+            JobTag { name: name.to_string(), description: description.to_string(), manager_role },
         );
         Ok(())
     }
 
     /// A tag name must survive unquoted in RSL and policy files.
     pub fn is_valid_name(name: &str) -> bool {
-        !name.is_empty()
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
     }
 
     /// Looks up a tag by name.
@@ -124,8 +117,7 @@ mod tests {
 
     fn registry() -> JobTagRegistry {
         let mut r = JobTagRegistry::new();
-        r.register("NFC", "National Fusion Collaboratory runs", Some(Role::new("admin")))
-            .unwrap();
+        r.register("NFC", "National Fusion Collaboratory runs", Some(Role::new("admin"))).unwrap();
         r.register("ADS", "Application development and support", None).unwrap();
         r
     }

@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use gridauthz::akenti::{AkentiCallout, AkentiEngine, AttributeAuthority, ResourceNaming, UseCondition};
+use gridauthz::akenti::{
+    AkentiCallout, AkentiEngine, AttributeAuthority, ResourceNaming, UseCondition,
+};
 use gridauthz::cas::{CasServer, RestrictionCallout};
 use gridauthz::clock::{SimClock, SimDuration};
 use gridauthz::core::{

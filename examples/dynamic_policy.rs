@@ -58,14 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>6} {:>6} {:<32} {:>18} {:>22}",
         "time", "load", "active overlays", "Ana: 16-cpu start", "operator: cancel NFC"
     );
-    for (secs, load) in [
-        (0u64, 0.2f64),
-        (1800, 0.95),
-        (3600, 0.2),
-        (5400, 0.95),
-        (7200, 0.2),
-        (9000, 0.5),
-    ] {
+    for (secs, load) in
+        [(0u64, 0.2f64), (1800, 0.95), (3600, 0.2), (5400, 0.95), (7200, 0.2), (9000, 0.5)]
+    {
         let now = SimTime::from_secs(secs);
         let active = Pdp::new(dynamic.active_policy(now, load));
         let labels = dynamic.active_labels(now, load).join(", ");
@@ -83,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity: the demo window and the load clamp both deny the 16-cpu run.
     assert!(Pdp::new(dynamic.active_policy(SimTime::from_secs(0), 0.2)).decide(&big).is_permit());
-    assert!(!Pdp::new(dynamic.active_policy(SimTime::from_secs(1800), 0.95)).decide(&big).is_permit());
-    assert!(!Pdp::new(dynamic.active_policy(SimTime::from_secs(5400), 0.2)).decide(&big).is_permit());
+    assert!(!Pdp::new(dynamic.active_policy(SimTime::from_secs(1800), 0.95))
+        .decide(&big)
+        .is_permit());
+    assert!(!Pdp::new(dynamic.active_policy(SimTime::from_secs(5400), 0.2))
+        .decide(&big)
+        .is_permit());
     Ok(())
 }

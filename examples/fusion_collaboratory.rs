@@ -68,10 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The demo completes; the admin resumes everything.
     tb.clock.advance(mins(20));
     tb.server.pump();
-    println!(
-        "\nt+50m: urgent run: {}",
-        demo_analyst.status(&tb.server, &urgent)?.state
-    );
+    println!("\nt+50m: urgent run: {}", demo_analyst.status(&tb.server, &urgent)?.state);
     for contact in &contacts {
         admin.signal(&tb.server, contact, GramSignal::Resume)?;
     }

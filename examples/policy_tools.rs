@@ -35,20 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             finding.detail
         );
     }
-    println!("  (Figure 3 itself validates clean: {} findings)\n",
-        PolicyAnalyzer::new(&paper::figure3_policy()).findings().len());
+    println!(
+        "  (Figure 3 itself validates clean: {} findings)\n",
+        PolicyAnalyzer::new(&paper::figure3_policy()).findings().len()
+    );
 
     // --- What-if queries --------------------------------------------------
     println!("== what-if: who may cancel an NFC job started by Bo Liu? ==");
     let policy = paper::figure3_policy();
     let analyzer = PolicyAnalyzer::new(&policy);
     let subjects = vec![paper::bo_liu(), paper::kate_keahey(), paper::outsider()];
-    let request = AuthzRequest::manage(
-        paper::bo_liu(),
-        Action::Cancel,
-        paper::bo_liu(),
-        Some("NFC".into()),
-    );
+    let request =
+        AuthzRequest::manage(paper::bo_liu(), Action::Cancel, paper::bo_liu(), Some("NFC".into()));
     for dn in analyzer.who_may(&subjects, &request) {
         println!("  {dn}");
     }

@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let request = AuthzRequest::start(paper::bo_liu(), job.as_conjunction().unwrap().clone());
     println!("Bo starts test1 (ADS, 2 cpus): {}", pdp.decide(&request));
 
-    let too_big = parse("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)")?;
+    let too_big =
+        parse("&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 4)")?;
     let request = AuthzRequest::start(paper::bo_liu(), too_big.as_conjunction().unwrap().clone());
     println!("Bo starts test1 with 4 cpus:   {}", pdp.decide(&request));
 

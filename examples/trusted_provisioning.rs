@@ -55,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(e) => println!("  {label:<26} BLOCKED ({e})"),
         }
     }
-    println!(
-        "violations recorded for audit: {}",
-        server.sandbox_violation_count(&contact)?
-    );
+    println!("violations recorded for audit: {}", server.sandbox_violation_count(&contact)?);
     assert_eq!(server.sandbox_violation_count(&contact)?, 3);
 
     // Lease reuse: a second job by the same visitor shares the account...

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in one command.
+#
+#   ./scripts/check.sh
+#
+# Runs entirely offline (vendored deps; see crates/vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "all checks passed"

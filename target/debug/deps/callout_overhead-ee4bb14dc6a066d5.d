@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/callout_overhead-ee4bb14dc6a066d5.d: crates/bench/benches/callout_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcallout_overhead-ee4bb14dc6a066d5.rmeta: crates/bench/benches/callout_overhead.rs Cargo.toml
+
+crates/bench/benches/callout_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

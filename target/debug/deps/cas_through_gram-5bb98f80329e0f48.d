@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cas_through_gram-5bb98f80329e0f48.d: tests/cas_through_gram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcas_through_gram-5bb98f80329e0f48.rmeta: tests/cas_through_gram.rs Cargo.toml
+
+tests/cas_through_gram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cas_through_gram-8a036a824e678678.d: tests/cas_through_gram.rs
+
+/root/repo/target/debug/deps/cas_through_gram-8a036a824e678678: tests/cas_through_gram.rs
+
+tests/cas_through_gram.rs:

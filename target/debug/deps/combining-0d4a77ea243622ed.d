@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/combining-0d4a77ea243622ed.d: crates/bench/benches/combining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcombining-0d4a77ea243622ed.rmeta: crates/bench/benches/combining.rs Cargo.toml
+
+crates/bench/benches/combining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

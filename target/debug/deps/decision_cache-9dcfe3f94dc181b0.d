@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decision_cache-9dcfe3f94dc181b0.d: crates/bench/benches/decision_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecision_cache-9dcfe3f94dc181b0.rmeta: crates/bench/benches/decision_cache.rs Cargo.toml
+
+crates/bench/benches/decision_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

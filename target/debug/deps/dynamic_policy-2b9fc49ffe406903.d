@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_policy-2b9fc49ffe406903.d: crates/bench/benches/dynamic_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_policy-2b9fc49ffe406903.rmeta: crates/bench/benches/dynamic_policy.rs Cargo.toml
+
+crates/bench/benches/dynamic_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

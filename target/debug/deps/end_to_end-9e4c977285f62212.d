@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9e4c977285f62212.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9e4c977285f62212: tests/end_to_end.rs
+
+tests/end_to_end.rs:

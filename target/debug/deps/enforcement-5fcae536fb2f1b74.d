@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enforcement-5fcae536fb2f1b74.d: crates/bench/benches/enforcement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenforcement-5fcae536fb2f1b74.rmeta: crates/bench/benches/enforcement.rs Cargo.toml
+
+crates/bench/benches/enforcement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

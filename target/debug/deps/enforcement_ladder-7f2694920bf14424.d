@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enforcement_ladder-7f2694920bf14424.d: tests/enforcement_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenforcement_ladder-7f2694920bf14424.rmeta: tests/enforcement_ladder.rs Cargo.toml
+
+tests/enforcement_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enforcement_ladder-c434a68569cd56df.d: tests/enforcement_ladder.rs
+
+/root/repo/target/debug/deps/enforcement_ladder-c434a68569cd56df: tests/enforcement_ladder.rs
+
+tests/enforcement_ladder.rs:

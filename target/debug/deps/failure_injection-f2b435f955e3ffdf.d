@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f2b435f955e3ffdf.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f2b435f955e3ffdf: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_scenarios-e2179e208995fcc9.d: tests/figure_scenarios.rs
+
+/root/repo/target/debug/deps/figure_scenarios-e2179e208995fcc9: tests/figure_scenarios.rs
+
+tests/figure_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridauthz-78b2006519ea53a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/gridauthz-78b2006519ea53a2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gridauthz-89839dde11b9047c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgridauthz-89839dde11b9047c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgridauthz-89839dde11b9047c.rmeta: src/lib.rs
+
+src/lib.rs:

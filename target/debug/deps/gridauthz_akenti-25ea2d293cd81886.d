@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridauthz_akenti-25ea2d293cd81886.d: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+/root/repo/target/debug/deps/libgridauthz_akenti-25ea2d293cd81886.rlib: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+/root/repo/target/debug/deps/libgridauthz_akenti-25ea2d293cd81886.rmeta: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+crates/akenti/src/lib.rs:
+crates/akenti/src/callout.rs:
+crates/akenti/src/engine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gridauthz_akenti-914bbad03eb5dad6.d: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+/root/repo/target/debug/deps/gridauthz_akenti-914bbad03eb5dad6: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+crates/akenti/src/lib.rs:
+crates/akenti/src/callout.rs:
+crates/akenti/src/engine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gridauthz_akenti-cbe285e6ab19fb63.d: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_akenti-cbe285e6ab19fb63.rmeta: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs Cargo.toml
+
+crates/akenti/src/lib.rs:
+crates/akenti/src/callout.rs:
+crates/akenti/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridauthz_bench-8d4cf6d684bfd58d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_bench-8d4cf6d684bfd58d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

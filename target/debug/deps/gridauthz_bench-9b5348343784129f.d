@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridauthz_bench-9b5348343784129f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_bench-9b5348343784129f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

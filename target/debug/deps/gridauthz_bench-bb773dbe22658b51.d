@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gridauthz_bench-bb773dbe22658b51.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgridauthz_bench-bb773dbe22658b51.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgridauthz_bench-bb773dbe22658b51.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

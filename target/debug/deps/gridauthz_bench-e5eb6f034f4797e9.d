@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridauthz_bench-e5eb6f034f4797e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gridauthz_bench-e5eb6f034f4797e9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

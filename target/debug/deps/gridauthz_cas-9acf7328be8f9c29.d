@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gridauthz_cas-9acf7328be8f9c29.d: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+/root/repo/target/debug/deps/gridauthz_cas-9acf7328be8f9c29: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+crates/cas/src/lib.rs:
+crates/cas/src/callout.rs:
+crates/cas/src/server.rs:

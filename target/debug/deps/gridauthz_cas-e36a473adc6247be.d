@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gridauthz_cas-e36a473adc6247be.d: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_cas-e36a473adc6247be.rmeta: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs Cargo.toml
+
+crates/cas/src/lib.rs:
+crates/cas/src/callout.rs:
+crates/cas/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

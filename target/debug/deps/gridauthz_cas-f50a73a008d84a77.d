@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridauthz_cas-f50a73a008d84a77.d: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+/root/repo/target/debug/deps/libgridauthz_cas-f50a73a008d84a77.rlib: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+/root/repo/target/debug/deps/libgridauthz_cas-f50a73a008d84a77.rmeta: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+crates/cas/src/lib.rs:
+crates/cas/src/callout.rs:
+crates/cas/src/server.rs:

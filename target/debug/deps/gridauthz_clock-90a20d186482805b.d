@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gridauthz_clock-90a20d186482805b.d: crates/clock/src/lib.rs
+
+/root/repo/target/debug/deps/libgridauthz_clock-90a20d186482805b.rlib: crates/clock/src/lib.rs
+
+/root/repo/target/debug/deps/libgridauthz_clock-90a20d186482805b.rmeta: crates/clock/src/lib.rs
+
+crates/clock/src/lib.rs:

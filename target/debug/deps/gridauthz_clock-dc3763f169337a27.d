@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridauthz_clock-dc3763f169337a27.d: crates/clock/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_clock-dc3763f169337a27.rmeta: crates/clock/src/lib.rs Cargo.toml
+
+crates/clock/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridauthz_clock-ed95b0db78ebb3e6.d: crates/clock/src/lib.rs
+
+/root/repo/target/debug/deps/gridauthz_clock-ed95b0db78ebb3e6: crates/clock/src/lib.rs
+
+crates/clock/src/lib.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/gridauthz_core-f2279e5028010a90.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs crates/core/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_core-f2279e5028010a90.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs crates/core/src/proptests.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/action.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cache.rs:
+crates/core/src/combine.rs:
+crates/core/src/decision.rs:
+crates/core/src/error.rs:
+crates/core/src/eval.rs:
+crates/core/src/explain.rs:
+crates/core/src/index.rs:
+crates/core/src/parser.rs:
+crates/core/src/pep.rs:
+crates/core/src/policy.rs:
+crates/core/src/request.rs:
+crates/core/src/statement.rs:
+crates/core/src/paper.rs:
+crates/core/src/xacml.rs:
+crates/core/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gridauthz_credential-ac1de0286cded049.d: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_credential-ac1de0286cded049.rmeta: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs Cargo.toml
+
+crates/credential/src/lib.rs:
+crates/credential/src/ca.rs:
+crates/credential/src/cert.rs:
+crates/credential/src/chain.rs:
+crates/credential/src/credential.rs:
+crates/credential/src/dn.rs:
+crates/credential/src/error.rs:
+crates/credential/src/gridmap.rs:
+crates/credential/src/pem.rs:
+crates/credential/src/rsa.rs:
+crates/credential/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

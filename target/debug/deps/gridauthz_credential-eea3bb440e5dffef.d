@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gridauthz_credential-eea3bb440e5dffef.d: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs
+
+/root/repo/target/debug/deps/gridauthz_credential-eea3bb440e5dffef: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs
+
+crates/credential/src/lib.rs:
+crates/credential/src/ca.rs:
+crates/credential/src/cert.rs:
+crates/credential/src/chain.rs:
+crates/credential/src/credential.rs:
+crates/credential/src/dn.rs:
+crates/credential/src/error.rs:
+crates/credential/src/gridmap.rs:
+crates/credential/src/pem.rs:
+crates/credential/src/rsa.rs:
+crates/credential/src/sha256.rs:

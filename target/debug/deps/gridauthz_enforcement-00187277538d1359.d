@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gridauthz_enforcement-00187277538d1359.d: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+/root/repo/target/debug/deps/libgridauthz_enforcement-00187277538d1359.rlib: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+/root/repo/target/debug/deps/libgridauthz_enforcement-00187277538d1359.rmeta: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+crates/enforcement/src/lib.rs:
+crates/enforcement/src/accounts.rs:
+crates/enforcement/src/dynamic.rs:
+crates/enforcement/src/fs.rs:
+crates/enforcement/src/sandbox.rs:

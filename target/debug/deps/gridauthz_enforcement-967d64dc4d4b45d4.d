@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gridauthz_enforcement-967d64dc4d4b45d4.d: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_enforcement-967d64dc4d4b45d4.rmeta: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs Cargo.toml
+
+crates/enforcement/src/lib.rs:
+crates/enforcement/src/accounts.rs:
+crates/enforcement/src/dynamic.rs:
+crates/enforcement/src/fs.rs:
+crates/enforcement/src/sandbox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

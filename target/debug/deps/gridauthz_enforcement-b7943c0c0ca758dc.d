@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridauthz_enforcement-b7943c0c0ca758dc.d: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+/root/repo/target/debug/deps/gridauthz_enforcement-b7943c0c0ca758dc: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+crates/enforcement/src/lib.rs:
+crates/enforcement/src/accounts.rs:
+crates/enforcement/src/dynamic.rs:
+crates/enforcement/src/fs.rs:
+crates/enforcement/src/sandbox.rs:

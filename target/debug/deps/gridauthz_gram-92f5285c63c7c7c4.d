@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gridauthz_gram-92f5285c63c7c7c4.d: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs
+
+/root/repo/target/debug/deps/libgridauthz_gram-92f5285c63c7c7c4.rlib: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs
+
+/root/repo/target/debug/deps/libgridauthz_gram-92f5285c63c7c7c4.rmeta: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs
+
+crates/gram/src/lib.rs:
+crates/gram/src/audit.rs:
+crates/gram/src/client.rs:
+crates/gram/src/gatekeeper.rs:
+crates/gram/src/jobspec.rs:
+crates/gram/src/protocol.rs:
+crates/gram/src/provisioning.rs:
+crates/gram/src/server.rs:
+crates/gram/src/shard.rs:
+crates/gram/src/wire.rs:

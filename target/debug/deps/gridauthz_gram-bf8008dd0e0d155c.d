@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gridauthz_gram-bf8008dd0e0d155c.d: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_gram-bf8008dd0e0d155c.rmeta: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs Cargo.toml
+
+crates/gram/src/lib.rs:
+crates/gram/src/audit.rs:
+crates/gram/src/client.rs:
+crates/gram/src/gatekeeper.rs:
+crates/gram/src/jobspec.rs:
+crates/gram/src/protocol.rs:
+crates/gram/src/provisioning.rs:
+crates/gram/src/server.rs:
+crates/gram/src/shard.rs:
+crates/gram/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

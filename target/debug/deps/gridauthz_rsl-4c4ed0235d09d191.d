@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gridauthz_rsl-4c4ed0235d09d191.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_rsl-4c4ed0235d09d191.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/proptests.rs Cargo.toml
+
+crates/rsl/src/lib.rs:
+crates/rsl/src/ast.rs:
+crates/rsl/src/builder.rs:
+crates/rsl/src/error.rs:
+crates/rsl/src/parser.rs:
+crates/rsl/src/token.rs:
+crates/rsl/src/attributes.rs:
+crates/rsl/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridauthz_scheduler-65dd7a1a34425107.d: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+/root/repo/target/debug/deps/libgridauthz_scheduler-65dd7a1a34425107.rlib: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+/root/repo/target/debug/deps/libgridauthz_scheduler-65dd7a1a34425107.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/cluster.rs:
+crates/scheduler/src/engine.rs:
+crates/scheduler/src/error.rs:
+crates/scheduler/src/job.rs:
+crates/scheduler/src/queue.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gridauthz_scheduler-dd3be78635356cd5.d: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_scheduler-dd3be78635356cd5.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs Cargo.toml
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/cluster.rs:
+crates/scheduler/src/engine.rs:
+crates/scheduler/src/error.rs:
+crates/scheduler/src/job.rs:
+crates/scheduler/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridauthz_scheduler-f62d79ec913c9880.d: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+/root/repo/target/debug/deps/gridauthz_scheduler-f62d79ec913c9880: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/cluster.rs:
+crates/scheduler/src/engine.rs:
+crates/scheduler/src/error.rs:
+crates/scheduler/src/job.rs:
+crates/scheduler/src/queue.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridauthz_sim-7425e184ae386426.d: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libgridauthz_sim-7425e184ae386426.rlib: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libgridauthz_sim-7425e184ae386426.rmeta: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/broker.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/workload.rs:

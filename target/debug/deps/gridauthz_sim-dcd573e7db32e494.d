@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gridauthz_sim-dcd573e7db32e494.d: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_sim-dcd573e7db32e494.rmeta: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/broker.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

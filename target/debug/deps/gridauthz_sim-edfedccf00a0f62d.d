@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridauthz_sim-edfedccf00a0f62d.d: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/gridauthz_sim-edfedccf00a0f62d: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/broker.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/workload.rs:

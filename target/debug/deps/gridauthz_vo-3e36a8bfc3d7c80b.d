@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridauthz_vo-3e36a8bfc3d7c80b.d: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+/root/repo/target/debug/deps/libgridauthz_vo-3e36a8bfc3d7c80b.rlib: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+/root/repo/target/debug/deps/libgridauthz_vo-3e36a8bfc3d7c80b.rmeta: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+crates/vo/src/lib.rs:
+crates/vo/src/callout.rs:
+crates/vo/src/dynamic.rs:
+crates/vo/src/error.rs:
+crates/vo/src/membership.rs:
+crates/vo/src/tags.rs:

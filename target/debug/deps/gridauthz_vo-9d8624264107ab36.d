@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridauthz_vo-9d8624264107ab36.d: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+/root/repo/target/debug/deps/gridauthz_vo-9d8624264107ab36: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+crates/vo/src/lib.rs:
+crates/vo/src/callout.rs:
+crates/vo/src/dynamic.rs:
+crates/vo/src/error.rs:
+crates/vo/src/membership.rs:
+crates/vo/src/tags.rs:

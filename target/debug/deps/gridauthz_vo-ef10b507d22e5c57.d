@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gridauthz_vo-ef10b507d22e5c57.d: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridauthz_vo-ef10b507d22e5c57.rmeta: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs Cargo.toml
+
+crates/vo/src/lib.rs:
+crates/vo/src/callout.rs:
+crates/vo/src/dynamic.rs:
+crates/vo/src/error.rs:
+crates/vo/src/membership.rs:
+crates/vo/src/tags.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

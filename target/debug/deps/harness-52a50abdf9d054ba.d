@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-52a50abdf9d054ba.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-52a50abdf9d054ba.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-6e1915bbdbeb8b21.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-6e1915bbdbeb8b21: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgmt_throughput-d2728fb3694d98f9.d: crates/bench/benches/mgmt_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgmt_throughput-d2728fb3694d98f9.rmeta: crates/bench/benches/mgmt_throughput.rs Cargo.toml
+
+crates/bench/benches/mgmt_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

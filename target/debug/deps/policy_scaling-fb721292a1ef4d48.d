@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_scaling-fb721292a1ef4d48.d: crates/bench/benches/policy_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_scaling-fb721292a1ef4d48.rmeta: crates/bench/benches/policy_scaling.rs Cargo.toml
+
+crates/bench/benches/policy_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

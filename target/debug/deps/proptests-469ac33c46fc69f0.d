@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-469ac33c46fc69f0.d: crates/scheduler/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-469ac33c46fc69f0.rmeta: crates/scheduler/tests/proptests.rs Cargo.toml
+
+crates/scheduler/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-880d672f1b891eea.d: crates/credential/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-880d672f1b891eea.rmeta: crates/credential/tests/proptests.rs Cargo.toml
+
+crates/credential/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a53452d0dce6003b.d: crates/scheduler/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a53452d0dce6003b: crates/scheduler/tests/proptests.rs
+
+crates/scheduler/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d49aa1ccbfeff150.d: crates/credential/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d49aa1ccbfeff150: crates/credential/tests/proptests.rs
+
+crates/credential/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/votag_management-51d8a5882f0d352d.d: crates/bench/benches/votag_management.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvotag_management-51d8a5882f0d352d.rmeta: crates/bench/benches/votag_management.rs Cargo.toml
+
+crates/bench/benches/votag_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

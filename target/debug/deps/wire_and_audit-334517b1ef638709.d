@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_and_audit-334517b1ef638709.d: tests/wire_and_audit.rs
+
+/root/repo/target/debug/deps/wire_and_audit-334517b1ef638709: tests/wire_and_audit.rs
+
+tests/wire_and_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_and_audit-c78cc2579c20f6c8.d: tests/wire_and_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_and_audit-c78cc2579c20f6c8.rmeta: tests/wire_and_audit.rs Cargo.toml
+
+tests/wire_and_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cas_vs_akenti-38605ca444100806.d: examples/cas_vs_akenti.rs
+
+/root/repo/target/debug/examples/cas_vs_akenti-38605ca444100806: examples/cas_vs_akenti.rs
+
+examples/cas_vs_akenti.rs:

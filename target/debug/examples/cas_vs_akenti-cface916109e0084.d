@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cas_vs_akenti-cface916109e0084.d: examples/cas_vs_akenti.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcas_vs_akenti-cface916109e0084.rmeta: examples/cas_vs_akenti.rs Cargo.toml
+
+examples/cas_vs_akenti.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

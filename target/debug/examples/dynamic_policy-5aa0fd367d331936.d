@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_policy-5aa0fd367d331936.d: examples/dynamic_policy.rs
+
+/root/repo/target/debug/examples/dynamic_policy-5aa0fd367d331936: examples/dynamic_policy.rs
+
+examples/dynamic_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_policy-a54824dac3f80c71.d: examples/dynamic_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_policy-a54824dac3f80c71.rmeta: examples/dynamic_policy.rs Cargo.toml
+
+examples/dynamic_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fusion_collaboratory-97ab6f3f4866c17a.d: examples/fusion_collaboratory.rs
+
+/root/repo/target/debug/examples/fusion_collaboratory-97ab6f3f4866c17a: examples/fusion_collaboratory.rs
+
+examples/fusion_collaboratory.rs:

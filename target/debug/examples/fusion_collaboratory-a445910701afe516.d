@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fusion_collaboratory-a445910701afe516.d: examples/fusion_collaboratory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfusion_collaboratory-a445910701afe516.rmeta: examples/fusion_collaboratory.rs Cargo.toml
+
+examples/fusion_collaboratory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

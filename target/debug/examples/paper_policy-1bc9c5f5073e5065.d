@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_policy-1bc9c5f5073e5065.d: examples/paper_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_policy-1bc9c5f5073e5065.rmeta: examples/paper_policy.rs Cargo.toml
+
+examples/paper_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_policy-4b14b928c71bef73.d: examples/paper_policy.rs
+
+/root/repo/target/debug/examples/paper_policy-4b14b928c71bef73: examples/paper_policy.rs
+
+examples/paper_policy.rs:

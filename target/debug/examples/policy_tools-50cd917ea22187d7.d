@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_tools-50cd917ea22187d7.d: examples/policy_tools.rs
+
+/root/repo/target/debug/examples/policy_tools-50cd917ea22187d7: examples/policy_tools.rs
+
+examples/policy_tools.rs:

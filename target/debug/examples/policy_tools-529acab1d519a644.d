@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_tools-529acab1d519a644.d: examples/policy_tools.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_tools-529acab1d519a644.rmeta: examples/policy_tools.rs Cargo.toml
+
+examples/policy_tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

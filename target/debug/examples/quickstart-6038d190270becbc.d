@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6038d190270becbc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6038d190270becbc: examples/quickstart.rs
+
+examples/quickstart.rs:

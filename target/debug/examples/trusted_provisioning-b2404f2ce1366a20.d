@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trusted_provisioning-b2404f2ce1366a20.d: examples/trusted_provisioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrusted_provisioning-b2404f2ce1366a20.rmeta: examples/trusted_provisioning.rs Cargo.toml
+
+examples/trusted_provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trusted_provisioning-bd3b3417189e1d9c.d: examples/trusted_provisioning.rs
+
+/root/repo/target/debug/examples/trusted_provisioning-bd3b3417189e1d9c: examples/trusted_provisioning.rs
+
+examples/trusted_provisioning.rs:

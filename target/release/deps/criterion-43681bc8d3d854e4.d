@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-43681bc8d3d854e4.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-43681bc8d3d854e4.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-43681bc8d3d854e4.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

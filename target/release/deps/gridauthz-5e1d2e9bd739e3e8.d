@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gridauthz-5e1d2e9bd739e3e8.d: src/lib.rs
+
+/root/repo/target/release/deps/libgridauthz-5e1d2e9bd739e3e8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgridauthz-5e1d2e9bd739e3e8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gridauthz_akenti-f770ff5de0c48bc8.d: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+/root/repo/target/release/deps/libgridauthz_akenti-f770ff5de0c48bc8.rlib: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+/root/repo/target/release/deps/libgridauthz_akenti-f770ff5de0c48bc8.rmeta: crates/akenti/src/lib.rs crates/akenti/src/callout.rs crates/akenti/src/engine.rs
+
+crates/akenti/src/lib.rs:
+crates/akenti/src/callout.rs:
+crates/akenti/src/engine.rs:

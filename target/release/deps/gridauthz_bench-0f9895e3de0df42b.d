@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gridauthz_bench-0f9895e3de0df42b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgridauthz_bench-0f9895e3de0df42b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgridauthz_bench-0f9895e3de0df42b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

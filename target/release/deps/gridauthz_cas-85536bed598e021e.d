@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gridauthz_cas-85536bed598e021e.d: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+/root/repo/target/release/deps/libgridauthz_cas-85536bed598e021e.rlib: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+/root/repo/target/release/deps/libgridauthz_cas-85536bed598e021e.rmeta: crates/cas/src/lib.rs crates/cas/src/callout.rs crates/cas/src/server.rs
+
+crates/cas/src/lib.rs:
+crates/cas/src/callout.rs:
+crates/cas/src/server.rs:

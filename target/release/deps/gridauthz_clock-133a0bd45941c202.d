@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gridauthz_clock-133a0bd45941c202.d: crates/clock/src/lib.rs
+
+/root/repo/target/release/deps/libgridauthz_clock-133a0bd45941c202.rlib: crates/clock/src/lib.rs
+
+/root/repo/target/release/deps/libgridauthz_clock-133a0bd45941c202.rmeta: crates/clock/src/lib.rs
+
+crates/clock/src/lib.rs:

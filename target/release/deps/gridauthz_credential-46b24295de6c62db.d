@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gridauthz_credential-46b24295de6c62db.d: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs
+
+/root/repo/target/release/deps/libgridauthz_credential-46b24295de6c62db.rlib: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs
+
+/root/repo/target/release/deps/libgridauthz_credential-46b24295de6c62db.rmeta: crates/credential/src/lib.rs crates/credential/src/ca.rs crates/credential/src/cert.rs crates/credential/src/chain.rs crates/credential/src/credential.rs crates/credential/src/dn.rs crates/credential/src/error.rs crates/credential/src/gridmap.rs crates/credential/src/pem.rs crates/credential/src/rsa.rs crates/credential/src/sha256.rs
+
+crates/credential/src/lib.rs:
+crates/credential/src/ca.rs:
+crates/credential/src/cert.rs:
+crates/credential/src/chain.rs:
+crates/credential/src/credential.rs:
+crates/credential/src/dn.rs:
+crates/credential/src/error.rs:
+crates/credential/src/gridmap.rs:
+crates/credential/src/pem.rs:
+crates/credential/src/rsa.rs:
+crates/credential/src/sha256.rs:

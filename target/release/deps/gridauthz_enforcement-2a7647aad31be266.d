@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gridauthz_enforcement-2a7647aad31be266.d: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+/root/repo/target/release/deps/libgridauthz_enforcement-2a7647aad31be266.rlib: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+/root/repo/target/release/deps/libgridauthz_enforcement-2a7647aad31be266.rmeta: crates/enforcement/src/lib.rs crates/enforcement/src/accounts.rs crates/enforcement/src/dynamic.rs crates/enforcement/src/fs.rs crates/enforcement/src/sandbox.rs
+
+crates/enforcement/src/lib.rs:
+crates/enforcement/src/accounts.rs:
+crates/enforcement/src/dynamic.rs:
+crates/enforcement/src/fs.rs:
+crates/enforcement/src/sandbox.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gridauthz_gram-abd6b4558ca66bcd.d: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs
+
+/root/repo/target/release/deps/libgridauthz_gram-abd6b4558ca66bcd.rlib: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs
+
+/root/repo/target/release/deps/libgridauthz_gram-abd6b4558ca66bcd.rmeta: crates/gram/src/lib.rs crates/gram/src/audit.rs crates/gram/src/client.rs crates/gram/src/gatekeeper.rs crates/gram/src/jobspec.rs crates/gram/src/protocol.rs crates/gram/src/provisioning.rs crates/gram/src/server.rs crates/gram/src/shard.rs crates/gram/src/wire.rs
+
+crates/gram/src/lib.rs:
+crates/gram/src/audit.rs:
+crates/gram/src/client.rs:
+crates/gram/src/gatekeeper.rs:
+crates/gram/src/jobspec.rs:
+crates/gram/src/protocol.rs:
+crates/gram/src/provisioning.rs:
+crates/gram/src/server.rs:
+crates/gram/src/shard.rs:
+crates/gram/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridauthz_scheduler-741dda9944ec965d.d: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+/root/repo/target/release/deps/libgridauthz_scheduler-741dda9944ec965d.rlib: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+/root/repo/target/release/deps/libgridauthz_scheduler-741dda9944ec965d.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/cluster.rs crates/scheduler/src/engine.rs crates/scheduler/src/error.rs crates/scheduler/src/job.rs crates/scheduler/src/queue.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/cluster.rs:
+crates/scheduler/src/engine.rs:
+crates/scheduler/src/error.rs:
+crates/scheduler/src/job.rs:
+crates/scheduler/src/queue.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridauthz_sim-1ddc813fcdf16fde.d: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libgridauthz_sim-1ddc813fcdf16fde.rlib: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libgridauthz_sim-1ddc813fcdf16fde.rmeta: crates/sim/src/lib.rs crates/sim/src/broker.rs crates/sim/src/metrics.rs crates/sim/src/scenario.rs crates/sim/src/testbed.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/broker.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/testbed.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridauthz_vo-b9ce5079c7bf93b0.d: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+/root/repo/target/release/deps/libgridauthz_vo-b9ce5079c7bf93b0.rlib: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+/root/repo/target/release/deps/libgridauthz_vo-b9ce5079c7bf93b0.rmeta: crates/vo/src/lib.rs crates/vo/src/callout.rs crates/vo/src/dynamic.rs crates/vo/src/error.rs crates/vo/src/membership.rs crates/vo/src/tags.rs
+
+crates/vo/src/lib.rs:
+crates/vo/src/callout.rs:
+crates/vo/src/dynamic.rs:
+crates/vo/src/error.rs:
+crates/vo/src/membership.rs:
+crates/vo/src/tags.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-5a3e0aa4c6208eb8.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-5a3e0aa4c6208eb8: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

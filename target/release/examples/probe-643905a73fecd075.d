@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-643905a73fecd075.d: crates/bench/examples/probe.rs
+
+/root/repo/target/release/examples/probe-643905a73fecd075: crates/bench/examples/probe.rs
+
+crates/bench/examples/probe.rs:

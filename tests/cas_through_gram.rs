@@ -32,9 +32,8 @@ fn site() -> CasSite {
 
     // The community server credential. Only the CAS identity is in the
     // grid-mapfile: the site administers ONE account for the whole VO.
-    let cas_cred = ca
-        .issue_identity("/O=Grid/CN=Fusion CAS", SimDuration::from_hours(1000))
-        .unwrap();
+    let cas_cred =
+        ca.issue_identity("/O=Grid/CN=Fusion CAS", SimDuration::from_hours(1000)).unwrap();
     let kate: DistinguishedName = "/O=Grid/CN=Kate".parse().unwrap();
     let bob: DistinguishedName = "/O=Grid/CN=Bob".parse().unwrap();
 
@@ -62,7 +61,8 @@ fn site() -> CasSite {
         "{cas_dn}: &(action = start)(count < 33) &(action = cancel) &(action = information) &(action = signal)",
         cas_dn = cas.identity()
     );
-    let source = PolicySource::new("local", PolicyOrigin::ResourceOwner, site_policy.parse().unwrap());
+    let source =
+        PolicySource::new("local", PolicyOrigin::ResourceOwner, site_policy.parse().unwrap());
     let mut callouts = CalloutChain::new();
     callouts.push(Arc::new(PdpCallout::new(
         "site-policy",
@@ -153,7 +153,12 @@ fn community_jobs_share_the_community_account() {
     let kate_proxy = s.cas.issue_proxy(&s.kate, SimDuration::from_hours(2)).unwrap();
     let contact = s
         .server
-        .submit(kate_proxy.chain(), "&(executable = TRANSP)(jobtag = NFC)(count = 2)", None, mins(10))
+        .submit(
+            kate_proxy.chain(),
+            "&(executable = TRANSP)(jobtag = NFC)(count = 2)",
+            None,
+            mins(10),
+        )
         .unwrap();
     // Cancel through Kate's proxy: her capability has no cancel grant,
     // so even though the community identity "owns" the job, the

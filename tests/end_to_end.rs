@@ -59,9 +59,8 @@ fn members_cannot_manage_each_others_jobs_but_admin_can() {
 #[test]
 fn proxy_delegation_works_through_the_whole_stack() {
     let tb = TestbedBuilder::new().members(1).build();
-    let proxy = tb.members[0]
-        .delegate_proxy_at(tb.clock.now(), SimDuration::from_hours(2))
-        .unwrap();
+    let proxy =
+        tb.members[0].delegate_proxy_at(tb.clock.now(), SimDuration::from_hours(2)).unwrap();
     let client = GramClient::new(proxy);
     // Proxy authenticates as the member; policy applies to the effective
     // identity, not the proxy subject.
@@ -73,9 +72,7 @@ fn proxy_delegation_works_through_the_whole_stack() {
 #[test]
 fn expired_proxy_fails_authentication_but_job_keeps_running() {
     let tb = TestbedBuilder::new().members(1).build();
-    let short_proxy = tb.members[0]
-        .delegate_proxy_at(tb.clock.now(), mins(10))
-        .unwrap();
+    let short_proxy = tb.members[0].delegate_proxy_at(tb.clock.now(), mins(10)).unwrap();
     let client = GramClient::new(short_proxy);
     let contact = client.submit(&tb.server, SANCTIONED, mins(60)).unwrap();
 
@@ -86,9 +83,7 @@ fn expired_proxy_fails_authentication_but_job_keeps_running() {
     assert!(matches!(err, GramError::AuthenticationFailed(_)));
 
     // A fresh proxy from the long-lived identity regains access.
-    let fresh = tb.members[0]
-        .delegate_proxy_at(tb.clock.now(), mins(60))
-        .unwrap();
+    let fresh = tb.members[0].delegate_proxy_at(tb.clock.now(), mins(60)).unwrap();
     let client = GramClient::new(fresh);
     let report = client.status(&tb.server, &contact).unwrap();
     assert!(matches!(report.state, JobState::Running { .. }));
@@ -122,9 +117,7 @@ fn denial_reasons_surface_through_the_protocol() {
     let tb = TestbedBuilder::new().members(1).build();
     let member = tb.member_client(0);
 
-    let err = member
-        .submit(&tb.server, "&(executable = TRANSP)(count = 2)", mins(1))
-        .unwrap_err();
+    let err = member.submit(&tb.server, "&(executable = TRANSP)(count = 2)", mins(1)).unwrap_err();
     let GramError::NotAuthorized(DenyReason::SourceDenied { source, reason }) = err else {
         panic!("expected a sourced policy denial");
     };
@@ -155,9 +148,7 @@ fn gt2_and_extended_agree_on_authentication_failures() {
         let tb = TestbedBuilder::new().members(0).mode(mode).build();
         let rogue_clock = gridauthz::clock::SimClock::new();
         let rogue_ca = CertificateAuthority::new_root("/O=Rogue/CN=CA", &rogue_clock).unwrap();
-        let eve = rogue_ca
-            .issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1))
-            .unwrap();
+        let eve = rogue_ca.issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1)).unwrap();
         let client = GramClient::new(eve);
         assert!(matches!(
             client.submit(&tb.server, SANCTIONED, mins(1)),
@@ -222,7 +213,11 @@ fn multi_request_submission_is_atomic() {
         )
         .unwrap_err();
     assert!(matches!(err, GramError::NotAuthorized(_)));
-    assert_eq!(tb.server.jobs_with_tag("NFC").len(), before, "rollback cancelled the admitted part");
+    assert_eq!(
+        tb.server.jobs_with_tag("NFC").len(),
+        before,
+        "rollback cancelled the admitted part"
+    );
 
     // Shape errors are BadRequest.
     assert!(matches!(
@@ -255,12 +250,7 @@ fn lifecycle_events_reach_the_grid_layer() {
     member.signal(&tb.server, &contact, GramSignal::Suspend).unwrap();
     member.signal(&tb.server, &contact, GramSignal::Resume).unwrap();
     tb.server.drain();
-    let labels: Vec<&str> = tb
-        .server
-        .poll_events()
-        .iter()
-        .map(|(_, e)| e.state.label())
-        .collect();
+    let labels: Vec<&str> = tb.server.poll_events().iter().map(|(_, e)| e.state.label()).collect();
     assert_eq!(labels, vec!["suspended", "pending", "running", "completed"]);
     assert!(tb.server.poll_events().is_empty());
 }

@@ -6,8 +6,7 @@
 use gridauthz::clock::{SimClock, SimDuration};
 use gridauthz::credential::DistinguishedName;
 use gridauthz::enforcement::{
-    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox,
-    SandboxProfile,
+    AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox, SandboxProfile,
 };
 
 /// An adversarial job: what it *was authorized to do* vs what it tries.
@@ -33,14 +32,8 @@ fn honest() -> Attempt {
 
 fn adversarial() -> Vec<(&'static str, Attempt)> {
     vec![
-        (
-            "runs an unsanctioned executable",
-            Attempt { exec: "/home/shared/miner", ..honest() },
-        ),
-        (
-            "reads another user's home",
-            Attempt { read_path: "/home/other/secrets", ..honest() },
-        ),
+        ("runs an unsanctioned executable", Attempt { exec: "/home/shared/miner", ..honest() }),
+        ("reads another user's home", Attempt { read_path: "/home/other/secrets", ..honest() }),
         (
             "writes outside the sandbox directory",
             Attempt { write_path: "/home/shared/dropzone", ..honest() },

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use gridauthz::clock::{SimClock, SimDuration};
 use gridauthz::core::{
-    AuthorizationCallout, AuthzFailure, AuthzRequest, CalloutChain, CalloutConfig,
-    CalloutRegistry, DenyReason,
+    AuthorizationCallout, AuthzFailure, AuthzRequest, CalloutChain, CalloutConfig, CalloutRegistry,
+    DenyReason,
 };
 use gridauthz::credential::{CertificateAuthority, GridMapEntry, GridMapFile, TrustStore};
 use gridauthz::gram::{GramClient, GramError, GramServerBuilder};
@@ -117,9 +117,7 @@ fn garbage_restriction_payload_fails_closed_through_gram() {
         .callouts(chain)
         .build();
 
-    let err = server
-        .submit(bad_proxy.chain(), "&(executable = a)", None, mins(1))
-        .unwrap_err();
+    let err = server.submit(bad_proxy.chain(), "&(executable = a)", None, mins(1)).unwrap_err();
     assert!(matches!(err, GramError::AuthorizationSystemFailure(_)));
     // The plain credential (no restrictions) still works.
     let ok = server.submit(user.chain(), "&(executable = a)", None, mins(1));
@@ -130,8 +128,5 @@ fn garbage_restriction_payload_fails_closed_through_gram() {
 fn denials_and_failures_are_distinguishable() {
     let denial = GramError::NotAuthorized(DenyReason::NoApplicableGrant);
     let failure = GramError::AuthorizationSystemFailure("x".into());
-    assert_ne!(
-        std::mem::discriminant(&denial),
-        std::mem::discriminant(&failure)
-    );
+    assert_ne!(std::mem::discriminant(&denial), std::mem::discriminant(&failure));
 }

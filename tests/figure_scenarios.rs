@@ -20,11 +20,7 @@ fn f3_matrix_reproduces_figure3() {
     let rows = scenario::figure3_matrix();
     assert!(rows.len() >= 10);
     for row in &rows {
-        assert_eq!(
-            row.actual_permit, row.expected_permit,
-            "Figure 3 mismatch on {:?}",
-            row.case
-        );
+        assert_eq!(row.actual_permit, row.expected_permit, "Figure 3 mismatch on {:?}", row.case);
     }
     // Both decision polarities are exercised.
     assert!(rows.iter().any(|r| r.expected_permit));

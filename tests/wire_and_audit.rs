@@ -167,10 +167,9 @@ fn self_contained_pem_wire_messages_work_end_to_end() {
     assert_eq!(code, "AUTHENTICATION_FAILED");
 
     // A message without a request at all is a BAD_REQUEST.
-    let response = WireResponse::decode(
-        &tb.server.handle_wire_pem(&encode_chain(tb.members[0].chain())),
-    )
-    .unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire_pem(&encode_chain(tb.members[0].chain())))
+            .unwrap();
     let WireResponse::Error { code, .. } = response else {
         panic!("expected Error");
     };
