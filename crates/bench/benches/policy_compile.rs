@@ -1,0 +1,53 @@
+//! Compiled policy programs vs the interpreted evaluator.
+//!
+//! The compile step interns attribute names and values, flattens
+//! statements into a relation arena with precomputed comparison kinds,
+//! and masks statements by action — so a decision is integer compares
+//! over symbol ids instead of string folding over the AST. This bench
+//! quantifies that gap on the T2 scaling axis (no decision cache in
+//! either path; both sides share the same subject index structure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridauthz_bench::{policy_with_n_statements, sanctioned_request};
+use gridauthz_core::Pdp;
+
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_decide");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let policy = policy_with_n_statements(n);
+        let compiled = Pdp::new(policy.clone());
+        assert!(compiled.is_compiled());
+        let interpreted = Pdp::interpreted(policy);
+        // Mid-policy requester, same convention as t2_policy_scaling.
+        let request = sanctioned_request(n / 2);
+        assert_eq!(compiled.decide(&request), interpreted.decide(&request));
+
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(compiled.decide(&request)))
+        });
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(interpreted.decide(&request)))
+        });
+    }
+    group.finish();
+}
+
+/// One-time compile cost: what `Pdp::new` adds over building the
+/// subject index alone. Policy flips (T7) pay this per re-materialize.
+fn bench_compile_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_build");
+    group.sample_size(30);
+    for n in [10usize, 100, 1_000] {
+        let policy = policy_with_n_statements(n);
+        group.bench_with_input(BenchmarkId::new("compile", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(Pdp::new(policy.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("index_only", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(Pdp::interpreted(policy.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiled_vs_interpreted, bench_compile_cost);
+criterion_main!(benches);

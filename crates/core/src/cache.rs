@@ -205,7 +205,21 @@ impl DecisionCache {
     /// entry, so a decision raced by a policy update is never served
     /// after the update.
     pub fn decide(&self, pdp: &CombinedPdp, request: &AuthzRequest) -> Arc<CombinedDecision> {
-        let key = request_digest(request);
+        self.decide_keyed(request_digest(request), pdp, request)
+    }
+
+    /// [`DecisionCache::decide`] with a caller-supplied canonical key.
+    ///
+    /// `key` **must** equal [`request_digest`]`(request)`; callers use
+    /// this to reuse a digest they already computed — e.g. from
+    /// [`crate::CompiledRequest::digest`], or (as the PEP does) to hash
+    /// the request before taking the PDP lock.
+    pub fn decide_keyed(
+        &self,
+        key: u128,
+        pdp: &CombinedPdp,
+        request: &AuthzRequest,
+    ) -> Arc<CombinedDecision> {
         let generation = self.generation.current();
         if let Some(decision) = self.lookup(key, generation) {
             return decision;

@@ -1,0 +1,1054 @@
+//! Compiled policy programs: the PDP hot path without strings.
+//!
+//! Parsing produces an AST tuned for fidelity (round-tripping `Display`,
+//! case-preserving literals). Evaluating that AST directly pays for the
+//! flexibility on every decision: case-insensitive attribute lookups,
+//! structural `Value` comparisons, per-relation `self` resolution, and a
+//! re-sorted candidate list. This module adds a **compile step** between
+//! parsing and evaluation that does all of that work once, at policy load:
+//!
+//! * **Interning** — attribute names (lowercase-folded) and relation
+//!   values map to dense `u32` [`Symbol`]s via [`gridauthz_rsl::Interner`].
+//!   Evaluation compares integers.
+//! * **Relation arena** — every statement's conjunctions flatten into one
+//!   [`CompiledRelation`] arena with the per-relation analysis precomputed:
+//!   NULL-test kind, `self` participation, pre-parsed numeric bound,
+//!   malformedness. [`RelKind`] is what is left of `relation_outcome` after
+//!   compilation.
+//! * **Action masks** — each rule carries a bitmask over [`Action::ALL`]
+//!   saying which actions its `action` relations accept, computed by
+//!   evaluating those relations against each action at compile time. A rule
+//!   whose action relations cannot be decided without the request (they
+//!   mention `self`) keeps the full mask and re-evaluates at runtime
+//!   (`mask_exact == false`). A rule with *no* action relation accepts all
+//!   actions, exactly like the interpreter.
+//! * **Action-aware index** — subject buckets hold one statement list *per
+//!   action* (only statements whose mask covers that action), and the
+//!   prefix/wildcard scan list is split the same way. Candidate collection
+//!   is a two-pointer merge of two pre-sorted lists; the per-decide
+//!   `sort_unstable` of the interpreted index disappears.
+//!
+//! Requests compile once per decision into a [`CompiledRequest`]: a sorted
+//! symbol → value-slice table with pre-parsed integers, plus the requester
+//! identity resolved to a symbol so `self` is one integer comparison.
+//! Request values unknown to the policy get **overflow symbols** above
+//! [`Interner::value_count`], deduplicated within the request, so symbol
+//! equality coincides with value equality even for values the policy never
+//! mentions (two *different* unknown values must not collide — `self`
+//! comparisons depend on it). The compiled request also memoizes the
+//! canonical digest ([`crate::cache::request_digest`]), so the decision
+//! cache and the evaluator share one canonicalization.
+//!
+//! The interpreted evaluator stays untouched as the **differential
+//! oracle**: `Pdp::decide_interpreted` must agree with the compiled
+//! program on every input, and `crate::proptests` checks exactly that.
+//! The one construct the compiler refuses to specialize — `self` under an
+//! ordering operator, whose malformedness depends on the requester — falls
+//! back to the interpreter per relation ([`RelKind::Fallback`]), keeping
+//! parity by construction. Deny reasons quote the original relation text;
+//! compiled relations carry their source coordinates so the (cold) deny
+//! path can fetch it.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gridauthz_rsl::{attributes, FxBuildHasher, Interner, RelOp, Relation, Symbol, Value};
+
+use crate::action::Action;
+use crate::cache::request_digest;
+use crate::decision::{Decision, DenyReason};
+use crate::eval::{relation_outcome, RelationOutcome};
+use crate::policy::Policy;
+use crate::request::AuthzRequest;
+use crate::statement::{StatementRole, SubjectMatcher};
+
+/// Bitmask over [`Action::ALL`] with every action set.
+const MASK_ALL: u8 = (1 << Action::ALL.len()) - 1;
+
+fn action_index(action: Action) -> usize {
+    match action {
+        Action::Start => 0,
+        Action::Cancel => 1,
+        Action::Information => 2,
+        Action::Signal => 3,
+    }
+}
+
+fn action_bit(action: Action) -> u8 {
+    1 << action_index(action)
+}
+
+/// What remains of `relation_outcome` after compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RelKind {
+    /// `!= NULL` — holds iff the attribute is present.
+    NullPresent,
+    /// `= NULL` — holds iff the attribute is absent.
+    NullAbsent,
+    /// `=` — holds iff values present and all in the symbol set.
+    Eq,
+    /// `!=` — holds iff no value is in the symbol set.
+    Ne,
+    /// Ordering against a pre-parsed numeric bound.
+    Ord(RelOp, i64),
+    /// Statically malformed (ordering against a non-numeric or non-single
+    /// right-hand side, ordering NULL test).
+    Malformed,
+    /// Not specialized (currently: `self` under an ordering operator —
+    /// malformedness depends on the requester). Evaluated through the
+    /// interpreter on the original AST relation for exact parity.
+    Fallback,
+}
+
+/// One flattened relation. 32 bytes; the whole policy's relations sit in
+/// one contiguous arena.
+#[derive(Debug, Clone)]
+struct CompiledRelation {
+    kind: RelKind,
+    /// Interned attribute name.
+    attr: Symbol,
+    /// True for relations on the `action` attribute: skipped in the
+    /// requirement violation loop and pre-folded into the action mask.
+    is_action: bool,
+    /// True when the right-hand side mentions the `self` literal, which
+    /// compares against [`CompiledRequest::subject_sym`].
+    has_self: bool,
+    /// Right-hand-side value symbols in `CompiledProgram::sym_arena`
+    /// (`self` excluded — it is represented by `has_self`).
+    syms: (u32, u32),
+    /// Source coordinates (statement, rule, nth top-level relation) for
+    /// the cold deny path, which quotes the original relation text.
+    source: (u32, u32, u32),
+}
+
+/// One rule conjunction: an action mask plus a relation range.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    /// Actions this rule's `action` relations accept (all bits set when
+    /// the rule has no action relation).
+    action_mask: u8,
+    /// False when the mask could not be decided at compile time (action
+    /// relations mention `self`); the action relations are then
+    /// re-evaluated per request.
+    mask_exact: bool,
+    /// Relation range in `CompiledProgram::rels`.
+    rels: (u32, u32),
+}
+
+/// One statement: role plus a rule range.
+#[derive(Debug, Clone)]
+struct CompiledStatement {
+    role: StatementRole,
+    rules: (u32, u32),
+    matcher: CompiledMatcher,
+}
+
+/// Subject matching specialized for scan-list candidates. `Prefix`
+/// compares against the request's pre-materialized subject string
+/// ([`AuthzRequest::subject_value`]), so no per-decide DN
+/// stringification happens — `DistinguishedName::starts_with_str`
+/// renders the DN on every call.
+#[derive(Debug, Clone)]
+enum CompiledMatcher {
+    /// Exact DN. Only reachable through the exact index buckets, which
+    /// match by construction; kept as a defensive fallback through the
+    /// interpreted matcher.
+    Exact,
+    Any,
+    Prefix(String),
+}
+
+/// Per-subject, per-action candidate lists, each in ascending statement
+/// order.
+#[derive(Debug, Clone, Default)]
+struct CompiledIndex {
+    /// Exact-DN statements, split per action by statement mask. Keyed by
+    /// the DN's canonical string so a lookup hashes the request's
+    /// pre-materialized subject string once, instead of re-walking DN
+    /// components; candidates are still confirmed by component-wise DN
+    /// equality (see [`CompiledProgram::scan_applies`]), so two DNs that
+    /// happen to render identically can share a bucket without ever
+    /// matching each other's statements.
+    exact: HashMap<String, [Vec<u32>; 4], FxBuildHasher>,
+    /// Prefix/wildcard statements (still need `applies_to`), per action.
+    scan: [Vec<u32>; 4],
+}
+
+/// A policy lowered to symbol tables, arenas and action-aware candidate
+/// lists. Built once by [`CompiledProgram::compile`]; evaluated by
+/// [`CompiledProgram::decide`] with zero allocation on the hot path (the
+/// candidate scratch buffer is thread-local, the compiled request reuses
+/// nothing bigger than two small `Vec`s).
+///
+/// [`crate::Pdp::new`] builds one internally; compile a program directly
+/// to amortize request lowering across several evaluations of the same
+/// request, or to key an external cache off [`CompiledRequest::digest`].
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The source policy: cold paths (deny text, interpreter fallback)
+    /// read the original AST relations from it.
+    policy: Arc<Policy>,
+    interner: Interner,
+    stmts: Vec<CompiledStatement>,
+    rules: Vec<CompiledRule>,
+    rels: Vec<CompiledRelation>,
+    sym_arena: Vec<Symbol>,
+    index: CompiledIndex,
+    /// Pre-resolved name symbols for the synthesized attributes
+    /// (`action`, `jobowner`, `jobtag`), so request lowering skips the
+    /// name-table hash for them. `NONE` when no relation mentions one.
+    syn_names: [Symbol; 3],
+    /// Pre-resolved `(symbol, parsed int)` for each action literal,
+    /// indexed by [`action_index`]. The symbol is `NONE` when the policy
+    /// never mentions that action's name as a value.
+    action_vals: [(Symbol, Option<i64>); 4],
+    /// Per name symbol: does any ordering relation target the attribute?
+    /// Request lowering parses values as integers only for those —
+    /// `RequestValue::int` is read nowhere else.
+    needs_int: Vec<bool>,
+    /// Per name symbol: does any `=`/`!=` relation target the attribute?
+    /// Only those compare value symbols (`in_set`); values of attributes
+    /// seen solely by NULL tests (presence) or ordering relations (ints)
+    /// skip symbol resolution entirely during request lowering.
+    needs_sym: Vec<bool>,
+}
+
+/// One request value: its symbol and pre-parsed integer form.
+#[derive(Debug, Clone, Copy)]
+struct RequestValue {
+    sym: Symbol,
+    int: Option<i64>,
+}
+
+/// A request lowered against a [`CompiledProgram`]'s symbol tables.
+#[derive(Debug)]
+pub struct CompiledRequest<'r> {
+    request: &'r AuthzRequest,
+    /// The requester identity as a symbol — what `self` compares against.
+    subject_sym: Symbol,
+    /// The requester identity's canonical string form, borrowed from the
+    /// request's pre-materialized subject value; prefix matchers compare
+    /// against it without stringifying the DN.
+    subject_str: &'r str,
+    /// Bit for the requested action.
+    action_bit: u8,
+    /// Attribute table (name symbol → range into `vals`), in request
+    /// presentation order.
+    attrs: Vec<(Symbol, (u32, u32))>,
+    vals: Vec<RequestValue>,
+    /// Memoized canonical digest (the DecisionCache key), computed on
+    /// first use so uncached decisions never pay for it.
+    digest: Cell<Option<u128>>,
+}
+
+impl CompiledRequest<'_> {
+    /// The canonical request digest — identical to
+    /// [`crate::request_digest`] on the source request, memoized here so
+    /// one lowering serves both evaluation and cache keying.
+    pub fn digest(&self) -> u128 {
+        if let Some(d) = self.digest.get() {
+            return d;
+        }
+        let d = request_digest(self.request);
+        self.digest.set(Some(d));
+        d
+    }
+
+    fn values(&self, attr: Symbol) -> &[RequestValue] {
+        // Linear scan: a request presents a handful of attributes, and
+        // symbols compare as single integers — cheaper than keeping the
+        // table sorted for a binary search.
+        for &(sym, (start, end)) in &self.attrs {
+            if sym == attr {
+                return &self.vals[start as usize..end as usize];
+            }
+        }
+        &[]
+    }
+}
+
+/// Request-local table of values unknown to the policy interner,
+/// assigning overflow symbols from `base` upward (deduplicated so symbol
+/// equality always coincides with value equality). The head is inline:
+/// almost every request carries at most a few unknown values (typically
+/// just the requester DN), so resolution usually never touches the heap.
+struct Overflow<'r> {
+    head: [Option<&'r Value>; 4],
+    spill: Vec<&'r Value>,
+    len: u32,
+    base: u32,
+}
+
+impl<'r> Overflow<'r> {
+    fn new(base: u32) -> Overflow<'r> {
+        Overflow { head: [None; 4], spill: Vec::new(), len: 0, base }
+    }
+
+    fn get(&self, i: u32) -> &'r Value {
+        match self.head.get(i as usize) {
+            Some(slot) => slot.expect("overflow slot within len"),
+            None => self.spill[i as usize - self.head.len()],
+        }
+    }
+
+    /// Resolves `value` to a symbol: the policy interner's if known, else
+    /// this table's overflow symbol.
+    fn resolve(&mut self, interner: &Interner, value: &'r Value) -> Symbol {
+        let sym = interner.lookup_value(value);
+        if !sym.is_none() {
+            return sym;
+        }
+        for i in 0..self.len {
+            if self.get(i) == value {
+                return Symbol(self.base + i);
+            }
+        }
+        let i = self.len;
+        match self.head.get_mut(i as usize) {
+            Some(slot) => *slot = Some(value),
+            None => self.spill.push(value),
+        }
+        self.len = i + 1;
+        Symbol(self.base + i)
+    }
+}
+
+/// True when `relation` (an `action` relation without `self`) accepts
+/// `action`, per the interpreter's semantics with the single synthesized
+/// request value.
+fn action_relation_accepts(relation: &Relation, action: Action) -> bool {
+    let values = relation.values();
+    let is_null_test = values.len() == 1 && values[0].as_str() == Some(attributes::NULL);
+    if is_null_test {
+        // The action attribute is always present: `!= NULL` holds,
+        // `= NULL` fails, ordering is malformed (does not hold).
+        return relation.op() == RelOp::Ne;
+    }
+    let request_value = Value::literal(action.as_str());
+    match relation.op() {
+        RelOp::Eq => values.contains(&request_value),
+        RelOp::Ne => !values.contains(&request_value),
+        // Ordering never holds against the non-numeric action value
+        // (and is malformed unless the bound parses — either way, no).
+        _ => false,
+    }
+}
+
+impl CompiledProgram {
+    /// Lowers `policy` into a compiled program.
+    pub fn compile(policy: Arc<Policy>) -> CompiledProgram {
+        let mut program = CompiledProgram {
+            policy: Arc::clone(&policy),
+            interner: Interner::new(),
+            stmts: Vec::new(),
+            rules: Vec::new(),
+            rels: Vec::new(),
+            sym_arena: Vec::new(),
+            index: CompiledIndex::default(),
+            syn_names: [Symbol::NONE; 3],
+            action_vals: [(Symbol::NONE, None); 4],
+            needs_int: Vec::new(),
+            needs_sym: Vec::new(),
+        };
+        for (si, statement) in policy.statements().iter().enumerate() {
+            let rules_start = program.rules.len() as u32;
+            let mut stmt_mask = 0u8;
+            for (ri, rule) in statement.rules().iter().enumerate() {
+                let rels_start = program.rels.len() as u32;
+                let mut mask = MASK_ALL;
+                let mut mask_exact = true;
+                for (ni, relation) in rule.relations().enumerate() {
+                    let compiled =
+                        program.compile_relation(relation, (si as u32, ri as u32, ni as u32));
+                    if compiled.is_action {
+                        if compiled.has_self {
+                            // Whether the relation accepts an action can
+                            // depend on the requester; keep the full mask
+                            // and re-check at runtime.
+                            mask_exact = false;
+                        } else {
+                            let mut accepts = 0u8;
+                            for action in Action::ALL {
+                                if action_relation_accepts(relation, action) {
+                                    accepts |= action_bit(action);
+                                }
+                            }
+                            mask &= accepts;
+                        }
+                    }
+                    program.rels.push(compiled);
+                }
+                if !mask_exact {
+                    mask = MASK_ALL;
+                }
+                stmt_mask |= mask;
+                program.rules.push(CompiledRule {
+                    action_mask: mask,
+                    mask_exact,
+                    rels: (rels_start, program.rels.len() as u32),
+                });
+            }
+            program.stmts.push(CompiledStatement {
+                role: statement.role(),
+                rules: (rules_start, program.rules.len() as u32),
+                matcher: match statement.subject() {
+                    SubjectMatcher::Exact(_) => CompiledMatcher::Exact,
+                    SubjectMatcher::Any => CompiledMatcher::Any,
+                    SubjectMatcher::Prefix(p) => CompiledMatcher::Prefix(p.clone()),
+                },
+            });
+
+            for action in Action::ALL {
+                if stmt_mask & action_bit(action) == 0 {
+                    continue;
+                }
+                let ai = action_index(action);
+                match statement.subject() {
+                    SubjectMatcher::Exact(dn) => {
+                        program.index.exact.entry(dn.to_string()).or_default()[ai].push(si as u32);
+                    }
+                    SubjectMatcher::Prefix(_) | SubjectMatcher::Any => {
+                        program.index.scan[ai].push(si as u32);
+                    }
+                }
+            }
+        }
+        program.syn_names = [
+            program.interner.lookup_name(attributes::ACTION),
+            program.interner.lookup_name(attributes::JOBOWNER),
+            program.interner.lookup_name(attributes::JOBTAG),
+        ];
+        for action in Action::ALL {
+            let value = Value::literal(action.as_str());
+            program.action_vals[action_index(action)] =
+                (program.interner.lookup_value(&value), value.as_int());
+        }
+        program
+    }
+
+    fn compile_relation(
+        &mut self,
+        relation: &Relation,
+        source: (u32, u32, u32),
+    ) -> CompiledRelation {
+        let attr = self.interner.intern_name(relation.attribute().as_str());
+        let is_action = relation.attribute().as_str() == attributes::ACTION;
+        let values = relation.values();
+        let is_null_test = values.len() == 1 && values[0].as_str() == Some(attributes::NULL);
+        let has_self = values.iter().any(|v| v.as_str() == Some(attributes::SELF));
+
+        let kind = if is_null_test {
+            match relation.op() {
+                RelOp::Ne => RelKind::NullPresent,
+                RelOp::Eq => RelKind::NullAbsent,
+                _ => RelKind::Malformed,
+            }
+        } else {
+            match relation.op() {
+                RelOp::Eq => RelKind::Eq,
+                RelOp::Ne => RelKind::Ne,
+                op => {
+                    if has_self {
+                        RelKind::Fallback
+                    } else if values.len() != 1 {
+                        RelKind::Malformed
+                    } else {
+                        match values[0].as_int() {
+                            Some(bound) => RelKind::Ord(op, bound),
+                            None => RelKind::Malformed,
+                        }
+                    }
+                }
+            }
+        };
+
+        let i = attr.index() as usize;
+        if matches!(kind, RelKind::Ord(..)) {
+            if self.needs_int.len() <= i {
+                self.needs_int.resize(i + 1, false);
+            }
+            self.needs_int[i] = true;
+        }
+        if matches!(kind, RelKind::Eq | RelKind::Ne) {
+            if self.needs_sym.len() <= i {
+                self.needs_sym.resize(i + 1, false);
+            }
+            self.needs_sym[i] = true;
+        }
+
+        let syms_start = self.sym_arena.len() as u32;
+        if matches!(kind, RelKind::Eq | RelKind::Ne) {
+            for value in values {
+                if value.as_str() == Some(attributes::SELF) {
+                    continue;
+                }
+                self.sym_arena.push(self.interner.intern_value(value));
+            }
+        }
+
+        CompiledRelation {
+            kind,
+            attr,
+            is_action,
+            has_self,
+            syms: (syms_start, self.sym_arena.len() as u32),
+            source,
+        }
+    }
+
+    /// The policy this program was compiled from.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Lowers `request` against this program's symbol tables.
+    pub fn compile_request<'r>(&self, request: &'r AuthzRequest) -> CompiledRequest<'r> {
+        self.compile_request_into(request, Vec::new(), Vec::new())
+    }
+
+    /// [`compile_request`](Self::compile_request) into recycled buffers
+    /// (cleared here), so the per-decision hot path allocates nothing but
+    /// the overflow list — and that only when the request carries values
+    /// the policy never mentions.
+    fn compile_request_into<'r>(
+        &self,
+        request: &'r AuthzRequest,
+        mut attrs: Vec<(Symbol, (u32, u32))>,
+        mut vals: Vec<RequestValue>,
+    ) -> CompiledRequest<'r> {
+        let job_attrs = request.job_attr_count();
+        let mut overflow = Overflow::new(self.interner.value_count());
+        attrs.clear();
+        attrs.reserve(3 + job_attrs);
+        vals.clear();
+        vals.reserve(4 + job_attrs);
+
+        let needs_int =
+            |sym: Symbol| self.needs_int.get(sym.index() as usize).copied().unwrap_or(false);
+        let needs_sym =
+            |sym: Symbol| self.needs_sym.get(sym.index() as usize).copied().unwrap_or(false);
+        let push = |interner: &Interner,
+                    overflow: &mut Overflow<'r>,
+                    vals: &mut Vec<RequestValue>,
+                    attrs: &mut Vec<(Symbol, (u32, u32))>,
+                    name_sym: Symbol,
+                    values: &'r [Value]| {
+            let start = vals.len() as u32;
+            let ints = needs_int(name_sym);
+            let syms = needs_sym(name_sym);
+            for value in values {
+                vals.push(RequestValue {
+                    sym: if syms { overflow.resolve(interner, value) } else { Symbol::NONE },
+                    int: if ints { value.as_int() } else { None },
+                });
+            }
+            attrs.push((name_sym, (start, vals.len() as u32)));
+        };
+
+        // Resolve the requester first: `self` comparisons and the
+        // jobowner fast path below both reuse its symbol.
+        let subject_value = request.subject_value();
+        let subject_sym = overflow.resolve(&self.interner, subject_value);
+
+        // Synthesized attributes, with pre-resolved name symbols. A NONE
+        // name symbol means no policy relation mentions the attribute —
+        // it is unreachable and skipped, exactly like the generic path.
+        let [(_, action_values), (_, owner_values), (_, tag_values)] =
+            request.synthesized_attr_entries();
+        let [action_name, owner_name, tag_name] = self.syn_names;
+        if !action_name.is_none() && !action_values.is_empty() {
+            let (sym, int) = self.action_vals[action_index(request.action())];
+            if action_values.len() == 1 && !sym.is_none() {
+                // The single synthesized action literal, pre-resolved.
+                let start = vals.len() as u32;
+                vals.push(RequestValue { sym, int });
+                attrs.push((action_name, (start, start + 1)));
+            } else {
+                push(
+                    &self.interner,
+                    &mut overflow,
+                    &mut vals,
+                    &mut attrs,
+                    action_name,
+                    action_values,
+                );
+            }
+        }
+        if !owner_name.is_none() && !owner_values.is_empty() {
+            let start = vals.len() as u32;
+            let ints = needs_int(owner_name);
+            let syms = needs_sym(owner_name);
+            for value in owner_values {
+                // Start requests synthesize jobowner from the requester;
+                // reuse the symbol instead of re-hashing the DN string.
+                let sym = if !syms {
+                    Symbol::NONE
+                } else if value == subject_value {
+                    subject_sym
+                } else {
+                    overflow.resolve(&self.interner, value)
+                };
+                vals.push(RequestValue { sym, int: if ints { value.as_int() } else { None } });
+            }
+            attrs.push((owner_name, (start, vals.len() as u32)));
+        }
+        if !tag_name.is_none() && !tag_values.is_empty() {
+            push(&self.interner, &mut overflow, &mut vals, &mut attrs, tag_name, tag_values);
+        }
+
+        for (name, values) in request.job_attr_entries() {
+            if values.is_empty() {
+                continue;
+            }
+            let name_sym = self.interner.lookup_name(name);
+            if name_sym.is_none() {
+                // No policy relation mentions the attribute: unreachable.
+                continue;
+            }
+            push(&self.interner, &mut overflow, &mut vals, &mut attrs, name_sym, values);
+        }
+        CompiledRequest {
+            request,
+            subject_sym,
+            subject_str: subject_value.as_str().unwrap_or_default(),
+            action_bit: action_bit(request.action()),
+            attrs,
+            vals,
+            digest: Cell::new(None),
+        }
+    }
+
+    /// Evaluates `request`, bit-for-bit equivalent to the interpreted
+    /// `Pdp::decide_interpreted` over the same policy.
+    pub fn decide(&self, request: &AuthzRequest) -> Decision {
+        type Scratch = (Vec<(Symbol, (u32, u32))>, Vec<RequestValue>);
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = const { RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with(|scratch| {
+            let (attrs, vals) = scratch.take();
+            let creq = self.compile_request_into(request, attrs, vals);
+            let decision = self.decide_compiled(&creq);
+            let CompiledRequest { attrs, vals, .. } = creq;
+            *scratch.borrow_mut() = (attrs, vals);
+            decision
+        })
+    }
+
+    /// Evaluates an already-lowered request.
+    pub fn decide_compiled(&self, creq: &CompiledRequest<'_>) -> Decision {
+        thread_local! {
+            static CANDIDATES: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+        }
+        CANDIDATES.with(|buf| {
+            let mut candidates = buf.borrow_mut();
+            self.candidates_into(creq.subject_str, creq.action_bit, &mut candidates);
+            self.decide_over(creq, &candidates)
+        })
+    }
+
+    /// Merges the exact bucket and scan list for the request's action into
+    /// `out`, in ascending statement order. Entries are encoded as
+    /// `(statement << 1) | needs_subject_check`; every candidate is
+    /// confirmed by [`scan_applies`](Self::scan_applies) — exact-bucket
+    /// hits by component-wise DN equality (the bucket key is the rendered
+    /// string, which is not injective for adversarial DNs), scan hits by
+    /// their prefix/wildcard matcher.
+    fn candidates_into(&self, subject_str: &str, action_bit: u8, out: &mut Vec<u32>) {
+        out.clear();
+        let ai = action_bit.trailing_zeros() as usize;
+        let exact = self.index.exact.get(subject_str).map_or(&[][..], |per| per[ai].as_slice());
+        let scan = self.index.scan[ai].as_slice();
+        out.reserve(exact.len() + scan.len());
+        let (mut i, mut j) = (0, 0);
+        while i < exact.len() && j < scan.len() {
+            if exact[i] < scan[j] {
+                out.push((exact[i] << 1) | 1);
+                i += 1;
+            } else {
+                out.push((scan[j] << 1) | 1);
+                j += 1;
+            }
+        }
+        for &e in &exact[i..] {
+            out.push((e << 1) | 1);
+        }
+        for &s in &scan[j..] {
+            out.push((s << 1) | 1);
+        }
+    }
+
+    fn decide_over(&self, creq: &CompiledRequest<'_>, candidates: &[u32]) -> Decision {
+        // Pass 1 — requirements: every applicable conjunction must hold.
+        for &encoded in candidates {
+            let si = (encoded >> 1) as usize;
+            let stmt = &self.stmts[si];
+            if stmt.role != StatementRole::Requirement {
+                continue;
+            }
+            if encoded & 1 == 1 && !self.scan_applies(si, creq) {
+                continue;
+            }
+            for rule in &self.rules[stmt.rules.0 as usize..stmt.rules.1 as usize] {
+                if rule.action_mask & creq.action_bit == 0 {
+                    continue;
+                }
+                let rels = &self.rels[rule.rels.0 as usize..rule.rels.1 as usize];
+                if !rule.mask_exact && !self.action_relations_hold(rels, creq) {
+                    continue;
+                }
+                for rel in rels {
+                    if rel.is_action {
+                        continue;
+                    }
+                    match self.rel_outcome(rel, creq) {
+                        RelationOutcome::Holds => {}
+                        RelationOutcome::Fails => {
+                            return Decision::Deny(DenyReason::RequirementViolated {
+                                statement: si,
+                                relation: self.relation_text(rel),
+                            });
+                        }
+                        RelationOutcome::Malformed => {
+                            return Decision::Deny(DenyReason::MalformedComparison {
+                                relation: self.relation_text(rel),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2 — grants: first fully-matching conjunction permits.
+        for &encoded in candidates {
+            let si = (encoded >> 1) as usize;
+            let stmt = &self.stmts[si];
+            if stmt.role != StatementRole::Grant {
+                continue;
+            }
+            if encoded & 1 == 1 && !self.scan_applies(si, creq) {
+                continue;
+            }
+            for rule in &self.rules[stmt.rules.0 as usize..stmt.rules.1 as usize] {
+                if rule.action_mask & creq.action_bit == 0 {
+                    continue;
+                }
+                let rels = &self.rels[rule.rels.0 as usize..rule.rels.1 as usize];
+                if !rule.mask_exact && !self.action_relations_hold(rels, creq) {
+                    continue;
+                }
+                // Action relations already hold: via the exact mask or the
+                // runtime check above.
+                let matches = rels.iter().all(|rel| {
+                    rel.is_action || self.rel_outcome(rel, creq) == RelationOutcome::Holds
+                });
+                if matches {
+                    return Decision::permit(si);
+                }
+            }
+        }
+
+        Decision::Deny(DenyReason::NoApplicableGrant)
+    }
+
+    /// Subject applicability for scan-list candidates, equivalent to
+    /// `PolicyStatement::applies_to` but allocation-free: prefix matchers
+    /// compare against the request's pre-materialized subject string.
+    fn scan_applies(&self, si: usize, creq: &CompiledRequest<'_>) -> bool {
+        match &self.stmts[si].matcher {
+            CompiledMatcher::Any => true,
+            CompiledMatcher::Prefix(p) => creq.subject_str.starts_with(p.as_str()),
+            CompiledMatcher::Exact => {
+                self.policy.statements()[si].applies_to(creq.request.subject())
+            }
+        }
+    }
+
+    /// Runtime action-applicability check for rules whose mask is inexact.
+    fn action_relations_hold(&self, rels: &[CompiledRelation], creq: &CompiledRequest<'_>) -> bool {
+        rels.iter()
+            .filter(|rel| rel.is_action)
+            .all(|rel| self.rel_outcome(rel, creq) == RelationOutcome::Holds)
+    }
+
+    fn rel_outcome(&self, rel: &CompiledRelation, creq: &CompiledRequest<'_>) -> RelationOutcome {
+        let values = creq.values(rel.attr);
+        match rel.kind {
+            RelKind::NullPresent => bool_outcome(!values.is_empty()),
+            RelKind::NullAbsent => bool_outcome(values.is_empty()),
+            RelKind::Malformed => RelationOutcome::Malformed,
+            RelKind::Eq => bool_outcome(
+                !values.is_empty() && values.iter().all(|v| self.in_set(rel, v.sym, creq)),
+            ),
+            RelKind::Ne => bool_outcome(!values.iter().any(|v| self.in_set(rel, v.sym, creq))),
+            RelKind::Ord(op, bound) => {
+                if values.is_empty() {
+                    return RelationOutcome::Fails;
+                }
+                for v in values {
+                    match v.int {
+                        Some(n) if op.holds_for_ints(n, bound) => {}
+                        _ => return RelationOutcome::Fails,
+                    }
+                }
+                RelationOutcome::Holds
+            }
+            RelKind::Fallback => relation_outcome(self.source_relation(rel), creq.request),
+        }
+    }
+
+    /// Set membership for `=`/`!=`: the interned right-hand-side symbols,
+    /// plus the requester symbol when the relation mentions `self`.
+    fn in_set(&self, rel: &CompiledRelation, sym: Symbol, creq: &CompiledRequest<'_>) -> bool {
+        if rel.has_self && sym == creq.subject_sym {
+            return true;
+        }
+        self.sym_arena[rel.syms.0 as usize..rel.syms.1 as usize].contains(&sym)
+    }
+
+    /// The original AST relation behind a compiled one (cold paths only:
+    /// deny-reason text and the interpreter fallback).
+    fn source_relation(&self, rel: &CompiledRelation) -> &Relation {
+        let (si, ri, ni) = rel.source;
+        self.policy.statements()[si as usize].rules()[ri as usize]
+            .relations()
+            .nth(ni as usize)
+            .expect("compiled relation source out of range")
+    }
+
+    fn relation_text(&self, rel: &CompiledRelation) -> String {
+        self.source_relation(rel).to_string()
+    }
+}
+
+fn bool_outcome(b: bool) -> RelationOutcome {
+    if b {
+        RelationOutcome::Holds
+    } else {
+        RelationOutcome::Fails
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Pdp;
+    use gridauthz_credential::DistinguishedName;
+    use gridauthz_rsl::{parse, Conjunction};
+
+    fn dn(s: &str) -> DistinguishedName {
+        s.parse().unwrap()
+    }
+
+    fn conj(s: &str) -> Conjunction {
+        parse(s).unwrap().as_conjunction().unwrap().clone()
+    }
+
+    fn policy(text: &str) -> Policy {
+        text.parse().unwrap()
+    }
+
+    fn start(subject: &str, job: &str) -> AuthzRequest {
+        AuthzRequest::start(dn(subject), conj(job))
+    }
+
+    fn assert_agree(policy_text: &str, requests: &[AuthzRequest]) {
+        let p = policy(policy_text);
+        let compiled = Pdp::new(p.clone());
+        let interpreted = Pdp::interpreted(p);
+        assert!(compiled.is_compiled() && !interpreted.is_compiled());
+        for request in requests {
+            assert_eq!(
+                compiled.decide(request),
+                interpreted.decide(request),
+                "compiled and interpreted disagree on {request:?} under {policy_text:?}"
+            );
+        }
+    }
+
+    fn compile(text: &str) -> CompiledProgram {
+        CompiledProgram::compile(Arc::new(policy(text)))
+    }
+
+    /// A grant built without the policy parser's action-value validation:
+    /// programmatic policies ([`PolicyStatement::new`]) may carry action
+    /// relations the textual format rejects, and the compiler must keep
+    /// interpreter parity on them too.
+    fn raw_grant(subject: SubjectMatcher, rule: &str) -> crate::statement::PolicyStatement {
+        crate::statement::PolicyStatement::new(subject, StatementRole::Grant, vec![conj(rule)])
+    }
+
+    #[test]
+    fn action_mask_reflects_action_relations() {
+        let program =
+            compile("/O=G/CN=Bo: &(action = start)(executable = x) &(action = cancel signal)");
+        assert_eq!(program.rules[0].action_mask, action_bit(Action::Start));
+        assert!(program.rules[0].mask_exact);
+        assert_eq!(
+            program.rules[1].action_mask,
+            action_bit(Action::Cancel) | action_bit(Action::Signal)
+        );
+    }
+
+    #[test]
+    fn rule_without_action_relation_masks_all_actions() {
+        let program = compile("/O=G/CN=Admin: &(jobtag = NFC)");
+        assert_eq!(program.rules[0].action_mask, MASK_ALL);
+        assert!(program.rules[0].mask_exact);
+        // The statement is a candidate for every action.
+        for action in Action::ALL {
+            let mut out = Vec::new();
+            program.candidates_into("/O=G/CN=Admin", action_bit(action), &mut out);
+            assert_eq!(out, vec![(0 << 1) | 1], "candidate for {action}");
+        }
+    }
+
+    #[test]
+    fn ne_action_relation_masks_complement() {
+        let program = compile("/O=G/CN=Bo: &(action != start)(jobtag = NFC)");
+        assert_eq!(program.rules[0].action_mask, MASK_ALL & !action_bit(Action::Start));
+    }
+
+    #[test]
+    fn null_and_ordering_action_relations_mask_correctly() {
+        // `action != NULL` always holds; `action < 4` never does. Only
+        // constructible programmatically — the policy parser rejects both.
+        let program = CompiledProgram::compile(Arc::new(Policy::from_statements(vec![
+            raw_grant(SubjectMatcher::Exact(dn("/O=G/CN=Bo")), "&(action != NULL)(jobtag = NFC)"),
+            raw_grant(SubjectMatcher::Exact(dn("/O=G/CN=Kate")), "&(action < 4)"),
+        ])));
+        assert_eq!(program.rules[0].action_mask, MASK_ALL);
+        assert_eq!(program.rules[1].action_mask, 0);
+        // A statement whose every rule masks to zero is never a candidate.
+        let mut out = Vec::new();
+        program.candidates_into("/O=G/CN=Kate", action_bit(Action::Start), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn self_in_action_relation_defers_to_runtime() {
+        let p = Policy::from_statements(vec![raw_grant(
+            SubjectMatcher::Any,
+            "&(action = self)(jobtag = NFC)",
+        )]);
+        let program = CompiledProgram::compile(Arc::new(p.clone()));
+        assert_eq!(program.rules[0].action_mask, MASK_ALL);
+        assert!(!program.rules[0].mask_exact);
+        // And the runtime check rejects: no subject DN equals an action
+        // name, so compiled and interpreted both deny.
+        let request = AuthzRequest::manage(
+            dn("/O=G/CN=Bo"),
+            Action::Cancel,
+            dn("/O=G/CN=Bo"),
+            Some("NFC".into()),
+        );
+        assert_eq!(program.decide(&request), Pdp::interpreted(p).decide(&request));
+        assert_eq!(program.decide(&request), Decision::Deny(DenyReason::NoApplicableGrant));
+    }
+
+    #[test]
+    fn unknown_request_values_do_not_collide() {
+        // Neither Eve nor Bo appears in the policy text, so both resolve
+        // to overflow symbols — which must differ, or `self` would match.
+        let program = compile("*: &(action = cancel)(jobowner = self)");
+        let other = AuthzRequest::manage(dn("/O=G/CN=Eve"), Action::Cancel, dn("/O=G/CN=Bo"), None);
+        let creq = program.compile_request(&other);
+        let owner_syms: Vec<Symbol> = creq
+            .values(program.interner.lookup_name(attributes::JOBOWNER))
+            .iter()
+            .map(|v| v.sym)
+            .collect();
+        assert_eq!(owner_syms.len(), 1);
+        assert_ne!(owner_syms[0], creq.subject_sym);
+        assert_eq!(program.decide(&other), Decision::Deny(DenyReason::NoApplicableGrant));
+
+        // Same unknown value twice *does* collide (dedup): owner == subject.
+        let own = AuthzRequest::manage(dn("/O=G/CN=Bo"), Action::Cancel, dn("/O=G/CN=Bo"), None);
+        assert!(program.decide(&own).is_permit());
+    }
+
+    #[test]
+    fn compiled_request_digest_matches_canonical_digest() {
+        let program = compile("/O=G/CN=Bo: &(action = start)(executable = test1)");
+        let request = start("/O=G/CN=Bo", "&(executable = test1)(count = 2)");
+        let creq = program.compile_request(&request);
+        assert_eq!(creq.digest(), request_digest(&request));
+        // Memoized: second call returns the same digest.
+        assert_eq!(creq.digest(), request_digest(&request));
+    }
+
+    #[test]
+    fn deny_reasons_match_interpreted_text() {
+        let p = policy("&/O=G: (action = start)(jobtag != NULL)(count < 4)");
+        let compiled = Pdp::new(p.clone());
+        let interpreted = Pdp::interpreted(p);
+        let untagged = start("/O=G/CN=Bo", "&(executable = x)");
+        assert_eq!(compiled.decide(&untagged), interpreted.decide(&untagged));
+        match compiled.decide(&untagged) {
+            Decision::Deny(DenyReason::RequirementViolated { statement, relation }) => {
+                assert_eq!(statement, 0);
+                assert_eq!(relation, "(jobtag != NULL)");
+            }
+            other => panic!("expected requirement violation, got {other:?}"),
+        }
+        let malformed = policy("&/O=G: (action = start)(count < lots)");
+        let compiled = Pdp::new(malformed.clone());
+        let interpreted = Pdp::interpreted(malformed);
+        let request = start("/O=G/CN=Bo", "&(count = 1)");
+        assert_eq!(compiled.decide(&request), interpreted.decide(&request));
+        assert!(matches!(
+            compiled.decide(&request),
+            Decision::Deny(DenyReason::MalformedComparison { relation }) if relation == "(count < lots)"
+        ));
+    }
+
+    #[test]
+    fn self_under_ordering_falls_back_to_interpreter() {
+        let program = compile("*: &(count < self)");
+        assert_eq!(program.rels[0].kind, RelKind::Fallback);
+        assert_agree("*: &(count < self)", &[start("/O=G/CN=Bo", "&(count = 1)")]);
+    }
+
+    #[test]
+    fn compiled_agrees_on_representative_policies() {
+        let requests = vec![
+            start("/O=G/CN=Bo", "&(executable = test1)(jobtag = ADS)(count = 2)"),
+            start("/O=G/CN=Bo", "&(executable = test1)(count = 9)"),
+            start("/O=G/CN=Eve", "&(executable = test1)(jobtag = ADS)"),
+            start("/O=H/CN=Out", "&(executable = x)"),
+            AuthzRequest::manage(
+                dn("/O=G/CN=Kate"),
+                Action::Cancel,
+                dn("/O=G/CN=Bo"),
+                Some("NFC".into()),
+            ),
+            AuthzRequest::manage(dn("/O=X/CN=Who"), Action::Information, dn("/O=X/CN=Who"), None),
+            AuthzRequest::manage(dn("/O=X/CN=Who"), Action::Signal, dn("/O=X/CN=Else"), None),
+        ];
+        for policy_text in [
+            "&/O=G: (action = start)(jobtag != NULL)\n/O=G/CN=Bo: &(action = start)(executable = test1)(count < 4)\n/O=G/CN=Kate: &(action = cancel)(jobtag = NFC)\n*: &(action = information)(jobowner = self)",
+            "/O=G/CN=Bo: &(executable = test1 test2)",
+            "&/O=G: (action = start)(project = NULL)",
+            "*: &(action = cancel signal)(jobowner = self)",
+            "/O=G/CN=Bo: &(action = start)(count < lots)",
+        ] {
+            assert_agree(policy_text, &requests);
+        }
+    }
+
+    #[test]
+    fn candidate_merge_preserves_policy_order() {
+        let program = compile(
+            "&/O=G: (action = start)(jobtag != NULL)\n/O=G/CN=A: &(action = start)\n*: &(action = information)",
+        );
+        let mut out = Vec::new();
+        program.candidates_into("/O=G/CN=A", action_bit(Action::Start), &mut out);
+        // Statement 0 is a scan hit, statement 1 an exact hit (both carry
+        // the confirm bit — exact buckets are keyed by rendered string and
+        // re-checked by DN equality); statement 2 is information-only and
+        // masked out for start.
+        assert_eq!(out, vec![(0 << 1) | 1, (1 << 1) | 1]);
+    }
+}

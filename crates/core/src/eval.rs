@@ -13,6 +13,7 @@
 
 use gridauthz_rsl::{attributes, Relation, Value};
 
+use crate::compile::CompiledProgram;
 use crate::decision::{Decision, DenyReason};
 use crate::index::SubjectIndex;
 use crate::policy::Policy;
@@ -55,36 +56,33 @@ pub(crate) fn relation_outcome(relation: &Relation, request: &AuthzRequest) -> R
         };
     }
 
-    // Resolve `self` to the requester's identity. Most relations carry no
-    // `self`, so the common case borrows the policy values in place.
-    let resolved: Vec<Value>;
-    let policy_values: &[Value] =
-        if relation.values().iter().any(|v| v.as_str() == Some(attributes::SELF)) {
-            resolved = relation
-                .values()
-                .iter()
-                .map(|v| {
-                    if v.as_str() == Some(attributes::SELF) {
-                        Value::literal(request.subject().to_string())
-                    } else {
-                        v.clone()
-                    }
-                })
-                .collect();
-            &resolved
+    // `self` resolves to the requester's identity, which the request
+    // pre-materialized as a value ([`AuthzRequest::subject_value`]); the
+    // policy value list is never copied or rewritten.
+    let policy_values = relation.values();
+    let has_self = policy_values.iter().any(|v| v.as_str() == Some(attributes::SELF));
+    fn resolve<'a>(v: &'a Value, has_self: bool, subject: &'a Value) -> &'a Value {
+        if has_self && v.as_str() == Some(attributes::SELF) {
+            subject
         } else {
-            relation.values()
-        };
+            v
+        }
+    }
+    let subject = request.subject_value();
+    let in_set =
+        |needle: &Value| policy_values.iter().any(|v| resolve(v, has_self, subject) == needle);
 
     match relation.op() {
-        gridauthz_rsl::RelOp::Eq => bool_outcome(
-            !request_values.is_empty() && request_values.iter().all(|v| policy_values.contains(v)),
-        ),
-        gridauthz_rsl::RelOp::Ne => {
-            bool_outcome(!request_values.iter().any(|v| policy_values.contains(v)))
+        gridauthz_rsl::RelOp::Eq => {
+            bool_outcome(!request_values.is_empty() && request_values.iter().all(&in_set))
         }
+        gridauthz_rsl::RelOp::Ne => bool_outcome(!request_values.iter().any(in_set)),
         op => {
-            let Some(bound) = policy_values.first().and_then(Value::as_int) else {
+            let Some(bound) = policy_values
+                .first()
+                .map(|v| resolve(v, has_self, subject))
+                .and_then(Value::as_int)
+            else {
                 return RelationOutcome::Malformed;
             };
             if policy_values.len() != 1 {
@@ -114,24 +112,43 @@ fn bool_outcome(b: bool) -> RelationOutcome {
 
 /// The policy decision point.
 ///
-/// Construct with [`Pdp::new`] (subject-indexed statement lookup) or
-/// [`Pdp::without_index`] (linear scan — the A2 ablation baseline).
+/// Construct with [`Pdp::new`] (compiled program — the default hot path),
+/// [`Pdp::interpreted`] (subject-indexed AST interpretation — the
+/// differential oracle) or [`Pdp::without_index`] (linear scan — the A2
+/// ablation baseline).
 #[derive(Debug, Clone)]
 pub struct Pdp {
-    policy: Policy,
+    policy: std::sync::Arc<Policy>,
     index: Option<SubjectIndex>,
+    program: Option<CompiledProgram>,
 }
 
 impl Pdp {
-    /// Builds an indexed PDP over `policy`.
+    /// Builds a PDP that evaluates through a compiled program (interned
+    /// symbols, action-aware candidate index; see [`CompiledProgram`]).
     pub fn new(policy: Policy) -> Pdp {
+        let policy = std::sync::Arc::new(policy);
         let index = SubjectIndex::build(&policy);
-        Pdp { policy, index: Some(index) }
+        let program = CompiledProgram::compile(std::sync::Arc::clone(&policy));
+        Pdp { policy, index: Some(index), program: Some(program) }
+    }
+
+    /// Builds a PDP that interprets the policy AST with subject-indexed
+    /// statement lookup. This is the differential oracle the compiled
+    /// program is property-tested against.
+    pub fn interpreted(policy: Policy) -> Pdp {
+        let index = SubjectIndex::build(&policy);
+        Pdp { policy: std::sync::Arc::new(policy), index: Some(index), program: None }
     }
 
     /// Builds a PDP that scans all statements linearly (ablation A2).
     pub fn without_index(policy: Policy) -> Pdp {
-        Pdp { policy, index: None }
+        Pdp { policy: std::sync::Arc::new(policy), index: None, program: None }
+    }
+
+    /// True when decisions route through the compiled program.
+    pub fn is_compiled(&self) -> bool {
+        self.program.is_some()
     }
 
     /// The underlying policy.
@@ -166,6 +183,16 @@ impl Pdp {
 
     /// Evaluates `request` to a [`Decision`].
     pub fn decide(&self, request: &AuthzRequest) -> Decision {
+        match &self.program {
+            Some(program) => program.decide(request),
+            None => self.decide_interpreted(request),
+        }
+    }
+
+    /// Evaluates `request` by interpreting the policy AST, regardless of
+    /// whether this PDP carries a compiled program. Guaranteed to agree
+    /// with [`Pdp::decide`]; kept public as the differential oracle.
+    pub fn decide_interpreted(&self, request: &AuthzRequest) -> Decision {
         // Candidate indices live in a per-thread scratch buffer: one
         // warmed-up allocation serves every decision on the thread.
         thread_local! {

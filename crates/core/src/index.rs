@@ -55,11 +55,23 @@ impl SubjectIndex {
     /// the evaluator calls this with a per-thread scratch buffer.
     pub fn applicable_into(&self, subject: &DistinguishedName, out: &mut Vec<usize>) {
         out.clear();
-        if let Some(indices) = self.exact.get(subject) {
-            out.extend_from_slice(indices);
+        // Both lists are built in ascending statement order and a statement
+        // lives in exactly one of them, so a two-pointer merge yields policy
+        // order without sorting per decide.
+        let exact = self.exact.get(subject).map_or(&[][..], Vec::as_slice);
+        out.reserve(exact.len() + self.scan.len());
+        let (mut i, mut j) = (0, 0);
+        while i < exact.len() && j < self.scan.len() {
+            if exact[i] < self.scan[j] {
+                out.push(exact[i]);
+                i += 1;
+            } else {
+                out.push(self.scan[j]);
+                j += 1;
+            }
         }
-        out.extend_from_slice(&self.scan);
-        out.sort_unstable();
+        out.extend_from_slice(&exact[i..]);
+        out.extend_from_slice(&self.scan[j..]);
     }
 
     /// Number of exact-subject buckets.

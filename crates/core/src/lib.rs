@@ -59,6 +59,7 @@ mod action;
 pub mod analysis;
 mod cache;
 mod combine;
+mod compile;
 mod decision;
 mod error;
 mod eval;
@@ -76,6 +77,7 @@ pub mod xacml;
 pub use action::Action;
 pub use cache::{request_digest, CacheStats, DecisionCache, PolicyGeneration};
 pub use combine::{CombinedDecision, CombinedPdp, Combiner, PolicyOrigin, PolicySource};
+pub use compile::{CompiledProgram, CompiledRequest};
 pub use decision::{Decision, DenyReason};
 pub use error::{AuthzFailure, PolicyParseError};
 pub use eval::Pdp;

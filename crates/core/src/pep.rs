@@ -115,10 +115,16 @@ impl AuthorizationCallout for PdpCallout {
     }
 
     fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
+        // Hash the request before taking the PDP lock: the digest does not
+        // depend on the policy, so there is no reason to hold readers of a
+        // concurrent reload up for it.
+        let key = self.cache.as_ref().map(|_| crate::cache::request_digest(request));
         let pdp = self.pdp.read().unwrap_or_else(|e| e.into_inner());
-        let denied = match &self.cache {
-            Some(cache) => cache.decide(&pdp, request).decision().deny_reason().cloned(),
-            None => pdp.decide(request).decision().deny_reason().cloned(),
+        let denied = match (&self.cache, key) {
+            (Some(cache), Some(key)) => {
+                cache.decide_keyed(key, &pdp, request).decision().deny_reason().cloned()
+            }
+            _ => pdp.decide(request).decision().deny_reason().cloned(),
         };
         match denied {
             None => Ok(()),

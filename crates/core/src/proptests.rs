@@ -15,8 +15,9 @@ use crate::policy::Policy;
 use crate::request::AuthzRequest;
 use crate::statement::{PolicyStatement, StatementRole, SubjectMatcher};
 
-const ATTRS: [&str; 5] = ["executable", "directory", "jobtag", "queue", "project"];
-const VALUES: [&str; 5] = ["a", "b", "c", "test1", "TRANSP"];
+const ATTRS: [&str; 7] =
+    ["executable", "directory", "jobtag", "queue", "project", "jobowner", "count"];
+const VALUES: [&str; 6] = ["a", "b", "c", "test1", "TRANSP", "self"];
 const USERS: [&str; 4] =
     ["/O=G/OU=mcs/CN=Bo", "/O=G/OU=mcs/CN=Kate", "/O=G/OU=wisc/CN=Sam", "/O=H/CN=Eve"];
 
@@ -36,19 +37,34 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
         (0i64..6).prop_map(Value::int),
     ];
     let op = prop_oneof![Just(RelOp::Eq), Just(RelOp::Ne), Just(RelOp::Lt), Just(RelOp::Ge)];
-    (attr, op, value).prop_map(|(a, op, v)| Relation::new(Attribute::new(a).unwrap(), op, vec![v]))
+    (attr, op, prop::collection::vec(value, 1..3))
+        .prop_map(|(a, op, vs)| Relation::new(Attribute::new(a).unwrap(), op, vs))
+}
+
+/// An `action` relation the textual policy format accepts: `=` or `!=`
+/// over known action names (possibly several — a value set).
+fn arb_action_relation() -> impl Strategy<Value = Relation> {
+    (prop_oneof![Just(RelOp::Eq), Just(RelOp::Ne)], prop::collection::vec(arb_action(), 1..3))
+        .prop_map(|(op, actions)| {
+            let values = actions.into_iter().map(|a| Value::literal(a.as_str())).collect();
+            Relation::new(Attribute::new("action").unwrap(), op, values)
+        })
 }
 
 fn arb_rule() -> impl Strategy<Value = Conjunction> {
-    (arb_action(), prop::collection::vec(arb_relation(), 0..4)).prop_map(|(action, rels)| {
-        let mut clauses = vec![Clause::Relation(Relation::new(
-            Attribute::new("action").unwrap(),
-            RelOp::Eq,
-            vec![Value::literal(action.as_str())],
-        ))];
-        clauses.extend(rels.into_iter().map(Clause::Relation));
-        Conjunction::new(clauses)
-    })
+    prop_oneof![
+        // With an action relation (any number of further relations).
+        (arb_action_relation(), prop::collection::vec(arb_relation(), 0..4)).prop_map(
+            |(action_rel, rels)| {
+                let mut clauses = vec![Clause::Relation(action_rel)];
+                clauses.extend(rels.into_iter().map(Clause::Relation));
+                Conjunction::new(clauses)
+            }
+        ),
+        // Without one: the rule covers every action.
+        prop::collection::vec(arb_relation(), 1..4)
+            .prop_map(|rels| rels.into_iter().map(Clause::Relation).collect()),
+    ]
 }
 
 fn arb_statement() -> impl Strategy<Value = PolicyStatement> {
@@ -129,9 +145,32 @@ proptest! {
     /// evaluation always agree.
     #[test]
     fn index_is_transparent(policy in arb_policy(), request in arb_request()) {
-        let indexed = Pdp::new(policy.clone());
+        let indexed = Pdp::interpreted(policy.clone());
         let linear = Pdp::without_index(policy);
         prop_assert_eq!(indexed.decide(&request), linear.decide(&request));
+    }
+
+    /// The compiled program is a pure optimization: it agrees with the
+    /// interpreted oracle (indexed and linear) on every policy/request
+    /// pair, including the exact deny reason text.
+    #[test]
+    fn compiled_agrees_with_interpreted(policy in arb_policy(), request in arb_request()) {
+        let compiled = Pdp::new(policy.clone());
+        prop_assert!(compiled.is_compiled());
+        let decision = compiled.decide(&request);
+        prop_assert_eq!(&decision, &Pdp::interpreted(policy.clone()).decide(&request));
+        prop_assert_eq!(&decision, &Pdp::without_index(policy).decide(&request));
+        // The same PDP's own interpreted path is the in-place oracle.
+        prop_assert_eq!(&decision, &compiled.decide_interpreted(&request));
+    }
+
+    /// Request lowering preserves the canonical digest the decision cache
+    /// keys on.
+    #[test]
+    fn compiled_request_digest_is_canonical(policy in arb_policy(), request in arb_request()) {
+        let program = crate::compile::CompiledProgram::compile(std::sync::Arc::new(policy));
+        let lowered = program.compile_request(&request);
+        prop_assert_eq!(lowered.digest(), crate::cache::request_digest(&request));
     }
 
     /// A permit always names an in-range grant statement applicable to the

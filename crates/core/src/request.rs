@@ -3,8 +3,10 @@
 //! credential, job initiator credential, action, job identifier, and the
 //! RSL job description.
 
+use std::collections::HashMap;
+
 use gridauthz_credential::DistinguishedName;
-use gridauthz_rsl::{attributes, Conjunction, RelOp, Value};
+use gridauthz_rsl::{attributes, Conjunction, FxBuildHasher, RelOp, Value};
 
 use crate::action::Action;
 
@@ -12,14 +14,34 @@ use crate::action::Action;
 /// at construction so [`AuthzRequest::values_for`] — called for every
 /// relation of every candidate statement — returns borrowed slices
 /// instead of allocating.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Attribute names are normalized (lowercase) **at construction**, so a
+/// lookup is one hash probe instead of a linear case-insensitive scan.
+/// Job-description names arrive pre-normalized ([`gridauthz_rsl::Attribute`]
+/// lowercases on parse), so building the table never re-folds them.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct AttrTable {
     action: Vec<Value>,
     job_owner: Vec<Value>,
     jobtag: Vec<Value>,
-    /// `=`-relation values from the job description, grouped per
-    /// attribute name (first-seen spelling), in description order.
-    job_attrs: Vec<(String, Vec<Value>)>,
+    /// `=`-relation values from the job description, keyed by the
+    /// normalized attribute name; values stay in description order.
+    job_attrs: HashMap<String, Vec<Value>, FxBuildHasher>,
+    /// The requester's identity as a policy value, resolved once so
+    /// `self` comparisons never allocate per relation.
+    subject_value: Value,
+}
+
+impl Default for AttrTable {
+    fn default() -> AttrTable {
+        AttrTable {
+            action: Vec::new(),
+            job_owner: Vec::new(),
+            jobtag: Vec::new(),
+            job_attrs: HashMap::default(),
+            subject_value: Value::literal(""),
+        }
+    }
 }
 
 /// Everything the policy evaluator may inspect about one request.
@@ -86,23 +108,18 @@ impl AuthzRequest {
             Some(tag) => vec![Value::literal(tag)],
             None => Vec::new(),
         };
+        self.attrs.subject_value = Value::literal(self.subject.to_string());
         self.attrs.job_attrs.clear();
         if let Some(job) = &self.job {
             for relation in job.relations().filter(|r| r.op() == RelOp::Eq) {
+                // Attribute names are lowercase by construction, so the key
+                // is already normalized.
                 let name = relation.attribute().as_str();
-                let slot = match self
-                    .attrs
+                self.attrs
                     .job_attrs
-                    .iter()
-                    .position(|(n, _)| n.eq_ignore_ascii_case(name))
-                {
-                    Some(i) => i,
-                    None => {
-                        self.attrs.job_attrs.push((name.to_string(), Vec::new()));
-                        self.attrs.job_attrs.len() - 1
-                    }
-                };
-                self.attrs.job_attrs[slot].1.extend(relation.values().iter().cloned());
+                    .entry(name.to_string())
+                    .or_default()
+                    .extend(relation.values().iter().cloned());
             }
         }
     }
@@ -201,20 +218,63 @@ impl AuthzRequest {
     /// built at construction, so the evaluator's per-relation lookups do
     /// not allocate.
     pub fn values_for(&self, attribute: &str) -> &[Value] {
-        if attribute.eq_ignore_ascii_case(attributes::ACTION) {
-            return &self.attrs.action;
+        // Policy attribute names are normalized at parse time, so the fast
+        // path is a direct lookup; folding only happens for ad-hoc callers
+        // that pass uppercase names.
+        if attribute.bytes().any(|b| b.is_ascii_uppercase()) {
+            return self.values_for_normalized(&attribute.to_ascii_lowercase());
         }
-        if attribute.eq_ignore_ascii_case(attributes::JOBOWNER) {
-            return &self.attrs.job_owner;
+        self.values_for_normalized(attribute)
+    }
+
+    fn values_for_normalized(&self, attribute: &str) -> &[Value] {
+        match attribute {
+            attributes::ACTION => &self.attrs.action,
+            attributes::JOBOWNER => &self.attrs.job_owner,
+            attributes::JOBTAG => &self.attrs.jobtag,
+            _ => self.attrs.job_attrs.get(attribute).map_or(&[], Vec::as_slice),
         }
-        if attribute.eq_ignore_ascii_case(attributes::JOBTAG) {
-            return &self.attrs.jobtag;
-        }
+    }
+
+    /// The requester's identity as a policy [`Value`], resolved once at
+    /// construction. This is what the policy literal `self` compares
+    /// against, so evaluation never materializes it per relation.
+    pub fn subject_value(&self) -> &Value {
+        &self.attrs.subject_value
+    }
+
+    /// The three synthesized attributes, in canonical order. The policy
+    /// compiler lowers these ahead of [`job_attr_entries`], matching the
+    /// shadowing order [`values_for`](AuthzRequest::values_for) resolves.
+    ///
+    /// [`job_attr_entries`]: AuthzRequest::job_attr_entries
+    pub(crate) fn synthesized_attr_entries(&self) -> [(&'static str, &[Value]); 3] {
+        [
+            (attributes::ACTION, self.attrs.action.as_slice()),
+            (attributes::JOBOWNER, self.attrs.job_owner.as_slice()),
+            (attributes::JOBTAG, self.attrs.jobtag.as_slice()),
+        ]
+    }
+
+    /// Job-description attributes, minus the three the synthesized table
+    /// shadows.
+    pub(crate) fn job_attr_entries(&self) -> impl Iterator<Item = (&str, &[Value])> {
         self.attrs
             .job_attrs
             .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(attribute))
-            .map_or(&[], |(_, values)| values)
+            .filter(|(name, _)| {
+                !matches!(
+                    name.as_str(),
+                    attributes::ACTION | attributes::JOBOWNER | attributes::JOBTAG
+                )
+            })
+            .map(|(name, values)| (name.as_str(), values.as_slice()))
+    }
+
+    /// Number of job-description attributes (including shadowed ones) —
+    /// a capacity hint for request lowering.
+    pub(crate) fn job_attr_count(&self) -> usize {
+        self.attrs.job_attrs.len()
     }
 }
 

@@ -912,6 +912,80 @@ mod tests {
         assert!(matches!(err, GramError::NotAuthorized(_)));
     }
 
+    /// The extended server's callout runs the compiled PDP; its outcomes
+    /// must be indistinguishable from evaluating Figure 3 with the
+    /// interpreted oracle on the same requests the server constructs.
+    #[test]
+    fn extended_decisions_match_interpreted_oracle() {
+        use gridauthz_core::Pdp;
+
+        let compiled = Pdp::new(paper::figure3_policy());
+        let oracle = Pdp::interpreted(paper::figure3_policy());
+        assert!(compiled.is_compiled());
+
+        let submissions: [(fn(&Fixture) -> &Credential, &str); 8] = [
+            (|f| &f.bo, BO_TEST1),
+            (|f| &f.bo, KATE_TRANSP),
+            (
+                |f| &f.bo,
+                "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+            ),
+            (
+                |f| &f.bo,
+                "&(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count = 9)",
+            ),
+            (|f| &f.bo, "&(executable = test1)(directory = /sandbox/test)(count = 2)"),
+            (|f| &f.kate, KATE_TRANSP),
+            (|f| &f.kate, BO_TEST1),
+            (|f| &f.outsider, BO_TEST1),
+        ];
+        for (who, rsl) in submissions {
+            // Fresh fixture per case: a permitted submit consumes cluster
+            // capacity, and scheduler rejection must not masquerade as an
+            // authorization denial.
+            let f = fixture(GramMode::Extended);
+            let cred = who(&f);
+            let spec = gridauthz_rsl::parse(rsl).unwrap();
+            let job = crate::jobspec::normalize_job(spec.as_conjunction().unwrap());
+            let request = AuthzRequest::start(cred.certificate().subject().clone(), job);
+            let expected = oracle.decide(&request);
+            assert_eq!(compiled.decide(&request), expected, "compiled vs interpreted: {rsl}");
+            assert_eq!(
+                f.server.submit(cred.chain(), rsl, None, mins(5)).is_ok(),
+                expected.is_permit(),
+                "server disagrees with oracle for submit {rsl}"
+            );
+        }
+
+        // Management: Kate cancelling Bo's jobs is permitted iff the job
+        // is tagged NFC (Figure 3's VO-wide cancel grant).
+        let management = [
+            ("NFC", "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)"),
+            ("ADS", BO_TEST1),
+        ];
+        for (tag, rsl) in management {
+            let f = fixture(GramMode::Extended);
+            let contact = f.server.submit(f.bo.chain(), rsl, None, mins(30)).unwrap();
+            let request = AuthzRequest::manage(
+                f.kate.certificate().subject().clone(),
+                Action::Cancel,
+                f.bo.certificate().subject().clone(),
+                Some(tag.to_string()),
+            );
+            let expected = oracle.decide(&request);
+            assert_eq!(
+                compiled.decide(&request),
+                expected,
+                "compiled vs interpreted: cancel {tag}"
+            );
+            assert_eq!(
+                f.server.cancel(f.kate.chain(), &contact).is_ok(),
+                expected.is_permit(),
+                "server disagrees with oracle for cancel of {tag} job"
+            );
+        }
+    }
+
     #[test]
     fn limited_proxy_cannot_start_jobs() {
         let f = fixture(GramMode::Gt2);

@@ -44,10 +44,12 @@ mod parser;
 mod token;
 
 pub mod attributes;
+pub mod intern;
 
 pub use ast::{Attribute, Clause, Conjunction, RelOp, Relation, Rsl, Value};
 pub use builder::RslBuilder;
 pub use error::RslError;
+pub use intern::{FxBuildHasher, Interner, Symbol};
 pub use parser::parse;
 
 #[cfg(test)]

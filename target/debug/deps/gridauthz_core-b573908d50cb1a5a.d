@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/gridauthz_core-b573908d50cb1a5a.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs Cargo.toml
+/root/repo/target/debug/deps/gridauthz_core-b573908d50cb1a5a.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/compile.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgridauthz_core-b573908d50cb1a5a.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs Cargo.toml
+/root/repo/target/debug/deps/libgridauthz_core-b573908d50cb1a5a.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/compile.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/action.rs:
 crates/core/src/analysis.rs:
 crates/core/src/cache.rs:
 crates/core/src/combine.rs:
+crates/core/src/compile.rs:
 crates/core/src/decision.rs:
 crates/core/src/error.rs:
 crates/core/src/eval.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/gridauthz_core-ddc89f79e971a6e5.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs
+/root/repo/target/debug/deps/gridauthz_core-ddc89f79e971a6e5.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/compile.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs
 
-/root/repo/target/debug/deps/libgridauthz_core-ddc89f79e971a6e5.rlib: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs
+/root/repo/target/debug/deps/libgridauthz_core-ddc89f79e971a6e5.rlib: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/compile.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs
 
-/root/repo/target/debug/deps/libgridauthz_core-ddc89f79e971a6e5.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs
+/root/repo/target/debug/deps/libgridauthz_core-ddc89f79e971a6e5.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/combine.rs crates/core/src/compile.rs crates/core/src/decision.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/index.rs crates/core/src/parser.rs crates/core/src/pep.rs crates/core/src/policy.rs crates/core/src/request.rs crates/core/src/statement.rs crates/core/src/paper.rs crates/core/src/xacml.rs
 
 crates/core/src/lib.rs:
 crates/core/src/action.rs:
 crates/core/src/analysis.rs:
 crates/core/src/cache.rs:
 crates/core/src/combine.rs:
+crates/core/src/compile.rs:
 crates/core/src/decision.rs:
 crates/core/src/error.rs:
 crates/core/src/eval.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/gridauthz_rsl-70e80041d9da8ead.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/proptests.rs
+/root/repo/target/debug/deps/gridauthz_rsl-70e80041d9da8ead.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs crates/rsl/src/proptests.rs
 
-/root/repo/target/debug/deps/gridauthz_rsl-70e80041d9da8ead: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/proptests.rs
+/root/repo/target/debug/deps/gridauthz_rsl-70e80041d9da8ead: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs crates/rsl/src/proptests.rs
 
 crates/rsl/src/lib.rs:
 crates/rsl/src/ast.rs:
@@ -9,4 +9,5 @@ crates/rsl/src/error.rs:
 crates/rsl/src/parser.rs:
 crates/rsl/src/token.rs:
 crates/rsl/src/attributes.rs:
+crates/rsl/src/intern.rs:
 crates/rsl/src/proptests.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/gridauthz_rsl-89c019ebd0308fdc.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs
+/root/repo/target/debug/deps/gridauthz_rsl-89c019ebd0308fdc.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs
 
-/root/repo/target/debug/deps/libgridauthz_rsl-89c019ebd0308fdc.rlib: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs
+/root/repo/target/debug/deps/libgridauthz_rsl-89c019ebd0308fdc.rlib: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs
 
-/root/repo/target/debug/deps/libgridauthz_rsl-89c019ebd0308fdc.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs
+/root/repo/target/debug/deps/libgridauthz_rsl-89c019ebd0308fdc.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs
 
 crates/rsl/src/lib.rs:
 crates/rsl/src/ast.rs:
@@ -11,3 +11,4 @@ crates/rsl/src/error.rs:
 crates/rsl/src/parser.rs:
 crates/rsl/src/token.rs:
 crates/rsl/src/attributes.rs:
+crates/rsl/src/intern.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/gridauthz_rsl-ebec7b9bbd3881ee.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs Cargo.toml
+/root/repo/target/debug/deps/gridauthz_rsl-ebec7b9bbd3881ee.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgridauthz_rsl-ebec7b9bbd3881ee.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs Cargo.toml
+/root/repo/target/debug/deps/libgridauthz_rsl-ebec7b9bbd3881ee.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs Cargo.toml
 
 crates/rsl/src/lib.rs:
 crates/rsl/src/ast.rs:
@@ -9,6 +9,7 @@ crates/rsl/src/error.rs:
 crates/rsl/src/parser.rs:
 crates/rsl/src/token.rs:
 crates/rsl/src/attributes.rs:
+crates/rsl/src/intern.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

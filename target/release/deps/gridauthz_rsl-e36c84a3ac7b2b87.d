@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/gridauthz_rsl-e36c84a3ac7b2b87.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs
+/root/repo/target/release/deps/gridauthz_rsl-e36c84a3ac7b2b87.d: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs
 
-/root/repo/target/release/deps/libgridauthz_rsl-e36c84a3ac7b2b87.rlib: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs
+/root/repo/target/release/deps/libgridauthz_rsl-e36c84a3ac7b2b87.rlib: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs
 
-/root/repo/target/release/deps/libgridauthz_rsl-e36c84a3ac7b2b87.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs
+/root/repo/target/release/deps/libgridauthz_rsl-e36c84a3ac7b2b87.rmeta: crates/rsl/src/lib.rs crates/rsl/src/ast.rs crates/rsl/src/builder.rs crates/rsl/src/error.rs crates/rsl/src/parser.rs crates/rsl/src/token.rs crates/rsl/src/attributes.rs crates/rsl/src/intern.rs
 
 crates/rsl/src/lib.rs:
 crates/rsl/src/ast.rs:
@@ -11,3 +11,4 @@ crates/rsl/src/error.rs:
 crates/rsl/src/parser.rs:
 crates/rsl/src/token.rs:
 crates/rsl/src/attributes.rs:
+crates/rsl/src/intern.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_compile-856f7d61c9c39aa3.d: crates/bench/benches/policy_compile.rs
+
+/root/repo/target/release/deps/policy_compile-856f7d61c9c39aa3: crates/bench/benches/policy_compile.rs
+
+crates/bench/benches/policy_compile.rs:

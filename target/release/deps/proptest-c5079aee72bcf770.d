@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/proptest-c5079aee72bcf770.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/arbitrary.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/option.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/string.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-c5079aee72bcf770.rlib: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/arbitrary.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/option.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/string.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-c5079aee72bcf770.rmeta: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/arbitrary.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/option.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/string.rs crates/vendor/proptest/src/test_runner.rs
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/arbitrary.rs:
+crates/vendor/proptest/src/collection.rs:
+crates/vendor/proptest/src/option.rs:
+crates/vendor/proptest/src/sample.rs:
+crates/vendor/proptest/src/string.rs:
+crates/vendor/proptest/src/test_runner.rs:
