@@ -10,8 +10,9 @@
 //! Three series per source count:
 //! * `uncached` — the plain `CombinedPdp` evaluation,
 //! * `cached` — steady-state hits (the claimed ≥2x case),
-//! * `cached-cold` — a generation bump before every lookup, i.e. the
-//!   worst case of digest + miss + insert on top of evaluation.
+//! * `cached-cold` — a fresh generation before every lookup (as if a
+//!   snapshot were published between decisions), i.e. the worst case of
+//!   digest + miss + insert on top of evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridauthz_bench::{combined_pdp_with_n_sources, management_request};
@@ -35,14 +36,15 @@ fn bench_decision_cache(c: &mut Criterion) {
 
         let warm = DecisionCache::new();
         group.bench_with_input(BenchmarkId::new("cached", sources), &sources, |b, _| {
-            b.iter(|| std::hint::black_box(warm.decide(&pdp, &request)));
+            b.iter(|| std::hint::black_box(warm.decide(0, &pdp, &request)));
         });
 
         let cold = DecisionCache::new();
         group.bench_with_input(BenchmarkId::new("cached-cold", sources), &sources, |b, _| {
+            let mut generation = 0u64;
             b.iter(|| {
-                cold.invalidate_all();
-                std::hint::black_box(cold.decide(&pdp, &request))
+                generation += 1;
+                std::hint::black_box(cold.decide(generation, &pdp, &request))
             });
         });
     }

@@ -213,6 +213,24 @@ fn t5() {
             REQUESTS as f64 / elapsed.as_secs_f64()
         );
     }
+
+    // The T4 fan-out authorized element-wise vs as one batch under a
+    // single snapshot (`status_by_tag`).
+    let admin = tb.admin.chain();
+    let jobs = tb.server.jobs_with_tag("NFC").len();
+    println!("\nVO-wide sweep over {jobs} NFC jobs (admin, action = information):");
+    println!("{:<14} {:>14}", "series", "median");
+    let elementwise = time_median(50, || {
+        for contact in tb.server.jobs_with_tag("NFC") {
+            tb.server.status(admin, &contact).expect("admin information grant covers NFC");
+        }
+    });
+    println!("{:<14} {elementwise:>14.2?}", "elementwise");
+    let by_tag = time_median(50, || {
+        let reports = tb.server.status_by_tag(admin, "NFC").expect("admin authenticates");
+        assert_eq!(reports.len(), jobs);
+    });
+    println!("{:<14} {by_tag:>14.2?}", "by_tag");
 }
 
 fn t6() {
@@ -431,12 +449,15 @@ fn t8() {
         });
         let warm = DecisionCache::new();
         let cached = time_median(2_000, || {
-            assert!(warm.decide(&pdp, &request).is_permit());
+            assert!(warm.decide(0, &pdp, &request).is_permit());
         });
         let cold = DecisionCache::new();
+        // Advancing the generation every iteration makes each lookup a
+        // cold miss — the old entry is stranded, as after a reload.
+        let mut generation = 0u64;
         let cold_t = time_median(2_000, || {
-            cold.invalidate_all();
-            assert!(cold.decide(&pdp, &request).is_permit());
+            generation += 1;
+            assert!(cold.decide(generation, &pdp, &request).is_permit());
         });
         let speedup = uncached.as_nanos() as f64 / (cached.as_nanos().max(1)) as f64;
         println!("{n:<10} {uncached:>14.2?} {cached:>14.2?} {cold_t:>14.2?} {speedup:>8.1}x");

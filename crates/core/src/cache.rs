@@ -17,16 +17,14 @@
 //!   are combined order-insensitively, so two descriptions that differ
 //!   only in relation order — which evaluate identically — share a key.
 //! * **Generation stamping.** Every entry records the policy generation
-//!   it was computed under. Policy-affecting events (grid-mapfile swaps,
-//!   policy reloads, dynamic-policy updates, credential revocation) bump
-//!   a shared [`PolicyGeneration`] counter; entries from older
-//!   generations are ignored on lookup and lazily overwritten, so
-//!   invalidation is a single atomic increment that never blocks
-//!   readers.
-//!
-//! The stamp is read *before* evaluation and stored with the entry, so a
-//! decision computed concurrently with a policy update is stamped with
-//! the pre-update generation and can never be served afterwards.
+//!   it was computed under. The generation is the *snapshot's* — the
+//!   [`crate::PolicySnapshot`] a decision evaluates against carries the
+//!   generation it was published under, so the stamp and the policy can
+//!   never disagree. Publishing a new snapshot (policy reload,
+//!   grid-mapfile swap, credential revocation, dynamic-policy push)
+//!   invalidates every older entry implicitly: lookups under the new
+//!   generation ignore them and inserts lazily overwrite them. The
+//!   cache itself holds no generation counter at all.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -37,33 +35,6 @@ use gridauthz_rsl::{Clause, Relation, Value};
 
 use crate::combine::{CombinedDecision, CombinedPdp};
 use crate::request::AuthzRequest;
-
-/// A shared policy generation counter.
-///
-/// Clones share the same underlying counter, so one handle can live in a
-/// cache while others live with the components that mutate policy.
-#[derive(Debug, Clone, Default)]
-pub struct PolicyGeneration {
-    counter: Arc<AtomicU64>,
-}
-
-impl PolicyGeneration {
-    /// A fresh counter starting at generation 0.
-    pub fn new() -> PolicyGeneration {
-        PolicyGeneration::default()
-    }
-
-    /// The current generation.
-    pub fn current(&self) -> u64 {
-        self.counter.load(Ordering::Acquire)
-    }
-
-    /// Invalidates everything stamped with earlier generations; returns
-    /// the new generation.
-    pub fn bump(&self) -> u64 {
-        self.counter.fetch_add(1, Ordering::AcqRel) + 1
-    }
-}
 
 /// Hit/miss counters observed on a [`DecisionCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,9 +96,13 @@ const SHARD_COUNT: usize = 16;
 const SHARD_CAPACITY: usize = 4096;
 
 /// A sharded, generation-stamped cache of combined policy decisions.
+///
+/// Generations are supplied by the caller on every operation — in
+/// production, from the [`crate::PolicySnapshot`] the decision was made
+/// under. The cache never invalidates explicitly: publishing a snapshot
+/// with a fresh generation strands all older entries.
 #[derive(Debug)]
 pub struct DecisionCache {
-    generation: PolicyGeneration,
     shards: Vec<RwLock<DigestMap>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -140,30 +115,13 @@ impl Default for DecisionCache {
 }
 
 impl DecisionCache {
-    /// A cache with its own private generation counter.
+    /// An empty cache.
     pub fn new() -> DecisionCache {
-        DecisionCache::with_generation(PolicyGeneration::new())
-    }
-
-    /// A cache stamped by an externally shared generation counter.
-    pub fn with_generation(generation: PolicyGeneration) -> DecisionCache {
         DecisionCache {
-            generation,
             shards: (0..SHARD_COUNT).map(|_| RwLock::new(DigestMap::default())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
-    }
-
-    /// The generation counter stamping this cache's entries.
-    pub fn generation(&self) -> &PolicyGeneration {
-        &self.generation
-    }
-
-    /// Drops every cached decision by bumping the generation — an O(1)
-    /// operation that never takes a shard lock.
-    pub fn invalidate_all(&self) {
-        self.generation.bump();
     }
 
     fn shard(&self, key: u128) -> &RwLock<DigestMap> {
@@ -185,13 +143,14 @@ impl DecisionCache {
         }
     }
 
-    /// Stores a decision computed while `generation` was current. Stale
-    /// entries (and, at capacity, whole shards) are evicted on the way in.
+    /// Stores a decision computed under `generation`. Entries stamped
+    /// with a *different* generation (and, at capacity, whole shards)
+    /// are evicted on the way in — the inserting generation is by
+    /// construction the current one.
     pub fn insert(&self, key: u128, generation: u64, decision: Arc<CombinedDecision>) {
         let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
         if shard.len() >= SHARD_CAPACITY {
-            let current = self.generation.current();
-            shard.retain(|_, entry| entry.generation == current);
+            shard.retain(|_, entry| entry.generation == generation);
             if shard.len() >= SHARD_CAPACITY {
                 shard.clear();
             }
@@ -199,28 +158,29 @@ impl DecisionCache {
         shard.insert(key, Entry { generation, decision });
     }
 
-    /// Evaluates `request` against `pdp`, serving repeats from the cache.
-    ///
-    /// The generation is read before evaluation and stamped into the
-    /// entry, so a decision raced by a policy update is never served
-    /// after the update.
-    pub fn decide(&self, pdp: &CombinedPdp, request: &AuthzRequest) -> Arc<CombinedDecision> {
-        self.decide_keyed(request_digest(request), pdp, request)
+    /// Evaluates `request` against `pdp` under `generation`, serving
+    /// repeats from the cache.
+    pub fn decide(
+        &self,
+        generation: u64,
+        pdp: &CombinedPdp,
+        request: &AuthzRequest,
+    ) -> Arc<CombinedDecision> {
+        self.decide_keyed(request_digest(request), generation, pdp, request)
     }
 
     /// [`DecisionCache::decide`] with a caller-supplied canonical key.
     ///
     /// `key` **must** equal [`request_digest`]`(request)`; callers use
     /// this to reuse a digest they already computed — e.g. from
-    /// [`crate::CompiledRequest::digest`], or (as the PEP does) to hash
-    /// the request before taking the PDP lock.
+    /// [`crate::CompiledRequest::digest`].
     pub fn decide_keyed(
         &self,
         key: u128,
+        generation: u64,
         pdp: &CombinedPdp,
         request: &AuthzRequest,
     ) -> Arc<CombinedDecision> {
-        let generation = self.generation.current();
         if let Some(decision) = self.lookup(key, generation) {
             return decision;
         }
@@ -489,9 +449,9 @@ mod tests {
         let pdp = pdp("/O=G/CN=Bo: &(action = start)(executable = x)");
         let request = start("/O=G/CN=Bo", "&(executable = x)");
 
-        let first = cache.decide(&pdp, &request);
+        let first = cache.decide(0, &pdp, &request);
         assert!(first.is_permit());
-        let second = cache.decide(&pdp, &request);
+        let second = cache.decide(0, &pdp, &request);
         assert_eq!(first, second);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -500,66 +460,51 @@ mod tests {
     }
 
     #[test]
-    fn generation_bump_invalidates_without_clearing() {
+    fn new_generation_invalidates_without_clearing() {
         let cache = DecisionCache::new();
         let pdp = pdp("/O=G/CN=Bo: &(action = start)(executable = x)");
         let request = start("/O=G/CN=Bo", "&(executable = x)");
 
-        cache.decide(&pdp, &request);
-        cache.invalidate_all();
-        // The stale entry is still resident but must not be served.
+        cache.decide(0, &pdp, &request);
+        // The entry from generation 0 is still resident but must not be
+        // served to a decision under generation 1.
         assert_eq!(cache.len(), 1);
-        cache.decide(&pdp, &request);
+        cache.decide(1, &pdp, &request);
         let stats = cache.stats();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 2);
         // Re-decided under the new generation: hits resume.
-        cache.decide(&pdp, &request);
+        cache.decide(1, &pdp, &request);
         assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
-    fn entries_stamped_before_a_bump_are_never_served() {
+    fn entries_stamped_under_an_older_generation_are_never_served() {
         let cache = DecisionCache::new();
         let pdp = pdp("/O=G/CN=Bo: &(action = start)(executable = x)");
         let request = start("/O=G/CN=Bo", "&(executable = x)");
 
-        // Simulate the race: the generation is read, then policy updates
-        // before the computed decision is inserted.
+        // Simulate the race: a decision computed under the old snapshot
+        // is inserted after a new snapshot was published.
         let key = request_digest(&request);
-        let stale_generation = cache.generation().current();
         let decision = Arc::new(pdp.decide(&request));
-        cache.generation().bump();
-        cache.insert(key, stale_generation, decision);
+        cache.insert(key, 0, decision);
 
-        assert_eq!(cache.lookup(key, cache.generation().current()), None);
+        assert_eq!(cache.lookup(key, 1), None);
     }
 
     #[test]
     fn shards_purge_stale_entries_at_capacity() {
         let cache = DecisionCache::new();
         let pdp = pdp("/O=G/CN=Bo: &(action = start)");
-        // Fill one shard past capacity with stale generations.
-        let generation = cache.generation().current();
-        let decision = cache.decide(&pdp, &start("/O=G/CN=Bo", "&(executable = x)"));
+        // Fill one shard past capacity with generation-0 entries.
+        let decision = cache.decide(0, &pdp, &start("/O=G/CN=Bo", "&(executable = x)"));
         for i in 0..SHARD_CAPACITY as u128 {
-            cache.insert(i * SHARD_COUNT as u128, generation, decision.clone());
+            cache.insert(i * SHARD_COUNT as u128, 0, decision.clone());
         }
-        cache.invalidate_all();
-        // The next insert into that shard purges every stale entry.
-        cache.insert(0, cache.generation().current(), decision);
+        // The next insert under a newer generation purges every stale
+        // entry in that shard.
+        cache.insert(0, 1, decision);
         assert!(cache.len() <= 2);
-    }
-
-    #[test]
-    fn shared_generation_invalidates_all_holders() {
-        let generation = PolicyGeneration::new();
-        let cache = DecisionCache::with_generation(generation.clone());
-        let pdp = pdp("/O=G/CN=Bo: &(action = start)(executable = x)");
-        let request = start("/O=G/CN=Bo", "&(executable = x)");
-        cache.decide(&pdp, &request);
-        generation.bump();
-        cache.decide(&pdp, &request);
-        assert_eq!(cache.stats().hits, 0);
     }
 }

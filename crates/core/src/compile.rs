@@ -54,7 +54,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gridauthz_rsl::{attributes, FxBuildHasher, Interner, RelOp, Relation, Symbol, Value};
+use gridauthz_rsl::{
+    attributes, FrozenInterner, FxBuildHasher, Interner, RelOp, Relation, Symbol, Value,
+};
 
 use crate::action::Action;
 use crate::cache::request_digest;
@@ -190,7 +192,10 @@ pub struct CompiledProgram {
     /// The source policy: cold paths (deny text, interpreter fallback)
     /// read the original AST relations from it.
     policy: Arc<Policy>,
-    interner: Interner,
+    /// Sealed at the end of [`compile`](CompiledProgram::compile): the
+    /// decision path only looks up, so snapshots share one frozen table
+    /// across threads instead of cloning it per reload.
+    interner: Arc<FrozenInterner>,
     stmts: Vec<CompiledStatement>,
     rules: Vec<CompiledRule>,
     rels: Vec<CompiledRelation>,
@@ -295,7 +300,7 @@ impl<'r> Overflow<'r> {
 
     /// Resolves `value` to a symbol: the policy interner's if known, else
     /// this table's overflow symbol.
-    fn resolve(&mut self, interner: &Interner, value: &'r Value) -> Symbol {
+    fn resolve(&mut self, interner: &FrozenInterner, value: &'r Value) -> Symbol {
         let sym = interner.lookup_value(value);
         if !sym.is_none() {
             return sym;
@@ -339,9 +344,12 @@ fn action_relation_accepts(relation: &Relation, action: Action) -> bool {
 impl CompiledProgram {
     /// Lowers `policy` into a compiled program.
     pub fn compile(policy: Arc<Policy>) -> CompiledProgram {
+        // Interning happens only here; the table is frozen before the
+        // program is handed out, so decisions share it without locking.
+        let mut interner = Interner::new();
         let mut program = CompiledProgram {
             policy: Arc::clone(&policy),
-            interner: Interner::new(),
+            interner: Arc::new(Interner::new().freeze()),
             stmts: Vec::new(),
             rules: Vec::new(),
             rels: Vec::new(),
@@ -360,8 +368,11 @@ impl CompiledProgram {
                 let mut mask = MASK_ALL;
                 let mut mask_exact = true;
                 for (ni, relation) in rule.relations().enumerate() {
-                    let compiled =
-                        program.compile_relation(relation, (si as u32, ri as u32, ni as u32));
+                    let compiled = program.compile_relation(
+                        &mut interner,
+                        relation,
+                        (si as u32, ri as u32, ni as u32),
+                    );
                     if compiled.is_action {
                         if compiled.has_self {
                             // Whether the relation accepts an action can
@@ -416,24 +427,26 @@ impl CompiledProgram {
             }
         }
         program.syn_names = [
-            program.interner.lookup_name(attributes::ACTION),
-            program.interner.lookup_name(attributes::JOBOWNER),
-            program.interner.lookup_name(attributes::JOBTAG),
+            interner.lookup_name(attributes::ACTION),
+            interner.lookup_name(attributes::JOBOWNER),
+            interner.lookup_name(attributes::JOBTAG),
         ];
         for action in Action::ALL {
             let value = Value::literal(action.as_str());
             program.action_vals[action_index(action)] =
-                (program.interner.lookup_value(&value), value.as_int());
+                (interner.lookup_value(&value), value.as_int());
         }
+        program.interner = Arc::new(interner.freeze());
         program
     }
 
     fn compile_relation(
         &mut self,
+        interner: &mut Interner,
         relation: &Relation,
         source: (u32, u32, u32),
     ) -> CompiledRelation {
-        let attr = self.interner.intern_name(relation.attribute().as_str());
+        let attr = interner.intern_name(relation.attribute().as_str());
         let is_action = relation.attribute().as_str() == attributes::ACTION;
         let values = relation.values();
         let is_null_test = values.len() == 1 && values[0].as_str() == Some(attributes::NULL);
@@ -484,7 +497,7 @@ impl CompiledProgram {
                 if value.as_str() == Some(attributes::SELF) {
                     continue;
                 }
-                self.sym_arena.push(self.interner.intern_value(value));
+                self.sym_arena.push(interner.intern_value(value));
             }
         }
 
@@ -501,6 +514,13 @@ impl CompiledProgram {
     /// The policy this program was compiled from.
     pub fn policy(&self) -> &Policy {
         &self.policy
+    }
+
+    /// The frozen symbol table shared by every decision over this
+    /// program; snapshots expose it so batch evaluation can resolve one
+    /// interner epoch for the whole batch.
+    pub fn interner(&self) -> &Arc<FrozenInterner> {
+        &self.interner
     }
 
     /// Lowers `request` against this program's symbol tables.
@@ -529,7 +549,7 @@ impl CompiledProgram {
             |sym: Symbol| self.needs_int.get(sym.index() as usize).copied().unwrap_or(false);
         let needs_sym =
             |sym: Symbol| self.needs_sym.get(sym.index() as usize).copied().unwrap_or(false);
-        let push = |interner: &Interner,
+        let push = |interner: &FrozenInterner,
                     overflow: &mut Overflow<'r>,
                     vals: &mut Vec<RequestValue>,
                     attrs: &mut Vec<(Symbol, (u32, u32))>,
@@ -842,6 +862,11 @@ mod tests {
         s.parse().unwrap()
     }
 
+    /// A candidate as `candidates_into` packs it: `(statement_id << 1) | confirm`.
+    fn candidate(statement: u32, confirm: bool) -> u32 {
+        (statement << 1) | u32::from(confirm)
+    }
+
     fn conj(s: &str) -> Conjunction {
         parse(s).unwrap().as_conjunction().unwrap().clone()
     }
@@ -901,7 +926,7 @@ mod tests {
         for action in Action::ALL {
             let mut out = Vec::new();
             program.candidates_into("/O=G/CN=Admin", action_bit(action), &mut out);
-            assert_eq!(out, vec![(0 << 1) | 1], "candidate for {action}");
+            assert_eq!(out, vec![candidate(0, true)], "candidate for {action}");
         }
     }
 
@@ -1049,6 +1074,6 @@ mod tests {
         // the confirm bit — exact buckets are keyed by rendered string and
         // re-checked by DN equality); statement 2 is information-only and
         // masked out for start.
-        assert_eq!(out, vec![(0 << 1) | 1, (1 << 1) | 1]);
+        assert_eq!(out, vec![candidate(0, true), candidate(1, true)]);
     }
 }

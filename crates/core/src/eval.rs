@@ -120,7 +120,9 @@ fn bool_outcome(b: bool) -> RelationOutcome {
 pub struct Pdp {
     policy: std::sync::Arc<Policy>,
     index: Option<SubjectIndex>,
-    program: Option<CompiledProgram>,
+    /// `Arc` so cloning a PDP (snapshot rebuilds clone every unchanged
+    /// source) shares the compiled artifact instead of copying arenas.
+    program: Option<std::sync::Arc<CompiledProgram>>,
 }
 
 impl Pdp {
@@ -130,7 +132,7 @@ impl Pdp {
         let policy = std::sync::Arc::new(policy);
         let index = SubjectIndex::build(&policy);
         let program = CompiledProgram::compile(std::sync::Arc::clone(&policy));
-        Pdp { policy, index: Some(index), program: Some(program) }
+        Pdp { policy, index: Some(index), program: Some(std::sync::Arc::new(program)) }
     }
 
     /// Builds a PDP that interprets the policy AST with subject-indexed
@@ -149,6 +151,11 @@ impl Pdp {
     /// True when decisions route through the compiled program.
     pub fn is_compiled(&self) -> bool {
         self.program.is_some()
+    }
+
+    /// The compiled program, when this PDP carries one.
+    pub fn program(&self) -> Option<&std::sync::Arc<CompiledProgram>> {
+        self.program.as_ref()
     }
 
     /// The underlying policy.

@@ -69,13 +69,14 @@ mod parser;
 mod pep;
 mod policy;
 mod request;
+mod snapshot;
 mod statement;
 
 pub mod paper;
 pub mod xacml;
 
 pub use action::Action;
-pub use cache::{request_digest, CacheStats, DecisionCache, PolicyGeneration};
+pub use cache::{request_digest, CacheStats, DecisionCache};
 pub use combine::{CombinedDecision, CombinedPdp, Combiner, PolicyOrigin, PolicySource};
 pub use compile::{CompiledProgram, CompiledRequest};
 pub use decision::{Decision, DenyReason};
@@ -90,6 +91,7 @@ pub use pep::{
 };
 pub use policy::Policy;
 pub use request::AuthzRequest;
+pub use snapshot::{AuthzEngine, PolicySnapshot, SnapshotCell};
 pub use statement::{PolicyStatement, StatementRole, SubjectMatcher};
 
 #[cfg(test)]

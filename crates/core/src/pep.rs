@@ -14,12 +14,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::Arc;
 
 use crate::cache::{CacheStats, DecisionCache};
 use crate::combine::CombinedPdp;
 use crate::error::{AuthzFailure, PolicyParseError};
 use crate::request::AuthzRequest;
+use crate::snapshot::{AuthzEngine, PolicySnapshot};
 
 /// A pluggable authorization module, invoked before every job action.
 pub trait AuthorizationCallout: Send + Sync {
@@ -35,6 +36,15 @@ pub trait AuthorizationCallout: Send + Sync {
     /// fails (callers must fail closed).
     fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure>;
 
+    /// Authorizes a batch of requests, one result per request. The
+    /// default delegates to [`authorize`](Self::authorize) element-wise;
+    /// callouts backed by swappable state override it to resolve that
+    /// state **once** for the whole batch, so a VO-wide management
+    /// fan-out is guaranteed a single consistent policy view.
+    fn authorize_batch(&self, requests: &[AuthzRequest]) -> Vec<Result<(), AuthzFailure>> {
+        requests.iter().map(|request| self.authorize(request)).collect()
+    }
+
     /// Notifies the callout that the policy environment changed
     /// (grid-mapfile swap, credential revocation, policy reload).
     /// Callouts holding derived state — notably decision caches — must
@@ -45,97 +55,90 @@ pub trait AuthorizationCallout: Send + Sync {
 /// The built-in callout: evaluate against a [`CombinedPdp`] (local + VO
 /// policy, deny-overrides by default), optionally through a
 /// generation-stamped [`DecisionCache`].
+///
+/// Internally this is a thin wrapper over [`AuthzEngine`]: the PDP lives
+/// in an epoch-published [`PolicySnapshot`], so `authorize` never takes
+/// a lock and [`PdpCallout::reload`] swaps policy without stalling
+/// in-flight decisions.
 pub struct PdpCallout {
-    name: String,
-    pdp: RwLock<CombinedPdp>,
-    cache: Option<DecisionCache>,
+    engine: AuthzEngine,
 }
 
 impl PdpCallout {
     /// Wraps `pdp` as an uncached callout named `name`.
     pub fn new(name: impl Into<String>, pdp: CombinedPdp) -> PdpCallout {
-        PdpCallout { name: name.into(), pdp: RwLock::new(pdp), cache: None }
+        PdpCallout { engine: AuthzEngine::new(name, pdp) }
     }
 
     /// Wraps `pdp` with a decision cache in front: repeated identical
-    /// requests skip evaluation until [`PdpCallout::policy_updated`] (or a
-    /// [`PdpCallout::reload`]) bumps the cache generation.
+    /// requests skip evaluation until the next publication
+    /// ([`PdpCallout::reload`] or [`PdpCallout::policy_updated`]).
     pub fn cached(name: impl Into<String>, pdp: CombinedPdp) -> PdpCallout {
-        PdpCallout { name: name.into(), pdp: RwLock::new(pdp), cache: Some(DecisionCache::new()) }
+        PdpCallout { engine: AuthzEngine::cached(name, pdp) }
     }
 
-    /// Wraps `pdp` with a cache stamped by `cache`'s (possibly shared)
-    /// generation counter.
+    /// Wraps `pdp` with a caller-supplied cache.
     pub fn with_cache(
         name: impl Into<String>,
         pdp: CombinedPdp,
         cache: DecisionCache,
     ) -> PdpCallout {
-        PdpCallout { name: name.into(), pdp: RwLock::new(pdp), cache: Some(cache) }
+        PdpCallout { engine: AuthzEngine::with_cache(name, pdp, cache) }
     }
 
-    /// Read access to the wrapped combined PDP.
-    pub fn pdp(&self) -> RwLockReadGuard<'_, CombinedPdp> {
-        self.pdp.read().unwrap_or_else(|e| e.into_inner())
+    /// The currently published policy snapshot.
+    pub fn pdp(&self) -> Arc<PolicySnapshot> {
+        self.engine.snapshot()
     }
 
-    /// Swaps in a new combined PDP — the runtime policy-reload path. The
-    /// cache generation is bumped *after* the swap, so no decision from
-    /// the old policy survives it.
+    /// Publishes a new combined PDP — the runtime policy-reload path.
+    /// The snapshot swap carries a fresh cache generation, so no
+    /// decision from the old policy survives it.
     pub fn reload(&self, pdp: CombinedPdp) {
-        *self.pdp.write().unwrap_or_else(|e| e.into_inner()) = pdp;
-        if let Some(cache) = &self.cache {
-            cache.invalidate_all();
-        }
+        self.engine.reload(pdp);
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &AuthzEngine {
+        &self.engine
     }
 
     /// The decision cache, when this callout was built with one.
     pub fn cache(&self) -> Option<&DecisionCache> {
-        self.cache.as_ref()
+        self.engine.cache()
     }
 
     /// Hit/miss counters, when this callout was built with a cache.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(DecisionCache::stats)
+        self.engine.cache_stats()
     }
 }
 
 impl fmt::Debug for PdpCallout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PdpCallout")
-            .field("name", &self.name)
-            .field("cached", &self.cache.is_some())
+            .field("name", &self.engine.name())
+            .field("cached", &self.engine.cache().is_some())
             .finish()
     }
 }
 
 impl AuthorizationCallout for PdpCallout {
     fn name(&self) -> &str {
-        &self.name
+        self.engine.name()
     }
 
     fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
-        // Hash the request before taking the PDP lock: the digest does not
-        // depend on the policy, so there is no reason to hold readers of a
-        // concurrent reload up for it.
-        let key = self.cache.as_ref().map(|_| crate::cache::request_digest(request));
-        let pdp = self.pdp.read().unwrap_or_else(|e| e.into_inner());
-        let denied = match (&self.cache, key) {
-            (Some(cache), Some(key)) => {
-                cache.decide_keyed(key, &pdp, request).decision().deny_reason().cloned()
-            }
-            _ => pdp.decide(request).decision().deny_reason().cloned(),
-        };
-        match denied {
-            None => Ok(()),
-            Some(reason) => Err(AuthzFailure::Denied(reason)),
-        }
+        self.engine.authorize(request)
+    }
+
+    fn authorize_batch(&self, requests: &[AuthzRequest]) -> Vec<Result<(), AuthzFailure>> {
+        // One snapshot resolution covers the whole batch.
+        self.engine.authorize_batch(requests)
     }
 
     fn policy_updated(&self) {
-        if let Some(cache) = &self.cache {
-            cache.invalidate_all();
-        }
+        self.engine.policy_updated();
     }
 }
 
@@ -173,6 +176,17 @@ impl CalloutChain {
         self.callouts.iter().map(|c| c.name()).collect()
     }
 
+    /// The callouts themselves, in invocation order.
+    pub fn callouts(&self) -> &[Arc<dyn AuthorizationCallout>] {
+        &self.callouts
+    }
+
+    /// Consumes the chain into its callouts (the GRAM server builder
+    /// folds them into its [`AuthzEngine`]).
+    pub fn into_callouts(self) -> Vec<Arc<dyn AuthorizationCallout>> {
+        self.callouts
+    }
+
     /// Runs every callout; the first failure aborts the chain.
     ///
     /// # Errors
@@ -183,6 +197,25 @@ impl CalloutChain {
             callout.authorize(request)?;
         }
         Ok(())
+    }
+
+    /// Authorizes a batch: each callout sees the whole batch (snapshot-
+    /// backed callouts resolve their state once for all elements); a
+    /// request's result is its first failure in callout order. An empty
+    /// chain permits every element.
+    pub fn authorize_batch(&self, requests: &[AuthzRequest]) -> Vec<Result<(), AuthzFailure>> {
+        let mut outcomes: Vec<Result<(), AuthzFailure>> = requests.iter().map(|_| Ok(())).collect();
+        for callout in &self.callouts {
+            if outcomes.iter().all(Result::is_err) {
+                break;
+            }
+            for (outcome, sub) in outcomes.iter_mut().zip(callout.authorize_batch(requests)) {
+                if outcome.is_ok() {
+                    *outcome = sub;
+                }
+            }
+        }
+        outcomes
     }
 
     /// Forwards a policy-environment change to every callout (see

@@ -290,7 +290,7 @@ proptest! {
             // Second iteration is served from the cache; both must agree
             // with a fresh uncached evaluation.
             for _ in 0..2 {
-                prop_assert_eq!(&*cache.decide(&pdp, request), &pdp.decide(request));
+                prop_assert_eq!(&*cache.decide(0, &pdp, request), &pdp.decide(request));
             }
         }
     }

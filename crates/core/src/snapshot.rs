@@ -1,0 +1,509 @@
+//! Epoch-published policy snapshots — the lock-free authorization hot
+//! path.
+//!
+//! The journal version of the paper (cs/0311025) requires policy updates
+//! to take effect promptly *without stalling in-flight requests*, and
+//! §5.2/§6.2 require the callout cost to stay small even when every
+//! management operation is authorized. A reader/writer lock around the
+//! PDP satisfies neither under load: every decision bounces the lock's
+//! cache line, and a reload stalls behind the reader crowd.
+//!
+//! This module replaces the lock with **immutable snapshots published by
+//! atomic pointer swap**:
+//!
+//! * [`PolicySnapshot`] bundles everything a decision needs — the
+//!   combined PDP (each source holding its `Arc`'d compiled program and
+//!   frozen interner) plus the generation that stamps the decision
+//!   cache — into one immutable value. A decision that holds a snapshot
+//!   can never observe a torn policy: all sources and the generation
+//!   travel together.
+//! * [`SnapshotCell`] publishes a snapshot. Readers pay one epoch pin
+//!   (a thread-local atomic plus a fence — see `crossbeam::epoch`) and
+//!   one `Acquire` pointer load; writers build the replacement off-path,
+//!   swap the pointer, and retire the old snapshot through epoch-based
+//!   reclamation so it is freed only after the last in-flight decision
+//!   over it completes. No decision ever blocks a reload; no reload
+//!   ever blocks a decision.
+//! * [`AuthzEngine`] is the facade the PEP and the GRAM server use:
+//!   `decide`/`authorize` for single requests, `decide_batch`/
+//!   `authorize_batch` resolving **one snapshot for a whole batch**
+//!   (the VO-wide jobtag fan-out path), `reload`/`policy_updated` for
+//!   publication. The cache generation is the snapshot's own
+//!   generation — there is no separate counter to fall out of sync.
+
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crossbeam::epoch;
+
+use crate::cache::{request_digest, CacheStats, DecisionCache};
+use crate::combine::{CombinedDecision, CombinedPdp, PolicySource};
+use crate::error::AuthzFailure;
+use crate::pep::AuthorizationCallout;
+use crate::request::AuthzRequest;
+
+/// One immutable, atomically published view of the authorization state.
+///
+/// `pdp: None` is the pass-through (GT2) snapshot: no policy sources are
+/// configured and evaluation permits vacuously — distinct from a
+/// [`CombinedPdp`] with zero sources, which fails closed.
+#[derive(Debug)]
+pub struct PolicySnapshot {
+    pdp: Option<CombinedPdp>,
+    generation: u64,
+}
+
+impl PolicySnapshot {
+    /// The generation this snapshot was published under. Strictly
+    /// monotone across publications of one [`AuthzEngine`]; decision
+    /// cache entries are stamped with it, so swapping a snapshot
+    /// invalidates every decision made under its predecessors.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The combined PDP, or `None` for the pass-through snapshot.
+    pub fn pdp(&self) -> Option<&CombinedPdp> {
+        self.pdp.as_ref()
+    }
+
+    /// The policy sources (empty for the pass-through snapshot).
+    pub fn sources(&self) -> &[PolicySource] {
+        self.pdp.as_ref().map(CombinedPdp::sources).unwrap_or(&[])
+    }
+
+    /// True when this snapshot carries no policy at all.
+    pub fn is_pass_through(&self) -> bool {
+        self.pdp.is_none()
+    }
+
+    /// Evaluates `request` against this snapshot.
+    pub fn decide(&self, request: &AuthzRequest) -> CombinedDecision {
+        match &self.pdp {
+            Some(pdp) => pdp.decide(request),
+            None => CombinedDecision::pass_through(),
+        }
+    }
+}
+
+/// Retired snapshot pointer handed to the epoch collector. The raw
+/// pointer came out of `Arc::into_raw` on a `Send + Sync` payload, so
+/// moving it to whichever thread runs the deferred drop is sound.
+struct Retired<T>(*const T);
+
+unsafe impl<T: Send + Sync> Send for Retired<T> {}
+
+impl<T> Retired<T> {
+    /// Releases the cell's reference.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be an `Arc::into_raw` result whose reference
+    /// has not been released yet, with no reader still dereferencing it
+    /// (the epoch collector guarantees the latter).
+    unsafe fn reclaim(self) {
+        drop(Arc::from_raw(self.0));
+    }
+}
+
+/// An atomically swappable, epoch-protected `Arc<T>` slot.
+///
+/// `load` is the entire read-side protocol of the engine: pin the epoch,
+/// read one pointer with `Acquire`, bump the refcount. No mutex, no
+/// reader/writer lock, no contended compare-and-swap — concurrent
+/// readers scale with cores. `store` swaps the pointer and defers the
+/// old value's drop until every reader pinned at swap time has unpinned.
+pub struct SnapshotCell<T> {
+    ptr: AtomicPtr<T>,
+}
+
+impl<T: Send + Sync + 'static> SnapshotCell<T> {
+    /// A cell initially publishing `value`.
+    pub fn new(value: T) -> SnapshotCell<T> {
+        SnapshotCell { ptr: AtomicPtr::new(Arc::into_raw(Arc::new(value)) as *mut T) }
+    }
+
+    /// The currently published value. Never blocks and never observes a
+    /// half-written value: the pointer swap is the linearization point
+    /// of every publication.
+    pub fn load(&self) -> Arc<T> {
+        let _guard = epoch::pin();
+        let raw = self.ptr.load(Ordering::Acquire);
+        // Safety: `raw` came from `Arc::into_raw`, and the epoch guard
+        // keeps a concurrently retired snapshot alive until we return —
+        // the refcount bump below happens strictly before reclamation.
+        unsafe {
+            Arc::increment_strong_count(raw);
+            Arc::from_raw(raw)
+        }
+    }
+
+    /// Publishes `value`, retiring the previous one through the epoch
+    /// collector once no in-flight `load` can still dereference it.
+    pub fn store(&self, value: T) {
+        let new = Arc::into_raw(Arc::new(value)) as *mut T;
+        let guard = epoch::pin();
+        let retired = Retired(self.ptr.swap(new, Ordering::AcqRel) as *const T);
+        // Safety: the swapped-out pointer is the cell's former
+        // `Arc::into_raw`, and the collector runs the drop only after
+        // every reader pinned at swap time has unpinned.
+        guard.defer(move || unsafe { retired.reclaim() });
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent load exists, reclaim directly.
+        let raw = *self.ptr.get_mut() as *const T;
+        unsafe { drop(Arc::from_raw(raw)) };
+    }
+}
+
+impl<T: fmt::Debug + Send + Sync + 'static> fmt::Debug for SnapshotCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SnapshotCell").field(&self.load()).finish()
+    }
+}
+
+/// The unified policy enforcement engine: snapshot-published PDP state,
+/// an optional decision cache stamped by snapshot generation, and any
+/// number of additional [`AuthorizationCallout`]s run after the PDP.
+///
+/// The steady-state decision path acquires **zero locks**: one epoch pin
+/// and one atomic pointer load resolve the complete policy state
+/// (uncached decisions touch nothing else; cached ones add one sharded
+/// cache probe). Publication — [`reload`](AuthzEngine::reload),
+/// [`policy_updated`](AuthzEngine::policy_updated) — builds the new
+/// snapshot off-path under a writer mutex nothing on the decision path
+/// ever touches.
+pub struct AuthzEngine {
+    name: String,
+    cell: SnapshotCell<PolicySnapshot>,
+    /// Monotone generation source; the *snapshot* carries the published
+    /// value, so decisions and cache stamps can never disagree about it.
+    next_generation: AtomicU64,
+    /// Serializes publishers so a `policy_updated` republish can never
+    /// resurrect a PDP that a concurrent `reload` just replaced.
+    publish: Mutex<()>,
+    cache: Option<DecisionCache>,
+    extras: Vec<Arc<dyn AuthorizationCallout>>,
+}
+
+impl AuthzEngine {
+    fn with_parts(
+        name: impl Into<String>,
+        pdp: Option<CombinedPdp>,
+        cache: Option<DecisionCache>,
+    ) -> AuthzEngine {
+        AuthzEngine {
+            name: name.into(),
+            cell: SnapshotCell::new(PolicySnapshot { pdp, generation: 0 }),
+            next_generation: AtomicU64::new(0),
+            publish: Mutex::new(()),
+            cache,
+            extras: Vec::new(),
+        }
+    }
+
+    /// An uncached engine evaluating `pdp`.
+    pub fn new(name: impl Into<String>, pdp: CombinedPdp) -> AuthzEngine {
+        AuthzEngine::with_parts(name, Some(pdp), None)
+    }
+
+    /// An engine with a decision cache in front of `pdp`; repeated
+    /// identical requests skip evaluation until the next publication.
+    pub fn cached(name: impl Into<String>, pdp: CombinedPdp) -> AuthzEngine {
+        AuthzEngine::with_parts(name, Some(pdp), Some(DecisionCache::new()))
+    }
+
+    /// An engine over `pdp` fronted by a caller-supplied cache.
+    pub fn with_cache(
+        name: impl Into<String>,
+        pdp: CombinedPdp,
+        cache: DecisionCache,
+    ) -> AuthzEngine {
+        AuthzEngine::with_parts(name, Some(pdp), Some(cache))
+    }
+
+    /// The pass-through engine: no policy sources, every request
+    /// permitted — the GT2 baseline. Extra callouts may still deny.
+    pub fn pass_through(name: impl Into<String>) -> AuthzEngine {
+        AuthzEngine::with_parts(name, None, None)
+    }
+
+    /// The engine's configured name (for audit and error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a callout evaluated (in insertion order) after the
+    /// snapshot PDP on every `authorize`.
+    pub fn push_callout(&mut self, callout: Arc<dyn AuthorizationCallout>) {
+        self.extras.push(callout);
+    }
+
+    /// The extra callouts' names, in invocation order.
+    pub fn callout_names(&self) -> Vec<&str> {
+        self.extras.iter().map(|c| c.name()).collect()
+    }
+
+    /// True when authorization is entirely vacuous: a pass-through
+    /// snapshot and no extra callouts. The GRAM server downgrades
+    /// Extended mode to GT2 when its engine is vacuous.
+    pub fn is_vacuous(&self) -> bool {
+        self.extras.is_empty() && self.cell.load().is_pass_through()
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<PolicySnapshot> {
+        self.cell.load()
+    }
+
+    fn publish(&self, pdp: Option<CombinedPdp>) {
+        let _writer = self.publish.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = self.next_generation.fetch_add(1, Ordering::SeqCst) + 1;
+        self.cell.store(PolicySnapshot { pdp, generation });
+    }
+
+    /// Publishes a new combined PDP — the runtime policy-reload path.
+    /// In-flight decisions finish against the snapshot they hold; every
+    /// decision starting after this call sees the new policy, and no
+    /// cached decision from an earlier snapshot is ever served again
+    /// (the generation moved with the pointer).
+    pub fn reload(&self, pdp: CombinedPdp) {
+        self.publish(Some(pdp));
+    }
+
+    /// Notifies the engine that the policy *environment* changed without
+    /// replacing the PDP itself (grid-mapfile swap, credential
+    /// revocation): republishes the current PDP under a fresh
+    /// generation, dropping every cached decision, and forwards the
+    /// notification to the extra callouts.
+    pub fn policy_updated(&self) {
+        {
+            let _writer = self.publish.lock().unwrap_or_else(|e| e.into_inner());
+            let generation = self.next_generation.fetch_add(1, Ordering::SeqCst) + 1;
+            let pdp = self.cell.load().pdp.clone();
+            self.cell.store(PolicySnapshot { pdp, generation });
+        }
+        for callout in &self.extras {
+            callout.policy_updated();
+        }
+    }
+
+    /// Evaluates `request` against the published snapshot (extra
+    /// callouts are not consulted; see [`authorize`](Self::authorize)).
+    pub fn decide(&self, request: &AuthzRequest) -> Arc<CombinedDecision> {
+        let snapshot = self.cell.load();
+        self.decide_under(&snapshot, request)
+    }
+
+    /// Evaluates a batch under **one** snapshot: a single epoch pin and
+    /// pointer load covers every element, and all decisions are
+    /// guaranteed to reflect the same policy generation — a VO-wide
+    /// cancel fan-out can never straddle a reload.
+    pub fn decide_batch(&self, requests: &[AuthzRequest]) -> Vec<Arc<CombinedDecision>> {
+        let snapshot = self.cell.load();
+        requests.iter().map(|request| self.decide_under(&snapshot, request)).collect()
+    }
+
+    fn decide_under(
+        &self,
+        snapshot: &PolicySnapshot,
+        request: &AuthzRequest,
+    ) -> Arc<CombinedDecision> {
+        match &self.cache {
+            Some(cache) => {
+                let key = request_digest(request);
+                let generation = snapshot.generation();
+                if let Some(decision) = cache.lookup(key, generation) {
+                    return decision;
+                }
+                let decision = Arc::new(snapshot.decide(request));
+                cache.insert(key, generation, Arc::clone(&decision));
+                decision
+            }
+            None => Arc::new(snapshot.decide(request)),
+        }
+    }
+
+    fn to_outcome(decision: &CombinedDecision) -> Result<(), AuthzFailure> {
+        match decision.decision().deny_reason() {
+            None => Ok(()),
+            Some(reason) => Err(AuthzFailure::Denied(reason.clone())),
+        }
+    }
+
+    /// Authorizes `request`: the snapshot decision first, then every
+    /// extra callout in order; the first failure wins.
+    pub fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
+        let snapshot = self.cell.load();
+        if !snapshot.is_pass_through() {
+            AuthzEngine::to_outcome(&self.decide_under(&snapshot, request))?;
+        }
+        for callout in &self.extras {
+            callout.authorize(request)?;
+        }
+        Ok(())
+    }
+
+    /// Authorizes a batch under one snapshot. Each extra callout sees
+    /// the whole batch (so a snapshot-backed callout also resolves its
+    /// state once); a request's result is its first failure in callout
+    /// order.
+    pub fn authorize_batch(&self, requests: &[AuthzRequest]) -> Vec<Result<(), AuthzFailure>> {
+        let snapshot = self.cell.load();
+        let mut outcomes: Vec<Result<(), AuthzFailure>> = if snapshot.is_pass_through() {
+            requests.iter().map(|_| Ok(())).collect()
+        } else {
+            requests
+                .iter()
+                .map(|request| AuthzEngine::to_outcome(&self.decide_under(&snapshot, request)))
+                .collect()
+        };
+        for callout in &self.extras {
+            if outcomes.iter().all(Result::is_err) {
+                break;
+            }
+            for (outcome, sub) in outcomes.iter_mut().zip(callout.authorize_batch(requests)) {
+                if outcome.is_ok() {
+                    *outcome = sub;
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// The decision cache, when this engine carries one.
+    pub fn cache(&self) -> Option<&DecisionCache> {
+        self.cache.as_ref()
+    }
+
+    /// Hit/miss counters, when this engine carries a cache.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(DecisionCache::stats)
+    }
+}
+
+impl fmt::Debug for AuthzEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snapshot = self.cell.load();
+        f.debug_struct("AuthzEngine")
+            .field("name", &self.name)
+            .field("generation", &snapshot.generation())
+            .field("pass_through", &snapshot.is_pass_through())
+            .field("cached", &self.cache.is_some())
+            .field("extras", &self.callout_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::{Combiner, PolicyOrigin};
+    use gridauthz_credential::DistinguishedName;
+    use gridauthz_rsl::parse;
+
+    fn request(subject: &str, job: &str) -> AuthzRequest {
+        AuthzRequest::start(
+            subject.parse::<DistinguishedName>().unwrap(),
+            parse(job).unwrap().as_conjunction().unwrap().clone(),
+        )
+    }
+
+    fn pdp(policy: &str) -> CombinedPdp {
+        let source =
+            PolicySource::new("test", PolicyOrigin::ResourceOwner, policy.parse().unwrap());
+        CombinedPdp::new(vec![source], Combiner::DenyOverrides)
+    }
+
+    #[test]
+    fn snapshot_cell_load_returns_published_value() {
+        let cell = SnapshotCell::new(41u64);
+        assert_eq!(*cell.load(), 41);
+        cell.store(42);
+        assert_eq!(*cell.load(), 42);
+    }
+
+    #[test]
+    fn snapshot_cell_old_value_survives_inflight_reader() {
+        let cell = SnapshotCell::new(String::from("first"));
+        let held = cell.load();
+        cell.store(String::from("second"));
+        // The pre-swap Arc stays fully usable after the publication.
+        assert_eq!(*held, "first");
+        assert_eq!(*cell.load(), "second");
+    }
+
+    #[test]
+    fn engine_decides_and_reloads_without_stale_results() {
+        let engine = AuthzEngine::cached("e", pdp("/O=G/CN=Bo: &(action = start)"));
+        let r = request("/O=G/CN=Bo", "&(executable = x)");
+        assert!(engine.authorize(&r).is_ok());
+        assert!(engine.authorize(&r).is_ok()); // cached
+        engine.reload(pdp("/O=G/CN=Kate: &(action = start)"));
+        assert!(engine.authorize(&r).is_err());
+    }
+
+    #[test]
+    fn generations_are_monotone_across_publications() {
+        let engine = AuthzEngine::new("e", pdp("/O=G/CN=Bo: &(action = start)"));
+        let mut last = engine.snapshot().generation();
+        for _ in 0..3 {
+            engine.policy_updated();
+            let now = engine.snapshot().generation();
+            assert!(now > last);
+            last = now;
+        }
+        engine.reload(pdp("/O=G/CN=Bo: &(action = start)"));
+        assert!(engine.snapshot().generation() > last);
+    }
+
+    #[test]
+    fn pass_through_engine_permits_everything() {
+        let engine = AuthzEngine::pass_through("gt2");
+        assert!(engine.is_vacuous());
+        let r = request("/O=G/CN=Anyone", "&(executable = x)");
+        assert!(engine.authorize(&r).is_ok());
+        let d = engine.decide(&r);
+        assert!(d.is_permit());
+        assert!(d.per_source().is_empty());
+    }
+
+    #[test]
+    fn decide_batch_matches_elementwise_decide() {
+        let engine = AuthzEngine::new("e", pdp("/O=G/CN=Bo: &(action = start)(executable = a)"));
+        let requests = vec![
+            request("/O=G/CN=Bo", "&(executable = a)"),
+            request("/O=G/CN=Bo", "&(executable = b)"),
+            request("/O=G/CN=Eve", "&(executable = a)"),
+        ];
+        let batch = engine.decide_batch(&requests);
+        for (request, batched) in requests.iter().zip(&batch) {
+            assert_eq!(**batched, *engine.decide(request));
+        }
+    }
+
+    #[test]
+    fn extra_callouts_run_after_snapshot_and_can_deny() {
+        struct DenyAll;
+        impl AuthorizationCallout for DenyAll {
+            fn name(&self) -> &str {
+                "deny-all"
+            }
+            fn authorize(&self, _: &AuthzRequest) -> Result<(), AuthzFailure> {
+                Err(AuthzFailure::Denied(crate::decision::DenyReason::NoApplicableGrant))
+            }
+        }
+        let mut engine = AuthzEngine::new("e", pdp("/O=G/CN=Bo: &(action = start)"));
+        engine.push_callout(Arc::new(DenyAll));
+        assert!(!engine.is_vacuous());
+        assert_eq!(engine.callout_names(), vec!["deny-all"]);
+        let r = request("/O=G/CN=Bo", "&(executable = x)");
+        assert!(engine.authorize(&r).is_err());
+        let batch = engine.authorize_batch(std::slice::from_ref(&r));
+        assert!(batch[0].is_err());
+    }
+}

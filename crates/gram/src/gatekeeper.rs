@@ -10,7 +10,12 @@ use gridauthz_credential::{
 use crate::protocol::GramError;
 
 /// The trusted front door of a GRAM resource.
-#[derive(Debug)]
+///
+/// `Clone` supports the server's swap-on-update publication: an
+/// administrative change clones the current gatekeeper, mutates the
+/// clone off-path, and atomically publishes it, so authentication never
+/// waits on a grid-mapfile swap or CRL load.
+#[derive(Debug, Clone)]
 pub struct Gatekeeper {
     trust: TrustStore,
     gridmap: GridMapFile,

@@ -45,5 +45,5 @@ pub use gatekeeper::Gatekeeper;
 pub use jobspec::{job_spec_from_rsl, normalize_job};
 pub use protocol::{GramError, GramSignal, JobContact, JobReport};
 pub use provisioning::{AccountStrategy, JobOperation};
-pub use server::{GramMode, GramServer, GramServerBuilder};
+pub use server::{GramMode, GramServer, GramServerBuilder, SweepOutcomes};
 pub use shard::ShardedMap;

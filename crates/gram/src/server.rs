@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Mutex, RwLock};
 
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
-use gridauthz_core::{Action, AuthzFailure, AuthzRequest, CalloutChain, DenyReason};
+use gridauthz_core::{
+    Action, AuthzEngine, AuthzFailure, AuthzRequest, CalloutChain, DenyReason, SnapshotCell,
+};
 use gridauthz_credential::{
     Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
 };
@@ -33,6 +35,11 @@ pub enum GramMode {
     /// and signal a running job".
     Extended,
 }
+
+/// Per-job outcomes of a VO-wide sweep
+/// ([`cancel_by_tag`](GramServer::cancel_by_tag),
+/// [`status_by_tag`](GramServer::status_by_tag)), in working-set order.
+pub type SweepOutcomes<T> = Vec<(JobContact, Result<T, GramError>)>;
 
 /// One Job Manager Instance's record: who started the job, its tag, its
 /// description, and the local job it drives.
@@ -152,9 +159,17 @@ impl GramServerBuilder {
         for queue in self.queues {
             scheduler.add_queue(queue);
         }
+        // The configured chain folds into one AuthzEngine: PDP-backed
+        // callouts keep their own snapshots; the server-level engine is
+        // pass-through (GT2's "Job Manager does no evaluation") with the
+        // chain's callouts as its post-snapshot stages.
+        let mut engine = AuthzEngine::pass_through(self.resource_name.clone());
+        for callout in self.callouts.into_callouts() {
+            engine.push_callout(callout);
+        }
         let mut mode = self.mode;
         let mut audit = AuditLog::new(4096);
-        if mode == GramMode::Extended && self.callouts.is_empty() {
+        if mode == GramMode::Extended && engine.is_vacuous() {
             mode = GramMode::Gt2;
             audit.record(AuditRecord {
                 at: self.clock.now(),
@@ -171,17 +186,36 @@ impl GramServerBuilder {
         }
         GramServer {
             resource_name: self.resource_name,
-            gatekeeper: RwLock::new(Gatekeeper::new(self.trust, self.gridmap, &self.clock)),
-            callouts: self.callouts,
+            gatekeeper: SnapshotCell::new(Gatekeeper::new(self.trust, self.gridmap, &self.clock)),
+            engine,
             mode,
             jobs: ShardedMap::new(),
             locals: ShardedMap::new(),
             scheduler: RwLock::new(scheduler),
-            accounts: RwLock::new(self.accounts),
+            accounts: Accounts::from(self.accounts),
             sandboxing: self.sandboxing,
             audit: Mutex::new(audit),
             clock: self.clock,
             next_job: AtomicU64::new(1),
+            admin: Mutex::new(()),
+        }
+    }
+}
+
+/// Account resolution state, narrowed from a whole-strategy
+/// reader/writer lock: the grid-map-only path shares no mutable state
+/// and takes no lock at all; only the dynamic pool's lease table needs
+/// mutual exclusion, and only while a lease is resolved.
+enum Accounts {
+    GridMapOnly,
+    DynamicPool(Mutex<DynamicAccountPool>),
+}
+
+impl From<AccountStrategy> for Accounts {
+    fn from(strategy: AccountStrategy) -> Accounts {
+        match strategy {
+            AccountStrategy::GridMapOnly => Accounts::GridMapOnly,
+            AccountStrategy::DynamicPool(pool) => Accounts::DynamicPool(Mutex::new(pool)),
         }
     }
 }
@@ -190,17 +224,31 @@ impl GramServerBuilder {
 /// benchmarks (experiment T5).
 pub struct GramServer {
     resource_name: String,
-    gatekeeper: RwLock<Gatekeeper>,
-    callouts: CalloutChain,
+    /// Swap-on-update: every request loads one epoch-protected pointer;
+    /// administrative changes (grid-mapfile swap, CRL load) clone the
+    /// gatekeeper, mutate the clone, and publish it under `admin`.
+    /// Authentication never blocks on administration.
+    gatekeeper: SnapshotCell<Gatekeeper>,
+    /// The authorization engine: snapshot-published policy plus the
+    /// configured callouts, lock-free on the decision path.
+    engine: AuthzEngine,
     mode: GramMode,
     jobs: ShardedMap<String, JmiRecord>,
     locals: ShardedMap<JobId, String>,
+    /// Deliberately still a lock: the discrete-event scheduler mutates
+    /// shared queue/placement state on nearly every call (even status
+    /// polls race against `catch_up`), so swap-on-update would copy the
+    /// whole cluster per operation. The critical sections are short and
+    /// sit *after* authorization, off the decision path.
     scheduler: RwLock<LocalScheduler>,
-    accounts: RwLock<AccountStrategy>,
+    accounts: Accounts,
     sandboxing: bool,
     audit: Mutex<AuditLog>,
     clock: SimClock,
     next_job: AtomicU64,
+    /// Serializes gatekeeper clone-modify-publish sequences so two
+    /// concurrent administrative updates cannot lose each other's write.
+    admin: Mutex<()>,
 }
 
 impl std::fmt::Debug for GramServer {
@@ -224,28 +272,38 @@ impl GramServer {
         self.mode
     }
 
-    /// Administrative access to the gatekeeper's grid-mapfile. The
+    /// Administrative access to the gatekeeper's grid-mapfile: a new
+    /// gatekeeper is built off-path and published by pointer swap. The
     /// authorization basis changed, so cached decisions are invalidated
-    /// (generation bump through the callout chain).
+    /// (the engine republishes under a fresh generation).
     pub fn set_gridmap(&self, gridmap: GridMapFile) {
-        self.gatekeeper.write().set_gridmap(gridmap);
-        self.callouts.policy_updated();
+        let _admin = self.admin.lock();
+        let mut gatekeeper = (*self.gatekeeper.load()).clone();
+        gatekeeper.set_gridmap(gridmap);
+        self.gatekeeper.store(gatekeeper);
+        self.engine.policy_updated();
     }
 
     /// Loads one CRL entry: credentials whose chain includes the
     /// certificate with `serial` issued by `issuer` stop authenticating
-    /// immediately. Cached decisions are invalidated alongside.
+    /// as soon as the updated gatekeeper is published — in-flight
+    /// requests finish against the snapshot they hold; every later
+    /// request sees the revocation. Cached decisions are invalidated
+    /// alongside.
     pub fn revoke_credential(&self, issuer: &DistinguishedName, serial: u64) {
-        self.gatekeeper.write().trust_mut().revoke(issuer, serial);
-        self.callouts.policy_updated();
+        let _admin = self.admin.lock();
+        let mut gatekeeper = (*self.gatekeeper.load()).clone();
+        gatekeeper.trust_mut().revoke(issuer, serial);
+        self.gatekeeper.store(gatekeeper);
+        self.engine.policy_updated();
     }
 
-    /// Notifies the callout chain that policy changed outside the
-    /// server's own administrative entry points (e.g. a VO pushed a
-    /// dynamic policy update into a shared PDP). Cached decisions made
-    /// under the previous policy stop being served immediately.
+    /// Notifies the engine that policy changed outside the server's own
+    /// administrative entry points (e.g. a VO pushed a dynamic policy
+    /// update into a shared PDP). Cached decisions made under the
+    /// previous policy stop being served immediately.
     pub fn policy_updated(&self) {
-        self.callouts.policy_updated();
+        self.engine.policy_updated();
     }
 
     /// Submits a job (`action = start`).
@@ -266,7 +324,7 @@ impl GramServer {
         requested_account: Option<&str>,
         work: SimDuration,
     ) -> Result<JobContact, GramError> {
-        let identity = self.gatekeeper.read().authenticate(chain)?;
+        let identity = self.gatekeeper.load().authenticate(chain)?;
         let subject = identity.subject().clone();
         let result = self.submit_authenticated(&identity, rsl_text, requested_account, work);
         self.record_audit(
@@ -295,11 +353,11 @@ impl GramServer {
         // precedes everything the Job Manager does. With a dynamic pool,
         // unmapped identities legitimately pass the gate (§7) and are
         // provisioned after policy authorization succeeds.
-        let premapped = match &*self.accounts.read() {
-            AccountStrategy::GridMapOnly => {
-                Some(self.gatekeeper.read().authorize_and_map(&subject, requested_account)?)
+        let premapped = match &self.accounts {
+            Accounts::GridMapOnly => {
+                Some(self.gatekeeper.load().authorize_and_map(&subject, requested_account)?)
             }
-            AccountStrategy::DynamicPool(_) => None,
+            Accounts::DynamicPool(_) => None,
         };
 
         let spec = gridauthz_rsl::parse(rsl_text)
@@ -431,16 +489,7 @@ impl GramServer {
         let authz = self.authorize_management(&identity, &record, Action::Information);
         self.record_audit(identity.subject(), Action::Information, Some(contact.as_str()), &authz);
         authz?;
-        let status = self.scheduler.read().status(record.local)?;
-        Ok(JobReport {
-            contact: record.contact.clone(),
-            owner: record.owner.clone(),
-            jobtag: record.jobtag.clone(),
-            account: record.account.clone(),
-            state: status.state,
-            executed: status.executed,
-            submitted: status.submitted,
-        })
+        self.report_for(&record)
     }
 
     /// Delivers a management signal (`action = signal`): suspend, resume
@@ -475,12 +524,31 @@ impl GramServer {
         chain: &[Certificate],
         contact: &JobContact,
     ) -> Result<(VerifiedIdentity, JmiRecord), GramError> {
-        let identity = self.gatekeeper.read().authenticate(chain)?;
+        let identity = self.gatekeeper.load().authenticate(chain)?;
         let record = self
             .jobs
             .get_cloned(contact.as_str())
             .ok_or_else(|| GramError::UnknownJob(contact.clone()))?;
         Ok((identity, record))
+    }
+
+    /// The authorization request for a management action on one job —
+    /// shared by the single-job and fan-out paths so both are judged on
+    /// identical evidence.
+    fn management_request(
+        identity: &VerifiedIdentity,
+        record: &JmiRecord,
+        action: Action,
+    ) -> AuthzRequest {
+        AuthzRequest::manage(
+            identity.subject().clone(),
+            action,
+            record.owner.clone(),
+            record.jobtag.clone(),
+        )
+        .with_job(record.rsl.clone())
+        .with_job_id(record.contact.as_str())
+        .with_restrictions(restriction_values(identity))
     }
 
     fn authorize_management(
@@ -501,37 +569,147 @@ impl GramServer {
                 }
             }
             GramMode::Extended => {
-                let request = AuthzRequest::manage(
-                    identity.subject().clone(),
-                    action,
-                    record.owner.clone(),
-                    record.jobtag.clone(),
-                )
-                .with_job(record.rsl.clone())
-                .with_job_id(record.contact.as_str())
-                .with_restrictions(restriction_values(identity));
-                self.authorize(&request)
+                self.authorize(&GramServer::management_request(identity, record, action))
+            }
+        }
+    }
+
+    /// Authorizes one management action per record. In extended mode the
+    /// whole batch is judged through [`AuthzEngine::authorize_batch`],
+    /// i.e. against **one** policy snapshot: a VO-wide sweep can never
+    /// see the pre-reload policy for some jobs and the post-reload
+    /// policy for others.
+    fn authorize_management_batch(
+        &self,
+        identity: &VerifiedIdentity,
+        records: &[JmiRecord],
+        action: Action,
+    ) -> Vec<Result<(), GramError>> {
+        match self.mode {
+            GramMode::Gt2 => records
+                .iter()
+                .map(|record| {
+                    if identity.subject() == &record.owner {
+                        Ok(())
+                    } else {
+                        Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+                    }
+                })
+                .collect(),
+            GramMode::Extended => {
+                let requests: Vec<AuthzRequest> = records
+                    .iter()
+                    .map(|record| GramServer::management_request(identity, record, action))
+                    .collect();
+                self.engine
+                    .authorize_batch(&requests)
+                    .into_iter()
+                    .map(|outcome| outcome.map_err(authz_failure_to_error))
+                    .collect()
             }
         }
     }
 
     fn authorize(&self, request: &AuthzRequest) -> Result<(), GramError> {
-        self.callouts.authorize(request).map_err(|failure| match failure {
-            AuthzFailure::Denied(reason) => GramError::NotAuthorized(reason),
-            AuthzFailure::SystemError(msg) => GramError::AuthorizationSystemFailure(msg),
-        })
+        self.engine.authorize(request).map_err(authz_failure_to_error)
     }
 
     /// Contacts of non-terminal jobs carrying `tag` — the VO-wide
     /// management working set (requirement 3 of §2).
     pub fn jobs_with_tag(&self, tag: &str) -> Vec<JobContact> {
+        self.tagged_records(tag).into_iter().map(|record| record.contact).collect()
+    }
+
+    /// The live records behind [`jobs_with_tag`](Self::jobs_with_tag).
+    fn tagged_records(&self, tag: &str) -> Vec<JmiRecord> {
         self.scheduler
             .read()
             .jobs_with_tag(tag)
             .into_iter()
             .filter_map(|local| self.locals.get_cloned(&local))
-            .filter_map(|contact| self.jobs.with(&contact, |record| record.contact.clone()))
+            .filter_map(|contact| self.jobs.get_cloned(&contact))
             .collect()
+    }
+
+    /// Cancels every live job carrying `tag` the caller is authorized to
+    /// manage — requirement 3 of §2 ("allow actions on sets of jobs
+    /// sharing a tag") as one operation. The fan-out is authorized as a
+    /// batch under a single policy snapshot, then applied per job;
+    /// outcomes come back in working-set order and every job is audited
+    /// individually.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthenticationFailed`] when the chain does not
+    /// verify; per-job errors are reported in the result vector.
+    pub fn cancel_by_tag(
+        &self,
+        chain: &[Certificate],
+        tag: &str,
+    ) -> Result<SweepOutcomes<()>, GramError> {
+        let identity = self.gatekeeper.load().authenticate(chain)?;
+        let targets = self.tagged_records(tag);
+        let verdicts = self.authorize_management_batch(&identity, &targets, Action::Cancel);
+        Ok(targets
+            .into_iter()
+            .zip(verdicts)
+            .map(|(record, verdict)| {
+                let result =
+                    verdict.and_then(|()| Ok(self.scheduler.write().cancel(record.local)?));
+                self.record_audit(
+                    identity.subject(),
+                    Action::Cancel,
+                    Some(record.contact.as_str()),
+                    &result,
+                );
+                (record.contact, result)
+            })
+            .collect())
+    }
+
+    /// Reports every live job carrying `tag` the caller is authorized to
+    /// query — the admin's poll loop over a VO working set, authorized
+    /// as one batch under a single policy snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthenticationFailed`] when the chain does not
+    /// verify; per-job errors are reported in the result vector.
+    pub fn status_by_tag(
+        &self,
+        chain: &[Certificate],
+        tag: &str,
+    ) -> Result<SweepOutcomes<JobReport>, GramError> {
+        let identity = self.gatekeeper.load().authenticate(chain)?;
+        let targets = self.tagged_records(tag);
+        let verdicts = self.authorize_management_batch(&identity, &targets, Action::Information);
+        Ok(targets
+            .into_iter()
+            .zip(verdicts)
+            .map(|(record, verdict)| {
+                let result = verdict.and_then(|()| self.report_for(&record));
+                self.record_audit(
+                    identity.subject(),
+                    Action::Information,
+                    Some(record.contact.as_str()),
+                    &result,
+                );
+                (record.contact, result)
+            })
+            .collect())
+    }
+
+    fn report_for(&self, record: &JmiRecord) -> Result<JobReport, GramError> {
+        let status = self.scheduler.read().status(record.local)?;
+        Ok(JobReport {
+            contact: record.contact.clone(),
+            owner: record.owner.clone(),
+            jobtag: record.jobtag.clone(),
+            account: record.account.clone(),
+            state: status.state,
+            executed: status.executed,
+            submitted: status.submitted,
+        })
     }
 
     fn record_audit<T>(
@@ -575,18 +753,19 @@ impl GramServer {
         requested_account: Option<&str>,
         job: &Conjunction,
     ) -> Result<String, GramError> {
-        let mapped = self.gatekeeper.read().authorize_and_map(subject, requested_account);
-        match (mapped, &mut *self.accounts.write()) {
+        let mapped = self.gatekeeper.load().authorize_and_map(subject, requested_account);
+        match (mapped, &self.accounts) {
             (Ok(account), _) => Ok(account),
             (Err(e @ GramError::AccountNotPermitted { .. }), _) => Err(e),
-            (Err(e), AccountStrategy::GridMapOnly) => Err(e),
-            (Err(_), AccountStrategy::DynamicPool(pool)) => {
+            (Err(e), Accounts::GridMapOnly) => Err(e),
+            (Err(_), Accounts::DynamicPool(pool)) => {
                 if let Some(account) = requested_account {
                     return Err(GramError::AccountNotPermitted {
                         subject: subject.clone(),
                         account: account.to_string(),
                     });
                 }
+                let mut pool = pool.lock();
                 let lease = pool
                     .lease(subject, request_groups(job), self.clock.now())
                     .map_err(|e| GramError::ProvisioningFailed(e.to_string()))?;
@@ -731,6 +910,13 @@ impl GramServer {
 
 fn restriction_values(identity: &VerifiedIdentity) -> Vec<String> {
     identity.restrictions().iter().map(|e| e.value.clone()).collect()
+}
+
+fn authz_failure_to_error(failure: AuthzFailure) -> GramError {
+    match failure {
+        AuthzFailure::Denied(reason) => GramError::NotAuthorized(reason),
+        AuthzFailure::SystemError(msg) => GramError::AuthorizationSystemFailure(msg),
+    }
 }
 
 #[cfg(test)]
@@ -923,7 +1109,8 @@ mod tests {
         let oracle = Pdp::interpreted(paper::figure3_policy());
         assert!(compiled.is_compiled());
 
-        let submissions: [(fn(&Fixture) -> &Credential, &str); 8] = [
+        type Requester = fn(&Fixture) -> &Credential;
+        let submissions: [(Requester, &str); 8] = [
             (|f| &f.bo, BO_TEST1),
             (|f| &f.bo, KATE_TRANSP),
             (
@@ -1067,6 +1254,85 @@ mod tests {
         f.server.cancel(f.kate.chain(), &c1).unwrap();
         assert_eq!(f.server.jobs_with_tag("NFC").len(), 1);
         assert!(f.server.jobs_with_tag("ADS").is_empty());
+    }
+
+    #[test]
+    fn cancel_by_tag_sweeps_only_authorized_jobs() {
+        let f = fixture(GramMode::Extended);
+        // Two NFC jobs (Bo's and Kate's) and one ADS job.
+        f.server
+            .submit(
+                f.bo.chain(),
+                "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+                None,
+                mins(60),
+            )
+            .unwrap();
+        f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(60)).unwrap();
+        f.server.submit(f.bo.chain(), BO_TEST1, None, mins(60)).unwrap();
+
+        // Kate's Figure 3 cancel grant covers every NFC job: the whole
+        // working set cancels in one authenticated, batch-authorized call.
+        let outcomes = f.server.cancel_by_tag(f.kate.chain(), "NFC").unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|(_, r)| r.is_ok()), "{outcomes:?}");
+        assert!(f.server.jobs_with_tag("NFC").is_empty());
+        assert_eq!(f.server.jobs_with_tag("ADS").len(), 1);
+
+        // The grant does not extend to ADS: the sweep runs but every
+        // element is individually denied, and nothing is cancelled.
+        let outcomes = f.server.cancel_by_tag(f.kate.chain(), "ADS").unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0].1, Err(GramError::NotAuthorized(_))));
+        assert_eq!(f.server.jobs_with_tag("ADS").len(), 1);
+    }
+
+    #[test]
+    fn status_by_tag_respects_gt2_owner_only_management() {
+        let f = fixture(GramMode::Gt2);
+        let bo_job = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(60)).unwrap();
+        let kate_job = f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(60)).unwrap();
+
+        // GT2 has no jobtag grants: each requester sees only their own
+        // job's report; the other element is a per-job owner denial.
+        let mut outcomes = f.server.status_by_tag(f.bo.chain(), "ADS").unwrap();
+        assert_eq!(outcomes.len(), 1);
+        let (contact, report) = outcomes.remove(0);
+        assert_eq!(contact, bo_job);
+        assert_eq!(report.unwrap().account, "bliu");
+
+        let outcomes = f.server.status_by_tag(f.bo.chain(), "NFC").unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].0, kate_job);
+        assert!(matches!(outcomes[0].1, Err(GramError::NotAuthorized(DenyReason::NotJobOwner))));
+        // Unauthenticated sweeps fail before touching the working set.
+        let rogue_clock = SimClock::new();
+        let rogue_ca = CertificateAuthority::new_root("/O=Rogue/CN=CA", &rogue_clock).unwrap();
+        let rogue = rogue_ca.issue_identity("/O=Rogue/CN=Eve", SimDuration::from_hours(1)).unwrap();
+        assert!(matches!(
+            f.server.status_by_tag(rogue.chain(), "NFC"),
+            Err(GramError::AuthenticationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn by_tag_sweeps_are_audited_per_job() {
+        let f = fixture(GramMode::Extended);
+        f.server
+            .submit(
+                f.bo.chain(),
+                "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)",
+                None,
+                mins(60),
+            )
+            .unwrap();
+        f.server.submit(f.kate.chain(), KATE_TRANSP, None, mins(60)).unwrap();
+        let before = f.server.audit_snapshot().len();
+        f.server.cancel_by_tag(f.kate.chain(), "NFC").unwrap();
+        let audit = f.server.audit_snapshot();
+        // One record per swept job, each naming its contact.
+        assert_eq!(audit.len(), before + 2);
+        assert!(audit[before..].iter().all(|r| r.action == Action::Cancel && r.job.is_some()));
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Stress tests for the epoch-published snapshot path (DESIGN.md's
+//! "Epoch-published snapshots"): decision floods racing rapid policy
+//! publication must never
+//!
+//! 1. serve a **stale permit after an acknowledged revocation** — once
+//!    `reload`/`revoke_credential` has returned, every subsequently
+//!    *started* decision reflects the new state, and
+//! 2. observe a **torn snapshot** — a decision's per-source breakdown
+//!    (and every element of one `decide_batch`) always comes from a
+//!    single publication, never a mix of generations.
+//!
+//! A property test additionally pins `decide_batch` to element-wise
+//! `decide` over arbitrary request mixes.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_core::{
+    paper, Action, AuthzEngine, AuthzRequest, CalloutChain, CombinedPdp, Combiner, PdpCallout,
+    PolicyOrigin, PolicySource,
+};
+use gridauthz_credential::{
+    CertificateAuthority, Credential, GridMapEntry, GridMapFile, TrustStore,
+};
+use gridauthz_gram::{GramError, GramServer, GramServerBuilder};
+use gridauthz_rsl::Conjunction;
+
+use proptest::prelude::*;
+
+fn conj(text: &str) -> Conjunction {
+    gridauthz_rsl::parse(text).unwrap().as_conjunction().unwrap().clone()
+}
+
+/// A combined PDP whose every source name carries the publication
+/// version (`s<i>@<version>`): any decision mixing versions across its
+/// per-source entries must have straddled two publications.
+fn versioned_pdp(sources: usize, version: u64) -> CombinedPdp {
+    let policy = format!("{}: &(action = start)(executable = test1)", paper::BO_LIU_DN);
+    let sources = (0..sources)
+        .map(|i| {
+            PolicySource::new(
+                format!("s{i}@{version}"),
+                PolicyOrigin::VirtualOrganization(format!("vo-{i}")),
+                policy.parse().unwrap(),
+            )
+        })
+        .collect();
+    CombinedPdp::new(sources, Combiner::DenyOverrides)
+}
+
+/// The version stamp a per-source entry was published under.
+fn version_of(source_name: &str) -> &str {
+    source_name.split('@').nth(1).expect("versioned source name")
+}
+
+/// Every per-source entry of `decision-like` breakdowns must carry one
+/// version; returns it.
+fn sole_version<'a>(per_source: impl Iterator<Item = &'a str>) -> String {
+    let versions: HashSet<&str> = per_source.map(version_of).collect();
+    assert_eq!(versions.len(), 1, "torn snapshot: mixed versions {versions:?}");
+    versions.into_iter().next().unwrap().to_string()
+}
+
+#[test]
+fn floods_never_observe_torn_snapshots() {
+    const SOURCES: usize = 4;
+    const PUBLICATIONS: u64 = 400;
+    let engine = AuthzEngine::new("torn", versioned_pdp(SOURCES, 0));
+    let request = AuthzRequest::start(paper::bo_liu(), conj("&(executable = test1)(count = 1)"));
+    let batch: Vec<AuthzRequest> = (0..8).map(|_| request.clone()).collect();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for version in 1..=PUBLICATIONS {
+                engine.reload(versioned_pdp(SOURCES, version));
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        for _ in 0..3 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    // A single decision never mixes versions.
+                    let decision = engine.decide(&request);
+                    assert_eq!(decision.per_source().len(), SOURCES);
+                    sole_version(decision.per_source().iter().map(|(name, _)| name.as_ref()));
+
+                    // A batch resolves one snapshot: every element of
+                    // every decision agrees on the version.
+                    let decisions = engine.decide_batch(&batch);
+                    assert_eq!(decisions.len(), batch.len());
+                    sole_version(
+                        decisions
+                            .iter()
+                            .flat_map(|d| d.per_source().iter().map(|(name, _)| name.as_ref())),
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn no_stale_permit_after_acknowledged_reload() {
+    let grant = format!("{}: &(action = start)(executable = test1)", paper::BO_LIU_DN);
+    let revoked_policy = format!("{}: &(action = start)", paper::KATE_KEAHEY_DN);
+    let pdp = |text: &str| {
+        CombinedPdp::new(
+            vec![PolicySource::new("local", PolicyOrigin::ResourceOwner, text.parse().unwrap())],
+            Combiner::DenyOverrides,
+        )
+    };
+    // A *cached* engine: the dangerous stale state is a cached permit
+    // stamped under the pre-revocation generation.
+    let engine = AuthzEngine::cached("stale", pdp(&grant));
+    let request = AuthzRequest::start(paper::bo_liu(), conj("&(executable = test1)(count = 1)"));
+    assert!(engine.authorize(&request).is_ok());
+
+    let revoked = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..5_000 {
+                    // Order matters: read the acknowledgement flag
+                    // *before* deciding. If the flag was already set, the
+                    // decision started after the reload returned and must
+                    // deny.
+                    let acknowledged = revoked.load(Ordering::SeqCst);
+                    let outcome = engine.authorize(&request);
+                    if acknowledged {
+                        assert!(outcome.is_err(), "stale permit served after revocation");
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            // Let the flood warm the cache, then yank the grant.
+            std::thread::yield_now();
+            engine.reload(pdp(&revoked_policy));
+            revoked.store(true, Ordering::SeqCst);
+        });
+    });
+    assert!(engine.authorize(&request).is_err());
+}
+
+struct Grid {
+    bo: Credential,
+    kate: Credential,
+    server: GramServer,
+}
+
+fn grid() -> Grid {
+    let clock = SimClock::new();
+    let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone());
+    let day = SimDuration::from_hours(24);
+    let bo = ca.issue_identity(paper::BO_LIU_DN, day).unwrap();
+    let kate = ca.issue_identity(paper::KATE_KEAHEY_DN, day).unwrap();
+    let mut gridmap = GridMapFile::new();
+    gridmap.insert(GridMapEntry::new(paper::bo_liu(), vec!["bliu".into()]));
+    gridmap.insert(GridMapEntry::new(paper::kate_keahey(), vec!["keahey".into()]));
+
+    let mut chain = CalloutChain::new();
+    chain.push(std::sync::Arc::new(PdpCallout::cached(
+        "fig3",
+        CombinedPdp::new(
+            vec![PolicySource::new(
+                "fusion-vo",
+                PolicyOrigin::VirtualOrganization("fusion".into()),
+                paper::figure3_policy(),
+            )],
+            Combiner::DenyOverrides,
+        ),
+    )));
+    let server = GramServerBuilder::new("anl-cluster", &clock)
+        .trust(trust)
+        .gridmap(gridmap)
+        .cluster(gridauthz_scheduler::Cluster::uniform(64, 8, 16_384))
+        .callouts(chain)
+        .build();
+    Grid { bo, kate, server }
+}
+
+#[test]
+fn credential_revocation_is_immediate_once_acknowledged() {
+    let g = grid();
+    let job = "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 1)";
+    let contact = g.server.submit(g.bo.chain(), job, None, SimDuration::from_hours(2)).unwrap();
+    // Kate's Figure 3 cancel grant covers NFC; warm a status path too.
+    assert!(matches!(g.server.status(g.kate.chain(), &contact), Err(GramError::NotAuthorized(_))));
+
+    let issuer = g.kate.certificate().issuer().clone();
+    let serial = g.kate.certificate().serial();
+    let revoked = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                for _ in 0..400 {
+                    let acknowledged = revoked.load(Ordering::SeqCst);
+                    let outcome = g.server.cancel_by_tag(g.kate.chain(), "NFC");
+                    if acknowledged {
+                        // The swapped-in gatekeeper refuses the chain
+                        // before any job is touched.
+                        assert!(
+                            matches!(outcome, Err(GramError::AuthenticationFailed(_))),
+                            "revoked credential still served: {outcome:?}"
+                        );
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            std::thread::yield_now();
+            g.server.revoke_credential(&issuer, serial);
+            revoked.store(true, Ordering::SeqCst);
+        });
+    });
+
+    // Steady state: Kate is gone; Bo's credential still authenticates
+    // (his status denial is policy-level — Figure 3 grants him no
+    // information action — not an authentication failure).
+    assert!(matches!(
+        g.server.status(g.kate.chain(), &contact),
+        Err(GramError::AuthenticationFailed(_))
+    ));
+    assert!(matches!(g.server.status(g.bo.chain(), &contact), Err(GramError::NotAuthorized(_))));
+}
+
+/// One arbitrary management/startup request.
+fn arb_request() -> impl Strategy<Value = AuthzRequest> {
+    let subjects =
+        prop_oneof![Just(paper::bo_liu()), Just(paper::kate_keahey()), Just(paper::outsider())];
+    let executables = prop_oneof![Just("test1"), Just("test2"), Just("TRANSP"), Just("rogue")];
+    let tags = prop_oneof![Just(Some("NFC")), Just(Some("ADS")), Just(None)];
+    (subjects, executables, tags, 1u32..9, any::<bool>()).prop_map(
+        |(subject, executable, tag, count, manage)| {
+            if manage {
+                AuthzRequest::manage(
+                    subject,
+                    Action::Cancel,
+                    paper::bo_liu(),
+                    tag.map(str::to_string),
+                )
+            } else {
+                let tag_clause = tag.map(|t| format!("(jobtag = {t})")).unwrap_or_default();
+                AuthzRequest::start(
+                    subject,
+                    conj(&format!(
+                        "&(executable = {executable})(directory = /sandbox/test){tag_clause}(count = {count})"
+                    )),
+                )
+            }
+        },
+    )
+}
+
+proptest! {
+    /// `decide_batch` is element-wise `decide` (and `authorize_batch`
+    /// element-wise `authorize`) for every request mix — the batch API
+    /// changes consistency guarantees, never outcomes.
+    #[test]
+    fn batch_apis_match_elementwise(requests in proptest::collection::vec(arb_request(), 1..12)) {
+        let engine = AuthzEngine::new(
+            "prop",
+            CombinedPdp::new(
+                vec![PolicySource::new(
+                    "fig3",
+                    PolicyOrigin::VirtualOrganization("fusion".into()),
+                    paper::figure3_policy(),
+                )],
+                Combiner::DenyOverrides,
+            ),
+        );
+        let batch = engine.decide_batch(&requests);
+        prop_assert_eq!(batch.len(), requests.len());
+        for (request, batched) in requests.iter().zip(&batch) {
+            prop_assert_eq!(&**batched, &*engine.decide(request));
+        }
+        for (request, batched) in requests.iter().zip(engine.authorize_batch(&requests)) {
+            prop_assert_eq!(batched.is_ok(), engine.authorize(request).is_ok());
+        }
+    }
+}

@@ -172,6 +172,55 @@ impl Interner {
         let distinct: std::collections::HashSet<Symbol> = self.names.values().copied().collect();
         distinct.len() as u32
     }
+
+    /// Seals the interner into a read-only [`FrozenInterner`] that can be
+    /// shared across threads behind an `Arc`. Freezing is the handoff
+    /// point between the compile phase (which interns) and the decision
+    /// phase (which only looks up): a frozen table can never grow, so
+    /// concurrent readers need no synchronization at all.
+    pub fn freeze(self) -> FrozenInterner {
+        FrozenInterner { inner: self }
+    }
+}
+
+/// A sealed, lookup-only symbol table produced by [`Interner::freeze`].
+///
+/// Exposes only the read half of the [`Interner`] API. Policy snapshots
+/// hold one of these behind an `Arc` so every decision thread resolves
+/// request attributes against the same immutable table without copying
+/// it or locking it.
+#[derive(Debug, Clone)]
+pub struct FrozenInterner {
+    inner: Interner,
+}
+
+impl FrozenInterner {
+    /// The symbol for `name`, if a case-folded equivalent was interned.
+    pub fn lookup_name(&self, name: &str) -> Symbol {
+        self.inner.lookup_name(name)
+    }
+
+    /// The symbol for `value`, if interned.
+    pub fn lookup_value(&self, value: &Value) -> Symbol {
+        self.inner.lookup_value(value)
+    }
+
+    /// Number of distinct interned values; request-local overflow symbols
+    /// start here.
+    pub fn value_count(&self) -> u32 {
+        self.inner.value_count()
+    }
+
+    /// Number of distinct interned (case-folded) names.
+    pub fn name_count(&self) -> u32 {
+        self.inner.name_count()
+    }
+
+    /// Reopens the table for interning (clones the maps). Used when a
+    /// policy is recompiled starting from an existing symbol universe.
+    pub fn thaw(&self) -> Interner {
+        self.inner.clone()
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ pub mod intern;
 pub use ast::{Attribute, Clause, Conjunction, RelOp, Relation, Rsl, Value};
 pub use builder::RslBuilder;
 pub use error::RslError;
-pub use intern::{FxBuildHasher, Interner, Symbol};
+pub use intern::{FrozenInterner, FxBuildHasher, Interner, Symbol};
 pub use parser::parse;
 
 #[cfg(test)]

@@ -1,8 +1,196 @@
 //! Offline, dependency-free subset of the `crossbeam` API: scoped threads
-//! implemented over `std::thread::scope` (stable since 1.63). Matches the
-//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); })` calling convention,
-//! including the `Result` return that is `Err` when any spawned thread
-//! panicked.
+//! implemented over `std::thread::scope` (stable since 1.63), matching the
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); })` calling convention
+//! (including the `Result` return that is `Err` when any spawned thread
+//! panicked), and epoch-based memory reclamation matching the
+//! `crossbeam::epoch::{pin, Guard}` shape that lock-free publication
+//! schemes build on.
+
+pub mod epoch {
+    //! Epoch-based reclamation (EBR) for lock-free readers.
+    //!
+    //! The contract: a reader calls [`pin`] and, while the returned
+    //! [`Guard`] lives, may dereference shared pointers it loads; a writer
+    //! that unlinks an object hands it to [`Guard::defer`] instead of
+    //! freeing it, and the destructor runs only after every thread pinned
+    //! at unlink time has unpinned. This is the classic three-epoch
+    //! scheme: the global epoch advances only when every *currently
+    //! pinned* thread has observed it, so garbage retired in epoch `e` is
+    //! provably unreachable once the epoch reaches `e + 2`.
+    //!
+    //! Costs are asymmetric by design. `pin`/unpin touch one
+    //! thread-local atomic plus one `SeqCst` fence — no shared lock, no
+    //! contention with other readers. Retirement (`defer`) takes a global
+    //! mutex and attempts collection — writers on a publish path are
+    //! expected to be rare.
+
+    use std::cell::Cell;
+    use std::marker::PhantomData;
+    use std::sync::atomic::{fence, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// Participant state: `epoch << 1 | active`. Inactive participants
+    /// never block epoch advancement.
+    #[derive(Debug)]
+    struct Participant {
+        state: AtomicU64,
+    }
+
+    type Deferred = Box<dyn FnOnce() + Send>;
+
+    /// Global reclamation state shared by every thread.
+    struct Global {
+        epoch: AtomicU64,
+        participants: Mutex<Vec<Arc<Participant>>>,
+        /// `(retired_at_epoch, destructor)` pairs awaiting two epoch
+        /// advancements.
+        garbage: Mutex<Vec<(u64, Deferred)>>,
+    }
+
+    fn global() -> &'static Global {
+        static GLOBAL: OnceLock<Global> = OnceLock::new();
+        GLOBAL.get_or_init(|| Global {
+            epoch: AtomicU64::new(0),
+            participants: Mutex::new(Vec::new()),
+            garbage: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Per-thread handle: the registered participant plus a pin-depth
+    /// counter so nested `pin()` calls share one registration.
+    struct LocalHandle {
+        participant: Arc<Participant>,
+        pin_depth: Cell<usize>,
+    }
+
+    impl Drop for LocalHandle {
+        fn drop(&mut self) {
+            // Thread exit: deregister so dead threads never gate the
+            // epoch (benchmarks spawn thousands of short-lived workers).
+            let mut participants =
+                global().participants.lock().unwrap_or_else(|e| e.into_inner());
+            participants.retain(|p| !Arc::ptr_eq(p, &self.participant));
+        }
+    }
+
+    thread_local! {
+        static LOCAL: LocalHandle = {
+            let participant = Arc::new(Participant { state: AtomicU64::new(0) });
+            global()
+                .participants
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&participant));
+            LocalHandle { participant, pin_depth: Cell::new(0) }
+        };
+    }
+
+    /// A pinned-thread token. While it lives, objects reachable from
+    /// shared pointers loaded under it are not reclaimed.
+    pub struct Guard {
+        /// `!Send`/`!Sync`: the guard unpins the thread that pinned.
+        _not_send: PhantomData<*const ()>,
+    }
+
+    /// Pins the current thread and returns the guard that unpins it.
+    /// Reentrant: nested pins share the outermost registration.
+    pub fn pin() -> Guard {
+        LOCAL.with(|local| {
+            let depth = local.pin_depth.get();
+            local.pin_depth.set(depth + 1);
+            if depth == 0 {
+                let g = global();
+                // Publish "active in epoch E" and make sure the store is
+                // visible before any subsequent shared-pointer load. If
+                // the global epoch moved between read and store, retry —
+                // an advancing collector must never miss this pin.
+                loop {
+                    let epoch = g.epoch.load(Ordering::SeqCst);
+                    local.participant.state.store((epoch << 1) | 1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    if g.epoch.load(Ordering::SeqCst) == epoch {
+                        break;
+                    }
+                }
+            }
+        });
+        Guard { _not_send: PhantomData }
+    }
+
+    impl Guard {
+        /// Schedules `f` (typically a destructor) to run once every
+        /// thread pinned *now* has unpinned. May run `f` on this call if
+        /// the epoch can advance far enough immediately.
+        pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+            let g = global();
+            let retired_at = g.epoch.load(Ordering::SeqCst);
+            g.garbage.lock().unwrap_or_else(|e| e.into_inner()).push((retired_at, Box::new(f)));
+            collect(g);
+        }
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            LOCAL.with(|local| {
+                let depth = local.pin_depth.get();
+                local.pin_depth.set(depth - 1);
+                if depth == 1 {
+                    local.participant.state.store(0, Ordering::SeqCst);
+                }
+            });
+        }
+    }
+
+    /// Tries to advance the epoch and run ripe destructors. Called from
+    /// `defer`; also useful at shutdown to drain outstanding garbage.
+    pub fn flush() {
+        collect(global());
+    }
+
+    fn collect(g: &Global) {
+        // Advance: only possible when every active participant has
+        // observed the current epoch.
+        let epoch = g.epoch.load(Ordering::SeqCst);
+        let all_caught_up = {
+            let participants = g.participants.lock().unwrap_or_else(|e| e.into_inner());
+            participants.iter().all(|p| {
+                let s = p.state.load(Ordering::SeqCst);
+                s & 1 == 0 || s >> 1 == epoch
+            })
+        };
+        let epoch = if all_caught_up {
+            // CAS, not a blind increment: two racing collectors must not
+            // both advance off the same observation, or an epoch could
+            // pass without re-validating the participants.
+            match g.epoch.compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => epoch + 1,
+                Err(now) => now,
+            }
+        } else {
+            epoch
+        };
+        // Free garbage retired two epochs ago: every thread pinned at
+        // retirement has since passed through an unpinned state.
+        let ripe: Vec<Deferred> = {
+            let mut garbage = g.garbage.lock().unwrap_or_else(|e| e.into_inner());
+            let mut ripe = Vec::new();
+            garbage.retain_mut(|(retired_at, f)| {
+                if *retired_at + 2 <= epoch {
+                    // Replace with a no-op box; the real destructor moves
+                    // into `ripe` to run outside the lock.
+                    ripe.push(std::mem::replace(f, Box::new(|| ())));
+                    false
+                } else {
+                    true
+                }
+            });
+            ripe
+        };
+        for f in ripe {
+            f();
+        }
+    }
+}
 
 pub mod thread {
     use std::panic::{self, AssertUnwindSafe};
@@ -40,7 +228,89 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// The epoch state is process-global; a pin held by one test blocks
+    /// reclamation in another, so the epoch tests run serialized.
+    static EPOCH_TESTS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn deferred_destructor_eventually_runs_when_unpinned() {
+        let _serial = EPOCH_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let guard = super::epoch::pin();
+            let ran = Arc::clone(&ran);
+            guard.defer(move || ran.store(true, Ordering::SeqCst));
+        }
+        // No readers pinned: a few flushes advance the epoch past the
+        // retirement point.
+        for _ in 0..4 {
+            super::epoch::flush();
+        }
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn deferred_destructor_waits_for_pinned_reader() {
+        let _serial = EPOCH_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let ran = Arc::new(AtomicBool::new(false));
+        let reader = super::epoch::pin();
+        {
+            let writer = super::epoch::pin();
+            let ran = Arc::clone(&ran);
+            writer.defer(move || ran.store(true, Ordering::SeqCst));
+        }
+        // Same-thread reader still pinned (nested registration): the
+        // epoch cannot advance twice, so the destructor must not run.
+        for _ in 0..8 {
+            super::epoch::flush();
+        }
+        assert!(!ran.load(Ordering::SeqCst));
+        drop(reader);
+        for _ in 0..4 {
+            super::epoch::flush();
+        }
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn cross_thread_pin_blocks_reclamation() {
+        let _serial = EPOCH_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let ran = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let pinned = Arc::new(AtomicBool::new(false));
+        super::thread::scope(|s| {
+            let release2 = Arc::clone(&release);
+            let pinned2 = Arc::clone(&pinned);
+            s.spawn(move |_| {
+                let _guard = super::epoch::pin();
+                pinned2.store(true, Ordering::SeqCst);
+                while !release2.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            });
+            while !pinned.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            {
+                let guard = super::epoch::pin();
+                let ran = Arc::clone(&ran);
+                guard.defer(move || ran.store(true, Ordering::SeqCst));
+            }
+            for _ in 0..8 {
+                super::epoch::flush();
+            }
+            assert!(!ran.load(Ordering::SeqCst), "reclaimed under a live pin");
+            release.store(true, Ordering::SeqCst);
+        })
+        .unwrap();
+        for _ in 0..4 {
+            super::epoch::flush();
+        }
+        assert!(ran.load(Ordering::SeqCst));
+    }
 
     #[test]
     fn scoped_threads_join_and_share_borrows() {
