@@ -19,15 +19,16 @@ use gridauthz_bench::{
 };
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
 use gridauthz_core::{
-    paper, Action, AuthzRequest, CombinedPdp, Combiner, DecisionCache, Pdp, PolicyOrigin,
-    PolicySource,
+    paper, Action, AuthzEngine, AuthzRequest, CombinedPdp, Combiner, DecisionCache, Pdp,
+    PolicyOrigin, PolicySource,
 };
 use gridauthz_credential::DistinguishedName;
 use gridauthz_enforcement::{
     AccessKind, AccountRegistry, DynamicAccountPool, FileMode, FileSystem, Sandbox, SandboxProfile,
 };
 use gridauthz_scheduler::{Cluster, JobSpec, LocalScheduler};
-use gridauthz_sim::scenario;
+use gridauthz_sim::{run_workload, scenario, TestbedBuilder, WorkloadGenerator};
+use gridauthz_telemetry::TelemetryRegistry;
 use gridauthz_vo::{DynamicVoPolicy, PolicyWindow, UtilizationOverlay};
 
 /// Median wall time of `iters` runs of `f`.
@@ -464,19 +465,98 @@ fn t8() {
     }
 }
 
+/// Where the unified telemetry report lands: the repository root,
+/// regardless of the invocation directory (CI uploads it as an
+/// artifact; EXPERIMENTS.md quotes the overhead row).
+const TELEMETRY_REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+
+fn t9() {
+    heading("T9 — telemetry overhead and unified registry export");
+
+    // Overhead of an attached registry on the cached decide hot path
+    // (budget: <5%; a hit is one relaxed counter increment, no clock).
+    let request = management_request();
+    let bare = AuthzEngine::cached("bench", combined_pdp_with_n_sources(2));
+    let mut telemetered = AuthzEngine::cached("bench", combined_pdp_with_n_sources(2));
+    telemetered.set_telemetry(Arc::new(TelemetryRegistry::new()));
+    assert!(bare.decide(&request).is_permit(), "fixture must permit");
+    assert!(telemetered.decide(&request).is_permit(), "fixture must permit");
+    let iters: u32 = 20_000;
+    let bare_t = time_median(200, || {
+        for _ in 0..iters {
+            std::hint::black_box(bare.decide(&request));
+        }
+    });
+    let tel_t = time_median(200, || {
+        for _ in 0..iters {
+            std::hint::black_box(telemetered.decide(&request));
+        }
+    });
+    let overhead = tel_t.as_nanos() as f64 / bare_t.as_nanos() as f64 - 1.0;
+    println!("{:<26} {:>14}", "series", "median/op");
+    println!("{:<26} {:>14.2?}", "cached decide, bare", bare_t / iters);
+    println!("{:<26} {:>14.2?}", "cached decide, telemetered", tel_t / iters);
+    println!("telemetry overhead on the cached decide path: {:.2}%", overhead * 100.0);
+
+    // One registry for the whole pipeline: replay a seeded workload plus
+    // management traffic through a telemetered testbed and export the
+    // registry snapshot — the same report CI serializes.
+    let registry = Arc::new(TelemetryRegistry::new());
+    let tb = TestbedBuilder::new().members(4).telemetry(Arc::clone(&registry)).build();
+    let workload = WorkloadGenerator::new(42).jobs(40).violation_rate(0.25).generate(&tb);
+    run_workload(&tb, &workload);
+    let admin = tb.admin.chain();
+    tb.server.status_by_tag(admin, "NFC").expect("admin authenticates");
+    let snapshot = tb.server.telemetry_snapshot();
+    println!("\n{}", snapshot.to_text());
+
+    let report = format!(
+        "{{\n  \"experiment\": \"t9-telemetry\",\n  \"overhead\": {{\n    \
+         \"cached_decide_bare_nanos\": {},\n    \
+         \"cached_decide_telemetered_nanos\": {},\n    \
+         \"overhead_percent\": {:.3}\n  }},\n  \"registry\": {}\n}}\n",
+        (bare_t / iters).as_nanos(),
+        (tel_t / iters).as_nanos(),
+        overhead * 100.0,
+        snapshot.to_json()
+    );
+    match std::fs::write(TELEMETRY_REPORT, report) {
+        Ok(()) => println!("wrote {TELEMETRY_REPORT}"),
+        Err(e) => println!("could not write {TELEMETRY_REPORT}: {e}"),
+    }
+}
+
 fn main() {
     println!("gridauthz experiment harness — reproducing Keahey et al., Middleware 2003");
-    f1_f2();
-    f3();
-    t1();
-    t2();
-    t3();
-    t4();
-    t5();
-    t6();
-    t7();
-    t8();
-    a1();
-    a3();
+    // With arguments, run only the named experiments (`harness t9`);
+    // without, run everything. Unknown names are an error, not a no-op.
+    let experiments: Vec<(&str, fn())> = vec![
+        ("f1_f2", f1_f2),
+        ("f3", f3),
+        ("t1", t1),
+        ("t2", t2),
+        ("t3", t3),
+        ("t4", t4),
+        ("t5", t5),
+        ("t6", t6),
+        ("t7", t7),
+        ("t8", t8),
+        ("t9", t9),
+        ("a1", a1),
+        ("a3", a3),
+    ];
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+    for name in &selected {
+        assert!(
+            experiments.iter().any(|(n, _)| n == name),
+            "unknown experiment {name:?}; known: {:?}",
+            experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        );
+    }
+    for (name, run) in &experiments {
+        if selected.is_empty() || selected.iter().any(|s| s == name) {
+            run();
+        }
+    }
     println!("\nall experiments completed");
 }

@@ -16,6 +16,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use gridauthz_telemetry::{DecisionTrace, TelemetryRegistry};
+
 use crate::cache::{CacheStats, DecisionCache};
 use crate::combine::CombinedPdp;
 use crate::error::{AuthzFailure, PolicyParseError};
@@ -45,11 +47,50 @@ pub trait AuthorizationCallout: Send + Sync {
         requests.iter().map(|request| self.authorize(request)).collect()
     }
 
+    /// [`authorize`](Self::authorize) recording interior per-stage spans
+    /// into `trace`. The default delegates to the untraced method —
+    /// stateless callouts have no interior stages to expose; the caller
+    /// records the callout-level span itself. [`PdpCallout`] overrides
+    /// this to surface its cache probe and PDP combine.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the failures [`authorize`](Self::authorize) returns.
+    fn authorize_traced(
+        &self,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), AuthzFailure> {
+        let _ = trace;
+        self.authorize(request)
+    }
+
+    /// [`authorize_batch`](Self::authorize_batch) with one trace per
+    /// request (`traces.len() == requests.len()`). The default ignores
+    /// the traces and delegates.
+    fn authorize_batch_traced(
+        &self,
+        requests: &[AuthzRequest],
+        traces: &mut [DecisionTrace],
+    ) -> Vec<Result<(), AuthzFailure>> {
+        let _ = traces;
+        self.authorize_batch(requests)
+    }
+
     /// Notifies the callout that the policy environment changed
     /// (grid-mapfile swap, credential revocation, policy reload).
     /// Callouts holding derived state — notably decision caches — must
     /// drop it. The default is a no-op for stateless callouts.
     fn policy_updated(&self) {}
+
+    /// The callout's decision-cache counters and current entry count,
+    /// when it carries a cache — lets an owning [`AuthzEngine`]
+    /// aggregate cache gauges across the whole chain
+    /// ([`AuthzEngine::refresh_telemetry_gauges`]). The default (`None`)
+    /// is right for cacheless callouts.
+    fn cache_report(&self) -> Option<(CacheStats, usize)> {
+        None
+    }
 }
 
 /// The built-in callout: evaluate against a [`CombinedPdp`] (local + VO
@@ -103,6 +144,12 @@ impl PdpCallout {
         &self.engine
     }
 
+    /// Attaches a metrics registry to the underlying engine (see
+    /// [`AuthzEngine::set_telemetry`]).
+    pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) {
+        self.engine.set_telemetry(registry);
+    }
+
     /// The decision cache, when this callout was built with one.
     pub fn cache(&self) -> Option<&DecisionCache> {
         self.engine.cache()
@@ -137,8 +184,29 @@ impl AuthorizationCallout for PdpCallout {
         self.engine.authorize_batch(requests)
     }
 
+    fn authorize_traced(
+        &self,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), AuthzFailure> {
+        // Surfaces the interior cache probe and combine as spans.
+        self.engine.authorize_traced(request, trace)
+    }
+
+    fn authorize_batch_traced(
+        &self,
+        requests: &[AuthzRequest],
+        traces: &mut [DecisionTrace],
+    ) -> Vec<Result<(), AuthzFailure>> {
+        self.engine.authorize_batch_traced(requests, traces)
+    }
+
     fn policy_updated(&self) {
         self.engine.policy_updated();
+    }
+
+    fn cache_report(&self) -> Option<(CacheStats, usize)> {
+        self.engine.cache().map(|cache| (cache.stats(), cache.len()))
     }
 }
 

@@ -34,8 +34,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crossbeam::epoch;
+use gridauthz_telemetry::{labels, DecisionTrace, Gauge, Stage, TelemetryRegistry};
 
 use crate::cache::{request_digest, CacheStats, DecisionCache};
 use crate::combine::{CombinedDecision, CombinedPdp, PolicySource};
@@ -188,6 +190,10 @@ pub struct AuthzEngine {
     publish: Mutex<()>,
     cache: Option<DecisionCache>,
     extras: Vec<Arc<dyn AuthorizationCallout>>,
+    /// Optional metrics sink. `None` costs nothing; `Some` costs one
+    /// relaxed counter increment on the cached hit path (no clocks are
+    /// read there — see `decide_under`).
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl AuthzEngine {
@@ -203,6 +209,7 @@ impl AuthzEngine {
             publish: Mutex::new(()),
             cache,
             extras: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -237,6 +244,20 @@ impl AuthzEngine {
         &self.name
     }
 
+    /// Attaches a metrics registry. Untraced decisions then report cache
+    /// probes (counter-only on hits) and combine latency (on misses);
+    /// every publication updates the snapshot-generation gauge. Traced
+    /// decisions record spans instead, so nothing is counted twice.
+    pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) {
+        registry.set_gauge(Gauge::SnapshotGeneration, self.cell.load().generation());
+        self.telemetry = Some(registry);
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryRegistry>> {
+        self.telemetry.as_ref()
+    }
+
     /// Appends a callout evaluated (in insertion order) after the
     /// snapshot PDP on every `authorize`.
     pub fn push_callout(&mut self, callout: Arc<dyn AuthorizationCallout>) {
@@ -264,6 +285,9 @@ impl AuthzEngine {
         let _writer = self.publish.lock().unwrap_or_else(|e| e.into_inner());
         let generation = self.next_generation.fetch_add(1, Ordering::SeqCst) + 1;
         self.cell.store(PolicySnapshot { pdp, generation });
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.set_gauge(Gauge::SnapshotGeneration, generation);
+        }
     }
 
     /// Publishes a new combined PDP — the runtime policy-reload path.
@@ -286,6 +310,9 @@ impl AuthzEngine {
             let generation = self.next_generation.fetch_add(1, Ordering::SeqCst) + 1;
             let pdp = self.cell.load().pdp.clone();
             self.cell.store(PolicySnapshot { pdp, generation });
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.set_gauge(Gauge::SnapshotGeneration, generation);
+            }
         }
         for callout in &self.extras {
             callout.policy_updated();
@@ -313,18 +340,98 @@ impl AuthzEngine {
         snapshot: &PolicySnapshot,
         request: &AuthzRequest,
     ) -> Arc<CombinedDecision> {
+        self.decide_instrumented(snapshot, request, None)
+    }
+
+    /// Outcome label for a combined decision.
+    fn decision_label(decision: &CombinedDecision) -> &'static str {
+        if decision.is_permit() {
+            labels::PERMIT
+        } else {
+            labels::POLICY_DENIED
+        }
+    }
+
+    /// Outcome label for an authorization result.
+    fn outcome_label(outcome: &Result<(), AuthzFailure>) -> &'static str {
+        match outcome {
+            Ok(()) => labels::PERMIT,
+            Err(AuthzFailure::Denied(_)) => labels::POLICY_DENIED,
+            Err(AuthzFailure::SystemError(_)) => labels::AUTHZ_SYSTEM,
+        }
+    }
+
+    /// The single decision path, with three instrumentation levels:
+    ///
+    /// * `trace: Some` — record cache-probe and combine spans (with
+    ///   elapsed nanos) into the trace; the registry folds them in at
+    ///   `finish_trace`, so counters are bumped exactly once.
+    /// * `trace: None`, telemetry attached — a cache **hit** costs one
+    ///   relaxed counter increment and reads no clock (this is the
+    ///   sub-microsecond hot path the <5% overhead budget protects);
+    ///   misses time the PDP combine and feed the histogram.
+    /// * neither — identical to the pre-telemetry path.
+    fn decide_instrumented(
+        &self,
+        snapshot: &PolicySnapshot,
+        request: &AuthzRequest,
+        trace: Option<&mut DecisionTrace>,
+    ) -> Arc<CombinedDecision> {
         match &self.cache {
             Some(cache) => {
+                let probe_start = trace.is_some().then(Instant::now);
                 let key = request_digest(request);
                 let generation = snapshot.generation();
                 if let Some(decision) = cache.lookup(key, generation) {
+                    match trace {
+                        Some(trace) => {
+                            trace.record(Stage::CacheProbe, labels::HIT, elapsed_nanos(probe_start))
+                        }
+                        None => {
+                            if let Some(telemetry) = &self.telemetry {
+                                telemetry.record(Stage::CacheProbe, labels::HIT);
+                            }
+                        }
+                    }
                     return decision;
                 }
+                let probe_nanos = elapsed_nanos(probe_start);
+                let combine_start =
+                    (trace.is_some() || self.telemetry.is_some()).then(Instant::now);
                 let decision = Arc::new(snapshot.decide(request));
+                let combine_nanos = elapsed_nanos(combine_start);
+                let label = AuthzEngine::decision_label(&decision);
+                match trace {
+                    Some(trace) => {
+                        trace.record(Stage::CacheProbe, labels::MISS, probe_nanos);
+                        trace.record(Stage::Combine, label, combine_nanos);
+                    }
+                    None => {
+                        if let Some(telemetry) = &self.telemetry {
+                            telemetry.record(Stage::CacheProbe, labels::MISS);
+                            telemetry.record_timed(Stage::Combine, label, combine_nanos);
+                        }
+                    }
+                }
                 cache.insert(key, generation, Arc::clone(&decision));
                 decision
             }
-            None => Arc::new(snapshot.decide(request)),
+            None => {
+                let combine_start =
+                    (trace.is_some() || self.telemetry.is_some()).then(Instant::now);
+                let decision = Arc::new(snapshot.decide(request));
+                let combine_nanos = elapsed_nanos(combine_start);
+                let label = AuthzEngine::decision_label(&decision);
+                match trace {
+                    Some(trace) => trace.record(Stage::Combine, label, combine_nanos),
+                    None => {
+                        if let Some(telemetry) = &self.telemetry {
+                            telemetry.record_timed(Stage::Combine, label, combine_nanos);
+                        }
+                    }
+                }
+                decision
+            }
         }
     }
 
@@ -375,6 +482,119 @@ impl AuthzEngine {
         outcomes
     }
 
+    /// [`decide`](Self::decide) recording cache-probe and combine spans
+    /// into `trace` instead of bumping registry counters directly.
+    pub fn decide_traced(
+        &self,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Arc<CombinedDecision> {
+        let snapshot = self.cell.load();
+        self.decide_instrumented(&snapshot, request, Some(trace))
+    }
+
+    /// [`authorize`](Self::authorize) with per-stage spans: the snapshot
+    /// decision contributes cache-probe/combine spans, and every extra
+    /// callout contributes a named [`Stage::Callout`] span (snapshot-
+    /// backed callouts additionally surface their interior stages — see
+    /// [`AuthorizationCallout::authorize_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the failures [`authorize`](Self::authorize) returns.
+    pub fn authorize_traced(
+        &self,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), AuthzFailure> {
+        let snapshot = self.cell.load();
+        if !snapshot.is_pass_through() {
+            AuthzEngine::to_outcome(&self.decide_instrumented(&snapshot, request, Some(trace)))?;
+        }
+        for callout in &self.extras {
+            let start = Instant::now();
+            let outcome = callout.authorize_traced(request, trace);
+            trace.record_callout(
+                callout.name(),
+                AuthzEngine::outcome_label(&outcome),
+                elapsed_nanos(Some(start)),
+            );
+            outcome?;
+        }
+        Ok(())
+    }
+
+    /// [`authorize_batch`](Self::authorize_batch) with one trace per
+    /// request. A callout's batch evaluation is timed as a whole and the
+    /// elapsed time amortized evenly across the elements it saw — the
+    /// batch API deliberately gives callouts no per-element boundary to
+    /// clock.
+    pub fn authorize_batch_traced(
+        &self,
+        requests: &[AuthzRequest],
+        traces: &mut [DecisionTrace],
+    ) -> Vec<Result<(), AuthzFailure>> {
+        debug_assert_eq!(requests.len(), traces.len());
+        let snapshot = self.cell.load();
+        let mut outcomes: Vec<Result<(), AuthzFailure>> = if snapshot.is_pass_through() {
+            requests.iter().map(|_| Ok(())).collect()
+        } else {
+            requests
+                .iter()
+                .zip(traces.iter_mut())
+                .map(|(request, trace)| {
+                    AuthzEngine::to_outcome(&self.decide_instrumented(
+                        &snapshot,
+                        request,
+                        Some(trace),
+                    ))
+                })
+                .collect()
+        };
+        for callout in &self.extras {
+            if outcomes.iter().all(Result::is_err) {
+                break;
+            }
+            let start = Instant::now();
+            let subs = callout.authorize_batch_traced(requests, traces);
+            let amortized = elapsed_nanos(Some(start)) / requests.len().max(1) as u64;
+            for ((outcome, sub), trace) in outcomes.iter_mut().zip(subs).zip(traces.iter_mut()) {
+                trace.record_callout(callout.name(), AuthzEngine::outcome_label(&sub), amortized);
+                if outcome.is_ok() {
+                    *outcome = sub;
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Refreshes the cache gauges ([`Gauge::CacheHits`],
+    /// [`Gauge::CacheMisses`], [`Gauge::CacheEntries`]) by summing this
+    /// engine's own cache with every extra callout's
+    /// [`cache_report`](AuthorizationCallout::cache_report). Gauges are
+    /// sampled state, not counters, so this is called at snapshot/export
+    /// time rather than on the decision path. A no-op without telemetry.
+    pub fn refresh_telemetry_gauges(&self) {
+        let Some(telemetry) = &self.telemetry else { return };
+        let (mut hits, mut misses, mut entries) = (0u64, 0u64, 0u64);
+        let mut fold = |stats: CacheStats, len: usize| {
+            hits += stats.hits;
+            misses += stats.misses;
+            entries += len as u64;
+        };
+        if let Some(cache) = &self.cache {
+            fold(cache.stats(), cache.len());
+        }
+        for callout in &self.extras {
+            if let Some((stats, len)) = callout.cache_report() {
+                fold(stats, len);
+            }
+        }
+        telemetry.set_gauge(Gauge::CacheHits, hits);
+        telemetry.set_gauge(Gauge::CacheMisses, misses);
+        telemetry.set_gauge(Gauge::CacheEntries, entries);
+    }
+
     /// The decision cache, when this engine carries one.
     pub fn cache(&self) -> Option<&DecisionCache> {
         self.cache.as_ref()
@@ -384,6 +604,11 @@ impl AuthzEngine {
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(DecisionCache::stats)
     }
+}
+
+/// Elapsed nanoseconds since `start`, or 0 when timing was off.
+fn elapsed_nanos(start: Option<Instant>) -> u64 {
+    start.map_or(0, |start| u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
 }
 
 impl fmt::Debug for AuthzEngine {

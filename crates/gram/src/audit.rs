@@ -28,6 +28,13 @@ pub struct AuditRecord {
     pub account: Option<String>,
     /// Permit or the denial/failure message.
     pub outcome: AuditOutcome,
+    /// Id of the telemetry [`DecisionTrace`] recorded for this decision,
+    /// when one was — joins the audit trail to the per-stage spans in
+    /// the server's `TelemetryRegistry`. `None` for administrative
+    /// records written outside the decision pipeline.
+    ///
+    /// [`DecisionTrace`]: gridauthz_telemetry::DecisionTrace
+    pub trace_id: Option<u64>,
 }
 
 /// The recorded outcome.
@@ -128,6 +135,7 @@ mod tests {
             } else {
                 AuditOutcome::Refused("denied".into())
             },
+            trace_id: Some(secs),
         }
     }
 

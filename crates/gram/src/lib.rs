@@ -43,7 +43,7 @@ pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use client::GramClient;
 pub use gatekeeper::Gatekeeper;
 pub use jobspec::{job_spec_from_rsl, normalize_job};
-pub use protocol::{GramError, GramSignal, JobContact, JobReport};
+pub use protocol::{error_label, GramError, GramSignal, JobContact, JobReport};
 pub use provisioning::{AccountStrategy, JobOperation};
 pub use server::{GramMode, GramServer, GramServerBuilder, SweepOutcomes};
 pub use shard::ShardedMap;

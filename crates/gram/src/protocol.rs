@@ -114,6 +114,30 @@ pub enum GramError {
     SandboxViolation(String),
 }
 
+/// The stable telemetry label for a [`GramError`] — one short metric key
+/// per protocol error class, drawn from the fixed vocabulary of
+/// [`gridauthz_telemetry::labels`]. The gram server's decision traces,
+/// the simulator's `DecisionTally`, and the bench harness all key on
+/// these, so the mapping is part of the public API and pinned by an
+/// exhaustive test: adding a `GramError` variant without extending this
+/// match is a compile error, and changing a label breaks the pin test.
+#[must_use]
+pub fn error_label(error: &GramError) -> &'static str {
+    use gridauthz_telemetry::labels;
+    match error {
+        GramError::AuthenticationFailed(_) => labels::AUTHENTICATION,
+        GramError::GridMapDenied(_) => labels::GRIDMAP,
+        GramError::AccountNotPermitted { .. } => labels::ACCOUNT_MAPPING,
+        GramError::NotAuthorized(_) => labels::POLICY_DENIED,
+        GramError::AuthorizationSystemFailure(_) => labels::AUTHZ_SYSTEM,
+        GramError::BadRequest(_) => labels::BAD_REQUEST,
+        GramError::UnknownJob(_) => labels::UNKNOWN_JOB,
+        GramError::Scheduler(_) => labels::SCHEDULER,
+        GramError::ProvisioningFailed(_) => labels::PROVISIONING,
+        GramError::SandboxViolation(_) => labels::SANDBOX,
+    }
+}
+
 impl fmt::Display for GramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -192,6 +216,51 @@ mod tests {
         assert!(matches!(e, GramError::Scheduler(_)));
         let e: GramError = CredentialError::EmptyChain.into();
         assert!(matches!(e, GramError::AuthenticationFailed(_)));
+    }
+
+    /// Pins the public [`error_label`] mapping: every `GramError`
+    /// variant, its exact label, and the label's membership in the fixed
+    /// telemetry vocabulary. A new variant fails `error_label`'s match at
+    /// compile time; a changed label fails here.
+    #[test]
+    fn every_error_variant_has_a_pinned_stable_label() {
+        use gridauthz_telemetry::labels;
+
+        let all: [(GramError, &str); 10] = [
+            (GramError::AuthenticationFailed(CredentialError::EmptyChain), "authentication"),
+            (GramError::GridMapDenied("/O=G/CN=X".parse().unwrap()), "gridmap"),
+            (
+                GramError::AccountNotPermitted {
+                    subject: "/O=G/CN=X".parse().unwrap(),
+                    account: "root".into(),
+                },
+                "account-mapping",
+            ),
+            (GramError::NotAuthorized(DenyReason::NoApplicableGrant), "policy-denied"),
+            (GramError::AuthorizationSystemFailure("x".into()), "authz-system"),
+            (GramError::BadRequest("x".into()), "bad-request"),
+            (GramError::UnknownJob(JobContact::from_wire("gram://r/jobs/1")), "unknown-job"),
+            (
+                GramError::Scheduler(SchedulerError::UnknownJob(gridauthz_scheduler::JobId(1))),
+                "scheduler",
+            ),
+            (GramError::ProvisioningFailed("x".into()), "provisioning"),
+            (GramError::SandboxViolation("x".into()), "sandbox"),
+        ];
+        for (error, expected) in &all {
+            assert_eq!(error_label(error), *expected, "{error:?}");
+            assert!(
+                labels::index_of(error_label(error)).is_some(),
+                "label {:?} missing from labels::ALL",
+                error_label(error)
+            );
+        }
+        // Distinct variants map to distinct labels: a collapsed mapping
+        // would make two error classes indistinguishable in metrics.
+        let mut seen: Vec<&str> = all.iter().map(|(e, _)| error_label(e)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), all.len());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! over the local job control system.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -14,13 +16,16 @@ use gridauthz_credential::{
 };
 use gridauthz_rsl::Conjunction;
 use gridauthz_scheduler::{Cluster, JobId, LocalScheduler, SchedulerQueue};
+use gridauthz_telemetry::{
+    labels, DecisionTrace, Gauge, RegistrySnapshot, Stage, TelemetryRegistry,
+};
 
 use gridauthz_enforcement::{DynamicAccountPool, Sandbox};
 
 use crate::audit::{AuditLog, AuditOutcome, AuditRecord};
 use crate::gatekeeper::Gatekeeper;
 use crate::jobspec::job_spec_from_rsl;
-use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
+use crate::protocol::{error_label, GramError, GramSignal, JobContact, JobReport};
 use crate::provisioning::{request_groups, sandbox_profile_for, AccountStrategy, JobOperation};
 use crate::shard::ShardedMap;
 
@@ -66,6 +71,7 @@ pub struct GramServerBuilder {
     accounts: AccountStrategy,
     sandboxing: bool,
     clock: SimClock,
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl GramServerBuilder {
@@ -82,7 +88,17 @@ impl GramServerBuilder {
             accounts: AccountStrategy::GridMapOnly,
             sandboxing: false,
             clock: clock.clone(),
+            telemetry: None,
         }
+    }
+
+    /// Shares a caller-owned telemetry registry (e.g. one registry over
+    /// several servers, or over a server plus a bench harness). Without
+    /// this the server creates its own.
+    #[must_use]
+    pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// Installs the trust anchors.
@@ -167,6 +183,8 @@ impl GramServerBuilder {
         for callout in self.callouts.into_callouts() {
             engine.push_callout(callout);
         }
+        let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(TelemetryRegistry::new()));
+        engine.set_telemetry(Arc::clone(&telemetry));
         let mut mode = self.mode;
         let mut audit = AuditLog::new(4096);
         if mode == GramMode::Extended && engine.is_vacuous() {
@@ -182,6 +200,7 @@ impl GramServerBuilder {
                      falling back to GT2 grid-mapfile authorization"
                         .into(),
                 ),
+                trace_id: None,
             });
         }
         GramServer {
@@ -195,11 +214,30 @@ impl GramServerBuilder {
             accounts: Accounts::from(self.accounts),
             sandboxing: self.sandboxing,
             audit: Mutex::new(audit),
+            telemetry,
             clock: self.clock,
             next_job: AtomicU64::new(1),
             admin: Mutex::new(()),
         }
     }
+}
+
+/// Runs `body` as one traced pipeline stage: the elapsed time and the
+/// outcome's telemetry label ([`labels::PERMIT`] or the error's
+/// [`error_label`]) become a span in `trace`.
+fn timed_stage<T>(
+    trace: &mut DecisionTrace,
+    stage: Stage,
+    body: impl FnOnce() -> Result<T, GramError>,
+) -> Result<T, GramError> {
+    let start = Instant::now();
+    let result = body();
+    let label = match &result {
+        Ok(_) => labels::PERMIT,
+        Err(e) => error_label(e),
+    };
+    trace.record(stage, label, u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    result
 }
 
 /// Account resolution state, narrowed from a whole-strategy
@@ -244,6 +282,10 @@ pub struct GramServer {
     accounts: Accounts,
     sandboxing: bool,
     audit: Mutex<AuditLog>,
+    /// One registry for the whole decision pipeline: counters/histograms
+    /// accumulate from both the server's own stages and the engine's
+    /// interior ones, and every completed decision's trace lands here.
+    telemetry: Arc<TelemetryRegistry>,
     clock: SimClock,
     next_job: AtomicU64,
     /// Serializes gatekeeper clone-modify-publish sequences so two
@@ -324,14 +366,30 @@ impl GramServer {
         requested_account: Option<&str>,
         work: SimDuration,
     ) -> Result<JobContact, GramError> {
-        let identity = self.gatekeeper.load().authenticate(chain)?;
+        let mut trace = self.telemetry.start_trace("submit", self.clock.now());
+        let result = self.submit_inner(chain, rsl_text, requested_account, work, &mut trace);
+        self.telemetry.finish_trace(trace);
+        result
+    }
+
+    fn submit_inner(
+        &self,
+        chain: &[Certificate],
+        rsl_text: &str,
+        requested_account: Option<&str>,
+        work: SimDuration,
+        trace: &mut DecisionTrace,
+    ) -> Result<JobContact, GramError> {
+        let identity =
+            timed_stage(trace, Stage::Authenticate, || self.gatekeeper.load().authenticate(chain))?;
         let subject = identity.subject().clone();
-        let result = self.submit_authenticated(&identity, rsl_text, requested_account, work);
+        let result = self.submit_authenticated(&identity, rsl_text, requested_account, work, trace);
         self.record_audit(
             &subject,
             Action::Start,
             result.as_ref().ok().map(|c| c.as_str()),
             &result,
+            trace.id(),
         );
         result
     }
@@ -342,9 +400,11 @@ impl GramServer {
         rsl_text: &str,
         requested_account: Option<&str>,
         work: SimDuration,
+        trace: &mut DecisionTrace,
     ) -> Result<JobContact, GramError> {
         // GSI refuses job startup with limited proxies in both modes.
         if identity.is_limited() {
+            trace.record(Stage::Authenticate, labels::POLICY_DENIED, 0);
             return Err(GramError::NotAuthorized(DenyReason::LimitedProxy));
         }
         let subject = identity.subject().clone();
@@ -354,9 +414,9 @@ impl GramServer {
         // unmapped identities legitimately pass the gate (§7) and are
         // provisioned after policy authorization succeeds.
         let premapped = match &self.accounts {
-            Accounts::GridMapOnly => {
-                Some(self.gatekeeper.load().authorize_and_map(&subject, requested_account)?)
-            }
+            Accounts::GridMapOnly => Some(timed_stage(trace, Stage::GridMap, || {
+                self.gatekeeper.load().authorize_and_map(&subject, requested_account)
+            })?),
             Accounts::DynamicPool(_) => None,
         };
 
@@ -380,14 +440,16 @@ impl GramServer {
         if self.mode == GramMode::Extended {
             let request = AuthzRequest::start(subject.clone(), job.clone())
                 .with_restrictions(restriction_values(identity));
-            self.authorize(&request)?;
+            self.engine.authorize_traced(&request, trace).map_err(authz_failure_to_error)?;
         }
 
         // Dynamic-account resolution happens only after authorization so
         // a denied request never consumes a lease.
         let account = match premapped {
             Some(account) => account,
-            None => self.resolve_account(&subject, requested_account, &job)?,
+            None => timed_stage(trace, Stage::GridMap, || {
+                self.resolve_account(&subject, requested_account, &job)
+            })?,
         };
 
         let jobtag = job
@@ -395,7 +457,8 @@ impl GramServer {
             .and_then(gridauthz_rsl::Value::as_str)
             .map(str::to_string);
         let job_spec = job_spec_from_rsl(&job, &account, work)?;
-        let local = self.scheduler.write().submit(job_spec)?;
+        let local =
+            timed_stage(trace, Stage::Enforce, || Ok(self.scheduler.write().submit(job_spec)?))?;
         let index = self.next_job.fetch_add(1, Ordering::SeqCst);
         let contact = JobContact::new(&self.resource_name, index);
         let sandbox = self.sandboxing.then(|| Sandbox::new(sandbox_profile_for(&job)));
@@ -467,11 +530,32 @@ impl GramServer {
     /// [`GramError`] on authentication, authorization or scheduler
     /// failure.
     pub fn cancel(&self, chain: &[Certificate], contact: &JobContact) -> Result<(), GramError> {
-        let (identity, record) = self.authenticate_and_find(chain, contact)?;
-        let result = self
-            .authorize_management(&identity, &record, Action::Cancel)
-            .and_then(|()| Ok(self.scheduler.write().cancel(record.local)?));
-        self.record_audit(identity.subject(), Action::Cancel, Some(contact.as_str()), &result);
+        let mut trace = self.telemetry.start_trace("cancel", self.clock.now());
+        let result = self.cancel_inner(chain, contact, &mut trace);
+        self.telemetry.finish_trace(trace);
+        result
+    }
+
+    fn cancel_inner(
+        &self,
+        chain: &[Certificate],
+        contact: &JobContact,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), GramError> {
+        let (identity, record) = self.authenticate_and_find(chain, contact, trace)?;
+        let result =
+            self.authorize_management(&identity, &record, Action::Cancel, trace).and_then(|()| {
+                timed_stage(trace, Stage::Enforce, || {
+                    Ok(self.scheduler.write().cancel(record.local)?)
+                })
+            });
+        self.record_audit(
+            identity.subject(),
+            Action::Cancel,
+            Some(contact.as_str()),
+            &result,
+            trace.id(),
+        );
         result
     }
 
@@ -485,11 +569,29 @@ impl GramServer {
         chain: &[Certificate],
         contact: &JobContact,
     ) -> Result<JobReport, GramError> {
-        let (identity, record) = self.authenticate_and_find(chain, contact)?;
-        let authz = self.authorize_management(&identity, &record, Action::Information);
-        self.record_audit(identity.subject(), Action::Information, Some(contact.as_str()), &authz);
+        let mut trace = self.telemetry.start_trace("status", self.clock.now());
+        let result = self.status_inner(chain, contact, &mut trace);
+        self.telemetry.finish_trace(trace);
+        result
+    }
+
+    fn status_inner(
+        &self,
+        chain: &[Certificate],
+        contact: &JobContact,
+        trace: &mut DecisionTrace,
+    ) -> Result<JobReport, GramError> {
+        let (identity, record) = self.authenticate_and_find(chain, contact, trace)?;
+        let authz = self.authorize_management(&identity, &record, Action::Information, trace);
+        self.record_audit(
+            identity.subject(),
+            Action::Information,
+            Some(contact.as_str()),
+            &authz,
+            trace.id(),
+        );
         authz?;
-        self.report_for(&record)
+        timed_stage(trace, Stage::Enforce, || self.report_for(&record))
     }
 
     /// Delivers a management signal (`action = signal`): suspend, resume
@@ -505,17 +607,39 @@ impl GramServer {
         contact: &JobContact,
         signal: GramSignal,
     ) -> Result<(), GramError> {
-        let (identity, record) = self.authenticate_and_find(chain, contact)?;
-        let result = self.authorize_management(&identity, &record, Action::Signal).and_then(|()| {
-            let mut scheduler = self.scheduler.write();
-            match signal {
-                GramSignal::Suspend => scheduler.suspend(record.local)?,
-                GramSignal::Resume => scheduler.resume(record.local)?,
-                GramSignal::Priority(p) => scheduler.set_priority(record.local, p)?,
-            }
-            Ok(())
-        });
-        self.record_audit(identity.subject(), Action::Signal, Some(contact.as_str()), &result);
+        let mut trace = self.telemetry.start_trace("signal", self.clock.now());
+        let result = self.signal_inner(chain, contact, signal, &mut trace);
+        self.telemetry.finish_trace(trace);
+        result
+    }
+
+    fn signal_inner(
+        &self,
+        chain: &[Certificate],
+        contact: &JobContact,
+        signal: GramSignal,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), GramError> {
+        let (identity, record) = self.authenticate_and_find(chain, contact, trace)?;
+        let result =
+            self.authorize_management(&identity, &record, Action::Signal, trace).and_then(|()| {
+                timed_stage(trace, Stage::Enforce, || {
+                    let mut scheduler = self.scheduler.write();
+                    match signal {
+                        GramSignal::Suspend => scheduler.suspend(record.local)?,
+                        GramSignal::Resume => scheduler.resume(record.local)?,
+                        GramSignal::Priority(p) => scheduler.set_priority(record.local, p)?,
+                    }
+                    Ok(())
+                })
+            });
+        self.record_audit(
+            identity.subject(),
+            Action::Signal,
+            Some(contact.as_str()),
+            &result,
+            trace.id(),
+        );
         result
     }
 
@@ -523,8 +647,12 @@ impl GramServer {
         &self,
         chain: &[Certificate],
         contact: &JobContact,
+        trace: &mut DecisionTrace,
     ) -> Result<(VerifiedIdentity, JmiRecord), GramError> {
-        let identity = self.gatekeeper.load().authenticate(chain)?;
+        let identity =
+            timed_stage(trace, Stage::Authenticate, || self.gatekeeper.load().authenticate(chain))?;
+        // A failed job lookup is deliberately unrecorded: UnknownJob is a
+        // routing miss, not an authorization stage.
         let record = self
             .jobs
             .get_cloned(contact.as_str())
@@ -556,21 +684,25 @@ impl GramServer {
         identity: &VerifiedIdentity,
         record: &JmiRecord,
         action: Action,
+        trace: &mut DecisionTrace,
     ) -> Result<(), GramError> {
         match self.mode {
             GramMode::Gt2 => {
                 // §4.2: "the Grid identity of the user making the request
                 // must match the Grid identity of the user who initiated
-                // the job."
-                if identity.subject() == &record.owner {
-                    Ok(())
-                } else {
-                    Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
-                }
+                // the job." The owner check *is* GT2's combine stage.
+                timed_stage(trace, Stage::Combine, || {
+                    if identity.subject() == &record.owner {
+                        Ok(())
+                    } else {
+                        Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+                    }
+                })
             }
-            GramMode::Extended => {
-                self.authorize(&GramServer::management_request(identity, record, action))
-            }
+            GramMode::Extended => self
+                .engine
+                .authorize_traced(&GramServer::management_request(identity, record, action), trace)
+                .map_err(authz_failure_to_error),
         }
     }
 
@@ -584,16 +716,21 @@ impl GramServer {
         identity: &VerifiedIdentity,
         records: &[JmiRecord],
         action: Action,
+        traces: &mut [DecisionTrace],
     ) -> Vec<Result<(), GramError>> {
+        debug_assert_eq!(records.len(), traces.len());
         match self.mode {
             GramMode::Gt2 => records
                 .iter()
-                .map(|record| {
-                    if identity.subject() == &record.owner {
-                        Ok(())
-                    } else {
-                        Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
-                    }
+                .zip(traces.iter_mut())
+                .map(|(record, trace)| {
+                    timed_stage(trace, Stage::Combine, || {
+                        if identity.subject() == &record.owner {
+                            Ok(())
+                        } else {
+                            Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+                        }
+                    })
                 })
                 .collect(),
             GramMode::Extended => {
@@ -602,16 +739,12 @@ impl GramServer {
                     .map(|record| GramServer::management_request(identity, record, action))
                     .collect();
                 self.engine
-                    .authorize_batch(&requests)
+                    .authorize_batch_traced(&requests, traces)
                     .into_iter()
                     .map(|outcome| outcome.map_err(authz_failure_to_error))
                     .collect()
             }
         }
-    }
-
-    fn authorize(&self, request: &AuthzRequest) -> Result<(), GramError> {
-        self.engine.authorize(request).map_err(authz_failure_to_error)
     }
 
     /// Contacts of non-terminal jobs carrying `tag` — the VO-wide
@@ -647,21 +780,48 @@ impl GramServer {
         chain: &[Certificate],
         tag: &str,
     ) -> Result<SweepOutcomes<()>, GramError> {
-        let identity = self.gatekeeper.load().authenticate(chain)?;
+        let mut sweep = self.telemetry.start_trace("cancel-by-tag", self.clock.now());
+        let result = self.cancel_by_tag_inner(chain, tag, &mut sweep);
+        self.telemetry.finish_trace(sweep);
+        result
+    }
+
+    fn cancel_by_tag_inner(
+        &self,
+        chain: &[Certificate],
+        tag: &str,
+        sweep: &mut DecisionTrace,
+    ) -> Result<SweepOutcomes<()>, GramError> {
+        let identity =
+            timed_stage(sweep, Stage::Authenticate, || self.gatekeeper.load().authenticate(chain))?;
         let targets = self.tagged_records(tag);
-        let verdicts = self.authorize_management_batch(&identity, &targets, Action::Cancel);
+        // One decision trace per swept job (the sweep trace carries only
+        // the shared authentication): each element's authorization and
+        // enforcement are separately attributable and separately audited.
+        let mut traces: Vec<DecisionTrace> = targets
+            .iter()
+            .map(|_| self.telemetry.start_trace("cancel-by-tag", self.clock.now()))
+            .collect();
+        let verdicts =
+            self.authorize_management_batch(&identity, &targets, Action::Cancel, &mut traces);
         Ok(targets
             .into_iter()
             .zip(verdicts)
-            .map(|(record, verdict)| {
-                let result =
-                    verdict.and_then(|()| Ok(self.scheduler.write().cancel(record.local)?));
+            .zip(traces)
+            .map(|((record, verdict), mut trace)| {
+                let result = verdict.and_then(|()| {
+                    timed_stage(&mut trace, Stage::Enforce, || {
+                        Ok(self.scheduler.write().cancel(record.local)?)
+                    })
+                });
                 self.record_audit(
                     identity.subject(),
                     Action::Cancel,
                     Some(record.contact.as_str()),
                     &result,
+                    trace.id(),
                 );
+                self.telemetry.finish_trace(trace);
                 (record.contact, result)
             })
             .collect())
@@ -680,20 +840,43 @@ impl GramServer {
         chain: &[Certificate],
         tag: &str,
     ) -> Result<SweepOutcomes<JobReport>, GramError> {
-        let identity = self.gatekeeper.load().authenticate(chain)?;
+        let mut sweep = self.telemetry.start_trace("status-by-tag", self.clock.now());
+        let result = self.status_by_tag_inner(chain, tag, &mut sweep);
+        self.telemetry.finish_trace(sweep);
+        result
+    }
+
+    fn status_by_tag_inner(
+        &self,
+        chain: &[Certificate],
+        tag: &str,
+        sweep: &mut DecisionTrace,
+    ) -> Result<SweepOutcomes<JobReport>, GramError> {
+        let identity =
+            timed_stage(sweep, Stage::Authenticate, || self.gatekeeper.load().authenticate(chain))?;
         let targets = self.tagged_records(tag);
-        let verdicts = self.authorize_management_batch(&identity, &targets, Action::Information);
+        let mut traces: Vec<DecisionTrace> = targets
+            .iter()
+            .map(|_| self.telemetry.start_trace("status-by-tag", self.clock.now()))
+            .collect();
+        let verdicts =
+            self.authorize_management_batch(&identity, &targets, Action::Information, &mut traces);
         Ok(targets
             .into_iter()
             .zip(verdicts)
-            .map(|(record, verdict)| {
-                let result = verdict.and_then(|()| self.report_for(&record));
+            .zip(traces)
+            .map(|((record, verdict), mut trace)| {
+                let result = verdict.and_then(|()| {
+                    timed_stage(&mut trace, Stage::Enforce, || self.report_for(&record))
+                });
                 self.record_audit(
                     identity.subject(),
                     Action::Information,
                     Some(record.contact.as_str()),
                     &result,
+                    trace.id(),
                 );
+                self.telemetry.finish_trace(trace);
                 (record.contact, result)
             })
             .collect())
@@ -718,6 +901,7 @@ impl GramServer {
         action: Action,
         job: Option<&str>,
         result: &Result<T, GramError>,
+        trace_id: u64,
     ) {
         let account = job.and_then(|contact| self.jobs.with(contact, |r| r.account.clone()));
         self.audit.lock().record(AuditRecord {
@@ -730,7 +914,23 @@ impl GramServer {
                 Ok(_) => AuditOutcome::Permitted,
                 Err(e) => AuditOutcome::Refused(e.to_string()),
             },
+            trace_id: Some(trace_id),
         });
+    }
+
+    /// The server's telemetry registry — live counters, histograms,
+    /// gauges and recent decision traces for the whole pipeline.
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
+    }
+
+    /// A consistent registry snapshot with the sampled gauges (cache
+    /// hit/miss/occupancy, live jobs) refreshed first — what check/CI
+    /// serialize into `BENCH_telemetry.json`.
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        self.engine.refresh_telemetry_gauges();
+        self.telemetry.set_gauge(Gauge::LiveJobs, self.jobs.len() as u64);
+        self.telemetry.snapshot()
     }
 
     /// A snapshot of the audit log, oldest first.
@@ -867,15 +1067,16 @@ impl GramServer {
     pub fn handle_wire_pem(&self, message: &str) -> String {
         use crate::wire::WireResponse;
         let Some(split) = message.find("GRAM/1 ") else {
-            return WireResponse::from_error(&GramError::BadRequest(
+            return encode_response(&WireResponse::from_error(&GramError::BadRequest(
                 "message has no GRAM/1 request".into(),
-            ))
-            .encode();
+            )));
         };
         let (pem, body) = message.split_at(split);
         match gridauthz_credential::pem::decode_chain(pem) {
             Ok(chain) => self.handle_wire(&chain, body),
-            Err(e) => WireResponse::from_error(&GramError::AuthenticationFailed(e)).encode(),
+            Err(e) => {
+                encode_response(&WireResponse::from_error(&GramError::AuthenticationFailed(e)))
+            }
         }
     }
 
@@ -887,7 +1088,9 @@ impl GramServer {
         let request = match WireRequest::decode(message) {
             Ok(request) => request,
             Err(e) => {
-                return WireResponse::from_error(&GramError::BadRequest(e.to_string())).encode()
+                return encode_response(&WireResponse::from_error(&GramError::BadRequest(
+                    e.to_string(),
+                )))
             }
         };
         let response = match request {
@@ -904,8 +1107,16 @@ impl GramServer {
                 .signal(chain, &crate::wire::contact_from_wire(&contact), signal)
                 .map(|()| WireResponse::Done),
         };
-        response.unwrap_or_else(|e| WireResponse::from_error(&e)).encode()
+        encode_response(&response.unwrap_or_else(|e| WireResponse::from_error(&e)))
     }
+}
+
+/// Encodes a response for the wire, falling back to the static
+/// `INTERNAL_ENCODING_FAILURE` error when the response itself cannot be
+/// framed (a value carried a line break) — the server must always answer
+/// with well-formed protocol text.
+fn encode_response(response: &crate::wire::WireResponse) -> String {
+    response.encode().unwrap_or_else(|_| crate::wire::WireResponse::encode_failure_fallback())
 }
 
 fn restriction_values(identity: &VerifiedIdentity) -> Vec<String> {
@@ -1496,6 +1707,147 @@ mod tests {
         assert!(matches!(
             server.status(ids.kate.chain(), &contact),
             Err(GramError::NotAuthorized(DenyReason::NotJobOwner))
+        ));
+    }
+
+    /// Every decision through the server — submit, cancel, status,
+    /// signal, and the by-tag sweeps — must produce a [`DecisionTrace`]
+    /// with per-stage spans and feed the shared registry's counters.
+    #[test]
+    fn every_operation_produces_a_trace_with_stage_spans() {
+        use gridauthz_telemetry::Stage;
+
+        let f = fixture(GramMode::Extended);
+        let telemetry = Arc::clone(f.server.telemetry());
+
+        let spans_of = |operation: &str| -> Vec<(Stage, &'static str)> {
+            let traces = telemetry.recent_traces();
+            let trace = traces
+                .iter()
+                .rev()
+                .find(|t| t.operation() == operation)
+                .unwrap_or_else(|| panic!("no finished trace for {operation}"));
+            trace.spans().iter().map(|s| (s.stage, s.label)).collect()
+        };
+
+        // Submit (extended): authenticate → callout → gridmap → enforce.
+        let nfc = "&(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count = 2)";
+        let contact = f.server.submit(f.bo.chain(), nfc, None, mins(30)).unwrap();
+        let spans = spans_of("submit");
+        assert_eq!(spans[0], (Stage::Authenticate, labels::PERMIT), "{spans:?}");
+        assert!(spans.contains(&(Stage::Callout, labels::PERMIT)), "{spans:?}");
+        assert!(spans.contains(&(Stage::GridMap, labels::PERMIT)), "{spans:?}");
+        assert_eq!(spans.last(), Some(&(Stage::Enforce, labels::PERMIT)), "{spans:?}");
+
+        // Status: Kate has no information grant in Figure 3 — the
+        // callout span carries the denial label and enforcement never
+        // runs.
+        f.server.status(f.kate.chain(), &contact).unwrap_err();
+        let spans = spans_of("status");
+        assert_eq!(spans[0], (Stage::Authenticate, labels::PERMIT), "{spans:?}");
+        assert_eq!(spans.last(), Some(&(Stage::Callout, labels::POLICY_DENIED)), "{spans:?}");
+
+        // Signal: Figure 3 grants nobody `signal` — denied at the
+        // callout, traced all the same.
+        f.server.signal(f.bo.chain(), &contact, GramSignal::Suspend).unwrap_err();
+        assert_eq!(spans_of("signal").last(), Some(&(Stage::Callout, labels::POLICY_DENIED)));
+
+        // Cancel: Kate's VO-wide NFC cancel grant.
+        f.server.cancel(f.kate.chain(), &contact).unwrap();
+        let spans = spans_of("cancel");
+        assert!(spans.contains(&(Stage::Callout, labels::PERMIT)), "{spans:?}");
+        assert_eq!(spans.last(), Some(&(Stage::Enforce, labels::PERMIT)), "{spans:?}");
+
+        // By-tag sweeps: a sweep trace (authenticate only) plus one trace
+        // per swept job carrying its own authorization + enforcement.
+        f.server.submit(f.bo.chain(), nfc, None, mins(30)).unwrap();
+        let outcomes = f.server.cancel_by_tag(f.kate.chain(), "NFC").unwrap();
+        assert_eq!(outcomes.len(), 1);
+        let traces = telemetry.recent_traces();
+        let sweep_traces: Vec<_> =
+            traces.iter().filter(|t| t.operation() == "cancel-by-tag").collect();
+        assert_eq!(sweep_traces.len(), 2, "sweep + one per-job trace");
+        assert!(sweep_traces.iter().any(|t| t.spans().iter().any(|s| s.stage == Stage::Enforce)));
+        let before = telemetry.traces_finished();
+        f.server.status_by_tag(f.bo.chain(), "ADS").unwrap();
+        assert_eq!(telemetry.traces_finished(), before + 1, "empty sweep still traces");
+
+        // The stage counters accumulated from the folded traces are
+        // queryable from the one registry.
+        assert!(telemetry.counter(Stage::Authenticate, labels::PERMIT) >= 6);
+        assert!(telemetry.counter(Stage::Callout, labels::PERMIT) >= 3);
+        assert!(telemetry.counter(Stage::Callout, labels::POLICY_DENIED) >= 2);
+        assert!(telemetry.counter(Stage::Enforce, labels::PERMIT) >= 3);
+    }
+
+    /// Audit records carry the trace id of the decision that produced
+    /// them, joining the audit trail to the span-level telemetry.
+    #[test]
+    fn audit_records_join_to_decision_traces() {
+        let f = fixture(GramMode::Gt2);
+        let contact = f.server.submit(f.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
+        f.server.status(f.kate.chain(), &contact).unwrap_err();
+
+        let audit = f.server.audit_snapshot();
+        assert_eq!(audit.len(), 2);
+        let traces = f.server.telemetry().recent_traces();
+        for record in &audit {
+            let id = record.trace_id.expect("decision audit records carry a trace id");
+            let trace = traces
+                .iter()
+                .find(|t| t.id() == id)
+                .unwrap_or_else(|| panic!("no trace {id} for {record:?}"));
+            assert!(!trace.spans().is_empty());
+        }
+        // The GT2 denial is attributed to the owner check (combine).
+        let denied = traces.iter().find(|t| t.id() == audit[1].trace_id.unwrap()).unwrap();
+        assert!(denied
+            .spans()
+            .iter()
+            .any(|s| s.stage == gridauthz_telemetry::Stage::Combine
+                && s.label == labels::POLICY_DENIED));
+    }
+
+    /// Gauges sampled by [`GramServer::telemetry_snapshot`]: snapshot
+    /// generation tracks policy publications, live jobs tracks the JMI
+    /// table, and the cache gauges aggregate the callout chain.
+    #[test]
+    fn telemetry_snapshot_refreshes_gauges() {
+        let f = fixture(GramMode::Gt2);
+        f.server.submit(f.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
+        f.server.set_gridmap(GridMapFile::new());
+
+        let snapshot = f.server.telemetry_snapshot();
+        let gauge = |g: Gauge| {
+            snapshot
+                .gauges
+                .iter()
+                .find(|(name, _)| *name == g)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("gauge {g:?} missing"))
+        };
+        assert_eq!(gauge(Gauge::LiveJobs), 1);
+        assert!(gauge(Gauge::SnapshotGeneration) >= 1, "set_gridmap bumps the generation");
+        assert!(snapshot.traces_finished >= 1);
+    }
+
+    /// A hostile job description cannot smuggle forged headers into the
+    /// server's wire response: the response encoder refuses values with
+    /// line breaks and the server answers with the static fallback.
+    #[test]
+    fn wire_response_encoding_failure_serves_fallback() {
+        use crate::wire::{WireParseError, WireResponse};
+        let forged = WireResponse::Error {
+            code: "BAD_REQUEST".into(),
+            message: "oops\ncode: FORGED".into(),
+        };
+        assert!(forged.encode().is_err());
+        let fallback = WireResponse::encode_failure_fallback();
+        // The fallback itself is well-formed protocol text.
+        let decoded: Result<WireResponse, WireParseError> = WireResponse::decode(&fallback);
+        assert!(matches!(
+            decoded.unwrap(),
+            WireResponse::Error { code, .. } if code == "INTERNAL_ENCODING_FAILURE"
         ));
     }
 

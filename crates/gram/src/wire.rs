@@ -10,8 +10,18 @@
 //! and gives failure injection a place to corrupt messages.
 //!
 //! Format: first line `GRAM/1 <VERB>`, then `key: value` headers, ending
-//! with a blank line or end of input. String values are used verbatim
-//! (RSL never contains newlines).
+//! with a blank line or end of input. The framing is defended at both
+//! ends:
+//!
+//! - **Encode** rejects any header value containing `\n` or `\r` with
+//!   [`WireEncodeError`] — otherwise a hostile RSL string or account
+//!   name could smuggle extra headers into the message.
+//! - **Decode** rejects carriage returns anywhere in the text, and
+//!   rejects duplicate headers (an injected second `account:` line must
+//!   not silently lose to first-wins lookup).
+//! - Values are preserved byte-for-byte: exactly the one space the
+//!   encoder writes after `:` is stripped, so significant leading or
+//!   trailing whitespace in a value survives the round trip.
 
 use std::fmt;
 use std::str::FromStr;
@@ -114,8 +124,54 @@ impl fmt::Display for WireParseError {
 
 impl std::error::Error for WireParseError {}
 
+/// A wire-format encode refusal: a header value carried a line break,
+/// which would let the value smuggle additional headers (or a second
+/// message) into the framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEncodeError {
+    header: &'static str,
+}
+
+impl WireEncodeError {
+    /// The header whose value was rejected.
+    pub fn header(&self) -> &'static str {
+        self.header
+    }
+}
+
+impl fmt::Display for WireEncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot encode GRAM message: header {:?} value contains a line break",
+            self.header
+        )
+    }
+}
+
+impl std::error::Error for WireEncodeError {}
+
 fn err(msg: impl Into<String>) -> WireParseError {
     WireParseError(msg.into())
+}
+
+/// Refuses values that would break line framing on the wire.
+fn clean(header: &'static str, value: &str) -> Result<(), WireEncodeError> {
+    if value.contains(['\n', '\r']) {
+        Err(WireEncodeError { header })
+    } else {
+        Ok(())
+    }
+}
+
+/// Shared decode-side framing checks: `\r` never appears in a
+/// well-formed message (the encoder refuses it), so its presence means
+/// corruption or an injection attempt.
+fn check_framing(text: &str) -> Result<(), WireParseError> {
+    if text.contains('\r') {
+        return Err(err("carriage return in message"));
+    }
+    Ok(())
 }
 
 struct Headers<'a> {
@@ -124,14 +180,20 @@ struct Headers<'a> {
 
 impl<'a> Headers<'a> {
     fn parse(lines: impl Iterator<Item = &'a str>) -> Result<Headers<'a>, WireParseError> {
-        let mut pairs = Vec::new();
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
         for line in lines {
             if line.trim().is_empty() {
                 break;
             }
             let (key, value) =
                 line.split_once(':').ok_or_else(|| err(format!("header without ':': {line}")))?;
-            pairs.push((key.trim(), value.trim()));
+            let key = key.trim();
+            if pairs.iter().any(|(k, _)| k.eq_ignore_ascii_case(key)) {
+                return Err(err(format!("duplicate header {key:?}")));
+            }
+            // Strip exactly the one space the encoder writes after ':'.
+            // Anything beyond it is part of the value.
+            pairs.push((key, value.strip_prefix(' ').unwrap_or(value)));
         }
         Ok(Headers { pairs })
     }
@@ -147,25 +209,39 @@ impl<'a> Headers<'a> {
 
 impl WireRequest {
     /// Encodes to the wire format.
-    pub fn encode(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`WireEncodeError`] when a value (RSL, account, contact) contains
+    /// a line break and would corrupt the framing.
+    pub fn encode(&self) -> Result<String, WireEncodeError> {
         match self {
             WireRequest::Submit { rsl, account, work } => {
+                clean("rsl", rsl)?;
                 let mut out =
                     format!("GRAM/1 SUBMIT\nrsl: {rsl}\nwork-micros: {}\n", work.as_micros());
                 if let Some(account) = account {
+                    clean("account", account)?;
                     out.push_str(&format!("account: {account}\n"));
                 }
-                out
+                Ok(out)
             }
-            WireRequest::Cancel { contact } => format!("GRAM/1 CANCEL\njob: {contact}\n"),
-            WireRequest::Status { contact } => format!("GRAM/1 STATUS\njob: {contact}\n"),
+            WireRequest::Cancel { contact } => {
+                clean("job", contact)?;
+                Ok(format!("GRAM/1 CANCEL\njob: {contact}\n"))
+            }
+            WireRequest::Status { contact } => {
+                clean("job", contact)?;
+                Ok(format!("GRAM/1 STATUS\njob: {contact}\n"))
+            }
             WireRequest::Signal { contact, signal } => {
+                clean("job", contact)?;
                 let signal = match signal {
                     GramSignal::Suspend => "suspend".to_string(),
                     GramSignal::Resume => "resume".to_string(),
                     GramSignal::Priority(p) => format!("priority {p}"),
                 };
-                format!("GRAM/1 SIGNAL\njob: {contact}\nsignal: {signal}\n")
+                Ok(format!("GRAM/1 SIGNAL\njob: {contact}\nsignal: {signal}\n"))
             }
         }
     }
@@ -174,9 +250,11 @@ impl WireRequest {
     ///
     /// # Errors
     ///
-    /// [`WireParseError`] for bad framing, unknown verbs, or missing /
-    /// malformed headers.
+    /// [`WireParseError`] for bad framing (including carriage returns
+    /// and duplicate headers), unknown verbs, or missing / malformed
+    /// headers.
     pub fn decode(text: &str) -> Result<WireRequest, WireParseError> {
+        check_framing(text)?;
         let mut lines = text.lines();
         let first = lines.next().ok_or_else(|| err("empty message"))?;
         let verb = first
@@ -189,6 +267,7 @@ impl WireRequest {
                 let rsl = headers.require("rsl")?.to_string();
                 let work_micros: u64 = headers
                     .require("work-micros")?
+                    .trim()
                     .parse()
                     .map_err(|_| err("work-micros must be an integer"))?;
                 Ok(WireRequest::Submit {
@@ -235,22 +314,45 @@ impl WireResponse {
         WireResponse::Error { code: error_code(error).to_string(), message: error.to_string() }
     }
 
+    /// The last-resort response text served when a response itself
+    /// cannot be encoded (a header value carried a line break). Built
+    /// from static text only, so it can never fail in turn.
+    pub fn encode_failure_fallback() -> String {
+        "GRAM/1 ERROR\ncode: INTERNAL_ENCODING_FAILURE\nmessage: response could not be encoded\n"
+            .to_string()
+    }
+
     /// Encodes to the wire format.
-    pub fn encode(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`WireEncodeError`] when a value contains a line break and would
+    /// corrupt the framing.
+    pub fn encode(&self) -> Result<String, WireEncodeError> {
         match self {
-            WireResponse::Submitted { contact } => format!("GRAM/1 SUBMITTED\njob: {contact}\n"),
+            WireResponse::Submitted { contact } => {
+                clean("job", contact)?;
+                Ok(format!("GRAM/1 SUBMITTED\njob: {contact}\n"))
+            }
             WireResponse::Report { contact, owner, jobtag, account, state, executed_micros } => {
+                clean("job", contact)?;
+                clean("owner", owner)?;
+                clean("account", account)?;
+                clean("state", state)?;
                 let mut out = format!(
                     "GRAM/1 REPORT\njob: {contact}\nowner: {owner}\naccount: {account}\nstate: {state}\nexecuted-micros: {executed_micros}\n"
                 );
                 if let Some(tag) = jobtag {
+                    clean("jobtag", tag)?;
                     out.push_str(&format!("jobtag: {tag}\n"));
                 }
-                out
+                Ok(out)
             }
-            WireResponse::Done => "GRAM/1 DONE\n".to_string(),
+            WireResponse::Done => Ok("GRAM/1 DONE\n".to_string()),
             WireResponse::Error { code, message } => {
-                format!("GRAM/1 ERROR\ncode: {code}\nmessage: {message}\n")
+                clean("code", code)?;
+                clean("message", message)?;
+                Ok(format!("GRAM/1 ERROR\ncode: {code}\nmessage: {message}\n"))
             }
         }
     }
@@ -259,8 +361,10 @@ impl WireResponse {
     ///
     /// # Errors
     ///
-    /// [`WireParseError`] for bad framing or missing headers.
+    /// [`WireParseError`] for bad framing (including carriage returns
+    /// and duplicate headers) or missing headers.
     pub fn decode(text: &str) -> Result<WireResponse, WireParseError> {
+        check_framing(text)?;
         let mut lines = text.lines();
         let first = lines.next().ok_or_else(|| err("empty message"))?;
         let verb = first
@@ -280,6 +384,7 @@ impl WireResponse {
                 state: headers.require("state")?.to_string(),
                 executed_micros: headers
                     .require("executed-micros")?
+                    .trim()
                     .parse()
                     .map_err(|_| err("executed-micros must be an integer"))?,
             }),
@@ -301,6 +406,7 @@ pub(crate) fn contact_from_wire(contact: &str) -> JobContact {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn submit_roundtrip() {
@@ -309,7 +415,7 @@ mod tests {
             account: Some("fusion".into()),
             work: SimDuration::from_mins(30),
         };
-        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        assert_eq!(WireRequest::decode(&req.encode().unwrap()).unwrap(), req);
     }
 
     #[test]
@@ -336,7 +442,7 @@ mod tests {
             },
         ];
         for req in requests {
-            assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req, "{req:?}");
+            assert_eq!(WireRequest::decode(&req.encode().unwrap()).unwrap(), req, "{req:?}");
         }
     }
 
@@ -364,8 +470,148 @@ mod tests {
             WireResponse::Error { code: "AUTHORIZATION_DENIED".into(), message: "no grant".into() },
         ];
         for resp in responses {
-            assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp, "{resp:?}");
+            assert_eq!(WireResponse::decode(&resp.encode().unwrap()).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn significant_whitespace_survives_the_round_trip() {
+        // Values with leading, trailing, interior, and tab whitespace —
+        // and the empty string — must come back byte-for-byte.
+        for value in ["  two leading", "trailing  ", "\ttabbed\t", " ", "", "a  b"] {
+            let req = WireRequest::Submit {
+                rsl: value.into(),
+                account: Some(value.into()),
+                work: SimDuration::from_secs(1),
+            };
+            assert_eq!(WireRequest::decode(&req.encode().unwrap()).unwrap(), req, "{value:?}");
+            let resp = WireResponse::Error { code: "BAD_REQUEST".into(), message: value.into() };
+            assert_eq!(WireResponse::decode(&resp.encode().unwrap()).unwrap(), resp, "{value:?}");
+        }
+    }
+
+    #[test]
+    fn encode_rejects_line_breaks_in_every_request_field() {
+        for smuggled in ["evil\naccount: root", "evil\r\naccount: root", "\n", "\r"] {
+            let cases: Vec<(WireRequest, &str)> = vec![
+                (
+                    WireRequest::Submit {
+                        rsl: smuggled.into(),
+                        account: None,
+                        work: SimDuration::from_secs(1),
+                    },
+                    "rsl",
+                ),
+                (
+                    WireRequest::Submit {
+                        rsl: "&(executable = a)".into(),
+                        account: Some(smuggled.into()),
+                        work: SimDuration::from_secs(1),
+                    },
+                    "account",
+                ),
+                (WireRequest::Cancel { contact: smuggled.into() }, "job"),
+                (WireRequest::Status { contact: smuggled.into() }, "job"),
+                (
+                    WireRequest::Signal { contact: smuggled.into(), signal: GramSignal::Resume },
+                    "job",
+                ),
+            ];
+            for (req, header) in cases {
+                let e = req.encode().expect_err("line break must be rejected");
+                assert_eq!(e.header(), header, "{req:?}");
+                assert!(e.to_string().contains("line break"));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rejects_line_breaks_in_every_response_field() {
+        let smuggled = "ok\ncode: FORGED";
+        let cases: Vec<(WireResponse, &str)> = vec![
+            (WireResponse::Submitted { contact: smuggled.into() }, "job"),
+            (
+                WireResponse::Report {
+                    contact: smuggled.into(),
+                    owner: "o".into(),
+                    jobtag: None,
+                    account: "a".into(),
+                    state: "s".into(),
+                    executed_micros: 0,
+                },
+                "job",
+            ),
+            (
+                WireResponse::Report {
+                    contact: "c".into(),
+                    owner: smuggled.into(),
+                    jobtag: None,
+                    account: "a".into(),
+                    state: "s".into(),
+                    executed_micros: 0,
+                },
+                "owner",
+            ),
+            (
+                WireResponse::Report {
+                    contact: "c".into(),
+                    owner: "o".into(),
+                    jobtag: Some(smuggled.into()),
+                    account: "a".into(),
+                    state: "s".into(),
+                    executed_micros: 0,
+                },
+                "jobtag",
+            ),
+            (
+                WireResponse::Report {
+                    contact: "c".into(),
+                    owner: "o".into(),
+                    jobtag: None,
+                    account: smuggled.into(),
+                    state: "s".into(),
+                    executed_micros: 0,
+                },
+                "account",
+            ),
+            (
+                WireResponse::Report {
+                    contact: "c".into(),
+                    owner: "o".into(),
+                    jobtag: None,
+                    account: "a".into(),
+                    state: smuggled.into(),
+                    executed_micros: 0,
+                },
+                "state",
+            ),
+            (WireResponse::Error { code: smuggled.into(), message: "m".into() }, "code"),
+            (WireResponse::Error { code: "C".into(), message: smuggled.into() }, "message"),
+        ];
+        for (resp, header) in cases {
+            let e = resp.encode().expect_err("line break must be rejected");
+            assert_eq!(e.header(), header, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_headers() {
+        let forged = "GRAM/1 SUBMIT\nrsl: &(executable = a)\nwork-micros: 1\naccount: guest\naccount: root\n";
+        let e = WireRequest::decode(forged).expect_err("duplicate header must be rejected");
+        assert!(e.to_string().contains("duplicate header"), "{e}");
+        // Case-insensitive: Account vs account is still a duplicate.
+        let forged = "GRAM/1 CANCEL\njob: x\nJOB: y\n";
+        assert!(WireRequest::decode(forged).is_err());
+        let forged = "GRAM/1 ERROR\ncode: A\ncode: B\nmessage: m\n";
+        assert!(WireResponse::decode(forged).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_carriage_returns() {
+        let crlf = "GRAM/1 CANCEL\r\njob: x\r\n";
+        let e = WireRequest::decode(crlf).expect_err("CR must be rejected");
+        assert!(e.to_string().contains("carriage return"), "{e}");
+        assert!(WireResponse::decode("GRAM/1 DONE\r\n").is_err());
     }
 
     #[test]
@@ -392,5 +638,81 @@ mod tests {
         assert_eq!(error_code(&denial), "AUTHORIZATION_DENIED");
         assert_eq!(error_code(&failure), "AUTHORIZATION_SYSTEM_FAILURE");
         assert_ne!(error_code(&denial), error_code(&failure));
+    }
+
+    /// A header value: arbitrary text with no line breaks, including
+    /// leading/trailing spaces, tabs, colons, and non-ASCII.
+    fn value_strategy() -> impl Strategy<Value = String> {
+        prop::collection::vec(
+            prop::sample::select(vec![
+                'a', 'Z', '0', ' ', '\t', ':', '=', '(', ')', '/', '-', '_', '.', '"', 'é', '→',
+            ]),
+            0..24,
+        )
+        .prop_map(|chars| chars.into_iter().collect())
+    }
+
+    fn request_strategy() -> impl Strategy<Value = WireRequest> {
+        let signal = prop_oneof![
+            Just(GramSignal::Suspend),
+            Just(GramSignal::Resume),
+            (-100i64..100).prop_map(GramSignal::Priority),
+        ];
+        prop_oneof![
+            (value_strategy(), prop::option::of(value_strategy()), 0u64..1_000_000).prop_map(
+                |(rsl, account, micros)| WireRequest::Submit {
+                    rsl,
+                    account,
+                    work: SimDuration::from_micros(micros),
+                }
+            ),
+            value_strategy().prop_map(|contact| WireRequest::Cancel { contact }),
+            value_strategy().prop_map(|contact| WireRequest::Status { contact }),
+            (value_strategy(), signal)
+                .prop_map(|(contact, signal)| WireRequest::Signal { contact, signal }),
+        ]
+    }
+
+    fn response_strategy() -> impl Strategy<Value = WireResponse> {
+        prop_oneof![
+            value_strategy().prop_map(|contact| WireResponse::Submitted { contact }),
+            (
+                value_strategy(),
+                value_strategy(),
+                prop::option::of(value_strategy()),
+                value_strategy(),
+                value_strategy(),
+                0u64..1_000_000,
+            )
+                .prop_map(
+                    |(contact, owner, jobtag, account, state, executed_micros)| {
+                        WireResponse::Report {
+                            contact,
+                            owner,
+                            jobtag,
+                            account,
+                            state,
+                            executed_micros,
+                        }
+                    }
+                ),
+            Just(WireResponse::Done),
+            (value_strategy(), value_strategy())
+                .prop_map(|(code, message)| WireResponse::Error { code, message }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn request_encode_decode_roundtrip(req in request_strategy()) {
+            let encoded = req.encode().expect("line-break-free values must encode");
+            prop_assert_eq!(WireRequest::decode(&encoded).unwrap(), req);
+        }
+
+        #[test]
+        fn response_encode_decode_roundtrip(resp in response_strategy()) {
+            let encoded = resp.encode().expect("line-break-free values must encode");
+            prop_assert_eq!(WireResponse::decode(&encoded).unwrap(), resp);
+        }
     }
 }

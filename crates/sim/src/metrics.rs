@@ -4,9 +4,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use gridauthz_clock::SimTime;
-use gridauthz_gram::GramError;
 
 /// Tally of authorization outcomes, keyed by a short reason label.
+///
+/// Labels come from the fixed telemetry vocabulary
+/// ([`gridauthz_telemetry::labels`]): workload replay tallies denials
+/// under [`gridauthz_gram::error_label`], so a simulator tally, a gram
+/// decision trace, and a bench report all key on the same strings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DecisionTally {
     /// Permitted requests.
@@ -29,22 +33,6 @@ impl DecisionTally {
     /// Total denials.
     pub fn denied(&self) -> u64 {
         self.denials.values().sum()
-    }
-}
-
-/// A short, stable label for a [`GramError`] (metric keys).
-pub(crate) fn error_label(error: &GramError) -> &'static str {
-    match error {
-        GramError::AuthenticationFailed(_) => "authentication",
-        GramError::GridMapDenied(_) => "gridmap",
-        GramError::AccountNotPermitted { .. } => "account-mapping",
-        GramError::NotAuthorized(_) => "policy-denied",
-        GramError::AuthorizationSystemFailure(_) => "authz-system",
-        GramError::BadRequest(_) => "bad-request",
-        GramError::UnknownJob(_) => "unknown-job",
-        GramError::Scheduler(_) => "scheduler",
-        GramError::ProvisioningFailed(_) => "provisioning",
-        GramError::SandboxViolation(_) => "sandbox",
     }
 }
 
@@ -125,13 +113,19 @@ mod tests {
         assert_eq!(t.denials["policy-denied"], 2);
     }
 
+    /// The tally keys are the same stable labels gram's telemetry uses —
+    /// the sim reports through the shared vocabulary, not a private one.
     #[test]
     fn labels_are_stable() {
+        use gridauthz_gram::{error_label, GramError};
         assert_eq!(
             error_label(&GramError::NotAuthorized(DenyReason::NoApplicableGrant)),
-            "policy-denied"
+            gridauthz_telemetry::labels::POLICY_DENIED
         );
-        assert_eq!(error_label(&GramError::BadRequest("x".into())), "bad-request");
+        assert_eq!(
+            error_label(&GramError::BadRequest("x".into())),
+            gridauthz_telemetry::labels::BAD_REQUEST
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use gridauthz_credential::{
 };
 use gridauthz_gram::{GramClient, GramMode, GramServer, GramServerBuilder};
 use gridauthz_scheduler::Cluster;
+use gridauthz_telemetry::TelemetryRegistry;
 use gridauthz_vo::{Role, RoleProfile, VirtualOrganization};
 
 /// The resource-owner policy installed by default: coarse limits that the
@@ -64,6 +65,7 @@ pub struct TestbedBuilder {
     cpus_per_node: u32,
     combiner: Combiner,
     extra_sources: Vec<PolicySource>,
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl Default for TestbedBuilder {
@@ -75,6 +77,7 @@ impl Default for TestbedBuilder {
             cpus_per_node: 8,
             combiner: Combiner::DenyOverrides,
             extra_sources: Vec::new(),
+            telemetry: None,
         }
     }
 }
@@ -119,6 +122,16 @@ impl TestbedBuilder {
     #[must_use]
     pub fn extra_source(mut self, source: PolicySource) -> Self {
         self.extra_sources.push(source);
+        self
+    }
+
+    /// Shares a [`TelemetryRegistry`] with the built server, so the
+    /// bench harness (or a scenario aggregating several testbeds) can
+    /// report through one registry. By default the server creates its
+    /// own, reachable via `testbed.server.telemetry()`.
+    #[must_use]
+    pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 
@@ -202,6 +215,9 @@ impl TestbedBuilder {
             .trust(trust)
             .gridmap(gridmap)
             .cluster(Cluster::uniform(self.nodes, self.cpus_per_node, 16_384));
+        if let Some(registry) = self.telemetry {
+            builder = builder.telemetry(registry);
+        }
         builder = match self.mode {
             GramMode::Gt2 => builder.mode(GramMode::Gt2),
             GramMode::Extended => {
@@ -279,6 +295,26 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, gridauthz_gram::GramError::NotAuthorized(_)));
+    }
+
+    /// A registry handed to the builder is the one the server reports
+    /// through — workload decisions land in the caller's counters.
+    #[test]
+    fn testbed_shares_one_registry_with_the_server() {
+        use gridauthz_telemetry::{labels, Stage};
+        let registry = Arc::new(TelemetryRegistry::new());
+        let tb = TestbedBuilder::new().members(1).telemetry(Arc::clone(&registry)).build();
+        assert!(Arc::ptr_eq(&registry, tb.server.telemetry()));
+        tb.member_client(0)
+            .submit(
+                &tb.server,
+                "&(executable = TRANSP)(jobtag = NFC)(count = 2)",
+                SimDuration::from_mins(5),
+            )
+            .unwrap();
+        assert_eq!(registry.traces_finished(), 1);
+        assert!(registry.counter(Stage::Authenticate, labels::PERMIT) >= 1);
+        assert!(registry.counter(Stage::Callout, labels::PERMIT) >= 1);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use gridauthz_clock::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{error_label, SimMetrics};
+use gridauthz_gram::error_label;
+
+use crate::metrics::SimMetrics;
 use crate::testbed::Testbed;
 
 /// What a workload item tries to do.

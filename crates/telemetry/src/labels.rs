@@ -1,0 +1,88 @@
+//! The fixed outcome-label vocabulary.
+//!
+//! Every counter and span in the pipeline uses one of these labels. The
+//! set is closed on purpose: a fixed vocabulary keeps the counter store a
+//! flat atomic array (no map, no lock, no allocation on the hot path) and
+//! keeps metric keys stable across the gram server, the simulator's
+//! `DecisionTally`, and the bench harness. Ten of the labels mirror the
+//! `GramError` variants one-to-one (see `gridauthz_gram::error_label`);
+//! the remaining three name non-error outcomes.
+
+/// A granted stage or a permitted decision.
+pub const PERMIT: &str = "permit";
+/// Decision cache probe found a live entry.
+pub const HIT: &str = "hit";
+/// Decision cache probe missed (or entry was stale).
+pub const MISS: &str = "miss";
+/// GSI certificate-chain validation failed.
+pub const AUTHENTICATION: &str = "authentication";
+/// Subject absent from the grid-mapfile.
+pub const GRIDMAP: &str = "gridmap";
+/// Requested local account not among the subject's mappings.
+pub const ACCOUNT_MAPPING: &str = "account-mapping";
+/// The policy evaluation denied the action.
+pub const POLICY_DENIED: &str = "policy-denied";
+/// The authorization system itself failed (callout error, timeout).
+pub const AUTHZ_SYSTEM: &str = "authz-system";
+/// Malformed RSL or request.
+pub const BAD_REQUEST: &str = "bad-request";
+/// Management request for a job contact nobody holds.
+pub const UNKNOWN_JOB: &str = "unknown-job";
+/// Local scheduler refused the operation.
+pub const SCHEDULER: &str = "scheduler";
+/// Dynamic account provisioning failed.
+pub const PROVISIONING: &str = "provisioning";
+/// Job violated its sandbox restrictions.
+pub const SANDBOX: &str = "sandbox";
+
+/// Every label in the vocabulary, in canonical (reporting) order.
+pub const ALL: [&str; 13] = [
+    PERMIT,
+    HIT,
+    MISS,
+    AUTHENTICATION,
+    GRIDMAP,
+    ACCOUNT_MAPPING,
+    POLICY_DENIED,
+    AUTHZ_SYSTEM,
+    BAD_REQUEST,
+    UNKNOWN_JOB,
+    SCHEDULER,
+    PROVISIONING,
+    SANDBOX,
+];
+
+/// Index of `label` in [`ALL`], or `None` for a string outside the
+/// vocabulary. The pointer-equality fast path makes this effectively
+/// free when callers pass the constants above (the normal case).
+#[must_use]
+pub fn index_of(label: &str) -> Option<usize> {
+    ALL.iter()
+        .position(|l| std::ptr::eq(*l as *const str, label as *const str))
+        .or_else(|| ALL.iter().position(|l| *l == label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_indexed() {
+        for (i, label) in ALL.iter().enumerate() {
+            assert_eq!(index_of(label), Some(i));
+            // Also resolvable through a non-static copy of the string.
+            let owned = label.to_string();
+            assert_eq!(index_of(&owned), Some(i));
+        }
+        let mut sorted = ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL.len());
+    }
+
+    #[test]
+    fn unknown_labels_have_no_index() {
+        assert_eq!(index_of("not-a-label"), None);
+        assert_eq!(index_of(""), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-decision traces: an ordered span list across pipeline stages.
+
+use std::fmt;
+
+use gridauthz_clock::SimTime;
+
+/// A pipeline stage, in the order a request traverses them
+/// (Figure 2 of the paper: gatekeeper → job manager → callout chain →
+/// local enforcement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// GSI certificate-chain validation at the gatekeeper.
+    Authenticate,
+    /// Grid-mapfile authorization and account mapping.
+    GridMap,
+    /// Decision-cache probe inside the PDP engine.
+    CacheProbe,
+    /// One authorization callout in the chain (span detail names it).
+    Callout,
+    /// Combining PDP evaluation (local ∧ VO policy sources).
+    Combine,
+    /// Local enforcement: scheduler submit/cancel/signal, sandboxing.
+    Enforce,
+}
+
+impl Stage {
+    /// Number of stages (array-index bound for per-stage storage).
+    pub const COUNT: usize = 6;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Authenticate,
+        Stage::GridMap,
+        Stage::CacheProbe,
+        Stage::Callout,
+        Stage::Combine,
+        Stage::Enforce,
+    ];
+
+    /// Dense index for per-stage arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name (metric key component).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Authenticate => "authenticate",
+            Stage::GridMap => "gridmap",
+            Stage::CacheProbe => "cache-probe",
+            Stage::Callout => "callout",
+            Stage::Combine => "combine",
+            Stage::Enforce => "enforce",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One timed stage of one decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which stage this span covers.
+    pub stage: Stage,
+    /// Outcome label from the fixed vocabulary ([`crate::labels`]).
+    pub label: &'static str,
+    /// Optional qualifier — the callout name for [`Stage::Callout`] spans.
+    pub detail: Option<Box<str>>,
+    /// Elapsed monotonic wall time, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// The span list for one request through the pipeline.
+///
+/// Created by [`TelemetryRegistry::start_trace`], carried through the
+/// gatekeeper, PDP and enforcement stages, and closed with
+/// [`TelemetryRegistry::finish_trace`], which folds every span into the
+/// registry's counters and histograms exactly once.
+///
+/// [`TelemetryRegistry::start_trace`]: crate::TelemetryRegistry::start_trace
+/// [`TelemetryRegistry::finish_trace`]: crate::TelemetryRegistry::finish_trace
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionTrace {
+    id: u64,
+    operation: &'static str,
+    at: SimTime,
+    spans: Vec<Span>,
+}
+
+impl DecisionTrace {
+    pub(crate) fn new(id: u64, operation: &'static str, at: SimTime) -> DecisionTrace {
+        DecisionTrace { id, operation, at, spans: Vec::with_capacity(6) }
+    }
+
+    /// Registry-unique trace id (what `AuditRecord` carries).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The operation this trace covers (`"submit"`, `"cancel"`, …).
+    #[must_use]
+    pub fn operation(&self) -> &'static str {
+        self.operation
+    }
+
+    /// Simulated arrival time of the request. Spans share it: simulated
+    /// time does not advance while a request is being handled.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// The spans recorded so far, in pipeline order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Records a span for `stage` with outcome `label`.
+    pub fn record(&mut self, stage: Stage, label: &'static str, nanos: u64) {
+        self.spans.push(Span { stage, label, detail: None, nanos });
+    }
+
+    /// Records a [`Stage::Callout`] span naming the callout.
+    pub fn record_callout(&mut self, name: &str, label: &'static str, nanos: u64) {
+        self.spans.push(Span { stage: Stage::Callout, label, detail: Some(name.into()), nanos });
+    }
+}
+
+impl fmt::Display for DecisionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace#{} {} @{}", self.id, self.operation, self.at)?;
+        for span in &self.spans {
+            write!(f, " [{}", span.stage)?;
+            if let Some(detail) = &span.detail {
+                write!(f, ":{detail}")?;
+            }
+            write!(f, " {} {}ns]", span.label, span.nanos)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels;
+
+    #[test]
+    fn stage_indices_are_dense_and_ordered() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        let mut names: Vec<_> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn trace_accumulates_spans_in_order() {
+        let mut trace = DecisionTrace::new(7, "submit", SimTime::from_secs(3));
+        trace.record(Stage::Authenticate, labels::PERMIT, 1200);
+        trace.record_callout("gram-authorization", labels::POLICY_DENIED, 800);
+        assert_eq!(trace.id(), 7);
+        assert_eq!(trace.operation(), "submit");
+        assert_eq!(trace.spans().len(), 2);
+        assert_eq!(trace.spans()[1].detail.as_deref(), Some("gram-authorization"));
+        let shown = trace.to_string();
+        assert!(shown.contains("trace#7 submit"));
+        assert!(shown.contains("callout:gram-authorization policy-denied 800ns"));
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`cas`] | Community Authorization Service + restricted-proxy enforcement |
 //! | [`sim`] | testbeds, workloads, figure scenarios |
 //! | [`clock`] | deterministic simulated time |
+//! | [`telemetry`] | counters, latency histograms, per-decision traces |
 //!
 //! # Quickstart
 //!
@@ -51,4 +52,5 @@ pub use gridauthz_gram as gram;
 pub use gridauthz_rsl as rsl;
 pub use gridauthz_scheduler as scheduler;
 pub use gridauthz_sim as sim;
+pub use gridauthz_telemetry as telemetry;
 pub use gridauthz_vo as vo;

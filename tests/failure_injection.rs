@@ -82,6 +82,63 @@ fn authorization_system_failure_fails_closed() {
     client.cancel(&server, &contact).unwrap();
 }
 
+/// A callout whose failure message carries an embedded line break — as a
+/// compromised or careless policy server might — trying to smuggle a
+/// forged header into the wire response.
+#[derive(Debug)]
+struct ForgingCallout;
+
+impl AuthorizationCallout for ForgingCallout {
+    fn name(&self) -> &str {
+        "forging-authz"
+    }
+
+    fn authorize(&self, _request: &AuthzRequest) -> Result<(), AuthzFailure> {
+        Err(AuthzFailure::SystemError("policy server down\ncode: OK".into()))
+    }
+}
+
+#[test]
+fn newline_bearing_failure_messages_cannot_forge_wire_headers() {
+    use gridauthz::gram::wire::{WireRequest, WireResponse};
+    use gridauthz::telemetry::{labels, Stage};
+
+    let clock = SimClock::new();
+    let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone());
+    let user = ca.issue_identity("/O=Grid/CN=U", SimDuration::from_hours(8)).unwrap();
+    let mut gridmap = GridMapFile::new();
+    gridmap.insert(GridMapEntry::new(user.identity(), vec!["u".into()]));
+    let mut chain = CalloutChain::new();
+    chain.push(Arc::new(ForgingCallout));
+    let server = GramServerBuilder::new("site", &clock)
+        .trust(trust)
+        .gridmap(gridmap)
+        .cluster(Cluster::uniform(1, 4, 4096))
+        .callouts(chain)
+        .build();
+
+    let request = WireRequest::Submit {
+        rsl: "&(executable = a)(count = 1)".into(),
+        account: None,
+        work: mins(1),
+    };
+    let text = server.handle_wire(user.chain(), &request.encode().unwrap());
+    // The poisoned message cannot be encoded; the server answers with
+    // the static fallback instead of leaking a forged `code:` header.
+    let response = WireResponse::decode(&text).unwrap();
+    let WireResponse::Error { code, message } = response else {
+        panic!("expected Error, got {response:?}");
+    };
+    assert_eq!(code, "INTERNAL_ENCODING_FAILURE");
+    assert!(!message.contains('\n'));
+
+    // The failure is still accounted as an authorization-system error in
+    // the shared registry — fail closed, observable, unforgeable.
+    assert_eq!(server.telemetry().counter(Stage::Callout, labels::AUTHZ_SYSTEM), 1);
+}
+
 #[test]
 fn misconfigured_callout_is_a_system_error_at_instantiation() {
     let registry = CalloutRegistry::new();

@@ -20,14 +20,16 @@ fn full_job_lifecycle_over_the_wire() {
         account: None,
         work: mins(30),
     };
-    let response = WireResponse::decode(&tb.server.handle_wire(chain, &submit.encode())).unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire(chain, &submit.encode().unwrap())).unwrap();
     let WireResponse::Submitted { contact } = response else {
         panic!("expected Submitted, got {response:?}");
     };
 
     // Status.
     let status = WireRequest::Status { contact: contact.clone() };
-    let response = WireResponse::decode(&tb.server.handle_wire(chain, &status.encode())).unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire(chain, &status.encode().unwrap())).unwrap();
     let WireResponse::Report { state, jobtag, owner, .. } = response else {
         panic!("expected Report, got {response:?}");
     };
@@ -37,10 +39,12 @@ fn full_job_lifecycle_over_the_wire() {
 
     // Suspend via signal, then cancel.
     let signal = WireRequest::Signal { contact: contact.clone(), signal: GramSignal::Suspend };
-    let response = WireResponse::decode(&tb.server.handle_wire(chain, &signal.encode())).unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire(chain, &signal.encode().unwrap())).unwrap();
     assert_eq!(response, WireResponse::Done);
     let cancel = WireRequest::Cancel { contact };
-    let response = WireResponse::decode(&tb.server.handle_wire(chain, &cancel.encode())).unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire(chain, &cancel.encode().unwrap())).unwrap();
     assert_eq!(response, WireResponse::Done);
 }
 
@@ -54,7 +58,8 @@ fn wire_denials_carry_protocol_error_codes() {
         account: None,
         work: mins(1),
     };
-    let response = WireResponse::decode(&tb.server.handle_wire(chain, &rogue.encode())).unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire(chain, &rogue.encode().unwrap())).unwrap();
     let WireResponse::Error { code, message } = response else {
         panic!("expected Error, got {response:?}");
     };
@@ -70,7 +75,8 @@ fn wire_denials_carry_protocol_error_codes() {
 
     // Unknown contacts are UNKNOWN_JOB.
     let cancel = WireRequest::Cancel { contact: "gram://nowhere/jobs/99".into() };
-    let response = WireResponse::decode(&tb.server.handle_wire(chain, &cancel.encode())).unwrap();
+    let response =
+        WireResponse::decode(&tb.server.handle_wire(chain, &cancel.encode().unwrap())).unwrap();
     let WireResponse::Error { code, .. } = response else {
         panic!("expected Error");
     };
@@ -109,6 +115,45 @@ fn audit_log_records_permits_and_refusals_with_identities() {
 
     assert!(records[2].outcome.is_permitted());
     assert_eq!(tb.server.audit_refusal_count(), 1);
+
+    // Every decision record joins to a finished telemetry trace with
+    // per-stage spans: audit answers *what* was decided, the trace
+    // answers *where* the decision spent its time.
+    let traces = tb.server.telemetry().recent_traces();
+    for record in &records {
+        let id = record.trace_id.expect("decision records carry a trace id");
+        let trace = traces.iter().find(|t| t.id() == id).expect("trace id resolves");
+        assert!(!trace.spans().is_empty());
+    }
+}
+
+#[test]
+fn header_injection_is_rejected_at_both_codec_boundaries() {
+    let tb = TestbedBuilder::new().members(1).build();
+    let chain = tb.members[0].chain();
+
+    // Encode side: a jobtag (or any header value) carrying a newline
+    // would smuggle a forged header into the message; encode refuses.
+    let smuggle = WireRequest::Submit {
+        rsl: "&(executable = TRANSP)(jobtag = NFC)(count = 1)\nowner: /O=Grid/CN=Forged".into(),
+        account: None,
+        work: mins(1),
+    };
+    assert!(smuggle.encode().is_err());
+
+    // Decode side: hand-built wire text with a duplicate header (the
+    // result of a successful injection) is refused before dispatch.
+    let forged = "GRAM/1 SUBMIT\nrsl: &(executable = TRANSP)(jobtag = NFC)(count = 1)\n\
+                  work-micros: 60000000\nwork-micros: 1\n";
+    let response = WireResponse::decode(&tb.server.handle_wire(chain, forged)).unwrap();
+    let WireResponse::Error { code, message } = response else {
+        panic!("expected Error");
+    };
+    assert_eq!(code, "BAD_REQUEST");
+    assert!(message.contains("duplicate header"), "{message}");
+
+    // Nothing reached the authorization pipeline or the audit log.
+    assert_eq!(tb.server.audit_snapshot().len(), 0);
 }
 
 #[test]
@@ -154,7 +199,7 @@ fn self_contained_pem_wire_messages_work_end_to_end() {
         work: mins(10),
     };
     // One text blob: credential + request.
-    let message = format!("{}{}", encode_chain(tb.members[0].chain()), request.encode());
+    let message = format!("{}{}", encode_chain(tb.members[0].chain()), request.encode().unwrap());
     let response = WireResponse::decode(&tb.server.handle_wire_pem(&message)).unwrap();
     assert!(matches!(response, WireResponse::Submitted { .. }));
 
