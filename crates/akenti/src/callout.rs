@@ -149,4 +149,30 @@ mod tests {
         let err = c.authorize(&request("/O=G/CN=Kate", "&(count = 1)")).unwrap_err();
         assert!(err.is_denial());
     }
+
+    #[test]
+    fn supervised_akenti_denials_do_not_trip_the_breaker() {
+        use gridauthz_core::{BreakerState, ResilienceConfig, SupervisedCallout};
+
+        let clock = SimClock::new();
+        let config = ResilienceConfig { failure_threshold: 2, ..ResilienceConfig::default() };
+        let supervised = SupervisedCallout::new(Arc::new(callout()), &clock, config);
+
+        // Repeated denials are answers from a healthy engine, far past
+        // the two-failure threshold — the breaker must stay closed.
+        for _ in 0..5 {
+            let err = supervised
+                .authorize(&request("/O=G/CN=Eve", "&(executable = TRANSP)"))
+                .unwrap_err();
+            assert!(err.is_denial());
+        }
+        assert_eq!(supervised.breaker_state(), BreakerState::Closed);
+        assert!(supervised.authorize(&request("/O=G/CN=Kate", "&(executable = TRANSP)")).is_ok());
+
+        // The supervision report surfaces through the callout trait.
+        let report = AuthorizationCallout::supervision_report(&supervised).unwrap();
+        assert_eq!(report.state, BreakerState::Closed);
+        assert!(report.transitions.is_empty());
+        assert_eq!(report.stats.retries, 0);
+    }
 }

@@ -526,6 +526,94 @@ fn t9() {
     }
 }
 
+/// Where the callout-resilience report lands (CI artifact; the T10
+/// entry in EXPERIMENTS.md quotes its phase tables).
+const RESILIENCE_REPORT: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_callout_resilience.json");
+
+fn t10() {
+    use gridauthz_core::DegradationPolicy;
+
+    heading("T10 — callout outage: supervised vs unsupervised decisions");
+
+    let modes: Vec<(&str, Option<DegradationPolicy>)> = vec![
+        ("unsupervised", None),
+        ("fail-closed", Some(DegradationPolicy::FailClosed)),
+        ("serve-stale", Some(DegradationPolicy::ServeStale { ttl: SimDuration::from_secs(60) })),
+    ];
+    let mut json_modes = Vec::new();
+    for (label, policy) in modes {
+        let report = scenario::callout_outage_recovery(policy);
+        println!("\nmode: {label} (decision budget {} µs)", report.budget_micros);
+        println!(
+            "{:<14} {:>9} {:>8} {:>8} {:>9} {:>9} {:>14}",
+            "phase", "requests", "permits", "denials", "failures", "degraded", "max-decision µs"
+        );
+        for phase in &report.phases {
+            println!(
+                "{:<14} {:>9} {:>8} {:>8} {:>9} {:>9} {:>14}",
+                phase.label,
+                phase.requests,
+                phase.permits,
+                phase.denials,
+                phase.failures,
+                phase.degraded,
+                phase.max_decision_micros
+            );
+        }
+        println!(
+            "breaker transitions: {}; retries {}, timeouts {}, stale-served {}, \
+             breaker-rejections {}",
+            report
+                .transitions
+                .iter()
+                .map(|t| format!("{}->{}", t.from, t.to))
+                .collect::<Vec<_>>()
+                .join(", "),
+            report.stats.retries,
+            report.stats.timeouts,
+            report.stats.stale_served,
+            report.stats.breaker_rejections,
+        );
+        let phases_json: Vec<String> = report
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"phase\": \"{}\", \"requests\": {}, \"permits\": {}, \
+                     \"denials\": {}, \"failures\": {}, \"degraded\": {}, \
+                     \"max_decision_micros\": {}}}",
+                    p.label,
+                    p.requests,
+                    p.permits,
+                    p.denials,
+                    p.failures,
+                    p.degraded,
+                    p.max_decision_micros
+                )
+            })
+            .collect();
+        json_modes.push(format!(
+            "    {{\n      \"mode\": \"{label}\",\n      \"budget_micros\": {},\n      \
+             \"breaker_rejections\": {},\n      \"retries\": {},\n      \
+             \"stale_served\": {},\n      \"phases\": [\n        {}\n      ]\n    }}",
+            report.budget_micros,
+            report.stats.breaker_rejections,
+            report.stats.retries,
+            report.stats.stale_served,
+            phases_json.join(",\n        ")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"t10-callout-resilience\",\n  \"modes\": [\n{}\n  ]\n}}\n",
+        json_modes.join(",\n")
+    );
+    match std::fs::write(RESILIENCE_REPORT, json) {
+        Ok(()) => println!("wrote {RESILIENCE_REPORT}"),
+        Err(e) => println!("could not write {RESILIENCE_REPORT}: {e}"),
+    }
+}
+
 fn main() {
     println!("gridauthz experiment harness — reproducing Keahey et al., Middleware 2003");
     // With arguments, run only the named experiments (`harness t9`);
@@ -542,6 +630,7 @@ fn main() {
         ("t7", t7),
         ("t8", t8),
         ("t9", t9),
+        ("t10", t10),
         ("a1", a1),
         ("a3", a3),
     ];

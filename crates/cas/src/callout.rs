@@ -115,4 +115,40 @@ mod tests {
             other => panic!("expected SystemError, got {other:?}"),
         }
     }
+
+    #[test]
+    fn supervision_preserves_decisions_and_retries_corrupt_payloads() {
+        use std::sync::Arc;
+
+        use gridauthz_clock::SimClock;
+        use gridauthz_core::{ResilienceConfig, SupervisedCallout};
+
+        let clock = SimClock::new();
+        let config = ResilienceConfig { max_attempts: 2, ..ResilienceConfig::default() };
+        let supervised = SupervisedCallout::new(
+            Arc::new(RestrictionCallout::new("cas-enforce")),
+            &clock,
+            config,
+        );
+
+        // Permits and capability denials pass through unchanged — a
+        // denial is an answer, not an authorization-system failure.
+        let permit = start("&(executable = TRANSP)(jobtag = NFC)(count = 8)")
+            .with_restrictions(vec![CAPS.into()]);
+        assert!(supervised.authorize(&permit).is_ok());
+        let deny = start("&(executable = TRANSP)(jobtag = NFC)(count = 64)")
+            .with_restrictions(vec![CAPS.into()]);
+        assert!(matches!(supervised.authorize(&deny), Err(AuthzFailure::Denied(_))));
+        assert_eq!(supervised.stats().retries, 0);
+
+        // A corrupt payload is a system failure: retried once under the
+        // two-attempt budget, then failed closed and counted degraded.
+        let garbage = start("&(executable = TRANSP)").with_restrictions(vec!["%%".into()]);
+        match supervised.authorize(&garbage) {
+            Err(AuthzFailure::SystemError(msg)) => assert!(msg.contains("failing closed")),
+            other => panic!("expected fail-closed SystemError, got {other:?}"),
+        }
+        assert_eq!(supervised.stats().retries, 1);
+        assert_eq!(supervised.stats().degraded, 1);
+    }
 }

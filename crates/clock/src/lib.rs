@@ -219,7 +219,11 @@ impl SimClock {
     /// Panics if `t` is earlier than the current instant — simulated time
     /// never flows backwards.
     pub fn advance_to(&self, t: SimTime) {
-        let prev = self.micros.swap(t.as_micros(), Ordering::SeqCst);
+        // `fetch_max` rejects *before* mutating: a backwards target leaves
+        // the stored instant untouched, so concurrent readers never observe
+        // time rewinding, and two racing `advance_to` calls settle on the
+        // later of the two targets.
+        let prev = self.micros.fetch_max(t.as_micros(), Ordering::SeqCst);
         assert!(
             prev <= t.as_micros(),
             "SimClock::advance_to would move time backwards ({} -> {})",
@@ -305,6 +309,20 @@ mod tests {
     fn advance_to_rejects_backwards() {
         let clock = SimClock::starting_at(SimTime::from_secs(10));
         clock.advance_to(SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn advance_to_rejects_before_mutating() {
+        // Regression: the old swap-then-assert mutated the clock before
+        // panicking, so a rejected call still rewound time for every other
+        // handle. The rejection must leave the clock untouched.
+        let clock = SimClock::starting_at(SimTime::from_secs(10));
+        let view = clock.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clock.advance_to(SimTime::from_secs(5));
+        }));
+        assert!(result.is_err(), "backwards advance_to must still panic");
+        assert_eq!(view.now(), SimTime::from_secs(10), "rejected advance_to must not rewind time");
     }
 
     #[test]

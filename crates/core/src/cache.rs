@@ -91,9 +91,13 @@ struct Entry {
 /// Number of independently-locked shards; keyed by the digest's low bits.
 const SHARD_COUNT: usize = 16;
 /// Entries per shard before stale entries are purged (and, if every entry
-/// is current, the shard is cleared). Bounds memory at roughly
+/// is current, a bounded batch is evicted). Bounds memory at roughly
 /// `SHARD_COUNT * SHARD_CAPACITY` decisions.
 const SHARD_CAPACITY: usize = 4096;
+/// Entries evicted from a shard that is full of *current*-generation
+/// entries: 1/8 of the shard, enough headroom that the eviction cost is
+/// amortized over many inserts while the hot working set survives.
+const EVICT_BATCH: usize = SHARD_CAPACITY / 8;
 
 /// A sharded, generation-stamped cache of combined policy decisions.
 ///
@@ -144,15 +148,26 @@ impl DecisionCache {
     }
 
     /// Stores a decision computed under `generation`. Entries stamped
-    /// with a *different* generation (and, at capacity, whole shards)
-    /// are evicted on the way in — the inserting generation is by
-    /// construction the current one.
+    /// with a *different* generation are evicted on the way in — the
+    /// inserting generation is by construction the current one. When a
+    /// shard stays full of current entries, a bounded fraction
+    /// ([`EVICT_BATCH`] entries) is evicted rather than the whole shard:
+    /// dropping every hot entry at once would turn one insert into a
+    /// latency spike for the entire shard's working set.
     pub fn insert(&self, key: u128, generation: u64, decision: Arc<CombinedDecision>) {
         let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
         if shard.len() >= SHARD_CAPACITY {
             shard.retain(|_, entry| entry.generation == generation);
             if shard.len() >= SHARD_CAPACITY {
-                shard.clear();
+                let mut to_evict = EVICT_BATCH;
+                shard.retain(|_, _| {
+                    if to_evict > 0 {
+                        to_evict -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
             }
         }
         shard.insert(key, Entry { generation, decision });
@@ -506,5 +521,29 @@ mod tests {
         // entry in that shard.
         cache.insert(0, 1, decision);
         assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn full_hot_shard_retains_most_entries_after_insert() {
+        // Regression: a shard full of *current*-generation entries used to
+        // be cleared wholesale, dropping the entire hot working set. The
+        // bounded eviction must keep the vast majority resident.
+        let cache = DecisionCache::new();
+        let pdp = pdp("/O=G/CN=Bo: &(action = start)");
+        let decision = cache.decide(0, &pdp, &start("/O=G/CN=Bo", "&(executable = x)"));
+        // Fill shard 0 to capacity, all under the current generation.
+        for i in 1..=SHARD_CAPACITY as u128 {
+            cache.insert(i * SHARD_COUNT as u128, 0, decision.clone());
+        }
+        let before = cache.len();
+        assert!(before >= SHARD_CAPACITY);
+        // One more current-generation insert into the full shard.
+        cache.insert((SHARD_CAPACITY as u128 + 1) * SHARD_COUNT as u128, 0, decision);
+        let after = cache.len();
+        assert!(
+            after >= SHARD_CAPACITY - EVICT_BATCH,
+            "bounded eviction dropped too much: {before} -> {after}"
+        );
+        assert!(after < before + 1, "capacity bound must still hold");
     }
 }

@@ -71,6 +71,7 @@ mod policy;
 mod request;
 mod snapshot;
 mod statement;
+mod supervise;
 
 pub mod paper;
 pub mod xacml;
@@ -93,6 +94,10 @@ pub use policy::Policy;
 pub use request::AuthzRequest;
 pub use snapshot::{AuthzEngine, PolicySnapshot, SnapshotCell};
 pub use statement::{PolicyStatement, StatementRole, SubjectMatcher};
+pub use supervise::{
+    BreakerState, BreakerTransition, DegradationPolicy, ResilienceConfig, SupervisedCallout,
+    SupervisionReport, SupervisionStats,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use gridauthz_clock::SimClock;
 use gridauthz_telemetry::{DecisionTrace, TelemetryRegistry};
 
 use crate::cache::{CacheStats, DecisionCache};
@@ -23,6 +24,7 @@ use crate::combine::CombinedPdp;
 use crate::error::{AuthzFailure, PolicyParseError};
 use crate::request::AuthzRequest;
 use crate::snapshot::{AuthzEngine, PolicySnapshot};
+use crate::supervise::{ResilienceConfig, SupervisedCallout, SupervisionReport};
 
 /// A pluggable authorization module, invoked before every job action.
 pub trait AuthorizationCallout: Send + Sync {
@@ -89,6 +91,23 @@ pub trait AuthorizationCallout: Send + Sync {
     /// ([`AuthzEngine::refresh_telemetry_gauges`]). The default (`None`)
     /// is right for cacheless callouts.
     fn cache_report(&self) -> Option<(CacheStats, usize)> {
+        None
+    }
+
+    /// Hands the callout a metrics registry to record into. Most
+    /// callouts have nothing to record beyond the callout-level span the
+    /// caller already takes, so the default is a no-op;
+    /// [`SupervisedCallout`] stores the registry to count retries,
+    /// timeouts and breaker transitions.
+    fn attach_telemetry(&self, registry: &Arc<TelemetryRegistry>) {
+        let _ = registry;
+    }
+
+    /// The callout's supervision state — breaker position, recent
+    /// transitions, degradation counters — when it is supervised. The
+    /// default (`None`) is right for bare callouts; the GRAM server uses
+    /// this to turn breaker transitions into audit records.
+    fn supervision_report(&self) -> Option<SupervisionReport> {
         None
     }
 }
@@ -267,19 +286,32 @@ impl CalloutChain {
         Ok(())
     }
 
-    /// Authorizes a batch: each callout sees the whole batch (snapshot-
-    /// backed callouts resolve their state once for all elements); a
-    /// request's result is its first failure in callout order. An empty
-    /// chain permits every element.
+    /// Authorizes a batch: each callout sees the still-undecided subset of
+    /// the batch (snapshot-backed callouts resolve their state once for
+    /// all elements); a request's result is its first failure in callout
+    /// order — elements already settled by an earlier callout are never
+    /// re-presented to later ones, so side-effectful callouts observe
+    /// each element at most once. An empty chain permits every element.
     pub fn authorize_batch(&self, requests: &[AuthzRequest]) -> Vec<Result<(), AuthzFailure>> {
         let mut outcomes: Vec<Result<(), AuthzFailure>> = requests.iter().map(|_| Ok(())).collect();
         for callout in &self.callouts {
-            if outcomes.iter().all(Result::is_err) {
+            let pending: Vec<usize> =
+                (0..requests.len()).filter(|&i| outcomes[i].is_ok()).collect();
+            if pending.is_empty() {
                 break;
             }
-            for (outcome, sub) in outcomes.iter_mut().zip(callout.authorize_batch(requests)) {
-                if outcome.is_ok() {
-                    *outcome = sub;
+            if pending.len() == requests.len() {
+                // Nothing settled yet: hand the callout the original slice.
+                for (outcome, sub) in outcomes.iter_mut().zip(callout.authorize_batch(requests)) {
+                    if outcome.is_ok() {
+                        *outcome = sub;
+                    }
+                }
+            } else {
+                let subset: Vec<AuthzRequest> =
+                    pending.iter().map(|&i| requests[i].clone()).collect();
+                for (&i, sub) in pending.iter().zip(callout.authorize_batch(&subset)) {
+                    outcomes[i] = sub;
                 }
             }
         }
@@ -314,6 +346,22 @@ pub struct CalloutConfigEntry {
     pub symbol: String,
     /// Free-form `key=value` options.
     pub options: HashMap<String, String>,
+}
+
+impl CalloutConfigEntry {
+    /// The resilience knobs configured on this entry, parsed from its
+    /// options (`deadline_ms=…`, `attempts=…`, `degrade=…`, …), or
+    /// `None` when the entry carries no resilience option and should run
+    /// unsupervised. See [`ResilienceConfig::from_options`].
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyParseError`] (line 0 — option maps lose line numbers)
+    /// naming the offending option.
+    pub fn resilience(&self) -> Result<Option<ResilienceConfig>, PolicyParseError> {
+        ResilienceConfig::from_options(&self.options)
+            .map_err(|msg| PolicyParseError::new(0, format!("callout {:?}: {msg}", self.name)))
+    }
 }
 
 /// A parsed callout configuration file.
@@ -430,6 +478,40 @@ impl CalloutRegistry {
         }
         Ok(chain)
     }
+
+    /// Like [`instantiate`](Self::instantiate), but wraps every entry
+    /// that carries resilience options (see
+    /// [`CalloutConfigEntry::resilience`]) in a [`SupervisedCallout`]
+    /// timed against `clock`. Entries without resilience options run
+    /// bare, exactly as `instantiate` builds them.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzFailure::SystemError`] for unregistered libraries, factory
+    /// failures, or malformed resilience options.
+    pub fn instantiate_supervised(
+        &self,
+        config: &CalloutConfig,
+        clock: &SimClock,
+    ) -> Result<CalloutChain, AuthzFailure> {
+        let mut chain = CalloutChain::new();
+        for entry in config.entries() {
+            let factory = self.factories.get(&entry.library).ok_or_else(|| {
+                AuthzFailure::SystemError(format!(
+                    "no callout library {:?} registered (entry {:?})",
+                    entry.library, entry.name
+                ))
+            })?;
+            let callout = factory(entry)?;
+            match entry.resilience().map_err(|e| AuthzFailure::SystemError(e.to_string()))? {
+                Some(resilience) => {
+                    chain.push(Arc::new(SupervisedCallout::new(callout, clock, resilience)));
+                }
+                None => chain.push(callout),
+            }
+        }
+        Ok(chain)
+    }
 }
 
 impl fmt::Debug for CalloutRegistry {
@@ -495,6 +577,93 @@ mod tests {
         assert!(chain.authorize(&request("/O=G/CN=Bo", "&(executable = x)")).is_err());
         assert_eq!(counter.0.load(std::sync::atomic::Ordering::SeqCst), 1);
         assert_eq!(chain.names(), vec!["deny", "deny"]);
+    }
+
+    #[test]
+    fn batch_skips_elements_settled_by_earlier_callouts() {
+        use std::sync::Mutex;
+
+        // Denies requests from a specific subject; records nothing.
+        struct DenySubject(&'static str);
+        impl AuthorizationCallout for DenySubject {
+            fn name(&self) -> &str {
+                "deny-subject"
+            }
+            fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
+                if request.subject().to_string().contains(self.0) {
+                    Err(AuthzFailure::Denied(DenyReason::NoApplicableGrant))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        // Records every request it is shown — a side-effectful callout.
+        #[derive(Default)]
+        struct Spy {
+            seen: Mutex<Vec<String>>,
+        }
+        impl AuthorizationCallout for Spy {
+            fn name(&self) -> &str {
+                "spy"
+            }
+            fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
+                self.seen.lock().unwrap().push(request.subject().to_string());
+                Ok(())
+            }
+        }
+
+        let spy = Arc::new(Spy::default());
+        let mut chain = CalloutChain::new();
+        chain.push(Arc::new(DenySubject("Mallory")));
+        chain.push(spy.clone());
+
+        let requests = vec![
+            request("/O=G/CN=Alice", "&(executable = x)"),
+            request("/O=G/CN=Mallory", "&(executable = x)"),
+            request("/O=G/CN=Carol", "&(executable = x)"),
+        ];
+        let outcomes = chain.authorize_batch(&requests);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_err(), "first failure in callout order must stand");
+        assert!(outcomes[2].is_ok());
+
+        // The spy must only ever have observed the two surviving elements.
+        let seen = spy.seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "settled element re-presented to a later callout: {seen:?}");
+        assert!(seen[0].contains("Alice") && seen[1].contains("Carol"), "{seen:?}");
+    }
+
+    #[test]
+    fn batch_short_circuits_when_everything_is_settled() {
+        struct DenyAll;
+        impl AuthorizationCallout for DenyAll {
+            fn name(&self) -> &str {
+                "deny-all"
+            }
+            fn authorize(&self, _: &AuthzRequest) -> Result<(), AuthzFailure> {
+                Err(AuthzFailure::Denied(DenyReason::NoApplicableGrant))
+            }
+        }
+        #[derive(Default)]
+        struct Counting(std::sync::atomic::AtomicUsize);
+        impl AuthorizationCallout for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn authorize(&self, _: &AuthzRequest) -> Result<(), AuthzFailure> {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let counter = Arc::new(Counting::default());
+        let mut chain = CalloutChain::new();
+        chain.push(Arc::new(DenyAll));
+        chain.push(counter.clone());
+        let requests = vec![request("/O=G/CN=Bo", "&(executable = x)")];
+        let outcomes = chain.authorize_batch(&requests);
+        assert!(outcomes[0].is_err());
+        assert_eq!(counter.0.load(std::sync::atomic::Ordering::SeqCst), 0);
     }
 
     #[test]
@@ -638,6 +807,41 @@ gram-authorization libc.so sym_c";
         let chain = registry.instantiate(&config).unwrap();
         assert_eq!(chain.len(), 1);
         assert_eq!(chain.names(), vec!["authz"]);
+    }
+
+    #[test]
+    fn registry_wraps_entries_with_resilience_options() {
+        let mut registry = CalloutRegistry::new();
+        registry.register(
+            "librsl_pdp.so",
+            Box::new(|entry| {
+                let source = PolicySource::new(
+                    "configured",
+                    PolicyOrigin::ResourceOwner,
+                    "*:&(action=information)".parse().unwrap(),
+                );
+                Ok(Arc::new(PdpCallout::new(
+                    entry.name.clone(),
+                    CombinedPdp::new(vec![source], Combiner::DenyOverrides),
+                )))
+            }),
+        );
+        let config = CalloutConfig::parse(
+            "authz librsl_pdp.so sym attempts=2 degrade=fail-closed\nplain librsl_pdp.so sym",
+        )
+        .unwrap();
+        let clock = SimClock::new();
+        let chain = registry.instantiate_supervised(&config, &clock).unwrap();
+        assert_eq!(chain.names(), vec!["authz", "plain"]);
+        assert!(chain.callouts()[0].supervision_report().is_some());
+        assert!(chain.callouts()[1].supervision_report().is_none());
+
+        // Malformed resilience options surface as a system error.
+        let bad = CalloutConfig::parse("authz librsl_pdp.so sym degrade=maybe").unwrap();
+        match registry.instantiate_supervised(&bad, &clock) {
+            Err(AuthzFailure::SystemError(msg)) => assert!(msg.contains("degrade"), "{msg}"),
+            other => panic!("expected SystemError, got {other:?}"),
+        }
     }
 
     #[test]

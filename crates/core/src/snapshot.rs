@@ -250,6 +250,9 @@ impl AuthzEngine {
     /// decisions record spans instead, so nothing is counted twice.
     pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) {
         registry.set_gauge(Gauge::SnapshotGeneration, self.cell.load().generation());
+        for callout in &self.extras {
+            callout.attach_telemetry(&registry);
+        }
         self.telemetry = Some(registry);
     }
 
@@ -261,12 +264,26 @@ impl AuthzEngine {
     /// Appends a callout evaluated (in insertion order) after the
     /// snapshot PDP on every `authorize`.
     pub fn push_callout(&mut self, callout: Arc<dyn AuthorizationCallout>) {
+        if let Some(telemetry) = &self.telemetry {
+            callout.attach_telemetry(telemetry);
+        }
         self.extras.push(callout);
     }
 
     /// The extra callouts' names, in invocation order.
     pub fn callout_names(&self) -> Vec<&str> {
         self.extras.iter().map(|c| c.name()).collect()
+    }
+
+    /// Supervision state of every supervised extra callout, in
+    /// invocation order, paired with the callout name. Unsupervised
+    /// callouts are skipped. The GRAM server polls this to append
+    /// breaker-transition audit records.
+    pub fn supervision_reports(&self) -> Vec<(String, crate::supervise::SupervisionReport)> {
+        self.extras
+            .iter()
+            .filter_map(|c| c.supervision_report().map(|r| (c.name().to_string(), r)))
+            .collect()
     }
 
     /// True when authorization is entirely vacuous: a pass-through
@@ -456,9 +473,10 @@ impl AuthzEngine {
     }
 
     /// Authorizes a batch under one snapshot. Each extra callout sees
-    /// the whole batch (so a snapshot-backed callout also resolves its
-    /// state once); a request's result is its first failure in callout
-    /// order.
+    /// the still-undecided subset of the batch (so a snapshot-backed
+    /// callout also resolves its state once); a request's result is its
+    /// first failure in callout order — settled elements are never
+    /// re-presented to later callouts.
     pub fn authorize_batch(&self, requests: &[AuthzRequest]) -> Vec<Result<(), AuthzFailure>> {
         let snapshot = self.cell.load();
         let mut outcomes: Vec<Result<(), AuthzFailure>> = if snapshot.is_pass_through() {
@@ -470,12 +488,22 @@ impl AuthzEngine {
                 .collect()
         };
         for callout in &self.extras {
-            if outcomes.iter().all(Result::is_err) {
+            let pending: Vec<usize> =
+                (0..requests.len()).filter(|&i| outcomes[i].is_ok()).collect();
+            if pending.is_empty() {
                 break;
             }
-            for (outcome, sub) in outcomes.iter_mut().zip(callout.authorize_batch(requests)) {
-                if outcome.is_ok() {
-                    *outcome = sub;
+            if pending.len() == requests.len() {
+                for (outcome, sub) in outcomes.iter_mut().zip(callout.authorize_batch(requests)) {
+                    if outcome.is_ok() {
+                        *outcome = sub;
+                    }
+                }
+            } else {
+                let subset: Vec<AuthzRequest> =
+                    pending.iter().map(|&i| requests[i].clone()).collect();
+                for (&i, sub) in pending.iter().zip(callout.authorize_batch(&subset)) {
+                    outcomes[i] = sub;
                 }
             }
         }
@@ -552,17 +580,38 @@ impl AuthzEngine {
                 .collect()
         };
         for callout in &self.extras {
-            if outcomes.iter().all(Result::is_err) {
+            let pending: Vec<usize> =
+                (0..requests.len()).filter(|&i| outcomes[i].is_ok()).collect();
+            if pending.is_empty() {
                 break;
             }
             let start = Instant::now();
-            let subs = callout.authorize_batch_traced(requests, traces);
-            let amortized = elapsed_nanos(Some(start)) / requests.len().max(1) as u64;
-            for ((outcome, sub), trace) in outcomes.iter_mut().zip(subs).zip(traces.iter_mut()) {
-                trace.record_callout(callout.name(), AuthzEngine::outcome_label(&sub), amortized);
-                if outcome.is_ok() {
-                    *outcome = sub;
+            let subs = if pending.len() == requests.len() {
+                callout.authorize_batch_traced(requests, traces)
+            } else {
+                // Settled elements keep their traces untouched: swap the
+                // pending traces out, run the callout over the subset,
+                // and put them back.
+                let subset: Vec<AuthzRequest> =
+                    pending.iter().map(|&i| requests[i].clone()).collect();
+                let mut sub_traces: Vec<DecisionTrace> = pending
+                    .iter()
+                    .map(|&i| std::mem::replace(&mut traces[i], DecisionTrace::detached()))
+                    .collect();
+                let subs = callout.authorize_batch_traced(&subset, &mut sub_traces);
+                for (&i, trace) in pending.iter().zip(sub_traces) {
+                    traces[i] = trace;
                 }
+                subs
+            };
+            let amortized = elapsed_nanos(Some(start)) / pending.len().max(1) as u64;
+            for (&i, sub) in pending.iter().zip(subs) {
+                traces[i].record_callout(
+                    callout.name(),
+                    AuthzEngine::outcome_label(&sub),
+                    amortized,
+                );
+                outcomes[i] = sub;
             }
         }
         outcomes

@@ -35,6 +35,15 @@ pub struct AuditRecord {
     ///
     /// [`DecisionTrace`]: gridauthz_telemetry::DecisionTrace
     pub trace_id: Option<u64>,
+    /// True when a supervised callout exhausted its deadline/retry
+    /// budget and a degradation policy (fail-open advisory, serve-stale
+    /// — or fail-closed refusing the request) shaped this outcome. A
+    /// degraded permit is the audit trail's cue that the decision did
+    /// *not* come from a live policy evaluation.
+    pub degraded: bool,
+    /// Free-form annotation for administrative records — breaker
+    /// transition records say which callout moved between which states.
+    pub note: Option<String>,
 }
 
 /// The recorded outcome.
@@ -113,6 +122,13 @@ impl AuditLog {
     pub fn refusals(&self) -> impl Iterator<Item = &AuditRecord> {
         self.records.iter().filter(|r| !r.outcome.is_permitted())
     }
+
+    /// Degraded-mode decisions retained in the log, oldest first — the
+    /// records an operator reviews after an authorization-service
+    /// outage.
+    pub fn degraded(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.records.iter().filter(|r| r.degraded)
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +152,8 @@ mod tests {
                 AuditOutcome::Refused("denied".into())
             },
             trace_id: Some(secs),
+            degraded: false,
+            note: None,
         }
     }
 

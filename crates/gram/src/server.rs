@@ -1,6 +1,7 @@
 //! The GRAM resource service: Gatekeeper + per-job Job Manager Instances
 //! over the local job control system.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -9,7 +10,8 @@ use parking_lot::{Mutex, RwLock};
 
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
 use gridauthz_core::{
-    Action, AuthzEngine, AuthzFailure, AuthzRequest, CalloutChain, DenyReason, SnapshotCell,
+    Action, AuthzEngine, AuthzFailure, AuthzRequest, BreakerState, CalloutChain, DenyReason,
+    SnapshotCell, SupervisionReport,
 };
 use gridauthz_credential::{
     Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
@@ -201,6 +203,8 @@ impl GramServerBuilder {
                         .into(),
                 ),
                 trace_id: None,
+                degraded: false,
+                note: None,
             });
         }
         GramServer {
@@ -214,6 +218,7 @@ impl GramServerBuilder {
             accounts: Accounts::from(self.accounts),
             sandboxing: self.sandboxing,
             audit: Mutex::new(audit),
+            supervision_seen: Mutex::new(HashMap::new()),
             telemetry,
             clock: self.clock,
             next_job: AtomicU64::new(1),
@@ -282,6 +287,11 @@ pub struct GramServer {
     accounts: Accounts,
     sandboxing: bool,
     audit: Mutex<AuditLog>,
+    /// Highest breaker-transition sequence number already copied into
+    /// the audit log, per supervised callout — the lazy supervision
+    /// audit sync ([`GramServer::audit_snapshot`]) appends only what is
+    /// new since the last poll.
+    supervision_seen: Mutex<HashMap<String, u64>>,
     /// One registry for the whole decision pipeline: counters/histograms
     /// accumulate from both the server's own stages and the engine's
     /// interior ones, and every completed decision's trace lands here.
@@ -389,7 +399,7 @@ impl GramServer {
             Action::Start,
             result.as_ref().ok().map(|c| c.as_str()),
             &result,
-            trace.id(),
+            trace,
         );
         result
     }
@@ -554,7 +564,7 @@ impl GramServer {
             Action::Cancel,
             Some(contact.as_str()),
             &result,
-            trace.id(),
+            trace,
         );
         result
     }
@@ -588,7 +598,7 @@ impl GramServer {
             Action::Information,
             Some(contact.as_str()),
             &authz,
-            trace.id(),
+            trace,
         );
         authz?;
         timed_stage(trace, Stage::Enforce, || self.report_for(&record))
@@ -638,7 +648,7 @@ impl GramServer {
             Action::Signal,
             Some(contact.as_str()),
             &result,
-            trace.id(),
+            trace,
         );
         result
     }
@@ -819,7 +829,7 @@ impl GramServer {
                     Action::Cancel,
                     Some(record.contact.as_str()),
                     &result,
-                    trace.id(),
+                    &trace,
                 );
                 self.telemetry.finish_trace(trace);
                 (record.contact, result)
@@ -874,7 +884,7 @@ impl GramServer {
                     Action::Information,
                     Some(record.contact.as_str()),
                     &result,
-                    trace.id(),
+                    &trace,
                 );
                 self.telemetry.finish_trace(trace);
                 (record.contact, result)
@@ -901,7 +911,7 @@ impl GramServer {
         action: Action,
         job: Option<&str>,
         result: &Result<T, GramError>,
-        trace_id: u64,
+        trace: &DecisionTrace,
     ) {
         let account = job.and_then(|contact| self.jobs.with(contact, |r| r.account.clone()));
         self.audit.lock().record(AuditRecord {
@@ -914,7 +924,9 @@ impl GramServer {
                 Ok(_) => AuditOutcome::Permitted,
                 Err(e) => AuditOutcome::Refused(e.to_string()),
             },
-            trace_id: Some(trace_id),
+            trace_id: Some(trace.id()),
+            degraded: trace.is_degraded(),
+            note: None,
         });
     }
 
@@ -933,14 +945,67 @@ impl GramServer {
         self.telemetry.snapshot()
     }
 
-    /// A snapshot of the audit log, oldest first.
+    /// A snapshot of the audit log, oldest first. Breaker transitions
+    /// of supervised callouts that happened since the last snapshot are
+    /// folded in first, so the returned log carries one administrative
+    /// record per state change.
     pub fn audit_snapshot(&self) -> Vec<AuditRecord> {
+        self.sync_supervision_audit();
         self.audit.lock().records().cloned().collect()
     }
 
     /// Number of refusals currently retained in the audit log.
     pub fn audit_refusal_count(&self) -> usize {
+        self.sync_supervision_audit();
         self.audit.lock().refusals().count()
+    }
+
+    /// Supervision state (breaker position, transitions, degradation
+    /// counters) of every supervised callout in the engine's chain, in
+    /// invocation order.
+    pub fn supervision_reports(&self) -> Vec<(String, SupervisionReport)> {
+        self.engine.supervision_reports()
+    }
+
+    /// Copies breaker transitions the audit log has not seen yet into
+    /// it, one administrative record per transition. Transitions into
+    /// the open state are recorded as refusals (the callout stopped
+    /// answering); recoveries (half-open, closed) as permitted records.
+    /// Idempotent: each callout's transitions are tracked by their
+    /// monotone sequence number.
+    fn sync_supervision_audit(&self) {
+        let reports = self.engine.supervision_reports();
+        if reports.is_empty() {
+            return;
+        }
+        let subject: DistinguishedName =
+            "/CN=gram-supervision".parse().expect("static supervision DN parses");
+        let mut seen = self.supervision_seen.lock();
+        let mut audit = self.audit.lock();
+        for (name, report) in reports {
+            let last = seen.get(&name).copied().unwrap_or(0);
+            let mut newest = last;
+            for transition in report.transitions.iter().filter(|t| t.seq > last) {
+                newest = newest.max(transition.seq);
+                let note =
+                    format!("callout {name}: breaker {} -> {}", transition.from, transition.to);
+                audit.record(AuditRecord {
+                    at: transition.at,
+                    subject: subject.clone(),
+                    action: Action::Information,
+                    job: None,
+                    account: None,
+                    outcome: match transition.to {
+                        BreakerState::Open => AuditOutcome::Refused(note.clone()),
+                        BreakerState::HalfOpen | BreakerState::Closed => AuditOutcome::Permitted,
+                    },
+                    trace_id: None,
+                    degraded: transition.to == BreakerState::Open,
+                    note: Some(note),
+                });
+            }
+            seen.insert(name, newest);
+        }
     }
 
     /// Resolves the local account per the configured

@@ -4,11 +4,17 @@
 //! bench harness prints them — one source of truth for the paper's
 //! behavioural claims.
 
-use gridauthz_clock::SimDuration;
-use gridauthz_core::{paper, Action, AuthzRequest, Pdp};
-use gridauthz_gram::{GramClient, GramMode, GramSignal};
+use std::sync::Arc;
+
+use gridauthz_clock::{SimClock, SimDuration, SimTime};
+use gridauthz_core::{
+    paper, Action, AuthorizationCallout, AuthzRequest, BreakerTransition, DegradationPolicy, Pdp,
+    ResilienceConfig, SupervisedCallout, SupervisionStats,
+};
+use gridauthz_gram::{GramClient, GramError, GramMode, GramSignal};
 use gridauthz_rsl::Conjunction;
 
+use crate::fault::FlakyCallout;
 use crate::testbed::TestbedBuilder;
 
 /// One behavioural comparison row: the same operation attempted against
@@ -199,9 +205,161 @@ pub fn figure3_matrix() -> Vec<MatrixRow> {
         .collect()
 }
 
+/// One phase of the callout outage-and-recovery scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutagePhase {
+    /// Phase name (`healthy-warmup`, `outage-warm`, …).
+    pub label: &'static str,
+    /// Submissions attempted in this phase.
+    pub requests: usize,
+    /// Submissions admitted.
+    pub permits: usize,
+    /// Submissions refused by policy.
+    pub denials: usize,
+    /// Submissions refused as authorization-system failures.
+    pub failures: usize,
+    /// Decisions that completed in degraded mode during this phase.
+    pub degraded: u64,
+    /// Worst simulated decision latency observed, in microseconds.
+    pub max_decision_micros: u64,
+}
+
+/// The full outage-and-recovery run for one supervision mode.
+#[derive(Debug, Clone)]
+pub struct OutageReport {
+    /// `"unsupervised"`, `"fail-closed"`, `"fail-open"` or `"serve-stale"`.
+    pub mode: String,
+    /// Phase-by-phase outcome counts.
+    pub phases: Vec<OutagePhase>,
+    /// Breaker transitions over the whole run (empty when unsupervised).
+    pub transitions: Vec<BreakerTransition>,
+    /// Supervision counters at the end of the run (zeroes when
+    /// unsupervised).
+    pub stats: SupervisionStats,
+    /// The configured decision budget in microseconds (0 when
+    /// unsupervised — nothing bounds the decision).
+    pub budget_micros: u64,
+}
+
+impl OutageReport {
+    /// The phase with the given label (phases have fixed names).
+    #[must_use]
+    pub fn phase(&self, label: &str) -> &OutagePhase {
+        self.phases.iter().find(|p| p.label == label).expect("known phase label")
+    }
+}
+
+/// Drives a supervised (or, with `policy = None`, a bare) flaky VO
+/// policy-service callout through a scripted 100%-failure outage and
+/// recovery on a full GRAM testbed (experiment T10):
+///
+/// 1. **healthy-warmup** — five identical sanctioned submissions while
+///    the service is healthy (these warm the serve-stale store);
+/// 2. **outage-warm** — the same request repeated during the outage;
+/// 3. **outage-novel** — a request never seen before the outage;
+/// 4. **recovery** — the service is healthy again, the breaker's open
+///    window has expired, and probes re-close it.
+///
+/// The outage runs from t=10 s to t=40 s of simulated time; supervision
+/// uses a 50 ms deadline, 3 attempts, 5→20 ms backoff, a breaker that
+/// opens after 3 consecutive failures for 8 s with 2 probes, and the
+/// given degradation policy.
+pub fn callout_outage_recovery(policy: Option<DegradationPolicy>) -> OutageReport {
+    let clock = SimClock::new();
+    let outage_from = SimTime::from_secs(10);
+    let outage_until = SimTime::from_secs(40);
+    let flaky: Arc<FlakyCallout> = Arc::new(
+        FlakyCallout::new("vo-policy-service", &clock)
+            .with_base_latency(SimDuration::from_millis(1))
+            .fail_between(outage_from, outage_until),
+    );
+
+    let (mode, supervised, callout): (
+        String,
+        Option<Arc<SupervisedCallout>>,
+        Arc<dyn AuthorizationCallout>,
+    ) = match policy {
+        None => ("unsupervised".into(), None, flaky.clone()),
+        Some(policy) => {
+            let config = ResilienceConfig {
+                deadline: SimDuration::from_millis(50),
+                max_attempts: 3,
+                base_backoff: SimDuration::from_millis(5),
+                max_backoff: SimDuration::from_millis(20),
+                failure_threshold: 3,
+                open_for: SimDuration::from_secs(8),
+                probe_budget: 2,
+                close_after: 2,
+                degradation: policy.clone(),
+            };
+            let mode = match policy {
+                DegradationPolicy::FailClosed => "fail-closed",
+                DegradationPolicy::FailOpenAdvisory => "fail-open",
+                DegradationPolicy::ServeStale { .. } => "serve-stale",
+            };
+            let supervised = Arc::new(SupervisedCallout::new(flaky.clone(), &clock, config));
+            (mode.into(), Some(supervised.clone()), supervised)
+        }
+    };
+    let budget_micros = supervised.as_ref().map_or(0, |s| s.config().decision_budget().as_micros());
+
+    let tb = TestbedBuilder::new().members(1).clock(clock.clone()).extra_callout(callout).build();
+    let member = tb.member_client(0);
+
+    const WARM: &str = "&(executable = TRANSP)(jobtag = NFC)(count = 2)";
+    const NOVEL: &str = "&(executable = TRANSP)(jobtag = NFC)(count = 3)";
+
+    let stats_now = |s: &Option<Arc<SupervisedCallout>>| {
+        s.as_ref().map_or(SupervisionStats::default(), |s| s.stats())
+    };
+    let mut phases = Vec::new();
+    let mut run_phase = |label: &'static str, rsl: &str, n: usize, gap: SimDuration| {
+        let degraded_before = stats_now(&supervised).degraded;
+        let (mut permits, mut denials, mut failures) = (0, 0, 0);
+        let mut max_decision_micros = 0u64;
+        for _ in 0..n {
+            let start = clock.now();
+            match member.submit(&tb.server, rsl, SimDuration::from_mins(5)) {
+                Ok(_) => permits += 1,
+                Err(GramError::NotAuthorized(_)) => denials += 1,
+                Err(_) => failures += 1,
+            }
+            max_decision_micros =
+                max_decision_micros.max(clock.now().saturating_since(start).as_micros());
+            clock.advance(gap);
+        }
+        phases.push(OutagePhase {
+            label,
+            requests: n,
+            permits,
+            denials,
+            failures,
+            degraded: stats_now(&supervised).degraded - degraded_before,
+            max_decision_micros,
+        });
+    };
+
+    run_phase("healthy-warmup", WARM, 5, SimDuration::from_secs(1));
+    clock.advance_to(outage_from);
+    run_phase("outage-warm", WARM, 10, SimDuration::from_secs(2));
+    run_phase("outage-novel", NOVEL, 4, SimDuration::from_secs(2));
+    // Past the outage end *and* past the breaker's open window.
+    clock.advance_to(SimTime::from_secs(48));
+    run_phase("recovery", WARM, 5, SimDuration::from_secs(1));
+
+    OutageReport {
+        mode,
+        phases,
+        transitions: supervised.as_ref().map_or(Vec::new(), |s| s.transitions()),
+        stats: stats_now(&supervised),
+        budget_micros,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gridauthz_core::BreakerState;
 
     #[test]
     fn f1_f2_comparison_matches_expected() {
@@ -215,5 +373,83 @@ mod tests {
         for row in rows {
             assert_eq!(row.actual_permit, row.expected_permit, "mismatch on {:?}", row.case);
         }
+    }
+
+    #[test]
+    fn outage_fail_closed_bounds_every_decision_and_recovers() {
+        let report = callout_outage_recovery(Some(DegradationPolicy::FailClosed));
+        assert_eq!(report.mode, "fail-closed");
+
+        let warmup = report.phase("healthy-warmup");
+        assert_eq!((warmup.permits, warmup.failures, warmup.degraded), (5, 0, 0));
+
+        // 100% outage: every answer is a bounded authorization-system
+        // failure — no unbounded retry storm, no hung request.
+        for label in ["outage-warm", "outage-novel"] {
+            let phase = report.phase(label);
+            assert_eq!(phase.permits, 0, "{label}: fail-closed must not permit");
+            assert_eq!(phase.failures, phase.requests, "{label}");
+            assert!(
+                phase.max_decision_micros <= report.budget_micros,
+                "{label}: {}us exceeds the {}us decision budget",
+                phase.max_decision_micros,
+                report.budget_micros
+            );
+        }
+        assert_eq!(report.phase("outage-warm").degraded, 10);
+
+        // Recovery: the breaker re-closed and service resumed in full.
+        let recovery = report.phase("recovery");
+        assert_eq!((recovery.permits, recovery.failures), (5, 0));
+        let shape: Vec<(BreakerState, BreakerState)> =
+            report.transitions.iter().map(|t| (t.from, t.to)).collect();
+        assert!(shape.contains(&(BreakerState::Closed, BreakerState::Open)));
+        assert!(
+            shape.contains(&(BreakerState::HalfOpen, BreakerState::Open)),
+            "a mid-outage probe must have failed: {shape:?}"
+        );
+        assert_eq!(shape.last(), Some(&(BreakerState::HalfOpen, BreakerState::Closed)));
+
+        // The breaker turned most outage decisions into instant
+        // rejections instead of retry storms.
+        assert!(report.stats.breaker_rejections >= 8, "{:?}", report.stats);
+        assert!(report.stats.retries > 0);
+    }
+
+    #[test]
+    fn outage_serve_stale_keeps_answering_warm_requests() {
+        let report = callout_outage_recovery(Some(DegradationPolicy::ServeStale {
+            ttl: SimDuration::from_secs(60),
+        }));
+        assert_eq!(report.mode, "serve-stale");
+
+        // Previously-seen requests keep being answered — flagged
+        // degraded — for the whole outage.
+        let warm = report.phase("outage-warm");
+        assert_eq!((warm.permits, warm.failures), (10, 0));
+        assert_eq!(warm.degraded, 10);
+        assert!(warm.max_decision_micros <= report.budget_micros);
+
+        // A request the store has never seen still fails closed.
+        let novel = report.phase("outage-novel");
+        assert_eq!((novel.permits, novel.failures), (0, 4));
+
+        assert_eq!(report.stats.stale_served, 10);
+        let recovery = report.phase("recovery");
+        assert_eq!((recovery.permits, recovery.degraded), (5, 0));
+    }
+
+    #[test]
+    fn outage_unsupervised_baseline_has_no_resilience() {
+        let report = callout_outage_recovery(None);
+        assert_eq!(report.mode, "unsupervised");
+        assert!(report.transitions.is_empty());
+        assert_eq!(report.stats, SupervisionStats::default());
+        // Every outage request fails, warm or not — no stale store, no
+        // degradation, nothing flagged.
+        assert_eq!(report.phase("outage-warm").failures, 10);
+        assert_eq!(report.phase("outage-warm").degraded, 0);
+        assert_eq!(report.phase("outage-novel").failures, 4);
+        assert_eq!(report.phase("recovery").permits, 5);
     }
 }

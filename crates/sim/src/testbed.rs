@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use gridauthz_clock::{SimClock, SimDuration};
 use gridauthz_core::{
-    paper, CalloutChain, CombinedPdp, Combiner, PdpCallout, Policy, PolicyOrigin, PolicySource,
+    paper, AuthorizationCallout, CalloutChain, CombinedPdp, Combiner, PdpCallout, Policy,
+    PolicyOrigin, PolicySource,
 };
 use gridauthz_credential::{
     CertificateAuthority, Credential, DistinguishedName, GridMapEntry, GridMapFile, TrustStore,
@@ -65,7 +66,9 @@ pub struct TestbedBuilder {
     cpus_per_node: u32,
     combiner: Combiner,
     extra_sources: Vec<PolicySource>,
+    extra_callouts: Vec<Arc<dyn AuthorizationCallout>>,
     telemetry: Option<Arc<TelemetryRegistry>>,
+    clock: Option<SimClock>,
 }
 
 impl Default for TestbedBuilder {
@@ -77,7 +80,9 @@ impl Default for TestbedBuilder {
             cpus_per_node: 8,
             combiner: Combiner::DenyOverrides,
             extra_sources: Vec::new(),
+            extra_callouts: Vec::new(),
             telemetry: None,
+            clock: None,
         }
     }
 }
@@ -125,6 +130,26 @@ impl TestbedBuilder {
         self
     }
 
+    /// Appends a callout to the extended-mode chain, after the built-in
+    /// PDP callout. Resilience scenarios push a supervised
+    /// [`FlakyCallout`](crate::FlakyCallout) here; share the clock with
+    /// [`clock`](Self::clock) so its fault windows line up with the
+    /// server's time. Ignored in GT2 mode (there is no chain to extend).
+    #[must_use]
+    pub fn extra_callout(mut self, callout: Arc<dyn AuthorizationCallout>) -> Self {
+        self.extra_callouts.push(callout);
+        self
+    }
+
+    /// Uses the caller's clock instead of creating a fresh one — lets a
+    /// scenario construct clock-coupled callouts (fault injectors,
+    /// supervision wrappers) before the testbed exists.
+    #[must_use]
+    pub fn clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Shares a [`TelemetryRegistry`] with the built server, so the
     /// bench harness (or a scenario aggregating several testbeds) can
     /// report through one registry. By default the server creates its
@@ -141,7 +166,7 @@ impl TestbedBuilder {
     /// and a GRAM server whose extended mode combines [`LOCAL_POLICY`]
     /// with Figure 3 + the generated VO policy.
     pub fn build(self) -> Testbed {
-        let clock = SimClock::new();
+        let clock = self.clock.unwrap_or_default();
         let ca = CertificateAuthority::new_root("/O=Grid/CN=Testbed CA", &clock)
             .expect("fixture CA DN parses");
         let mut trust = TrustStore::new();
@@ -227,6 +252,9 @@ impl TestbedBuilder {
                 // repeated identical requests; set_gridmap and policy
                 // reloads invalidate via the generation counter.
                 chain.push(Arc::new(PdpCallout::cached("gram-authorization", pdp)));
+                for callout in self.extra_callouts {
+                    chain.push(callout);
+                }
                 builder.callouts(chain)
             }
         };

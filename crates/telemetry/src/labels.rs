@@ -6,7 +6,9 @@
 //! keeps metric keys stable across the gram server, the simulator's
 //! `DecisionTally`, and the bench harness. Ten of the labels mirror the
 //! `GramError` variants one-to-one (see `gridauthz_gram::error_label`);
-//! the remaining three name non-error outcomes.
+//! three name non-error outcomes, and the remaining seven are the
+//! callout-supervision vocabulary (retries, timeouts, circuit-breaker
+//! transitions, degraded-mode decisions).
 
 /// A granted stage or a permitted decision.
 pub const PERMIT: &str = "permit";
@@ -34,9 +36,23 @@ pub const SCHEDULER: &str = "scheduler";
 pub const PROVISIONING: &str = "provisioning";
 /// Job violated its sandbox restrictions.
 pub const SANDBOX: &str = "sandbox";
+/// A supervised callout attempt was retried after a failure.
+pub const RETRY: &str = "retry";
+/// A supervised callout attempt exceeded its per-call deadline.
+pub const TIMEOUT: &str = "timeout";
+/// A circuit breaker transitioned into the open state.
+pub const BREAKER_OPEN: &str = "breaker-open";
+/// A circuit breaker transitioned into the half-open (probing) state.
+pub const BREAKER_HALF_OPEN: &str = "breaker-half-open";
+/// A circuit breaker transitioned back into the closed state.
+pub const BREAKER_CLOSED: &str = "breaker-closed";
+/// A decision was answered from a stale cached entry (`ServeStale`).
+pub const STALE_SERVED: &str = "stale-served";
+/// A decision completed in degraded mode (any degradation policy).
+pub const DEGRADED: &str = "degraded";
 
 /// Every label in the vocabulary, in canonical (reporting) order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 20] = [
     PERMIT,
     HIT,
     MISS,
@@ -50,6 +66,13 @@ pub const ALL: [&str; 13] = [
     SCHEDULER,
     PROVISIONING,
     SANDBOX,
+    RETRY,
+    TIMEOUT,
+    BREAKER_OPEN,
+    BREAKER_HALF_OPEN,
+    BREAKER_CLOSED,
+    STALE_SERVED,
+    DEGRADED,
 ];
 
 /// Index of `label` in [`ALL`], or `None` for a string outside the

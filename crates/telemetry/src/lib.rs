@@ -26,7 +26,9 @@
 //!
 //! The label vocabulary is fixed (see [`labels`]): the ten GRAM error
 //! labels shared with the simulator's `DecisionTally`, plus `permit` for
-//! granted stages and `hit`/`miss` for the cache probe. A fixed
+//! granted stages, `hit`/`miss` for the cache probe, and the
+//! callout-supervision labels (`retry`, `timeout`, the three
+//! `breaker-*` transition labels, `stale-served`, `degraded`). A fixed
 //! vocabulary is what lets the counters live in flat atomic arrays with
 //! no interior locking or allocation.
 //!

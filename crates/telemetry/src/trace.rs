@@ -91,11 +91,22 @@ pub struct DecisionTrace {
     operation: &'static str,
     at: SimTime,
     spans: Vec<Span>,
+    degraded: bool,
 }
 
 impl DecisionTrace {
     pub(crate) fn new(id: u64, operation: &'static str, at: SimTime) -> DecisionTrace {
-        DecisionTrace { id, operation, at, spans: Vec::with_capacity(6) }
+        DecisionTrace { id, operation, at, spans: Vec::with_capacity(6), degraded: false }
+    }
+
+    /// A placeholder trace outside any registry (id 0, epoch arrival).
+    /// Used as the swap-out value when a batch path temporarily extracts
+    /// per-element traces, and by callers that want degradation marks
+    /// without a registry attached. Never retained by `finish_trace`
+    /// callers — it carries no registry-unique id.
+    #[must_use]
+    pub fn detached() -> DecisionTrace {
+        DecisionTrace::new(0, "detached", SimTime::EPOCH)
     }
 
     /// Registry-unique trace id (what `AuditRecord` carries).
@@ -132,11 +143,28 @@ impl DecisionTrace {
     pub fn record_callout(&mut self, name: &str, label: &'static str, nanos: u64) {
         self.spans.push(Span { stage: Stage::Callout, label, detail: Some(name.into()), nanos });
     }
+
+    /// Marks this decision as degraded: a supervised callout exhausted
+    /// its retry/deadline budget and a degradation policy (fail-open
+    /// advisory, serve-stale) shaped the outcome. Sticky — one degraded
+    /// stage degrades the whole decision.
+    pub fn mark_degraded(&mut self) {
+        self.degraded = true;
+    }
+
+    /// True when any stage of this decision ran in degraded mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
 }
 
 impl fmt::Display for DecisionTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "trace#{} {} @{}", self.id, self.operation, self.at)?;
+        if self.degraded {
+            write!(f, " [degraded]")?;
+        }
         for span in &self.spans {
             write!(f, " [{}", span.stage)?;
             if let Some(detail) = &span.detail {
@@ -175,5 +203,17 @@ mod tests {
         let shown = trace.to_string();
         assert!(shown.contains("trace#7 submit"));
         assert!(shown.contains("callout:gram-authorization policy-denied 800ns"));
+    }
+
+    #[test]
+    fn degraded_mark_is_sticky_and_shown() {
+        let mut trace = DecisionTrace::detached();
+        assert!(!trace.is_degraded());
+        trace.mark_degraded();
+        trace.mark_degraded();
+        assert!(trace.is_degraded());
+        assert!(trace.to_string().contains("[degraded]"));
+        assert_eq!(trace.id(), 0);
+        assert_eq!(trace.operation(), "detached");
     }
 }

@@ -16,6 +16,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> harness t10 (callout resilience phase tables)"
+cargo run -p gridauthz-bench --bin harness --release -- t10
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
