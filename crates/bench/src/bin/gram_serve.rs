@@ -1,0 +1,56 @@
+//! A standalone GRAM front-end: binds the TCP serving layer over a
+//! ready-made extended-mode testbed and serves until killed.
+//!
+//! ```sh
+//! cargo run -p gridauthz-bench --bin gram-serve --release -- 127.0.0.1:7512 4
+//! ```
+//!
+//! Arguments: `[addr] [workers]` (defaults `127.0.0.1:0` and `4`). On
+//! start it prints the bound address and writes per-member credential
+//! files (`member-<i>.pem`) into a temp directory so external clients
+//! can speak the PEM wire protocol:
+//!
+//! ```text
+//! cat member-0.pem request.txt | nc 127.0.0.1 7512
+//! ```
+//!
+//! where `request.txt` is e.g. `GRAM/1 STATUS\njob: <contact>\n\n`.
+
+use std::sync::Arc;
+
+use gridauthz_credential::pem;
+use gridauthz_gram::{Frontend, FrontendConfig};
+use gridauthz_sim::TestbedBuilder;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers: usize =
+        args.next().map(|w| w.parse().expect("workers must be a number")).unwrap_or(4);
+
+    let tb = TestbedBuilder::new().members(4).cluster(64, 16).build();
+    let members = tb.members;
+    let server = Arc::new(tb.server);
+
+    let credential_dir = std::env::temp_dir().join("gram-serve-credentials");
+    std::fs::create_dir_all(&credential_dir).expect("credential dir");
+    for (i, member) in members.iter().enumerate() {
+        let path = credential_dir.join(format!("member-{i}.pem"));
+        std::fs::write(&path, pem::encode_chain(member.chain())).expect("write credential");
+        println!("member {i}: {} ({})", member.identity(), path.display());
+    }
+
+    let frontend = Frontend::bind(
+        Arc::clone(&server),
+        addr.as_str(),
+        FrontendConfig { workers, ..FrontendConfig::default() },
+    )
+    .expect("bind");
+    println!("gram-serve listening on {} with {workers} workers", frontend.local_addr());
+    println!("frame format: <PEM chain><GRAM/1 request>\\n\\n (blank line terminates a frame)");
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -4,6 +4,8 @@
 //! through this module so the criterion benches and the `harness` binary
 //! measure exactly the same configurations.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gridauthz_clock::{SimClock, SimDuration};
@@ -14,6 +16,54 @@ use gridauthz_core::{
 use gridauthz_credential::DistinguishedName;
 use gridauthz_rsl::Conjunction;
 use gridauthz_sim::{Testbed, TestbedBuilder};
+
+/// A counting `#[global_allocator]` wrapper: forwards to the system
+/// allocator and counts every allocation (and reallocation), so the
+/// harness can report allocations *per request* on the front-end's warm
+/// path against the naive decode-everything path (T11).
+///
+/// Counts are process-wide — measure deltas on a single thread with no
+/// other work in flight.
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter (usable in a `static`).
+    #[must_use]
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator { allocations: AtomicU64::new(0) }
+    }
+
+    /// Allocations (incl. reallocations) observed since construction.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> CountingAllocator {
+        CountingAllocator::new()
+    }
+}
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
 
 /// Deterministic member DN for index `i` (matches the testbed's scheme).
 pub fn member_dn(i: usize) -> DistinguishedName {

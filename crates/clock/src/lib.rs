@@ -21,6 +21,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An instant of simulated time, measured in microseconds since the start
 /// of the simulation epoch.
@@ -238,6 +239,63 @@ impl SimClock {
     }
 }
 
+/// A source of "now" in [`SimTime`] units.
+///
+/// The one trait surface shared by simulated and real time: simulation
+/// and testbed code keeps driving a [`SimClock`] explicitly, while
+/// components that serve real network traffic (the GRAM TCP front-end)
+/// take a `dyn TimeSource` and run on a [`WallClock`] without anything
+/// downstream of them changing.
+pub trait TimeSource: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> SimTime;
+}
+
+impl TimeSource for SimClock {
+    fn now(&self) -> SimTime {
+        SimClock::now(self)
+    }
+}
+
+/// Real time projected onto the [`SimTime`] axis: microseconds elapsed
+/// since the clock's construction.
+///
+/// Monotonic (backed by [`Instant`]), shareable, and intentionally
+/// read-only — wall time cannot be advanced or rewound by the program.
+/// Cloning yields another handle to the *same* origin, so two handles
+/// always agree on "now".
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Arc<Instant>,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is the moment of construction.
+    #[must_use]
+    pub fn new() -> WallClock {
+        WallClock { origin: Arc::new(Instant::now()) }
+    }
+
+    /// Microseconds of real time elapsed since construction, as a
+    /// [`SimTime`] instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime(u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now(&self) -> SimTime {
+        WallClock::now(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +399,23 @@ mod tests {
     fn clock_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimClock>();
+        assert_send_sync::<WallClock>();
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_shared() {
+        let wall = WallClock::new();
+        let view = wall.clone();
+        let a = wall.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = view.now();
+        assert!(b > a, "wall time must advance ({a} -> {b})");
+        // Both sources answer through the one trait surface.
+        fn read(source: &dyn TimeSource) -> SimTime {
+            source.now()
+        }
+        assert!(read(&wall) >= b);
+        let sim = SimClock::starting_at(SimTime::from_secs(5));
+        assert_eq!(read(&sim), SimTime::from_secs(5));
     }
 }

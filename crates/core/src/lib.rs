@@ -91,7 +91,7 @@ pub use pep::{
     CalloutRegistry, PdpCallout,
 };
 pub use policy::Policy;
-pub use request::AuthzRequest;
+pub use request::{AuthzRequest, JobDescription};
 pub use snapshot::{AuthzEngine, PolicySnapshot, SnapshotCell};
 pub use statement::{PolicyStatement, StatementRole, SubjectMatcher};
 pub use supervise::{

@@ -4,76 +4,148 @@
 //! RSL job description.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gridauthz_credential::DistinguishedName;
 use gridauthz_rsl::{attributes, Conjunction, FxBuildHasher, RelOp, Value};
 
 use crate::action::Action;
 
-/// The synthesized/extracted attribute values of one request, built once
-/// at construction so [`AuthzRequest::values_for`] — called for every
-/// relation of every candidate statement — returns borrowed slices
-/// instead of allocating.
+/// A parsed RSL job description paired with its pre-extracted table of
+/// `=`-relation values.
 ///
-/// Attribute names are normalized (lowercase) **at construction**, so a
-/// lookup is one hash probe instead of a linear case-insensitive scan.
-/// Job-description names arrive pre-normalized ([`gridauthz_rsl::Attribute`]
-/// lowercases on parse), so building the table never re-folds them.
+/// Both halves sit behind `Arc`s and are immutable, so the description is
+/// built **once** — when the RSL first enters the system at submission —
+/// and shared from then on: the resource's job record and every
+/// authorization request against that job reuse the same conjunction and
+/// the same attribute table. Constructing a management request therefore
+/// never rescans the description's relations or re-allocates their
+/// values; a clone is two refcount bumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobDescription {
+    conjunction: Arc<Conjunction>,
+    /// `=`-relation values keyed by the normalized attribute name; values
+    /// stay in description order. Names arrive pre-normalized
+    /// ([`gridauthz_rsl::Attribute`] lowercases on parse), so building the
+    /// table never re-folds them.
+    attrs: Arc<HashMap<String, Vec<Value>, FxBuildHasher>>,
+}
+
+impl JobDescription {
+    /// Extracts the attribute table from `job`. This is the one place the
+    /// description's relations are scanned.
+    pub fn new(job: impl Into<Arc<Conjunction>>) -> JobDescription {
+        let conjunction = job.into();
+        let mut attrs: HashMap<String, Vec<Value>, FxBuildHasher> = HashMap::default();
+        for relation in conjunction.relations().filter(|r| r.op() == RelOp::Eq) {
+            attrs
+                .entry(relation.attribute().as_str().to_string())
+                .or_default()
+                .extend(relation.values().iter().cloned());
+        }
+        JobDescription { conjunction, attrs: Arc::new(attrs) }
+    }
+
+    /// The underlying RSL conjunction.
+    pub fn conjunction(&self) -> &Conjunction {
+        &self.conjunction
+    }
+
+    /// The values the description's `=` relations present for a
+    /// (normalized) attribute name.
+    fn values(&self, attribute: &str) -> &[Value] {
+        self.attrs.get(attribute).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl From<Conjunction> for JobDescription {
+    fn from(job: Conjunction) -> JobDescription {
+        JobDescription::new(job)
+    }
+}
+
+impl From<Arc<Conjunction>> for JobDescription {
+    fn from(job: Arc<Conjunction>) -> JobDescription {
+        JobDescription::new(job)
+    }
+}
+
+/// The per-request synthesized attribute values, built **lazily** on the
+/// first policy evaluation so [`AuthzRequest::values_for`] — called for
+/// every relation of every candidate statement — returns borrowed slices
+/// instead of allocating, while a request whose decision is served from
+/// the cache (the warm front-end path; the digest reads the raw fields)
+/// never materializes the table at all. Job-description attributes live
+/// in the shared [`JobDescription`] table instead; `action` values come
+/// from a static singleton table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct AttrTable {
-    action: Vec<Value>,
     job_owner: Vec<Value>,
     jobtag: Vec<Value>,
-    /// `=`-relation values from the job description, keyed by the
-    /// normalized attribute name; values stay in description order.
-    job_attrs: HashMap<String, Vec<Value>, FxBuildHasher>,
     /// The requester's identity as a policy value, resolved once so
     /// `self` comparisons never allocate per relation.
     subject_value: Value,
 }
 
-impl Default for AttrTable {
-    fn default() -> AttrTable {
-        AttrTable {
-            action: Vec::new(),
-            job_owner: Vec::new(),
-            jobtag: Vec::new(),
-            job_attrs: HashMap::default(),
-            subject_value: Value::literal(""),
-        }
-    }
+/// The singleton policy-value slice for each action, so synthesizing the
+/// `action` attribute — present on every request — never allocates.
+fn action_values(action: Action) -> &'static [Value] {
+    static TABLE: std::sync::OnceLock<[Value; Action::ALL.len()]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| Action::ALL.map(|a| Value::literal(a.as_str())));
+    let index = Action::ALL.iter().position(|a| *a == action).expect("Action::ALL is exhaustive");
+    std::slice::from_ref(&table[index])
 }
 
 /// Everything the policy evaluator may inspect about one request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The job description is a shared [`JobDescription`], so requests built
+/// from a long-lived job record (the management hot path) reuse the
+/// record's conjunction *and* its extracted attribute table instead of
+/// deep-cloning or rescanning either per request.
+#[derive(Debug, Clone)]
 pub struct AuthzRequest {
     subject: DistinguishedName,
     action: Action,
-    job: Option<Conjunction>,
+    job: Option<JobDescription>,
     job_id: Option<String>,
     job_owner: Option<DistinguishedName>,
     jobtag: Option<String>,
     limited_proxy: bool,
     restrictions: Vec<String>,
-    attrs: AttrTable,
+    attrs: std::sync::OnceLock<AttrTable>,
 }
+
+// Equality ignores `attrs`: the table is a derived cache, and whether it
+// has been materialized yet says nothing about the request itself.
+impl PartialEq for AuthzRequest {
+    fn eq(&self, other: &AuthzRequest) -> bool {
+        self.subject == other.subject
+            && self.action == other.action
+            && self.job == other.job
+            && self.job_id == other.job_id
+            && self.job_owner == other.job_owner
+            && self.jobtag == other.jobtag
+            && self.limited_proxy == other.limited_proxy
+            && self.restrictions == other.restrictions
+    }
+}
+
+impl Eq for AuthzRequest {}
 
 impl AuthzRequest {
     /// A job-startup request: `subject` asks to run `job`.
-    pub fn start(subject: DistinguishedName, job: Conjunction) -> AuthzRequest {
-        let mut request = AuthzRequest {
+    pub fn start(subject: DistinguishedName, job: impl Into<JobDescription>) -> AuthzRequest {
+        AuthzRequest {
             subject,
             action: Action::Start,
-            job: Some(job),
+            job: Some(job.into()),
             job_id: None,
             job_owner: None,
             jobtag: None,
             limited_proxy: false,
             restrictions: Vec::new(),
-            attrs: AttrTable::default(),
-        };
-        request.rebuild_attrs();
-        request
+            attrs: std::sync::OnceLock::new(),
+        }
     }
 
     /// A job-management request: `subject` asks to perform `action` on an
@@ -84,7 +156,7 @@ impl AuthzRequest {
         job_owner: DistinguishedName,
         jobtag: Option<String>,
     ) -> AuthzRequest {
-        let mut request = AuthzRequest {
+        AuthzRequest {
             subject,
             action,
             job: None,
@@ -93,35 +165,50 @@ impl AuthzRequest {
             jobtag,
             limited_proxy: false,
             restrictions: Vec::new(),
-            attrs: AttrTable::default(),
-        };
-        request.rebuild_attrs();
-        request
+            attrs: std::sync::OnceLock::new(),
+        }
     }
 
-    /// Recomputes the attribute table; called whenever a field it derives
-    /// from changes.
-    fn rebuild_attrs(&mut self) {
-        self.attrs.action = vec![Value::literal(self.action.as_str())];
-        self.attrs.job_owner = vec![Value::literal(self.job_owner().to_string())];
-        self.attrs.jobtag = match self.jobtag() {
-            Some(tag) => vec![Value::literal(tag)],
-            None => Vec::new(),
-        };
-        self.attrs.subject_value = Value::literal(self.subject.to_string());
-        self.attrs.job_attrs.clear();
-        if let Some(job) = &self.job {
-            for relation in job.relations().filter(|r| r.op() == RelOp::Eq) {
-                // Attribute names are lowercase by construction, so the key
-                // is already normalized.
-                let name = relation.attribute().as_str();
-                self.attrs
-                    .job_attrs
-                    .entry(name.to_string())
-                    .or_default()
-                    .extend(relation.values().iter().cloned());
-            }
+    /// A fully-populated management request in one construction: subject,
+    /// action, the target job's owner/tag/description/identifier and the
+    /// requester's restriction payloads. Equivalent to
+    /// [`manage`](Self::manage) followed by the `with_*` builders — this
+    /// is what the wire front-end builds per management request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn manage_job(
+        subject: DistinguishedName,
+        action: Action,
+        job_owner: DistinguishedName,
+        jobtag: Option<String>,
+        job: impl Into<JobDescription>,
+        job_id: impl Into<String>,
+        restrictions: Vec<String>,
+    ) -> AuthzRequest {
+        AuthzRequest {
+            subject,
+            action,
+            job: Some(job.into()),
+            job_id: Some(job_id.into()),
+            job_owner: Some(job_owner),
+            jobtag,
+            limited_proxy: false,
+            restrictions,
+            attrs: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The synthesized attribute table, materialized on first use. The
+    /// decision-cache digest reads the raw fields instead, so a cache-hit
+    /// request never pays for these strings.
+    fn attrs(&self) -> &AttrTable {
+        self.attrs.get_or_init(|| AttrTable {
+            job_owner: vec![Value::literal(self.job_owner().to_string())],
+            jobtag: match self.jobtag() {
+                Some(tag) => vec![Value::literal(tag)],
+                None => Vec::new(),
+            },
+            subject_value: Value::literal(self.subject.to_string()),
+        })
     }
 
     /// Rebuilds the request as if `subject` had made it (what-if
@@ -129,8 +216,9 @@ impl AuthzRequest {
     #[must_use]
     pub fn with_subject(mut self, subject: DistinguishedName) -> Self {
         self.subject = subject;
-        // A start request's jobowner is the subject itself.
-        self.rebuild_attrs();
+        // A start request's jobowner is the subject itself, so the
+        // synthesized table (if already materialized) is stale.
+        self.attrs = std::sync::OnceLock::new();
         self
     }
 
@@ -144,9 +232,10 @@ impl AuthzRequest {
     /// Attaches the job description (management requests may carry the
     /// original description for evaluation).
     #[must_use]
-    pub fn with_job(mut self, job: Conjunction) -> Self {
-        self.job = Some(job);
-        self.rebuild_attrs();
+    pub fn with_job(mut self, job: impl Into<JobDescription>) -> Self {
+        self.job = Some(job.into());
+        // The description can supply the fallback jobtag.
+        self.attrs = std::sync::OnceLock::new();
         self
     }
 
@@ -176,7 +265,7 @@ impl AuthzRequest {
 
     /// The RSL job description, when present.
     pub fn job(&self) -> Option<&Conjunction> {
-        self.job.as_ref()
+        self.job.as_ref().map(JobDescription::conjunction)
     }
 
     /// The unique job identifier, when present.
@@ -196,7 +285,10 @@ impl AuthzRequest {
         if let Some(tag) = &self.jobtag {
             return Some(tag);
         }
-        self.job.as_ref().and_then(|j| j.first_value(attributes::JOBTAG)).and_then(Value::as_str)
+        self.job
+            .as_ref()
+            .and_then(|j| j.conjunction().first_value(attributes::JOBTAG))
+            .and_then(Value::as_str)
     }
 
     /// True when the requester presented a limited proxy.
@@ -229,18 +321,18 @@ impl AuthzRequest {
 
     fn values_for_normalized(&self, attribute: &str) -> &[Value] {
         match attribute {
-            attributes::ACTION => &self.attrs.action,
-            attributes::JOBOWNER => &self.attrs.job_owner,
-            attributes::JOBTAG => &self.attrs.jobtag,
-            _ => self.attrs.job_attrs.get(attribute).map_or(&[], Vec::as_slice),
+            attributes::ACTION => action_values(self.action),
+            attributes::JOBOWNER => &self.attrs().job_owner,
+            attributes::JOBTAG => &self.attrs().jobtag,
+            _ => self.job.as_ref().map_or(&[], |j| j.values(attribute)),
         }
     }
 
-    /// The requester's identity as a policy [`Value`], resolved once at
-    /// construction. This is what the policy literal `self` compares
-    /// against, so evaluation never materializes it per relation.
+    /// The requester's identity as a policy [`Value`], resolved once per
+    /// request. This is what the policy literal `self` compares against,
+    /// so evaluation never materializes it per relation.
     pub fn subject_value(&self) -> &Value {
-        &self.attrs.subject_value
+        &self.attrs().subject_value
     }
 
     /// The three synthesized attributes, in canonical order. The policy
@@ -249,19 +341,20 @@ impl AuthzRequest {
     ///
     /// [`job_attr_entries`]: AuthzRequest::job_attr_entries
     pub(crate) fn synthesized_attr_entries(&self) -> [(&'static str, &[Value]); 3] {
+        let attrs = self.attrs();
         [
-            (attributes::ACTION, self.attrs.action.as_slice()),
-            (attributes::JOBOWNER, self.attrs.job_owner.as_slice()),
-            (attributes::JOBTAG, self.attrs.jobtag.as_slice()),
+            (attributes::ACTION, action_values(self.action)),
+            (attributes::JOBOWNER, attrs.job_owner.as_slice()),
+            (attributes::JOBTAG, attrs.jobtag.as_slice()),
         ]
     }
 
     /// Job-description attributes, minus the three the synthesized table
     /// shadows.
     pub(crate) fn job_attr_entries(&self) -> impl Iterator<Item = (&str, &[Value])> {
-        self.attrs
-            .job_attrs
+        self.job
             .iter()
+            .flat_map(|j| j.attrs.iter())
             .filter(|(name, _)| {
                 !matches!(
                     name.as_str(),
@@ -274,7 +367,7 @@ impl AuthzRequest {
     /// Number of job-description attributes (including shadowed ones) —
     /// a capacity hint for request lowering.
     pub(crate) fn job_attr_count(&self) -> usize {
-        self.attrs.job_attrs.len()
+        self.job.as_ref().map_or(0, |j| j.attrs.len())
     }
 }
 

@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use crate::error::CredentialError;
 
@@ -12,9 +13,14 @@ use crate::error::CredentialError;
 /// grid-mapfile lookups. Prefix matching — used by the policy language for
 /// group subjects like `/O=Grid/O=Globus/OU=mcs.anl.gov` — is component-wise
 /// via [`DistinguishedName::starts_with`].
+///
+/// The component list is shared: identities flow into job records, audit
+/// entries and authorization requests on every request, and the list is
+/// immutable after parse, so a clone is one refcount bump rather than a
+/// per-component string copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DistinguishedName {
-    components: Vec<(String, String)>,
+    components: Arc<[(String, String)]>,
 }
 
 impl DistinguishedName {
@@ -40,7 +46,7 @@ impl DistinguishedName {
             }
             components.push((key.to_string(), value.to_string()));
         }
-        Ok(DistinguishedName { components })
+        Ok(DistinguishedName { components: components.into() })
     }
 
     /// The ordered `(key, value)` components.
@@ -81,28 +87,32 @@ impl DistinguishedName {
     /// Returns a new DN with `key=value` appended — how proxy-certificate
     /// subjects are derived from their issuer (`.../CN=Bo Liu/CN=proxy`).
     pub fn child(&self, key: &str, value: &str) -> Result<DistinguishedName, CredentialError> {
-        let mut dn = self.clone();
         let key_ok = !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric());
         if !key_ok || value.is_empty() {
             return Err(CredentialError::InvalidDn(format!("{self}/{key}={value}")));
         }
-        dn.components.push((key.to_string(), value.to_string()));
-        Ok(dn)
+        let mut components = self.components.to_vec();
+        components.push((key.to_string(), value.to_string()));
+        Ok(DistinguishedName { components: components.into() })
     }
 
     /// Strips trailing `CN=proxy` / `CN=limited proxy` components, yielding
     /// the *effective identity* behind a proxy-certificate subject.
     pub fn without_proxy_components(&self) -> DistinguishedName {
-        let mut dn = self.clone();
-        while let Some((k, v)) = dn.components.last() {
-            let is_proxy_cn = k == "CN" && (v == "proxy" || v == "limited proxy");
-            if is_proxy_cn && dn.components.len() > 1 {
-                dn.components.pop();
+        let mut keep = self.components.len();
+        while keep > 1 {
+            let (k, v) = &self.components[keep - 1];
+            if k == "CN" && (v == "proxy" || v == "limited proxy") {
+                keep -= 1;
             } else {
                 break;
             }
         }
-        dn
+        if keep == self.components.len() {
+            self.clone()
+        } else {
+            DistinguishedName { components: self.components[..keep].to_vec().into() }
+        }
     }
 }
 
@@ -115,7 +125,7 @@ impl FromStr for DistinguishedName {
 
 impl fmt::Display for DistinguishedName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.components {
+        for (k, v) in self.components.iter() {
             write!(f, "/{k}={v}")?;
         }
         Ok(())

@@ -1,0 +1,347 @@
+//! The TCP serving layer: a real network boundary in front of
+//! [`GramServer`].
+//!
+//! The paper's Gatekeeper sat behind a listening socket serving many
+//! concurrent wide-area clients. This front-end reproduces that shape
+//! with a deliberately simple, allocation-disciplined design:
+//!
+//! * **Fixed worker pool.** `workers` threads are spawned at bind time
+//!   and live until [`Frontend::stop`]. An acceptor thread enqueues
+//!   connections; each worker pops one and serves it until the peer
+//!   closes, so the pool size bounds concurrent service exactly and
+//!   excess connections queue. Throughput scales with workers because
+//!   wide-area clients spend most of a request's lifetime *not* talking
+//!   (network latency, client think time): one worker serializes every
+//!   client's idle gaps, W workers overlap them.
+//! * **Pipelined framing.** Frames are `\n\n`-delimited (PEM armor and
+//!   GRAM header lines are never blank). A per-connection
+//!   [`FrameAssembler`] accepts whatever fragments the socket delivers
+//!   and yields complete frames — several per read, or one frame spread
+//!   over many reads — decoded against the connection buffer in place.
+//! * **Per-worker reusable buffers.** The read buffer, the assembler's
+//!   frame buffer and the response `String` are allocated once per
+//!   worker and reused for every request of every connection: the warm
+//!   path is bytes-in → decision → bytes-out with no per-request heap
+//!   traffic in the serving layer itself.
+//! * **Real time.** Service timing uses a [`TimeSource`] —
+//!   [`WallClock`] by default — so the front-end measures wall time
+//!   while the simulation's [`SimClock`](gridauthz_clock::SimClock)
+//!   remains the authority everywhere behind the decision boundary.
+//!
+//! Telemetry: accepted/active connection gauges, per-frame decode and
+//! end-to-end service histograms ([`Stage::FrameDecode`],
+//! [`Stage::Service`]), and classified decode-error labels.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gridauthz_clock::{TimeSource, WallClock};
+use gridauthz_telemetry::{Gauge, Stage, TelemetryRegistry};
+
+use crate::server::GramServer;
+use crate::wire::{decode_error_label, FrameAssembler, WireDecodeError, MAX_FRAME_BYTES};
+
+/// Tunables for [`Frontend::bind`].
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Per-frame size limit handed to each connection's assembler.
+    pub max_frame_bytes: usize,
+    /// Socket read timeout — the granularity at which an idle worker
+    /// notices a stop request.
+    pub read_timeout: Duration,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> FrontendConfig {
+        FrontendConfig {
+            workers: 4,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            read_timeout: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Per-worker service counters, returned by [`Frontend::stop`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Connections this worker served to completion.
+    pub connections: u64,
+    /// Frames this worker answered (including error answers).
+    pub frames: u64,
+}
+
+/// State shared by the acceptor, the workers and the handle.
+struct Shared {
+    server: Arc<GramServer>,
+    clock: Arc<dyn TimeSource>,
+    config: FrontendConfig,
+    /// Connections accepted but not yet claimed by a worker.
+    queue: Mutex<VecDeque<TcpStream>>,
+    /// Signals workers that the queue is non-empty (or stopping).
+    available: Condvar,
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    active: AtomicU64,
+}
+
+impl Shared {
+    fn telemetry(&self) -> &TelemetryRegistry {
+        self.server.telemetry()
+    }
+
+    fn publish_gauges(&self) {
+        self.telemetry()
+            .set_gauge(Gauge::ConnectionsAccepted, self.accepted.load(Ordering::Relaxed));
+        self.telemetry().set_gauge(Gauge::ConnectionsActive, self.active.load(Ordering::Relaxed));
+    }
+}
+
+/// A bound, serving front-end. Dropping the handle without calling
+/// [`Frontend::stop`] leaves the threads serving until process exit.
+pub struct Frontend {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+}
+
+impl Frontend {
+    /// Binds `addr` and starts the acceptor plus `config.workers` worker
+    /// threads serving `server`, timing service with a fresh
+    /// [`WallClock`].
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from bind.
+    pub fn bind(
+        server: Arc<GramServer>,
+        addr: impl ToSocketAddrs,
+        config: FrontendConfig,
+    ) -> io::Result<Frontend> {
+        Frontend::bind_with_clock(server, addr, config, Arc::new(WallClock::new()))
+    }
+
+    /// [`Frontend::bind`] with an explicit time source — tests pass a
+    /// [`SimClock`](gridauthz_clock::SimClock) for deterministic spans.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from bind.
+    pub fn bind_with_clock(
+        server: Arc<GramServer>,
+        addr: impl ToSocketAddrs,
+        config: FrontendConfig,
+        clock: Arc<dyn TimeSource>,
+    ) -> io::Result<Frontend> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            server,
+            clock,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..worker_count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Frontend { addr, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted since bind.
+    #[must_use]
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    /// Queued-but-unserved connections are dropped. Returns the
+    /// per-worker service counters.
+    pub fn stop(mut self) -> Vec<WorkerStats> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.available.notify_all();
+        let stats =
+            self.workers.drain(..).map(|worker| worker.join().unwrap_or_default()).collect();
+        self.shared.publish_gauges();
+        stats
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let accepted = listener.accept();
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match accepted {
+            Ok((stream, _)) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.publish_gauges();
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                queue.push_back(stream);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake):
+                // keep listening.
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    // The worker's reusable buffers: one read scratch, one frame
+    // assembler, one response buffer — allocated here, reused for every
+    // request of every connection this worker ever serves.
+    let mut read_buf = vec![0u8; 8 * 1024];
+    let mut assembler = FrameAssembler::new(shared.config.max_frame_bytes);
+    let mut response = String::with_capacity(1024);
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return stats;
+                }
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        shared.publish_gauges();
+        stats.frames +=
+            serve_connection(shared, stream, &mut read_buf, &mut assembler, &mut response);
+        stats.connections += 1;
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+        shared.publish_gauges();
+    }
+}
+
+/// Serves one connection until the peer closes (or errors). Returns the
+/// number of frames answered.
+fn serve_connection(
+    shared: &Shared,
+    mut stream: TcpStream,
+    read_buf: &mut [u8],
+    assembler: &mut FrameAssembler,
+    response: &mut String,
+) -> u64 {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut frames = 0;
+    loop {
+        match stream.read(read_buf) {
+            Ok(0) => {
+                // Peer closed. Bytes without a terminator mean the frame
+                // never completed.
+                if assembler.residue() > 0 {
+                    shared
+                        .telemetry()
+                        .record(Stage::FrameDecode, decode_error_label(&WireDecodeError::Partial));
+                }
+                break;
+            }
+            Ok(n) => {
+                assembler.push(&read_buf[..n]);
+                if !drain_frames(shared, &mut stream, assembler, response, &mut frames) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // The assembler is reused by the next connection; anything left
+    // belongs to the finished one.
+    assembler.reset();
+    frames
+}
+
+/// Answers every complete frame currently buffered. Returns `false` when
+/// the connection must close (decode-stream error or write failure).
+fn drain_frames(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    assembler: &mut FrameAssembler,
+    response: &mut String,
+    frames: &mut u64,
+) -> bool {
+    loop {
+        response.clear();
+        let outcome = assembler.next_frame(|frame| {
+            let start = shared.clock.now();
+            let label = shared.server.handle_wire_pem_into(frame, response);
+            let micros = shared.clock.now().as_micros().saturating_sub(start.as_micros());
+            shared.telemetry().record_timed(Stage::Service, label, micros.saturating_mul(1000));
+        });
+        match outcome {
+            Ok(Some(())) => {
+                // One extra '\n' turns the response into a frame of its
+                // own, so clients can pipeline with the same assembler.
+                response.push('\n');
+                *frames += 1;
+                if stream.write_all(response.as_bytes()).is_err() {
+                    return false;
+                }
+            }
+            Ok(None) => return true,
+            Err(e) => {
+                // Answer with a protocol error, count the shape, and
+                // drop the connection — after a framing failure the
+                // stream position is untrustworthy.
+                shared.telemetry().record(Stage::FrameDecode, decode_error_label(&e));
+                response.clear();
+                let answer = crate::wire::WireResponse::Error {
+                    code: "BAD_REQUEST".to_string(),
+                    message: e.to_string(),
+                };
+                if answer.encode_into(response).is_err() {
+                    response.push_str(crate::wire::WireResponse::FALLBACK);
+                }
+                response.push('\n');
+                *frames += 1;
+                let _ = stream.write_all(response.as_bytes());
+                return false;
+            }
+        }
+    }
+}

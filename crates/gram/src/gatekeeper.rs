@@ -20,13 +20,24 @@ pub struct Gatekeeper {
     trust: TrustStore,
     gridmap: GridMapFile,
     clock: SimClock,
+    generation: u64,
 }
 
 impl Gatekeeper {
     /// Builds a gatekeeper from the resource's trust anchors and
     /// grid-mapfile.
     pub fn new(trust: TrustStore, gridmap: GridMapFile, clock: &SimClock) -> Gatekeeper {
-        Gatekeeper { trust, gridmap, clock: clock.clone() }
+        Gatekeeper { trust, gridmap, clock: clock.clone(), generation: 0 }
+    }
+
+    /// The publication generation of this gatekeeper state. Bumped by
+    /// every administrative mutation ([`Gatekeeper::set_gridmap`],
+    /// [`Gatekeeper::trust_mut`]) before the clone-mutate-publish cycle
+    /// stores the new value, so authentication-cache entries stamped
+    /// with the generation of the snapshot that verified them go stale
+    /// the instant a revocation or mapping change is published.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The installed grid-mapfile.
@@ -37,10 +48,14 @@ impl Gatekeeper {
     /// Replaces the grid-mapfile (administration).
     pub fn set_gridmap(&mut self, gridmap: GridMapFile) {
         self.gridmap = gridmap;
+        self.generation += 1;
     }
 
     /// Mutable access to the trust store (CRL loading, anchor rotation).
+    /// Conservatively counts as a mutation: the generation moves even if
+    /// the caller only reads through the handle.
     pub fn trust_mut(&mut self) -> &mut TrustStore {
+        self.generation += 1;
         &mut self.trust
     }
 

@@ -30,7 +30,9 @@
 //! [`CalloutChain`]: gridauthz_core::CalloutChain
 
 mod audit;
+pub mod authcache;
 mod client;
+pub mod frontend;
 mod gatekeeper;
 mod jobspec;
 mod protocol;
@@ -40,7 +42,9 @@ pub mod shard;
 pub mod wire;
 
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
+pub use authcache::{AuthCache, AuthCacheStats, AuthEntry};
 pub use client::GramClient;
+pub use frontend::{Frontend, FrontendConfig, WorkerStats};
 pub use gatekeeper::Gatekeeper;
 pub use jobspec::{job_spec_from_rsl, normalize_job};
 pub use protocol::{error_label, GramError, GramSignal, JobContact, JobReport};

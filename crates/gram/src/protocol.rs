@@ -5,6 +5,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use gridauthz_clock::{SimDuration, SimTime};
 use gridauthz_core::DenyReason;
@@ -13,12 +14,16 @@ use gridauthz_scheduler::{JobState, SchedulerError};
 
 /// The job contact string identifying a job at a resource (GT2 returns a
 /// `https://host:port/...` URL; this simulation uses `gram://...`).
+///
+/// The string is shared: contacts travel from job records into reports,
+/// audit entries and sweep outcomes on every management request, so a
+/// clone is a refcount bump.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct JobContact(String);
+pub struct JobContact(Arc<str>);
 
 impl JobContact {
     pub(crate) fn new(resource: &str, index: u64) -> JobContact {
-        JobContact(format!("gram://{resource}/jobs/{index}"))
+        JobContact(format!("gram://{resource}/jobs/{index}").into())
     }
 
     /// The contact URL.
@@ -30,7 +35,7 @@ impl JobContact {
     /// performed: an unknown or malformed contact simply fails job lookup
     /// with [`GramError::UnknownJob`].
     pub fn from_wire(contact: &str) -> JobContact {
-        JobContact(contact.to_string())
+        JobContact(contact.into())
     }
 }
 

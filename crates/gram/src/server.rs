@@ -1,6 +1,7 @@
 //! The GRAM resource service: Gatekeeper + per-job Job Manager Instances
 //! over the local job control system.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -11,7 +12,7 @@ use parking_lot::{Mutex, RwLock};
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
 use gridauthz_core::{
     Action, AuthzEngine, AuthzFailure, AuthzRequest, BreakerState, CalloutChain, DenyReason,
-    SnapshotCell, SupervisionReport,
+    JobDescription, SnapshotCell, SupervisionReport,
 };
 use gridauthz_credential::{
     Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
@@ -25,6 +26,7 @@ use gridauthz_telemetry::{
 use gridauthz_enforcement::{DynamicAccountPool, Sandbox};
 
 use crate::audit::{AuditLog, AuditOutcome, AuditRecord};
+use crate::authcache::{AuthCache, AuthCacheStats, AuthEntry};
 use crate::gatekeeper::Gatekeeper;
 use crate::jobspec::job_spec_from_rsl;
 use crate::protocol::{error_label, GramError, GramSignal, JobContact, JobReport};
@@ -50,12 +52,17 @@ pub type SweepOutcomes<T> = Vec<(JobContact, Result<T, GramError>)>;
 
 /// One Job Manager Instance's record: who started the job, its tag, its
 /// description, and the local job it drives.
+///
+/// The description is a shared [`JobDescription`] because every
+/// management request evaluates against it: the per-request
+/// [`AuthzRequest`] reuses the record's conjunction *and* its extracted
+/// attribute table instead of deep-cloning or rescanning either.
 #[derive(Debug, Clone)]
 struct JmiRecord {
     contact: JobContact,
     owner: DistinguishedName,
     jobtag: Option<String>,
-    rsl: Conjunction,
+    rsl: JobDescription,
     local: JobId,
     account: String,
     sandbox: Option<Sandbox>,
@@ -220,6 +227,7 @@ impl GramServerBuilder {
             audit: Mutex::new(audit),
             supervision_seen: Mutex::new(HashMap::new()),
             telemetry,
+            auth_cache: AuthCache::new(),
             clock: self.clock,
             next_job: AtomicU64::new(1),
             admin: Mutex::new(()),
@@ -243,6 +251,17 @@ fn timed_stage<T>(
     };
     trace.record(stage, label, u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     result
+}
+
+/// How a request's initiator enters the pipeline: as a raw certificate
+/// chain (typed API — fresh chain verification on every call) or as an
+/// identity the authentication cache already verified under the current
+/// gatekeeper generation (the wire front-end's warm path, which must not
+/// pay for RSA verification twice).
+#[derive(Clone, Copy)]
+enum Caller<'a> {
+    Chain(&'a [Certificate]),
+    Verified(&'a VerifiedIdentity),
 }
 
 /// Account resolution state, narrowed from a whole-strategy
@@ -276,7 +295,10 @@ pub struct GramServer {
     /// configured callouts, lock-free on the decision path.
     engine: AuthzEngine,
     mode: GramMode,
-    jobs: ShardedMap<String, JmiRecord>,
+    /// Records are shared (`Arc`): the management hot path looks one up
+    /// per request, and a lookup must be a refcount bump, not a deep
+    /// clone of the record's strings and job description.
+    jobs: ShardedMap<String, Arc<JmiRecord>>,
     locals: ShardedMap<JobId, String>,
     /// Deliberately still a lock: the discrete-event scheduler mutates
     /// shared queue/placement state on nearly every call (even status
@@ -296,6 +318,11 @@ pub struct GramServer {
     /// accumulate from both the server's own stages and the engine's
     /// interior ones, and every completed decision's trace lands here.
     telemetry: Arc<TelemetryRegistry>,
+    /// Verified-chain cache in front of the PEM wire path. Entries are
+    /// stamped with the generation of the gatekeeper snapshot that
+    /// verified them, so the same clone-bump-publish cycle that swaps
+    /// the gatekeeper also strands every cached verification.
+    auth_cache: AuthCache,
     clock: SimClock,
     next_job: AtomicU64,
     /// Serializes gatekeeper clone-modify-publish sequences so two
@@ -377,27 +404,30 @@ impl GramServer {
         work: SimDuration,
     ) -> Result<JobContact, GramError> {
         let mut trace = self.telemetry.start_trace("submit", self.clock.now());
-        let result = self.submit_inner(chain, rsl_text, requested_account, work, &mut trace);
+        let result =
+            self.submit_inner(Caller::Chain(chain), rsl_text, requested_account, work, &mut trace);
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn submit_inner(
         &self,
-        chain: &[Certificate],
+        caller: Caller<'_>,
         rsl_text: &str,
         requested_account: Option<&str>,
         work: SimDuration,
         trace: &mut DecisionTrace,
     ) -> Result<JobContact, GramError> {
-        let identity =
-            timed_stage(trace, Stage::Authenticate, || self.gatekeeper.load().authenticate(chain))?;
+        let identity = self.authenticate_caller(caller, trace)?;
         let subject = identity.subject().clone();
         let result = self.submit_authenticated(&identity, rsl_text, requested_account, work, trace);
+        let account =
+            result.as_ref().ok().and_then(|c| self.jobs.with(c.as_str(), |r| r.account.clone()));
         self.record_audit(
             &subject,
             Action::Start,
             result.as_ref().ok().map(|c| c.as_str()),
+            account.as_deref(),
             &result,
             trace,
         );
@@ -443,9 +473,9 @@ impl GramServer {
                 "job request contains unresolved $(VAR) references".into(),
             ));
         }
-        let job = crate::jobspec::normalize_job(
+        let job = JobDescription::new(crate::jobspec::normalize_job(
             resolved.as_conjunction().expect("substitution preserves shape"),
-        );
+        ));
 
         if self.mode == GramMode::Extended {
             let request = AuthzRequest::start(subject.clone(), job.clone())
@@ -458,20 +488,21 @@ impl GramServer {
         let account = match premapped {
             Some(account) => account,
             None => timed_stage(trace, Stage::GridMap, || {
-                self.resolve_account(&subject, requested_account, &job)
+                self.resolve_account(&subject, requested_account, job.conjunction())
             })?,
         };
 
         let jobtag = job
+            .conjunction()
             .first_value(gridauthz_rsl::attributes::JOBTAG)
             .and_then(gridauthz_rsl::Value::as_str)
             .map(str::to_string);
-        let job_spec = job_spec_from_rsl(&job, &account, work)?;
+        let job_spec = job_spec_from_rsl(job.conjunction(), &account, work)?;
         let local =
             timed_stage(trace, Stage::Enforce, || Ok(self.scheduler.write().submit(job_spec)?))?;
         let index = self.next_job.fetch_add(1, Ordering::SeqCst);
         let contact = JobContact::new(&self.resource_name, index);
-        let sandbox = self.sandboxing.then(|| Sandbox::new(sandbox_profile_for(&job)));
+        let sandbox = self.sandboxing.then(|| Sandbox::new(sandbox_profile_for(job.conjunction())));
         let record = JmiRecord {
             contact: contact.clone(),
             owner: subject,
@@ -481,7 +512,7 @@ impl GramServer {
             account,
             sandbox,
         };
-        self.jobs.insert(contact.as_str().to_string(), record);
+        self.jobs.insert(contact.as_str().to_string(), Arc::new(record));
         self.locals.insert(local, contact.as_str().to_string());
         Ok(contact)
     }
@@ -541,18 +572,18 @@ impl GramServer {
     /// failure.
     pub fn cancel(&self, chain: &[Certificate], contact: &JobContact) -> Result<(), GramError> {
         let mut trace = self.telemetry.start_trace("cancel", self.clock.now());
-        let result = self.cancel_inner(chain, contact, &mut trace);
+        let result = self.cancel_inner(Caller::Chain(chain), contact, &mut trace);
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn cancel_inner(
         &self,
-        chain: &[Certificate],
+        caller: Caller<'_>,
         contact: &JobContact,
         trace: &mut DecisionTrace,
     ) -> Result<(), GramError> {
-        let (identity, record) = self.authenticate_and_find(chain, contact, trace)?;
+        let (identity, record) = self.authenticate_and_find(caller, contact, trace)?;
         let result =
             self.authorize_management(&identity, &record, Action::Cancel, trace).and_then(|()| {
                 timed_stage(trace, Stage::Enforce, || {
@@ -563,6 +594,7 @@ impl GramServer {
             identity.subject(),
             Action::Cancel,
             Some(contact.as_str()),
+            Some(record.account.as_str()),
             &result,
             trace,
         );
@@ -580,23 +612,24 @@ impl GramServer {
         contact: &JobContact,
     ) -> Result<JobReport, GramError> {
         let mut trace = self.telemetry.start_trace("status", self.clock.now());
-        let result = self.status_inner(chain, contact, &mut trace);
+        let result = self.status_inner(Caller::Chain(chain), contact, &mut trace);
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn status_inner(
         &self,
-        chain: &[Certificate],
+        caller: Caller<'_>,
         contact: &JobContact,
         trace: &mut DecisionTrace,
     ) -> Result<JobReport, GramError> {
-        let (identity, record) = self.authenticate_and_find(chain, contact, trace)?;
+        let (identity, record) = self.authenticate_and_find(caller, contact, trace)?;
         let authz = self.authorize_management(&identity, &record, Action::Information, trace);
         self.record_audit(
             identity.subject(),
             Action::Information,
             Some(contact.as_str()),
+            Some(record.account.as_str()),
             &authz,
             trace,
         );
@@ -618,19 +651,19 @@ impl GramServer {
         signal: GramSignal,
     ) -> Result<(), GramError> {
         let mut trace = self.telemetry.start_trace("signal", self.clock.now());
-        let result = self.signal_inner(chain, contact, signal, &mut trace);
+        let result = self.signal_inner(Caller::Chain(chain), contact, signal, &mut trace);
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn signal_inner(
         &self,
-        chain: &[Certificate],
+        caller: Caller<'_>,
         contact: &JobContact,
         signal: GramSignal,
         trace: &mut DecisionTrace,
     ) -> Result<(), GramError> {
-        let (identity, record) = self.authenticate_and_find(chain, contact, trace)?;
+        let (identity, record) = self.authenticate_and_find(caller, contact, trace)?;
         let result =
             self.authorize_management(&identity, &record, Action::Signal, trace).and_then(|()| {
                 timed_stage(trace, Stage::Enforce, || {
@@ -647,20 +680,38 @@ impl GramServer {
             identity.subject(),
             Action::Signal,
             Some(contact.as_str()),
+            Some(record.account.as_str()),
             &result,
             trace,
         );
         result
     }
 
-    fn authenticate_and_find(
+    /// Authenticates `caller`. A raw chain pays for full verification as
+    /// one traced Authenticate stage; a cache-verified identity skips it
+    /// entirely (the hit was counted by [`GramServer::authenticate_pem`])
+    /// and is borrowed as-is — the warm path never clones the identity.
+    fn authenticate_caller<'c>(
         &self,
-        chain: &[Certificate],
+        caller: Caller<'c>,
+        trace: &mut DecisionTrace,
+    ) -> Result<Cow<'c, VerifiedIdentity>, GramError> {
+        match caller {
+            Caller::Chain(chain) => timed_stage(trace, Stage::Authenticate, || {
+                self.gatekeeper.load().authenticate(chain)
+            })
+            .map(Cow::Owned),
+            Caller::Verified(identity) => Ok(Cow::Borrowed(identity)),
+        }
+    }
+
+    fn authenticate_and_find<'c>(
+        &self,
+        caller: Caller<'c>,
         contact: &JobContact,
         trace: &mut DecisionTrace,
-    ) -> Result<(VerifiedIdentity, JmiRecord), GramError> {
-        let identity =
-            timed_stage(trace, Stage::Authenticate, || self.gatekeeper.load().authenticate(chain))?;
+    ) -> Result<(Cow<'c, VerifiedIdentity>, Arc<JmiRecord>), GramError> {
+        let identity = self.authenticate_caller(caller, trace)?;
         // A failed job lookup is deliberately unrecorded: UnknownJob is a
         // routing miss, not an authorization stage.
         let record = self
@@ -672,21 +723,23 @@ impl GramServer {
 
     /// The authorization request for a management action on one job —
     /// shared by the single-job and fan-out paths so both are judged on
-    /// identical evidence.
+    /// identical evidence. DN clones are refcount bumps and the job
+    /// description is shared with the record, so the build costs only the
+    /// request's own attribute table.
     fn management_request(
         identity: &VerifiedIdentity,
         record: &JmiRecord,
         action: Action,
     ) -> AuthzRequest {
-        AuthzRequest::manage(
+        AuthzRequest::manage_job(
             identity.subject().clone(),
             action,
             record.owner.clone(),
             record.jobtag.clone(),
+            record.rsl.clone(),
+            record.contact.as_str(),
+            restriction_values(identity),
         )
-        .with_job(record.rsl.clone())
-        .with_job_id(record.contact.as_str())
-        .with_restrictions(restriction_values(identity))
     }
 
     fn authorize_management(
@@ -724,7 +777,7 @@ impl GramServer {
     fn authorize_management_batch(
         &self,
         identity: &VerifiedIdentity,
-        records: &[JmiRecord],
+        records: &[Arc<JmiRecord>],
         action: Action,
         traces: &mut [DecisionTrace],
     ) -> Vec<Result<(), GramError>> {
@@ -760,11 +813,11 @@ impl GramServer {
     /// Contacts of non-terminal jobs carrying `tag` — the VO-wide
     /// management working set (requirement 3 of §2).
     pub fn jobs_with_tag(&self, tag: &str) -> Vec<JobContact> {
-        self.tagged_records(tag).into_iter().map(|record| record.contact).collect()
+        self.tagged_records(tag).into_iter().map(|record| record.contact.clone()).collect()
     }
 
     /// The live records behind [`jobs_with_tag`](Self::jobs_with_tag).
-    fn tagged_records(&self, tag: &str) -> Vec<JmiRecord> {
+    fn tagged_records(&self, tag: &str) -> Vec<Arc<JmiRecord>> {
         self.scheduler
             .read()
             .jobs_with_tag(tag)
@@ -828,11 +881,12 @@ impl GramServer {
                     identity.subject(),
                     Action::Cancel,
                     Some(record.contact.as_str()),
+                    Some(record.account.as_str()),
                     &result,
                     &trace,
                 );
                 self.telemetry.finish_trace(trace);
-                (record.contact, result)
+                (record.contact.clone(), result)
             })
             .collect())
     }
@@ -883,11 +937,12 @@ impl GramServer {
                     identity.subject(),
                     Action::Information,
                     Some(record.contact.as_str()),
+                    Some(record.account.as_str()),
                     &result,
                     &trace,
                 );
                 self.telemetry.finish_trace(trace);
-                (record.contact, result)
+                (record.contact.clone(), result)
             })
             .collect())
     }
@@ -905,15 +960,20 @@ impl GramServer {
         })
     }
 
+    /// Appends one audit entry. `account` is the target job's local
+    /// account when the caller already holds the record — passing it
+    /// through avoids re-locking the job map for a second lookup on
+    /// every audited request.
     fn record_audit<T>(
         &self,
         subject: &DistinguishedName,
         action: Action,
         job: Option<&str>,
+        account: Option<&str>,
         result: &Result<T, GramError>,
         trace: &DecisionTrace,
     ) {
-        let account = job.and_then(|contact| self.jobs.with(contact, |r| r.account.clone()));
+        let account = account.map(str::to_string);
         self.audit.lock().record(AuditRecord {
             at: self.clock.now(),
             subject: subject.clone(),
@@ -1054,7 +1114,10 @@ impl GramServer {
     ) -> Result<(), GramError> {
         self.jobs
             .update(contact.as_str(), |record| {
-                let Some(sandbox) = record.sandbox.as_mut() else {
+                // Copy-on-write through the shared record: concurrent
+                // readers keep their snapshot, the map gets the updated
+                // sandbox state.
+                let Some(sandbox) = Arc::make_mut(record).sandbox.as_mut() else {
                     return Ok(());
                 };
                 let result = match operation {
@@ -1125,22 +1188,92 @@ impl GramServer {
         &self.clock
     }
 
+    /// Authenticates the PEM-armored chain `pem_text` through the
+    /// authentication cache: the SHA-256 of the armor text is looked up
+    /// first, and only a miss pays for PEM decoding and chain
+    /// verification. Entries are stamped with the generation of the
+    /// gatekeeper snapshot that verified them and carry the chain's
+    /// composite validity window, so revocations, grid-mapfile swaps and
+    /// credential expiry all force a fresh verification. Failed
+    /// verifications are never cached.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthenticationFailed`] for bad armor or a chain the
+    /// current trust state rejects.
+    pub fn authenticate_pem(&self, pem_text: &str) -> Result<Arc<AuthEntry>, GramError> {
+        let start = Instant::now();
+        let key = AuthCache::digest(pem_text);
+        let gatekeeper = self.gatekeeper.load();
+        let generation = gatekeeper.generation();
+        let now = self.clock.now();
+        if let Some(entry) = self.auth_cache.lookup(&key, generation, now) {
+            self.telemetry.record_timed(
+                Stage::Authenticate,
+                labels::HIT,
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            return Ok(entry);
+        }
+        let verified = gridauthz_credential::pem::decode_chain(pem_text)
+            .map_err(GramError::AuthenticationFailed)
+            .and_then(|chain| {
+                let identity = gatekeeper.authenticate(&chain)?;
+                Ok(AuthEntry::new(generation, chain, identity))
+            });
+        match verified {
+            Ok(entry) => {
+                let entry = Arc::new(entry);
+                self.auth_cache.insert(key, (*entry).clone());
+                self.telemetry.record_timed(
+                    Stage::Authenticate,
+                    labels::MISS,
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                Ok(entry)
+            }
+            Err(e) => {
+                self.telemetry.record_timed(
+                    Stage::Authenticate,
+                    error_label(&e),
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// Hit/miss counters of the authentication cache.
+    pub fn auth_cache_stats(&self) -> AuthCacheStats {
+        self.auth_cache.stats()
+    }
+
     /// Serves a fully self-contained wire message: PEM-armored credential
     /// chain (see [`gridauthz_credential::pem`]) followed by the
     /// wire-encoded request. This is the complete network surface — the
     /// caller ships text, nothing else crosses the boundary.
     pub fn handle_wire_pem(&self, message: &str) -> String {
-        use crate::wire::WireResponse;
+        let mut out = String::new();
+        self.handle_wire_pem_into(message, &mut out);
+        out
+    }
+
+    /// [`GramServer::handle_wire_pem`] against a caller-owned buffer —
+    /// the front-end's hot path. The response text is appended to `out`
+    /// and the outcome's telemetry label is returned so the caller can
+    /// time the whole service under it.
+    pub fn handle_wire_pem_into(&self, message: &str, out: &mut String) -> &'static str {
         let Some(split) = message.find("GRAM/1 ") else {
-            return encode_response(&WireResponse::from_error(&GramError::BadRequest(
-                "message has no GRAM/1 request".into(),
-            )));
+            let error = GramError::BadRequest("message has no GRAM/1 request".into());
+            encode_error_into(&error, out);
+            return error_label(&error);
         };
         let (pem, body) = message.split_at(split);
-        match gridauthz_credential::pem::decode_chain(pem) {
-            Ok(chain) => self.handle_wire(&chain, body),
+        match self.authenticate_pem(pem) {
+            Ok(entry) => self.dispatch_wire(Caller::Verified(entry.identity()), body, out),
             Err(e) => {
-                encode_response(&WireResponse::from_error(&GramError::AuthenticationFailed(e)))
+                encode_error_into(&e, out);
+                error_label(&e)
             }
         }
     }
@@ -1149,39 +1282,124 @@ impl GramServer {
     /// the wire-encoded response. Malformed messages come back as
     /// `BAD_REQUEST` errors rather than panics — the network is untrusted.
     pub fn handle_wire(&self, chain: &[Certificate], message: &str) -> String {
-        use crate::wire::{WireRequest, WireResponse};
-        let request = match WireRequest::decode(message) {
+        let mut out = String::new();
+        self.handle_wire_into(chain, message, &mut out);
+        out
+    }
+
+    /// [`GramServer::handle_wire`] against a caller-owned buffer; returns
+    /// the outcome's telemetry label.
+    pub fn handle_wire_into(
+        &self,
+        chain: &[Certificate],
+        message: &str,
+        out: &mut String,
+    ) -> &'static str {
+        self.dispatch_wire(Caller::Chain(chain), message, out)
+    }
+
+    /// Decodes one frame body (borrowed, zero-copy) and dispatches it as
+    /// the typed API would, appending the response to `out`. The decode
+    /// is timed as a [`Stage::FrameDecode`] sample; decode failures are
+    /// classified ([`crate::wire::decode_error_label`]) and answered as
+    /// `BAD_REQUEST` protocol errors.
+    fn dispatch_wire(&self, caller: Caller<'_>, body: &str, out: &mut String) -> &'static str {
+        use crate::wire::WireRequestRef;
+        let start = Instant::now();
+        let decoded = WireRequestRef::decode(body);
+        let decode_label = match &decoded {
+            Ok(_) => labels::PERMIT,
+            Err(e) => crate::wire::decode_error_label(e),
+        };
+        self.telemetry.record_timed(
+            Stage::FrameDecode,
+            decode_label,
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        let request = match decoded {
             Ok(request) => request,
             Err(e) => {
-                return encode_response(&WireResponse::from_error(&GramError::BadRequest(
-                    e.to_string(),
-                )))
+                encode_error_into(&GramError::BadRequest(e.to_string()), out);
+                return decode_label;
             }
         };
-        let response = match request {
-            WireRequest::Submit { rsl, account, work } => self
-                .submit(chain, &rsl, account.as_deref(), work)
-                .map(|contact| WireResponse::Submitted { contact: contact.as_str().to_string() }),
-            WireRequest::Cancel { contact } => self
-                .cancel(chain, &crate::wire::contact_from_wire(&contact))
-                .map(|()| WireResponse::Done),
-            WireRequest::Status { contact } => self
-                .status(chain, &crate::wire::contact_from_wire(&contact))
-                .map(|report| WireResponse::from_report(&report)),
-            WireRequest::Signal { contact, signal } => self
-                .signal(chain, &crate::wire::contact_from_wire(&contact), signal)
-                .map(|()| WireResponse::Done),
+        let operation = match request {
+            WireRequestRef::Submit { .. } => "submit",
+            WireRequestRef::Cancel { .. } => "cancel",
+            WireRequestRef::Status { .. } => "status",
+            WireRequestRef::Signal { .. } => "signal",
         };
-        encode_response(&response.unwrap_or_else(|e| WireResponse::from_error(&e)))
+        let mut trace = self.telemetry.start_trace(operation, self.clock.now());
+        let result = match request {
+            WireRequestRef::Submit { rsl, account, work } => self
+                .submit_inner(caller, rsl, account, work, &mut trace)
+                .map(EncodableResponse::Submitted),
+            WireRequestRef::Cancel { contact } => self
+                .cancel_inner(caller, &crate::wire::contact_from_wire(contact), &mut trace)
+                .map(|()| EncodableResponse::Done),
+            WireRequestRef::Status { contact } => self
+                .status_inner(caller, &crate::wire::contact_from_wire(contact), &mut trace)
+                .map(EncodableResponse::Report),
+            WireRequestRef::Signal { contact, signal } => self
+                .signal_inner(caller, &crate::wire::contact_from_wire(contact), signal, &mut trace)
+                .map(|()| EncodableResponse::Done),
+        };
+        self.telemetry.finish_trace(trace);
+        match result {
+            Ok(response) => {
+                response.encode_into(out);
+                labels::PERMIT
+            }
+            Err(e) => {
+                encode_error_into(&e, out);
+                error_label(&e)
+            }
+        }
     }
 }
 
-/// Encodes a response for the wire, falling back to the static
-/// `INTERNAL_ENCODING_FAILURE` error when the response itself cannot be
-/// framed (a value carried a line break) — the server must always answer
-/// with well-formed protocol text.
-fn encode_response(response: &crate::wire::WireResponse) -> String {
-    response.encode().unwrap_or_else(|_| crate::wire::WireResponse::encode_failure_fallback())
+/// A successful wire response that encodes straight into the pooled
+/// buffer without first materialising an owned [`WireResponse`]: the
+/// warm-path answers (`DONE`, `REPORT`, `SUBMITTED`) never allocate
+/// response structs of their own.
+enum EncodableResponse {
+    Submitted(JobContact),
+    Report(JobReport),
+    Done,
+}
+
+impl EncodableResponse {
+    fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let result = match self {
+            // Contacts are server-generated and never carry line breaks,
+            // but the checked path is kept for the report's user-supplied
+            // fields (jobtag) — a forged value must hit the fallback.
+            EncodableResponse::Submitted(contact) => {
+                let _ = writeln!(out, "GRAM/1 SUBMITTED\njob: {}", contact.as_str());
+                Ok(())
+            }
+            EncodableResponse::Report(report) => crate::wire::encode_report_into(report, out),
+            EncodableResponse::Done => {
+                out.push_str("GRAM/1 DONE\n");
+                Ok(())
+            }
+        };
+        if result.is_err() {
+            out.push_str(crate::wire::WireResponse::FALLBACK);
+        }
+    }
+}
+
+/// Appends the wire encoding of an error response to `out`, falling back
+/// to the static `INTERNAL_ENCODING_FAILURE` text when the response
+/// itself cannot be framed (a value carried a line break) — the server
+/// must always answer with well-formed protocol text.
+fn encode_error_into(error: &GramError, out: &mut String) {
+    let response = crate::wire::WireResponse::from_error(error);
+    if response.encode_into(out).is_err() {
+        out.push_str(crate::wire::WireResponse::FALLBACK);
+    }
 }
 
 fn restriction_values(identity: &VerifiedIdentity) -> Vec<String> {
@@ -1901,7 +2119,7 @@ mod tests {
     /// line breaks and the server answers with the static fallback.
     #[test]
     fn wire_response_encoding_failure_serves_fallback() {
-        use crate::wire::{WireParseError, WireResponse};
+        use crate::wire::{WireDecodeError, WireResponse};
         let forged = WireResponse::Error {
             code: "BAD_REQUEST".into(),
             message: "oops\ncode: FORGED".into(),
@@ -1909,7 +2127,7 @@ mod tests {
         assert!(forged.encode().is_err());
         let fallback = WireResponse::encode_failure_fallback();
         // The fallback itself is well-formed protocol text.
-        let decoded: Result<WireResponse, WireParseError> = WireResponse::decode(&fallback);
+        let decoded: Result<WireResponse, WireDecodeError> = WireResponse::decode(&fallback);
         assert!(matches!(
             decoded.unwrap(),
             WireResponse::Error { code, .. } if code == "INTERNAL_ENCODING_FAILURE"

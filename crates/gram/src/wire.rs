@@ -22,13 +22,32 @@
 //! - Values are preserved byte-for-byte: exactly the one space the
 //!   encoder writes after `:` is stripped, so significant leading or
 //!   trailing whitespace in a value survives the round trip.
+//!
+//! Two decode paths share one parser. [`WireFrame`] borrows the verb and
+//! header slices straight out of the input text — the front-end's hot
+//! path, no allocation — and the owned [`WireRequest`]/[`WireResponse`]
+//! `decode` constructors are thin conversions on top of it for the typed
+//! API. On the stream side, [`FrameAssembler`] reassembles `\n\n`-
+//! delimited frames from arbitrarily fragmented reads (the PEM armor and
+//! GRAM header lines are never blank, so a blank line unambiguously ends
+//! a frame).
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::str::FromStr;
 
 use gridauthz_clock::SimDuration;
+use gridauthz_telemetry::labels;
 
 use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
+
+/// Largest frame a peer may send: generous for a PEM chain plus headers,
+/// small enough that a hostile client cannot balloon a worker's buffer.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Headers a single frame may carry (the widest real message, `REPORT`,
+/// uses six).
+pub const MAX_HEADERS: usize = 8;
 
 /// A decoded GRAM wire request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +75,40 @@ pub enum WireRequest {
     Signal {
         /// The target job.
         contact: String,
+        /// The signal.
+        signal: GramSignal,
+    },
+}
+
+/// A [`WireRequest`] whose string fields borrow from the decoded text —
+/// the zero-copy request the front-end dispatches without touching the
+/// heap. [`WireRequestRef::into_owned`] converts to the owned form for
+/// callers that need to keep the request past the buffer's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireRequestRef<'a> {
+    /// Start a job.
+    Submit {
+        /// The RSL job description.
+        rsl: &'a str,
+        /// Requested grid-mapfile account, if any.
+        account: Option<&'a str>,
+        /// Simulated true computation time.
+        work: SimDuration,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// The target job.
+        contact: &'a str,
+    },
+    /// Query job status.
+    Status {
+        /// The target job.
+        contact: &'a str,
+    },
+    /// Deliver a management signal.
+    Signal {
+        /// The target job.
+        contact: &'a str,
         /// The signal.
         signal: GramSignal,
     },
@@ -112,17 +165,61 @@ pub fn error_code(error: &GramError) -> &'static str {
     }
 }
 
-/// A wire-format decode failure.
+/// A wire-format decode failure, classified so the front-end can answer
+/// and count each shape distinctly (see [`decode_error_label`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireParseError(String);
+pub enum WireDecodeError {
+    /// The input ended (or the connection closed) in the middle of a
+    /// frame: bytes arrived but the terminating blank line never did.
+    Partial,
+    /// A single frame exceeded the maximum frame size.
+    Oversized {
+        /// Bytes buffered for the unterminated frame.
+        size: usize,
+        /// The limit in force.
+        limit: usize,
+    },
+    /// A header key appeared twice — an injected second `account:` line
+    /// must not silently lose to first-wins lookup.
+    DuplicateHeader {
+        /// The repeated key.
+        header: Box<str>,
+    },
+    /// Any other malformation: bad preamble, unknown verb, missing
+    /// header, carriage return, non-UTF-8 bytes.
+    Malformed(Box<str>),
+}
 
-impl fmt::Display for WireParseError {
+impl fmt::Display for WireDecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed GRAM message: {}", self.0)
+        write!(f, "malformed GRAM message: ")?;
+        match self {
+            WireDecodeError::Partial => write!(f, "partial frame (input ended mid-frame)"),
+            WireDecodeError::Oversized { size, limit } => {
+                write!(f, "oversized frame ({size} bytes exceeds the {limit}-byte limit)")
+            }
+            WireDecodeError::DuplicateHeader { header } => {
+                write!(f, "duplicate header {header:?}")
+            }
+            WireDecodeError::Malformed(detail) => f.write_str(detail),
+        }
     }
 }
 
-impl std::error::Error for WireParseError {}
+impl std::error::Error for WireDecodeError {}
+
+/// The telemetry outcome label for a decode failure. Partial, oversized
+/// and duplicate-header frames get their own labels; everything else
+/// counts as a bad request.
+#[must_use]
+pub fn decode_error_label(error: &WireDecodeError) -> &'static str {
+    match error {
+        WireDecodeError::Partial => labels::FRAME_PARTIAL,
+        WireDecodeError::Oversized { .. } => labels::FRAME_OVERSIZED,
+        WireDecodeError::DuplicateHeader { .. } => labels::DUPLICATE_HEADER,
+        WireDecodeError::Malformed(_) => labels::BAD_REQUEST,
+    }
+}
 
 /// A wire-format encode refusal: a header value carried a line break,
 /// which would let the value smuggle additional headers (or a second
@@ -151,8 +248,8 @@ impl fmt::Display for WireEncodeError {
 
 impl std::error::Error for WireEncodeError {}
 
-fn err(msg: impl Into<String>) -> WireParseError {
-    WireParseError(msg.into())
+fn malformed(msg: impl Into<Box<str>>) -> WireDecodeError {
+    WireDecodeError::Malformed(msg.into())
 }
 
 /// Refuses values that would break line framing on the wire.
@@ -164,46 +261,158 @@ fn clean(header: &'static str, value: &str) -> Result<(), WireEncodeError> {
     }
 }
 
-/// Shared decode-side framing checks: `\r` never appears in a
-/// well-formed message (the encoder refuses it), so its presence means
-/// corruption or an injection attempt.
-fn check_framing(text: &str) -> Result<(), WireParseError> {
-    if text.contains('\r') {
-        return Err(err("carriage return in message"));
-    }
-    Ok(())
+/// One decoded frame, borrowing verb and header slices from the input
+/// text. This is the allocation-free core both `decode` constructors and
+/// the front-end share; headers live in a fixed inline array.
+#[derive(Debug, Clone, Copy)]
+pub struct WireFrame<'a> {
+    verb: &'a str,
+    headers: [(&'a str, &'a str); MAX_HEADERS],
+    len: usize,
 }
 
-struct Headers<'a> {
-    pairs: Vec<(&'a str, &'a str)>,
-}
-
-impl<'a> Headers<'a> {
-    fn parse(lines: impl Iterator<Item = &'a str>) -> Result<Headers<'a>, WireParseError> {
-        let mut pairs: Vec<(&str, &str)> = Vec::new();
+impl<'a> WireFrame<'a> {
+    /// Parses one frame's text (preamble line plus headers).
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] for oversized input, carriage returns, a bad
+    /// preamble, header lines without `:`, duplicate headers, or more
+    /// than [`MAX_HEADERS`] headers.
+    pub fn decode(text: &'a str) -> Result<WireFrame<'a>, WireDecodeError> {
+        if text.len() > MAX_FRAME_BYTES {
+            return Err(WireDecodeError::Oversized { size: text.len(), limit: MAX_FRAME_BYTES });
+        }
+        // `\r` never appears in a well-formed message (the encoder
+        // refuses it), so its presence means corruption or injection.
+        if text.contains('\r') {
+            return Err(malformed("carriage return in message"));
+        }
+        let mut lines = text.lines();
+        let first = lines.next().ok_or_else(|| malformed("empty message"))?;
+        let verb = first
+            .strip_prefix("GRAM/1 ")
+            .ok_or_else(|| malformed(format!("bad preamble: {first}")))?
+            .trim();
+        let mut headers = [("", ""); MAX_HEADERS];
+        let mut len = 0;
         for line in lines {
             if line.trim().is_empty() {
                 break;
             }
-            let (key, value) =
-                line.split_once(':').ok_or_else(|| err(format!("header without ':': {line}")))?;
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| malformed(format!("header without ':': {line}")))?;
             let key = key.trim();
-            if pairs.iter().any(|(k, _)| k.eq_ignore_ascii_case(key)) {
-                return Err(err(format!("duplicate header {key:?}")));
+            if headers[..len].iter().any(|(k, _)| k.eq_ignore_ascii_case(key)) {
+                return Err(WireDecodeError::DuplicateHeader { header: key.into() });
+            }
+            if len == MAX_HEADERS {
+                return Err(malformed(format!("more than {MAX_HEADERS} headers")));
             }
             // Strip exactly the one space the encoder writes after ':'.
             // Anything beyond it is part of the value.
-            pairs.push((key, value.strip_prefix(' ').unwrap_or(value)));
+            headers[len] = (key, value.strip_prefix(' ').unwrap_or(value));
+            len += 1;
         }
-        Ok(Headers { pairs })
+        Ok(WireFrame { verb, headers, len })
     }
 
-    fn get(&self, key: &str) -> Option<&'a str> {
-        self.pairs.iter().find(|(k, _)| k.eq_ignore_ascii_case(key)).map(|(_, v)| *v)
+    /// The verb from the preamble line.
+    #[must_use]
+    pub fn verb(&self) -> &'a str {
+        self.verb
     }
 
-    fn require(&self, key: &str) -> Result<&'a str, WireParseError> {
-        self.get(key).ok_or_else(|| err(format!("missing header {key:?}")))
+    /// The decoded `(key, value)` headers, in wire order.
+    #[must_use]
+    pub fn headers(&self) -> &[(&'a str, &'a str)] {
+        &self.headers[..self.len]
+    }
+
+    /// The value of `key` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, key: &str) -> Option<&'a str> {
+        self.headers().iter().find(|(k, _)| k.eq_ignore_ascii_case(key)).map(|(_, v)| *v)
+    }
+
+    fn require(&self, key: &str) -> Result<&'a str, WireDecodeError> {
+        self.header(key).ok_or_else(|| malformed(format!("missing header {key:?}")))
+    }
+}
+
+impl<'a> WireRequestRef<'a> {
+    /// Decodes a request without copying its string fields.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] for bad framing (including carriage returns
+    /// and duplicate headers), unknown verbs, or missing / malformed
+    /// headers.
+    pub fn decode(text: &'a str) -> Result<WireRequestRef<'a>, WireDecodeError> {
+        WireRequestRef::from_frame(&WireFrame::decode(text)?)
+    }
+
+    /// Interprets an already-parsed frame as a request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError`] for an unknown verb or missing / malformed
+    /// headers.
+    pub fn from_frame(frame: &WireFrame<'a>) -> Result<WireRequestRef<'a>, WireDecodeError> {
+        match frame.verb() {
+            "SUBMIT" => {
+                let rsl = frame.require("rsl")?;
+                let work_micros: u64 = frame
+                    .require("work-micros")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed("work-micros must be an integer"))?;
+                Ok(WireRequestRef::Submit {
+                    rsl,
+                    account: frame.header("account"),
+                    work: SimDuration::from_micros(work_micros),
+                })
+            }
+            "CANCEL" => Ok(WireRequestRef::Cancel { contact: frame.require("job")? }),
+            "STATUS" => Ok(WireRequestRef::Status { contact: frame.require("job")? }),
+            "SIGNAL" => {
+                let contact = frame.require("job")?;
+                let signal_text = frame.require("signal")?;
+                let mut parts = signal_text.split_whitespace();
+                let signal = match (parts.next(), parts.next(), parts.next()) {
+                    (Some("suspend"), None, _) => GramSignal::Suspend,
+                    (Some("resume"), None, _) => GramSignal::Resume,
+                    (Some("priority"), Some(p), None) => GramSignal::Priority(
+                        i64::from_str(p).map_err(|_| malformed("priority must be an integer"))?,
+                    ),
+                    _ => return Err(malformed(format!("unknown signal {signal_text:?}"))),
+                };
+                Ok(WireRequestRef::Signal { contact, signal })
+            }
+            other => Err(malformed(format!("unknown verb {other:?}"))),
+        }
+    }
+
+    /// Copies the borrowed fields into an owned [`WireRequest`].
+    #[must_use]
+    pub fn into_owned(self) -> WireRequest {
+        match self {
+            WireRequestRef::Submit { rsl, account, work } => WireRequest::Submit {
+                rsl: rsl.to_string(),
+                account: account.map(str::to_string),
+                work,
+            },
+            WireRequestRef::Cancel { contact } => {
+                WireRequest::Cancel { contact: contact.to_string() }
+            }
+            WireRequestRef::Status { contact } => {
+                WireRequest::Status { contact: contact.to_string() }
+            }
+            WireRequestRef::Signal { contact, signal } => {
+                WireRequest::Signal { contact: contact.to_string(), signal }
+            }
+        }
     }
 }
 
@@ -215,85 +424,100 @@ impl WireRequest {
     /// [`WireEncodeError`] when a value (RSL, account, contact) contains
     /// a line break and would corrupt the framing.
     pub fn encode(&self) -> Result<String, WireEncodeError> {
+        let mut out = String::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the wire encoding to `out` — the pooled-buffer path; no
+    /// bytes are written unless every value passes the framing check.
+    ///
+    /// # Errors
+    ///
+    /// [`WireEncodeError`] when a value contains a line break and would
+    /// corrupt the framing.
+    pub fn encode_into(&self, out: &mut String) -> Result<(), WireEncodeError> {
         match self {
             WireRequest::Submit { rsl, account, work } => {
                 clean("rsl", rsl)?;
-                let mut out =
-                    format!("GRAM/1 SUBMIT\nrsl: {rsl}\nwork-micros: {}\n", work.as_micros());
                 if let Some(account) = account {
                     clean("account", account)?;
-                    out.push_str(&format!("account: {account}\n"));
                 }
-                Ok(out)
+                let _ =
+                    writeln!(out, "GRAM/1 SUBMIT\nrsl: {rsl}\nwork-micros: {}", work.as_micros());
+                if let Some(account) = account {
+                    let _ = writeln!(out, "account: {account}");
+                }
             }
             WireRequest::Cancel { contact } => {
                 clean("job", contact)?;
-                Ok(format!("GRAM/1 CANCEL\njob: {contact}\n"))
+                let _ = writeln!(out, "GRAM/1 CANCEL\njob: {contact}");
             }
             WireRequest::Status { contact } => {
                 clean("job", contact)?;
-                Ok(format!("GRAM/1 STATUS\njob: {contact}\n"))
+                let _ = writeln!(out, "GRAM/1 STATUS\njob: {contact}");
             }
             WireRequest::Signal { contact, signal } => {
                 clean("job", contact)?;
-                let signal = match signal {
-                    GramSignal::Suspend => "suspend".to_string(),
-                    GramSignal::Resume => "resume".to_string(),
-                    GramSignal::Priority(p) => format!("priority {p}"),
-                };
-                Ok(format!("GRAM/1 SIGNAL\njob: {contact}\nsignal: {signal}\n"))
+                let _ = write!(out, "GRAM/1 SIGNAL\njob: {contact}\nsignal: ");
+                match signal {
+                    GramSignal::Suspend => out.push_str("suspend"),
+                    GramSignal::Resume => out.push_str("resume"),
+                    GramSignal::Priority(p) => {
+                        let _ = write!(out, "priority {p}");
+                    }
+                }
+                out.push('\n');
             }
         }
+        Ok(())
     }
 
     /// Decodes from the wire format.
     ///
     /// # Errors
     ///
-    /// [`WireParseError`] for bad framing (including carriage returns
+    /// [`WireDecodeError`] for bad framing (including carriage returns
     /// and duplicate headers), unknown verbs, or missing / malformed
     /// headers.
-    pub fn decode(text: &str) -> Result<WireRequest, WireParseError> {
-        check_framing(text)?;
-        let mut lines = text.lines();
-        let first = lines.next().ok_or_else(|| err("empty message"))?;
-        let verb = first
-            .strip_prefix("GRAM/1 ")
-            .ok_or_else(|| err(format!("bad preamble: {first}")))?
-            .trim();
-        let headers = Headers::parse(lines)?;
-        match verb {
-            "SUBMIT" => {
-                let rsl = headers.require("rsl")?.to_string();
-                let work_micros: u64 = headers
-                    .require("work-micros")?
-                    .trim()
-                    .parse()
-                    .map_err(|_| err("work-micros must be an integer"))?;
-                Ok(WireRequest::Submit {
-                    rsl,
-                    account: headers.get("account").map(str::to_string),
-                    work: SimDuration::from_micros(work_micros),
-                })
-            }
-            "CANCEL" => Ok(WireRequest::Cancel { contact: headers.require("job")?.to_string() }),
-            "STATUS" => Ok(WireRequest::Status { contact: headers.require("job")?.to_string() }),
-            "SIGNAL" => {
-                let contact = headers.require("job")?.to_string();
-                let signal_text = headers.require("signal")?;
-                let signal = match signal_text.split_whitespace().collect::<Vec<_>>()[..] {
-                    ["suspend"] => GramSignal::Suspend,
-                    ["resume"] => GramSignal::Resume,
-                    ["priority", p] => GramSignal::Priority(
-                        i64::from_str(p).map_err(|_| err("priority must be an integer"))?,
-                    ),
-                    _ => return Err(err(format!("unknown signal {signal_text:?}"))),
-                };
-                Ok(WireRequest::Signal { contact, signal })
-            }
-            other => Err(err(format!("unknown verb {other:?}"))),
-        }
+    pub fn decode(text: &str) -> Result<WireRequest, WireDecodeError> {
+        WireRequestRef::decode(text).map(WireRequestRef::into_owned)
     }
+}
+
+/// Appends a `REPORT` response for `report` straight to `out`, without
+/// materialising an owned [`WireResponse`] — the serving layer's warm
+/// path for status polls. Validation matches
+/// [`WireResponse::encode_into`]: no value may carry a line break. The
+/// owner DN is checked component-wise and written through its `Display`
+/// impl, so no interim string is built.
+///
+/// # Errors
+///
+/// [`WireEncodeError`] when a value contains a line break and would
+/// corrupt the framing.
+pub fn encode_report_into(report: &JobReport, out: &mut String) -> Result<(), WireEncodeError> {
+    clean("job", report.contact.as_str())?;
+    for (_, value) in report.owner.components() {
+        clean("owner", value)?;
+    }
+    clean("account", &report.account)?;
+    if let Some(tag) = &report.jobtag {
+        clean("jobtag", tag)?;
+    }
+    let _ = writeln!(
+        out,
+        "GRAM/1 REPORT\njob: {}\nowner: {}\naccount: {}\nstate: {}\nexecuted-micros: {}",
+        report.contact.as_str(),
+        report.owner,
+        report.account,
+        report.state.label(),
+        report.executed.as_micros()
+    );
+    if let Some(tag) = &report.jobtag {
+        let _ = writeln!(out, "jobtag: {tag}");
+    }
+    Ok(())
 }
 
 impl WireResponse {
@@ -317,9 +541,12 @@ impl WireResponse {
     /// The last-resort response text served when a response itself
     /// cannot be encoded (a header value carried a line break). Built
     /// from static text only, so it can never fail in turn.
+    pub const FALLBACK: &'static str =
+        "GRAM/1 ERROR\ncode: INTERNAL_ENCODING_FAILURE\nmessage: response could not be encoded\n";
+
+    /// [`WireResponse::FALLBACK`] as an owned string (legacy shape).
     pub fn encode_failure_fallback() -> String {
-        "GRAM/1 ERROR\ncode: INTERNAL_ENCODING_FAILURE\nmessage: response could not be encoded\n"
-            .to_string()
+        WireResponse::FALLBACK.to_string()
     }
 
     /// Encodes to the wire format.
@@ -329,72 +556,180 @@ impl WireResponse {
     /// [`WireEncodeError`] when a value contains a line break and would
     /// corrupt the framing.
     pub fn encode(&self) -> Result<String, WireEncodeError> {
+        let mut out = String::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the wire encoding to `out` — the pooled-buffer path; no
+    /// bytes are written unless every value passes the framing check.
+    ///
+    /// # Errors
+    ///
+    /// [`WireEncodeError`] when a value contains a line break and would
+    /// corrupt the framing.
+    pub fn encode_into(&self, out: &mut String) -> Result<(), WireEncodeError> {
         match self {
             WireResponse::Submitted { contact } => {
                 clean("job", contact)?;
-                Ok(format!("GRAM/1 SUBMITTED\njob: {contact}\n"))
+                let _ = writeln!(out, "GRAM/1 SUBMITTED\njob: {contact}");
             }
             WireResponse::Report { contact, owner, jobtag, account, state, executed_micros } => {
                 clean("job", contact)?;
                 clean("owner", owner)?;
                 clean("account", account)?;
                 clean("state", state)?;
-                let mut out = format!(
-                    "GRAM/1 REPORT\njob: {contact}\nowner: {owner}\naccount: {account}\nstate: {state}\nexecuted-micros: {executed_micros}\n"
-                );
                 if let Some(tag) = jobtag {
                     clean("jobtag", tag)?;
-                    out.push_str(&format!("jobtag: {tag}\n"));
                 }
-                Ok(out)
+                let _ = writeln!(
+                    out,
+                    "GRAM/1 REPORT\njob: {contact}\nowner: {owner}\naccount: {account}\nstate: {state}\nexecuted-micros: {executed_micros}"
+                );
+                if let Some(tag) = jobtag {
+                    let _ = writeln!(out, "jobtag: {tag}");
+                }
             }
-            WireResponse::Done => Ok("GRAM/1 DONE\n".to_string()),
+            WireResponse::Done => out.push_str("GRAM/1 DONE\n"),
             WireResponse::Error { code, message } => {
                 clean("code", code)?;
                 clean("message", message)?;
-                Ok(format!("GRAM/1 ERROR\ncode: {code}\nmessage: {message}\n"))
+                let _ = writeln!(out, "GRAM/1 ERROR\ncode: {code}\nmessage: {message}");
             }
         }
+        Ok(())
     }
 
     /// Decodes from the wire format.
     ///
     /// # Errors
     ///
-    /// [`WireParseError`] for bad framing (including carriage returns
+    /// [`WireDecodeError`] for bad framing (including carriage returns
     /// and duplicate headers) or missing headers.
-    pub fn decode(text: &str) -> Result<WireResponse, WireParseError> {
-        check_framing(text)?;
-        let mut lines = text.lines();
-        let first = lines.next().ok_or_else(|| err("empty message"))?;
-        let verb = first
-            .strip_prefix("GRAM/1 ")
-            .ok_or_else(|| err(format!("bad preamble: {first}")))?
-            .trim();
-        let headers = Headers::parse(lines)?;
-        match verb {
+    pub fn decode(text: &str) -> Result<WireResponse, WireDecodeError> {
+        let frame = WireFrame::decode(text)?;
+        match frame.verb() {
             "SUBMITTED" => {
-                Ok(WireResponse::Submitted { contact: headers.require("job")?.to_string() })
+                Ok(WireResponse::Submitted { contact: frame.require("job")?.to_string() })
             }
             "REPORT" => Ok(WireResponse::Report {
-                contact: headers.require("job")?.to_string(),
-                owner: headers.require("owner")?.to_string(),
-                jobtag: headers.get("jobtag").map(str::to_string),
-                account: headers.require("account")?.to_string(),
-                state: headers.require("state")?.to_string(),
-                executed_micros: headers
+                contact: frame.require("job")?.to_string(),
+                owner: frame.require("owner")?.to_string(),
+                jobtag: frame.header("jobtag").map(str::to_string),
+                account: frame.require("account")?.to_string(),
+                state: frame.require("state")?.to_string(),
+                executed_micros: frame
                     .require("executed-micros")?
                     .trim()
                     .parse()
-                    .map_err(|_| err("executed-micros must be an integer"))?,
+                    .map_err(|_| malformed("executed-micros must be an integer"))?,
             }),
             "DONE" => Ok(WireResponse::Done),
             "ERROR" => Ok(WireResponse::Error {
-                code: headers.require("code")?.to_string(),
-                message: headers.require("message")?.to_string(),
+                code: frame.require("code")?.to_string(),
+                message: frame.require("message")?.to_string(),
             }),
-            other => Err(err(format!("unknown verb {other:?}"))),
+            other => Err(malformed(format!("unknown verb {other:?}"))),
         }
+    }
+}
+
+/// Incremental reassembly of `\n\n`-delimited frames from a byte stream.
+///
+/// Frames are a message (whose lines are never blank — PEM armor and
+/// GRAM headers both guarantee it) followed by one extra `\n`, so a
+/// blank line unambiguously terminates a frame. The assembler accepts
+/// bytes in whatever fragments the socket delivers, yields each complete
+/// frame exactly once, and keeps the remainder buffered for the next
+/// read. The internal buffer is reused across frames (bytes are
+/// compacted with `copy_within`, never reallocated on the steady state),
+/// which is what makes the per-connection hot path allocation-free.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    limit: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler enforcing `limit` bytes per frame.
+    #[must_use]
+    pub fn new(limit: usize) -> FrameAssembler {
+        FrameAssembler { buf: Vec::new(), limit }
+    }
+
+    /// An empty assembler with the protocol default limit.
+    #[must_use]
+    pub fn with_default_limit() -> FrameAssembler {
+        FrameAssembler::new(MAX_FRAME_BYTES)
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, if one is buffered, and hands
+    /// its text to `handle`; the frame's bytes are consumed afterwards.
+    /// Returns `Ok(None)` when no complete frame is buffered yet. Call
+    /// in a loop to drain pipelined frames delivered by one read.
+    ///
+    /// # Errors
+    ///
+    /// [`WireDecodeError::Oversized`] when the unterminated tail already
+    /// exceeds the frame limit, and `Malformed` for non-UTF-8 frame
+    /// bytes (the offending frame is consumed so the caller may answer
+    /// and continue).
+    pub fn next_frame<T>(
+        &mut self,
+        handle: impl FnOnce(&str) -> T,
+    ) -> Result<Option<T>, WireDecodeError> {
+        // Skip blank lines between frames (the delimiter itself, plus
+        // any extra keep-alive newlines a client may send).
+        let start = self.buf.iter().position(|&b| b != b'\n').unwrap_or(self.buf.len());
+        let terminator = self.buf[start..].windows(2).position(|w| w == b"\n\n").map(|i| start + i);
+        let Some(end) = terminator else {
+            if start > 0 {
+                self.consume(start);
+            }
+            let pending = self.buf.len();
+            if pending > self.limit {
+                return Err(WireDecodeError::Oversized { size: pending, limit: self.limit });
+            }
+            return Ok(None);
+        };
+        // The frame text keeps its final '\n'; the second '\n' is the
+        // delimiter and is consumed with it.
+        match std::str::from_utf8(&self.buf[start..=end]) {
+            Ok(text) => {
+                let out = handle(text);
+                self.consume(end + 2);
+                Ok(Some(out))
+            }
+            Err(_) => {
+                self.consume(end + 2);
+                Err(malformed("frame is not valid UTF-8"))
+            }
+        }
+    }
+
+    /// Bytes buffered for a frame that has not completed yet. Non-zero
+    /// at connection close means the peer hung up mid-frame
+    /// ([`WireDecodeError::Partial`]).
+    #[must_use]
+    pub fn residue(&self) -> usize {
+        self.buf.iter().skip_while(|&&b| b == b'\n').count()
+    }
+
+    /// Discards all buffered bytes (capacity is kept), so one assembler
+    /// can be reused across connections.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    fn consume(&mut self, n: usize) {
+        let remaining = self.buf.len() - n;
+        self.buf.copy_within(n.., 0);
+        self.buf.truncate(remaining);
     }
 }
 
@@ -472,6 +807,42 @@ mod tests {
         for resp in responses {
             assert_eq!(WireResponse::decode(&resp.encode().unwrap()).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_decode() {
+        let req = WireRequest::Submit {
+            rsl: "&(executable = a)(count = 4)".into(),
+            account: Some("fusion".into()),
+            work: SimDuration::from_secs(2),
+        };
+        let encoded = req.encode().unwrap();
+        let borrowed = WireRequestRef::decode(&encoded).unwrap();
+        assert_eq!(borrowed.into_owned(), req);
+        match borrowed {
+            WireRequestRef::Submit { rsl, account, .. } => {
+                // The borrowed fields point into the encoded text.
+                assert_eq!(rsl, "&(executable = a)(count = 4)");
+                assert_eq!(account, Some("fusion"));
+                let text_range =
+                    encoded.as_ptr() as usize..encoded.as_ptr() as usize + encoded.len();
+                assert!(text_range.contains(&(rsl.as_ptr() as usize)));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let resp = WireResponse::Error { code: "BAD_REQUEST".into(), message: "nope".into() };
+        let mut out = String::from("prefix|");
+        resp.encode_into(&mut out).unwrap();
+        assert_eq!(out, format!("prefix|{}", resp.encode().unwrap()));
+        // A rejected value writes nothing.
+        let bad = WireResponse::Error { code: "A\nB".into(), message: "m".into() };
+        let mut out = String::from("prefix|");
+        assert!(bad.encode_into(&mut out).is_err());
+        assert_eq!(out, "prefix|");
     }
 
     #[test]
@@ -599,6 +970,9 @@ mod tests {
         let forged = "GRAM/1 SUBMIT\nrsl: &(executable = a)\nwork-micros: 1\naccount: guest\naccount: root\n";
         let e = WireRequest::decode(forged).expect_err("duplicate header must be rejected");
         assert!(e.to_string().contains("duplicate header"), "{e}");
+        assert!(
+            matches!(e, WireDecodeError::DuplicateHeader { ref header } if &**header == "account")
+        );
         // Case-insensitive: Account vs account is still a duplicate.
         let forged = "GRAM/1 CANCEL\njob: x\nJOB: y\n";
         assert!(WireRequest::decode(forged).is_err());
@@ -615,6 +989,23 @@ mod tests {
     }
 
     #[test]
+    fn decode_rejects_oversized_and_overfull_messages() {
+        let huge = format!("GRAM/1 STATUS\njob: {}\n", "x".repeat(MAX_FRAME_BYTES));
+        match WireRequest::decode(&huge) {
+            Err(WireDecodeError::Oversized { size, limit }) => {
+                assert_eq!(size, huge.len());
+                assert_eq!(limit, MAX_FRAME_BYTES);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        let mut overfull = String::from("GRAM/1 STATUS\njob: x\n");
+        for i in 0..MAX_HEADERS {
+            overfull.push_str(&format!("extra-{i}: y\n"));
+        }
+        assert!(WireRequest::decode(&overfull).is_err());
+    }
+
+    #[test]
     fn decode_rejects_malformed_messages() {
         for bad in [
             "",
@@ -628,6 +1019,76 @@ mod tests {
             assert!(WireRequest::decode(bad).is_err(), "should reject {bad:?}");
         }
         assert!(WireResponse::decode("GRAM/1 REPORT\n").is_err());
+    }
+
+    #[test]
+    fn decode_error_labels_are_distinct() {
+        let partial = WireDecodeError::Partial;
+        let oversized = WireDecodeError::Oversized { size: 9, limit: 4 };
+        let duplicate = WireDecodeError::DuplicateHeader { header: "job".into() };
+        let malformed = malformed("junk");
+        let mut seen: Vec<&str> = [&partial, &oversized, &duplicate, &malformed]
+            .iter()
+            .map(|e| decode_error_label(e))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+        // All renderings keep the shared prefix the clients key on.
+        for e in [&partial, &oversized, &duplicate, &malformed] {
+            assert!(e.to_string().starts_with("malformed GRAM message: "), "{e}");
+        }
+    }
+
+    #[test]
+    fn assembler_reassembles_split_and_pipelined_frames() {
+        let first = "GRAM/1 STATUS\njob: a\n";
+        let second = "GRAM/1 CANCEL\njob: b\n";
+        let stream = format!("{first}\n{second}\n");
+        let bytes = stream.as_bytes();
+        let mut assembler = FrameAssembler::with_default_limit();
+        let mut frames = Vec::new();
+        // Deliver one byte at a time; drain after each push.
+        for chunk in bytes.chunks(1) {
+            assembler.push(chunk);
+            while let Some(text) =
+                assembler.next_frame(|frame| frame.to_string()).expect("clean stream")
+            {
+                frames.push(text);
+            }
+        }
+        assert_eq!(frames, vec![first.to_string(), second.to_string()]);
+        assert_eq!(assembler.residue(), 0);
+
+        // Both frames in one push decode identically.
+        let mut assembler = FrameAssembler::with_default_limit();
+        assembler.push(bytes);
+        let one = assembler.next_frame(|t| t.to_string()).unwrap().unwrap();
+        let two = assembler.next_frame(|t| t.to_string()).unwrap().unwrap();
+        assert_eq!((one.as_str(), two.as_str()), (first, second));
+        assert_eq!(assembler.next_frame(|t| t.to_string()).unwrap(), None);
+    }
+
+    #[test]
+    fn assembler_reports_partial_oversized_and_invalid_frames() {
+        let mut assembler = FrameAssembler::new(16);
+        assembler.push(b"GRAM/1 STATUS\n");
+        assert_eq!(assembler.next_frame(|_| ()).unwrap(), None);
+        assert!(assembler.residue() > 0, "unterminated bytes are pending");
+        // Growing past the limit without a terminator is oversized.
+        assembler.push(&[b'x'; 32]);
+        assert!(matches!(
+            assembler.next_frame(|_| ()),
+            Err(WireDecodeError::Oversized { size: 46, limit: 16 })
+        ));
+        // Invalid UTF-8 is reported and the frame is consumed.
+        let mut assembler = FrameAssembler::with_default_limit();
+        assembler.push(b"GRAM/1 \xff\n\nGRAM/1 DONE\n\n");
+        assert!(matches!(assembler.next_frame(|_| ()), Err(WireDecodeError::Malformed(_))));
+        assert_eq!(
+            assembler.next_frame(|t| t.to_string()).unwrap().as_deref(),
+            Some("GRAM/1 DONE\n")
+        );
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests for the incremental frame parser: however a byte
+//! stream is fragmented or pipelined, [`FrameAssembler`] must yield
+//! exactly the frames a one-shot reading of the same stream contains,
+//! in order, each decoding identically to the one-shot decoder.
+
+use gridauthz_clock::SimDuration;
+use gridauthz_gram::wire::{FrameAssembler, WireRequest, MAX_FRAME_BYTES};
+use gridauthz_gram::GramSignal;
+
+use proptest::prelude::*;
+
+/// One arbitrary well-formed request (values kept line-break-free, as
+/// the encoder enforces).
+fn arb_request() -> impl Strategy<Value = WireRequest> {
+    let text = "[a-zA-Z0-9 =()&/_.-]{1,40}";
+    prop_oneof![
+        (text, proptest::option::of("[a-z]{1,12}"), 0u64..1_000_000).prop_map(
+            |(rsl, account, micros)| WireRequest::Submit {
+                rsl,
+                account,
+                work: SimDuration::from_micros(micros),
+            }
+        ),
+        text.prop_map(|contact| WireRequest::Cancel { contact }),
+        text.prop_map(|contact| WireRequest::Status { contact }),
+        (
+            text,
+            prop_oneof![
+                Just(GramSignal::Suspend),
+                Just(GramSignal::Resume),
+                (0i64..10).prop_map(GramSignal::Priority),
+            ]
+        )
+            .prop_map(|(contact, signal)| WireRequest::Signal { contact, signal }),
+    ]
+}
+
+/// Encodes `requests` as a pipelined stream: each frame is the encoded
+/// message (which ends in `\n`) plus the one extra `\n` delimiter.
+fn stream_of(requests: &[WireRequest]) -> Vec<u8> {
+    let mut stream = String::new();
+    for request in requests {
+        request.encode_into(&mut stream).expect("generated values are line-break-free");
+        stream.push('\n');
+    }
+    stream.into_bytes()
+}
+
+/// Feeds `stream` to an assembler in the given chunk sizes and returns
+/// every decoded frame.
+fn reassemble(stream: &[u8], chunks: impl Iterator<Item = usize>) -> Vec<WireRequest> {
+    let mut assembler = FrameAssembler::new(MAX_FRAME_BYTES);
+    let mut decoded = Vec::new();
+    let mut offset = 0;
+    for chunk in chunks {
+        let end = (offset + chunk.max(1)).min(stream.len());
+        assembler.push(&stream[offset..end]);
+        offset = end;
+        while let Some(request) = assembler
+            .next_frame(|frame| WireRequest::decode(frame).expect("round trip"))
+            .expect("stream of valid frames")
+        {
+            decoded.push(request);
+        }
+        if offset == stream.len() {
+            break;
+        }
+    }
+    assert_eq!(offset, stream.len(), "chunk plan must cover the stream");
+    assert_eq!(assembler.residue(), 0, "no partial frame may remain");
+    decoded
+}
+
+proptest! {
+    /// Arbitrary split points: the stream cut into random-sized chunks
+    /// reassembles to exactly the original request sequence.
+    #[test]
+    fn incremental_parse_matches_one_shot_across_split_points(
+        requests in proptest::collection::vec(arb_request(), 1..6),
+        chunk_sizes in proptest::collection::vec(1usize..64, 1..200),
+    ) {
+        let stream = stream_of(&requests);
+        // Pad the chunk plan so it always covers the stream.
+        let chunks = chunk_sizes.into_iter().chain(std::iter::repeat(stream.len()));
+        prop_assert_eq!(reassemble(&stream, chunks), requests);
+    }
+
+    /// Pipelined frames delivered in one read equal the same frames
+    /// delivered byte by byte, and both equal one-shot decoding.
+    #[test]
+    fn pipelined_burst_matches_byte_by_byte(
+        requests in proptest::collection::vec(arb_request(), 1..6),
+    ) {
+        let stream = stream_of(&requests);
+        let burst = reassemble(&stream, std::iter::once(stream.len()));
+        let trickle = reassemble(&stream, std::iter::repeat_n(1, stream.len()));
+        prop_assert_eq!(&burst, &requests);
+        prop_assert_eq!(&trickle, &requests);
+
+        // One-shot: each frame's text decodes to the same request.
+        for request in &requests {
+            let frame = request.encode().unwrap();
+            prop_assert_eq!(&WireRequest::decode(&frame).unwrap(), request);
+        }
+    }
+
+    /// The assembler is byte-transparent: extra blank lines between
+    /// frames (client keep-alives) change nothing.
+    #[test]
+    fn extra_delimiters_between_frames_are_ignored(
+        requests in proptest::collection::vec(arb_request(), 1..5),
+        extra in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let mut stream = String::new();
+        for (i, request) in requests.iter().enumerate() {
+            request.encode_into(&mut stream).unwrap();
+            stream.push('\n');
+            for _ in 0..extra[i % extra.len()] {
+                stream.push('\n');
+            }
+        }
+        let bytes = stream.into_bytes();
+        prop_assert_eq!(reassemble(&bytes, std::iter::once(bytes.len())), requests);
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests of the TCP front-end: real sockets, fragmented and
+//! pipelined writes, oversized-frame defense, and clean shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_core::paper;
+use gridauthz_credential::{
+    pem, CertificateAuthority, Credential, GridMapEntry, GridMapFile, TrustStore,
+};
+use gridauthz_gram::wire::FrameAssembler;
+use gridauthz_gram::{Frontend, FrontendConfig, GramServer, GramServerBuilder};
+
+fn grid() -> (Credential, Arc<GramServer>) {
+    let clock = SimClock::new();
+    let ca = CertificateAuthority::new_root("/O=Grid/CN=CA", &clock).unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_anchor(ca.certificate().clone());
+    let bo = ca.issue_identity(paper::BO_LIU_DN, SimDuration::from_hours(24)).unwrap();
+    let mut gridmap = GridMapFile::new();
+    gridmap.insert(GridMapEntry::new(paper::bo_liu(), vec!["bliu".into()]));
+    // GT2 mode: the initiator may manage their own job, so STATUS over
+    // the wire comes back as a REPORT.
+    let server = GramServerBuilder::new("anl-cluster", &clock)
+        .trust(trust)
+        .gridmap(gridmap)
+        .cluster(gridauthz_scheduler::Cluster::uniform(16, 8, 16_384))
+        .build();
+    (bo, Arc::new(server))
+}
+
+/// A client-side frame reader — the same assembler the server uses, so
+/// pipelined responses split across reads reassemble correctly.
+struct FrameReader {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    buf: [u8; 4096],
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        FrameReader { stream, assembler: FrameAssembler::with_default_limit(), buf: [0; 4096] }
+    }
+
+    /// Blocks until one full response frame arrives.
+    fn read_frame(&mut self) -> String {
+        loop {
+            if let Some(frame) =
+                self.assembler.next_frame(|text| text.to_string()).expect("valid response stream")
+            {
+                return frame;
+            }
+            let n = self.stream.read(&mut self.buf).expect("read within timeout");
+            assert!(n > 0, "connection closed mid-response");
+            self.assembler.push(&self.buf[..n]);
+        }
+    }
+}
+
+/// The code header of a wire error response, if it is one.
+fn error_code_of(response: &str) -> Option<&str> {
+    response.strip_prefix("GRAM/1 ERROR\n")?.lines().find_map(|line| line.strip_prefix("code: "))
+}
+
+#[test]
+fn fragmented_and_pipelined_requests_are_served_over_tcp() {
+    let (bo, server) = grid();
+    let frontend = Frontend::bind(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        FrontendConfig { workers: 2, ..FrontendConfig::default() },
+    )
+    .unwrap();
+    let addr = frontend.local_addr();
+    let bo_pem = pem::encode_chain(bo.chain());
+
+    let submit = format!(
+        "{bo_pem}GRAM/1 SUBMIT\nrsl: &(executable = test1)(directory = /sandbox/test)(count = 1)\nwork-micros: 1000000\n\n"
+    );
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = FrameReader::new(stream);
+
+    // Fragmented write: the frame trickles in small chunks, forcing the
+    // server to hold partial state across many reads.
+    for chunk in submit.as_bytes().chunks(7) {
+        reader.stream.write_all(chunk).unwrap();
+        reader.stream.flush().unwrap();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let response = reader.read_frame();
+    let contact = response
+        .strip_prefix("GRAM/1 SUBMITTED\njob: ")
+        .unwrap_or_else(|| panic!("unexpected response {response}"))
+        .trim_end();
+    let contact = contact.to_string();
+
+    // Pipelined write: two STATUS requests in one TCP segment must come
+    // back as two responses, in order.
+    let status = format!("{bo_pem}GRAM/1 STATUS\njob: {contact}\n\n");
+    let double = format!("{status}{status}");
+    reader.stream.write_all(double.as_bytes()).unwrap();
+    for _ in 0..2 {
+        let response = reader.read_frame();
+        assert!(response.starts_with("GRAM/1 REPORT\n"), "unexpected response {response}");
+        assert!(response.contains("\nowner: ") && response.contains("\nstate: "), "{response}");
+    }
+
+    // The repeated chain bytes were served from the auth cache.
+    let stats = server.auth_cache_stats();
+    assert!(stats.hits >= 2, "repeat requests should hit the auth cache: {stats:?}");
+
+    drop(reader);
+    let worker_stats = frontend.stop();
+    assert_eq!(worker_stats.len(), 2);
+    assert_eq!(worker_stats.iter().map(|s| s.connections).sum::<u64>(), 1);
+    assert_eq!(worker_stats.iter().map(|s| s.frames).sum::<u64>(), 3);
+}
+
+#[test]
+fn oversized_frames_are_refused_and_the_connection_dropped() {
+    let (_bo, server) = grid();
+    let frontend = Frontend::bind(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        FrontendConfig { workers: 1, max_frame_bytes: 1024, ..FrontendConfig::default() },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(frontend.local_addr()).unwrap();
+    let mut reader = FrameReader::new(stream);
+    // 4 KiB without a frame terminator: the server must answer with a
+    // BAD_REQUEST error naming the oversize, then drop the connection
+    // rather than buffer without bound.
+    reader.stream.write_all(&[b'x'; 4096]).unwrap();
+    let response = reader.read_frame();
+    assert_eq!(error_code_of(&response), Some("BAD_REQUEST"), "{response}");
+    assert!(response.contains("oversized frame"), "{response}");
+    let mut rest = Vec::new();
+    assert_eq!(reader.stream.read_to_end(&mut rest).unwrap(), 0, "connection must close");
+
+    let worker_stats = frontend.stop();
+    assert_eq!(worker_stats.iter().map(|s| s.frames).sum::<u64>(), 1);
+}
+
+#[test]
+fn stop_joins_all_threads_and_drains_cleanly() {
+    let (bo, server) = grid();
+    let frontend =
+        Frontend::bind(Arc::clone(&server), "127.0.0.1:0", FrontendConfig::default()).unwrap();
+    let addr = frontend.local_addr();
+    let bo_pem = pem::encode_chain(bo.chain());
+
+    // Several short-lived connections, each one request.
+    for _ in 0..4 {
+        let submit = format!(
+            "{bo_pem}GRAM/1 SUBMIT\nrsl: &(executable = test1)(directory = /sandbox/test)(count = 1)\nwork-micros: 1000\n\n"
+        );
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = FrameReader::new(stream);
+        reader.stream.write_all(submit.as_bytes()).unwrap();
+        assert!(reader.read_frame().starts_with("GRAM/1 SUBMITTED\n"));
+    }
+    assert!(frontend.connections_accepted() >= 4);
+
+    let worker_stats = frontend.stop();
+    assert_eq!(worker_stats.iter().map(|s| s.connections).sum::<u64>(), 4);
+    assert_eq!(worker_stats.iter().map(|s| s.frames).sum::<u64>(), 4);
+
+    // A second stop cycle of a fresh front-end on the same server works
+    // (nothing about shutdown poisons shared state).
+    let frontend =
+        Frontend::bind(Arc::clone(&server), "127.0.0.1:0", FrontendConfig::default()).unwrap();
+    assert!(frontend.stop().iter().all(|s| *s == Default::default()));
+}

@@ -222,7 +222,9 @@ mod tests {
              gauge cache-entries = 0\n\
              gauge cache-hits = 0\n\
              gauge cache-misses = 0\n\
-             gauge live-jobs = 7\n"
+             gauge live-jobs = 7\n\
+             gauge connections-accepted = 0\n\
+             gauge connections-active = 0\n"
         );
         assert_eq!(
             snap.to_json(),
@@ -237,7 +239,8 @@ mod tests {
              {\"stage\":\"combine\",\"count\":1,\"sum_nanos\":2048,\"mean_nanos\":2048,\
              \"buckets\":[{\"ge_nanos\":2048,\"count\":1}]}],\
              \"gauges\":{\"snapshot-generation\":2,\"cache-entries\":0,\"cache-hits\":0,\
-             \"cache-misses\":0,\"live-jobs\":7}}"
+             \"cache-misses\":0,\"live-jobs\":7,\"connections-accepted\":0,\
+             \"connections-active\":0}}"
         );
     }
 }

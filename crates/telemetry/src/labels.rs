@@ -6,9 +6,11 @@
 //! keeps metric keys stable across the gram server, the simulator's
 //! `DecisionTally`, and the bench harness. Ten of the labels mirror the
 //! `GramError` variants one-to-one (see `gridauthz_gram::error_label`);
-//! three name non-error outcomes, and the remaining seven are the
-//! callout-supervision vocabulary (retries, timeouts, circuit-breaker
-//! transitions, degraded-mode decisions).
+//! three name non-error outcomes, seven are the callout-supervision
+//! vocabulary (retries, timeouts, circuit-breaker transitions,
+//! degraded-mode decisions), and the last three classify wire-frame
+//! decode failures at the TCP front-end (partial frame at connection
+//! close, oversized frame, duplicated header).
 
 /// A granted stage or a permitted decision.
 pub const PERMIT: &str = "permit";
@@ -50,9 +52,16 @@ pub const BREAKER_CLOSED: &str = "breaker-closed";
 pub const STALE_SERVED: &str = "stale-served";
 /// A decision completed in degraded mode (any degradation policy).
 pub const DEGRADED: &str = "degraded";
+/// A connection closed mid-frame: bytes arrived but the frame never
+/// completed.
+pub const FRAME_PARTIAL: &str = "frame-partial";
+/// A frame exceeded the wire protocol's maximum frame size.
+pub const FRAME_OVERSIZED: &str = "frame-oversized";
+/// A frame repeated a header (injection attempt or corruption).
+pub const DUPLICATE_HEADER: &str = "duplicate-header";
 
 /// Every label in the vocabulary, in canonical (reporting) order.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 23] = [
     PERMIT,
     HIT,
     MISS,
@@ -73,6 +82,9 @@ pub const ALL: [&str; 20] = [
     BREAKER_CLOSED,
     STALE_SERVED,
     DEGRADED,
+    FRAME_PARTIAL,
+    FRAME_OVERSIZED,
+    DUPLICATE_HEADER,
 ];
 
 /// Index of `label` in [`ALL`], or `None` for a string outside the

@@ -100,11 +100,15 @@ pub enum Gauge {
     CacheMisses,
     /// Jobs currently tracked by the GRAM server.
     LiveJobs,
+    /// Connections accepted by the TCP front-end since it was bound.
+    ConnectionsAccepted,
+    /// Connections currently being served by front-end workers.
+    ConnectionsActive,
 }
 
 impl Gauge {
     /// Number of gauges (array-index bound).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Every gauge, in reporting order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -113,6 +117,8 @@ impl Gauge {
         Gauge::CacheHits,
         Gauge::CacheMisses,
         Gauge::LiveJobs,
+        Gauge::ConnectionsAccepted,
+        Gauge::ConnectionsActive,
     ];
 
     /// Stable lowercase name (metric key).
@@ -124,6 +130,8 @@ impl Gauge {
             Gauge::CacheHits => "cache-hits",
             Gauge::CacheMisses => "cache-misses",
             Gauge::LiveJobs => "live-jobs",
+            Gauge::ConnectionsAccepted => "connections-accepted",
+            Gauge::ConnectionsActive => "connections-active",
         }
     }
 }

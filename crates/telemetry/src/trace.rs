@@ -9,6 +9,8 @@ use gridauthz_clock::SimTime;
 /// local enforcement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
+    /// Wire-frame assembly and decode at the TCP front-end.
+    FrameDecode,
     /// GSI certificate-chain validation at the gatekeeper.
     Authenticate,
     /// Grid-mapfile authorization and account mapping.
@@ -21,20 +23,24 @@ pub enum Stage {
     Combine,
     /// Local enforcement: scheduler submit/cancel/signal, sandboxing.
     Enforce,
+    /// End-to-end service of one framed request (decode through encode).
+    Service,
 }
 
 impl Stage {
     /// Number of stages (array-index bound for per-stage storage).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::FrameDecode,
         Stage::Authenticate,
         Stage::GridMap,
         Stage::CacheProbe,
         Stage::Callout,
         Stage::Combine,
         Stage::Enforce,
+        Stage::Service,
     ];
 
     /// Dense index for per-stage arrays.
@@ -47,12 +53,14 @@ impl Stage {
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
+            Stage::FrameDecode => "frame-decode",
             Stage::Authenticate => "authenticate",
             Stage::GridMap => "gridmap",
             Stage::CacheProbe => "cache-probe",
             Stage::Callout => "callout",
             Stage::Combine => "combine",
             Stage::Enforce => "enforce",
+            Stage::Service => "service",
         }
     }
 }

@@ -19,6 +19,9 @@ cargo test --workspace -q
 echo "==> harness t10 (callout resilience phase tables)"
 cargo run -p gridauthz-bench --bin harness --release -- t10
 
+echo "==> harness t11 (TCP front-end scaling, auth cache, allocations)"
+cargo run -p gridauthz-bench --bin harness --release -- t11
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
