@@ -79,6 +79,9 @@ pub struct SimDuration(u64);
 impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable duration; pairs with [`SimTime::MAX`] as
+    /// an "unbounded time remaining" marker.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Builds a duration from microseconds.
     pub const fn from_micros(micros: u64) -> Self {
@@ -123,6 +126,17 @@ impl SimDuration {
     /// Multiplies the duration by a scalar, saturating on overflow.
     pub fn saturating_mul(self, factor: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Subtracts, saturating at zero.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// This duration as a [`std::time::Duration`] — the bridge from
+    /// deadline arithmetic to socket timeouts and thread parks.
+    pub const fn as_std(self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.0)
     }
 }
 
@@ -249,6 +263,16 @@ impl SimClock {
 pub trait TimeSource: Send + Sync {
     /// The current instant.
     fn now(&self) -> SimTime;
+
+    /// The absolute instant `budget` from now, saturating at
+    /// [`SimTime::MAX`] (the "never expires" marker). Every layer that
+    /// turns a relative budget into an absolute deadline — the request
+    /// context, the admission queue, the callout supervisor — goes
+    /// through this one helper, so a saturated budget always means
+    /// "unbounded" rather than a wrapped instant in the past.
+    fn deadline_after(&self, budget: SimDuration) -> SimTime {
+        self.now().saturating_add(budget)
+    }
 }
 
 impl TimeSource for SimClock {
@@ -387,6 +411,18 @@ mod tests {
     fn display_formats() {
         assert_eq!(SimTime::from_micros(1_500_000).to_string(), "t+1.500000s");
         assert_eq!(SimDuration::from_micros(42).to_string(), "0.000042s");
+    }
+
+    #[test]
+    fn deadline_after_saturates_and_projects() {
+        let sim = SimClock::starting_at(SimTime::from_secs(100));
+        assert_eq!(sim.deadline_after(SimDuration::from_secs(5)), SimTime::from_secs(105));
+        assert_eq!(sim.deadline_after(SimDuration::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_millis(250).as_std(), std::time::Duration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(3)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod analysis;
 mod cache;
 mod combine;
 mod compile;
+mod context;
 mod decision;
 mod error;
 mod eval;
@@ -80,6 +81,7 @@ pub use action::Action;
 pub use cache::{request_digest, CacheStats, DecisionCache};
 pub use combine::{CombinedDecision, CombinedPdp, Combiner, PolicyOrigin, PolicySource};
 pub use compile::{CompiledProgram, CompiledRequest};
+pub use context::{retry_budget, AdmissionClass, RequestContext, ShedReason};
 pub use decision::{Decision, DenyReason};
 pub use error::{AuthzFailure, PolicyParseError};
 pub use eval::Pdp;

@@ -21,6 +21,7 @@ use gridauthz_telemetry::{DecisionTrace, TelemetryRegistry};
 
 use crate::cache::{CacheStats, DecisionCache};
 use crate::combine::CombinedPdp;
+use crate::context::RequestContext;
 use crate::error::{AuthzFailure, PolicyParseError};
 use crate::request::AuthzRequest;
 use crate::snapshot::{AuthzEngine, PolicySnapshot};
@@ -77,6 +78,40 @@ pub trait AuthorizationCallout: Send + Sync {
     ) -> Vec<Result<(), AuthzFailure>> {
         let _ = traces;
         self.authorize_batch(requests)
+    }
+
+    /// [`authorize_traced`](Self::authorize_traced) under a
+    /// [`RequestContext`]: the callout may clamp its own time spending
+    /// (retries, backoff) to the request's remaining deadline. The
+    /// default ignores the context — stateless callouts answer
+    /// immediately, so there is nothing to clamp;
+    /// [`SupervisedCallout`] overrides it to fit its retry schedule
+    /// inside the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the failures [`authorize`](Self::authorize) returns.
+    fn authorize_within(
+        &self,
+        ctx: &RequestContext,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), AuthzFailure> {
+        let _ = ctx;
+        self.authorize_traced(request, trace)
+    }
+
+    /// [`authorize_batch_traced`](Self::authorize_batch_traced) under a
+    /// [`RequestContext`] shared by the whole batch. The default ignores
+    /// the context and delegates.
+    fn authorize_batch_within(
+        &self,
+        ctx: &RequestContext,
+        requests: &[AuthzRequest],
+        traces: &mut [DecisionTrace],
+    ) -> Vec<Result<(), AuthzFailure>> {
+        let _ = ctx;
+        self.authorize_batch_traced(requests, traces)
     }
 
     /// Notifies the callout that the policy environment changed

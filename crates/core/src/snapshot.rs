@@ -41,6 +41,7 @@ use gridauthz_telemetry::{labels, DecisionTrace, Gauge, Stage, TelemetryRegistry
 
 use crate::cache::{request_digest, CacheStats, DecisionCache};
 use crate::combine::{CombinedDecision, CombinedPdp, PolicySource};
+use crate::context::RequestContext;
 use crate::error::AuthzFailure;
 use crate::pep::AuthorizationCallout;
 use crate::request::AuthzRequest;
@@ -550,6 +551,139 @@ impl AuthzEngine {
             outcome?;
         }
         Ok(())
+    }
+
+    /// [`authorize_traced`](Self::authorize_traced) under a
+    /// [`RequestContext`]: an already-expired request is refused as an
+    /// authorization-system failure before any policy work, and every
+    /// extra callout receives the context so it can clamp its own time
+    /// spending (see [`AuthorizationCallout::authorize_within`]) — this
+    /// is how the front-end's deadline reaches the retry loop inside a
+    /// [`SupervisedCallout`](crate::SupervisedCallout).
+    ///
+    /// # Errors
+    ///
+    /// The failures [`authorize`](Self::authorize) returns, plus
+    /// [`AuthzFailure::SystemError`] for an expired deadline.
+    pub fn authorize_within(
+        &self,
+        ctx: &RequestContext,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), AuthzFailure> {
+        if ctx.expired() {
+            return Err(AuthzFailure::SystemError(
+                "request deadline expired before authorization".into(),
+            ));
+        }
+        let snapshot = self.cell.load();
+        if !snapshot.is_pass_through() {
+            AuthzEngine::to_outcome(&self.decide_instrumented(&snapshot, request, Some(trace)))?;
+        }
+        for callout in &self.extras {
+            let start = Instant::now();
+            let outcome = callout.authorize_within(ctx, request, trace);
+            trace.record_callout(
+                callout.name(),
+                AuthzEngine::outcome_label(&outcome),
+                elapsed_nanos(Some(start)),
+            );
+            outcome?;
+        }
+        Ok(())
+    }
+
+    /// [`decide`](Self::decide) under a [`RequestContext`]: the snapshot
+    /// decision itself is context-free (it never blocks), so the only
+    /// context effect is refusing an already-expired request.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzFailure::SystemError`] when `ctx` has expired.
+    pub fn decide_within(
+        &self,
+        ctx: &RequestContext,
+        request: &AuthzRequest,
+    ) -> Result<Arc<CombinedDecision>, AuthzFailure> {
+        if ctx.expired() {
+            return Err(AuthzFailure::SystemError(
+                "request deadline expired before decision".into(),
+            ));
+        }
+        Ok(self.decide(request))
+    }
+
+    /// [`authorize_batch_traced`](Self::authorize_batch_traced) under one
+    /// shared [`RequestContext`]: the whole batch is refused when the
+    /// context has already expired, still resolves under **one**
+    /// snapshot, and extra callouts receive the context through
+    /// [`AuthorizationCallout::authorize_batch_within`].
+    pub fn authorize_batch_within(
+        &self,
+        ctx: &RequestContext,
+        requests: &[AuthzRequest],
+        traces: &mut [DecisionTrace],
+    ) -> Vec<Result<(), AuthzFailure>> {
+        debug_assert_eq!(requests.len(), traces.len());
+        if ctx.expired() {
+            return requests
+                .iter()
+                .map(|_| {
+                    Err(AuthzFailure::SystemError(
+                        "request deadline expired before authorization".into(),
+                    ))
+                })
+                .collect();
+        }
+        let snapshot = self.cell.load();
+        let mut outcomes: Vec<Result<(), AuthzFailure>> = if snapshot.is_pass_through() {
+            requests.iter().map(|_| Ok(())).collect()
+        } else {
+            requests
+                .iter()
+                .zip(traces.iter_mut())
+                .map(|(request, trace)| {
+                    AuthzEngine::to_outcome(&self.decide_instrumented(
+                        &snapshot,
+                        request,
+                        Some(trace),
+                    ))
+                })
+                .collect()
+        };
+        for callout in &self.extras {
+            let pending: Vec<usize> =
+                (0..requests.len()).filter(|&i| outcomes[i].is_ok()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            let start = Instant::now();
+            let subs = if pending.len() == requests.len() {
+                callout.authorize_batch_within(ctx, requests, traces)
+            } else {
+                let subset: Vec<AuthzRequest> =
+                    pending.iter().map(|&i| requests[i].clone()).collect();
+                let mut sub_traces: Vec<DecisionTrace> = pending
+                    .iter()
+                    .map(|&i| std::mem::replace(&mut traces[i], DecisionTrace::detached()))
+                    .collect();
+                let subs = callout.authorize_batch_within(ctx, &subset, &mut sub_traces);
+                for (&i, trace) in pending.iter().zip(sub_traces) {
+                    traces[i] = trace;
+                }
+                subs
+            };
+            let amortized = elapsed_nanos(Some(start)) / pending.len().max(1) as u64;
+            for (&i, sub) in pending.iter().zip(subs) {
+                traces[i].record_callout(
+                    callout.name(),
+                    AuthzEngine::outcome_label(&sub),
+                    amortized,
+                );
+                outcomes[i] = sub;
+            }
+        }
+        outcomes
     }
 
     /// [`authorize_batch`](Self::authorize_batch) with one trace per

@@ -36,6 +36,7 @@ use gridauthz_clock::{SimClock, SimDuration, SimTime};
 use gridauthz_telemetry::{labels, DecisionTrace, Stage, TelemetryRegistry};
 
 use crate::cache::request_digest;
+use crate::context::RequestContext;
 use crate::decision::DenyReason;
 use crate::error::AuthzFailure;
 use crate::pep::AuthorizationCallout;
@@ -114,13 +115,13 @@ impl Default for ResilienceConfig {
 impl ResilienceConfig {
     /// Upper bound on the simulated time one supervised decision may
     /// consume when every attempt runs to its deadline: all attempts at
-    /// the deadline plus every backoff at its ceiling. The testbed
-    /// outage scenario asserts decisions stay inside this budget.
+    /// the deadline plus every backoff at its ceiling (the shared
+    /// [`retry_budget`](crate::retry_budget) formula). The testbed
+    /// outage scenario asserts decisions stay inside this budget; a
+    /// [`RequestContext`] deadline clamps the schedule further at call
+    /// time.
     pub fn decision_budget(&self) -> SimDuration {
-        let attempts = u64::from(self.max_attempts.max(1));
-        let per_attempt = self.deadline.as_micros().saturating_mul(attempts);
-        let backoffs = self.max_backoff.as_micros().saturating_mul(attempts - 1);
-        SimDuration::from_micros(per_attempt.saturating_add(backoffs))
+        crate::context::retry_budget(self.deadline, self.max_attempts, self.max_backoff)
     }
 
     /// Parses the resilience knobs out of a callout-configuration
@@ -619,14 +620,25 @@ impl SupervisedCallout {
         }
     }
 
-    /// The supervised decision path shared by `authorize` and
-    /// `authorize_traced`.
+    /// The supervised decision path shared by `authorize`,
+    /// `authorize_traced` and `authorize_within`. The retry schedule is
+    /// clamped by `ctx`: once the request cannot afford another backoff
+    /// plus a full per-attempt deadline, the supervisor stops retrying
+    /// and degrades instead of blowing through the caller's deadline —
+    /// the context's remaining time, not the standalone
+    /// [`decision_budget`](ResilienceConfig::decision_budget), bounds
+    /// the call.
     fn call_supervised(
         &self,
+        ctx: &RequestContext,
         request: &AuthzRequest,
         mut trace: Option<&mut DecisionTrace>,
     ) -> Result<(), AuthzFailure> {
         let key = request_digest(request);
+        if ctx.expired() {
+            self.record(labels::EXPIRED);
+            return self.degrade(key, trace, "request deadline expired before callout");
+        }
         let probe = match self.admit() {
             Admission::Allow { probe } => probe,
             Admission::Reject => {
@@ -664,9 +676,21 @@ impl SupervisedCallout {
                         self.complete(probe, false);
                         return self.degrade(key, trace.take(), &message);
                     }
+                    let backoff = self.backoff(call, attempt);
+                    // A retry costs its backoff plus (up to) a full
+                    // per-attempt deadline; a request that cannot afford
+                    // that degrades now instead of answering late.
+                    let next_attempt_cost = SimDuration::from_micros(
+                        backoff.as_micros().saturating_add(self.config.deadline.as_micros()),
+                    );
+                    if ctx.remaining() < next_attempt_cost {
+                        self.record(labels::EXPIRED);
+                        self.complete(probe, false);
+                        return self.degrade(key, trace.take(), "request deadline exhausted");
+                    }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     self.record(labels::RETRY);
-                    self.clock.advance(self.backoff(call, attempt));
+                    self.clock.advance(backoff);
                 }
             }
         }
@@ -689,7 +713,7 @@ impl AuthorizationCallout for SupervisedCallout {
     }
 
     fn authorize(&self, request: &AuthzRequest) -> Result<(), AuthzFailure> {
-        self.call_supervised(request, None)
+        self.call_supervised(&RequestContext::unbounded(), request, None)
     }
 
     fn authorize_traced(
@@ -697,7 +721,16 @@ impl AuthorizationCallout for SupervisedCallout {
         request: &AuthzRequest,
         trace: &mut DecisionTrace,
     ) -> Result<(), AuthzFailure> {
-        self.call_supervised(request, Some(trace))
+        self.call_supervised(&RequestContext::unbounded(), request, Some(trace))
+    }
+
+    fn authorize_within(
+        &self,
+        ctx: &RequestContext,
+        request: &AuthzRequest,
+        trace: &mut DecisionTrace,
+    ) -> Result<(), AuthzFailure> {
+        self.call_supervised(ctx, request, Some(trace))
     }
 
     fn authorize_batch_traced(
@@ -705,10 +738,24 @@ impl AuthorizationCallout for SupervisedCallout {
         requests: &[AuthzRequest],
         traces: &mut [DecisionTrace],
     ) -> Vec<Result<(), AuthzFailure>> {
+        let ctx = RequestContext::unbounded();
         requests
             .iter()
             .zip(traces.iter_mut())
-            .map(|(request, trace)| self.call_supervised(request, Some(trace)))
+            .map(|(request, trace)| self.call_supervised(&ctx, request, Some(trace)))
+            .collect()
+    }
+
+    fn authorize_batch_within(
+        &self,
+        ctx: &RequestContext,
+        requests: &[AuthzRequest],
+        traces: &mut [DecisionTrace],
+    ) -> Vec<Result<(), AuthzFailure>> {
+        requests
+            .iter()
+            .zip(traces.iter_mut())
+            .map(|(request, trace)| self.call_supervised(ctx, request, Some(trace)))
             .collect()
     }
 
@@ -846,6 +893,65 @@ mod tests {
         let stats = supervised.stats();
         assert_eq!(stats.retries, 1);
         assert_eq!(stats.degraded, 1);
+    }
+
+    #[test]
+    fn context_deadline_clamps_the_retry_schedule() {
+        let clock = SimClock::new();
+        let inner = Arc::new(Scripted::new(&clock, SimDuration::from_millis(1)));
+        inner.broken.store(true, Ordering::SeqCst);
+        let supervised = SupervisedCallout::new(inner.clone(), &clock, quick_config());
+        // 30ms of budget cannot afford a retry (backoff + 50ms deadline),
+        // so only the first attempt runs and the decision degrades early.
+        let ctx = RequestContext::with_budget(
+            Arc::new(clock.clone()),
+            crate::AdmissionClass::Interactive,
+            SimDuration::from_millis(30),
+        );
+        let start = clock.now();
+        let mut trace = DecisionTrace::detached();
+        let err = supervised.authorize_within(&ctx, &request("/O=G/CN=Bo"), &mut trace);
+        assert!(matches!(err, Err(AuthzFailure::SystemError(_))), "{err:?}");
+        assert!(trace.is_degraded());
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 1, "no retry fits a 30ms budget");
+        assert_eq!(supervised.stats().retries, 0);
+        assert!(
+            clock.now().saturating_since(start) <= SimDuration::from_millis(30),
+            "the decision must resolve inside the context budget"
+        );
+
+        // An already-expired context degrades without touching the inner
+        // callout at all.
+        clock.advance(SimDuration::from_millis(60));
+        let calls_before = inner.calls.load(Ordering::SeqCst);
+        let err = supervised.authorize_within(&ctx, &request("/O=G/CN=Bo"), &mut trace);
+        assert!(matches!(err, Err(AuthzFailure::SystemError(_))));
+        assert_eq!(inner.calls.load(Ordering::SeqCst), calls_before);
+    }
+
+    #[test]
+    fn unbounded_context_keeps_the_full_retry_schedule() {
+        let clock = SimClock::new();
+        let inner = Arc::new(Scripted::new(&clock, SimDuration::from_millis(1)));
+        inner.broken.store(true, Ordering::SeqCst);
+        let supervised = SupervisedCallout::new(inner.clone(), &clock, quick_config());
+        let mut trace = DecisionTrace::detached();
+        let _ = supervised.authorize_within(
+            &RequestContext::unbounded(),
+            &request("/O=G/CN=Bo"),
+            &mut trace,
+        );
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 2, "max_attempts still governs");
+        assert_eq!(supervised.stats().retries, 1);
+    }
+
+    #[test]
+    fn decision_budget_is_the_shared_retry_budget_formula() {
+        let config = ResilienceConfig::default();
+        assert_eq!(
+            config.decision_budget(),
+            crate::retry_budget(config.deadline, config.max_attempts, config.max_backoff)
+        );
     }
 
     #[test]

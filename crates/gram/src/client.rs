@@ -7,11 +7,16 @@
 //! job contact, not just the client's own, and [`JobReport`] carries the
 //! originator's identity back to the caller.
 
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
 use gridauthz_clock::SimDuration;
+use gridauthz_core::RequestContext;
 use gridauthz_credential::Credential;
 
 use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
 use crate::server::GramServer;
+use crate::wire::FrameAssembler;
 
 /// A client bound to one user's credential.
 #[derive(Debug, Clone)]
@@ -96,6 +101,99 @@ impl GramClient {
     }
 }
 
+/// A TCP client speaking the GRAM wire protocol to a
+/// [`Frontend`](crate::Frontend), one request/response exchange at a
+/// time.
+///
+/// Every [`WireClient::request`] takes the caller's [`RequestContext`]
+/// and derives the socket read timeout from the request's remaining
+/// deadline budget, so a hung or overloaded server can never strand the
+/// caller in a blocking read past the point where the answer stopped
+/// mattering. An unbounded context blocks indefinitely, preserving the
+/// classic client behavior.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    buf: [u8; 4096],
+}
+
+impl WireClient {
+    /// Connects to a front-end.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient { stream, assembler: FrameAssembler::with_default_limit(), buf: [0; 4096] })
+    }
+
+    /// Sends one frame (PEM armor plus `GRAM/1` body; the terminating
+    /// blank line is added if missing) and blocks for the response
+    /// frame, re-arming the socket read timeout from `ctx`'s remaining
+    /// budget before every read.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] when the context's deadline passes
+    /// before a complete response arrives (including a deadline that
+    /// already passed before the send); [`io::ErrorKind::UnexpectedEof`]
+    /// when the server closes mid-response; [`io::ErrorKind::InvalidData`]
+    /// when the response stream is unframeable; other socket errors
+    /// verbatim.
+    pub fn request(&mut self, ctx: &RequestContext, frame: &str) -> io::Result<String> {
+        if ctx.expired() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request deadline expired before send",
+            ));
+        }
+        self.stream.write_all(frame.as_bytes())?;
+        if !frame.ends_with("\n\n") {
+            self.stream.write_all(if frame.ends_with('\n') { b"\n" } else { b"\n\n" })?;
+        }
+        loop {
+            if let Some(response) = self
+                .assembler
+                .next_frame(|text| text.to_string())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                return Ok(response);
+            }
+            // Deadline-derived read timeout, recomputed per read so the
+            // *total* wait — not each fragment — honors the budget.
+            if ctx.expired() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline expired awaiting response",
+                ));
+            }
+            self.stream.set_read_timeout(ctx.socket_timeout())?;
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed before a complete response",
+                    ))
+                }
+                Ok(n) => self.assembler.push(&self.buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request deadline expired awaiting response",
+                    ))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +236,48 @@ mod tests {
             .unwrap();
         assert_eq!(client.status(&server, &contact).unwrap().account, "fusion");
         assert!(client.credential().identity().to_string().contains("Bo"));
+    }
+
+    #[test]
+    fn hung_server_read_is_bounded_by_the_request_deadline() {
+        use gridauthz_clock::WallClock;
+        use gridauthz_core::AdmissionClass;
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+
+        // A server that accepts and then never answers: the classic
+        // wide-area failure mode a blocking client hangs on forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let conn = listener.accept();
+            std::thread::sleep(Duration::from_secs(5));
+            drop(conn);
+        });
+
+        let mut client = WireClient::connect(addr).unwrap();
+        let ctx = RequestContext::with_budget(
+            Arc::new(WallClock::new()),
+            AdmissionClass::Interactive,
+            SimDuration::from_millis(100),
+        );
+        let started = Instant::now();
+        let err = client.request(&ctx, "GRAM/1 STATUS\njob: gram://r/jobs/1\n\n").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+        // The wait is the request budget, not the server's nap.
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "client blocked past its deadline: {:?}",
+            started.elapsed()
+        );
+
+        // An already-expired context never touches the socket.
+        let dead = RequestContext::with_budget(
+            Arc::new(WallClock::new()),
+            AdmissionClass::Interactive,
+            SimDuration::ZERO,
+        );
+        let err = client.request(&dead, "GRAM/1 STATUS\njob: gram://r/jobs/1\n\n").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
     }
 }

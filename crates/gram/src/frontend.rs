@@ -13,11 +13,29 @@
 //!   wide-area clients spend most of a request's lifetime *not* talking
 //!   (network latency, client think time): one worker serializes every
 //!   client's idle gaps, W workers overlap them.
+//! * **Bounded admission.** The accept queue is two bounded lanes —
+//!   interactive (fast) and batch (overflow). A connection is admitted
+//!   to the interactive lane while it has room, spills to the batch lane
+//!   under pressure, and is **shed** with a fast `BUSY` answer when both
+//!   lanes are full, so a hostile or overloaded client population can
+//!   never grow the server's queue without bound. Every admitted
+//!   connection is stamped with a [`RequestContext`] whose deadline is
+//!   its lane's default budget; entries whose deadline passes while they
+//!   wait are answered `BUSY` without service, and [`Frontend::stop`]
+//!   drains still-queued entries with a shutdown answer instead of
+//!   silently dropping them.
 //! * **Pipelined framing.** Frames are `\n\n`-delimited (PEM armor and
 //!   GRAM header lines are never blank). A per-connection
 //!   [`FrameAssembler`] accepts whatever fragments the socket delivers
 //!   and yields complete frames — several per read, or one frame spread
 //!   over many reads — decoded against the connection buffer in place.
+//! * **Request lifecycle.** Each frame gets a [`RequestContext`] built
+//!   at assembly time: admission class and deadline from the frame's
+//!   `class:` / `budget-micros:` headers (defaulting to the
+//!   connection's lane and admission deadline), the measured queue wait,
+//!   and a telemetry-allocated trace id that the decision trace and the
+//!   audit record reuse — one id joins the front-end, engine, callout
+//!   and audit views of a request.
 //! * **Per-worker reusable buffers.** The read buffer, the assembler's
 //!   frame buffer and the response `String` are allocated once per
 //!   worker and reused for every request of every connection: the warm
@@ -28,9 +46,11 @@
 //!   while the simulation's [`SimClock`](gridauthz_clock::SimClock)
 //!   remains the authority everywhere behind the decision boundary.
 //!
-//! Telemetry: accepted/active connection gauges, per-frame decode and
-//! end-to-end service histograms ([`Stage::FrameDecode`],
-//! [`Stage::Service`]), and classified decode-error labels.
+//! Telemetry: accepted/active connection gauges, per-lane queue-depth
+//! gauges, per-frame decode and end-to-end service histograms
+//! ([`Stage::FrameDecode`], [`Stage::Service`]), admission outcomes
+//! under [`Stage::Admission`] (shed / deadline-expired / shutdown), and
+//! classified decode-error labels.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -40,11 +60,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use gridauthz_clock::{TimeSource, WallClock};
-use gridauthz_telemetry::{Gauge, Stage, TelemetryRegistry};
+use gridauthz_clock::{SimDuration, SimTime, TimeSource, WallClock};
+use gridauthz_core::{AdmissionClass, RequestContext, ShedReason};
+use gridauthz_telemetry::{labels, Gauge, Stage, TelemetryRegistry};
 
 use crate::server::GramServer;
-use crate::wire::{decode_error_label, FrameAssembler, WireDecodeError, MAX_FRAME_BYTES};
+use crate::wire::{
+    decode_error_label, FrameAssembler, WireDecodeError, WireFrame, MAX_FRAME_BYTES,
+};
 
 /// Tunables for [`Frontend::bind`].
 #[derive(Debug, Clone)]
@@ -54,8 +77,15 @@ pub struct FrontendConfig {
     /// Per-frame size limit handed to each connection's assembler.
     pub max_frame_bytes: usize,
     /// Socket read timeout — the granularity at which an idle worker
-    /// notices a stop request.
+    /// notices a stop request or an expired connection deadline.
     pub read_timeout: Duration,
+    /// Depth bound of the interactive admission lane.
+    pub queue_bound_interactive: usize,
+    /// Depth bound of the batch (overflow) admission lane.
+    pub queue_bound_batch: usize,
+    /// The retry hint written in the `BUSY` answer when a connection is
+    /// shed because both lanes are full.
+    pub shed_retry_after: SimDuration,
 }
 
 impl Default for FrontendConfig {
@@ -64,6 +94,9 @@ impl Default for FrontendConfig {
             workers: 4,
             max_frame_bytes: MAX_FRAME_BYTES,
             read_timeout: Duration::from_millis(20),
+            queue_bound_interactive: 64,
+            queue_bound_batch: 64,
+            shed_retry_after: SimDuration::from_millis(10),
         }
     }
 }
@@ -75,6 +108,35 @@ pub struct WorkerStats {
     pub connections: u64,
     /// Frames this worker answered (including error answers).
     pub frames: u64,
+    /// Connections this worker refused with a fast `BUSY` answer
+    /// because their deadline expired while they waited in the
+    /// admission queue.
+    pub refused: u64,
+}
+
+/// One admitted connection waiting for a worker: the stream, the
+/// lifecycle context stamped at accept time (lane class, admission
+/// deadline on the front-end clock), and the accept instant the queue
+/// wait is measured from.
+struct QueuedConnection {
+    stream: TcpStream,
+    ctx: RequestContext,
+    enqueued_at: SimTime,
+}
+
+/// The bounded two-lane admission queue. Interactive is the fast lane;
+/// batch is the overflow lane that fills only under pressure and sheds
+/// first. Workers always drain interactive before batch.
+#[derive(Default)]
+struct AdmissionQueue {
+    interactive: VecDeque<QueuedConnection>,
+    batch: VecDeque<QueuedConnection>,
+}
+
+impl AdmissionQueue {
+    fn pop(&mut self) -> Option<QueuedConnection> {
+        self.interactive.pop_front().or_else(|| self.batch.pop_front())
+    }
 }
 
 /// State shared by the acceptor, the workers and the handle.
@@ -83,12 +145,14 @@ struct Shared {
     clock: Arc<dyn TimeSource>,
     config: FrontendConfig,
     /// Connections accepted but not yet claimed by a worker.
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<AdmissionQueue>,
     /// Signals workers that the queue is non-empty (or stopping).
     available: Condvar,
     stop: AtomicBool,
     accepted: AtomicU64,
     active: AtomicU64,
+    /// Connections refused at accept because both lanes were full.
+    shed: AtomicU64,
 }
 
 impl Shared {
@@ -100,6 +164,13 @@ impl Shared {
         self.telemetry()
             .set_gauge(Gauge::ConnectionsAccepted, self.accepted.load(Ordering::Relaxed));
         self.telemetry().set_gauge(Gauge::ConnectionsActive, self.active.load(Ordering::Relaxed));
+    }
+
+    /// Publishes the lane depths; called with the queue lock held so the
+    /// gauges can never read above the configured bounds.
+    fn publish_queue_gauges(&self, queue: &AdmissionQueue) {
+        self.telemetry().set_gauge(Gauge::QueueDepthInteractive, queue.interactive.len() as u64);
+        self.telemetry().set_gauge(Gauge::QueueDepthBatch, queue.batch.len() as u64);
     }
 }
 
@@ -147,11 +218,12 @@ impl Frontend {
             server,
             clock,
             config,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(AdmissionQueue::default()),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             active: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -178,9 +250,18 @@ impl Frontend {
         self.shared.accepted.load(Ordering::Relaxed)
     }
 
+    /// Connections refused at accept time because both admission lanes
+    /// were at their depth bounds.
+    #[must_use]
+    pub fn connections_shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting, drains the workers and joins every thread.
-    /// Queued-but-unserved connections are dropped. Returns the
-    /// per-worker service counters.
+    /// Connections still queued when the workers exit are answered with
+    /// a shutdown `BUSY` frame (and counted under
+    /// [`Stage::Admission`] / shutdown) rather than silently dropped.
+    /// Returns the per-worker service counters.
     pub fn stop(mut self) -> Vec<WorkerStats> {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection to ourselves.
@@ -189,11 +270,61 @@ impl Frontend {
             let _ = acceptor.join();
         }
         self.shared.available.notify_all();
-        let stats =
+        let stats: Vec<WorkerStats> =
             self.workers.drain(..).map(|worker| worker.join().unwrap_or_default()).collect();
+        // Shutdown drain: everything the workers left behind gets a
+        // well-formed answer before its socket closes.
+        let drained = {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut drained = Vec::new();
+            while let Some(entry) = queue.pop() {
+                drained.push(entry);
+            }
+            self.shared.publish_queue_gauges(&queue);
+            drained
+        };
+        for entry in drained {
+            answer_unserved(&self.shared, entry.stream, ShedReason::Shutdown, &entry.ctx);
+        }
         self.shared.publish_gauges();
         stats
     }
+}
+
+/// The nanoseconds a refused request spent queued (its Admission span).
+fn queue_wait_nanos(ctx: &RequestContext) -> u64 {
+    ctx.queue_wait().as_micros().saturating_mul(1_000)
+}
+
+/// Answers a connection that will never be served: one preformatted
+/// `BUSY` frame carrying a retry hint, then close. The refusal is
+/// recorded under [`Stage::Admission`] with the shed reason's label.
+fn answer_unserved(
+    shared: &Shared,
+    mut stream: TcpStream,
+    reason: ShedReason,
+    ctx: &RequestContext,
+) {
+    let label = match reason {
+        ShedReason::QueueFull => labels::SHED,
+        ShedReason::DeadlineExpired => labels::EXPIRED,
+        ShedReason::Shutdown => labels::SHUTDOWN,
+    };
+    shared.telemetry().record_timed(Stage::Admission, label, queue_wait_nanos(ctx));
+    let retry_after = match reason {
+        ShedReason::QueueFull => shared.config.shed_retry_after,
+        // The useful hint after an expiry or a shutdown is "come back
+        // with a fresh budget", not "poll immediately".
+        ShedReason::DeadlineExpired | ShedReason::Shutdown => ctx.class().default_budget(),
+    };
+    let _ = stream.set_nodelay(true);
+    let answer = format!("GRAM/1 BUSY\nretry-after-micros: {}\n\n", retry_after.as_micros());
+    let _ = stream.write_all(answer.as_bytes());
+    // Consume whatever request bytes the peer already sent: closing a
+    // socket with unread data turns the close into a reset that can
+    // destroy the answer before the client reads it.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let _ = stream.read(&mut [0u8; 512]);
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
@@ -206,10 +337,46 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             Ok((stream, _)) => {
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
                 shared.publish_gauges();
+                let now = shared.clock.now();
                 let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                queue.push_back(stream);
-                drop(queue);
-                shared.available.notify_one();
+                // Lane assignment under pressure: interactive while the
+                // fast lane has room, batch as overflow, shed when both
+                // are at their bounds.
+                let class = if queue.interactive.len() < shared.config.queue_bound_interactive {
+                    Some(AdmissionClass::Interactive)
+                } else if queue.batch.len() < shared.config.queue_bound_batch {
+                    Some(AdmissionClass::Batch)
+                } else {
+                    None
+                };
+                match class {
+                    Some(class) => {
+                        let ctx = RequestContext::with_budget(
+                            Arc::clone(&shared.clock),
+                            class,
+                            class.default_budget(),
+                        );
+                        let lane = match class {
+                            AdmissionClass::Interactive => &mut queue.interactive,
+                            AdmissionClass::Batch => &mut queue.batch,
+                        };
+                        lane.push_back(QueuedConnection { stream, ctx, enqueued_at: now });
+                        shared.publish_queue_gauges(&queue);
+                        drop(queue);
+                        shared.available.notify_one();
+                    }
+                    None => {
+                        drop(queue);
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        let mut ctx = RequestContext::with_budget(
+                            Arc::clone(&shared.clock),
+                            AdmissionClass::Interactive,
+                            SimDuration::ZERO,
+                        );
+                        ctx.mark_shed(ShedReason::QueueFull);
+                        answer_unserved(shared, stream, ShedReason::QueueFull, &ctx);
+                    }
+                }
             }
             Err(_) => {
                 // Transient accept failure (e.g. aborted handshake):
@@ -228,39 +395,97 @@ fn worker_loop(shared: &Shared) -> WorkerStats {
     let mut assembler = FrameAssembler::new(shared.config.max_frame_bytes);
     let mut response = String::with_capacity(1024);
     loop {
-        let stream = {
+        let mut entry = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if shared.stop.load(Ordering::SeqCst) {
                     return stats;
                 }
-                if let Some(stream) = queue.pop_front() {
-                    break stream;
+                if let Some(entry) = queue.pop() {
+                    shared.publish_queue_gauges(&queue);
+                    break entry;
                 }
                 queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let wait = shared.clock.now().saturating_since(entry.enqueued_at);
+        entry.ctx.note_queue_wait(wait);
+        if entry.ctx.expired() {
+            // Expired while queued: the client stopped caring before a
+            // worker got here. A fast BUSY costs microseconds; decoding
+            // and authorizing the doomed request would cost the budget
+            // of a live one.
+            entry.ctx.mark_shed(ShedReason::DeadlineExpired);
+            answer_unserved(shared, entry.stream, ShedReason::DeadlineExpired, &entry.ctx);
+            stats.refused += 1;
+            continue;
+        }
         shared.active.fetch_add(1, Ordering::Relaxed);
         shared.publish_gauges();
         stats.frames +=
-            serve_connection(shared, stream, &mut read_buf, &mut assembler, &mut response);
+            serve_connection(shared, entry, &mut read_buf, &mut assembler, &mut response);
         stats.connections += 1;
         shared.active.fetch_sub(1, Ordering::Relaxed);
         shared.publish_gauges();
     }
 }
 
-/// Serves one connection until the peer closes (or errors). Returns the
-/// number of frames answered.
+/// The lifecycle context for one frame, created at frame-assembly time:
+/// admission class from the frame's `class:` header (the connection's
+/// lane otherwise), a deadline from its `budget-micros:` header (the
+/// class default budget otherwise), the connection's measured admission
+/// wait attributed to the first frame, and a fresh telemetry trace id
+/// that the decision trace and audit record will reuse.
+fn frame_context(
+    shared: &Shared,
+    conn: &RequestContext,
+    queue_wait: SimDuration,
+    frame: &str,
+) -> RequestContext {
+    let mut class = conn.class();
+    let mut budget = None;
+    if let Some(split) = frame.find("GRAM/1 ") {
+        if let Ok(parsed) = WireFrame::decode(&frame[split..]) {
+            if let Some(value) =
+                parsed.header("class").and_then(|v| AdmissionClass::parse(v.trim()))
+            {
+                class = value;
+            }
+            if let Some(micros) =
+                parsed.header("budget-micros").and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                budget = Some(SimDuration::from_micros(micros));
+            }
+        }
+    }
+    let budget = budget.unwrap_or_else(|| class.default_budget());
+    let mut ctx = RequestContext::with_budget(Arc::clone(&shared.clock), class, budget);
+    ctx.note_queue_wait(queue_wait);
+    ctx.with_trace_id(shared.telemetry().allocate_trace_id())
+}
+
+/// Serves one connection until the peer closes (or errors, or the
+/// connection's admission deadline passes). Returns the number of
+/// frames answered.
 fn serve_connection(
     shared: &Shared,
-    mut stream: TcpStream,
+    entry: QueuedConnection,
     read_buf: &mut [u8],
     assembler: &mut FrameAssembler,
     response: &mut String,
 ) -> u64 {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let QueuedConnection { mut stream, ctx, .. } = entry;
+    // The poll interval is the context's remaining budget clamped to the
+    // stop-poll granularity — the same deadline computation every other
+    // layer reads through the context, not a third ad-hoc timeout.
+    let poll = ctx
+        .socket_timeout()
+        .map_or(shared.config.read_timeout, |t| t.min(shared.config.read_timeout));
+    let _ = stream.set_read_timeout(Some(poll.max(Duration::from_micros(1))));
     let _ = stream.set_nodelay(true);
+    // The admission wait belongs to the connection's first request; the
+    // frames pipelined behind it did not stand in the accept queue.
+    let mut queue_wait = ctx.queue_wait();
     let mut frames = 0;
     loop {
         match stream.read(read_buf) {
@@ -276,7 +501,15 @@ fn serve_connection(
             }
             Ok(n) => {
                 assembler.push(&read_buf[..n]);
-                if !drain_frames(shared, &mut stream, assembler, response, &mut frames) {
+                if !drain_frames(
+                    shared,
+                    &ctx,
+                    &mut queue_wait,
+                    &mut stream,
+                    assembler,
+                    response,
+                    &mut frames,
+                ) {
                     break;
                 }
             }
@@ -300,6 +533,8 @@ fn serve_connection(
 /// the connection must close (decode-stream error or write failure).
 fn drain_frames(
     shared: &Shared,
+    conn: &RequestContext,
+    queue_wait: &mut SimDuration,
     stream: &mut TcpStream,
     assembler: &mut FrameAssembler,
     response: &mut String,
@@ -307,9 +542,11 @@ fn drain_frames(
 ) -> bool {
     loop {
         response.clear();
+        let wait = std::mem::replace(queue_wait, SimDuration::ZERO);
         let outcome = assembler.next_frame(|frame| {
+            let ctx = frame_context(shared, conn, wait, frame);
             let start = shared.clock.now();
-            let label = shared.server.handle_wire_pem_into(frame, response);
+            let label = shared.server.handle_wire_pem_within(&ctx, frame, response);
             let micros = shared.clock.now().as_micros().saturating_sub(start.as_micros());
             shared.telemetry().record_timed(Stage::Service, label, micros.saturating_mul(1000));
         });

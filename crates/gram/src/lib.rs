@@ -43,7 +43,7 @@ pub mod wire;
 
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use authcache::{AuthCache, AuthCacheStats, AuthEntry};
-pub use client::GramClient;
+pub use client::{GramClient, WireClient};
 pub use frontend::{Frontend, FrontendConfig, WorkerStats};
 pub use gatekeeper::Gatekeeper;
 pub use jobspec::{job_spec_from_rsl, normalize_job};

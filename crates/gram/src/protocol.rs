@@ -8,7 +8,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use gridauthz_clock::{SimDuration, SimTime};
-use gridauthz_core::DenyReason;
+use gridauthz_core::{DenyReason, ShedReason};
 use gridauthz_credential::{CredentialError, DistinguishedName};
 use gridauthz_scheduler::{JobState, SchedulerError};
 
@@ -117,6 +117,17 @@ pub enum GramError {
     /// A runtime operation violated the job's sandbox profile (§6.1
     /// continuous enforcement).
     SandboxViolation(String),
+    /// The resource refused the request without evaluating it: the
+    /// admission queue was full, the request's deadline expired before a
+    /// worker reached it, or the front-end was shutting down. Carries a
+    /// retry hint so well-behaved clients back off instead of hammering
+    /// an overloaded Gatekeeper.
+    Overloaded {
+        /// Why admission refused the request.
+        reason: ShedReason,
+        /// How long the client should wait before retrying.
+        retry_after: SimDuration,
+    },
 }
 
 /// The stable telemetry label for a [`GramError`] — one short metric key
@@ -140,6 +151,7 @@ pub fn error_label(error: &GramError) -> &'static str {
         GramError::Scheduler(_) => labels::SCHEDULER,
         GramError::ProvisioningFailed(_) => labels::PROVISIONING,
         GramError::SandboxViolation(_) => labels::SANDBOX,
+        GramError::Overloaded { .. } => labels::SHED,
     }
 }
 
@@ -164,6 +176,13 @@ impl fmt::Display for GramError {
                 write!(f, "local account provisioning failed: {msg}")
             }
             GramError::SandboxViolation(msg) => write!(f, "sandbox violation: {msg}"),
+            GramError::Overloaded { reason, retry_after } => {
+                write!(
+                    f,
+                    "resource overloaded ({reason}); retry after {}us",
+                    retry_after.as_micros()
+                )
+            }
         }
     }
 }
@@ -231,7 +250,7 @@ mod tests {
     fn every_error_variant_has_a_pinned_stable_label() {
         use gridauthz_telemetry::labels;
 
-        let all: [(GramError, &str); 10] = [
+        let all: [(GramError, &str); 11] = [
             (GramError::AuthenticationFailed(CredentialError::EmptyChain), "authentication"),
             (GramError::GridMapDenied("/O=G/CN=X".parse().unwrap()), "gridmap"),
             (
@@ -251,6 +270,13 @@ mod tests {
             ),
             (GramError::ProvisioningFailed("x".into()), "provisioning"),
             (GramError::SandboxViolation("x".into()), "sandbox"),
+            (
+                GramError::Overloaded {
+                    reason: ShedReason::QueueFull,
+                    retry_after: SimDuration::from_millis(5),
+                },
+                "shed",
+            ),
         ];
         for (error, expected) in &all {
             assert_eq!(error_label(error), *expected, "{error:?}");

@@ -11,8 +11,8 @@ use parking_lot::{Mutex, RwLock};
 
 use gridauthz_clock::{SimClock, SimDuration, SimTime};
 use gridauthz_core::{
-    Action, AuthzEngine, AuthzFailure, AuthzRequest, BreakerState, CalloutChain, DenyReason,
-    JobDescription, SnapshotCell, SupervisionReport,
+    Action, AdmissionClass, AuthzEngine, AuthzFailure, AuthzRequest, BreakerState, CalloutChain,
+    DenyReason, JobDescription, RequestContext, ShedReason, SnapshotCell, SupervisionReport,
 };
 use gridauthz_credential::{
     Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
@@ -404,14 +404,21 @@ impl GramServer {
         work: SimDuration,
     ) -> Result<JobContact, GramError> {
         let mut trace = self.telemetry.start_trace("submit", self.clock.now());
-        let result =
-            self.submit_inner(Caller::Chain(chain), rsl_text, requested_account, work, &mut trace);
+        let result = self.submit_inner(
+            &RequestContext::unbounded(),
+            Caller::Chain(chain),
+            rsl_text,
+            requested_account,
+            work,
+            &mut trace,
+        );
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn submit_inner(
         &self,
+        ctx: &RequestContext,
         caller: Caller<'_>,
         rsl_text: &str,
         requested_account: Option<&str>,
@@ -420,7 +427,8 @@ impl GramServer {
     ) -> Result<JobContact, GramError> {
         let identity = self.authenticate_caller(caller, trace)?;
         let subject = identity.subject().clone();
-        let result = self.submit_authenticated(&identity, rsl_text, requested_account, work, trace);
+        let result =
+            self.submit_authenticated(ctx, &identity, rsl_text, requested_account, work, trace);
         let account =
             result.as_ref().ok().and_then(|c| self.jobs.with(c.as_str(), |r| r.account.clone()));
         self.record_audit(
@@ -436,6 +444,7 @@ impl GramServer {
 
     fn submit_authenticated(
         &self,
+        ctx: &RequestContext,
         identity: &VerifiedIdentity,
         rsl_text: &str,
         requested_account: Option<&str>,
@@ -480,7 +489,7 @@ impl GramServer {
         if self.mode == GramMode::Extended {
             let request = AuthzRequest::start(subject.clone(), job.clone())
                 .with_restrictions(restriction_values(identity));
-            self.engine.authorize_traced(&request, trace).map_err(authz_failure_to_error)?;
+            self.engine.authorize_within(ctx, &request, trace).map_err(authz_failure_to_error)?;
         }
 
         // Dynamic-account resolution happens only after authorization so
@@ -572,20 +581,27 @@ impl GramServer {
     /// failure.
     pub fn cancel(&self, chain: &[Certificate], contact: &JobContact) -> Result<(), GramError> {
         let mut trace = self.telemetry.start_trace("cancel", self.clock.now());
-        let result = self.cancel_inner(Caller::Chain(chain), contact, &mut trace);
+        let result = self.cancel_inner(
+            &RequestContext::unbounded(),
+            Caller::Chain(chain),
+            contact,
+            &mut trace,
+        );
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn cancel_inner(
         &self,
+        ctx: &RequestContext,
         caller: Caller<'_>,
         contact: &JobContact,
         trace: &mut DecisionTrace,
     ) -> Result<(), GramError> {
         let (identity, record) = self.authenticate_and_find(caller, contact, trace)?;
-        let result =
-            self.authorize_management(&identity, &record, Action::Cancel, trace).and_then(|()| {
+        let result = self
+            .authorize_management(ctx, &identity, &record, Action::Cancel, trace)
+            .and_then(|()| {
                 timed_stage(trace, Stage::Enforce, || {
                     Ok(self.scheduler.write().cancel(record.local)?)
                 })
@@ -612,19 +628,25 @@ impl GramServer {
         contact: &JobContact,
     ) -> Result<JobReport, GramError> {
         let mut trace = self.telemetry.start_trace("status", self.clock.now());
-        let result = self.status_inner(Caller::Chain(chain), contact, &mut trace);
+        let result = self.status_inner(
+            &RequestContext::unbounded(),
+            Caller::Chain(chain),
+            contact,
+            &mut trace,
+        );
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn status_inner(
         &self,
+        ctx: &RequestContext,
         caller: Caller<'_>,
         contact: &JobContact,
         trace: &mut DecisionTrace,
     ) -> Result<JobReport, GramError> {
         let (identity, record) = self.authenticate_and_find(caller, contact, trace)?;
-        let authz = self.authorize_management(&identity, &record, Action::Information, trace);
+        let authz = self.authorize_management(ctx, &identity, &record, Action::Information, trace);
         self.record_audit(
             identity.subject(),
             Action::Information,
@@ -651,21 +673,29 @@ impl GramServer {
         signal: GramSignal,
     ) -> Result<(), GramError> {
         let mut trace = self.telemetry.start_trace("signal", self.clock.now());
-        let result = self.signal_inner(Caller::Chain(chain), contact, signal, &mut trace);
+        let result = self.signal_inner(
+            &RequestContext::unbounded(),
+            Caller::Chain(chain),
+            contact,
+            signal,
+            &mut trace,
+        );
         self.telemetry.finish_trace(trace);
         result
     }
 
     fn signal_inner(
         &self,
+        ctx: &RequestContext,
         caller: Caller<'_>,
         contact: &JobContact,
         signal: GramSignal,
         trace: &mut DecisionTrace,
     ) -> Result<(), GramError> {
         let (identity, record) = self.authenticate_and_find(caller, contact, trace)?;
-        let result =
-            self.authorize_management(&identity, &record, Action::Signal, trace).and_then(|()| {
+        let result = self
+            .authorize_management(ctx, &identity, &record, Action::Signal, trace)
+            .and_then(|()| {
                 timed_stage(trace, Stage::Enforce, || {
                     let mut scheduler = self.scheduler.write();
                     match signal {
@@ -744,6 +774,7 @@ impl GramServer {
 
     fn authorize_management(
         &self,
+        ctx: &RequestContext,
         identity: &VerifiedIdentity,
         record: &JmiRecord,
         action: Action,
@@ -764,7 +795,11 @@ impl GramServer {
             }
             GramMode::Extended => self
                 .engine
-                .authorize_traced(&GramServer::management_request(identity, record, action), trace)
+                .authorize_within(
+                    ctx,
+                    &GramServer::management_request(identity, record, action),
+                    trace,
+                )
                 .map_err(authz_failure_to_error),
         }
     }
@@ -776,6 +811,7 @@ impl GramServer {
     /// policy for others.
     fn authorize_management_batch(
         &self,
+        ctx: &RequestContext,
         identity: &VerifiedIdentity,
         records: &[Arc<JmiRecord>],
         action: Action,
@@ -802,7 +838,7 @@ impl GramServer {
                     .map(|record| GramServer::management_request(identity, record, action))
                     .collect();
                 self.engine
-                    .authorize_batch_traced(&requests, traces)
+                    .authorize_batch_within(ctx, &requests, traces)
                     .into_iter()
                     .map(|outcome| outcome.map_err(authz_failure_to_error))
                     .collect()
@@ -865,8 +901,13 @@ impl GramServer {
             .iter()
             .map(|_| self.telemetry.start_trace("cancel-by-tag", self.clock.now()))
             .collect();
-        let verdicts =
-            self.authorize_management_batch(&identity, &targets, Action::Cancel, &mut traces);
+        let verdicts = self.authorize_management_batch(
+            &RequestContext::unbounded(),
+            &identity,
+            &targets,
+            Action::Cancel,
+            &mut traces,
+        );
         Ok(targets
             .into_iter()
             .zip(verdicts)
@@ -923,8 +964,13 @@ impl GramServer {
             .iter()
             .map(|_| self.telemetry.start_trace("status-by-tag", self.clock.now()))
             .collect();
-        let verdicts =
-            self.authorize_management_batch(&identity, &targets, Action::Information, &mut traces);
+        let verdicts = self.authorize_management_batch(
+            &RequestContext::unbounded(),
+            &identity,
+            &targets,
+            Action::Information,
+            &mut traces,
+        );
         Ok(targets
             .into_iter()
             .zip(verdicts)
@@ -1248,6 +1294,15 @@ impl GramServer {
         self.auth_cache.stats()
     }
 
+    /// A [`RequestContext`] for `class` stamped against this server's
+    /// clock, with the class's default budget and a telemetry-allocated
+    /// trace id — what callers without a front-end (typed API wrappers,
+    /// tests, the simulator) use to enter the `*_within` paths.
+    pub fn request_context(&self, class: AdmissionClass) -> RequestContext {
+        RequestContext::new(Arc::new(self.clock.clone()), class)
+            .with_trace_id(self.telemetry.allocate_trace_id())
+    }
+
     /// Serves a fully self-contained wire message: PEM-armored credential
     /// chain (see [`gridauthz_credential::pem`]) followed by the
     /// wire-encoded request. This is the complete network surface — the
@@ -1261,8 +1316,28 @@ impl GramServer {
     /// [`GramServer::handle_wire_pem`] against a caller-owned buffer —
     /// the front-end's hot path. The response text is appended to `out`
     /// and the outcome's telemetry label is returned so the caller can
-    /// time the whole service under it.
+    /// time the whole service under it. Runs unbounded: no deadline, no
+    /// admission accounting.
     pub fn handle_wire_pem_into(&self, message: &str, out: &mut String) -> &'static str {
+        self.handle_wire_pem_within(&RequestContext::unbounded(), message, out)
+    }
+
+    /// [`GramServer::handle_wire_pem_into`] under a request lifecycle
+    /// context: the context's deadline is enforced before authentication
+    /// and again before dispatch (an expired request is answered with a
+    /// fast `BUSY` frame, never evaluated), its queue wait becomes the
+    /// decision trace's [`Stage::Admission`] span, and its trace id (when
+    /// assigned) becomes the decision trace's id — one id joins the
+    /// front-end, engine, callout and audit views of the request.
+    pub fn handle_wire_pem_within(
+        &self,
+        ctx: &RequestContext,
+        message: &str,
+        out: &mut String,
+    ) -> &'static str {
+        if ctx.expired() {
+            return self.refuse_expired(ctx, out);
+        }
         let Some(split) = message.find("GRAM/1 ") else {
             let error = GramError::BadRequest("message has no GRAM/1 request".into());
             encode_error_into(&error, out);
@@ -1270,12 +1345,30 @@ impl GramServer {
         };
         let (pem, body) = message.split_at(split);
         match self.authenticate_pem(pem) {
-            Ok(entry) => self.dispatch_wire(Caller::Verified(entry.identity()), body, out),
+            Ok(entry) => self.dispatch_wire(ctx, Caller::Verified(entry.identity()), body, out),
             Err(e) => {
                 encode_error_into(&e, out);
                 error_label(&e)
             }
         }
+    }
+
+    /// Answers an expired request with the fast `BUSY` frame, recording
+    /// the refusal as an [`Stage::Admission`] deadline-expired span under
+    /// the request's own trace id so the refusal is attributable.
+    fn refuse_expired(&self, ctx: &RequestContext, out: &mut String) -> &'static str {
+        let mut trace =
+            self.telemetry.start_trace_with_id(ctx.trace_id(), "expired", self.clock.now());
+        trace.record(Stage::Admission, labels::EXPIRED, queue_wait_nanos(ctx));
+        self.telemetry.finish_trace(trace);
+        encode_error_into(
+            &GramError::Overloaded {
+                reason: ShedReason::DeadlineExpired,
+                retry_after: ctx.class().default_budget(),
+            },
+            out,
+        );
+        labels::EXPIRED
     }
 
     /// Serves one wire-encoded request (see [`crate::wire`]) and returns
@@ -1295,7 +1388,7 @@ impl GramServer {
         message: &str,
         out: &mut String,
     ) -> &'static str {
-        self.dispatch_wire(Caller::Chain(chain), message, out)
+        self.dispatch_wire(&RequestContext::unbounded(), Caller::Chain(chain), message, out)
     }
 
     /// Decodes one frame body (borrowed, zero-copy) and dispatches it as
@@ -1303,7 +1396,13 @@ impl GramServer {
     /// is timed as a [`Stage::FrameDecode`] sample; decode failures are
     /// classified ([`crate::wire::decode_error_label`]) and answered as
     /// `BAD_REQUEST` protocol errors.
-    fn dispatch_wire(&self, caller: Caller<'_>, body: &str, out: &mut String) -> &'static str {
+    fn dispatch_wire(
+        &self,
+        ctx: &RequestContext,
+        caller: Caller<'_>,
+        body: &str,
+        out: &mut String,
+    ) -> &'static str {
         use crate::wire::WireRequestRef;
         let start = Instant::now();
         let decoded = WireRequestRef::decode(body);
@@ -1329,19 +1428,35 @@ impl GramServer {
             WireRequestRef::Status { .. } => "status",
             WireRequestRef::Signal { .. } => "signal",
         };
-        let mut trace = self.telemetry.start_trace(operation, self.clock.now());
+        // Authentication may have consumed the rest of the budget: check
+        // once more on the way into the engine, so an expired request is
+        // answered without paying for policy evaluation.
+        if ctx.expired() {
+            return self.refuse_expired(ctx, out);
+        }
+        let mut trace =
+            self.telemetry.start_trace_with_id(ctx.trace_id(), operation, self.clock.now());
+        if ctx.queue_wait() > SimDuration::ZERO {
+            trace.record(Stage::Admission, labels::PERMIT, queue_wait_nanos(ctx));
+        }
         let result = match request {
             WireRequestRef::Submit { rsl, account, work } => self
-                .submit_inner(caller, rsl, account, work, &mut trace)
+                .submit_inner(ctx, caller, rsl, account, work, &mut trace)
                 .map(EncodableResponse::Submitted),
             WireRequestRef::Cancel { contact } => self
-                .cancel_inner(caller, &crate::wire::contact_from_wire(contact), &mut trace)
+                .cancel_inner(ctx, caller, &crate::wire::contact_from_wire(contact), &mut trace)
                 .map(|()| EncodableResponse::Done),
             WireRequestRef::Status { contact } => self
-                .status_inner(caller, &crate::wire::contact_from_wire(contact), &mut trace)
+                .status_inner(ctx, caller, &crate::wire::contact_from_wire(contact), &mut trace)
                 .map(EncodableResponse::Report),
             WireRequestRef::Signal { contact, signal } => self
-                .signal_inner(caller, &crate::wire::contact_from_wire(contact), signal, &mut trace)
+                .signal_inner(
+                    ctx,
+                    caller,
+                    &crate::wire::contact_from_wire(contact),
+                    signal,
+                    &mut trace,
+                )
                 .map(|()| EncodableResponse::Done),
         };
         self.telemetry.finish_trace(trace);
@@ -1400,6 +1515,11 @@ fn encode_error_into(error: &GramError, out: &mut String) {
     if response.encode_into(out).is_err() {
         out.push_str(crate::wire::WireResponse::FALLBACK);
     }
+}
+
+/// A context's queue wait as span nanoseconds (saturating).
+fn queue_wait_nanos(ctx: &RequestContext) -> u64 {
+    ctx.queue_wait().as_micros().saturating_mul(1_000)
 }
 
 fn restriction_values(identity: &VerifiedIdentity) -> Vec<String> {

@@ -37,6 +37,7 @@ use std::fmt::Write as _;
 use std::str::FromStr;
 
 use gridauthz_clock::SimDuration;
+use gridauthz_core::AdmissionClass;
 use gridauthz_telemetry::labels;
 
 use crate::protocol::{GramError, GramSignal, JobContact, JobReport};
@@ -139,6 +140,13 @@ pub enum WireResponse {
     },
     /// A cancel/signal succeeded.
     Done,
+    /// The request was refused without service: admission queue full,
+    /// deadline expired while queued, or shutdown drain. The fast
+    /// answer the front-end writes when shedding load.
+    Busy {
+        /// Suggested client back-off before retrying, in microseconds.
+        retry_after_micros: u64,
+    },
     /// The request failed.
     Error {
         /// Stable error code (see [`error_code`]).
@@ -162,6 +170,7 @@ pub fn error_code(error: &GramError) -> &'static str {
         GramError::Scheduler(_) => "JOB_CONTROL_FAILURE",
         GramError::ProvisioningFailed(_) => "PROVISIONING_FAILED",
         GramError::SandboxViolation(_) => "SANDBOX_VIOLATION",
+        GramError::Overloaded { .. } => "BUSY",
     }
 }
 
@@ -338,6 +347,48 @@ impl<'a> WireFrame<'a> {
 
     fn require(&self, key: &str) -> Result<&'a str, WireDecodeError> {
         self.header(key).ok_or_else(|| malformed(format!("missing header {key:?}")))
+    }
+}
+
+/// Admission metadata an incoming request frame may carry: an optional
+/// `class:` header naming the admission lane (`interactive` or `batch`)
+/// and an optional `budget-micros:` header stating how long the client
+/// is willing to wait end-to-end. Absent headers mean the interactive
+/// lane with no explicit budget (the server applies the class default).
+///
+/// # Errors
+///
+/// [`WireDecodeError::Malformed`] for an unknown class name or a
+/// non-integer budget.
+pub fn admission_from_frame(
+    frame: &WireFrame<'_>,
+) -> Result<(AdmissionClass, Option<SimDuration>), WireDecodeError> {
+    let class = match frame.header("class") {
+        None => AdmissionClass::Interactive,
+        Some(text) => AdmissionClass::parse(text.trim())
+            .ok_or_else(|| malformed(format!("unknown admission class {text:?}")))?,
+    };
+    let budget = match frame.header("budget-micros") {
+        None => None,
+        Some(text) => Some(SimDuration::from_micros(
+            text.trim().parse().map_err(|_| malformed("budget-micros must be an integer"))?,
+        )),
+    };
+    Ok((class, budget))
+}
+
+/// Appends the admission headers [`admission_from_frame`] reads onto an
+/// already-encoded request (every encoded request ends in `\n`, so more
+/// `key: value` lines extend the same frame). `None` for the budget
+/// leaves the server to apply the class default.
+pub fn append_admission_headers(
+    out: &mut String,
+    class: AdmissionClass,
+    budget: Option<SimDuration>,
+) {
+    let _ = writeln!(out, "class: {}", class.as_str());
+    if let Some(budget) = budget {
+        let _ = writeln!(out, "budget-micros: {}", budget.as_micros());
     }
 }
 
@@ -533,8 +584,14 @@ impl WireResponse {
         }
     }
 
-    /// Builds the error response for a failed server call.
+    /// Builds the error response for a failed server call. Admission
+    /// refusals become the dedicated [`WireResponse::Busy`] answer
+    /// (carrying a machine-readable retry hint) rather than a generic
+    /// `ERROR` frame.
     pub fn from_error(error: &GramError) -> WireResponse {
+        if let GramError::Overloaded { retry_after, .. } = error {
+            return WireResponse::Busy { retry_after_micros: retry_after.as_micros() };
+        }
         WireResponse::Error { code: error_code(error).to_string(), message: error.to_string() }
     }
 
@@ -591,6 +648,9 @@ impl WireResponse {
                 }
             }
             WireResponse::Done => out.push_str("GRAM/1 DONE\n"),
+            WireResponse::Busy { retry_after_micros } => {
+                let _ = writeln!(out, "GRAM/1 BUSY\nretry-after-micros: {retry_after_micros}");
+            }
             WireResponse::Error { code, message } => {
                 clean("code", code)?;
                 clean("message", message)?;
@@ -625,6 +685,13 @@ impl WireResponse {
                     .map_err(|_| malformed("executed-micros must be an integer"))?,
             }),
             "DONE" => Ok(WireResponse::Done),
+            "BUSY" => Ok(WireResponse::Busy {
+                retry_after_micros: frame
+                    .require("retry-after-micros")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed("retry-after-micros must be an integer"))?,
+            }),
             "ERROR" => Ok(WireResponse::Error {
                 code: frame.require("code")?.to_string(),
                 message: frame.require("message")?.to_string(),
@@ -802,6 +869,7 @@ mod tests {
                 executed_micros: 0,
             },
             WireResponse::Done,
+            WireResponse::Busy { retry_after_micros: 2_500 },
             WireResponse::Error { code: "AUTHORIZATION_DENIED".into(), message: "no grant".into() },
         ];
         for resp in responses {
@@ -1101,6 +1169,50 @@ mod tests {
         assert_ne!(error_code(&denial), error_code(&failure));
     }
 
+    #[test]
+    fn overload_errors_answer_as_busy_frames() {
+        use gridauthz_core::ShedReason;
+        let error = GramError::Overloaded {
+            reason: ShedReason::QueueFull,
+            retry_after: SimDuration::from_millis(3),
+        };
+        assert_eq!(error_code(&error), "BUSY");
+        let resp = WireResponse::from_error(&error);
+        assert_eq!(resp, WireResponse::Busy { retry_after_micros: 3_000 });
+        let encoded = resp.encode().unwrap();
+        assert_eq!(encoded, "GRAM/1 BUSY\nretry-after-micros: 3000\n");
+        assert_eq!(WireResponse::decode(&encoded).unwrap(), resp);
+        // A BUSY frame without the retry hint is malformed.
+        assert!(WireResponse::decode("GRAM/1 BUSY\n").is_err());
+    }
+
+    #[test]
+    fn admission_headers_roundtrip_and_default() {
+        let req = WireRequest::Status { contact: "gram://site/jobs/4".into() };
+        let mut text = req.encode().unwrap();
+        append_admission_headers(
+            &mut text,
+            AdmissionClass::Batch,
+            Some(SimDuration::from_micros(750)),
+        );
+        let frame = WireFrame::decode(&text).unwrap();
+        // The extra headers don't disturb request decoding.
+        assert_eq!(WireRequestRef::from_frame(&frame).unwrap().into_owned(), req);
+        let (class, budget) = admission_from_frame(&frame).unwrap();
+        assert_eq!(class, AdmissionClass::Batch);
+        assert_eq!(budget, Some(SimDuration::from_micros(750)));
+
+        // Absent headers: interactive, server-chosen budget.
+        let frame = WireFrame::decode("GRAM/1 STATUS\njob: x\n").unwrap();
+        assert_eq!(admission_from_frame(&frame).unwrap(), (AdmissionClass::Interactive, None));
+
+        // Malformed metadata is rejected, not silently defaulted.
+        let frame = WireFrame::decode("GRAM/1 STATUS\njob: x\nclass: realtime\n").unwrap();
+        assert!(admission_from_frame(&frame).is_err());
+        let frame = WireFrame::decode("GRAM/1 STATUS\njob: x\nbudget-micros: soon\n").unwrap();
+        assert!(admission_from_frame(&frame).is_err());
+    }
+
     /// A header value: arbitrary text with no line breaks, including
     /// leading/trailing spaces, tabs, colons, and non-ASCII.
     fn value_strategy() -> impl Strategy<Value = String> {
@@ -1158,6 +1270,8 @@ mod tests {
                     }
                 ),
             Just(WireResponse::Done),
+            (0u64..1_000_000)
+                .prop_map(|retry_after_micros| WireResponse::Busy { retry_after_micros }),
             (value_strategy(), value_strategy())
                 .prop_map(|(code, message)| WireResponse::Error { code, message }),
         ]

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use gridauthz_clock::{SimClock, SimDuration};
 use gridauthz_core::{
-    paper, AuthorizationCallout, CalloutChain, CombinedPdp, Combiner, PdpCallout, Policy,
-    PolicyOrigin, PolicySource,
+    paper, AdmissionClass, AuthorizationCallout, CalloutChain, CombinedPdp, Combiner, PdpCallout,
+    Policy, PolicyOrigin, PolicySource, RequestContext,
 };
 use gridauthz_credential::{
     CertificateAuthority, Credential, DistinguishedName, GridMapEntry, GridMapFile, TrustStore,
@@ -55,6 +55,17 @@ impl Testbed {
     /// The member DNs, in order.
     pub fn member_dns(&self) -> Vec<DistinguishedName> {
         self.members.iter().map(Credential::identity).collect()
+    }
+
+    /// A request lifecycle context on the testbed's simulated clock:
+    /// `class`'s default deadline budget plus a freshly minted trace id
+    /// — the deterministic counterpart of the context the TCP front-end
+    /// builds at frame-assembly time. Drive it through
+    /// [`GramServer::handle_wire_pem_within`] to test deadline and
+    /// shedding behavior on simulated time, where expiry is an exact
+    /// `clock.advance`, not a wall-clock race.
+    pub fn request_context(&self, class: AdmissionClass) -> RequestContext {
+        self.server.request_context(class)
     }
 }
 
@@ -297,6 +308,37 @@ mod tests {
             .unwrap();
         let admin = GramClient::new(tb.admin.clone());
         admin.cancel(&tb.server, &contact).unwrap();
+    }
+
+    /// Deadline expiry on simulated time: the same wire request
+    /// permits inside its budget and is refused `BUSY` with the
+    /// deadline-expired label after an exact `clock.advance` past it —
+    /// no wall-clock races, the point of testing lifecycle behavior in
+    /// the simulator.
+    #[test]
+    fn expired_context_is_shed_deterministically() {
+        use gridauthz_credential::pem;
+
+        let tb = TestbedBuilder::new().members(1).build();
+        let frame = format!(
+            "{}GRAM/1 SUBMIT\nrsl: &(executable = TRANSP)(jobtag = NFC)(count = 2)\n\
+             work-micros: 1000\n\n",
+            pem::encode_chain(tb.members[0].chain())
+        );
+
+        let ctx = tb.request_context(AdmissionClass::Interactive);
+        assert_ne!(ctx.trace_id(), 0);
+        let mut out = String::new();
+        assert_eq!(tb.server.handle_wire_pem_within(&ctx, &frame, &mut out), "permit");
+        assert!(out.starts_with("GRAM/1 SUBMITTED\n"), "{out}");
+
+        let ctx = tb.request_context(AdmissionClass::Interactive);
+        tb.clock.advance(AdmissionClass::Interactive.default_budget());
+        tb.clock.advance(SimDuration::from_micros(1));
+        out.clear();
+        assert_eq!(tb.server.handle_wire_pem_within(&ctx, &frame, &mut out), "deadline-expired");
+        assert!(out.starts_with("GRAM/1 BUSY\n"), "{out}");
+        assert!(out.contains("retry-after-micros: "), "{out}");
     }
 
     #[test]

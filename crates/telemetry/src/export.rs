@@ -224,7 +224,9 @@ mod tests {
              gauge cache-misses = 0\n\
              gauge live-jobs = 7\n\
              gauge connections-accepted = 0\n\
-             gauge connections-active = 0\n"
+             gauge connections-active = 0\n\
+             gauge queue-depth-interactive = 0\n\
+             gauge queue-depth-batch = 0\n"
         );
         assert_eq!(
             snap.to_json(),
@@ -240,7 +242,8 @@ mod tests {
              \"buckets\":[{\"ge_nanos\":2048,\"count\":1}]}],\
              \"gauges\":{\"snapshot-generation\":2,\"cache-entries\":0,\"cache-hits\":0,\
              \"cache-misses\":0,\"live-jobs\":7,\"connections-accepted\":0,\
-             \"connections-active\":0}}"
+             \"connections-active\":0,\"queue-depth-interactive\":0,\
+             \"queue-depth-batch\":0}}"
         );
     }
 }

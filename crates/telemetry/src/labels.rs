@@ -4,13 +4,14 @@
 //! set is closed on purpose: a fixed vocabulary keeps the counter store a
 //! flat atomic array (no map, no lock, no allocation on the hot path) and
 //! keeps metric keys stable across the gram server, the simulator's
-//! `DecisionTally`, and the bench harness. Ten of the labels mirror the
-//! `GramError` variants one-to-one (see `gridauthz_gram::error_label`);
+//! `DecisionTally`, and the bench harness. Eleven of the labels mirror
+//! the `GramError` variants one-to-one (see `gridauthz_gram::error_label`);
 //! three name non-error outcomes, seven are the callout-supervision
 //! vocabulary (retries, timeouts, circuit-breaker transitions,
-//! degraded-mode decisions), and the last three classify wire-frame
-//! decode failures at the TCP front-end (partial frame at connection
-//! close, oversized frame, duplicated header).
+//! degraded-mode decisions), three classify wire-frame decode failures
+//! at the TCP front-end (partial frame at connection close, oversized
+//! frame, duplicated header), and the last three are the admission
+//! vocabulary (load shed, deadline expired in queue, shutdown drain).
 
 /// A granted stage or a permitted decision.
 pub const PERMIT: &str = "permit";
@@ -59,9 +60,18 @@ pub const FRAME_PARTIAL: &str = "frame-partial";
 pub const FRAME_OVERSIZED: &str = "frame-oversized";
 /// A frame repeated a header (injection attempt or corruption).
 pub const DUPLICATE_HEADER: &str = "duplicate-header";
+/// A request was refused without service because its admission lane was
+/// at its depth bound (load shedding).
+pub const SHED: &str = "shed";
+/// A request's deadline expired — while queued at the front-end, or
+/// before a layer could afford its remaining work.
+pub const EXPIRED: &str = "deadline-expired";
+/// A queued request was drained with a shutdown answer while the
+/// front-end was stopping.
+pub const SHUTDOWN: &str = "shutdown";
 
 /// Every label in the vocabulary, in canonical (reporting) order.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 26] = [
     PERMIT,
     HIT,
     MISS,
@@ -85,6 +95,9 @@ pub const ALL: [&str; 23] = [
     FRAME_PARTIAL,
     FRAME_OVERSIZED,
     DUPLICATE_HEADER,
+    SHED,
+    EXPIRED,
+    SHUTDOWN,
 ];
 
 /// Index of `label` in [`ALL`], or `None` for a string outside the

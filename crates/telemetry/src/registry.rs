@@ -104,11 +104,15 @@ pub enum Gauge {
     ConnectionsAccepted,
     /// Connections currently being served by front-end workers.
     ConnectionsActive,
+    /// Connections currently waiting in the interactive admission lane.
+    QueueDepthInteractive,
+    /// Connections currently waiting in the batch admission lane.
+    QueueDepthBatch,
 }
 
 impl Gauge {
     /// Number of gauges (array-index bound).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// Every gauge, in reporting order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -119,6 +123,8 @@ impl Gauge {
         Gauge::LiveJobs,
         Gauge::ConnectionsAccepted,
         Gauge::ConnectionsActive,
+        Gauge::QueueDepthInteractive,
+        Gauge::QueueDepthBatch,
     ];
 
     /// Stable lowercase name (metric key).
@@ -132,6 +138,8 @@ impl Gauge {
             Gauge::LiveJobs => "live-jobs",
             Gauge::ConnectionsAccepted => "connections-accepted",
             Gauge::ConnectionsActive => "connections-active",
+            Gauge::QueueDepthInteractive => "queue-depth-interactive",
+            Gauge::QueueDepthBatch => "queue-depth-batch",
         }
     }
 }
@@ -213,7 +221,34 @@ impl TelemetryRegistry {
     /// Opens a trace for one request arriving at simulated time `at`.
     #[must_use]
     pub fn start_trace(&self, operation: &'static str, at: SimTime) -> DecisionTrace {
-        let id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.allocate_trace_id();
+        DecisionTrace::new(id, operation, at)
+    }
+
+    /// Reserves a registry-unique trace id without opening a trace.
+    ///
+    /// The TCP front-end stamps each assembled frame's `RequestContext`
+    /// with an id at admission time; the server later opens the trace
+    /// with [`start_trace_with_id`](Self::start_trace_with_id), so one
+    /// id joins the front-end, engine, callout and audit views of a
+    /// request.
+    #[must_use]
+    pub fn allocate_trace_id(&self) -> u64 {
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Opens a trace under a previously allocated id (see
+    /// [`allocate_trace_id`](Self::allocate_trace_id)). An id of 0 —
+    /// "no id was allocated upstream" — falls back to allocating a
+    /// fresh one, so callers can pass a context's id unconditionally.
+    #[must_use]
+    pub fn start_trace_with_id(
+        &self,
+        id: u64,
+        operation: &'static str,
+        at: SimTime,
+    ) -> DecisionTrace {
+        let id = if id == 0 { self.allocate_trace_id() } else { id };
         DecisionTrace::new(id, operation, at)
     }
 
@@ -353,6 +388,21 @@ mod tests {
         let recent = registry.recent_traces();
         assert_eq!(recent.len(), 1);
         assert_eq!(recent[0].id(), id);
+    }
+
+    #[test]
+    fn preallocated_trace_ids_join_front_end_and_trace() {
+        let registry = TelemetryRegistry::new();
+        let id = registry.allocate_trace_id();
+        let trace = registry.start_trace_with_id(id, "submit", SimTime::EPOCH);
+        assert_eq!(trace.id(), id);
+        // A later plain start_trace never reuses the reserved id.
+        let next = registry.start_trace("status", SimTime::EPOCH);
+        assert_ne!(next.id(), id);
+        // Id 0 means "nothing allocated upstream": a fresh id is issued.
+        let fallback = registry.start_trace_with_id(0, "cancel", SimTime::EPOCH);
+        assert_ne!(fallback.id(), 0);
+        assert_ne!(fallback.id(), next.id());
     }
 
     #[test]

@@ -9,6 +9,10 @@ use gridauthz_clock::SimTime;
 /// local enforcement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
+    /// Admission queueing at the TCP front-end: the time between accept
+    /// and a worker picking the connection up, plus shed/expire/shutdown
+    /// verdicts for requests refused without service.
+    Admission,
     /// Wire-frame assembly and decode at the TCP front-end.
     FrameDecode,
     /// GSI certificate-chain validation at the gatekeeper.
@@ -29,10 +33,11 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (array-index bound for per-stage storage).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Admission,
         Stage::FrameDecode,
         Stage::Authenticate,
         Stage::GridMap,
@@ -53,6 +58,7 @@ impl Stage {
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
+            Stage::Admission => "admission",
             Stage::FrameDecode => "frame-decode",
             Stage::Authenticate => "authenticate",
             Stage::GridMap => "gridmap",

@@ -22,6 +22,9 @@ cargo run -p gridauthz-bench --bin harness --release -- t10
 echo "==> harness t11 (TCP front-end scaling, auth cache, allocations)"
 cargo run -p gridauthz-bench --bin harness --release -- t11
 
+echo "==> harness t12 (admission control: overload sweep, shed rate, p99)"
+cargo run -p gridauthz-bench --bin harness --release -- t12
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
