@@ -47,6 +47,28 @@ pub enum AdmissionClass {
     Batch,
 }
 
+/// Ceiling on the time budget a client may request via the wire
+/// `budget-micros` header.
+///
+/// Without a ceiling a client could mint an effectively-unbounded
+/// deadline (`budget-micros: 18446744073709551615`) and hold its worker
+/// (and every downstream layer honoring the deadline) for the life of
+/// the connection — the worker-pinning bug re-introduced through the
+/// front door. Five minutes comfortably covers the batch class's 30 s
+/// default plus generous queueing; see
+/// [`clamp_client_budget`].
+pub const MAX_CLIENT_BUDGET: SimDuration = SimDuration::from_mins(5);
+
+/// Clamps a client-supplied budget to [`MAX_CLIENT_BUDGET`].
+///
+/// Both the front-end (`frame_context`) and the wire helper
+/// (`admission_from_frame`) run every `budget-micros` header through
+/// this before stamping a deadline.
+#[must_use]
+pub fn clamp_client_budget(budget: SimDuration) -> SimDuration {
+    budget.min(MAX_CLIENT_BUDGET)
+}
+
 impl AdmissionClass {
     /// Stable lowercase name (wire header value and metric-label
     /// component).
@@ -413,6 +435,20 @@ mod tests {
         assert_eq!(ShedReason::QueueFull.as_str(), "queue-full");
         assert_eq!(ShedReason::DeadlineExpired.as_str(), "deadline-expired");
         assert_eq!(ShedReason::Shutdown.as_str(), "shutdown");
+    }
+
+    #[test]
+    fn client_budgets_are_clamped_to_the_ceiling() {
+        assert_eq!(
+            clamp_client_budget(SimDuration::from_millis(250)),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(clamp_client_budget(MAX_CLIENT_BUDGET), MAX_CLIENT_BUDGET);
+        assert_eq!(clamp_client_budget(SimDuration::from_hours(24)), MAX_CLIENT_BUDGET);
+        assert_eq!(clamp_client_budget(SimDuration::MAX), MAX_CLIENT_BUDGET);
+        // The ceiling leaves room for both default class budgets.
+        assert!(AdmissionClass::Interactive.default_budget() < MAX_CLIENT_BUDGET);
+        assert!(AdmissionClass::Batch.default_budget() < MAX_CLIENT_BUDGET);
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub use action::Action;
 pub use cache::{request_digest, CacheStats, DecisionCache};
 pub use combine::{CombinedDecision, CombinedPdp, Combiner, PolicyOrigin, PolicySource};
 pub use compile::{CompiledProgram, CompiledRequest};
-pub use context::{retry_budget, AdmissionClass, RequestContext, ShedReason};
+pub use context::{
+    clamp_client_budget, retry_budget, AdmissionClass, RequestContext, ShedReason,
+    MAX_CLIENT_BUDGET,
+};
 pub use decision::{Decision, DenyReason};
 pub use error::{AuthzFailure, PolicyParseError};
 pub use eval::Pdp;

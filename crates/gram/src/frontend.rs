@@ -41,16 +41,29 @@
 //!   worker and reused for every request of every connection: the warm
 //!   path is bytes-in → decision → bytes-out with no per-request heap
 //!   traffic in the serving layer itself.
+//! * **Connection lifecycle.** A serving connection can end five ways,
+//!   each observable: the peer closes (normal), an I/O error, the
+//!   connection's **admission deadline** passes (answered `BUSY`,
+//!   counted deadline-expired — checked on idle wakeups *and* after
+//!   every read, so neither a silent client nor a byte-trickling
+//!   slowloris can pin a worker), the **idle timeout** fires after
+//!   `idle_timeout` with no bytes at all (answered `IDLE_TIMEOUT`), or
+//!   the per-connection **error budget** is exhausted by refused frames
+//!   (each answered with a typed error frame in-stream; the budget caps
+//!   how long a garbage-spewing peer is tolerated).
 //! * **Real time.** Service timing uses a [`TimeSource`] —
 //!   [`WallClock`] by default — so the front-end measures wall time
 //!   while the simulation's [`SimClock`](gridauthz_clock::SimClock)
 //!   remains the authority everywhere behind the decision boundary.
 //!
 //! Telemetry: accepted/active connection gauges, per-lane queue-depth
-//! gauges, per-frame decode and end-to-end service histograms
-//! ([`Stage::FrameDecode`], [`Stage::Service`]), admission outcomes
-//! under [`Stage::Admission`] (shed / deadline-expired / shutdown), and
-//! classified decode-error labels.
+//! gauges, worker-pool occupancy gauges (`WorkersTotal`,
+//! `OldestConnectionAgeMicros` — saturated active connections plus a
+//! growing oldest-age is the signature of pinning), per-frame decode and
+//! end-to-end service histograms ([`Stage::FrameDecode`],
+//! [`Stage::Service`]), admission outcomes under [`Stage::Admission`]
+//! (shed / deadline-expired / shutdown / idle-timeout / error-budget),
+//! and classified decode-error labels.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -66,7 +79,8 @@ use gridauthz_telemetry::{labels, Gauge, Stage, TelemetryRegistry};
 
 use crate::server::GramServer;
 use crate::wire::{
-    decode_error_label, FrameAssembler, WireDecodeError, WireFrame, MAX_FRAME_BYTES,
+    decode_error_label, request_line_offset, FrameAssembler, WireDecodeError, WireFrame,
+    MAX_FRAME_BYTES,
 };
 
 /// Tunables for [`Frontend::bind`].
@@ -77,7 +91,8 @@ pub struct FrontendConfig {
     /// Per-frame size limit handed to each connection's assembler.
     pub max_frame_bytes: usize,
     /// Socket read timeout — the granularity at which an idle worker
-    /// notices a stop request or an expired connection deadline.
+    /// notices a stop request, an expired connection deadline, or an
+    /// idle-read timeout.
     pub read_timeout: Duration,
     /// Depth bound of the interactive admission lane.
     pub queue_bound_interactive: usize,
@@ -86,6 +101,33 @@ pub struct FrontendConfig {
     /// The retry hint written in the `BUSY` answer when a connection is
     /// shed because both lanes are full.
     pub shed_retry_after: SimDuration,
+    /// Connection budget stamped on interactive-lane admissions (the
+    /// connection's admission deadline; a slow client is cut off with a
+    /// `BUSY` answer when it passes).
+    pub budget_interactive: SimDuration,
+    /// Connection budget stamped on batch-lane admissions.
+    pub budget_batch: SimDuration,
+    /// How long a connection may sit silent — no bytes at all — before
+    /// it is closed with an `IDLE_TIMEOUT` error to free its worker.
+    /// Measured on the front-end clock between successful reads.
+    pub idle_timeout: SimDuration,
+    /// Refused frames (malformed, oversized, duplicate-header) a
+    /// connection may accumulate before it is closed. Each refused frame
+    /// is answered with a typed `GRAM/1 ERROR` frame; exhausting the
+    /// budget closes the connection and counts once under
+    /// [`Stage::Admission`] / `error-budget`.
+    pub error_budget: u32,
+}
+
+impl FrontendConfig {
+    /// The connection budget for `class`'s admission lane.
+    #[must_use]
+    pub fn lane_budget(&self, class: AdmissionClass) -> SimDuration {
+        match class {
+            AdmissionClass::Interactive => self.budget_interactive,
+            AdmissionClass::Batch => self.budget_batch,
+        }
+    }
 }
 
 impl Default for FrontendConfig {
@@ -97,6 +139,10 @@ impl Default for FrontendConfig {
             queue_bound_interactive: 64,
             queue_bound_batch: 64,
             shed_retry_after: SimDuration::from_millis(10),
+            budget_interactive: AdmissionClass::Interactive.default_budget(),
+            budget_batch: AdmissionClass::Batch.default_budget(),
+            idle_timeout: SimDuration::from_secs(10),
+            error_budget: 4,
         }
     }
 }
@@ -153,6 +199,13 @@ struct Shared {
     active: AtomicU64,
     /// Connections refused at accept because both lanes were full.
     shed: AtomicU64,
+    /// Per-worker serve-start stamp: micros-plus-one on the front-end
+    /// clock, 0 while the worker is idle. The non-zero minimum across
+    /// workers is the oldest connection currently being served — the
+    /// [`Gauge::OldestConnectionAgeMicros`] source, which together with
+    /// `ConnectionsActive == WorkersTotal` makes worker pinning
+    /// observable from the outside.
+    serving_since: Box<[AtomicU64]>,
 }
 
 impl Shared {
@@ -164,6 +217,34 @@ impl Shared {
         self.telemetry()
             .set_gauge(Gauge::ConnectionsAccepted, self.accepted.load(Ordering::Relaxed));
         self.telemetry().set_gauge(Gauge::ConnectionsActive, self.active.load(Ordering::Relaxed));
+    }
+
+    fn note_serve_start(&self, worker: usize) {
+        let stamp = self.clock.now().as_micros().saturating_add(1);
+        self.serving_since[worker].store(stamp, Ordering::Relaxed);
+        self.publish_connection_age();
+    }
+
+    fn note_serve_end(&self, worker: usize) {
+        self.serving_since[worker].store(0, Ordering::Relaxed);
+        self.publish_connection_age();
+    }
+
+    /// Publishes the age of the longest-lived connection currently being
+    /// served (0 when every worker is idle). Refreshed on serve
+    /// start/end and on idle poll wakeups, so a stuck connection keeps
+    /// the gauge growing even while nothing else happens.
+    fn publish_connection_age(&self) {
+        let oldest = self
+            .serving_since
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&stamp| stamp != 0)
+            .min();
+        let age = oldest.map_or(0, |stamp| {
+            self.clock.now().as_micros().saturating_sub(stamp.saturating_sub(1))
+        });
+        self.telemetry().set_gauge(Gauge::OldestConnectionAgeMicros, age);
     }
 
     /// Publishes the lane depths; called with the queue lock held so the
@@ -224,15 +305,17 @@ impl Frontend {
             accepted: AtomicU64::new(0),
             active: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            serving_since: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
         });
+        shared.telemetry().set_gauge(Gauge::WorkersTotal, worker_count as u64);
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
         let workers = (0..worker_count)
-            .map(|_| {
+            .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, index))
             })
             .collect();
         Ok(Frontend { addr, shared, acceptor: Some(acceptor), workers })
@@ -315,7 +398,9 @@ fn answer_unserved(
         ShedReason::QueueFull => shared.config.shed_retry_after,
         // The useful hint after an expiry or a shutdown is "come back
         // with a fresh budget", not "poll immediately".
-        ShedReason::DeadlineExpired | ShedReason::Shutdown => ctx.class().default_budget(),
+        ShedReason::DeadlineExpired | ShedReason::Shutdown => {
+            shared.config.lane_budget(ctx.class())
+        }
     };
     let _ = stream.set_nodelay(true);
     let answer = format!("GRAM/1 BUSY\nretry-after-micros: {}\n\n", retry_after.as_micros());
@@ -354,7 +439,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                         let ctx = RequestContext::with_budget(
                             Arc::clone(&shared.clock),
                             class,
-                            class.default_budget(),
+                            shared.config.lane_budget(class),
                         );
                         let lane = match class {
                             AdmissionClass::Interactive => &mut queue.interactive,
@@ -386,7 +471,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-fn worker_loop(shared: &Shared) -> WorkerStats {
+fn worker_loop(shared: &Shared, index: usize) -> WorkerStats {
     let mut stats = WorkerStats::default();
     // The worker's reusable buffers: one read scratch, one frame
     // assembler, one response buffer — allocated here, reused for every
@@ -422,9 +507,11 @@ fn worker_loop(shared: &Shared) -> WorkerStats {
         }
         shared.active.fetch_add(1, Ordering::Relaxed);
         shared.publish_gauges();
+        shared.note_serve_start(index);
         stats.frames +=
             serve_connection(shared, entry, &mut read_buf, &mut assembler, &mut response);
         stats.connections += 1;
+        shared.note_serve_end(index);
         shared.active.fetch_sub(1, Ordering::Relaxed);
         shared.publish_gauges();
     }
@@ -444,7 +531,9 @@ fn frame_context(
 ) -> RequestContext {
     let mut class = conn.class();
     let mut budget = None;
-    if let Some(split) = frame.find("GRAM/1 ") {
+    // Anchor on the request line's *line start* — a PEM blob or header
+    // value containing the text `GRAM/1 ` must not mis-anchor the parse.
+    if let Some(split) = request_line_offset(frame) {
         if let Ok(parsed) = WireFrame::decode(&frame[split..]) {
             if let Some(value) =
                 parsed.header("class").and_then(|v| AdmissionClass::parse(v.trim()))
@@ -454,7 +543,9 @@ fn frame_context(
             if let Some(micros) =
                 parsed.header("budget-micros").and_then(|v| v.trim().parse::<u64>().ok())
             {
-                budget = Some(SimDuration::from_micros(micros));
+                // Clamped: a client cannot mint an unbounded deadline.
+                budget =
+                    Some(gridauthz_core::clamp_client_budget(SimDuration::from_micros(micros)));
             }
         }
     }
@@ -464,9 +555,17 @@ fn frame_context(
     ctx.with_trace_id(shared.telemetry().allocate_trace_id())
 }
 
-/// Serves one connection until the peer closes (or errors, or the
-/// connection's admission deadline passes). Returns the number of
-/// frames answered.
+/// Serves one connection until the peer closes, errors, goes silent past
+/// the idle timeout, exhausts its error budget, or the connection's
+/// admission deadline passes. Returns the number of frames answered.
+///
+/// The deadline and idle checks both live on the `WouldBlock`/`TimedOut`
+/// wakeup path *and* (for the deadline) after every successful read:
+/// a completely silent client is cut off at the idle timeout, and a
+/// slowloris trickling bytes fast enough to dodge the idle timeout is
+/// still cut off when the connection budget runs out. Either way the
+/// worker returns to the pool — N misbehaving clients can no longer pin
+/// all N workers forever.
 fn serve_connection(
     shared: &Shared,
     entry: QueuedConnection,
@@ -487,6 +586,8 @@ fn serve_connection(
     // frames pipelined behind it did not stand in the accept queue.
     let mut queue_wait = ctx.queue_wait();
     let mut frames = 0;
+    let mut errors = 0u32;
+    let mut last_activity = shared.clock.now();
     loop {
         match stream.read(read_buf) {
             Ok(0) => {
@@ -500,6 +601,7 @@ fn serve_connection(
                 break;
             }
             Ok(n) => {
+                last_activity = shared.clock.now();
                 assembler.push(&read_buf[..n]);
                 if !drain_frames(
                     shared,
@@ -509,7 +611,14 @@ fn serve_connection(
                     assembler,
                     response,
                     &mut frames,
+                    &mut errors,
                 ) {
+                    break;
+                }
+                // A trickling (slowloris) client never hits the idle
+                // path, so the connection deadline is enforced here too.
+                if ctx.expired() {
+                    expire_connection(shared, &mut stream, &ctx);
                     break;
                 }
             }
@@ -517,6 +626,28 @@ fn serve_connection(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // This worker is awake anyway: let the pinning gauge
+                // grow while the connection sits here.
+                shared.publish_connection_age();
+                // The documented contract: close when the connection's
+                // admission deadline passes. (This check missing was the
+                // worker-pinning bug — N silent clients deadlocked all N
+                // workers.)
+                if ctx.expired() {
+                    expire_connection(shared, &mut stream, &ctx);
+                    break;
+                }
+                if shared.clock.now().saturating_since(last_activity) >= shared.config.idle_timeout
+                {
+                    shared.telemetry().record(Stage::Admission, labels::IDLE_TIMEOUT);
+                    write_error_frame(
+                        &mut stream,
+                        response,
+                        "IDLE_TIMEOUT",
+                        "connection idle past the front-end idle timeout",
+                    );
                     break;
                 }
             }
@@ -529,8 +660,40 @@ fn serve_connection(
     frames
 }
 
+/// Cuts off a connection whose admission deadline passed mid-service:
+/// one `BUSY` frame with a fresh-budget retry hint, counted under
+/// [`Stage::Admission`] / deadline-expired, then the caller closes.
+fn expire_connection(shared: &Shared, stream: &mut TcpStream, ctx: &RequestContext) {
+    shared.telemetry().record(Stage::Admission, labels::EXPIRED);
+    let retry_after = shared.config.lane_budget(ctx.class());
+    let answer = format!("GRAM/1 BUSY\nretry-after-micros: {}\n\n", retry_after.as_micros());
+    let _ = stream.write_all(answer.as_bytes());
+}
+
+/// Writes one `GRAM/1 ERROR` frame through the reusable response buffer.
+fn write_error_frame(stream: &mut TcpStream, response: &mut String, code: &str, message: &str) {
+    response.clear();
+    let answer =
+        crate::wire::WireResponse::Error { code: code.to_string(), message: message.to_string() };
+    if answer.encode_into(response).is_err() {
+        response.push_str(crate::wire::WireResponse::FALLBACK);
+    }
+    response.push('\n');
+    let _ = stream.write_all(response.as_bytes());
+}
+
 /// Answers every complete frame currently buffered. Returns `false` when
-/// the connection must close (decode-stream error or write failure).
+/// the connection must close (write failure, or its error budget is
+/// exhausted).
+///
+/// Refused frames — malformed, oversized, duplicate-header — are
+/// answered in-stream with a typed error frame and the connection keeps
+/// being served: the assembler's error contract guarantees the offending
+/// bytes were consumed, so the stream position is trustworthy. Each
+/// refusal spends one unit of the connection's error budget; exhausting
+/// it closes the connection (a peer producing nothing but garbage does
+/// not get to hold a worker).
+#[allow(clippy::too_many_arguments)]
 fn drain_frames(
     shared: &Shared,
     conn: &RequestContext,
@@ -539,6 +702,7 @@ fn drain_frames(
     assembler: &mut FrameAssembler,
     response: &mut String,
     frames: &mut u64,
+    errors: &mut u32,
 ) -> bool {
     loop {
         response.clear();
@@ -549,9 +713,10 @@ fn drain_frames(
             let label = shared.server.handle_wire_pem_within(&ctx, frame, response);
             let micros = shared.clock.now().as_micros().saturating_sub(start.as_micros());
             shared.telemetry().record_timed(Stage::Service, label, micros.saturating_mul(1000));
+            label
         });
         match outcome {
-            Ok(Some(())) => {
+            Ok(Some(label)) => {
                 // One extra '\n' turns the response into a frame of its
                 // own, so clients can pipeline with the same assembler.
                 response.push('\n');
@@ -559,16 +724,30 @@ fn drain_frames(
                 if stream.write_all(response.as_bytes()).is_err() {
                     return false;
                 }
+                // A frame the protocol layer refused (unparseable request
+                // or header injection) spends error budget even though it
+                // was valid UTF-8 and well-delimited — otherwise a
+                // garbage-spewing client could hold its worker for the
+                // whole connection budget. Service-level denials
+                // (authentication, authorization, unknown job) are honest
+                // protocol use and spend nothing.
+                if label == labels::BAD_REQUEST || label == labels::DUPLICATE_HEADER {
+                    *errors += 1;
+                    if *errors >= shared.config.error_budget.max(1) {
+                        shared.telemetry().record(Stage::Admission, labels::ERROR_BUDGET);
+                        return false;
+                    }
+                }
             }
             Ok(None) => return true,
             Err(e) => {
-                // Answer with a protocol error, count the shape, and
-                // drop the connection — after a framing failure the
-                // stream position is untrustworthy.
+                // Answer with the typed protocol error and count the
+                // shape; the assembler consumed the offending frame, so
+                // keep serving until the error budget runs out.
                 shared.telemetry().record(Stage::FrameDecode, decode_error_label(&e));
                 response.clear();
                 let answer = crate::wire::WireResponse::Error {
-                    code: "BAD_REQUEST".to_string(),
+                    code: e.code().to_string(),
                     message: e.to_string(),
                 };
                 if answer.encode_into(response).is_err() {
@@ -576,8 +755,14 @@ fn drain_frames(
                 }
                 response.push('\n');
                 *frames += 1;
-                let _ = stream.write_all(response.as_bytes());
-                return false;
+                if stream.write_all(response.as_bytes()).is_err() {
+                    return false;
+                }
+                *errors += 1;
+                if *errors >= shared.config.error_budget.max(1) {
+                    shared.telemetry().record(Stage::Admission, labels::ERROR_BUDGET);
+                    return false;
+                }
             }
         }
     }

@@ -39,6 +39,7 @@ mod protocol;
 pub mod provisioning;
 mod server;
 pub mod shard;
+pub mod torture;
 pub mod wire;
 
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};

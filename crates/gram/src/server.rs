@@ -1338,7 +1338,9 @@ impl GramServer {
         if ctx.expired() {
             return self.refuse_expired(ctx, out);
         }
-        let Some(split) = message.find("GRAM/1 ") else {
+        // Line-start anchoring: a PEM blob containing the literal text
+        // `GRAM/1 ` must not mis-split credential from request.
+        let Some(split) = crate::wire::request_line_offset(message) else {
             let error = GramError::BadRequest("message has no GRAM/1 request".into());
             encode_error_into(&error, out);
             return error_label(&error);

@@ -199,6 +199,23 @@ pub enum WireDecodeError {
     Malformed(Box<str>),
 }
 
+impl WireDecodeError {
+    /// The stable protocol code the front-end answers this failure with
+    /// (the `code:` header of the `GRAM/1 ERROR` frame). One code per
+    /// variant, mirroring [`decode_error_label`]'s telemetry labels, so
+    /// a client can tell "your frame was too big" from "your frame was
+    /// gibberish" and react accordingly.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireDecodeError::Partial => "PARTIAL_FRAME",
+            WireDecodeError::Oversized { .. } => "OVERSIZED_FRAME",
+            WireDecodeError::DuplicateHeader { .. } => "DUPLICATE_HEADER",
+            WireDecodeError::Malformed(_) => "BAD_REQUEST",
+        }
+    }
+}
+
 impl fmt::Display for WireDecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "malformed GRAM message: ")?;
@@ -350,11 +367,34 @@ impl<'a> WireFrame<'a> {
     }
 }
 
+/// Byte offset where the GRAM request line (`GRAM/1 <VERB>`) begins
+/// inside `message`, or `None` when no request line is present.
+///
+/// Only a line *start* matches — offset 0, or the byte right after a
+/// `\n` — so a PEM blob or a header value that merely *contains* the
+/// text `GRAM/1 ` cannot mis-anchor the split between credential bytes
+/// and request frame. (The bug this replaces used a bare `find`, which
+/// anchored on the first occurrence anywhere in the frame.)
+#[must_use]
+pub fn request_line_offset(message: &str) -> Option<usize> {
+    if message.starts_with("GRAM/1 ") {
+        return Some(0);
+    }
+    let bytes = message.as_bytes();
+    message.match_indices("GRAM/1 ").find(|&(i, _)| i > 0 && bytes[i - 1] == b'\n').map(|(i, _)| i)
+}
+
 /// Admission metadata an incoming request frame may carry: an optional
 /// `class:` header naming the admission lane (`interactive` or `batch`)
 /// and an optional `budget-micros:` header stating how long the client
 /// is willing to wait end-to-end. Absent headers mean the interactive
 /// lane with no explicit budget (the server applies the class default).
+///
+/// The budget is clamped to
+/// [`MAX_CLIENT_BUDGET`](gridauthz_core::MAX_CLIENT_BUDGET): a client
+/// cannot mint an effectively-unbounded deadline and hold a worker (and
+/// every downstream layer honoring the deadline) for the life of the
+/// connection.
 ///
 /// # Errors
 ///
@@ -370,9 +410,9 @@ pub fn admission_from_frame(
     };
     let budget = match frame.header("budget-micros") {
         None => None,
-        Some(text) => Some(SimDuration::from_micros(
+        Some(text) => Some(gridauthz_core::clamp_client_budget(SimDuration::from_micros(
             text.trim().parse().map_err(|_| malformed("budget-micros must be an integer"))?,
-        )),
+        ))),
     };
     Ok((class, budget))
 }
@@ -711,17 +751,58 @@ impl WireResponse {
 /// read. The internal buffer is reused across frames (bytes are
 /// compacted with `copy_within`, never reallocated on the steady state),
 /// which is what makes the per-connection hot path allocation-free.
+///
+/// # Error contract
+///
+/// Every error [`next_frame`](Self::next_frame) returns **consumes the
+/// offending bytes**, leaving the stream positioned at the next frame
+/// boundary — the caller may answer the error on the wire and keep
+/// serving the connection. Concretely:
+///
+/// * `Malformed` (non-UTF-8 frame): the complete frame is consumed.
+/// * `Oversized`, terminated: the complete frame is consumed.
+/// * `Oversized`, unterminated (the pending tail outgrew the limit
+///   before a delimiter arrived): the buffered bytes are dropped and the
+///   assembler enters *discard mode*, silently eating bytes until the
+///   frame's eventual delimiter (memory stays bounded no matter how much
+///   the peer sends). The error is reported exactly once per oversized
+///   frame.
+///
+/// A `\r\n\r\n` sequence also terminates a frame: a client speaking
+/// HTTP-style CRLF line endings produces frames [`WireFrame::decode`]
+/// rejects ("carriage return in message"), and recognizing its
+/// terminator turns that mistake into an immediate `BAD_REQUEST` answer
+/// instead of a silent stall waiting for a bare `\n\n` that will never
+/// come. This is a deliberate decision, pinned by tests.
 #[derive(Debug)]
 pub struct FrameAssembler {
     buf: Vec<u8>,
     limit: usize,
+    /// Eating an unterminated-oversized frame's remaining bytes; cleared
+    /// when its delimiter finally arrives.
+    discarding: bool,
+}
+
+/// Frame terminator found in `buf`: `(text_end, consumed)` — the frame
+/// text is `buf[..text_end]` and `buf[..consumed]` is consumed with it.
+/// Recognizes `\n\n` and the CRLF form `\r\n\r\n`, whichever starts
+/// first.
+fn find_terminator(buf: &[u8]) -> Option<(usize, usize)> {
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    match (lf, crlf) {
+        (Some(a), Some(b)) if b < a => Some((b + 2, b + 4)),
+        (Some(a), _) => Some((a + 1, a + 2)),
+        (None, Some(b)) => Some((b + 2, b + 4)),
+        (None, None) => None,
+    }
 }
 
 impl FrameAssembler {
     /// An empty assembler enforcing `limit` bytes per frame.
     #[must_use]
     pub fn new(limit: usize) -> FrameAssembler {
-        FrameAssembler { buf: Vec::new(), limit }
+        FrameAssembler { buf: Vec::new(), limit, discarding: false }
     }
 
     /// An empty assembler with the protocol default limit.
@@ -731,7 +812,18 @@ impl FrameAssembler {
     }
 
     /// Appends freshly read bytes.
+    ///
+    /// Keep-alive newlines arriving at a frame boundary are dropped on
+    /// the way in (rather than lazily skipped on every
+    /// [`residue`](Self::residue) call), which is what makes `residue`
+    /// O(1).
     pub fn push(&mut self, bytes: &[u8]) {
+        let bytes = if self.buf.is_empty() && !self.discarding {
+            let lead = bytes.iter().position(|&b| b != b'\n').unwrap_or(bytes.len());
+            &bytes[lead..]
+        } else {
+            bytes
+        };
         self.buf.extend_from_slice(bytes);
     }
 
@@ -742,38 +834,63 @@ impl FrameAssembler {
     ///
     /// # Errors
     ///
-    /// [`WireDecodeError::Oversized`] when the unterminated tail already
-    /// exceeds the frame limit, and `Malformed` for non-UTF-8 frame
-    /// bytes (the offending frame is consumed so the caller may answer
-    /// and continue).
+    /// [`WireDecodeError::Oversized`] when a frame exceeds the limit —
+    /// terminated or not — and `Malformed` for non-UTF-8 frame bytes.
+    /// Every error consumes the offending bytes (see the type-level
+    /// error contract), so the caller may answer on the wire and keep
+    /// draining.
     pub fn next_frame<T>(
         &mut self,
         handle: impl FnOnce(&str) -> T,
     ) -> Result<Option<T>, WireDecodeError> {
-        // Skip blank lines between frames (the delimiter itself, plus
-        // any extra keep-alive newlines a client may send).
-        let start = self.buf.iter().position(|&b| b != b'\n').unwrap_or(self.buf.len());
-        let terminator = self.buf[start..].windows(2).position(|w| w == b"\n\n").map(|i| start + i);
-        let Some(end) = terminator else {
-            if start > 0 {
-                self.consume(start);
+        if self.discarding {
+            match find_terminator(&self.buf) {
+                Some((_, consumed)) => {
+                    self.consume(consumed);
+                    self.discarding = false;
+                }
+                None => {
+                    // Drop everything except a possible delimiter prefix
+                    // straddling this read and the next.
+                    let keep = self.delimiter_prefix_len();
+                    self.consume(self.buf.len() - keep);
+                    return Ok(None);
+                }
             }
+        }
+        // Skip blank lines between frames (extra keep-alive newlines a
+        // client may send; `push` already strips them at a clean
+        // boundary, this catches ones buffered behind a frame).
+        let lead = self.buf.iter().position(|&b| b != b'\n').unwrap_or(self.buf.len());
+        if lead > 0 {
+            self.consume(lead);
+        }
+        let Some((text_end, consumed)) = find_terminator(&self.buf) else {
             let pending = self.buf.len();
             if pending > self.limit {
+                // Unterminated and already too big: report once, drop
+                // the bytes, and eat the rest of the frame silently.
+                let keep = self.delimiter_prefix_len();
+                self.consume(pending - keep);
+                self.discarding = true;
                 return Err(WireDecodeError::Oversized { size: pending, limit: self.limit });
             }
             return Ok(None);
         };
-        // The frame text keeps its final '\n'; the second '\n' is the
-        // delimiter and is consumed with it.
-        match std::str::from_utf8(&self.buf[start..=end]) {
+        if text_end > self.limit {
+            self.consume(consumed);
+            return Err(WireDecodeError::Oversized { size: text_end, limit: self.limit });
+        }
+        // The frame text keeps its final '\n' (or '\r\n'); the rest of
+        // the terminator is the delimiter and is consumed with it.
+        match std::str::from_utf8(&self.buf[..text_end]) {
             Ok(text) => {
                 let out = handle(text);
-                self.consume(end + 2);
+                self.consume(consumed);
                 Ok(Some(out))
             }
             Err(_) => {
-                self.consume(end + 2);
+                self.consume(consumed);
                 Err(malformed("frame is not valid UTF-8"))
             }
         }
@@ -781,16 +898,29 @@ impl FrameAssembler {
 
     /// Bytes buffered for a frame that has not completed yet. Non-zero
     /// at connection close means the peer hung up mid-frame
-    /// ([`WireDecodeError::Partial`]).
+    /// ([`WireDecodeError::Partial`]). O(1): leading keep-alive newlines
+    /// are stripped eagerly, and bytes being discarded for an
+    /// already-reported oversized frame don't count.
     #[must_use]
     pub fn residue(&self) -> usize {
-        self.buf.iter().skip_while(|&&b| b == b'\n').count()
+        if self.discarding {
+            0
+        } else {
+            self.buf.len()
+        }
     }
 
-    /// Discards all buffered bytes (capacity is kept), so one assembler
-    /// can be reused across connections.
+    /// Discards all buffered bytes and any discard-mode state (capacity
+    /// is kept), so one assembler can be reused across connections.
     pub fn reset(&mut self) {
         self.buf.clear();
+        self.discarding = false;
+    }
+
+    /// Length of the longest buffer suffix that could be the start of a
+    /// frame terminator split across reads (at most 3: `\r\n\r`).
+    fn delimiter_prefix_len(&self) -> usize {
+        self.buf.iter().rev().take(3).take_while(|&&b| b == b'\n' || b == b'\r').count()
     }
 
     fn consume(&mut self, n: usize) {
@@ -1143,12 +1273,15 @@ mod tests {
         assembler.push(b"GRAM/1 STATUS\n");
         assert_eq!(assembler.next_frame(|_| ()).unwrap(), None);
         assert!(assembler.residue() > 0, "unterminated bytes are pending");
-        // Growing past the limit without a terminator is oversized.
+        // Growing past the limit without a terminator is oversized,
+        // reported exactly once.
         assembler.push(&[b'x'; 32]);
         assert!(matches!(
             assembler.next_frame(|_| ()),
             Err(WireDecodeError::Oversized { size: 46, limit: 16 })
         ));
+        assert_eq!(assembler.next_frame(|_| ()).unwrap(), None, "no duplicate report");
+        assert_eq!(assembler.residue(), 0, "discarded bytes are not partial-frame residue");
         // Invalid UTF-8 is reported and the frame is consumed.
         let mut assembler = FrameAssembler::with_default_limit();
         assembler.push(b"GRAM/1 \xff\n\nGRAM/1 DONE\n\n");
@@ -1157,6 +1290,138 @@ mod tests {
             assembler.next_frame(|t| t.to_string()).unwrap().as_deref(),
             Some("GRAM/1 DONE\n")
         );
+    }
+
+    /// Regression for the error asymmetry fixed in this module: an
+    /// oversized frame — terminated or not — is consumed like any other
+    /// bad frame, so a valid frame behind it on the same connection
+    /// still parses.
+    #[test]
+    fn oversized_frame_is_consumed_and_the_stream_resynchronizes() {
+        // Terminated oversized frame, pipelined with a valid one.
+        let mut assembler = FrameAssembler::new(16);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"GRAM/1 STATUS\njob: ");
+        stream.extend_from_slice(&[b'x'; 64]);
+        stream.extend_from_slice(b"\n\nGRAM/1 DONE\n\n");
+        assembler.push(&stream);
+        assert!(matches!(
+            assembler.next_frame(|_| ()),
+            Err(WireDecodeError::Oversized { limit: 16, .. })
+        ));
+        assert_eq!(
+            assembler.next_frame(|t| t.to_string()).unwrap().as_deref(),
+            Some("GRAM/1 DONE\n"),
+            "the stream resynchronizes after the oversized frame"
+        );
+
+        // Unterminated: the tail outgrows the limit first, the delimiter
+        // and a valid frame arrive over later reads.
+        let mut assembler = FrameAssembler::new(16);
+        assembler.push(&[b'y'; 40]);
+        assert!(matches!(
+            assembler.next_frame(|_| ()),
+            Err(WireDecodeError::Oversized { size: 40, limit: 16 })
+        ));
+        assembler.push(&[b'y'; 500]); // the frame keeps coming; memory stays bounded
+        assert_eq!(assembler.next_frame(|_| ()).unwrap(), None);
+        assert!(assembler.residue() <= 3, "discarded bytes are dropped, not buffered");
+        assembler.push(b"tail\n"); // delimiter split across reads: '\n' +
+        assembler.push(b"\nGRAM/1 DONE\n\n"); // '\n' spans two pushes
+        assert_eq!(
+            assembler.next_frame(|t| t.to_string()).unwrap().as_deref(),
+            Some("GRAM/1 DONE\n")
+        );
+        assert_eq!(assembler.residue(), 0);
+    }
+
+    /// Pinned decision: a `\r\n\r\n` sequence terminates a frame, and the
+    /// CRLF frame text is then rejected by the decoder ("carriage return
+    /// in message") — a client speaking HTTP-style line endings gets an
+    /// immediate BAD_REQUEST answer instead of stalling forever waiting
+    /// for a bare `\n\n`.
+    #[test]
+    fn crlf_terminated_frames_are_detected_and_rejected() {
+        let mut assembler = FrameAssembler::with_default_limit();
+        assembler.push(b"GRAM/1 STATUS\r\njob: x\r\n\r\nGRAM/1 DONE\n\n");
+        let verdict = assembler
+            .next_frame(|text| {
+                assert_eq!(text, "GRAM/1 STATUS\r\njob: x\r\n");
+                WireFrame::decode(text).unwrap_err()
+            })
+            .unwrap()
+            .expect("CRLF frame must terminate");
+        assert!(verdict.to_string().contains("carriage return"), "{verdict}");
+        assert_eq!(verdict.code(), "BAD_REQUEST");
+        // The LF frame behind it still parses.
+        assert_eq!(
+            assembler.next_frame(|t| t.to_string()).unwrap().as_deref(),
+            Some("GRAM/1 DONE\n")
+        );
+        assert_eq!(assembler.residue(), 0);
+    }
+
+    #[test]
+    fn residue_is_exact_and_keepalive_newlines_are_stripped_eagerly() {
+        let mut assembler = FrameAssembler::with_default_limit();
+        assembler.push(b"\n\n\n");
+        assert_eq!(assembler.residue(), 0, "keep-alive newlines are not residue");
+        assembler.push(b"GRAM/1 ST");
+        assert_eq!(assembler.residue(), 9);
+        assert_eq!(assembler.next_frame(|_| ()).unwrap(), None);
+        assert_eq!(assembler.residue(), 9, "draining does not disturb a partial frame");
+        assembler.reset();
+        assert_eq!(assembler.residue(), 0);
+        // After reset, leading keep-alive newlines are again stripped.
+        assembler.push(b"\nGRAM/1 DONE\n\n");
+        assert_eq!(
+            assembler.next_frame(|t| t.to_string()).unwrap().as_deref(),
+            Some("GRAM/1 DONE\n")
+        );
+    }
+
+    #[test]
+    fn decode_error_codes_are_stable_and_distinct() {
+        let errors = [
+            WireDecodeError::Partial,
+            WireDecodeError::Oversized { size: 9, limit: 4 },
+            WireDecodeError::DuplicateHeader { header: "job".into() },
+            malformed("junk"),
+        ];
+        assert_eq!(
+            errors.iter().map(WireDecodeError::code).collect::<Vec<_>>(),
+            ["PARTIAL_FRAME", "OVERSIZED_FRAME", "DUPLICATE_HEADER", "BAD_REQUEST"]
+        );
+    }
+
+    #[test]
+    fn request_line_offset_only_anchors_at_line_starts() {
+        // Plain frame: the request line is at the very start.
+        assert_eq!(request_line_offset("GRAM/1 STATUS\njob: x\n"), Some(0));
+        // PEM preamble then the request line.
+        let framed = "-----BEGIN X509-----\nabc\n-----END X509-----\nGRAM/1 STATUS\njob: x\n";
+        assert_eq!(request_line_offset(framed), Some(framed.find("GRAM/1 STATUS").unwrap()));
+        // A crafted PEM body containing the literal text `GRAM/1 ` in
+        // the middle of a line must NOT anchor the split.
+        let crafted =
+            "-----BEGIN X509-----\nxxGRAM/1 SUBMIT yy\n-----END X509-----\nGRAM/1 STATUS\njob: x\n";
+        assert_eq!(request_line_offset(crafted), Some(crafted.rfind("GRAM/1 STATUS").unwrap()));
+        // No request line at a line start at all.
+        assert_eq!(request_line_offset("-----BEGIN X509-----\nxxGRAM/1 yy\n"), None);
+        assert_eq!(request_line_offset(""), None);
+    }
+
+    #[test]
+    fn client_budget_header_is_clamped() {
+        use gridauthz_core::MAX_CLIENT_BUDGET;
+        let text = format!("GRAM/1 STATUS\njob: x\nbudget-micros: {}\n", u64::MAX);
+        let frame = WireFrame::decode(&text).unwrap();
+        let (_, budget) = admission_from_frame(&frame).unwrap();
+        assert_eq!(budget, Some(MAX_CLIENT_BUDGET), "unbounded budgets are clamped");
+        let text = "GRAM/1 STATUS\njob: x\nbudget-micros: 750\n";
+        let frame = WireFrame::decode(text).unwrap();
+        let (_, budget) = admission_from_frame(&frame).unwrap();
+        assert_eq!(budget, Some(SimDuration::from_micros(750)), "sane budgets pass through");
     }
 
     #[test]

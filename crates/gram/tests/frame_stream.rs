@@ -122,4 +122,92 @@ proptest! {
         let bytes = stream.into_bytes();
         prop_assert_eq!(reassemble(&bytes, std::iter::once(bytes.len())), requests);
     }
+
+    /// Every two-chunk split of a two-frame stream — including both cuts
+    /// inside a `\n\n` delimiter — reassembles identically. The random
+    /// chunk plans above rarely land exactly mid-delimiter; this makes
+    /// that boundary exhaustive.
+    #[test]
+    fn every_split_point_including_mid_delimiter_reassembles(
+        first in arb_request(),
+        second in arb_request(),
+    ) {
+        let requests = vec![first, second];
+        let stream = stream_of(&requests);
+        for split in 1..stream.len() {
+            let chunks = [split, stream.len() - split];
+            prop_assert_eq!(
+                reassemble(&stream, chunks.into_iter()),
+                requests.clone(),
+                "split at byte {}", split
+            );
+        }
+    }
+
+    /// A reused assembler (one per worker, `reset()` between
+    /// connections) starts the next connection clean, and leading
+    /// keep-alive newlines are stripped eagerly so `residue()` is exact
+    /// — the front-end's partial-frame accounting at connection close
+    /// depends on it.
+    #[test]
+    fn reset_discards_partials_and_leading_keepalives_leave_no_residue(
+        stale in "[a-zA-Z0-9 :/]{0,32}",
+        leading in 1usize..6,
+        requests in proptest::collection::vec(arb_request(), 1..4),
+    ) {
+        let mut assembler = FrameAssembler::new(MAX_FRAME_BYTES);
+        // The previous connection hung up mid-frame; reset() discards
+        // the partial.
+        assembler.push(stale.as_bytes());
+        assembler.reset();
+        prop_assert_eq!(assembler.residue(), 0);
+        // The next connection opens with keep-alive blank lines: never
+        // counted as pending frame bytes.
+        assembler.push(&vec![b'\n'; leading]);
+        prop_assert_eq!(assembler.residue(), 0);
+        let stream = stream_of(&requests);
+        assembler.push(&stream);
+        let mut decoded = Vec::new();
+        while let Some(request) = assembler
+            .next_frame(|frame| WireRequest::decode(frame).expect("round trip"))
+            .expect("stream of valid frames")
+        {
+            decoded.push(request);
+        }
+        prop_assert_eq!(decoded, requests);
+        prop_assert_eq!(assembler.residue(), 0);
+    }
+
+    /// Pinned decision for HTTP-style clients: a `\r\n\r\n` terminator
+    /// *ends* the frame (however the bytes are chunked), so the client
+    /// gets a typed answer instead of a stall — and the frame text is
+    /// then rejected by the decoder, which allows no carriage returns.
+    #[test]
+    fn crlf_terminated_frames_surface_as_frames_then_fail_decode(
+        contact in "[a-zA-Z0-9/_.-]{1,24}",
+        chunk_sizes in proptest::collection::vec(1usize..8, 1..64),
+    ) {
+        let stream = format!("GRAM/1 STATUS\r\njob: {contact}\r\n\r\n").into_bytes();
+        let mut assembler = FrameAssembler::new(MAX_FRAME_BYTES);
+        let mut frames = Vec::new();
+        let mut offset = 0;
+        for chunk in chunk_sizes.into_iter().chain(std::iter::repeat(stream.len())) {
+            let end = (offset + chunk.max(1)).min(stream.len());
+            assembler.push(&stream[offset..end]);
+            offset = end;
+            while let Some(text) =
+                assembler.next_frame(|t| t.to_string()).expect("CRLF text is valid UTF-8")
+            {
+                frames.push(text);
+            }
+            if offset == stream.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(frames.len(), 1, "the CRLF terminator must end the frame");
+        prop_assert!(frames[0].contains('\r'));
+        let error = WireRequest::decode(&frames[0]).expect_err("CRLF text must not decode");
+        prop_assert!(error.to_string().contains("carriage return"), "{}", error);
+        prop_assert_eq!(assembler.residue(), 0);
+    }
 }

@@ -13,6 +13,7 @@ use gridauthz_credential::{
 };
 use gridauthz_gram::wire::FrameAssembler;
 use gridauthz_gram::{Frontend, FrontendConfig, GramServer, GramServerBuilder};
+use gridauthz_telemetry::{labels, Stage};
 
 fn grid() -> (Credential, Arc<GramServer>) {
     let clock = SimClock::new();
@@ -121,8 +122,8 @@ fn fragmented_and_pipelined_requests_are_served_over_tcp() {
 }
 
 #[test]
-fn oversized_frames_are_refused_and_the_connection_dropped() {
-    let (_bo, server) = grid();
+fn oversized_frames_are_refused_with_a_typed_error_and_the_stream_resynchronizes() {
+    let (bo, server) = grid();
     let frontend = Frontend::bind(
         Arc::clone(&server),
         "127.0.0.1:0",
@@ -132,18 +133,59 @@ fn oversized_frames_are_refused_and_the_connection_dropped() {
 
     let stream = TcpStream::connect(frontend.local_addr()).unwrap();
     let mut reader = FrameReader::new(stream);
-    // 4 KiB without a frame terminator: the server must answer with a
-    // BAD_REQUEST error naming the oversize, then drop the connection
-    // rather than buffer without bound.
+    // 4 KiB without a frame terminator: the server answers with a typed
+    // OVERSIZED_FRAME error naming the oversize — once, not per read —
+    // and discards instead of buffering without bound. The connection
+    // stays open (the error budget governs how many refusals it gets).
     reader.stream.write_all(&[b'x'; 4096]).unwrap();
     let response = reader.read_frame();
-    assert_eq!(error_code_of(&response), Some("BAD_REQUEST"), "{response}");
+    assert_eq!(error_code_of(&response), Some("OVERSIZED_FRAME"), "{response}");
     assert!(response.contains("oversized frame"), "{response}");
+
+    // Finishing the oversized frame resynchronizes the stream: a
+    // well-formed request pipelined behind the delimiter is served.
+    let bo_pem = pem::encode_chain(bo.chain());
+    let probe = format!("\n\n{bo_pem}GRAM/1 STATUS\njob: gram://resync/1\n\n");
+    reader.stream.write_all(probe.as_bytes()).unwrap();
+    let response = reader.read_frame();
+    assert_eq!(error_code_of(&response), Some("UNKNOWN_JOB"), "{response}");
+    assert!(response.contains("gram://resync/1"), "{response}");
+
+    drop(reader);
+    let worker_stats = frontend.stop();
+    assert_eq!(worker_stats.iter().map(|s| s.frames).sum::<u64>(), 2);
+}
+
+#[test]
+fn exhausting_the_error_budget_closes_the_connection() {
+    let (_bo, server) = grid();
+    let frontend = Frontend::bind(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        FrontendConfig { workers: 1, error_budget: 2, ..FrontendConfig::default() },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(frontend.local_addr()).unwrap();
+    let mut reader = FrameReader::new(stream);
+    // Each malformed frame draws its own typed answer...
+    reader.stream.write_all(b"junk without a request line\n\nmore junk\n\n").unwrap();
+    for _ in 0..2 {
+        let response = reader.read_frame();
+        assert_eq!(error_code_of(&response), Some("BAD_REQUEST"), "{response}");
+    }
+    // ...and the second refusal exhausts the budget: the connection is
+    // closed and the exhaustion counted.
     let mut rest = Vec::new();
-    assert_eq!(reader.stream.read_to_end(&mut rest).unwrap(), 0, "connection must close");
+    let n = reader.stream.read_to_end(&mut rest).unwrap();
+    assert_eq!(n, 0, "connection must close; got {:?}", String::from_utf8_lossy(&rest));
+    assert!(
+        server.telemetry().counter(Stage::Admission, labels::ERROR_BUDGET) >= 1,
+        "error-budget exhaustion must be counted"
+    );
 
     let worker_stats = frontend.stop();
-    assert_eq!(worker_stats.iter().map(|s| s.frames).sum::<u64>(), 1);
+    assert_eq!(worker_stats.iter().map(|s| s.frames).sum::<u64>(), 2);
 }
 
 #[test]

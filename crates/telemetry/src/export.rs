@@ -226,7 +226,9 @@ mod tests {
              gauge connections-accepted = 0\n\
              gauge connections-active = 0\n\
              gauge queue-depth-interactive = 0\n\
-             gauge queue-depth-batch = 0\n"
+             gauge queue-depth-batch = 0\n\
+             gauge workers-total = 0\n\
+             gauge oldest-connection-age-micros = 0\n"
         );
         assert_eq!(
             snap.to_json(),
@@ -243,7 +245,8 @@ mod tests {
              \"gauges\":{\"snapshot-generation\":2,\"cache-entries\":0,\"cache-hits\":0,\
              \"cache-misses\":0,\"live-jobs\":7,\"connections-accepted\":0,\
              \"connections-active\":0,\"queue-depth-interactive\":0,\
-             \"queue-depth-batch\":0}}"
+             \"queue-depth-batch\":0,\"workers-total\":0,\
+             \"oldest-connection-age-micros\":0}}"
         );
     }
 }

@@ -10,8 +10,10 @@
 //! vocabulary (retries, timeouts, circuit-breaker transitions,
 //! degraded-mode decisions), three classify wire-frame decode failures
 //! at the TCP front-end (partial frame at connection close, oversized
-//! frame, duplicated header), and the last three are the admission
-//! vocabulary (load shed, deadline expired in queue, shutdown drain).
+//! frame, duplicated header), three are the admission vocabulary (load
+//! shed, deadline expired in queue, shutdown drain), and the last two
+//! are the connection-lifecycle vocabulary (idle-read timeout,
+//! per-connection error budget exhausted).
 
 /// A granted stage or a permitted decision.
 pub const PERMIT: &str = "permit";
@@ -69,9 +71,15 @@ pub const EXPIRED: &str = "deadline-expired";
 /// A queued request was drained with a shutdown answer while the
 /// front-end was stopping.
 pub const SHUTDOWN: &str = "shutdown";
+/// A connection went silent past the front-end's idle-read timeout and
+/// was closed to free its worker.
+pub const IDLE_TIMEOUT: &str = "idle-timeout";
+/// A connection exhausted its per-connection error budget (too many
+/// malformed/refused frames) and was closed.
+pub const ERROR_BUDGET: &str = "error-budget";
 
 /// Every label in the vocabulary, in canonical (reporting) order.
-pub const ALL: [&str; 26] = [
+pub const ALL: [&str; 28] = [
     PERMIT,
     HIT,
     MISS,
@@ -98,6 +106,8 @@ pub const ALL: [&str; 26] = [
     SHED,
     EXPIRED,
     SHUTDOWN,
+    IDLE_TIMEOUT,
+    ERROR_BUDGET,
 ];
 
 /// Index of `label` in [`ALL`], or `None` for a string outside the

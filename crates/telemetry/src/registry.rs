@@ -108,11 +108,23 @@ pub enum Gauge {
     QueueDepthInteractive,
     /// Connections currently waiting in the batch admission lane.
     QueueDepthBatch,
+    /// Workers in the front-end's fixed pool (set once at bind).
+    ///
+    /// Together with [`Gauge::ConnectionsActive`] this makes worker
+    /// occupancy observable: `ConnectionsActive == WorkersTotal` means
+    /// every worker is pinned to a connection and new arrivals can only
+    /// queue.
+    WorkersTotal,
+    /// Age in microseconds of the longest-lived connection currently
+    /// being served (0 when all workers are idle). A value that keeps
+    /// growing while `ConnectionsActive` is saturated is the signature
+    /// of worker pinning.
+    OldestConnectionAgeMicros,
 }
 
 impl Gauge {
     /// Number of gauges (array-index bound).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every gauge, in reporting order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -125,6 +137,8 @@ impl Gauge {
         Gauge::ConnectionsActive,
         Gauge::QueueDepthInteractive,
         Gauge::QueueDepthBatch,
+        Gauge::WorkersTotal,
+        Gauge::OldestConnectionAgeMicros,
     ];
 
     /// Stable lowercase name (metric key).
@@ -140,6 +154,8 @@ impl Gauge {
             Gauge::ConnectionsActive => "connections-active",
             Gauge::QueueDepthInteractive => "queue-depth-interactive",
             Gauge::QueueDepthBatch => "queue-depth-batch",
+            Gauge::WorkersTotal => "workers-total",
+            Gauge::OldestConnectionAgeMicros => "oldest-connection-age-micros",
         }
     }
 }

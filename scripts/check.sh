@@ -25,6 +25,9 @@ cargo run -p gridauthz-bench --bin harness --release -- t11
 echo "==> harness t12 (admission control: overload sweep, shed rate, p99)"
 cargo run -p gridauthz-bench --bin harness --release -- t12
 
+echo "==> harness t13 (protocol torture: seeded adversarial storms, small sweep)"
+TORTURE_SEEDS=6 cargo run -p gridauthz-bench --bin harness --release -- t13
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
