@@ -1172,6 +1172,214 @@ fn t13() {
     assert_eq!(total_violations, 0, "protocol torture must end with zero violations");
 }
 
+/// Where the crash-recovery report lands (CI artifact; the T14 entry in
+/// EXPERIMENTS.md quotes its tables).
+const RECOVERY_REPORT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+
+fn t14() {
+    use gridauthz_gram::crashsim::{run_matrix, CrashWorld};
+    use gridauthz_gram::{DurabilityConfig, GramSignal};
+    use gridauthz_journal::{MemSnapshotStore, MemStorage};
+    use gridauthz_sim::scenario::crash_recovery;
+
+    heading("T14 — crash-point torture matrix, recovery scaling, journal overhead");
+
+    // 1. The headline matrix: every durability barrier of the scripted
+    // workload × every crash mode × CRASH_SEEDS seeds, without and with
+    // mid-workload checkpoints. Zero violations is the robustness claim.
+    let seed_count: u64 =
+        std::env::var("CRASH_SEEDS").ok().and_then(|raw| raw.parse().ok()).unwrap_or(25);
+    let seeds: Vec<u64> = (1..=seed_count).collect();
+    let world = CrashWorld::new();
+    println!(
+        "{:<16} {:>11} {:>8} {:>9} {:>12} {:>11}",
+        "matrix", "boundaries", "cases", "crashes", "acked-total", "violations"
+    );
+    let mut matrix_rows = Vec::new();
+    let mut total_violations = 0usize;
+    for (label, snapshot_every) in [("pure-replay", 0u64), ("checkpointed", 6)] {
+        let start = Instant::now();
+        let report = run_matrix(&world, &seeds, snapshot_every);
+        let wall = start.elapsed();
+        println!(
+            "{label:<16} {:>11} {:>8} {:>9} {:>12} {:>11}   ({wall:.2?})",
+            report.boundaries,
+            report.cases,
+            report.crashes,
+            report.acked_total,
+            report.violations.len()
+        );
+        for violation in &report.violations {
+            println!("    violation: {violation}");
+        }
+        total_violations += report.violations.len();
+        matrix_rows.push(format!(
+            "    {{\"label\": \"{label}\", \"snapshot_every\": {snapshot_every}, \
+             \"boundaries\": {}, \"cases\": {}, \"crashes\": {}, \"acked_total\": {}, \
+             \"violations\": {}, \"wall_micros\": {}}}",
+            report.boundaries,
+            report.cases,
+            report.crashes,
+            report.acked_total,
+            report.violations.len(),
+            wall.as_micros()
+        ));
+    }
+
+    // 2. Recovery time vs journal length: the site-level crash/recover
+    // scenario at growing workload sizes, once replaying the full
+    // history (no checkpoints) and once with checkpoint compaction
+    // (recovery reads a snapshot plus a bounded tail).
+    println!("\nrecovery time vs journal length (site-level scenario):");
+    println!(
+        "{:<14} {:<6} {:>11} {:>11} {:>12} {:>10}",
+        "config", "jobs", "wal-bytes", "snap-bytes", "recovery", "MB/s"
+    );
+    let mut recovery_rows = Vec::new();
+    for (label, snapshot_every) in [("full-replay", 0u64), ("checkpointed", 48)] {
+        for jobs in [24usize, 96, 240] {
+            let report = crash_recovery(jobs, snapshot_every);
+            assert_eq!(
+                report.violations,
+                Vec::<String>::new(),
+                "site-level recovery violations at {jobs} jobs ({label})"
+            );
+            let read_bytes = report.journal_bytes + report.snapshot_bytes;
+            let recovery = Duration::from_nanos(report.recovery_nanos);
+            let mb_per_sec = read_bytes as f64 / 1e6 / recovery.as_secs_f64().max(1e-9);
+            println!(
+                "{label:<14} {jobs:<6} {:>11} {:>11} {recovery:>12.2?} {mb_per_sec:>10.1}",
+                report.journal_bytes, report.snapshot_bytes
+            );
+            recovery_rows.push(format!(
+                "    {{\"config\": \"{label}\", \"jobs\": {jobs}, \"journal_bytes\": {}, \
+                 \"snapshot_bytes\": {}, \"recovery_micros\": {}, \
+                 \"replay_mb_per_sec\": {mb_per_sec:.2}}}",
+                report.journal_bytes,
+                report.snapshot_bytes,
+                recovery.as_micros()
+            ));
+        }
+    }
+
+    // 3. Journal overhead on the submit hot path: the same testbed
+    // workload with and without a durable journal. The durable path
+    // pays record encode + group-commit append + fsync before each ACK.
+    const RSL: &str = "&(executable = TRANSP)(jobtag = NFC)(count = 1)";
+    let work = SimDuration::from_mins(1);
+    let iters = 300;
+    let memory_tb = gridauthz_sim::TestbedBuilder::new().members(1).build();
+    let memory_client = memory_tb.member_client(0);
+    let memory_t = time_median(iters, || {
+        let contact = memory_client.submit(&memory_tb.server, RSL, work).expect("submit admits");
+        memory_client.cancel(&memory_tb.server, &contact).expect("cancel own job");
+    });
+    let durable_tb = gridauthz_sim::TestbedBuilder::new()
+        .members(1)
+        .durability(DurabilityConfig::in_memory(MemStorage::new(), MemSnapshotStore::new()))
+        .build();
+    let durable_client = durable_tb.member_client(0);
+    let durable_t = time_median(iters, || {
+        let contact = durable_client.submit(&durable_tb.server, RSL, work).expect("submit admits");
+        durable_client.cancel(&durable_tb.server, &contact).expect("cancel own job");
+    });
+    // A management signal for scale: the cheapest journaled mutation.
+    let contact = durable_client.submit(&durable_tb.server, RSL, work).expect("submit admits");
+    let signal_t = time_median(iters, || {
+        durable_client
+            .signal(&durable_tb.server, &contact, GramSignal::Priority(1))
+            .expect("owner signals own job");
+    });
+    let overhead = durable_t.as_nanos() as f64 / memory_t.as_nanos().max(1) as f64 - 1.0;
+    println!("\nsubmit+cancel hot path, memory-only vs durable journal:");
+    println!("{:<26} {:>14}", "series", "median/op");
+    println!("{:<26} {:>14.2?}", "submit+cancel, memory", memory_t);
+    println!("{:<26} {:>14.2?}", "submit+cancel, durable", durable_t);
+    println!("{:<26} {:>14.2?}", "signal, durable", signal_t);
+    println!(
+        "durability overhead (4 checksummed records + 2 syncs per op): {:.1}%",
+        overhead * 100.0
+    );
+
+    let stats = durable_tb.server.journal_stats().expect("durable server has stats");
+    println!(
+        "group commit: {} appends over {} fsyncs ({:.2} appends/fsync — audit \
+         frames ride their mutation's batch)",
+        stats.appends,
+        stats.fsyncs,
+        stats.appends as f64 / stats.fsyncs.max(1) as f64
+    );
+
+    // 4. What the group-commit *protocol* itself costs on the hot path:
+    // one journal append (enqueue, leader election, commit wait) vs the
+    // same frame written raw — checksum + write + sync with no batching
+    // machinery at all. The submit+cancel pair blocks on two commits
+    // (Submit, Cancel; audit riders don't block), so the pair's
+    // batching surcharge is twice the per-record delta. This is the
+    // ISSUE's ≤ 10% budget: what fsync batching costs, charged against
+    // the memory-only hot path.
+    use gridauthz_credential::sha256::Sha256;
+    use gridauthz_journal::{Journal, Storage};
+    let payload = vec![0xa5u8; 120]; // a typical Submit/Audit record size
+    let mut raw_device: Box<dyn Storage> = Box::new(MemStorage::new());
+    let mut raw_seq = 1u64;
+    let mut frame = Vec::with_capacity(gridauthz_journal::FRAME_HEADER_LEN + payload.len());
+    let raw_t = time_median(2000, || {
+        frame.clear();
+        frame.extend_from_slice(&u32::try_from(payload.len()).expect("bounded").to_le_bytes());
+        frame.extend_from_slice(&raw_seq.to_le_bytes());
+        let mut hasher = Sha256::new();
+        hasher.update(&raw_seq.to_le_bytes());
+        hasher.update(&payload);
+        let digest = hasher.finalize();
+        frame.extend_from_slice(&digest[..8]);
+        frame.extend_from_slice(&payload);
+        raw_device.append(&frame).expect("raw write");
+        raw_device.sync().expect("raw sync");
+        raw_seq += 1;
+    });
+    let (journal, _) = Journal::open(Box::new(MemStorage::new())).expect("fresh journal opens");
+    let group_t = time_median(2000, || {
+        journal.append(&payload).expect("journal append");
+    });
+    let protocol_cost = group_t.saturating_sub(raw_t);
+    let batching_cost = 2.0 * protocol_cost.as_nanos() as f64 / memory_t.as_nanos().max(1) as f64;
+    println!("{:<26} {:>14.2?}", "raw frame+write+sync", raw_t);
+    println!("{:<26} {:>14.2?}", "group-commit append", group_t);
+    println!(
+        "fsync-batching cost on the submit path: {:.1}% (budget <= 10%)",
+        batching_cost * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"t14-crash-recovery\",\n  \"seeds\": {seed_count},\n  \
+         \"matrix\": [\n{}\n  ],\n  \"recovery_scaling\": [\n{}\n  ],\n  \
+         \"submit_overhead\": {{\"memory_nanos\": {}, \"durable_nanos\": {}, \
+         \"signal_durable_nanos\": {}, \"durability_overhead_percent\": {:.2}, \
+         \"raw_append_nanos\": {}, \"group_commit_append_nanos\": {}, \
+         \"batching_cost_percent\": {:.2}, \"batching_budget_percent\": 10.0}},\n  \
+         \"group_commit\": {{\"appends\": {}, \"fsyncs\": {}}},\n  \
+         \"total_violations\": {total_violations}\n}}\n",
+        matrix_rows.join(",\n"),
+        recovery_rows.join(",\n"),
+        memory_t.as_nanos(),
+        durable_t.as_nanos(),
+        signal_t.as_nanos(),
+        overhead * 100.0,
+        raw_t.as_nanos(),
+        group_t.as_nanos(),
+        batching_cost * 100.0,
+        stats.appends,
+        stats.fsyncs
+    );
+    match std::fs::write(RECOVERY_REPORT, json) {
+        Ok(()) => println!("wrote {RECOVERY_REPORT}"),
+        Err(e) => println!("could not write {RECOVERY_REPORT}: {e}"),
+    }
+    // The report is written first so the artifact survives a red run.
+    assert_eq!(total_violations, 0, "crash matrix must end with zero invariant violations");
+}
+
 fn main() {
     println!("gridauthz experiment harness — reproducing Keahey et al., Middleware 2003");
     // With arguments, run only the named experiments (`harness t9`);
@@ -1192,6 +1400,7 @@ fn main() {
         ("t11", t11),
         ("t12", t12),
         ("t13", t13),
+        ("t14", t14),
         ("a1", a1),
         ("a3", a3),
     ];

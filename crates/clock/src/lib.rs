@@ -133,6 +133,18 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Scales the duration to `percent` of itself (`100` is identity),
+    /// computing in 128-bit so large durations don't overflow — the
+    /// integer substrate for the front-end's ±25% retry-after jitter.
+    pub const fn mul_percent(self, percent: u64) -> SimDuration {
+        let scaled = (self.0 as u128 * percent as u128) / 100;
+        if scaled > u64::MAX as u128 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(scaled as u64)
+        }
+    }
+
     /// This duration as a [`std::time::Duration`] — the bridge from
     /// deadline arithmetic to socket timeouts and thread parks.
     pub const fn as_std(self) -> std::time::Duration {
@@ -429,6 +441,17 @@ mod tests {
     fn duration_scalar_mul() {
         assert_eq!(SimDuration::from_secs(2).saturating_mul(3), SimDuration::from_secs(6));
         assert_eq!(SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn duration_percent_scaling() {
+        assert_eq!(SimDuration::from_micros(1000).mul_percent(100), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1000).mul_percent(75), SimDuration::from_micros(750));
+        assert_eq!(SimDuration::from_micros(1000).mul_percent(125), SimDuration::from_micros(1250));
+        assert_eq!(SimDuration::from_micros(3).mul_percent(50), SimDuration::from_micros(1));
+        assert_eq!(SimDuration::ZERO.mul_percent(125), SimDuration::ZERO);
+        // 128-bit intermediate: no overflow, saturates at the top.
+        assert_eq!(SimDuration::from_micros(u64::MAX).mul_percent(200).as_micros(), u64::MAX);
     }
 
     #[test]

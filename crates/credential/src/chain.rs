@@ -59,6 +59,12 @@ impl TrustStore {
         self.revoked.contains(&(cert.issuer().to_string(), cert.serial()))
     }
 
+    /// Every loaded CRL entry as `(issuer DN, serial)` — lets a durable
+    /// state snapshot capture revocations so they survive a restart.
+    pub fn revocations(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.revoked.iter().map(|(issuer, serial)| (issuer.as_str(), *serial))
+    }
+
     /// Number of installed anchors.
     pub fn len(&self) -> usize {
         self.anchors.values().map(Vec::len).sum()

@@ -86,11 +86,18 @@ impl Sha256 {
     /// Completes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.length_bytes.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0]);
+        let buffered = self.buffered;
+        self.buffer[buffered] = 0x80;
+        if buffered >= 56 {
+            // No room for the length in this block: pad it out,
+            // compress, and put the length in an all-padding block.
+            self.buffer[buffered + 1..].fill(0);
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer = [0; 64];
+        } else {
+            self.buffer[buffered + 1..56].fill(0);
         }
-        // Appending the length manually to avoid recounting it.
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
         self.compress(&block);

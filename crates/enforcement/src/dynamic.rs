@@ -144,6 +144,43 @@ impl DynamicAccountPool {
         self.by_subject.get(&subject.to_string())
     }
 
+    /// Every live lease, for durable state snapshots and post-recovery
+    /// reconciliation.
+    pub fn active_leases(&self) -> impl Iterator<Item = &Lease> {
+        self.by_subject.values()
+    }
+
+    /// Re-establishes a recovered lease binding `subject` to the pool
+    /// account named `account`, expiring at `expires` — the replay-side
+    /// inverse of [`DynamicAccountPool::lease`]. The named account is
+    /// removed from the free list (it must be free or already leased to
+    /// the same subject; restoring it to a second subject is refused).
+    /// Returns `false` when the account name is unknown or double-booked.
+    pub fn restore_lease(
+        &mut self,
+        subject: &DistinguishedName,
+        account: &str,
+        expires: SimTime,
+    ) -> bool {
+        let key = subject.to_string();
+        if let Some(lease) = self.by_subject.get_mut(&key) {
+            if lease.account.name() != account {
+                return false;
+            }
+            lease.expires = expires;
+            return true;
+        }
+        if self.by_subject.values().any(|l| l.account.name() == account) {
+            return false;
+        }
+        let Some(pos) = self.free.iter().position(|a| a.name() == account) else {
+            return false;
+        };
+        let account = self.free.remove(pos);
+        self.by_subject.insert(key, Lease { account, subject: subject.clone(), expires });
+        true
+    }
+
     /// Releases `subject`'s lease immediately, returning the account to
     /// the pool. Returns `false` when no lease existed.
     pub fn release(&mut self, subject: &DistinguishedName) -> bool {
@@ -260,6 +297,27 @@ mod tests {
         assert_eq!(p.stats().leases_created, 2);
         assert_eq!(p.stats().lease_hits, 0);
         assert!(second.expires > first.expires);
+    }
+
+    #[test]
+    fn restore_lease_rebinds_named_accounts() {
+        let mut p = pool();
+        let expires = SimTime::from_secs(900);
+        assert!(p.restore_lease(&dn("/O=G/CN=Bo"), "grid0001", expires));
+        assert_eq!(p.free_count(), 2);
+        assert_eq!(p.lease_for(&dn("/O=G/CN=Bo")).unwrap().account.name(), "grid0001");
+        // Idempotent for the same subject+account; refreshes expiry.
+        assert!(p.restore_lease(&dn("/O=G/CN=Bo"), "grid0001", SimTime::from_secs(1200)));
+        assert_eq!(p.lease_for(&dn("/O=G/CN=Bo")).unwrap().expires, SimTime::from_secs(1200));
+        assert_eq!(p.active_count(), 1);
+        // Double-booking the same account to another subject is refused.
+        assert!(!p.restore_lease(&dn("/O=G/CN=Kate"), "grid0001", expires));
+        // Unknown account names are refused.
+        assert!(!p.restore_lease(&dn("/O=G/CN=Kate"), "grid9999", expires));
+        // A fresh lease after restore skips the restored account.
+        let fresh = p.lease(&dn("/O=G/CN=Kate"), vec![], SimTime::EPOCH).unwrap();
+        assert_ne!(fresh.account.name(), "grid0001");
+        assert_eq!(p.active_leases().count(), 2);
     }
 
     #[test]

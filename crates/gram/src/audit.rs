@@ -81,13 +81,19 @@ impl AuditLog {
         AuditLog { records: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
     }
 
-    /// Appends a record, evicting the oldest when full.
-    pub fn record(&mut self, record: AuditRecord) {
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
+    /// Appends a record, evicting the oldest when full. Returns the
+    /// evicted record so callers with durable storage (the state
+    /// journal) can rotate it out instead of losing it; callers without
+    /// may drop it, which preserves the old bounded-memory behaviour.
+    pub fn record(&mut self, record: AuditRecord) -> Option<AuditRecord> {
+        let evicted = if self.records.len() == self.capacity {
             self.dropped += 1;
-        }
+            self.records.pop_front()
+        } else {
+            None
+        };
         self.records.push_back(record);
+        evicted
     }
 
     /// The retained records, oldest first.
@@ -170,13 +176,19 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest() {
         let mut log = AuditLog::new(2);
+        let mut evicted = Vec::new();
         for i in 0..5 {
-            log.record(record(i, "/O=G/CN=A", true));
+            if let Some(old) = log.record(record(i, "/O=G/CN=A", true)) {
+                evicted.push(old.at.as_secs());
+            }
         }
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 3);
         let times: Vec<u64> = log.records().map(|r| r.at.as_secs()).collect();
         assert_eq!(times, vec![3, 4]);
+        // The evicted records came back out, oldest first, not silently
+        // dropped.
+        assert_eq!(evicted, vec![0, 1, 2]);
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub struct FrontendConfig {
     /// budget closes the connection and counts once under
     /// [`Stage::Admission`] / `error-budget`.
     pub error_budget: u32,
+    /// Seed of the ±25% jitter applied to every `retry-after-micros`
+    /// hint in a `BUSY` answer. An un-jittered hint synchronizes every
+    /// shed client into retrying at the same instant — the retry storm
+    /// re-sheds them all and the herd never thins; jitter spreads the
+    /// retries across half the base interval. Seeded so simulations
+    /// replay identically.
+    pub retry_jitter_seed: u64,
 }
 
 impl FrontendConfig {
@@ -143,6 +150,7 @@ impl Default for FrontendConfig {
             budget_batch: AdmissionClass::Batch.default_budget(),
             idle_timeout: SimDuration::from_secs(10),
             error_budget: 4,
+            retry_jitter_seed: 0x5EED_5EED_5EED_5EED,
         }
     }
 }
@@ -199,6 +207,11 @@ struct Shared {
     active: AtomicU64,
     /// Connections refused at accept because both lanes were full.
     shed: AtomicU64,
+    /// Monotone counter driving the retry-after jitter substream: each
+    /// `BUSY` answer draws from the next substream of the configured
+    /// seed, so concurrent refusals get independent (but replayable)
+    /// hints.
+    retry_sequence: AtomicU64,
     /// Per-worker serve-start stamp: micros-plus-one on the front-end
     /// clock, 0 while the worker is idle. The non-zero minimum across
     /// workers is the oldest connection currently being served — the
@@ -208,9 +221,25 @@ struct Shared {
     serving_since: Box<[AtomicU64]>,
 }
 
+/// `base` scaled to 75–125% of itself, deterministically from
+/// `(seed, sequence)`. The substrate of the front-end's retry-after
+/// jitter: each refusal draws one `sequence` value, so two refusals in
+/// the same instant still spread apart, and the same seed replays the
+/// same hints.
+pub fn jittered_retry(seed: u64, sequence: u64, base: SimDuration) -> SimDuration {
+    let mut rng = gridauthz_journal::CrashRng::new(seed).substream(sequence);
+    base.mul_percent(75 + rng.below(51))
+}
+
 impl Shared {
     fn telemetry(&self) -> &TelemetryRegistry {
         self.server.telemetry()
+    }
+
+    /// The next jittered retry hint (±25% of `base`).
+    fn retry_hint(&self, base: SimDuration) -> SimDuration {
+        let sequence = self.retry_sequence.fetch_add(1, Ordering::Relaxed);
+        jittered_retry(self.config.retry_jitter_seed, sequence, base)
     }
 
     fn publish_gauges(&self) {
@@ -305,6 +334,7 @@ impl Frontend {
             accepted: AtomicU64::new(0),
             active: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            retry_sequence: AtomicU64::new(0),
             serving_since: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
         });
         shared.telemetry().set_gauge(Gauge::WorkersTotal, worker_count as u64);
@@ -394,14 +424,14 @@ fn answer_unserved(
         ShedReason::Shutdown => labels::SHUTDOWN,
     };
     shared.telemetry().record_timed(Stage::Admission, label, queue_wait_nanos(ctx));
-    let retry_after = match reason {
+    let retry_after = shared.retry_hint(match reason {
         ShedReason::QueueFull => shared.config.shed_retry_after,
         // The useful hint after an expiry or a shutdown is "come back
         // with a fresh budget", not "poll immediately".
         ShedReason::DeadlineExpired | ShedReason::Shutdown => {
             shared.config.lane_budget(ctx.class())
         }
-    };
+    });
     let _ = stream.set_nodelay(true);
     let answer = format!("GRAM/1 BUSY\nretry-after-micros: {}\n\n", retry_after.as_micros());
     let _ = stream.write_all(answer.as_bytes());
@@ -665,7 +695,7 @@ fn serve_connection(
 /// [`Stage::Admission`] / deadline-expired, then the caller closes.
 fn expire_connection(shared: &Shared, stream: &mut TcpStream, ctx: &RequestContext) {
     shared.telemetry().record(Stage::Admission, labels::EXPIRED);
-    let retry_after = shared.config.lane_budget(ctx.class());
+    let retry_after = shared.retry_hint(shared.config.lane_budget(ctx.class()));
     let answer = format!("GRAM/1 BUSY\nretry-after-micros: {}\n\n", retry_after.as_micros());
     let _ = stream.write_all(answer.as_bytes());
 }
@@ -765,5 +795,32 @@ fn drain_frames(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the jitter envelope: every hint lands in [75%, 125%] of the
+    /// base, the same (seed, sequence) replays the same hint, and a
+    /// window of sequences actually spreads (a constant function would
+    /// satisfy the range check while still synchronizing the herd).
+    #[test]
+    fn retry_jitter_is_bounded_deterministic_and_spread() {
+        let base = SimDuration::from_millis(10);
+        let mut distinct = std::collections::HashSet::new();
+        for sequence in 0..256 {
+            let hint = jittered_retry(7, sequence, base);
+            assert!(hint >= base.mul_percent(75), "hint {hint:?} below -25%");
+            assert!(hint <= base.mul_percent(125), "hint {hint:?} above +25%");
+            assert_eq!(hint, jittered_retry(7, sequence, base), "not deterministic");
+            distinct.insert(hint.as_micros());
+        }
+        assert!(distinct.len() > 20, "only {} distinct hints in 256 draws", distinct.len());
+        // Different seeds give different schedules.
+        let schedule =
+            |seed| (0..32).map(|s| jittered_retry(seed, s, base).as_micros()).collect::<Vec<_>>();
+        assert_ne!(schedule(1), schedule(2));
     }
 }

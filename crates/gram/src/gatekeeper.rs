@@ -52,12 +52,28 @@ impl Gatekeeper {
         self.generation += 1;
     }
 
+    /// The trust store (read-only; does not move the generation).
+    pub fn trust(&self) -> &TrustStore {
+        &self.trust
+    }
+
     /// Mutable access to the trust store (CRL loading, anchor rotation).
     /// Conservatively counts as a mutation: the generation moves even if
     /// the caller only reads through the handle.
     pub fn trust_mut(&mut self) -> &mut TrustStore {
         self.generation += 1;
         &mut self.trust
+    }
+
+    /// Raises the generation to at least `floor`. Recovery uses this to
+    /// restore the pre-crash generation after replaying administrative
+    /// mutations: authentication-cache entries (and any other state
+    /// stamped with a pre-crash generation) must never compare fresh
+    /// against a restarted gatekeeper whose counter restarted lower.
+    pub fn raise_generation_floor(&mut self, floor: u64) {
+        if self.generation < floor {
+            self.generation = floor;
+        }
     }
 
     /// GSI authentication: validates the presented certificate chain and

@@ -32,9 +32,11 @@
 mod audit;
 pub mod authcache;
 mod client;
+pub mod crashsim;
 pub mod frontend;
 mod gatekeeper;
 mod jobspec;
+pub mod journal;
 mod protocol;
 pub mod provisioning;
 mod server;
@@ -48,6 +50,7 @@ pub use client::{GramClient, WireClient};
 pub use frontend::{Frontend, FrontendConfig, WorkerStats};
 pub use gatekeeper::Gatekeeper;
 pub use jobspec::{job_spec_from_rsl, normalize_job};
+pub use journal::{DurabilityConfig, JournalRecord};
 pub use protocol::{error_label, GramError, GramSignal, JobContact, JobReport};
 pub use provisioning::{AccountStrategy, JobOperation};
 pub use server::{GramMode, GramServer, GramServerBuilder, SweepOutcomes};

@@ -17,18 +17,22 @@ use gridauthz_core::{
 use gridauthz_credential::{
     Certificate, DistinguishedName, GridMapFile, TrustStore, VerifiedIdentity,
 };
+use gridauthz_journal::{Journal, SnapshotBlob, SnapshotStore};
 use gridauthz_rsl::Conjunction;
-use gridauthz_scheduler::{Cluster, JobId, LocalScheduler, SchedulerQueue};
+use gridauthz_scheduler::{Cluster, JobId, JobState, LocalScheduler, SchedulerQueue};
 use gridauthz_telemetry::{
     labels, DecisionTrace, Gauge, RegistrySnapshot, Stage, TelemetryRegistry,
 };
 
-use gridauthz_enforcement::{DynamicAccountPool, Sandbox};
+use gridauthz_enforcement::{DynamicAccountPool, PoolStats, Sandbox};
 
 use crate::audit::{AuditLog, AuditOutcome, AuditRecord};
 use crate::authcache::{AuthCache, AuthCacheStats, AuthEntry};
 use crate::gatekeeper::Gatekeeper;
 use crate::jobspec::job_spec_from_rsl;
+use crate::journal::{
+    action_from_tag, action_tag, decode_records, encode_records, DurabilityConfig, JournalRecord,
+};
 use crate::protocol::{error_label, GramError, GramSignal, JobContact, JobReport};
 use crate::provisioning::{request_groups, sandbox_profile_for, AccountStrategy, JobOperation};
 use crate::shard::ShardedMap;
@@ -66,6 +70,16 @@ struct JmiRecord {
     local: JobId,
     account: String,
     sandbox: Option<Sandbox>,
+    /// The job's true computation time — journaled so recovery can
+    /// re-admit the job with the original simulation input.
+    work: SimDuration,
+    /// True when `account` was leased from the dynamic pool; recovery
+    /// uses this to reconcile the lease table against live jobs.
+    dynamic: bool,
+    /// The server-side job index behind the contact URL — journaled so
+    /// recovery restores the `next_job` counter past every issued
+    /// contact.
+    index: u64,
 }
 
 /// Builder for [`GramServer`].
@@ -231,7 +245,189 @@ impl GramServerBuilder {
             clock: self.clock,
             next_job: AtomicU64::new(1),
             admin: Mutex::new(()),
+            durability: None,
+            audit_evicted: AtomicU64::new(0),
         }
+    }
+
+    /// Builds the server with crash-safe durability: the journal is
+    /// opened (its torn tail truncated), the latest intact snapshot is
+    /// loaded, and both are replayed to rebuild the job table, the
+    /// dynamic-account lease table, the audit log and the gatekeeper's
+    /// administrative state before the server accepts requests. A fresh
+    /// (empty) journal yields a fresh durable server, so this is also
+    /// how a durable server starts the first time.
+    ///
+    /// Recovery restores the *control-plane* record of every
+    /// acknowledged mutation, not temporal position: recovered jobs are
+    /// re-admitted from zero executed work (restart semantics), and
+    /// jobs that had reached a terminal state recover as cancelled.
+    /// Dynamic-account leases backing no live job after replay are
+    /// released (a crash between lease grant and job submit must not
+    /// leak the account).
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthorizationSystemFailure`] when the journal or
+    /// snapshot cannot be opened, or when a durable record fails to
+    /// re-apply (e.g. the recovered configuration no longer admits a
+    /// journaled job).
+    pub fn recover(self, durability: DurabilityConfig) -> Result<GramServer, GramError> {
+        let DurabilityConfig { storage, mut snapshots, snapshot_every } = durability;
+        let mut server = self.build();
+        let start = Instant::now();
+        let snapshot =
+            snapshots.load().map_err(|e| durability_error(format!("snapshot load failed: {e}")))?;
+        let (journal, tail) = Journal::open(storage)
+            .map_err(|e| durability_error(format!("journal open failed: {e}")))?;
+        if let Some(blob) = &snapshot {
+            let records = decode_records(&blob.payload)
+                .map_err(|e| durability_error(format!("snapshot payload corrupt: {e}")))?;
+            for record in &records {
+                server.apply_recovered(record)?;
+                server.telemetry.record(Stage::Recovery, labels::REPLAY);
+            }
+        }
+        let covers = snapshot.as_ref().map_or(0, |blob| blob.covers_seq);
+        for frame in &tail.records {
+            if frame.seq <= covers {
+                continue;
+            }
+            let record = JournalRecord::decode(&frame.payload).map_err(|e| {
+                durability_error(format!("journal record {} corrupt: {e}", frame.seq))
+            })?;
+            server.apply_recovered(&record)?;
+            server.telemetry.record(Stage::Recovery, labels::REPLAY);
+        }
+        server.reclaim_orphaned_leases();
+        let stats = journal.stats();
+        server.telemetry.set_gauge(Gauge::JournalBytes, stats.durable_bytes);
+        server.telemetry.record_timed(
+            Stage::Recovery,
+            labels::PERMIT,
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        server.durability = Some(Durability {
+            journal,
+            snapshots: Mutex::new(snapshots),
+            snapshot_every,
+            appends_since_checkpoint: AtomicU64::new(0),
+            barrier: RwLock::new(()),
+            fsyncs_seen: AtomicU64::new(stats.fsyncs),
+        });
+        Ok(server)
+    }
+
+    /// [`GramServerBuilder::recover`] against the file-backed layout
+    /// under `dir` (`journal.wal` + `state.snapshot`, created when
+    /// absent).
+    ///
+    /// # Errors
+    ///
+    /// As [`GramServerBuilder::recover`], plus directory-creation
+    /// failures.
+    pub fn recover_at(self, dir: impl AsRef<std::path::Path>) -> Result<GramServer, GramError> {
+        let config = DurabilityConfig::at_dir(dir)
+            .map_err(|e| durability_error(format!("journal directory: {e}")))?;
+        self.recover(config)
+    }
+}
+
+impl Drop for GramServer {
+    fn drop(&mut self) {
+        // Graceful shutdown drains relaxed riders (audit frames queued
+        // behind the last committed batch) so a clean restart recovers
+        // the full audit trail. On a crashed or dead device the flush
+        // fails and is ignored — exactly the loss a crash implies.
+        if let Some(durability) = &self.durability {
+            let _ = durability.journal.flush();
+        }
+    }
+}
+
+/// Journal/snapshot failures surface as authorization-system failures:
+/// the paper's protocol distinguishes "the system refused you" from
+/// "the system could not decide", and a mutation that cannot be made
+/// durable is the latter.
+fn durability_error(detail: String) -> GramError {
+    GramError::AuthorizationSystemFailure(format!("durability: {detail}"))
+}
+
+/// The grid-mapfile as journalable `(subject, accounts)` pairs, sorted
+/// for deterministic snapshots.
+fn gridmap_entries(gridmap: &GridMapFile) -> Vec<(String, Vec<String>)> {
+    let mut entries: Vec<(String, Vec<String>)> = gridmap
+        .iter()
+        .map(|entry| (entry.subject().to_string(), entry.accounts().to_vec()))
+        .collect();
+    entries.sort();
+    entries
+}
+
+/// An audit-trail record in journal form.
+fn audit_record_to_journal(record: &AuditRecord) -> JournalRecord {
+    JournalRecord::Audit {
+        at_micros: record.at.as_micros(),
+        subject: record.subject.to_string(),
+        action: action_tag(record.action),
+        job: record.job.clone(),
+        account: record.account.clone(),
+        refused: match &record.outcome {
+            AuditOutcome::Permitted => None,
+            AuditOutcome::Refused(reason) => Some(reason.clone()),
+        },
+        trace_id: record.trace_id,
+        degraded: record.degraded,
+        note: record.note.clone(),
+    }
+}
+
+/// The inverse of [`audit_record_to_journal`], for replay.
+///
+/// # Errors
+///
+/// A durability error when the recorded subject no longer parses as a
+/// distinguished name (journal corruption the checksums cannot see).
+fn journal_to_audit(record: &JournalRecord) -> Result<AuditRecord, GramError> {
+    let JournalRecord::Audit {
+        at_micros,
+        subject,
+        action,
+        job,
+        account,
+        refused,
+        trace_id,
+        degraded,
+        note,
+    } = record
+    else {
+        return Err(durability_error("not an audit record".into()));
+    };
+    Ok(AuditRecord {
+        at: SimTime::from_micros(*at_micros),
+        subject: subject
+            .parse()
+            .map_err(|e| durability_error(format!("recovered audit DN: {e}")))?,
+        action: action_from_tag(*action),
+        job: job.clone(),
+        account: account.clone(),
+        outcome: match refused {
+            None => AuditOutcome::Permitted,
+            Some(reason) => AuditOutcome::Refused(reason.clone()),
+        },
+        trace_id: *trace_id,
+        degraded: *degraded,
+        note: note.clone(),
+    })
+}
+
+/// When a terminal job reached its terminal state, `None` for live jobs.
+fn terminal_at(state: &JobState) -> Option<SimTime> {
+    match state {
+        JobState::Completed { at } | JobState::Cancelled { at } | JobState::TimedOut { at } => {
+            Some(*at)
+        }
+        _ => None,
     }
 }
 
@@ -282,6 +478,27 @@ impl From<AccountStrategy> for Accounts {
     }
 }
 
+/// The server's durable state: the write-ahead log every acknowledged
+/// mutation is appended to before its wire acknowledgement, plus the
+/// snapshot store checkpoints compact it through.
+struct Durability {
+    journal: Journal,
+    snapshots: Mutex<Box<dyn SnapshotStore>>,
+    /// Checkpoint after this many appends (0 = manual checkpoints only).
+    snapshot_every: u64,
+    appends_since_checkpoint: AtomicU64,
+    /// Pairs "journal append + publish to the in-memory maps" into one
+    /// unit the checkpointer cannot split: mutators hold the read side
+    /// across both steps; [`GramServer::checkpoint`] holds the write
+    /// side while it captures the covered sequence number and
+    /// serializes state, so a snapshot covering sequence N observes the
+    /// published effect of every append at or below N.
+    barrier: RwLock<()>,
+    /// Physical syncs already folded into telemetry, so the per-append
+    /// fsync counter reports deltas exactly once under group commit.
+    fsyncs_seen: AtomicU64,
+}
+
 /// A GRAM resource: thread-safe, shared via `Arc` in concurrent
 /// benchmarks (experiment T5).
 pub struct GramServer {
@@ -328,6 +545,15 @@ pub struct GramServer {
     /// Serializes gatekeeper clone-modify-publish sequences so two
     /// concurrent administrative updates cannot lose each other's write.
     admin: Mutex<()>,
+    /// Crash-safety, when configured: every acknowledged mutation is
+    /// journaled before its acknowledgement. `None` runs the server
+    /// memory-only (the pre-durability behaviour, and the default).
+    durability: Option<Durability>,
+    /// Audit records evicted from the bounded in-memory ring. With
+    /// durability configured the evicted records were already rotated
+    /// into the journal at write time; without, this counter is the
+    /// only trace that the ring overflowed.
+    audit_evicted: AtomicU64,
 }
 
 impl std::fmt::Debug for GramServer {
@@ -355,12 +581,28 @@ impl GramServer {
     /// gatekeeper is built off-path and published by pointer swap. The
     /// authorization basis changed, so cached decisions are invalidated
     /// (the engine republishes under a fresh generation).
-    pub fn set_gridmap(&self, gridmap: GridMapFile) {
-        let _admin = self.admin.lock();
-        let mut gatekeeper = (*self.gatekeeper.load()).clone();
-        gatekeeper.set_gridmap(gridmap);
-        self.gatekeeper.store(gatekeeper);
-        self.engine.policy_updated();
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthorizationSystemFailure`] when the change cannot
+    /// be journaled (durable servers only) — nothing is published on
+    /// failure, so the acknowledged and durable states never diverge.
+    pub fn set_gridmap(&self, gridmap: GridMapFile) -> Result<(), GramError> {
+        {
+            let _admin = self.admin.lock();
+            let mut gatekeeper = (*self.gatekeeper.load()).clone();
+            gatekeeper.set_gridmap(gridmap);
+            let record = JournalRecord::SetGridmap {
+                entries: gridmap_entries(gatekeeper.gridmap()),
+                generation: gatekeeper.generation(),
+            };
+            let _publish = self.durability.as_ref().map(|d| d.barrier.read());
+            self.journal_append(&record)?;
+            self.gatekeeper.store(gatekeeper);
+            self.engine.policy_updated();
+        }
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Loads one CRL entry: credentials whose chain includes the
@@ -369,20 +611,54 @@ impl GramServer {
     /// requests finish against the snapshot they hold; every later
     /// request sees the revocation. Cached decisions are invalidated
     /// alongside.
-    pub fn revoke_credential(&self, issuer: &DistinguishedName, serial: u64) {
-        let _admin = self.admin.lock();
-        let mut gatekeeper = (*self.gatekeeper.load()).clone();
-        gatekeeper.trust_mut().revoke(issuer, serial);
-        self.gatekeeper.store(gatekeeper);
-        self.engine.policy_updated();
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthorizationSystemFailure`] when the revocation
+    /// cannot be journaled — it is not published either, so a recovered
+    /// server never honors an identity the pre-crash server had
+    /// acknowledged revoking.
+    pub fn revoke_credential(
+        &self,
+        issuer: &DistinguishedName,
+        serial: u64,
+    ) -> Result<(), GramError> {
+        {
+            let _admin = self.admin.lock();
+            let mut gatekeeper = (*self.gatekeeper.load()).clone();
+            gatekeeper.trust_mut().revoke(issuer, serial);
+            let record = JournalRecord::RevokeCredential {
+                issuer: issuer.to_string(),
+                serial,
+                generation: gatekeeper.generation(),
+            };
+            let _publish = self.durability.as_ref().map(|d| d.barrier.read());
+            self.journal_append(&record)?;
+            self.gatekeeper.store(gatekeeper);
+            self.engine.policy_updated();
+        }
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Notifies the engine that policy changed outside the server's own
     /// administrative entry points (e.g. a VO pushed a dynamic policy
     /// update into a shared PDP). Cached decisions made under the
     /// previous policy stop being served immediately.
-    pub fn policy_updated(&self) {
-        self.engine.policy_updated();
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthorizationSystemFailure`] when the generation
+    /// bump cannot be journaled; the engine keeps its current
+    /// generation so recovery replays the same decision basis.
+    pub fn policy_updated(&self) -> Result<(), GramError> {
+        {
+            let _publish = self.durability.as_ref().map(|d| d.barrier.read());
+            self.journal_append(&JournalRecord::PolicyReload)?;
+            self.engine.policy_updated();
+        }
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Submits a job (`action = start`).
@@ -494,8 +770,8 @@ impl GramServer {
 
         // Dynamic-account resolution happens only after authorization so
         // a denied request never consumes a lease.
-        let account = match premapped {
-            Some(account) => account,
+        let (account, dynamic) = match premapped {
+            Some(account) => (account, false),
             None => timed_stage(trace, Stage::GridMap, || {
                 self.resolve_account(&subject, requested_account, job.conjunction())
             })?,
@@ -520,9 +796,27 @@ impl GramServer {
             local,
             account,
             sandbox,
+            work,
+            dynamic,
+            index,
         };
-        self.jobs.insert(contact.as_str().to_string(), Arc::new(record));
-        self.locals.insert(local, contact.as_str().to_string());
+        // Commit point: the Submit record must be durable before the
+        // job is published (and before the caller sees the contact).
+        // The barrier read guard keeps append + publish atomic with
+        // respect to a concurrent checkpoint; on append failure the
+        // admission is rolled back so the unacknowledged job is not
+        // visible either.
+        let journal_record = self.submit_record(&record, self.clock.now());
+        {
+            let _publish = self.durability.as_ref().map(|d| d.barrier.read());
+            if let Err(e) = self.journal_append(&journal_record) {
+                let _ = self.scheduler.write().cancel(local);
+                return Err(e);
+            }
+            self.jobs.insert(contact.as_str().to_string(), Arc::new(record));
+            self.locals.insert(local, contact.as_str().to_string());
+        }
+        self.maybe_checkpoint();
         Ok(contact)
     }
 
@@ -561,9 +855,19 @@ impl GramServer {
                 Ok(contact) => contacts.push(contact),
                 Err(e) => {
                     // All-or-nothing: roll back what already started.
+                    // Each rollback is journaled (best-effort) like any
+                    // other cancellation: the sub-jobs' Submit records
+                    // are already durable, so recovery would otherwise
+                    // resurrect jobs the multi-request never
+                    // acknowledged.
                     for contact in &contacts {
                         if let Some(local) = self.jobs.with(contact.as_str(), |r| r.local) {
                             let _ = self.scheduler.write().cancel(local);
+                            let _publish = self.durability.as_ref().map(|d| d.barrier.read());
+                            let _ = self.journal_append(&JournalRecord::Cancel {
+                                contact: contact.as_str().to_string(),
+                                at_micros: self.clock.now().as_micros(),
+                            });
                         }
                     }
                     return Err(e);
@@ -605,6 +909,16 @@ impl GramServer {
                 timed_stage(trace, Stage::Enforce, || {
                     Ok(self.scheduler.write().cancel(record.local)?)
                 })
+            })
+            // Commit point: a cancel is only acknowledged once durable.
+            // A crash before this append recovers the job alive (the
+            // cancel was never acknowledged); a crash after recovers it
+            // cancelled, and recovery refuses to resurrect it.
+            .and_then(|()| {
+                self.journal_append(&JournalRecord::Cancel {
+                    contact: contact.as_str().to_string(),
+                    at_micros: self.clock.now().as_micros(),
+                })
             });
         self.record_audit(
             identity.subject(),
@@ -614,6 +928,7 @@ impl GramServer {
             &result,
             trace,
         );
+        self.maybe_checkpoint();
         result
     }
 
@@ -705,6 +1020,13 @@ impl GramServer {
                     }
                     Ok(())
                 })
+            })
+            .and_then(|()| {
+                self.journal_append(&JournalRecord::Signal {
+                    contact: contact.as_str().to_string(),
+                    signal,
+                    at_micros: self.clock.now().as_micros(),
+                })
             });
         self.record_audit(
             identity.subject(),
@@ -714,6 +1036,7 @@ impl GramServer {
             &result,
             trace,
         );
+        self.maybe_checkpoint();
         result
     }
 
@@ -908,16 +1231,23 @@ impl GramServer {
             Action::Cancel,
             &mut traces,
         );
-        Ok(targets
+        let outcomes = targets
             .into_iter()
             .zip(verdicts)
             .zip(traces)
             .map(|((record, verdict), mut trace)| {
-                let result = verdict.and_then(|()| {
-                    timed_stage(&mut trace, Stage::Enforce, || {
-                        Ok(self.scheduler.write().cancel(record.local)?)
+                let result = verdict
+                    .and_then(|()| {
+                        timed_stage(&mut trace, Stage::Enforce, || {
+                            Ok(self.scheduler.write().cancel(record.local)?)
+                        })
                     })
-                });
+                    .and_then(|()| {
+                        self.journal_append(&JournalRecord::Cancel {
+                            contact: record.contact.as_str().to_string(),
+                            at_micros: self.clock.now().as_micros(),
+                        })
+                    });
                 self.record_audit(
                     identity.subject(),
                     Action::Cancel,
@@ -929,7 +1259,9 @@ impl GramServer {
                 self.telemetry.finish_trace(trace);
                 (record.contact.clone(), result)
             })
-            .collect())
+            .collect();
+        self.maybe_checkpoint();
+        Ok(outcomes)
     }
 
     /// Reports every live job carrying `tag` the caller is authorized to
@@ -1020,7 +1352,7 @@ impl GramServer {
         trace: &DecisionTrace,
     ) {
         let account = account.map(str::to_string);
-        self.audit.lock().record(AuditRecord {
+        self.push_audit(AuditRecord {
             at: self.clock.now(),
             subject: subject.clone(),
             action,
@@ -1036,6 +1368,21 @@ impl GramServer {
         });
     }
 
+    /// Journals an audit record (best-effort: the frame rides the next
+    /// committed batch rather than forcing its own fsync — audit
+    /// durability must never fail or slow the audited operation, and
+    /// the preceding mutation record is already durable) and inserts it
+    /// into the bounded in-memory ring. A record the full ring evicts was already
+    /// rotated into the journal here, so eviction only bumps the
+    /// [`Gauge::AuditEvicted`] counter instead of silently dropping it.
+    fn push_audit(&self, record: AuditRecord) {
+        let _publish = self.durability.as_ref().map(|d| d.barrier.read());
+        self.journal_append_relaxed(&audit_record_to_journal(&record));
+        if self.audit.lock().record(record).is_some() {
+            self.audit_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The server's telemetry registry — live counters, histograms,
     /// gauges and recent decision traces for the whole pipeline.
     pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
@@ -1048,6 +1395,10 @@ impl GramServer {
     pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
         self.engine.refresh_telemetry_gauges();
         self.telemetry.set_gauge(Gauge::LiveJobs, self.jobs.len() as u64);
+        if let Some(durability) = &self.durability {
+            self.telemetry.set_gauge(Gauge::JournalBytes, durability.journal.stats().durable_bytes);
+        }
+        self.telemetry.set_gauge(Gauge::AuditEvicted, self.audit_evicted.load(Ordering::Relaxed));
         self.telemetry.snapshot()
     }
 
@@ -1095,7 +1446,7 @@ impl GramServer {
                 newest = newest.max(transition.seq);
                 let note =
                     format!("callout {name}: breaker {} -> {}", transition.from, transition.to);
-                audit.record(AuditRecord {
+                let record = AuditRecord {
                     at: transition.at,
                     subject: subject.clone(),
                     action: Action::Information,
@@ -1108,7 +1459,11 @@ impl GramServer {
                     trace_id: None,
                     degraded: transition.to == BreakerState::Open,
                     note: Some(note),
-                });
+                };
+                self.journal_append_relaxed(&audit_record_to_journal(&record));
+                if audit.record(record).is_some() {
+                    self.audit_evicted.fetch_add(1, Ordering::Relaxed);
+                }
             }
             seen.insert(name, newest);
         }
@@ -1123,10 +1478,10 @@ impl GramServer {
         subject: &DistinguishedName,
         requested_account: Option<&str>,
         job: &Conjunction,
-    ) -> Result<String, GramError> {
+    ) -> Result<(String, bool), GramError> {
         let mapped = self.gatekeeper.load().authorize_and_map(subject, requested_account);
         match (mapped, &self.accounts) {
-            (Ok(account), _) => Ok(account),
+            (Ok(account), _) => Ok((account, false)),
             (Err(e @ GramError::AccountNotPermitted { .. }), _) => Err(e),
             (Err(e), Accounts::GridMapOnly) => Err(e),
             (Err(_), Accounts::DynamicPool(pool)) => {
@@ -1137,10 +1492,26 @@ impl GramServer {
                     });
                 }
                 let mut pool = pool.lock();
-                let lease = pool
-                    .lease(subject, request_groups(job), self.clock.now())
-                    .map_err(|e| GramError::ProvisioningFailed(e.to_string()))?;
-                Ok(lease.account.name().to_string())
+                let (account, expires) = {
+                    let lease = pool
+                        .lease(subject, request_groups(job), self.clock.now())
+                        .map_err(|e| GramError::ProvisioningFailed(e.to_string()))?;
+                    (lease.account.name().to_string(), lease.expires)
+                };
+                let grant = JournalRecord::LeaseGrant {
+                    subject: subject.to_string(),
+                    account: account.clone(),
+                    expires_micros: expires.as_micros(),
+                };
+                // Commit point for the lease: a grant that cannot be
+                // made durable is returned to the pool before the
+                // provisioning error surfaces, so a recovered server
+                // neither leaks the account nor double-grants it.
+                if let Err(e) = self.journal_append(&grant) {
+                    pool.release(subject);
+                    return Err(e);
+                }
+                Ok((account, true))
             }
         }
     }
@@ -1232,6 +1603,433 @@ impl GramServer {
     /// The shared clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// Appends one record to the journal and waits for its group-commit
+    /// fsync — the commit point every acknowledged mutation passes
+    /// *before* its acknowledgement. No-op on memory-only servers.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthorizationSystemFailure`]: the mutation could
+    /// not be made durable and must not be acknowledged.
+    fn journal_append(&self, record: &JournalRecord) -> Result<(), GramError> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        let start = Instant::now();
+        let result = durability.journal.append(&record.encode());
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match result {
+            Ok(_) => {
+                self.telemetry.record_timed(Stage::JournalAppend, labels::PERMIT, nanos);
+                let fsyncs = durability.journal.stats().fsyncs;
+                let seen = durability.fsyncs_seen.fetch_max(fsyncs, Ordering::Relaxed);
+                for _ in seen..fsyncs {
+                    self.telemetry.record(Stage::JournalAppend, labels::FSYNC);
+                }
+                durability.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.telemetry.record_timed(Stage::JournalAppend, labels::AUTHZ_SYSTEM, nanos);
+                Err(durability_error(format!("append failed: {e}")))
+            }
+        }
+    }
+
+    /// Enqueues a record without waiting for its fsync: it rides the
+    /// next committed batch (or the next flush). Best-effort — used for
+    /// the audit trail, whose durability must never fail or slow the
+    /// audited operation. On memory-only servers this is a no-op.
+    fn journal_append_relaxed(&self, record: &JournalRecord) {
+        let Some(durability) = &self.durability else {
+            return;
+        };
+        let _ = durability.journal.append_relaxed(&record.encode());
+        durability.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checkpoints when the configured append budget is spent. Called
+    /// at the end of mutation entry points, where no barrier or admin
+    /// lock is held.
+    fn maybe_checkpoint(&self) {
+        let Some(durability) = &self.durability else {
+            return;
+        };
+        if durability.snapshot_every == 0 {
+            return;
+        }
+        if durability.appends_since_checkpoint.load(Ordering::Relaxed) >= durability.snapshot_every
+        {
+            // Best-effort: a failed checkpoint leaves the journal longer
+            // than intended but never loses state (the snapshot store
+            // replaces atomically; compaction only drops covered
+            // frames). A failure that poisons the journal surfaces on
+            // the next mutation's append.
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Serializes the server's durable state into a snapshot, saves it,
+    /// and compacts the journal through the snapshot's covering
+    /// sequence number. No-op on memory-only servers.
+    ///
+    /// The snapshot is *logical*: a record sequence re-expressing the
+    /// current state in the same vocabulary the journal uses, so
+    /// recovery has one apply path for both. Save-before-compact
+    /// ordering makes a crash anywhere in between safe — the old
+    /// journal frames a torn snapshot would have covered are still
+    /// present.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::AuthorizationSystemFailure`] when the snapshot
+    /// cannot be saved or the journal cannot be compacted.
+    pub fn checkpoint(&self) -> Result<(), GramError> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        let _admin = self.admin.lock();
+        let (covers, records) = {
+            let _exclusive = durability.barrier.write();
+            // Drain relaxed riders first so the snapshot's covering
+            // sequence includes them — otherwise a rider flushed after
+            // compaction would replay on top of a snapshot that already
+            // contains it.
+            durability
+                .journal
+                .flush()
+                .map_err(|e| durability_error(format!("flush failed: {e}")))?;
+            (durability.journal.committed_seq(), self.serialize_state())
+        };
+        let blob = SnapshotBlob { covers_seq: covers, payload: encode_records(&records) };
+        durability
+            .snapshots
+            .lock()
+            .save(&blob)
+            .map_err(|e| durability_error(format!("snapshot save failed: {e}")))?;
+        durability
+            .journal
+            .compact_through(covers)
+            .map_err(|e| durability_error(format!("compaction failed: {e}")))?;
+        durability.appends_since_checkpoint.store(0, Ordering::Relaxed);
+        self.telemetry.set_gauge(Gauge::JournalBytes, durability.journal.stats().durable_bytes);
+        Ok(())
+    }
+
+    /// The server's current state as a journal-record sequence (the
+    /// snapshot payload). Caller holds the barrier write guard.
+    fn serialize_state(&self) -> Vec<JournalRecord> {
+        let mut records = Vec::new();
+        let gatekeeper = self.gatekeeper.load();
+        records.push(JournalRecord::SetGridmap {
+            entries: gridmap_entries(gatekeeper.gridmap()),
+            generation: gatekeeper.generation(),
+        });
+        let mut revocations: Vec<(String, u64)> = gatekeeper
+            .trust()
+            .revocations()
+            .map(|(issuer, serial)| (issuer.to_string(), serial))
+            .collect();
+        revocations.sort();
+        for (issuer, serial) in revocations {
+            records.push(JournalRecord::RevokeCredential {
+                issuer,
+                serial,
+                generation: gatekeeper.generation(),
+            });
+        }
+        records.push(JournalRecord::GatekeeperGeneration { generation: gatekeeper.generation() });
+        if let Accounts::DynamicPool(pool) = &self.accounts {
+            let pool = pool.lock();
+            let mut leases: Vec<(String, String, u64)> = pool
+                .active_leases()
+                .map(|lease| {
+                    (
+                        lease.subject.to_string(),
+                        lease.account.name().to_string(),
+                        lease.expires.as_micros(),
+                    )
+                })
+                .collect();
+            leases.sort();
+            for (subject, account, expires_micros) in leases {
+                records.push(JournalRecord::LeaseGrant { subject, account, expires_micros });
+            }
+        }
+        let mut jobs: Vec<Arc<JmiRecord>> = Vec::new();
+        self.jobs.for_each(|_, record| jobs.push(Arc::clone(record)));
+        jobs.sort_by_key(|record| record.index);
+        {
+            let scheduler = self.scheduler.read();
+            for record in &jobs {
+                let status = scheduler.status(record.local).ok();
+                let submitted = status.as_ref().map_or(SimTime::EPOCH, |status| status.submitted);
+                records.push(self.submit_record(record, submitted));
+                // Non-initial lifecycle states are re-expressed as the
+                // signal that produced them, so one replay path (Submit
+                // then Signal/Cancel) covers snapshot and tail alike.
+                // Execution progress is not snapshotted (restart
+                // semantics); terminal jobs collapse to Submit + Cancel.
+                if let Some(JobState::Suspended { .. }) =
+                    status.as_ref().map(|status| &status.state)
+                {
+                    records.push(JournalRecord::Signal {
+                        contact: record.contact.as_str().to_string(),
+                        signal: GramSignal::Suspend,
+                        at_micros: submitted.as_micros(),
+                    });
+                }
+                if let Some(at) = status.and_then(|status| terminal_at(&status.state)) {
+                    records.push(JournalRecord::Cancel {
+                        contact: record.contact.as_str().to_string(),
+                        at_micros: at.as_micros(),
+                    });
+                }
+            }
+        }
+        for record in self.audit.lock().records() {
+            records.push(audit_record_to_journal(record));
+        }
+        records
+    }
+
+    /// The journal record making one admitted job durable.
+    fn submit_record(&self, record: &JmiRecord, at: SimTime) -> JournalRecord {
+        JournalRecord::Submit {
+            index: record.index,
+            contact: record.contact.as_str().to_string(),
+            owner: record.owner.to_string(),
+            rsl: gridauthz_rsl::Rsl::Conjunction(record.rsl.conjunction().clone()).to_string(),
+            account: record.account.clone(),
+            dynamic: record.dynamic,
+            work_micros: record.work.as_micros(),
+            at_micros: at.as_micros(),
+        }
+    }
+
+    /// Re-applies one recovered record. Replay is idempotent: a record
+    /// the snapshot already expressed (the benign snapshot/tail
+    /// overlap) is skipped or re-applies harmlessly.
+    fn apply_recovered(&self, record: &JournalRecord) -> Result<(), GramError> {
+        match record {
+            JournalRecord::Submit {
+                index,
+                contact,
+                owner,
+                rsl,
+                account,
+                dynamic,
+                work_micros,
+                at_micros: _,
+            } => {
+                if self.jobs.get_cloned(contact.as_str()).is_some() {
+                    return Ok(());
+                }
+                let owner: DistinguishedName = owner
+                    .parse()
+                    .map_err(|e| durability_error(format!("recovered owner DN: {e}")))?;
+                let spec = gridauthz_rsl::parse(rsl)
+                    .map_err(|e| durability_error(format!("recovered RSL: {e}")))?;
+                let conj = spec
+                    .as_conjunction()
+                    .ok_or_else(|| durability_error("recovered RSL is not a conjunction".into()))?;
+                let job = JobDescription::new(crate::jobspec::normalize_job(conj));
+                let work = SimDuration::from_micros(*work_micros);
+                let job_spec = job_spec_from_rsl(job.conjunction(), account, work)?;
+                let local = self.scheduler.write().submit(job_spec).map_err(|e| {
+                    durability_error(format!("recovered job {contact} rejected: {e}"))
+                })?;
+                self.next_job.fetch_max(index + 1, Ordering::SeqCst);
+                let jobtag = job
+                    .conjunction()
+                    .first_value(gridauthz_rsl::attributes::JOBTAG)
+                    .and_then(gridauthz_rsl::Value::as_str)
+                    .map(str::to_string);
+                let sandbox =
+                    self.sandboxing.then(|| Sandbox::new(sandbox_profile_for(job.conjunction())));
+                let record = JmiRecord {
+                    contact: JobContact::from_wire(contact),
+                    owner,
+                    jobtag,
+                    rsl: job,
+                    local,
+                    account: account.clone(),
+                    sandbox,
+                    work,
+                    dynamic: *dynamic,
+                    index: *index,
+                };
+                self.jobs.insert(contact.clone(), Arc::new(record));
+                self.locals.insert(local, contact.clone());
+            }
+            JournalRecord::Cancel { contact, at_micros: _ } => {
+                // Ignore scheduler refusals: the job may already be
+                // terminal (idempotent replay).
+                if let Some(local) = self.jobs.with(contact.as_str(), |record| record.local) {
+                    let _ = self.scheduler.write().cancel(local);
+                }
+            }
+            JournalRecord::Signal { contact, signal, at_micros: _ } => {
+                if let Some(local) = self.jobs.with(contact.as_str(), |record| record.local) {
+                    let mut scheduler = self.scheduler.write();
+                    let _ = match signal {
+                        GramSignal::Suspend => scheduler.suspend(local),
+                        GramSignal::Resume => scheduler.resume(local),
+                        GramSignal::Priority(p) => scheduler.set_priority(local, *p),
+                    };
+                }
+            }
+            JournalRecord::LeaseGrant { subject, account, expires_micros } => {
+                if let Accounts::DynamicPool(pool) = &self.accounts {
+                    let subject: DistinguishedName = subject
+                        .parse()
+                        .map_err(|e| durability_error(format!("recovered lease DN: {e}")))?;
+                    // A refused restore (unknown or double-booked
+                    // account) is conservative: the reclamation pass
+                    // reconciles the table against live jobs.
+                    let _ = pool.lock().restore_lease(
+                        &subject,
+                        account,
+                        SimTime::from_micros(*expires_micros),
+                    );
+                }
+            }
+            JournalRecord::LeaseRelease { subject } => {
+                if let Accounts::DynamicPool(pool) = &self.accounts {
+                    let subject: DistinguishedName = subject
+                        .parse()
+                        .map_err(|e| durability_error(format!("recovered lease DN: {e}")))?;
+                    pool.lock().release(&subject);
+                }
+            }
+            JournalRecord::SetGridmap { entries, generation } => {
+                let mut file = GridMapFile::new();
+                for (subject, accounts) in entries {
+                    let subject: DistinguishedName = subject
+                        .parse()
+                        .map_err(|e| durability_error(format!("recovered gridmap DN: {e}")))?;
+                    file.insert(gridauthz_credential::GridMapEntry::new(subject, accounts.clone()));
+                }
+                let mut gatekeeper = (*self.gatekeeper.load()).clone();
+                gatekeeper.set_gridmap(file);
+                gatekeeper.raise_generation_floor(*generation);
+                self.gatekeeper.store(gatekeeper);
+                self.engine.policy_updated();
+            }
+            JournalRecord::RevokeCredential { issuer, serial, generation } => {
+                let issuer: DistinguishedName = issuer
+                    .parse()
+                    .map_err(|e| durability_error(format!("recovered issuer DN: {e}")))?;
+                let mut gatekeeper = (*self.gatekeeper.load()).clone();
+                gatekeeper.trust_mut().revoke(&issuer, *serial);
+                gatekeeper.raise_generation_floor(*generation);
+                self.gatekeeper.store(gatekeeper);
+                self.engine.policy_updated();
+            }
+            JournalRecord::PolicyReload => {
+                self.engine.policy_updated();
+            }
+            JournalRecord::GatekeeperGeneration { generation } => {
+                let mut gatekeeper = (*self.gatekeeper.load()).clone();
+                gatekeeper.raise_generation_floor(*generation);
+                self.gatekeeper.store(gatekeeper);
+            }
+            JournalRecord::Audit { .. } => {
+                let record = journal_to_audit(record)?;
+                // Already durable — replay refills the ring only.
+                if self.audit.lock().record(record).is_some() {
+                    self.audit_evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every dynamic-account lease backing no live
+    /// (non-terminal) job — the post-replay reconciliation that keeps a
+    /// crash between lease grant and job submit from leaking the
+    /// account or double-granting it after restart.
+    fn reclaim_orphaned_leases(&self) {
+        let Accounts::DynamicPool(pool) = &self.accounts else {
+            return;
+        };
+        let mut dynamic_jobs: Vec<(JobId, String)> = Vec::new();
+        self.jobs.for_each(|_, record| {
+            if record.dynamic {
+                dynamic_jobs.push((record.local, record.account.clone()));
+            }
+        });
+        let mut live = std::collections::HashSet::new();
+        {
+            let scheduler = self.scheduler.read();
+            for (local, account) in dynamic_jobs {
+                if scheduler.status(local).is_ok_and(|status| !status.state.is_terminal()) {
+                    live.insert(account);
+                }
+            }
+        }
+        let mut pool = pool.lock();
+        let orphaned: Vec<DistinguishedName> = pool
+            .active_leases()
+            .filter(|lease| !live.contains(lease.account.name()))
+            .map(|lease| lease.subject.clone())
+            .collect();
+        for subject in orphaned {
+            pool.release(&subject);
+        }
+    }
+
+    /// True when the server holds a record for `contact` — the recovery
+    /// oracle's existence check (operator-local, unauthenticated, like
+    /// [`GramServer::audit_snapshot`]).
+    pub fn job_exists(&self, contact: &JobContact) -> bool {
+        self.jobs.get_cloned(contact.as_str()).is_some()
+    }
+
+    /// The scheduler state of `contact`'s job, when both the record and
+    /// the local job exist (operator-local).
+    pub fn job_state(&self, contact: &JobContact) -> Option<JobState> {
+        let local = self.jobs.with(contact.as_str(), |record| record.local)?;
+        self.scheduler.read().status(local).ok().map(|status| status.state)
+    }
+
+    /// Occupancy counters of the dynamic-account pool, when one is
+    /// configured (operator-local).
+    pub fn dynamic_pool_stats(&self) -> Option<PoolStats> {
+        match &self.accounts {
+            Accounts::GridMapOnly => None,
+            Accounts::DynamicPool(pool) => Some(pool.lock().stats()),
+        }
+    }
+
+    /// Live dynamic-account leases, when a pool is configured
+    /// (operator-local).
+    pub fn active_lease_count(&self) -> Option<usize> {
+        match &self.accounts {
+            Accounts::GridMapOnly => None,
+            Accounts::DynamicPool(pool) => Some(pool.lock().active_leases().count()),
+        }
+    }
+
+    /// Number of Job Manager Instance records the server holds
+    /// (operator-local) — the recovery oracle's phantom-job check: a
+    /// recovered server must hold exactly the acknowledged jobs, no
+    /// more.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Audit records evicted from the bounded in-memory ring so far.
+    pub fn audit_evicted(&self) -> u64 {
+        self.audit_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Journal counters (appends, fsyncs, durable bytes); `None` on
+    /// memory-only servers.
+    pub fn journal_stats(&self) -> Option<gridauthz_journal::JournalStats> {
+        self.durability.as_ref().map(|durability| durability.journal.stats())
     }
 
     /// Authenticates the PEM-armored chain `pem_text` through the
@@ -1813,7 +2611,7 @@ mod tests {
     #[test]
     fn unmapped_identity_is_denied_by_gatekeeper() {
         let f = fixture(GramMode::Gt2);
-        f.server.set_gridmap(GridMapFile::new());
+        f.server.set_gridmap(GridMapFile::new()).unwrap();
         assert!(matches!(
             f.server.submit(f.bo.chain(), BO_TEST1, None, mins(5)),
             Err(GramError::GridMapDenied(_))
@@ -2220,7 +3018,7 @@ mod tests {
     fn telemetry_snapshot_refreshes_gauges() {
         let f = fixture(GramMode::Gt2);
         f.server.submit(f.bo.chain(), BO_TEST1, None, mins(30)).unwrap();
-        f.server.set_gridmap(GridMapFile::new());
+        f.server.set_gridmap(GridMapFile::new()).unwrap();
 
         let snapshot = f.server.telemetry_snapshot();
         let gauge = |g: Gauge| {
@@ -2318,7 +3116,7 @@ mod tests {
                 // Generation bumps that change nothing semantically must
                 // not corrupt anything — they only drop cached entries.
                 for _ in 0..8 {
-                    server.set_gridmap(ids.gridmap.clone());
+                    server.set_gridmap(ids.gridmap.clone()).unwrap();
                     std::thread::yield_now();
                 }
                 callout.reload(make_pdp(&bo_grant));

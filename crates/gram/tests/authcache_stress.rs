@@ -117,7 +117,7 @@ fn revocation_is_never_outrun_by_the_auth_cache() {
         scope.spawn(|| {
             // Let the flood warm the cache, then revoke Kate.
             std::thread::yield_now();
-            g.server.revoke_credential(&issuer, serial);
+            g.server.revoke_credential(&issuer, serial).unwrap();
             revoked.store(true, Ordering::SeqCst);
         });
     });

@@ -1,0 +1,396 @@
+//! Crash-recovery integration tests: the headline regression (an
+//! acknowledged submit survives a crash and stays manageable), the
+//! lease-table reconciliation rule, audit-trail and revocation
+//! durability, snapshot coverage of non-initial job states, a property
+//! test of the WAL's longest-checksummed-prefix contract, and a small
+//! sweep of the deterministic crash-point torture matrix.
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_credential::{
+    Certificate, CertificateAuthority, Credential, GridMapEntry, GridMapFile, TrustStore,
+};
+use gridauthz_enforcement::DynamicAccountPool;
+use gridauthz_gram::crashsim::{run_matrix, CrashWorld};
+use gridauthz_gram::{DurabilityConfig, GramError, GramServerBuilder, GramSignal, JournalRecord};
+use gridauthz_journal::{CrashMode, FaultDisk, FaultPlan, Journal, MemSnapshotStore, MemStorage};
+use gridauthz_scheduler::JobState;
+use proptest::prelude::*;
+
+const RSL: &str = "&(executable = transp)(directory = /sandbox/run)(count = 1)";
+
+/// The fixed cast: Alice is grid-mapped, Bob is unmapped and leases a
+/// dynamic account.
+struct World {
+    clock: SimClock,
+    ca_certificate: Certificate,
+    alice: Credential,
+    bob: Credential,
+}
+
+impl World {
+    fn new() -> World {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Recovery CA", &clock).unwrap();
+        let day = SimDuration::from_hours(24);
+        let alice = ca.issue_identity("/O=Grid/CN=Alice", day).unwrap();
+        let bob = ca.issue_identity("/O=Grid/CN=Bob", day).unwrap();
+        World { clock, ca_certificate: ca.certificate().clone(), alice, bob }
+    }
+
+    /// The deployment configuration every recovery starts from; state
+    /// beyond it must come back from the journal.
+    fn builder(&self) -> GramServerBuilder {
+        let mut trust = TrustStore::new();
+        trust.add_anchor(self.ca_certificate.clone());
+        let mut gridmap = GridMapFile::new();
+        gridmap.insert(GridMapEntry::new(
+            self.alice.certificate().subject().clone(),
+            vec!["alice".into()],
+        ));
+        GramServerBuilder::new("recovery-site", &self.clock)
+            .trust(trust)
+            .gridmap(gridmap)
+            .dynamic_accounts(DynamicAccountPool::new(
+                "grid",
+                2,
+                60_000,
+                SimDuration::from_hours(8),
+            ))
+    }
+}
+
+fn config(disk: &FaultDisk, snapshots: &MemSnapshotStore) -> DurabilityConfig {
+    DurabilityConfig {
+        storage: Box::new(disk.storage()),
+        snapshots: Box::new(snapshots.clone()),
+        snapshot_every: 0,
+    }
+}
+
+fn mins(n: u64) -> SimDuration {
+    SimDuration::from_mins(n)
+}
+
+/// Decodes every record the platter kept, skipping any snapshot.
+fn durable_records(disk: &FaultDisk) -> Vec<JournalRecord> {
+    let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+    let (_, replay) = Journal::open(Box::new(survivor.storage())).unwrap();
+    replay.records.iter().map(|frame| JournalRecord::decode(&frame.payload).unwrap()).collect()
+}
+
+/// The headline regression: a submit the client saw acknowledged is
+/// still there after the machine dies and recovers — present, in a live
+/// state, and cancelable by its owner. Without write-ahead journaling
+/// before the acknowledgement this cannot hold: the restarted server
+/// would come up empty.
+#[test]
+fn acknowledged_submit_survives_crash_and_stays_cancelable() {
+    let world = World::new();
+    let disk = FaultDisk::new(None);
+    let snapshots = MemSnapshotStore::new();
+    let server = world.builder().recover(config(&disk, &snapshots)).unwrap();
+    let contact = server.submit(world.alice.chain(), RSL, None, mins(30)).unwrap();
+    // The machine dies after the ACK: drop the process, keep only what
+    // the platter synced.
+    drop(server);
+
+    let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+    let recovered = world.builder().recover(config(&survivor, &snapshots)).unwrap();
+    assert!(recovered.job_exists(&contact), "acknowledged job lost across the crash");
+    assert!(!recovered.job_state(&contact).unwrap().is_terminal(), "live job recovered terminal");
+    recovered.cancel(world.alice.chain(), &contact).unwrap();
+    assert!(matches!(recovered.job_state(&contact), Some(JobState::Cancelled { .. })));
+}
+
+/// A submit that dies inside the commit barrier is refused, and the
+/// refusal is honest: no phantom job exists after recovery, in any
+/// crash mode.
+#[test]
+fn unacknowledged_submit_leaves_no_phantom() {
+    let world = World::new();
+    for mode in CrashMode::ALL {
+        let disk = FaultDisk::new(Some(FaultPlan { crash_after_syncs: 0, mode, seed: 9 }));
+        let snapshots = MemSnapshotStore::new();
+        let server = world.builder().recover(config(&disk, &snapshots)).unwrap();
+        let refusal = server.submit(world.alice.chain(), RSL, None, mins(30));
+        assert!(
+            matches!(
+                &refusal,
+                Err(GramError::AuthorizationSystemFailure(msg)) if msg.starts_with("durability:")
+            ),
+            "submit at a dead barrier must refuse with a durability failure, got {refusal:?}"
+        );
+        drop(server);
+
+        let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+        let recovered = world.builder().recover(config(&survivor, &snapshots)).unwrap();
+        assert_eq!(recovered.job_count(), 0, "phantom job after {} crash", mode.as_str());
+    }
+}
+
+/// The classic allocate-then-crash leak (§4.3 dynamic accounts): the
+/// lease grant's barrier completes, the machine dies before the job's
+/// own record syncs. Recovery must reconcile — the grant is durable but
+/// backs no job, so the account returns to the pool, and the next
+/// lease is a single fresh grant, not a double allocation.
+#[test]
+fn lease_grant_without_job_is_reclaimed_not_leaked() {
+    let world = World::new();
+    // Sync 0 is Bob's LeaseGrant; the crash fires during sync 1, the
+    // Submit record's own barrier.
+    let disk =
+        FaultDisk::new(Some(FaultPlan { crash_after_syncs: 1, mode: CrashMode::Kill, seed: 3 }));
+    let snapshots = MemSnapshotStore::new();
+    let server = world.builder().recover(config(&disk, &snapshots)).unwrap();
+    let refusal = server.submit(world.bob.chain(), RSL, None, mins(30));
+    assert!(refusal.is_err(), "the submit died at its own barrier");
+    drop(server);
+
+    // The platter kept exactly the grant — the window under test.
+    let kept = durable_records(&disk);
+    assert!(
+        kept.iter().any(|r| matches!(r, JournalRecord::LeaseGrant { .. })),
+        "lease grant must be durable: {kept:?}"
+    );
+    assert!(
+        !kept.iter().any(|r| matches!(r, JournalRecord::Submit { .. })),
+        "submit must not be durable: {kept:?}"
+    );
+
+    let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+    let recovered = world.builder().recover(config(&survivor, &snapshots)).unwrap();
+    assert_eq!(recovered.job_count(), 0);
+    assert_eq!(
+        recovered.active_lease_count(),
+        Some(0),
+        "orphaned lease must be reclaimed at recovery"
+    );
+    // Bob retries on the recovered server: one job, one lease.
+    recovered.submit(world.bob.chain(), RSL, None, mins(30)).unwrap();
+    assert_eq!(recovered.job_count(), 1);
+    assert_eq!(recovered.active_lease_count(), Some(1), "retry must not double-grant");
+}
+
+/// An acknowledged revocation survives the crash: the revoked chain
+/// fails authentication on the recovered server even though the
+/// builder's trust store never saw the CRL entry.
+#[test]
+fn acknowledged_revocation_outlives_crash() {
+    let world = World::new();
+    let disk = FaultDisk::new(None);
+    let snapshots = MemSnapshotStore::new();
+    let server = world.builder().recover(config(&disk, &snapshots)).unwrap();
+    let contact = server.submit(world.alice.chain(), RSL, None, mins(30)).unwrap();
+    let issuer = world.bob.certificate().issuer().clone();
+    server.revoke_credential(&issuer, world.bob.certificate().serial()).unwrap();
+    drop(server);
+
+    let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+    let recovered = world.builder().recover(config(&survivor, &snapshots)).unwrap();
+    assert!(matches!(
+        recovered.status(world.bob.chain(), &contact),
+        Err(GramError::AuthenticationFailed(_))
+    ));
+    // Alice is untouched by Bob's revocation.
+    assert!(recovered.status(world.alice.chain(), &contact).is_ok());
+}
+
+/// The audit trail is journaled as it is written, so the recovered
+/// server still answers "who asked for what" about decisions made
+/// before the crash — including refusals.
+#[test]
+fn audit_trail_survives_recovery() {
+    let world = World::new();
+    let disk = FaultDisk::new(None);
+    let snapshots = MemSnapshotStore::new();
+    let server = world.builder().recover(config(&disk, &snapshots)).unwrap();
+    let contact = server.submit(world.alice.chain(), RSL, None, mins(30)).unwrap();
+    // Bob (unmapped) is refused; the refusal is audited too.
+    assert!(server.cancel(world.bob.chain(), &contact).is_err());
+    let before = server.audit_snapshot();
+    assert!(!before.is_empty());
+    drop(server);
+
+    let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+    let recovered = world.builder().recover(config(&survivor, &snapshots)).unwrap();
+    let after = recovered.audit_snapshot();
+    assert_eq!(after.len(), before.len(), "audit trail truncated by recovery");
+    assert!(after
+        .iter()
+        .any(|r| r.subject == *world.alice.certificate().subject() && r.outcome.is_permitted()));
+    assert!(after.iter().any(|r| !r.outcome.is_permitted()), "refusal lost from audit trail");
+    assert_eq!(recovered.audit_refusal_count(), 1);
+}
+
+/// A suspended job recovers suspended even when a checkpoint compacted
+/// the suspend's journal record away: the logical snapshot re-expresses
+/// the suspension, not just the submit.
+#[test]
+fn suspended_job_recovers_suspended_across_checkpoint() {
+    let world = World::new();
+    let disk = FaultDisk::new(None);
+    let snapshots = MemSnapshotStore::new();
+    let server = world.builder().recover(config(&disk, &snapshots)).unwrap();
+    let contact = server.submit(world.alice.chain(), RSL, None, mins(30)).unwrap();
+    server.signal(world.alice.chain(), &contact, GramSignal::Suspend).unwrap();
+    // Compact: the Signal record is dropped from the journal; only the
+    // snapshot can carry the suspension across the crash now.
+    server.checkpoint().unwrap();
+    drop(server);
+
+    let survivor = FaultDisk::from_bytes(disk.durable_bytes());
+    let recovered = world.builder().recover(config(&survivor, &snapshots)).unwrap();
+    assert!(
+        matches!(recovered.job_state(&contact), Some(JobState::Suspended { .. })),
+        "suspension lost across checkpointed recovery: {:?}",
+        recovered.job_state(&contact)
+    );
+    // And it resumes, proving the recovered scheduler state is live.
+    recovered.signal(world.alice.chain(), &contact, GramSignal::Resume).unwrap();
+    assert!(matches!(recovered.job_state(&contact), Some(JobState::Running { .. })));
+}
+
+/// A small sweep of the full torture matrix — every durability barrier
+/// × every crash mode × a couple of seeds, with and without
+/// mid-workload checkpoints. `CRASH_SEEDS` widens the sweep (CI runs a
+/// handful; the t14 bench runs ≥25).
+#[test]
+fn crash_matrix_smoke_holds_all_invariants() {
+    let seeds: Vec<u64> = match std::env::var("CRASH_SEEDS") {
+        Ok(n) => (1..=n.parse::<u64>().expect("CRASH_SEEDS must be a number")).collect(),
+        Err(_) => vec![1, 2],
+    };
+    let world = CrashWorld::new();
+    for snapshot_every in [0, 5] {
+        let report = run_matrix(&world, &seeds, snapshot_every);
+        assert!(report.crashes > 0, "the sweep must actually crash");
+        assert_eq!(
+            report.violations,
+            Vec::<String>::new(),
+            "invariant violations (snapshot_every={snapshot_every})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: WAL replay returns exactly the longest checksummed prefix.
+// ---------------------------------------------------------------------
+
+fn arb_signal() -> impl Strategy<Value = GramSignal> {
+    prop_oneof![
+        Just(GramSignal::Suspend),
+        Just(GramSignal::Resume),
+        any::<i64>().prop_map(GramSignal::Priority),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = JournalRecord> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            ".{0,40}",
+            ".{0,40}",
+            ".{0,64}",
+            ".{0,16}",
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(index, contact, owner, rsl, account, dynamic, work, at)| {
+                JournalRecord::Submit {
+                    index,
+                    contact,
+                    owner,
+                    rsl,
+                    account,
+                    dynamic,
+                    work_micros: work,
+                    at_micros: at,
+                }
+            }),
+        (".{0,40}", any::<u64>())
+            .prop_map(|(contact, at_micros)| JournalRecord::Cancel { contact, at_micros }),
+        (".{0,40}", arb_signal(), any::<u64>()).prop_map(|(contact, signal, at_micros)| {
+            JournalRecord::Signal { contact, signal, at_micros }
+        }),
+        (".{0,40}", ".{0,16}", any::<u64>()).prop_map(|(subject, account, expires_micros)| {
+            JournalRecord::LeaseGrant { subject, account, expires_micros }
+        }),
+        ".{0,40}".prop_map(|subject| JournalRecord::LeaseRelease { subject }),
+        (
+            proptest::collection::vec(
+                (".{0,32}", proptest::collection::vec(".{0,12}", 0..3)),
+                0..4
+            ),
+            any::<u64>()
+        )
+            .prop_map(|(entries, generation)| JournalRecord::SetGridmap { entries, generation }),
+        (".{0,40}", any::<u64>(), any::<u64>()).prop_map(|(issuer, serial, generation)| {
+            JournalRecord::RevokeCredential { issuer, serial, generation }
+        }),
+        Just(JournalRecord::PolicyReload),
+        any::<u64>().prop_map(|generation| JournalRecord::GatekeeperGeneration { generation }),
+        (
+            any::<u64>(),
+            ".{0,40}",
+            any::<u8>(),
+            proptest::option::of(".{0,40}"),
+            proptest::option::of(".{0,16}"),
+            proptest::option::of(".{0,40}"),
+            proptest::option::of(any::<u64>()),
+            any::<bool>(),
+            proptest::option::of(".{0,40}"),
+        )
+            .prop_map(
+                |(at_micros, subject, action, job, account, refused, trace_id, degraded, note)| {
+                    JournalRecord::Audit {
+                        at_micros,
+                        subject,
+                        action,
+                        job,
+                        account,
+                        refused,
+                        trace_id,
+                        degraded,
+                        note,
+                    }
+                }
+            ),
+    ]
+}
+
+proptest! {
+    /// Any record sequence appended through the WAL, then cut at any
+    /// byte position (a torn tail), reopens to exactly the longest
+    /// prefix of intact frames: every replayed record decodes to the
+    /// record appended at that position, nothing is reordered, and an
+    /// uncut log replays in full.
+    #[test]
+    fn wal_replay_is_longest_checksummed_prefix(
+        records in proptest::collection::vec(arb_record(), 1..16),
+        cut_back in 0usize..256,
+    ) {
+        let device = MemStorage::new();
+        let (journal, empty) = Journal::open(Box::new(device.clone())).unwrap();
+        prop_assert!(empty.records.is_empty());
+        for record in &records {
+            journal.append(&record.encode()).unwrap();
+        }
+        drop(journal);
+
+        let mut bytes = device.contents();
+        let cut = bytes.len().saturating_sub(cut_back);
+        bytes.truncate(cut);
+
+        let (_, replay) = Journal::open(Box::new(MemStorage::from_bytes(bytes))).unwrap();
+        prop_assert!(replay.records.len() <= records.len());
+        if cut_back == 0 {
+            prop_assert_eq!(replay.records.len(), records.len(), "uncut log must replay fully");
+        }
+        for (i, frame) in replay.records.iter().enumerate() {
+            prop_assert_eq!(frame.seq, i as u64 + 1, "replay reordered or skipped a frame");
+            let decoded = JournalRecord::decode(&frame.payload).unwrap();
+            prop_assert_eq!(&decoded, &records[i]);
+        }
+    }
+}

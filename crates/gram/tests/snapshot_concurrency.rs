@@ -213,7 +213,7 @@ fn credential_revocation_is_immediate_once_acknowledged() {
         }
         scope.spawn(|| {
             std::thread::yield_now();
-            g.server.revoke_credential(&issuer, serial);
+            g.server.revoke_credential(&issuer, serial).unwrap();
             revoked.store(true, Ordering::SeqCst);
         });
     });

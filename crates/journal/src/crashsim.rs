@@ -1,0 +1,312 @@
+//! Deterministic crash-point fault injection for the WAL, in the spirit
+//! of `gram::torture`: a seeded [`FaultFile`] device that models the OS
+//! page cache (appends buffer; only `sync` makes bytes durable) and kills
+//! the simulated machine at a scripted durability barrier, optionally
+//! tearing or short-writing the in-flight batch.
+//!
+//! The crash taxonomy:
+//!
+//! * [`CrashMode::Kill`] — power loss before the write reaches the
+//!   platter: nothing of the in-flight batch survives.
+//! * [`CrashMode::Torn`] — the device wrote a strict prefix of the batch
+//!   (a torn multi-sector write): a seeded cut somewhere inside it.
+//! * [`CrashMode::Short`] — only the first few header bytes landed (a
+//!   short sector write): the cut falls inside the frame header.
+//!
+//! Because the crash fires *during* `sync`, the appender never observes a
+//! successful commit for the in-flight batch — which is exactly the WAL's
+//! contract: an acknowledged record is durable, an unacknowledged one may
+//! or may not leave torn bytes behind, and recovery's torn-tail
+//! truncation removes them. `gram::crashsim` builds the full invariant
+//! matrix on top of this device.
+
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::storage::Storage;
+use crate::wal::FRAME_HEADER_LEN;
+
+/// SplitMix64 — the same tiny deterministic generator `gram::torture`
+/// uses, reexported here so fault plans, workload scripts and jitter all
+/// derive from one seed algebra.
+#[derive(Debug, Clone)]
+pub struct CrashRng {
+    state: u64,
+}
+
+impl CrashRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> CrashRng {
+        CrashRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// An independent generator derived from this seed and `index`.
+    pub fn substream(&self, index: u64) -> CrashRng {
+        let mut rng = CrashRng::new(self.state ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        rng.next_u64();
+        rng
+    }
+}
+
+/// How the simulated machine dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Nothing of the in-flight batch survives.
+    Kill,
+    /// A seeded strict prefix of the batch survives.
+    Torn,
+    /// Only a prefix of the first frame's header survives.
+    Short,
+}
+
+impl CrashMode {
+    /// Every mode, for matrix sweeps.
+    pub const ALL: [CrashMode; 3] = [CrashMode::Kill, CrashMode::Torn, CrashMode::Short];
+
+    /// Stable label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashMode::Kill => "kill",
+            CrashMode::Torn => "torn",
+            CrashMode::Short => "short",
+        }
+    }
+}
+
+/// When and how to crash: the device dies during its
+/// `crash_after_syncs`-th successful-so-far durability barrier (0-based:
+/// `crash_after_syncs == 0` kills the very first sync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Index of the sync call that dies (previous syncs succeed).
+    pub crash_after_syncs: u64,
+    /// What the platter keeps of the in-flight batch.
+    pub mode: CrashMode,
+    /// Seed for the torn/short cut position.
+    pub seed: u64,
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+    syncs: u64,
+    plan: Option<FaultPlan>,
+    crashed: bool,
+}
+
+/// A shared simulated disk; [`FaultDisk::storage`] hands out the
+/// [`FaultFile`] device a journal writes through, while the disk handle
+/// survives the "crash" so the harness can read what the platter kept.
+#[derive(Debug, Clone)]
+pub struct FaultDisk {
+    inner: Arc<Mutex<DiskInner>>,
+}
+
+impl FaultDisk {
+    /// A disk that dies per `plan` (or never, when `None`).
+    pub fn new(plan: Option<FaultPlan>) -> FaultDisk {
+        FaultDisk {
+            inner: Arc::new(Mutex::new(DiskInner {
+                durable: Vec::new(),
+                pending: Vec::new(),
+                syncs: 0,
+                plan,
+                crashed: false,
+            })),
+        }
+    }
+
+    /// A disk pre-loaded with `bytes` (recovered contents).
+    pub fn from_bytes(bytes: Vec<u8>) -> FaultDisk {
+        let disk = FaultDisk::new(None);
+        disk.inner.lock().expect("disk mutex poisoned").durable = bytes;
+        disk
+    }
+
+    /// The device handle to open a journal over.
+    pub fn storage(&self) -> FaultFile {
+        FaultFile { inner: Arc::clone(&self.inner) }
+    }
+
+    /// True once the planned crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().expect("disk mutex poisoned").crashed
+    }
+
+    /// What the platter holds — exactly the bytes a post-crash recovery
+    /// would read.
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        self.inner.lock().expect("disk mutex poisoned").durable.clone()
+    }
+
+    /// Durability barriers completed so far.
+    pub fn syncs(&self) -> u64 {
+        self.inner.lock().expect("disk mutex poisoned").syncs
+    }
+}
+
+/// The [`Storage`] device a [`FaultDisk`] exposes.
+#[derive(Debug)]
+pub struct FaultFile {
+    inner: Arc<Mutex<DiskInner>>,
+}
+
+fn died() -> io::Error {
+    io::Error::other("simulated crash: device is gone")
+}
+
+impl Storage for FaultFile {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock().expect("disk mutex poisoned");
+        if inner.crashed {
+            return Err(died());
+        }
+        let mut all = inner.durable.clone();
+        all.extend_from_slice(&inner.pending);
+        Ok(all)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("disk mutex poisoned");
+        if inner.crashed {
+            return Err(died());
+        }
+        inner.pending.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("disk mutex poisoned");
+        if inner.crashed {
+            return Err(died());
+        }
+        if let Some(plan) = inner.plan {
+            if inner.syncs == plan.crash_after_syncs {
+                let mut rng = CrashRng::new(plan.seed).substream(inner.syncs);
+                let pending = std::mem::take(&mut inner.pending);
+                let kept = match plan.mode {
+                    CrashMode::Kill => 0,
+                    // A strict prefix: never the complete batch.
+                    CrashMode::Torn => {
+                        if pending.len() > 1 {
+                            1 + rng.below(pending.len() as u64 - 1) as usize
+                        } else {
+                            0
+                        }
+                    }
+                    CrashMode::Short => {
+                        let limit = pending.len().min(FRAME_HEADER_LEN);
+                        if limit > 0 {
+                            rng.below(limit as u64) as usize
+                        } else {
+                            0
+                        }
+                    }
+                };
+                inner.durable.extend_from_slice(&pending[..kept]);
+                inner.crashed = true;
+                return Err(died());
+            }
+        }
+        inner.syncs += 1;
+        let pending = std::mem::take(&mut inner.pending);
+        inner.durable.extend_from_slice(&pending);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("disk mutex poisoned");
+        if inner.crashed {
+            return Err(died());
+        }
+        inner.pending.clear();
+        inner.durable.truncate(len as usize);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("disk mutex poisoned");
+        if inner.crashed {
+            return Err(died());
+        }
+        // Rename-style replacement is atomic: it happens entirely or not
+        // at all, independent of the sync-counter crash plan.
+        inner.pending.clear();
+        inner.durable = bytes.to_vec();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::Journal;
+
+    fn journal_over(disk: &FaultDisk) -> Journal {
+        Journal::open(Box::new(disk.storage())).unwrap().0
+    }
+
+    #[test]
+    fn kill_loses_exactly_the_inflight_record() {
+        let disk = FaultDisk::new(Some(FaultPlan {
+            crash_after_syncs: 2,
+            mode: CrashMode::Kill,
+            seed: 1,
+        }));
+        let journal = journal_over(&disk);
+        assert!(journal.append(b"a").is_ok());
+        assert!(journal.append(b"b").is_ok());
+        assert!(journal.append(b"c").is_err());
+        assert!(journal.append(b"d").is_err(), "journal must be dead after the crash");
+        assert!(disk.crashed());
+
+        let recovered = FaultDisk::from_bytes(disk.durable_bytes());
+        let (_, replay) = Journal::open(Box::new(recovered.storage())).unwrap();
+        let payloads: Vec<&[u8]> = replay.records.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"a".as_slice(), b"b".as_slice()]);
+    }
+
+    #[test]
+    fn torn_and_short_never_surface_the_inflight_record() {
+        for mode in [CrashMode::Torn, CrashMode::Short] {
+            for seed in 0..32u64 {
+                let disk = FaultDisk::new(Some(FaultPlan { crash_after_syncs: 1, mode, seed }));
+                let journal = journal_over(&disk);
+                assert!(journal.append(b"acknowledged-record").is_ok());
+                assert!(journal.append(b"in-flight-record").is_err());
+
+                let recovered = FaultDisk::from_bytes(disk.durable_bytes());
+                let (_, replay) = Journal::open(Box::new(recovered.storage())).unwrap();
+                assert_eq!(replay.records.len(), 1, "mode {mode:?} seed {seed}");
+                assert_eq!(replay.records[0].payload, b"acknowledged-record");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_rng_is_deterministic() {
+        let mut a = CrashRng::new(99);
+        let mut b = CrashRng::new(99);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut s1 = a.substream(1);
+        let mut s2 = a.substream(2);
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+}

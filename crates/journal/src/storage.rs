@@ -1,0 +1,197 @@
+//! The byte-level device under the WAL: a real file, an in-memory buffer
+//! for tests, or the fault-injecting [`crate::crashsim::FaultFile`].
+//!
+//! The trait splits *writing* from *durability*: [`Storage::append`] may
+//! buffer (a real file write lands in the OS page cache), and only
+//! [`Storage::sync`] makes the bytes crash-durable. The WAL's commit
+//! point — the instant after which an acknowledged mutation must survive
+//! a crash — is therefore the return of `sync`, and the fault-injection
+//! layer models exactly that: bytes appended but not yet synced are lost
+//! (or torn) when the simulated machine dies.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An append-only byte device with an explicit durability barrier.
+pub trait Storage: Send {
+    /// Reads the device's entire current contents. Called once, at open.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Appends bytes at the end of the device. May buffer; the bytes are
+    /// not durable until [`Storage::sync`] returns.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Makes every previously appended byte durable (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Discards everything beyond `len` bytes — used once at open to cut
+    /// a torn tail. The discarded region is already known-garbage, so
+    /// this does not need to be atomic.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+
+    /// Atomically replaces the device's entire contents — used by
+    /// snapshot compaction to drop frames a snapshot covers. Must be
+    /// all-or-nothing with respect to crashes (file backends write a
+    /// temporary and rename over the original).
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// File-backed storage: the production device.
+#[derive(Debug)]
+pub struct FileStorage {
+    path: PathBuf,
+    file: File,
+}
+
+impl FileStorage {
+    /// Opens (creating if absent) the journal file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FileStorage> {
+        let path = path.into();
+        // An existing journal must be kept, never truncated at open.
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        Ok(FileStorage { path, file })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        // Reopen: `self.file` still refers to the pre-rename inode.
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// In-memory storage whose bytes are shared between clones, so a test can
+/// keep a handle, "crash" the journal by dropping it, and reopen a new
+/// journal over the surviving bytes.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory device.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// A device pre-loaded with `bytes` (e.g. the durable contents a
+    /// fault-injected run left behind).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemStorage {
+        MemStorage { bytes: Arc::new(Mutex::new(bytes)) }
+    }
+
+    /// A copy of the device's current contents.
+    pub fn contents(&self) -> Vec<u8> {
+        self.bytes.lock().expect("storage mutex poisoned").clone()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.contents())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.bytes.lock().expect("storage mutex poisoned").extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.bytes.lock().expect("storage mutex poisoned").truncate(len as usize);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        *self.bytes.lock().expect("storage mutex poisoned") = bytes.to_vec();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_clones_share_bytes() {
+        let mut a = MemStorage::new();
+        let b = a.clone();
+        a.append(b"hello").unwrap();
+        a.sync().unwrap();
+        assert_eq!(b.contents(), b"hello");
+        a.truncate(2).unwrap();
+        assert_eq!(b.contents(), b"he");
+        a.replace(b"xyz").unwrap();
+        assert_eq!(b.contents(), b"xyz");
+    }
+
+    #[test]
+    fn file_storage_round_trips_and_replaces() {
+        let dir =
+            std::env::temp_dir().join(format!("gridauthz-journal-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.bin");
+        let _ = fs::remove_file(&path);
+
+        let mut s = FileStorage::open(&path).unwrap();
+        s.append(b"abcdef").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abcdef");
+        s.truncate(3).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abc");
+        s.replace(b"zz").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"zz");
+        s.append(b"!").unwrap();
+        s.sync().unwrap();
+
+        // A fresh handle sees the post-replace, post-append contents.
+        let mut again = FileStorage::open(&path).unwrap();
+        assert_eq!(again.read_all().unwrap(), b"zz!");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(&dir);
+    }
+}

@@ -10,7 +10,7 @@ use gridauthz_core::{
 use gridauthz_credential::{
     CertificateAuthority, Credential, DistinguishedName, GridMapEntry, GridMapFile, TrustStore,
 };
-use gridauthz_gram::{GramClient, GramMode, GramServer, GramServerBuilder};
+use gridauthz_gram::{DurabilityConfig, GramClient, GramMode, GramServer, GramServerBuilder};
 use gridauthz_scheduler::Cluster;
 use gridauthz_telemetry::TelemetryRegistry;
 use gridauthz_vo::{Role, RoleProfile, VirtualOrganization};
@@ -80,6 +80,7 @@ pub struct TestbedBuilder {
     extra_callouts: Vec<Arc<dyn AuthorizationCallout>>,
     telemetry: Option<Arc<TelemetryRegistry>>,
     clock: Option<SimClock>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl Default for TestbedBuilder {
@@ -94,6 +95,7 @@ impl Default for TestbedBuilder {
             extra_callouts: Vec::new(),
             telemetry: None,
             clock: None,
+            durability: None,
         }
     }
 }
@@ -161,6 +163,19 @@ impl TestbedBuilder {
         self
     }
 
+    /// Builds the server over a durable journal: every acknowledged
+    /// mutation is journaled, and the build *recovers* whatever the
+    /// configured storage already holds. Because the testbed's CA and
+    /// credentials are derived deterministically from their DNs, a
+    /// testbed rebuilt with the same parameters accepts the identities
+    /// a previous incarnation journaled — which is what the
+    /// crash/recover scenario exploits.
+    #[must_use]
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
+        self
+    }
+
     /// Shares a [`TelemetryRegistry`] with the built server, so the
     /// bench harness (or a scenario aggregating several testbeds) can
     /// report through one registry. By default the server creates its
@@ -177,6 +192,7 @@ impl TestbedBuilder {
     /// and a GRAM server whose extended mode combines [`LOCAL_POLICY`]
     /// with Figure 3 + the generated VO policy.
     pub fn build(self) -> Testbed {
+        let durability = self.durability;
         let clock = self.clock.unwrap_or_default();
         let ca = CertificateAuthority::new_root("/O=Grid/CN=Testbed CA", &clock)
             .expect("fixture CA DN parses");
@@ -269,7 +285,10 @@ impl TestbedBuilder {
                 builder.callouts(chain)
             }
         };
-        let server = builder.build();
+        let server = match durability {
+            Some(config) => builder.recover(config).expect("durable testbed recovers"),
+            None => builder.build(),
+        };
 
         Testbed { clock, ca, server, bo, kate, admin, outsider, members, vo }
     }

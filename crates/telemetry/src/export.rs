@@ -228,7 +228,9 @@ mod tests {
              gauge queue-depth-interactive = 0\n\
              gauge queue-depth-batch = 0\n\
              gauge workers-total = 0\n\
-             gauge oldest-connection-age-micros = 0\n"
+             gauge oldest-connection-age-micros = 0\n\
+             gauge journal-bytes = 0\n\
+             gauge audit-evicted = 0\n"
         );
         assert_eq!(
             snap.to_json(),
@@ -246,7 +248,8 @@ mod tests {
              \"cache-misses\":0,\"live-jobs\":7,\"connections-accepted\":0,\
              \"connections-active\":0,\"queue-depth-interactive\":0,\
              \"queue-depth-batch\":0,\"workers-total\":0,\
-             \"oldest-connection-age-micros\":0}}"
+             \"oldest-connection-age-micros\":0,\"journal-bytes\":0,\
+             \"audit-evicted\":0}}"
         );
     }
 }

@@ -11,9 +11,10 @@
 //! degraded-mode decisions), three classify wire-frame decode failures
 //! at the TCP front-end (partial frame at connection close, oversized
 //! frame, duplicated header), three are the admission vocabulary (load
-//! shed, deadline expired in queue, shutdown drain), and the last two
-//! are the connection-lifecycle vocabulary (idle-read timeout,
-//! per-connection error budget exhausted).
+//! shed, deadline expired in queue, shutdown drain), two are the
+//! connection-lifecycle vocabulary (idle-read timeout, per-connection
+//! error budget exhausted), and the last two are the durability
+//! vocabulary (physical journal fsyncs, records replayed at recovery).
 
 /// A granted stage or a permitted decision.
 pub const PERMIT: &str = "permit";
@@ -77,9 +78,14 @@ pub const IDLE_TIMEOUT: &str = "idle-timeout";
 /// A connection exhausted its per-connection error budget (too many
 /// malformed/refused frames) and was closed.
 pub const ERROR_BUDGET: &str = "error-budget";
+/// A physical journal sync made one or more appended records durable
+/// (group commit batches several appends under one fsync).
+pub const FSYNC: &str = "fsync";
+/// A journal (or snapshot) record was replayed during startup recovery.
+pub const REPLAY: &str = "replay";
 
 /// Every label in the vocabulary, in canonical (reporting) order.
-pub const ALL: [&str; 28] = [
+pub const ALL: [&str; 30] = [
     PERMIT,
     HIT,
     MISS,
@@ -108,6 +114,8 @@ pub const ALL: [&str; 28] = [
     SHUTDOWN,
     IDLE_TIMEOUT,
     ERROR_BUDGET,
+    FSYNC,
+    REPLAY,
 ];
 
 /// Index of `label` in [`ALL`], or `None` for a string outside the

@@ -120,11 +120,19 @@ pub enum Gauge {
     /// growing while `ConnectionsActive` is saturated is the signature
     /// of worker pinning.
     OldestConnectionAgeMicros,
+    /// Durable write-ahead-log length in bytes (drops at snapshot
+    /// compaction).
+    JournalBytes,
+    /// Audit records rotated out of the bounded in-memory ring since
+    /// server construction. With a journal attached the evicted records
+    /// remain durable in the log; without one this counts what the ring
+    /// could not keep.
+    AuditEvicted,
 }
 
 impl Gauge {
     /// Number of gauges (array-index bound).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every gauge, in reporting order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -139,6 +147,8 @@ impl Gauge {
         Gauge::QueueDepthBatch,
         Gauge::WorkersTotal,
         Gauge::OldestConnectionAgeMicros,
+        Gauge::JournalBytes,
+        Gauge::AuditEvicted,
     ];
 
     /// Stable lowercase name (metric key).
@@ -156,6 +166,8 @@ impl Gauge {
             Gauge::QueueDepthBatch => "queue-depth-batch",
             Gauge::WorkersTotal => "workers-total",
             Gauge::OldestConnectionAgeMicros => "oldest-connection-age-micros",
+            Gauge::JournalBytes => "journal-bytes",
+            Gauge::AuditEvicted => "audit-evicted",
         }
     }
 }

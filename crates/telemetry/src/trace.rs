@@ -29,11 +29,16 @@ pub enum Stage {
     Enforce,
     /// End-to-end service of one framed request (decode through encode).
     Service,
+    /// Write-ahead-log append on the mutation path: the fsync the commit
+    /// point charges against the hot path.
+    JournalAppend,
+    /// Startup recovery: snapshot load plus journal-tail replay.
+    Recovery,
 }
 
 impl Stage {
     /// Number of stages (array-index bound for per-stage storage).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -46,6 +51,8 @@ impl Stage {
         Stage::Combine,
         Stage::Enforce,
         Stage::Service,
+        Stage::JournalAppend,
+        Stage::Recovery,
     ];
 
     /// Dense index for per-stage arrays.
@@ -67,6 +74,8 @@ impl Stage {
             Stage::Combine => "combine",
             Stage::Enforce => "enforce",
             Stage::Service => "service",
+            Stage::JournalAppend => "journal-append",
+            Stage::Recovery => "recovery",
         }
     }
 }

@@ -28,6 +28,9 @@ cargo run -p gridauthz-bench --bin harness --release -- t12
 echo "==> harness t13 (protocol torture: seeded adversarial storms, small sweep)"
 TORTURE_SEEDS=6 cargo run -p gridauthz-bench --bin harness --release -- t13
 
+echo "==> harness t14 (crash-point matrix smoke, recovery scaling, journal overhead)"
+CRASH_SEEDS=6 cargo run -p gridauthz-bench --bin harness --release -- t14
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -166,7 +166,7 @@ fn revocation_cuts_off_a_compromised_credential_mid_session() {
     // The VO reports the credential compromised; the site loads the CRL
     // entry for the member's end-entity certificate.
     let cert = tb.members[0].certificate();
-    tb.server.revoke_credential(cert.issuer(), cert.serial());
+    tb.server.revoke_credential(cert.issuer(), cert.serial()).unwrap();
 
     // Every further request — even reading status — fails authentication.
     let err = member.status(&tb.server, &contact).unwrap_err();
