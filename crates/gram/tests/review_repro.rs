@@ -1,0 +1,71 @@
+//! Review repro: checkpoint -> restart -> mutate -> restart loses the
+//! post-restart mutation because reopened journal seqs restart at 1,
+//! below the stale snapshot's covers_seq.
+
+use gridauthz_clock::{SimClock, SimDuration};
+use gridauthz_credential::{
+    Certificate, CertificateAuthority, Credential, GridMapEntry, GridMapFile, TrustStore,
+};
+use gridauthz_gram::{DurabilityConfig, GramServerBuilder};
+use gridauthz_journal::{MemSnapshotStore, MemStorage};
+
+const RSL: &str = "&(executable = transp)(directory = /sandbox/run)(count = 1)";
+
+struct World {
+    clock: SimClock,
+    ca_certificate: Certificate,
+    alice: Credential,
+}
+
+impl World {
+    fn new() -> World {
+        let clock = SimClock::new();
+        let ca = CertificateAuthority::new_root("/O=Grid/CN=Recovery CA", &clock).unwrap();
+        let day = SimDuration::from_hours(24);
+        let alice = ca.issue_identity("/O=Grid/CN=Alice", day).unwrap();
+        World { clock, ca_certificate: ca.certificate().clone(), alice }
+    }
+
+    fn builder(&self) -> GramServerBuilder {
+        let mut trust = TrustStore::new();
+        trust.add_anchor(self.ca_certificate.clone());
+        let mut gridmap = GridMapFile::new();
+        gridmap.insert(GridMapEntry::new(
+            self.alice.certificate().subject().clone(),
+            vec!["alice".into()],
+        ));
+        GramServerBuilder::new("recovery-site", &self.clock).trust(trust).gridmap(gridmap)
+    }
+}
+
+fn config(storage: &MemStorage, snapshots: &MemSnapshotStore) -> DurabilityConfig {
+    DurabilityConfig {
+        storage: Box::new(storage.clone()),
+        snapshots: Box::new(snapshots.clone()),
+        snapshot_every: 0,
+    }
+}
+
+#[test]
+fn mutation_after_checkpointed_restart_survives_next_restart() {
+    let world = World::new();
+    let storage = MemStorage::new();
+    let snapshots = MemSnapshotStore::new();
+
+    // Session 1: submit job A, checkpoint (journal compacted to empty).
+    let server = world.builder().recover(config(&storage, &snapshots)).unwrap();
+    let a = server.submit(world.alice.chain(), RSL, None, SimDuration::from_mins(30)).unwrap();
+    server.checkpoint().unwrap();
+    drop(server);
+
+    // Session 2: clean restart, acknowledged submit of job B.
+    let server = world.builder().recover(config(&storage, &snapshots)).unwrap();
+    assert!(server.job_exists(&a), "job A lost after checkpointed restart");
+    let b = server.submit(world.alice.chain(), RSL, None, SimDuration::from_mins(30)).unwrap();
+    drop(server);
+
+    // Session 3: both acknowledged jobs must still exist.
+    let server = world.builder().recover(config(&storage, &snapshots)).unwrap();
+    assert!(server.job_exists(&a), "job A lost");
+    assert!(server.job_exists(&b), "acknowledged job B lost across restart after checkpoint");
+}
